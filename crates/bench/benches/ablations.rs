@@ -1,0 +1,138 @@
+//! Ablations from the paper's discussion (§VI) and design choices
+//! DESIGN.md calls out:
+//!
+//! * **Media** — ZnG built on Z-NAND vs. TLC V-NAND (17×/6× slower
+//!   read/program): the paper's premise that the *new* flash is what
+//!   makes the architecture viable.
+//! * **Wear levelling** — the helper thread's least-erased-first policy
+//!   vs. FIFO recycling, measured by wear evenness under churn.
+//! * **Lifetime** — projected Z-NAND lifetime from the measured erase
+//!   rate (paper §VI: register merging keeps the device alive for
+//!   years).
+
+use zng::Table;
+use zng_bench::{quick, report};
+use zng_flash::{FlashDevice, FlashGeometry, FlashTiming, RegisterTopology};
+use zng_ftl::{WearPolicy, WriteMode, ZngFtl};
+use zng_types::{Cycle, Freq};
+
+fn main() {
+    media_ablation();
+    wear_ablation();
+}
+
+/// Streams a read-heavy page workload through a ZnG-style device built
+/// on each medium and compares sustained latency.
+fn media_ablation() {
+    let mut t = Table::new(vec![
+        "medium".into(),
+        "read us".into(),
+        "program us".into(),
+        "stream time (ms)".into(),
+        "vs Z-NAND".into(),
+    ]);
+    let mut results = Vec::new();
+    for timing in [FlashTiming::znand(), FlashTiming::vnand_tlc()] {
+        let freq = Freq::default();
+        let geometry = FlashGeometry::tiny();
+        let net = zng_flash::FlashNetwork::mesh(geometry.channels, 8.0, Cycle(2));
+        let mut dev =
+            FlashDevice::new(geometry, timing, freq, net, RegisterTopology::NiF).expect("device");
+        let mut ftl = ZngFtl::new(&dev, 1, WriteMode::Buffered);
+        // 64 concurrent reader chains over a page-sequential region.
+        let streams = 64usize;
+        let mut chains = vec![Cycle::ZERO; streams];
+        let pages = if quick() { 2_000u64 } else { 8_000 };
+        for i in 0..pages {
+            let s = (i % streams as u64) as usize;
+            let vpn = (s as u64) * 500 + i / streams as u64;
+            chains[s] = ftl
+                .read(chains[s], &mut dev, vpn, 4096)
+                .expect("stream read");
+        }
+        let end = chains.iter().max().copied().unwrap_or(Cycle(1));
+        results.push((timing, end));
+    }
+    let z_end = results[0].1;
+    for (timing, end) in &results {
+        t.row(vec![
+            timing.name.into(),
+            format!("{:.0}", timing.read.0 / 1_000.0),
+            format!("{:.0}", timing.program.0 / 1_000.0),
+            format!("{:.2}", end.raw() as f64 / 1.2e6),
+            format!("{:.1}x", end.raw() as f64 / z_end.raw() as f64),
+        ]);
+    }
+    assert!(
+        results[1].1.raw() as f64 / z_end.raw() as f64 > 5.0,
+        "V-NAND must be many times slower than Z-NAND on the read stream"
+    );
+    report(
+        "ablation_media",
+        "ZnG on Z-NAND vs TLC V-NAND",
+        &t,
+        "Z-NAND's 17x faster reads are what make direct GPU-flash access viable (paper SII-B)",
+    );
+}
+
+/// Write churn under both recycling policies; compares wear evenness and
+/// worst-block wear.
+fn wear_ablation() {
+    let mut t = Table::new(vec![
+        "policy".into(),
+        "GCs".into(),
+        "total erases".into(),
+        "worst block".into(),
+        "evenness".into(),
+        "projected lifetime (rel)".into(),
+    ]);
+    let mut worst = Vec::new();
+    for (label, policy) in [
+        ("least-erased (wear levelling)", WearPolicy::LeastErased),
+        ("LIFO (none)", WearPolicy::Lifo),
+    ] {
+        // A deliberately tiny device so recycling cycles many times.
+        let mut geometry = FlashGeometry::tiny();
+        geometry.blocks_per_plane = 2;
+        geometry.pages_per_block = 8;
+        let mut dev = FlashDevice::zng_config(
+            geometry,
+            Freq::default(),
+            RegisterTopology::NiF,
+        )
+        .expect("device");
+        let mut ftl = ZngFtl::with_wear_policy(&dev, 1, WriteMode::Direct, policy);
+        let mut now = Cycle::ZERO;
+        let writes = if quick() { 2_000u64 } else { 6_000 };
+        // Skewed churn: one hot page plus a rotating cold set, so blocks
+        // are reclaimed at different rates and the policies diverge.
+        for i in 0..writes {
+            let vpn = if i % 4 == 0 { (i / 4) % 24 } else { 0 };
+            let r = ftl.write(now, &mut dev, vpn).expect("write");
+            now = r.done.max(now + Cycle(1));
+        }
+        let e = dev.endurance();
+        worst.push(e.max_block_erases);
+        // Lifetime scales inversely with the worst block's wear rate.
+        t.row(vec![
+            label.into(),
+            ftl.gcs().to_string(),
+            e.total_erases.to_string(),
+            e.max_block_erases.to_string(),
+            format!("{:.2}", e.evenness()),
+            format!("{:.2}", 1.0 / e.worst_wear_fraction().max(1e-12) / 1e5),
+        ]);
+    }
+    assert!(
+        worst[0] <= worst[1],
+        "wear levelling must not worsen the worst block ({} vs {})",
+        worst[0],
+        worst[1]
+    );
+    report(
+        "ablation_wear",
+        "Wear-levelling policy under write churn",
+        &t,
+        "the helper thread's wear levelling spreads erases, extending Z-NAND lifetime (paper SVI)",
+    );
+}

@@ -1,0 +1,67 @@
+//! Fig. 1b: bandwidth analysis of HybridGPU's components versus the
+//! traditional GPU memory subsystem.
+//!
+//! The paper's motivation: the internal DRAM buffer peaks 96 % below GPU
+//! memory, and the flash-channel bus and SSD-controller processing rate
+//! are further bottlenecks.
+
+use zng::Table;
+use zng_bench::report;
+use zng_ftl::SsdEngine;
+use zng_mem::MemTiming;
+use zng_types::{Cycle, Freq};
+
+fn main() {
+    let freq = Freq::default();
+    let gpu_mem = MemTiming::gddr5().peak_gbps();
+    let buffer = MemTiming::hybrid_buffer().peak_gbps();
+
+    // 16 ONFI channels at 800 MT/s x 1 B.
+    let channels_gbps = 16.0 * 800e6 / 1e9;
+
+    // SSD engine: 3 cores, 500 ns per request; at 4 KB page requests.
+    let mut engine = SsdEngine::commercial(freq);
+    let n = 10_000u64;
+    let mut last = Cycle::ZERO;
+    for _ in 0..n {
+        last = engine.process(Cycle::ZERO);
+    }
+    let secs = last.raw() as f64 / freq.hz();
+    let engine_gbps_pages = n as f64 * 4096.0 / 1e9 / secs;
+    let engine_gbps_sectors = n as f64 * 128.0 / 1e9 / secs;
+
+    let mut t = Table::new(vec![
+        "component".into(),
+        "peak GB/s".into(),
+        "vs GPU memory".into(),
+    ]);
+    let rows = [
+        ("GPU memory subsystem (6 MC GDDR5)", gpu_mem),
+        ("HybridGPU internal DRAM buffer", buffer),
+        ("flash channels (16 x ONFI 800MT/s)", channels_gbps),
+        ("SSD engine @4KB pages", engine_gbps_pages),
+        ("SSD engine @128B requests", engine_gbps_sectors),
+    ];
+    for (name, gbps) in rows {
+        t.row(vec![
+            name.into(),
+            format!("{gbps:.1}"),
+            format!("{:.0}%", gbps / gpu_mem * 100.0),
+        ]);
+    }
+
+    // The paper's 96% claim: buffer is ~4% of GPU memory bandwidth.
+    let ratio = buffer / gpu_mem;
+    assert!(
+        ratio < 0.08,
+        "DRAM buffer must be >92% below GPU memory (got {:.0}%)",
+        ratio * 100.0
+    );
+
+    report(
+        "fig01b",
+        "Bandwidth of HybridGPU components",
+        &t,
+        "internal DRAM buffer ~96% below GPU memory; channels and engine also bottleneck",
+    );
+}

@@ -1,0 +1,36 @@
+//! Fig. 3a/3b: memory-package density and power-efficiency comparison
+//! (datasheet-level device data; see DESIGN.md §7).
+
+use zng::Table;
+use zng_bench::report;
+use zng_mem::{DeviceClass, DeviceInfo};
+
+fn main() {
+    let mut t = Table::new(vec![
+        "device".into(),
+        "GB/package (3a)".into(),
+        "W per GB (3b)".into(),
+        "density vs GDDR5".into(),
+    ]);
+    for class in DeviceClass::ALL {
+        let d = DeviceInfo::of(class);
+        t.row(vec![
+            class.to_string(),
+            format!("{:.0}", d.density_gb),
+            format!("{:.2}", d.watt_per_gb),
+            format!("{:.0}x", d.density_vs_gddr5()),
+        ]);
+    }
+
+    let z = DeviceInfo::of(DeviceClass::ZNand);
+    assert!((z.density_vs_gddr5() - 64.0).abs() < 1e-9, "64x density claim");
+    let worst_dram = DeviceInfo::of(DeviceClass::Gddr5).watt_per_gb;
+    assert!(z.watt_per_gb < worst_dram / 10.0, "Z-NAND power efficiency");
+
+    report(
+        "fig03",
+        "Density and power consumption analysis",
+        &t,
+        "Z-NAND 64x denser than GPU DRAM and lowest W/GB; GDDR5 worst on both axes",
+    );
+}

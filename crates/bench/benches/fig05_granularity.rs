@@ -1,0 +1,98 @@
+//! Fig. 5: the access-granularity study.
+//!
+//! * 5a — slowdown of direct Z-NAND accesses (ZnG-base, no SSD-controller
+//!   penalty) vs the traditional GPU memory subsystem (Ideal), for the 12
+//!   graph workloads. Paper: up to 28x.
+//! * 5b — memory requests repeatedly accessing the same pages (paper
+//!   average ~42 reads/page).
+//! * 5c — write redundancy (paper average ~65 writes/page across the
+//!   write-intensive set).
+
+use zng::{geomean, table2, trace_stats, Experiment, PlatformKind, Suite, Table};
+use zng_bench::{params_light, quick, report};
+use zng_types::ids::AppId;
+use zng_workloads::generate;
+
+fn main() {
+    let params = params_light();
+    let mut exp = Experiment::standard().with_params(params);
+    // The paper's Fig. 5a assumes *no SSD-controller penalty*: GC is free
+    // in this study, isolating the access-granularity mismatch.
+    exp.config_mut().free_gc = true;
+
+    // ---- 5a: slowdown of direct Z-NAND access ----
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "Ideal IPC".into(),
+        "direct-ZNAND IPC".into(),
+        "slowdown".into(),
+    ]);
+    let graph: Vec<_> = table2()
+        .iter()
+        .filter(|w| w.suite == Suite::GraphBig)
+        .collect();
+    let subset = if quick() { &graph[..3] } else { &graph[..] };
+    let mut slowdowns = Vec::new();
+    for spec in subset {
+        let ideal = exp.run(PlatformKind::Ideal, &[spec.name]).expect("ideal");
+        let base = exp.run(PlatformKind::ZngBase, &[spec.name]).expect("base");
+        let slow = ideal.ipc / base.ipc.max(1e-12);
+        slowdowns.push(slow);
+        t.row(vec![
+            spec.name.into(),
+            format!("{:.3}", ideal.ipc),
+            format!("{:.4}", base.ipc),
+            format!("{slow:.0}x"),
+        ]);
+    }
+    t.row(vec![
+        "gmean".into(),
+        String::new(),
+        String::new(),
+        format!("{:.0}x", geomean(&slowdowns)),
+    ]);
+    report(
+        "fig05a",
+        "Performance degradation of direct Z-NAND access",
+        &t,
+        "degradation up to 28x vs the traditional GPU memory subsystem",
+    );
+    assert!(
+        slowdowns.iter().cloned().fold(0.0, f64::max) > 10.0,
+        "direct flash access must be at least an order of magnitude slower"
+    );
+
+    // ---- 5b/5c: page re-access and write redundancy in the traces ----
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "reads/page (5b)".into(),
+        "writes/page (5c)".into(),
+    ]);
+    let (mut reads, mut writes) = (Vec::new(), Vec::new());
+    for spec in table2() {
+        let traces = generate(spec, AppId(0), &params);
+        let s = trace_stats(&traces);
+        reads.push(s.mean_reads_per_page);
+        if s.write_requests > 0 {
+            writes.push(s.mean_writes_per_page);
+        }
+        t.row(vec![
+            spec.name.into(),
+            format!("{:.1}", s.mean_reads_per_page),
+            format!("{:.1}", s.mean_writes_per_page),
+        ]);
+    }
+    let avg_reads = reads.iter().sum::<f64>() / reads.len() as f64;
+    let avg_writes = writes.iter().sum::<f64>() / writes.len().max(1) as f64;
+    t.row(vec![
+        "average".into(),
+        format!("{avg_reads:.1}"),
+        format!("{avg_writes:.1}"),
+    ]);
+    report(
+        "fig05bc",
+        "Page re-access and write redundancy of the traces",
+        &t,
+        "paper: ~42 reads/page and ~65 writes/page on average",
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig. 11: bandwidth of the Z-NAND flash arrays per platform.
+//!
+//! Paper: HybridGPU averages 4.2 GB/s (channel + buffer bound); ZnG-rdopt
+//! reaches 2.9x HybridGPU; wropt exceeds rdopt by 137%; full ZnG adds
+//! another 167% and approaches 1.9x Optane's 39 GB/s ceiling.
+
+use zng::{geomean, mixes, Experiment, PlatformKind, Table};
+use zng_bench::{params_standard, quick, report};
+
+fn main() {
+    let params = params_standard();
+    let exp_proto = Experiment::standard().with_params(params);
+    let all_mixes = mixes(&params).expect("mixes");
+    let selected = if quick() { &all_mixes[..2] } else { &all_mixes[..] };
+
+    let platforms = [
+        PlatformKind::HybridGpu,
+        PlatformKind::ZngBase,
+        PlatformKind::ZngRdopt,
+        PlatformKind::ZngWropt,
+        PlatformKind::Zng,
+    ];
+
+    let mut headers = vec!["platform".into()];
+    headers.extend(selected.iter().map(|m| m.name.clone()));
+    headers.push("gmean GB/s".into());
+    let mut t = Table::new(headers);
+
+    let mut means = Vec::new();
+    for &p in &platforms {
+        let mut cells = vec![p.to_string()];
+        let mut vals = Vec::new();
+        for mix in selected {
+            let mut exp = exp_proto.clone();
+            let r = exp.run_mix(p, mix).expect("run");
+            vals.push(r.flash_array_gbps.max(1e-9));
+            cells.push(format!("{:.2}", r.flash_array_gbps));
+        }
+        let gm = geomean(&vals);
+        means.push(gm);
+        cells.push(format!("{gm:.2}"));
+        t.row(cells);
+    }
+
+    // Shape: full ZnG and wropt must far exceed HybridGPU's array usage.
+    let hybrid = means[0];
+    let zng = means[4];
+    assert!(
+        zng > hybrid * 2.0,
+        "ZnG array bandwidth must be multiples of HybridGPU's ({zng:.1} vs {hybrid:.1})"
+    );
+
+    report(
+        "fig11",
+        "Bandwidth of Z-NAND flash arrays (GB/s)",
+        &t,
+        "HybridGPU ~4.2 GB/s; ZnG-wropt/ZnG tens of GB/s, approaching 1.9x Optane's 39 GB/s",
+    );
+}

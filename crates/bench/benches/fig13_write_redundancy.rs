@@ -1,0 +1,85 @@
+//! Fig. 13: write redundancy in the flash arrays under the write-path
+//! configurations.
+//!
+//! Paper: the baseline (private per-plane registers) averages 51 array
+//! programs per page; grouping the registers with NiF ("network") cuts
+//! 46 %; redirecting overflow into pinned L2 brings it to ~1.2.
+//!
+//! The register files are deliberately small here (the paper's thrashing
+//! regime) so the three designs separate.
+
+use zng::{mixes, Experiment, PlatformKind, Table};
+use zng_bench::{params_standard, quick, report};
+
+fn main() {
+    let params = params_standard();
+    let all_mixes = mixes(&params).expect("mixes");
+    let selected = if quick() { &all_mixes[..2] } else { &all_mixes[..4] };
+
+    // All three buffer writes in registers (the paper's Fig. 13 is about
+    // the register *organisation*): baseline keeps each plane's registers
+    // private; "network" groups them via NiF; "redirection" adds the
+    // pinned-L2 overflow path.
+    use zng::RegisterTopology;
+    let configs: [(&str, PlatformKind, RegisterTopology); 3] = [
+        (
+            "baseline (private regs)",
+            PlatformKind::ZngWropt,
+            RegisterTopology::Private,
+        ),
+        (
+            "network (NiF grouped)",
+            PlatformKind::ZngWropt,
+            RegisterTopology::NiF,
+        ),
+        (
+            "redirection (pinned L2)",
+            PlatformKind::Zng,
+            RegisterTopology::NiF,
+        ),
+    ];
+
+    let mut headers = vec!["config".into()];
+    headers.extend(selected.iter().map(|m| m.name.clone()));
+    headers.push("mean programs/page".into());
+    let mut t = Table::new(headers);
+
+    let mut means = Vec::new();
+    for (label, platform, topology) in configs.iter() {
+        let mut cells = vec![label.to_string()];
+        let mut sum = 0.0;
+        for mix in selected {
+            let mut exp = Experiment::standard().with_params(params);
+            // Thrashing regime: few registers per plane.
+            exp.config_mut().flash.registers_per_plane = 2;
+            exp.config_mut().register_topology = *topology;
+            let r = exp.run_mix(*platform, mix).expect("run");
+            sum += r.flash_programs_per_page;
+            cells.push(format!("{:.1}", r.flash_programs_per_page));
+        }
+        let mean = sum / selected.len() as f64;
+        means.push(mean);
+        cells.push(format!("{mean:.1}"));
+        t.row(cells);
+    }
+
+    assert!(
+        means[1] < means[0],
+        "register grouping must cut write redundancy ({} vs {})",
+        means[1],
+        means[0]
+    );
+    assert!(
+        means[2] <= means[1] * 1.2,
+        "redirection must not increase redundancy materially ({} vs {})",
+        means[2],
+        means[1]
+    );
+
+    report(
+        "fig13",
+        "Write redundancy in flash arrays (mean programs per page)",
+        &t,
+        "baseline 51 -> network -46% -> redirection ~1.2",
+    );
+}

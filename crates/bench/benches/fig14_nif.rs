@@ -1,0 +1,68 @@
+//! Fig. 14: performance of the flash-register network designs.
+//!
+//! Paper: HW-FCnet beats SWnet by 19 %; HW-NiF reaches 98 % of FCnet at
+//! a fraction of the wiring cost. The register files are kept small so
+//! cross-plane migrations actually occur.
+
+use zng::{mixes, Experiment, PlatformKind, RegisterTopology, Table};
+use zng_bench::{params_standard, quick, report};
+
+fn main() {
+    let params = params_standard();
+    let all_mixes = mixes(&params).expect("mixes");
+    let selected = if quick() { &all_mixes[..2] } else { &all_mixes[..4] };
+
+    let topologies = [
+        ("SWnet", RegisterTopology::SwNet),
+        ("HW-FCnet", RegisterTopology::FcNet),
+        ("HW-NiF", RegisterTopology::NiF),
+    ];
+
+    let mut headers = vec!["network".into()];
+    headers.extend(selected.iter().map(|m| m.name.clone()));
+    headers.push("gmean IPC".into());
+    headers.push("vs FCnet".into());
+    headers.push("migrations".into());
+    let mut t = Table::new(headers);
+
+    let mut results = Vec::new();
+    for (label, topo) in topologies.iter() {
+        let mut ipcs = Vec::new();
+        let mut migrations = 0u64;
+        let mut cells = vec![label.to_string()];
+        for mix in selected {
+            let mut exp = Experiment::standard().with_params(params);
+            exp.config_mut().register_topology = *topo;
+            exp.config_mut().flash.registers_per_plane = 2;
+            let r = exp.run_mix(PlatformKind::Zng, mix).expect("run");
+            ipcs.push(r.ipc);
+            migrations += r.register_migrations;
+            cells.push(format!("{:.4}", r.ipc));
+        }
+        let gm = zng::geomean(&ipcs);
+        results.push((cells, gm, migrations));
+    }
+    let fcnet = results[1].1;
+    for (mut cells, gm, migrations) in results.clone() {
+        cells.push(format!("{gm:.4}"));
+        cells.push(format!("{:.0}%", gm / fcnet * 100.0));
+        cells.push(migrations.to_string());
+        t.row(cells);
+    }
+
+    let swnet = results[0].1;
+    let nif = results[2].1;
+    assert!(fcnet >= swnet, "FCnet must not lose to SWnet");
+    assert!(
+        nif / fcnet > 0.9,
+        "NiF must be within 10% of FCnet (paper: 98%), got {:.0}%",
+        nif / fcnet * 100.0
+    );
+
+    report(
+        "fig14",
+        "Flash-register network designs",
+        &t,
+        "FCnet +19% over SWnet; NiF achieves 98% of FCnet",
+    );
+}

@@ -1,0 +1,92 @@
+//! Fig. 16a: sensitivity of the access monitor's waste-ratio thresholds,
+//! and Fig. 16b: the prefetch-policy comparison.
+//!
+//! Paper: the best thresholds are high 0.3 / low 0.05; 1KBpref and
+//! 4KBpref beat nopref by 22 % / 32 %; predict-4KB beats blind 4KB on
+//! random-heavy apps; dyn-pref adds up to 21 % over predict-4KB.
+
+use zng::{Experiment, PlatformKind, PrefetchPolicy, Table};
+use zng_bench::{params_light, quick, report};
+
+fn main() {
+    let params = params_light();
+
+    // ---- Fig. 16a: threshold sweep ----
+    let highs: &[f64] = if quick() { &[0.3] } else { &[0.2, 0.3, 0.5] };
+    let lows: &[f64] = if quick() { &[0.05] } else { &[0.02, 0.05, 0.1] };
+    let mut t = Table::new(vec![
+        "high".into(),
+        "low".into(),
+        "IPC".into(),
+        "L2 hit".into(),
+    ]);
+    let mut best = (0.0f64, 0.0, 0.0);
+    for &hi in highs {
+        for &lo in lows {
+            let mut exp = Experiment::standard().with_params(params);
+            exp.config_mut().monitor_thresholds = (hi, lo);
+            let r = exp
+                .run(PlatformKind::Zng, &["betw", "back"])
+                .expect("run");
+            if r.ipc > best.0 {
+                best = (r.ipc, hi, lo);
+            }
+            t.row(vec![
+                format!("{hi}"),
+                format!("{lo}"),
+                format!("{:.4}", r.ipc),
+                format!("{:.2}", r.l2_hit_rate),
+            ]);
+        }
+    }
+    t.row(vec![
+        "best".into(),
+        format!("{}/{}", best.1, best.2),
+        format!("{:.4}", best.0),
+        String::new(),
+    ]);
+    report(
+        "fig16a",
+        "Access-monitor threshold sweep",
+        &t,
+        "best performance at high 0.3 / low 0.05 (the paper's defaults)",
+    );
+
+    // ---- Fig. 16b: policy comparison ----
+    let policies = [
+        ("nopref", PrefetchPolicy::None),
+        ("1KBpref", PrefetchPolicy::Fixed(1024)),
+        ("4KBpref", PrefetchPolicy::Fixed(4096)),
+        ("predict-4KB", PrefetchPolicy::Predicted4K),
+        ("dyn-pref", PrefetchPolicy::Dynamic),
+    ];
+    let mut t = Table::new(vec![
+        "policy".into(),
+        "IPC".into(),
+        "vs nopref".into(),
+        "L2 hit".into(),
+        "reads/page".into(),
+    ]);
+    let mut ipcs = Vec::new();
+    for (label, policy) in policies.iter() {
+        let mut exp = Experiment::standard().with_params(params);
+        exp.config_mut().prefetch_policy = *policy;
+        let r = exp.run(PlatformKind::Zng, &["betw", "back"]).expect("run");
+        ipcs.push(r.ipc);
+        t.row(vec![
+            label.to_string(),
+            format!("{:.4}", r.ipc),
+            format!("{:.2}x", r.ipc / ipcs[0]),
+            format!("{:.2}", r.l2_hit_rate),
+            format!("{:.1}", r.flash_reads_per_page),
+        ]);
+    }
+    assert!(ipcs[1] > ipcs[0], "1KB prefetch must beat nopref");
+    assert!(ipcs[4] > ipcs[0], "dyn-pref must beat nopref");
+    report(
+        "fig16b",
+        "Read-prefetch policies",
+        &t,
+        "1KB +22%, 4KB +32% over nopref; dyn-pref up to +21% over predict-4KB",
+    );
+}

@@ -1,0 +1,103 @@
+//! Table I: system configuration of ZnG.
+//!
+//! Prints the configuration the simulator instantiates and checks it
+//! against the paper's values.
+
+use zng::Table;
+use zng_bench::report;
+use zng_flash::{FlashGeometry, FlashTiming};
+use zng_gpu::GpuConfig;
+use zng_types::size::format_bytes;
+
+fn main() {
+    let gpu = GpuConfig::table1();
+    let stt = GpuConfig::table1_stt_mram();
+    let flash = FlashGeometry::table1();
+    let znand = FlashTiming::znand();
+
+    let mut t = Table::new(vec!["parameter".into(), "value".into(), "paper".into()]);
+    t.row(vec!["SM / freq".into(), format!("{}/{}", gpu.sms, gpu.freq), "16/1.2 GHz".into()]);
+    t.row(vec![
+        "max warps".into(),
+        format!("{} per SM", gpu.max_warps_per_sm),
+        "80 per core".into(),
+    ]);
+    t.row(vec![
+        "L1 cache".into(),
+        format!(
+            "{}-set {}-way {} LRU private",
+            gpu.l1_sets,
+            gpu.l1_ways,
+            format_bytes(gpu.l1_total_bytes())
+        ),
+        "64-set 6-way 48KB".into(),
+    ]);
+    t.row(vec![
+        "L2 cache (SRAM)".into(),
+        format!(
+            "{} banks {}-set {}-way {}",
+            gpu.l2_banks,
+            gpu.l2_sets_per_bank,
+            gpu.l2_ways,
+            format_bytes(gpu.l2_total_bytes())
+        ),
+        "6 banks 1024-set 8-way 6MB".into(),
+    ]);
+    t.row(vec![
+        "L2 cache (STT-MRAM)".into(),
+        format_bytes(stt.l2_total_bytes()),
+        "24MB shared, R:1 W:5 cycles".into(),
+    ]);
+    t.row(vec![
+        "flash channel/package".into(),
+        format!("{}/{}", flash.channels, flash.packages_per_channel),
+        "16/1".into(),
+    ]);
+    t.row(vec![
+        "die/plane".into(),
+        format!("{}/{}", flash.dies_per_package, flash.planes_per_die),
+        "8/8".into(),
+    ]);
+    t.row(vec![
+        "block/page".into(),
+        format!("{}/{}", flash.blocks_per_plane, flash.pages_per_block),
+        "1024/384".into(),
+    ]);
+    t.row(vec![
+        "Z-NAND read/program".into(),
+        format!("{} / {}", znand.read, znand.program),
+        "3us / 100us (SLC)".into(),
+    ]);
+    t.row(vec![
+        "interface".into(),
+        format!("{} MT/s", znand.channel_mt_per_s),
+        "800 MT/s".into(),
+    ]);
+    t.row(vec![
+        "registers / io ports".into(),
+        format!(
+            "{} per plane / {} per package",
+            flash.registers_per_plane, flash.io_ports_per_package
+        ),
+        "8 per plane / 2 per package".into(),
+    ]);
+    t.row(vec![
+        "device capacity".into(),
+        format_bytes(flash.capacity_bytes() as usize),
+        "~800GB-class ZSSD".into(),
+    ]);
+
+    // Sanity assertions mirroring the paper.
+    assert_eq!(gpu.sms, 16);
+    assert_eq!(gpu.l2_total_bytes(), 6 << 20);
+    assert_eq!(stt.l2_total_bytes(), 24 << 20);
+    assert_eq!(flash.channels, 16);
+    assert_eq!(flash.pages_per_block, 384);
+
+    report(
+        "table1",
+        "System configuration of ZnG",
+        &t,
+        "all structural parameters match Table I exactly",
+    );
+}

@@ -1,0 +1,42 @@
+//! Table II: GPU benchmarks — specs plus the *measured* request-level
+//! read ratio of the synthesised traces (they must track the paper's
+//! column).
+
+use zng::{table2, trace_stats, Table};
+use zng_bench::{params_light, report};
+use zng_types::ids::AppId;
+use zng_workloads::generate;
+
+fn main() {
+    let params = params_light();
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "suite".into(),
+        "read ratio (paper)".into(),
+        "read ratio (traces)".into(),
+        "kernels".into(),
+    ]);
+    let mut worst = 0.0f64;
+    for spec in table2() {
+        let traces = generate(spec, AppId(0), &params);
+        let s = trace_stats(&traces);
+        worst = worst.max((s.read_ratio - spec.read_ratio).abs());
+        t.row(vec![
+            spec.name.into(),
+            format!("{:?}", spec.suite),
+            format!("{:.2}", spec.read_ratio),
+            format!("{:.2}", s.read_ratio),
+            spec.kernels.to_string(),
+        ]);
+    }
+    assert!(
+        worst < 0.10,
+        "trace read ratios must track Table II (worst gap {worst:.3})"
+    );
+    report(
+        "table2",
+        "GPU benchmarks",
+        &t,
+        "16 workloads; synthesised request-level read ratios match the paper's column",
+    );
+}

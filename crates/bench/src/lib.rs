@@ -1,0 +1,119 @@
+//! Shared helpers for the figure/table benches.
+//!
+//! Every bench binary regenerates one table or figure of the paper and
+//! prints it as an aligned text table; a JSON record is also written to
+//! `target/zng-results/<id>.json` so `EXPERIMENTS.md` can be refreshed
+//! from machine-readable output.
+//!
+//! Set `ZNG_QUICK=1` to run all benches with reduced trace volume
+//! (useful for smoke-testing the harness; the printed shapes are noisier).
+
+use std::fs;
+use std::path::PathBuf;
+
+use zng::{Table, TraceParams};
+
+/// The standard per-figure trace volume (reuse ≈ the paper's Fig. 5
+/// characterisation).
+pub fn params_standard() -> TraceParams {
+    if quick() {
+        TraceParams {
+            total_warps: 64,
+            mem_ops_per_warp: 300,
+            footprint_pages: 1024,
+            seed: 42,
+        }
+    } else {
+        TraceParams {
+            total_warps: 128,
+            mem_ops_per_warp: 1300,
+            footprint_pages: 4096,
+            seed: 42,
+        }
+    }
+}
+
+/// A lighter volume for many-point sweeps (threshold/scalability grids).
+pub fn params_light() -> TraceParams {
+    if quick() {
+        TraceParams {
+            total_warps: 32,
+            mem_ops_per_warp: 200,
+            footprint_pages: 512,
+            seed: 42,
+        }
+    } else {
+        TraceParams {
+            total_warps: 128,
+            mem_ops_per_warp: 650,
+            footprint_pages: 2048,
+            seed: 42,
+        }
+    }
+}
+
+/// Whether `ZNG_QUICK=1` smoke-test mode is on.
+pub fn quick() -> bool {
+    std::env::var_os("ZNG_QUICK").is_some()
+}
+
+/// Prints the table under the figure's title and saves a JSON record.
+pub fn report(id: &str, title: &str, table: &Table, paper_expectation: &str) {
+    table.print(&format!("{id}: {title}"));
+    println!("paper: {paper_expectation}");
+    save_json(id, title, table, paper_expectation);
+}
+
+fn save_json(id: &str, title: &str, table: &Table, paper: &str) {
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let record = serde_json::json!({
+        "id": id,
+        "title": title,
+        "paper_expectation": paper,
+        "rendered": table.render(),
+        "quick_mode": quick(),
+    });
+    let _ = fs::write(
+        dir.join(format!("{id}.json")),
+        serde_json::to_string_pretty(&record).unwrap_or_default(),
+    );
+}
+
+/// Directory where benches drop their JSON records
+/// (`<workspace>/target/zng-results`).
+pub fn results_dir() -> PathBuf {
+    // Cargo runs bench binaries with cwd = the package directory
+    // (crates/bench), so anchor on the manifest and walk up to the
+    // workspace root.
+    let mut dir = if let Some(t) = std::env::var_os("CARGO_TARGET_DIR") {
+        PathBuf::from(t)
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("target")
+    };
+    dir.push("zng-results");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_are_sane() {
+        let p = params_standard();
+        assert!(p.total_warps > 0 && p.footprint_pages > 0);
+        let l = params_light();
+        assert!(l.mem_ops_per_warp <= p.mem_ops_per_warp);
+    }
+
+    #[test]
+    fn results_dir_is_under_target() {
+        assert!(results_dir().to_string_lossy().contains("target"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Flash-block state machine: erase-before-write and in-order programming.
+
+use serde::{Deserialize, Serialize};
+use zng_types::{Error, Result};
+
+/// What a block is currently used for.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Erased and unused.
+    #[default]
+    Free,
+    /// A physical data block (read-only sequential pages, DBMT-mapped).
+    Data,
+    /// A physical log block (over-provisioned, LPMT-remapped writes).
+    Log,
+}
+
+/// One flash block: a fixed number of pages that must be programmed
+/// strictly in order and can only be reused after a whole-block erase
+/// (paper §II-B).
+///
+/// # Examples
+///
+/// ```
+/// use zng_flash::{Block, BlockKind};
+///
+/// let mut b = Block::new(4);
+/// b.set_kind(BlockKind::Data);
+/// assert_eq!(b.program_next()?, 0);
+/// assert_eq!(b.program_next()?, 1);
+/// b.invalidate(0);
+/// assert_eq!(b.valid_pages(), 1);
+/// b.invalidate(1);
+/// b.erase()?;
+/// assert_eq!(b.kind(), BlockKind::Free);
+/// # Ok::<(), zng_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    pages: u32,
+    kind: BlockKind,
+    /// In-order program pointer: next free page index.
+    next_page: u32,
+    /// Validity bitmap, one bit per page.
+    valid: Vec<u64>,
+    valid_count: u32,
+    erase_count: u32,
+}
+
+impl Block {
+    /// Creates a free, erased block with `pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn new(pages: u32) -> Block {
+        assert!(pages > 0, "a block needs at least one page");
+        Block {
+            pages,
+            kind: BlockKind::Free,
+            next_page: 0,
+            valid: vec![0; (pages as usize + 63) / 64],
+            valid_count: 0,
+            erase_count: 0,
+        }
+    }
+
+    /// Programs the next in-order page; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FlashProtocol`] when the block is full — callers
+    /// must erase (after GC) before reusing it.
+    pub fn program_next(&mut self) -> Result<u32> {
+        if self.next_page >= self.pages {
+            return Err(Error::FlashProtocol(format!(
+                "block is full ({} pages programmed); erase before reuse",
+                self.pages
+            )));
+        }
+        let page = self.next_page;
+        self.next_page += 1;
+        self.valid[(page / 64) as usize] |= 1 << (page % 64);
+        self.valid_count += 1;
+        Ok(page)
+    }
+
+    /// Marks `page` invalid (superseded by a newer version elsewhere).
+    ///
+    /// Invalidating an unprogrammed or already-invalid page is a no-op.
+    pub fn invalidate(&mut self, page: u32) {
+        if page >= self.pages {
+            return;
+        }
+        let (w, b) = ((page / 64) as usize, page % 64);
+        if self.valid[w] & (1 << b) != 0 {
+            self.valid[w] &= !(1 << b);
+            self.valid_count -= 1;
+        }
+    }
+
+    /// Whether `page` has been programmed and not superseded.
+    pub fn is_valid(&self, page: u32) -> bool {
+        page < self.pages && self.valid[(page / 64) as usize] & (1 << (page % 64)) != 0
+    }
+
+    /// Whether `page` has been programmed (valid or stale).
+    pub fn is_programmed(&self, page: u32) -> bool {
+        page < self.next_page
+    }
+
+    /// Erases the block, returning it to [`BlockKind::Free`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FlashProtocol`] if valid pages remain: GC must
+    /// migrate them first (erasing live data is a simulator-logic bug a
+    /// caller can trigger, so it is an error, not a panic).
+    pub fn erase(&mut self) -> Result<()> {
+        if self.valid_count > 0 {
+            return Err(Error::FlashProtocol(format!(
+                "erasing block with {} valid pages",
+                self.valid_count
+            )));
+        }
+        self.kind = BlockKind::Free;
+        self.next_page = 0;
+        self.valid.iter_mut().for_each(|w| *w = 0);
+        self.erase_count += 1;
+        Ok(())
+    }
+
+    /// Sets the block's role (done by the FTL when allocating).
+    pub fn set_kind(&mut self, kind: BlockKind) {
+        self.kind = kind;
+    }
+
+    /// Current role.
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    /// Number of valid pages.
+    pub fn valid_pages(&self) -> u32 {
+        self.valid_count
+    }
+
+    /// Number of programmed pages (valid + stale).
+    pub fn programmed_pages(&self) -> u32 {
+        self.next_page
+    }
+
+    /// Remaining free (unprogrammed) pages.
+    pub fn free_pages(&self) -> u32 {
+        self.pages - self.next_page
+    }
+
+    /// Whether every page has been programmed.
+    pub fn is_full(&self) -> bool {
+        self.next_page == self.pages
+    }
+
+    /// Lifetime erase count (wear-levelling input).
+    pub fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// Total pages in the block.
+    pub fn pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// Iterates indices of currently valid pages.
+    pub fn valid_page_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.next_page).filter(move |&p| self.is_valid(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_in_order() {
+        let mut b = Block::new(3);
+        assert_eq!(b.program_next().unwrap(), 0);
+        assert_eq!(b.program_next().unwrap(), 1);
+        assert_eq!(b.program_next().unwrap(), 2);
+        assert!(b.is_full());
+        assert!(matches!(b.program_next(), Err(Error::FlashProtocol(_))));
+    }
+
+    #[test]
+    fn validity_tracking() {
+        let mut b = Block::new(128);
+        for _ in 0..100 {
+            b.program_next().unwrap();
+        }
+        assert_eq!(b.valid_pages(), 100);
+        b.invalidate(5);
+        b.invalidate(64); // second bitmap word
+        b.invalidate(5); // double-invalidate is a no-op
+        b.invalidate(1_000); // out of range is a no-op
+        assert_eq!(b.valid_pages(), 98);
+        assert!(!b.is_valid(5));
+        assert!(b.is_programmed(5));
+        assert!(b.is_valid(6));
+        assert!(!b.is_valid(100)); // programmed? no
+        assert!(!b.is_programmed(100));
+    }
+
+    #[test]
+    fn erase_requires_no_valid_pages() {
+        let mut b = Block::new(2);
+        b.set_kind(BlockKind::Log);
+        b.program_next().unwrap();
+        assert!(b.erase().is_err());
+        b.invalidate(0);
+        b.erase().unwrap();
+        assert_eq!(b.kind(), BlockKind::Free);
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.free_pages(), 2);
+        // Reusable after erase.
+        assert_eq!(b.program_next().unwrap(), 0);
+    }
+
+    #[test]
+    fn valid_page_indices_iterates_survivors() {
+        let mut b = Block::new(8);
+        for _ in 0..5 {
+            b.program_next().unwrap();
+        }
+        b.invalidate(1);
+        b.invalidate(3);
+        let live: Vec<u32> = b.valid_page_indices().collect();
+        assert_eq!(live, vec![0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_pages_rejected() {
+        let _ = Block::new(0);
+    }
+}

@@ -1,0 +1,200 @@
+//! The programmable row decoder holding a log block's LPMT (paper §IV-A).
+//!
+//! ZnG stores each physical log block's **log page mapping table** inside
+//! the plane's row decoder, implemented as a content-addressable memory:
+//! a lookup applies the page index to the `A`/`A'` bitlines and discharges
+//! the matching wordline (two clock phases); a write programs the mapping
+//! cells of the next free page's row. Because Z-NAND programs in order,
+//! a single register tracks the next free page.
+
+use std::collections::HashMap;
+
+use zng_types::{Cycle, Error, Result};
+
+/// CAM search cost: two phases (precharge + match) of the decoder clock.
+pub const CAM_SEARCH_CYCLES: Cycle = Cycle(2);
+
+/// One log block's programmable row decoder.
+///
+/// Keys are *logical page ids* — the caller encodes (data block, page
+/// index) into a `u64`; several data blocks share one log block
+/// (paper §IV-A, LBMT).
+///
+/// # Examples
+///
+/// ```
+/// use zng_flash::RowDecoder;
+///
+/// let mut dec = RowDecoder::new(4);
+/// let slot = dec.record(0xAB)?;
+/// assert_eq!(slot, 0);
+/// assert_eq!(dec.lookup(0xAB), Some(0));
+/// assert_eq!(dec.lookup(0xCD), None);
+/// # Ok::<(), zng_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RowDecoder {
+    /// logical page id -> physical page within the log block.
+    map: HashMap<u64, u32>,
+    /// In-order next-free-page register.
+    next_free: u32,
+    /// Wordlines (= pages in the log block).
+    pages: u32,
+    /// Lookups served (CAM activations).
+    searches: u64,
+    /// Mappings superseded (stale log pages created).
+    superseded: u64,
+}
+
+impl RowDecoder {
+    /// Creates a decoder for a log block with `pages` wordlines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn new(pages: u32) -> RowDecoder {
+        assert!(pages > 0, "row decoder needs at least one wordline");
+        RowDecoder {
+            map: HashMap::new(),
+            next_free: 0,
+            pages,
+            searches: 0,
+            superseded: 0,
+        }
+    }
+
+    /// CAM search: returns the physical log page holding `logical_page`,
+    /// if any.
+    pub fn lookup(&mut self, logical_page: u64) -> Option<u32> {
+        self.searches += 1;
+        self.map.get(&logical_page).copied()
+    }
+
+    /// Records a write of `logical_page` into the next free log page and
+    /// returns that page's index. A previous mapping for the same logical
+    /// page becomes stale (counted in [`RowDecoder::stale`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FlashProtocol`] when the log block is full —
+    /// the GC helper thread must merge it.
+    pub fn record(&mut self, logical_page: u64) -> Result<u32> {
+        if self.next_free >= self.pages {
+            return Err(Error::FlashProtocol(
+                "log block full: garbage collection required".to_string(),
+            ));
+        }
+        let slot = self.next_free;
+        self.next_free += 1;
+        if self.map.insert(logical_page, slot).is_some() {
+            self.superseded += 1;
+        }
+        Ok(slot)
+    }
+
+    /// Whether no free log pages remain.
+    pub fn is_full(&self) -> bool {
+        self.next_free >= self.pages
+    }
+
+    /// Free log pages remaining.
+    pub fn free_pages(&self) -> u32 {
+        self.pages - self.next_free
+    }
+
+    /// Live mappings (logical page -> log page), sorted by logical page
+    /// for deterministic GC merges.
+    pub fn mappings(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<_> = self.map.iter().map(|(&k, &p)| (k, p)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of live (non-superseded) mappings.
+    pub fn live(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Stale log pages (superseded mappings).
+    pub fn stale(&self) -> u64 {
+        self.superseded
+    }
+
+    /// CAM activations performed.
+    pub fn searches(&self) -> u64 {
+        self.searches
+    }
+
+    /// Clears all mappings after the log block is erased.
+    pub fn reset(&mut self) {
+        self.map.clear();
+        self.next_free = 0;
+        self.superseded = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_allocation() {
+        let mut d = RowDecoder::new(3);
+        assert_eq!(d.record(10).unwrap(), 0);
+        assert_eq!(d.record(20).unwrap(), 1);
+        assert_eq!(d.record(30).unwrap(), 2);
+        assert!(d.is_full());
+        assert!(matches!(d.record(40), Err(Error::FlashProtocol(_))));
+    }
+
+    #[test]
+    fn rewrite_supersedes_old_mapping() {
+        let mut d = RowDecoder::new(4);
+        d.record(10).unwrap(); // slot 0
+        d.record(10).unwrap(); // slot 1 supersedes slot 0
+        assert_eq!(d.lookup(10), Some(1));
+        assert_eq!(d.stale(), 1);
+        assert_eq!(d.live(), 1);
+        assert_eq!(d.free_pages(), 2);
+    }
+
+    #[test]
+    fn lookup_counts_searches() {
+        let mut d = RowDecoder::new(2);
+        d.lookup(1);
+        d.lookup(2);
+        assert_eq!(d.searches(), 2);
+        assert_eq!(d.lookup(1), None);
+    }
+
+    #[test]
+    fn mappings_sorted_for_gc() {
+        let mut d = RowDecoder::new(8);
+        for k in [5u64, 1, 9, 3] {
+            d.record(k).unwrap();
+        }
+        let m = d.mappings();
+        assert_eq!(
+            m,
+            vec![(1, 1), (3, 3), (5, 0), (9, 2)],
+        );
+    }
+
+    #[test]
+    fn reset_after_erase() {
+        let mut d = RowDecoder::new(2);
+        d.record(1).unwrap();
+        d.record(2).unwrap();
+        d.reset();
+        assert!(!d.is_full());
+        assert_eq!(d.live(), 0);
+        assert_eq!(d.lookup(1), None);
+        assert_eq!(d.record(3).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wordline")]
+    fn zero_pages_rejected() {
+        let _ = RowDecoder::new(0);
+    }
+}

@@ -1,0 +1,477 @@
+//! The flash-device facade: packages + network + statistics.
+//!
+//! [`FlashDevice`] is what FTLs and platforms drive. It owns one package
+//! per channel (Table I), the flash network, and the per-page statistics
+//! behind Figures 11–13. Two canonical configurations:
+//!
+//! * [`FlashDevice::hybrid_config`] — ONFI bus network, private per-plane
+//!   registers (the HybridGPU SSD module).
+//! * [`FlashDevice::zng_config`] — 8 B mesh network, grouped registers
+//!   with a selectable interconnect (ZnG).
+
+use zng_types::{ids::ChannelId, BlockAddr, Cycle, FlashAddr, Freq, Result};
+
+use crate::block::Block;
+use crate::geometry::FlashGeometry;
+use crate::network::FlashNetwork;
+use crate::package::{BufferedWrite, FlashPackage, PendingProgram, RegisterTopology};
+use crate::stats::FlashStats;
+use crate::timing::{FlashCycles, FlashTiming};
+
+/// A device-global logical page identity used for register lookups and
+/// re-access/redundancy statistics.
+pub type PageKey = u64;
+
+/// Device-wide wear/endurance summary (paper §VI, Z-NAND lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnduranceReport {
+    /// Erase operations across the whole device.
+    pub total_erases: u64,
+    /// Erases endured by the worst-worn block.
+    pub max_block_erases: u32,
+    /// Blocks erased at least once.
+    pub worn_blocks: u64,
+    /// The media's program/erase endurance (Z-NAND: 100 000).
+    pub pe_limit: u32,
+}
+
+impl EnduranceReport {
+    /// Fraction of the worst block's endurance consumed (0.0-1.0).
+    pub fn worst_wear_fraction(&self) -> f64 {
+        self.max_block_erases as f64 / self.pe_limit as f64
+    }
+
+    /// Wear-levelling quality: mean erases per worn block divided by the
+    /// worst block's erases (1.0 = perfectly even).
+    pub fn evenness(&self) -> f64 {
+        if self.max_block_erases == 0 || self.worn_blocks == 0 {
+            return 1.0;
+        }
+        (self.total_erases as f64 / self.worn_blocks as f64)
+            / self.max_block_erases as f64
+    }
+}
+
+/// The assembled Z-NAND device.
+#[derive(Debug, Clone)]
+pub struct FlashDevice {
+    geometry: FlashGeometry,
+    cycles: FlashCycles,
+    packages: Vec<FlashPackage>,
+    network: FlashNetwork,
+    stats: FlashStats,
+}
+
+impl FlashDevice {
+    /// Builds a device with an explicit network and register topology.
+    pub fn new(
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        freq: Freq,
+        network: FlashNetwork,
+        registers: RegisterTopology,
+    ) -> Result<FlashDevice> {
+        geometry.validate()?;
+        let cycles = timing.to_cycles(freq);
+        let packages = (0..geometry.channels)
+            .map(|ch| {
+                FlashPackage::new(
+                    ChannelId(ch as u16),
+                    geometry.dies_per_package,
+                    geometry.planes_per_die,
+                    geometry.blocks_per_plane as u32,
+                    geometry.pages_per_block as u32,
+                    geometry.page_bytes,
+                    geometry.registers_per_plane,
+                    geometry.io_ports_per_package,
+                    cycles,
+                    registers,
+                )
+            })
+            .collect();
+        Ok(FlashDevice {
+            geometry,
+            cycles,
+            packages,
+            network,
+            stats: FlashStats::new(),
+        })
+    }
+
+    /// The HybridGPU-style device: 1 B ONFI bus, private registers.
+    pub fn hybrid_config(geometry: FlashGeometry, freq: Freq) -> Result<FlashDevice> {
+        geometry.validate()?;
+        let timing = FlashTiming::znand();
+        let net = FlashNetwork::bus(geometry.channels, timing.to_cycles(freq).channel_bytes_per_cycle);
+        FlashDevice::new(geometry, timing, freq, net, RegisterTopology::Private)
+    }
+
+    /// The ZnG device: 8 B mesh, grouped registers with interconnect
+    /// `registers` (Table I: HW-NiF, 8 B width).
+    pub fn zng_config(
+        geometry: FlashGeometry,
+        freq: Freq,
+        registers: RegisterTopology,
+    ) -> Result<FlashDevice> {
+        geometry.validate()?;
+        let net = FlashNetwork::mesh(geometry.channels, 8.0, Cycle(2));
+        FlashDevice::new(geometry, FlashTiming::znand(), freq, net, registers)
+    }
+
+    fn plane_idx(&self, addr: BlockAddr) -> usize {
+        self.packages[addr.channel.index()]
+            .plane_index(addr.die.index(), addr.plane.index())
+    }
+
+    /// Reads logical page `key` stored at `addr`, delivering
+    /// `transfer_bytes` to the requesting controller.
+    ///
+    /// The whole 4 KB page is always sensed from the array (the
+    /// granularity mismatch of §III-A); `transfer_bytes` controls how much
+    /// crosses the flash network — 128 B for an unbuffered sector read,
+    /// 4 KB when the L2 buffers the page (rdopt).
+    ///
+    /// If a flash register already holds `key` (a recently written page),
+    /// the read is served from the register without an array access.
+    ///
+    /// # Errors
+    ///
+    /// Flash protocol errors (unprogrammed page, bad address).
+    pub fn read(
+        &mut self,
+        now: Cycle,
+        addr: FlashAddr,
+        key: PageKey,
+        transfer_bytes: usize,
+    ) -> Result<Cycle> {
+        let ch = addr.block.channel;
+        let pkg = &mut self.packages[ch.index()];
+        if pkg.register_holds(key) {
+            let at_pins = pkg.read_from_register(now, transfer_bytes);
+            return Ok(self.network.transfer(at_pins, ch, transfer_bytes));
+        }
+        let plane_idx = self.plane_idx(addr.block);
+        let pkg = &mut self.packages[ch.index()];
+        let (at_pins, sensed) =
+            pkg.read_page_from_array(now, plane_idx, addr.block.block, addr.page)?;
+        if sensed {
+            self.stats.record_read(key, self.geometry.page_bytes);
+        }
+        Ok(self.network.transfer(at_pins, ch, transfer_bytes))
+    }
+
+    /// Serves `transfer_bytes` of logical page `key` from channel `ch`'s
+    /// flash registers, if a register currently holds it.
+    pub fn read_from_register_if_held(
+        &mut self,
+        now: Cycle,
+        ch: ChannelId,
+        key: PageKey,
+        transfer_bytes: usize,
+    ) -> Option<Cycle> {
+        let pkg = &mut self.packages[ch.index()];
+        if !pkg.register_holds(key) {
+            return None;
+        }
+        let at_pins = pkg.read_from_register(now, transfer_bytes);
+        Some(self.network.transfer(at_pins, ch, transfer_bytes))
+    }
+
+    /// Programs a full page of logical page `key` into the next in-order
+    /// page of `block`, streaming the data across the network first.
+    ///
+    /// # Errors
+    ///
+    /// Flash protocol errors (full block).
+    pub fn program(&mut self, now: Cycle, block: BlockAddr, key: PageKey) -> Result<(u32, Cycle)> {
+        let ch = block.channel;
+        let arrived = self.network.transfer(now, ch, self.geometry.page_bytes);
+        let plane_idx = self.plane_idx(block);
+        let pkg = &mut self.packages[ch.index()];
+        let (page, done) = pkg.program_page(arrived, plane_idx, block.block)?;
+        self.stats.record_program(key, self.geometry.page_bytes);
+        Ok((page, done))
+    }
+
+    /// Programs a page as part of a GC migration: same mechanics as
+    /// [`FlashDevice::program`], but counted as migration traffic rather
+    /// than demand write redundancy.
+    ///
+    /// # Errors
+    ///
+    /// Flash protocol errors (full block).
+    pub fn program_migrate(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+    ) -> Result<(u32, Cycle)> {
+        let ch = block.channel;
+        let arrived = self.network.transfer(now, ch, self.geometry.page_bytes);
+        let plane_idx = self.plane_idx(block);
+        let pkg = &mut self.packages[ch.index()];
+        let (page, done) = pkg.program_page(arrived, plane_idx, block.block)?;
+        self.stats.record_migration_program(self.geometry.page_bytes);
+        Ok((page, done))
+    }
+
+    /// Programs a register-evicted page (data already inside the package).
+    ///
+    /// # Errors
+    ///
+    /// Flash protocol errors (full block).
+    pub fn program_evicted(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+        key: PageKey,
+    ) -> Result<(u32, Cycle)> {
+        let plane_idx = self.plane_idx(block);
+        let pkg = &mut self.packages[block.channel.index()];
+        let (page, done) = pkg.program_page_internal(now, plane_idx, block.block)?;
+        self.stats.record_program(key, self.geometry.page_bytes);
+        Ok((page, done))
+    }
+
+    /// Submits a 128 B sector write of `key` (homed at `home`) to the
+    /// flash registers of the home package (wropt write path).
+    pub fn buffered_write(&mut self, now: Cycle, key: PageKey, home: BlockAddr) -> BufferedWrite {
+        let ch = home.channel;
+        let arrived = self.network.transfer(now, ch, 128);
+        let plane_idx = self.plane_idx(home);
+        let pkg = &mut self.packages[ch.index()];
+        pkg.buffered_write(arrived, key, plane_idx, 128, &mut self.network)
+    }
+
+    /// Erases `block`.
+    ///
+    /// # Errors
+    ///
+    /// Flash protocol errors (valid pages remain).
+    pub fn erase(&mut self, now: Cycle, block: BlockAddr) -> Result<Cycle> {
+        let plane_idx = self.plane_idx(block);
+        self.packages[block.channel.index()].erase_block(now, plane_idx, block.block)
+    }
+
+    /// Marks a page stale (superseded by a newer program elsewhere).
+    pub fn invalidate(&mut self, addr: FlashAddr) {
+        let plane_idx = self.plane_idx(addr.block);
+        if let Ok(b) = self.packages[addr.block.channel.index()]
+            .plane_mut(plane_idx)
+            .block_mut(addr.block.block)
+        {
+            b.invalidate(addr.page);
+        }
+    }
+
+    /// Shared access to a block's state, if it was ever touched.
+    pub fn block(&self, addr: BlockAddr) -> Option<&Block> {
+        let plane_idx = self.plane_idx(addr);
+        self.packages[addr.channel.index()]
+            .plane(plane_idx)
+            .block(addr.block)
+    }
+
+    /// Mutable access to a block's state (creates it erased).
+    ///
+    /// # Errors
+    ///
+    /// Returns an address error for an invalid block index.
+    pub fn block_mut(&mut self, addr: BlockAddr) -> Result<&mut Block> {
+        let plane_idx = self.plane_idx(addr);
+        self.packages[addr.channel.index()]
+            .plane_mut(plane_idx)
+            .block_mut(addr.block)
+    }
+
+    /// Drains the registers of `channel`'s package (GC flush).
+    pub fn flush_registers(&mut self, now: Cycle, channel: ChannelId) -> Vec<PendingProgram> {
+        let pkg = &mut self.packages[channel.index()];
+        pkg.flush_registers(now, &mut self.network)
+    }
+
+    /// Drops a stale register entry anywhere in the device.
+    pub fn discard_register(&mut self, channel: ChannelId, key: PageKey) -> bool {
+        self.packages[channel.index()].discard_register(key)
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// Media timing in cycles.
+    pub fn cycles(&self) -> FlashCycles {
+        self.cycles
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    /// The flash network (for utilization inspection).
+    pub fn network(&self) -> &FlashNetwork {
+        &self.network
+    }
+
+    /// One package by channel.
+    pub fn package(&self, ch: ChannelId) -> &FlashPackage {
+        &self.packages[ch.index()]
+    }
+
+    /// Cross-plane register migrations across all packages (Fig. 14
+    /// accounting).
+    pub fn total_migrations(&self) -> u64 {
+        self.packages.iter().map(|p| p.migrations()).sum()
+    }
+
+    /// Resets statistics (not media state).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Endurance summary across every block ever touched (paper §VI's
+    /// lifetime discussion): total erases, the worst-worn block, and how
+    /// evenly wear is spread.
+    pub fn endurance(&self) -> EnduranceReport {
+        let mut total = 0u64;
+        let mut max = 0u32;
+        let mut worn_blocks = 0u64;
+        for idx in 0..self.geometry.total_blocks() as u64 {
+            let addr = match self.geometry.block_for_index(idx) {
+                Ok(a) => a,
+                Err(_) => continue,
+            };
+            if let Some(b) = self.block(addr) {
+                let e = b.erase_count();
+                if e > 0 {
+                    worn_blocks += 1;
+                    total += e as u64;
+                    max = max.max(e);
+                }
+            }
+        }
+        EnduranceReport {
+            total_erases: total,
+            max_block_erases: max,
+            worn_blocks,
+            pe_limit: 100_000, // Z-NAND endurance (paper §II-B)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zng_types::ids::{DieId, PlaneId};
+
+    fn device() -> FlashDevice {
+        FlashDevice::zng_config(
+            FlashGeometry::tiny(),
+            Freq::default(),
+            RegisterTopology::NiF,
+        )
+        .unwrap()
+    }
+
+    fn block0() -> BlockAddr {
+        BlockAddr::new(ChannelId(0), DieId(0), PlaneId(0), 0)
+    }
+
+    #[test]
+    fn program_then_read_roundtrip() {
+        let mut d = device();
+        let (page, t_prog) = d.program(Cycle(0), block0(), 1).unwrap();
+        assert_eq!(page, 0);
+        assert!(t_prog >= Cycle(120_000));
+        let t_read = d.read(t_prog, block0().page(0), 1, 128).unwrap();
+        assert!(t_read > t_prog);
+        assert_eq!(d.stats().total_reads(), 1);
+        assert_eq!(d.stats().total_programs(), 1);
+    }
+
+    #[test]
+    fn read_unprogrammed_page_fails() {
+        let mut d = device();
+        assert!(d.read(Cycle(0), block0().page(3), 9, 128).is_err());
+    }
+
+    #[test]
+    fn register_hit_avoids_array_read() {
+        let mut d = device();
+        // Write key 77 into the registers of block0's home package.
+        d.buffered_write(Cycle(0), 77, block0());
+        let before = d.stats().total_reads();
+        // Read it back: register-served, page need not even exist on
+        // flash yet.
+        let t = d.read(Cycle(0), block0().page(0), 77, 128).unwrap();
+        assert!(t > Cycle(0));
+        assert_eq!(d.stats().total_reads(), before, "no array read");
+    }
+
+    #[test]
+    fn sector_vs_page_transfer_cost() {
+        let mut d = device();
+        d.program(Cycle(0), block0(), 1).unwrap();
+        let t_sector = d.read(Cycle(1_000_000), block0().page(0), 1, 128).unwrap();
+        let mut d2 = device();
+        d2.program(Cycle(0), block0(), 1).unwrap();
+        let t_page = d2.read(Cycle(1_000_000), block0().page(0), 1, 4096).unwrap();
+        assert!(t_page > t_sector, "4 KB network transfer costs more");
+    }
+
+    #[test]
+    fn erase_requires_dead_pages() {
+        let mut d = device();
+        d.program(Cycle(0), block0(), 5).unwrap();
+        assert!(d.erase(Cycle(0), block0()).is_err());
+        d.invalidate(block0().page(0));
+        assert!(d.erase(Cycle(0), block0()).is_ok());
+    }
+
+    #[test]
+    fn buffered_write_eventually_evicts() {
+        let mut d = device();
+        // tiny geometry: 2x2 planes, 4 regs/plane = 16 registers/package.
+        let mut evicted = 0;
+        for k in 0..40u64 {
+            let r = d.buffered_write(Cycle(0), k, block0());
+            if r.eviction.is_some() {
+                evicted += 1;
+            }
+        }
+        assert!(evicted > 0);
+    }
+
+    #[test]
+    fn register_if_held_serves_without_array() {
+        let mut d = device();
+        assert!(d
+            .read_from_register_if_held(Cycle(0), ChannelId(0), 42, 128)
+            .is_none());
+        d.buffered_write(Cycle(0), 42, block0());
+        let t = d
+            .read_from_register_if_held(Cycle(10), ChannelId(0), 42, 128)
+            .expect("register-held");
+        assert!(t > Cycle(10));
+        assert_eq!(d.stats().total_reads(), 0, "no array sense");
+    }
+
+    #[test]
+    fn migration_programs_do_not_count_as_demand_redundancy() {
+        let mut d = device();
+        d.program(Cycle(0), block0(), 7).unwrap();
+        let before_pages = d.stats().mean_programs_per_page();
+        let b1 = BlockAddr::new(ChannelId(1), DieId(0), PlaneId(0), 0);
+        d.program_migrate(Cycle(0), b1).unwrap();
+        assert_eq!(d.stats().mean_programs_per_page(), before_pages);
+        assert!(d.stats().bytes_programmed() >= 2 * 4096);
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let mut g = FlashGeometry::tiny();
+        g.channels = 0;
+        assert!(FlashDevice::zng_config(g, Freq::default(), RegisterTopology::NiF).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! A Z-NAND plane: the unit of array access.
+//!
+//! A plane owns its blocks (allocated lazily — the full Table I device has
+//! a million blocks, but workloads touch a small fraction) and its array
+//! timing. Programs and erases serialize on the array; reads run at
+//! *higher priority*: Z-NAND implements program/erase suspend-resume so
+//! that its 3 µs reads are not buried under 100 µs programs (this is the
+//! core of Z-SSD's low-latency design). Reads therefore serialize only
+//! against other reads, paying a small suspension overhead when they
+//! preempt a program.
+
+use std::collections::HashMap;
+
+use zng_sim::Resource;
+use zng_types::{Cycle, Error, Result};
+
+use crate::block::Block;
+use crate::timing::FlashCycles;
+
+/// Extra cycles a read pays to suspend an in-flight program/erase
+/// (~0.5 µs at the default clock).
+pub const SUSPEND_OVERHEAD: Cycle = Cycle(600);
+
+/// One flash plane.
+#[derive(Debug, Clone)]
+pub struct Plane {
+    blocks_per_plane: u32,
+    pages_per_block: u32,
+    timing: FlashCycles,
+    blocks: HashMap<u32, Block>,
+    /// Program/erase occupancy.
+    array: Resource,
+    /// Read occupancy (reads suspend programs, so they only queue behind
+    /// other reads).
+    read_port: Resource,
+    /// The page currently latched in the plane's cache register: repeat
+    /// reads of it stream out without re-sensing the array.
+    sensed: Option<(u32, u32)>,
+    /// When the latched page's sense completes.
+    sensed_at: Cycle,
+    reads: u64,
+    register_reads: u64,
+    programs: u64,
+    erases: u64,
+}
+
+impl Plane {
+    /// Creates a plane with the given dimensions and media timing.
+    pub fn new(blocks_per_plane: u32, pages_per_block: u32, timing: FlashCycles) -> Plane {
+        Plane {
+            blocks_per_plane,
+            pages_per_block,
+            timing,
+            blocks: HashMap::new(),
+            array: Resource::new(1),
+            read_port: Resource::new(1),
+            sensed: None,
+            sensed_at: Cycle::ZERO,
+            reads: 0,
+            register_reads: 0,
+            programs: 0,
+            erases: 0,
+        }
+    }
+
+    fn check_block(&self, block: u32) -> Result<()> {
+        if block >= self.blocks_per_plane {
+            return Err(Error::AddressOutOfRange {
+                addr: block as u64,
+                capacity: self.blocks_per_plane as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Mutable access to a block, creating it erased on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AddressOutOfRange`] for an invalid block index.
+    pub fn block_mut(&mut self, block: u32) -> Result<&mut Block> {
+        self.check_block(block)?;
+        let pages = self.pages_per_block;
+        Ok(self
+            .blocks
+            .entry(block)
+            .or_insert_with(|| Block::new(pages)))
+    }
+
+    /// Shared access to a block, if it has ever been touched.
+    pub fn block(&self, block: u32) -> Option<&Block> {
+        self.blocks.get(&block)
+    }
+
+    /// Senses one page from the array; returns sense-complete time.
+    ///
+    /// If the plane's cache register already latches this page (it was
+    /// the most recently sensed one), the data streams from the register
+    /// without occupying the array — `(time, false)` is returned and the
+    /// read is *not* an array access.
+    ///
+    /// # Errors
+    ///
+    /// Flash protocol: reading an unprogrammed page is rejected.
+    pub fn read_page(&mut self, now: Cycle, block: u32, page: u32) -> Result<Cycle> {
+        Ok(self.read_page_traced(now, block, page)?.0)
+    }
+
+    /// [`Plane::read_page`] variant reporting whether the array was
+    /// actually sensed (`true`) or the cache register served it
+    /// (`false`).
+    ///
+    /// # Errors
+    ///
+    /// Flash protocol: reading an unprogrammed page is rejected.
+    pub fn read_page_traced(
+        &mut self,
+        now: Cycle,
+        block: u32,
+        page: u32,
+    ) -> Result<(Cycle, bool)> {
+        self.check_block(block)?;
+        let programmed = self
+            .blocks
+            .get(&block)
+            .map(|b| b.is_programmed(page))
+            .unwrap_or(false);
+        if !programmed {
+            return Err(Error::FlashProtocol(format!(
+                "reading unprogrammed page {page} of block {block}"
+            )));
+        }
+        if self.sensed == Some((block, page)) {
+            self.register_reads += 1;
+            return Ok((now.max(self.sensed_at), false));
+        }
+        self.reads += 1;
+        // Reads preempt programs (suspend-resume): they serialize only
+        // against other reads, plus a fixed suspension overhead when a
+        // program/erase is in flight.
+        let suspend = if self.array.earliest_free() > now {
+            SUSPEND_OVERHEAD
+        } else {
+            Cycle::ZERO
+        };
+        let done = self.read_port.acquire(now, self.timing.read + suspend);
+        self.sensed = Some((block, page));
+        self.sensed_at = done;
+        Ok((done, true))
+    }
+
+    /// Programs the next in-order page of `block`; returns
+    /// `(page_index, program-complete time)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the block's protocol errors (full block).
+    pub fn program_next(&mut self, now: Cycle, block: u32) -> Result<(u32, Cycle)> {
+        let page = self.block_mut(block)?.program_next()?;
+        self.programs += 1;
+        // Programming reuses the cache register: the latched page is lost.
+        self.sensed = None;
+        let done = self.array.acquire(now, self.timing.program);
+        Ok((page, done))
+    }
+
+    /// Erases `block`; returns erase-complete time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the block's protocol errors (valid pages remain).
+    pub fn erase(&mut self, now: Cycle, block: u32) -> Result<Cycle> {
+        self.block_mut(block)?.erase()?;
+        self.erases += 1;
+        if matches!(self.sensed, Some((b, _)) if b == block) {
+            self.sensed = None;
+        }
+        Ok(self.array.acquire(now, self.timing.erase))
+    }
+
+    /// When the array next becomes idle.
+    pub fn array_free_at(&self) -> Cycle {
+        self.array.earliest_free()
+    }
+
+    /// Array reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Reads served from the cache register without an array sense.
+    pub fn register_reads(&self) -> u64 {
+        self.register_reads
+    }
+
+    /// Array programs performed.
+    pub fn programs(&self) -> u64 {
+        self.programs
+    }
+
+    /// Array erases performed.
+    pub fn erases(&self) -> u64 {
+        self.erases
+    }
+
+    /// The media timing this plane was built with.
+    pub fn timing(&self) -> FlashCycles {
+        self.timing
+    }
+
+    /// Pages per block.
+    pub fn pages_per_block(&self) -> u32 {
+        self.pages_per_block
+    }
+
+    /// Blocks in this plane.
+    pub fn blocks_per_plane(&self) -> u32 {
+        self.blocks_per_plane
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane() -> Plane {
+        Plane::new(8, 4, FlashCycles::default())
+    }
+
+    #[test]
+    fn read_requires_programmed_page() {
+        let mut p = plane();
+        assert!(matches!(
+            p.read_page(Cycle(0), 0, 0),
+            Err(Error::FlashProtocol(_))
+        ));
+        p.program_next(Cycle(0), 0).unwrap();
+        assert!(p.read_page(Cycle(0), 0, 0).is_ok());
+        assert_eq!(p.reads(), 1);
+    }
+
+    #[test]
+    fn reads_suspend_programs() {
+        let mut p = plane();
+        let (_, t1) = p.program_next(Cycle(0), 0).unwrap();
+        assert_eq!(t1, Cycle(120_000)); // 100us program
+        // A read issued at t=0 suspends the program instead of waiting
+        // for it: sense time + suspension overhead.
+        let t2 = p.read_page(Cycle(0), 0, 0).unwrap();
+        assert_eq!(t2, Cycle(3_600) + SUSPEND_OVERHEAD);
+        // With the array idle, reads pay no suspension overhead.
+        let t3 = p.read_page(Cycle(200_000), 1, 0);
+        assert!(t3.is_err(), "block 1 page 0 unprogrammed");
+        p.program_next(Cycle(200_000), 1).unwrap();
+        let t4 = p.read_page(Cycle(500_000), 1, 0).unwrap();
+        assert_eq!(t4, Cycle(500_000 + 3_600));
+    }
+
+    #[test]
+    fn programs_serialize_on_array() {
+        let mut p = plane();
+        let (_, t1) = p.program_next(Cycle(0), 0).unwrap();
+        let (_, t2) = p.program_next(Cycle(0), 0).unwrap();
+        assert_eq!(t1, Cycle(120_000));
+        assert_eq!(t2, Cycle(240_000));
+    }
+
+    #[test]
+    fn program_erase_cycle() {
+        let mut p = plane();
+        for _ in 0..4 {
+            p.program_next(Cycle(0), 1).unwrap();
+        }
+        assert!(p.program_next(Cycle(0), 1).is_err());
+        for pg in 0..4 {
+            p.block_mut(1).unwrap().invalidate(pg);
+        }
+        let t = p.erase(Cycle(0), 1).unwrap();
+        assert!(t >= Cycle(1_200_000));
+        assert_eq!(p.erases(), 1);
+        // Block usable again.
+        assert!(p.program_next(Cycle(0), 1).is_ok());
+    }
+
+    #[test]
+    fn block_bounds_checked() {
+        let mut p = plane();
+        assert!(matches!(
+            p.read_page(Cycle(0), 99, 0),
+            Err(Error::AddressOutOfRange { .. })
+        ));
+        assert!(p.block_mut(99).is_err());
+        assert!(p.block(99).is_none());
+    }
+
+    #[test]
+    fn lazy_blocks() {
+        let mut p = plane();
+        assert!(p.block(3).is_none());
+        p.block_mut(3).unwrap();
+        assert!(p.block(3).is_some());
+    }
+}

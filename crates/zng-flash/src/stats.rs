@@ -1,0 +1,171 @@
+//! Device-level flash statistics behind Figures 5b/5c, 11, 12 and 13.
+
+use std::collections::HashMap;
+
+use zng_types::{Cycle, Freq};
+
+/// Per-logical-page access accounting plus aggregate byte counters.
+///
+/// * **read re-access** (Fig. 5b / Fig. 12) — average number of array
+///   reads per distinct logical page; buffering (L2, registers) reduces
+///   it.
+/// * **write redundancy** (Fig. 5c / Fig. 13) — average number of array
+///   programs per distinct logical page; register merging reduces it.
+/// * **array bandwidth** (Fig. 11) — bytes sensed/programmed over time.
+#[derive(Debug, Clone, Default)]
+pub struct FlashStats {
+    page_reads: HashMap<u64, u32>,
+    page_programs: HashMap<u64, u32>,
+    bytes_read: u64,
+    bytes_programmed: u64,
+}
+
+impl FlashStats {
+    /// Creates empty statistics.
+    pub fn new() -> FlashStats {
+        FlashStats::default()
+    }
+
+    /// Records one array read of logical page `key` moving `bytes`.
+    pub fn record_read(&mut self, key: u64, bytes: usize) {
+        *self.page_reads.entry(key).or_insert(0) += 1;
+        self.bytes_read += bytes as u64;
+    }
+
+    /// Records one array program of logical page `key` moving `bytes`.
+    pub fn record_program(&mut self, key: u64, bytes: usize) {
+        *self.page_programs.entry(key).or_insert(0) += 1;
+        self.bytes_programmed += bytes as u64;
+    }
+
+    /// Records a GC-migration program: it consumes array bandwidth but is
+    /// not *demand* write redundancy (the paper's Fig. 13 metric counts
+    /// how often the same page is written by the workload).
+    pub fn record_migration_program(&mut self, bytes: usize) {
+        self.bytes_programmed += bytes as u64;
+    }
+
+    /// Average array reads per distinct page (paper's "read re-access").
+    pub fn mean_reads_per_page(&self) -> f64 {
+        if self.page_reads.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.page_reads.values().map(|&c| c as u64).sum();
+        total as f64 / self.page_reads.len() as f64
+    }
+
+    /// Average array programs per distinct page ("write redundancy").
+    pub fn mean_programs_per_page(&self) -> f64 {
+        if self.page_programs.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.page_programs.values().map(|&c| c as u64).sum();
+        total as f64 / self.page_programs.len() as f64
+    }
+
+    /// Total array reads.
+    pub fn total_reads(&self) -> u64 {
+        self.page_reads.values().map(|&c| c as u64).sum()
+    }
+
+    /// Total array programs.
+    pub fn total_programs(&self) -> u64 {
+        self.page_programs.values().map(|&c| c as u64).sum()
+    }
+
+    /// Distinct pages read at least once.
+    pub fn distinct_pages_read(&self) -> usize {
+        self.page_reads.len()
+    }
+
+    /// Distinct pages programmed at least once.
+    pub fn distinct_pages_programmed(&self) -> usize {
+        self.page_programs.len()
+    }
+
+    /// Bytes sensed from flash arrays.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Bytes programmed into flash arrays.
+    pub fn bytes_programmed(&self) -> u64 {
+        self.bytes_programmed
+    }
+
+    /// Flash-array bandwidth achieved over the window `[0, now]` in GB/s
+    /// (the Fig. 11 metric).
+    pub fn array_gbps(&self, now: Cycle, freq: Freq) -> f64 {
+        if now == Cycle::ZERO {
+            return 0.0;
+        }
+        let secs = now.raw() as f64 / freq.hz();
+        (self.bytes_read + self.bytes_programmed) as f64 / 1e9 / secs
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.page_reads.clear();
+        self.page_programs.clear();
+        self.bytes_read = 0;
+        self.bytes_programmed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = FlashStats::new();
+        assert_eq!(s.mean_reads_per_page(), 0.0);
+        assert_eq!(s.mean_programs_per_page(), 0.0);
+        assert_eq!(s.array_gbps(Cycle::ZERO, Freq::default()), 0.0);
+    }
+
+    #[test]
+    fn reaccess_is_mean_reads_per_distinct_page() {
+        let mut s = FlashStats::new();
+        for _ in 0..10 {
+            s.record_read(1, 4096);
+        }
+        s.record_read(2, 4096);
+        s.record_read(3, 4096);
+        // 12 reads over 3 pages = 4.0 mean.
+        assert!((s.mean_reads_per_page() - 4.0).abs() < 1e-12);
+        assert_eq!(s.total_reads(), 12);
+        assert_eq!(s.distinct_pages_read(), 3);
+        assert_eq!(s.bytes_read(), 12 * 4096);
+    }
+
+    #[test]
+    fn write_redundancy_counts_programs() {
+        let mut s = FlashStats::new();
+        for _ in 0..5 {
+            s.record_program(7, 4096);
+        }
+        assert!((s.mean_programs_per_page() - 5.0).abs() < 1e-12);
+        assert_eq!(s.distinct_pages_programmed(), 1);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let mut s = FlashStats::new();
+        s.record_read(1, 1_000_000_000); // 1 GB
+        let f = Freq::ghz(1.0);
+        // 1 GB in 1e9 cycles at 1 GHz = 1 second -> 1 GB/s.
+        assert!((s.array_gbps(Cycle(1_000_000_000), f) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = FlashStats::new();
+        s.record_read(1, 10);
+        s.record_program(1, 10);
+        s.reset();
+        assert_eq!(s.total_reads(), 0);
+        assert_eq!(s.total_programs(), 0);
+        assert_eq!(s.bytes_programmed(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Flash media timing (Z-NAND SLC vs. TLC V-NAND) and ONFI channel rates.
+
+use serde::{Deserialize, Serialize};
+use zng_types::{Cycle, Freq, Nanos};
+
+/// Raw media timing parameters in wall-clock units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashTiming {
+    /// Media name for reports.
+    pub name: &'static str,
+    /// Page read (sense) latency.
+    pub read: Nanos,
+    /// Page program latency.
+    pub program: Nanos,
+    /// Block erase latency.
+    pub erase: Nanos,
+    /// Program/erase endurance cycles.
+    pub pe_cycles: u32,
+    /// ONFI channel transfer rate in MT/s (1 byte per transfer).
+    pub channel_mt_per_s: f64,
+}
+
+impl FlashTiming {
+    /// Z-NAND (paper §II-B): 3 µs read, 100 µs program, SLC,
+    /// 100 000 P/E cycles, 800 MT/s interface.
+    pub fn znand() -> FlashTiming {
+        FlashTiming {
+            name: "Z-NAND",
+            read: Nanos::from_micros(3.0),
+            program: Nanos::from_micros(100.0),
+            erase: Nanos::from_micros(1_000.0),
+            pe_cycles: 100_000,
+            channel_mt_per_s: 800.0,
+        }
+    }
+
+    /// State-of-the-art TLC V-NAND reference: 17× slower reads,
+    /// 6× slower programs, ~7 000 P/E cycles (paper §II-B).
+    pub fn vnand_tlc() -> FlashTiming {
+        FlashTiming {
+            name: "V-NAND-TLC",
+            read: Nanos::from_micros(3.0 * 17.0),
+            program: Nanos::from_micros(100.0 * 6.0),
+            erase: Nanos::from_micros(3_500.0),
+            pe_cycles: 7_000,
+            channel_mt_per_s: 800.0,
+        }
+    }
+
+    /// Converts to GPU-cycle units under clock `freq`.
+    pub fn to_cycles(&self, freq: Freq) -> FlashCycles {
+        FlashCycles {
+            read: self.read.to_cycles(freq),
+            program: self.program.to_cycles(freq),
+            erase: self.erase.to_cycles(freq),
+            channel_bytes_per_cycle: self.channel_mt_per_s * 1e6 / freq.hz(),
+        }
+    }
+}
+
+impl Default for FlashTiming {
+    fn default() -> FlashTiming {
+        FlashTiming::znand()
+    }
+}
+
+/// Media timing converted to GPU cycles, ready for the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashCycles {
+    /// Page read (sense) time.
+    pub read: Cycle,
+    /// Page program time.
+    pub program: Cycle,
+    /// Block erase time.
+    pub erase: Cycle,
+    /// ONFI channel bandwidth in bytes per GPU cycle (1 B bus).
+    pub channel_bytes_per_cycle: f64,
+}
+
+impl Default for FlashCycles {
+    fn default() -> FlashCycles {
+        FlashTiming::znand().to_cycles(Freq::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znand_cycles_at_default_clock() {
+        let c = FlashTiming::znand().to_cycles(Freq::default());
+        assert_eq!(c.read, Cycle(3_600)); // 3 us * 1.2 GHz
+        assert_eq!(c.program, Cycle(120_000)); // 100 us
+        assert_eq!(c.erase, Cycle(1_200_000)); // 1 ms
+        // 800 MB/s over a 1.2 GHz clock = 2/3 B per cycle.
+        assert!((c.channel_bytes_per_cycle - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn znand_vs_vnand_ratios_match_paper() {
+        let z = FlashTiming::znand();
+        let v = FlashTiming::vnand_tlc();
+        assert!((v.read.0 / z.read.0 - 17.0).abs() < 1e-9);
+        assert!((v.program.0 / z.program.0 - 6.0).abs() < 1e-9);
+        // Z-NAND endures ~14x more P/E cycles.
+        assert!(z.pe_cycles as f64 / v.pe_cycles as f64 > 14.0);
+    }
+
+    #[test]
+    fn program_is_33x_read() {
+        // Paper §V-B: "Z-NAND's write latency is 33x longer than its read".
+        let z = FlashTiming::znand();
+        let ratio = z.program.0 / z.read.0;
+        assert!((33.0 - ratio).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn default_is_znand() {
+        assert_eq!(FlashTiming::default().name, "Z-NAND");
+        let d = FlashCycles::default();
+        assert_eq!(d.read, Cycle(3_600));
+    }
+}

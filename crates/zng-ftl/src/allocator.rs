@@ -1,0 +1,212 @@
+//! Free-block allocation with wear levelling.
+//!
+//! The allocator hands out device-wide block indices (decoded to physical
+//! coordinates by [`zng_flash::FlashGeometry::block_for_index`]).
+//! Fresh blocks are served in striping order (maximising channel/die/plane
+//! parallelism for consecutive data blocks); recycled blocks are served
+//! lowest-erase-count-first, which is the wear-levelling policy the
+//! paper's GPU helper thread applies (§IV-A).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use zng_types::{Error, Result};
+
+/// How recycled blocks are chosen (paper §VI: "we can also apply
+/// different wear-levelling algorithms in our GPU helper thread").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WearPolicy {
+    /// Reuse the least-erased block first (wear levelling).
+    #[default]
+    LeastErased,
+    /// Reuse blocks in release order (round-robin, mild levelling).
+    Fifo,
+    /// Reuse the most recently released block (no levelling: wear
+    /// concentrates on whichever blocks churn fastest).
+    Lifo,
+}
+
+/// A wear-aware free-block allocator.
+///
+/// # Examples
+///
+/// ```
+/// use zng_ftl::BlockAllocator;
+///
+/// let mut a = BlockAllocator::new(4);
+/// assert_eq!(a.allocate()?, 0);
+/// assert_eq!(a.allocate()?, 1);
+/// a.release(0, 1); // erased once
+/// assert_eq!(a.allocate()?, 2); // fresh blocks first
+/// # Ok::<(), zng_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockAllocator {
+    total_blocks: u64,
+    next_fresh: u64,
+    /// Recycled blocks ordered by the policy key ascending.
+    recycled: BinaryHeap<Reverse<(u64, u64)>>,
+    allocated: u64,
+    policy: WearPolicy,
+    release_seq: u64,
+}
+
+impl BlockAllocator {
+    /// Creates a wear-levelling allocator over `total_blocks` blocks.
+    pub fn new(total_blocks: u64) -> BlockAllocator {
+        BlockAllocator::with_policy(total_blocks, WearPolicy::LeastErased)
+    }
+
+    /// Creates an allocator with an explicit recycling policy.
+    pub fn with_policy(total_blocks: u64, policy: WearPolicy) -> BlockAllocator {
+        BlockAllocator {
+            total_blocks,
+            next_fresh: 0,
+            recycled: BinaryHeap::new(),
+            allocated: 0,
+            policy,
+            release_seq: 0,
+        }
+    }
+
+    /// The active recycling policy.
+    pub fn policy(&self) -> WearPolicy {
+        self.policy
+    }
+
+    /// Allocates one block index: fresh blocks in striping order first,
+    /// then recycled blocks lowest-wear-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfSpace`] when neither fresh nor recycled
+    /// blocks remain.
+    pub fn allocate(&mut self) -> Result<u64> {
+        if self.next_fresh < self.total_blocks {
+            let idx = self.next_fresh;
+            self.next_fresh += 1;
+            self.allocated += 1;
+            return Ok(idx);
+        }
+        match self.recycled.pop() {
+            Some(Reverse((_wear, idx))) => {
+                self.allocated += 1;
+                Ok(idx)
+            }
+            None => Err(Error::OutOfSpace),
+        }
+    }
+
+    /// Returns an erased block to the pool with its lifetime erase count.
+    pub fn release(&mut self, index: u64, erase_count: u32) {
+        debug_assert!(index < self.total_blocks, "released unknown block {index}");
+        self.allocated = self.allocated.saturating_sub(1);
+        self.release_seq += 1;
+        let key = match self.policy {
+            WearPolicy::LeastErased => erase_count as u64,
+            WearPolicy::Fifo => self.release_seq,
+            // Invert the sequence so the most recent release sorts first.
+            WearPolicy::Lifo => u64::MAX - self.release_seq,
+        };
+        self.recycled.push(Reverse((key, index)));
+    }
+
+    /// Blocks currently handed out.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Blocks never handed out yet.
+    pub fn fresh_remaining(&self) -> u64 {
+        self.total_blocks - self.next_fresh
+    }
+
+    /// Erased blocks waiting for reuse.
+    pub fn recycled_available(&self) -> usize {
+        self.recycled.len()
+    }
+
+    /// Total free blocks (fresh + recycled).
+    pub fn free(&self) -> u64 {
+        self.fresh_remaining() + self.recycled.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_blocks_in_order() {
+        let mut a = BlockAllocator::new(3);
+        assert_eq!(a.allocate().unwrap(), 0);
+        assert_eq!(a.allocate().unwrap(), 1);
+        assert_eq!(a.allocate().unwrap(), 2);
+        assert!(matches!(a.allocate(), Err(Error::OutOfSpace)));
+    }
+
+    #[test]
+    fn wear_levelling_prefers_least_erased() {
+        let mut a = BlockAllocator::new(3);
+        for _ in 0..3 {
+            a.allocate().unwrap();
+        }
+        a.release(0, 5);
+        a.release(1, 2);
+        a.release(2, 9);
+        assert_eq!(a.allocate().unwrap(), 1); // wear 2
+        assert_eq!(a.allocate().unwrap(), 0); // wear 5
+        assert_eq!(a.allocate().unwrap(), 2); // wear 9
+    }
+
+    #[test]
+    fn ties_break_by_index_for_determinism() {
+        let mut a = BlockAllocator::new(4);
+        for _ in 0..4 {
+            a.allocate().unwrap();
+        }
+        a.release(3, 1);
+        a.release(1, 1);
+        assert_eq!(a.allocate().unwrap(), 1);
+        assert_eq!(a.allocate().unwrap(), 3);
+    }
+
+    #[test]
+    fn fifo_policy_ignores_wear() {
+        let mut a = BlockAllocator::with_policy(3, WearPolicy::Fifo);
+        for _ in 0..3 {
+            a.allocate().unwrap();
+        }
+        a.release(2, 9); // released first, reused first despite high wear
+        a.release(1, 0);
+        assert_eq!(a.policy(), WearPolicy::Fifo);
+        assert_eq!(a.allocate().unwrap(), 2);
+        assert_eq!(a.allocate().unwrap(), 1);
+    }
+
+    #[test]
+    fn lifo_policy_reuses_hottest() {
+        let mut a = BlockAllocator::with_policy(3, WearPolicy::Lifo);
+        for _ in 0..3 {
+            a.allocate().unwrap();
+        }
+        a.release(0, 1);
+        a.release(2, 1); // most recent: reused first
+        assert_eq!(a.allocate().unwrap(), 2);
+        assert_eq!(a.allocate().unwrap(), 0);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut a = BlockAllocator::new(10);
+        a.allocate().unwrap();
+        a.allocate().unwrap();
+        assert_eq!(a.allocated(), 2);
+        assert_eq!(a.fresh_remaining(), 8);
+        assert_eq!(a.free(), 8);
+        a.release(0, 1);
+        assert_eq!(a.allocated(), 1);
+        assert_eq!(a.recycled_available(), 1);
+        assert_eq!(a.free(), 9);
+    }
+}

@@ -1,0 +1,24 @@
+//! Flash translation layers for the ZnG simulator.
+//!
+//! Two FTLs, matching the paper's two worlds:
+//!
+//! * [`PageMapFtl`] — the classic page-level FTL executed by an embedded
+//!   [`SsdEngine`] inside a conventional SSD (the Hetero and HybridGPU
+//!   platforms). Every request pays engine processing cost; the engine's
+//!   2–5 low-power cores are the 67 %-of-latency bottleneck of
+//!   Fig. 4d.
+//! * [`ZngFtl`] — the paper's zero-overhead FTL (§IV-A): a block-granular
+//!   **DBMT** resolved for free by the GPU MMU/TLB, per-log-block
+//!   **LPMT**s living in programmable row decoders, an **LBMT** mapping
+//!   data-block groups to over-provisioned log blocks, and a GPU
+//!   helper-thread **garbage collector** with wear levelling.
+
+pub mod allocator;
+pub mod engine;
+pub mod pagemap;
+pub mod zngftl;
+
+pub use allocator::{BlockAllocator, WearPolicy};
+pub use engine::SsdEngine;
+pub use pagemap::PageMapFtl;
+pub use zngftl::{GcReport, WriteMode, ZngFtl};

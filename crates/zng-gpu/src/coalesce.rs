@@ -1,0 +1,112 @@
+//! The coalescing unit: 32 thread accesses → few 128 B requests.
+//!
+//! Before L1D, the 32 threads of a warp present their addresses to the
+//! coalescer, which merges accesses falling in the same 128 B sector
+//! (paper §II-A). A fully sequential warp collapses to one request; a
+//! scatter touches up to 32 sectors.
+
+use zng_types::size::CACHE_LINE;
+
+/// The per-warp coalescing unit.
+///
+/// # Examples
+///
+/// ```
+/// use zng_gpu::Coalescer;
+///
+/// // 32 threads reading consecutive 4-byte words: one sector.
+/// let addrs: Vec<u64> = (0..32).map(|i| 0x1000 + i * 4).collect();
+/// assert_eq!(Coalescer::coalesce(&addrs), vec![0x1000]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Coalescer;
+
+impl Coalescer {
+    /// Merges thread addresses into unique 128 B sector bases, preserving
+    /// first-touch order.
+    pub fn coalesce(thread_addrs: &[u64]) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::with_capacity(4);
+        for &a in thread_addrs {
+            let base = a - a % CACHE_LINE as u64;
+            if !out.contains(&base) {
+                out.push(base);
+            }
+        }
+        out
+    }
+
+    /// Thread addresses for a warp reading 4-byte words with stride
+    /// `stride_bytes` from `base` (the paper's strided scientific
+    /// kernels).
+    pub fn strided_addrs(base: u64, stride_bytes: u64) -> Vec<u64> {
+        (0..32).map(|i| base + i * stride_bytes).collect()
+    }
+
+    /// The sector bases a strided warp access touches.
+    pub fn strided(base: u64, stride_bytes: u64) -> Vec<u64> {
+        Self::coalesce(&Self::strided_addrs(base, stride_bytes))
+    }
+
+    /// The sector bases of a scatter touching `sectors` distinct sectors
+    /// spread from `base` with a page-crossing stride (graph-style
+    /// irregular access: each sector lands on a different 4 KB page).
+    pub fn scatter(base: u64, sectors: u8) -> Vec<u64> {
+        // 33 sectors apart = 4224 B: consecutive requests cross pages.
+        (0..sectors as u64)
+            .map(|i| {
+                let a = base + i * 33 * CACHE_LINE as u64;
+                a - a % CACHE_LINE as u64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_warp_is_one_request() {
+        assert_eq!(Coalescer::strided(0, 4).len(), 1);
+    }
+
+    #[test]
+    fn word_stride_32_spans_8_sectors() {
+        // 32 threads x 32 B stride = 1024 B = 8 sectors.
+        assert_eq!(Coalescer::strided(0, 32).len(), 8);
+    }
+
+    #[test]
+    fn full_scatter_is_32_requests() {
+        let reqs = Coalescer::strided(0, CACHE_LINE as u64);
+        assert_eq!(reqs.len(), 32);
+    }
+
+    #[test]
+    fn coalesce_dedups_and_preserves_order() {
+        let addrs = [300u64, 10, 260, 5, 130];
+        // sectors: 256, 0, 256, 0, 128 -> [256, 0, 128]
+        assert_eq!(Coalescer::coalesce(&addrs), vec![256, 0, 128]);
+    }
+
+    #[test]
+    fn scatter_crosses_pages() {
+        let reqs = Coalescer::scatter(0, 4);
+        assert_eq!(reqs.len(), 4);
+        let pages: std::collections::HashSet<u64> =
+            reqs.iter().map(|a| a / 4096).collect();
+        assert_eq!(pages.len(), 4, "each scatter sector on its own page");
+    }
+
+    #[test]
+    fn coalesced_addresses_are_sector_aligned() {
+        for addrs in [
+            Coalescer::strided(12345, 52),
+            Coalescer::scatter(999, 7),
+        ] {
+            for a in addrs {
+                assert_eq!(a % CACHE_LINE as u64, 0);
+            }
+        }
+    }
+}

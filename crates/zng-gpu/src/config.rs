@@ -1,0 +1,209 @@
+//! GPU structural configuration (paper Table I).
+
+use serde::{Deserialize, Serialize};
+use zng_types::{Error, Freq, Result};
+
+/// The L2 storage technology (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L2Technology {
+    /// SRAM: 6 MB, 1-cycle reads and writes.
+    Sram,
+    /// STT-MRAM: 4× the capacity (24 MB), 1-cycle reads, 5-cycle writes.
+    SttMram,
+}
+
+impl L2Technology {
+    /// Read access latency in cycles.
+    pub fn read_cycles(self) -> u64 {
+        1
+    }
+
+    /// Write access latency in cycles (STT-MRAM writes are 5× SRAM reads).
+    pub fn write_cycles(self) -> u64 {
+        match self {
+            L2Technology::Sram => 1,
+            L2Technology::SttMram => 5,
+        }
+    }
+
+    /// Capacity multiplier relative to SRAM in the same area.
+    pub fn capacity_factor(self) -> usize {
+        match self {
+            L2Technology::Sram => 1,
+            L2Technology::SttMram => 4,
+        }
+    }
+}
+
+/// All GPU structural parameters.
+///
+/// # Examples
+///
+/// ```
+/// use zng_gpu::GpuConfig;
+/// let cfg = GpuConfig::table1();
+/// assert_eq!(cfg.sms, 16);
+/// assert_eq!(cfg.l2_total_bytes(), 6 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Core clock.
+    pub freq: Freq,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// L1D sets (64) × ways (6) × 128 B lines = 48 KB, private per SM.
+    pub l1_sets: usize,
+    /// L1D associativity.
+    pub l1_ways: usize,
+    /// L1D hit latency in cycles.
+    pub l1_latency: u64,
+    /// Shared L2 banks.
+    pub l2_banks: usize,
+    /// L2 sets per bank (1024 × 8 ways × 128 B × 6 banks = 6 MB SRAM).
+    pub l2_sets_per_bank: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 storage technology.
+    pub l2_tech: L2Technology,
+    /// Cache line / memory access size in bytes.
+    pub line_bytes: usize,
+    /// L1 TLB entries.
+    pub tlb_entries: usize,
+    /// Concurrent page-table-walker threads.
+    pub walker_threads: usize,
+}
+
+impl GpuConfig {
+    /// The paper's Table I configuration (SRAM L2).
+    pub fn table1() -> GpuConfig {
+        GpuConfig {
+            sms: 16,
+            freq: Freq::ghz(1.2),
+            max_warps_per_sm: 80,
+            l1_sets: 64,
+            l1_ways: 6,
+            l1_latency: 1,
+            l2_banks: 6,
+            l2_sets_per_bank: 1024,
+            l2_ways: 8,
+            l2_tech: L2Technology::Sram,
+            line_bytes: 128,
+            tlb_entries: 512,
+            walker_threads: 32,
+        }
+    }
+
+    /// Table I with the STT-MRAM L2 (24 MB shared, ZnG's rdopt cache).
+    pub fn table1_stt_mram() -> GpuConfig {
+        let mut cfg = GpuConfig::table1();
+        cfg.l2_tech = L2Technology::SttMram;
+        // 4x capacity at the same bank/way structure: 4x the sets.
+        cfg.l2_sets_per_bank *= L2Technology::SttMram.capacity_factor();
+        cfg
+    }
+
+    /// A small configuration for unit tests: 2 SMs, tiny caches.
+    pub fn tiny() -> GpuConfig {
+        GpuConfig {
+            sms: 2,
+            freq: Freq::ghz(1.2),
+            max_warps_per_sm: 8,
+            l1_sets: 8,
+            l1_ways: 2,
+            l1_latency: 1,
+            l2_banks: 2,
+            l2_sets_per_bank: 16,
+            l2_ways: 4,
+            l2_tech: L2Technology::Sram,
+            line_bytes: 128,
+            tlb_entries: 16,
+            walker_threads: 4,
+        }
+    }
+
+    /// Validates structural consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero-sized structures.
+    pub fn validate(&self) -> Result<()> {
+        let dims = [
+            ("sms", self.sms),
+            ("max_warps_per_sm", self.max_warps_per_sm),
+            ("l1_sets", self.l1_sets),
+            ("l1_ways", self.l1_ways),
+            ("l2_banks", self.l2_banks),
+            ("l2_sets_per_bank", self.l2_sets_per_bank),
+            ("l2_ways", self.l2_ways),
+            ("line_bytes", self.line_bytes),
+            ("tlb_entries", self.tlb_entries),
+            ("walker_threads", self.walker_threads),
+        ];
+        for (name, v) in dims {
+            if v == 0 {
+                return Err(Error::invalid_config(name, "must be non-zero"));
+            }
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(Error::invalid_config("line_bytes", "must be a power of two"));
+        }
+        Ok(())
+    }
+
+    /// L1D capacity per SM in bytes.
+    pub fn l1_total_bytes(&self) -> usize {
+        self.l1_sets * self.l1_ways * self.line_bytes
+    }
+
+    /// Shared L2 capacity in bytes.
+    pub fn l2_total_bytes(&self) -> usize {
+        self.l2_banks * self.l2_sets_per_bank * self.l2_ways * self.line_bytes
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> GpuConfig {
+        GpuConfig::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zng_types::size::{KIB, MIB};
+
+    #[test]
+    fn table1_sizes_match_paper() {
+        let cfg = GpuConfig::table1();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.l1_total_bytes(), 48 * KIB);
+        assert_eq!(cfg.l2_total_bytes(), 6 * MIB);
+        assert_eq!(cfg.max_warps_per_sm, 80);
+        assert_eq!(cfg.l2_banks, 6);
+    }
+
+    #[test]
+    fn stt_mram_quadruples_l2() {
+        let cfg = GpuConfig::table1_stt_mram();
+        assert_eq!(cfg.l2_total_bytes(), 24 * MIB);
+        assert_eq!(cfg.l2_tech.write_cycles(), 5);
+        assert_eq!(cfg.l2_tech.read_cycles(), 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.l2_banks = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = GpuConfig::tiny();
+        cfg.line_bytes = 100;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_table1() {
+        assert_eq!(GpuConfig::default(), GpuConfig::table1());
+    }
+}

@@ -1,0 +1,210 @@
+//! TLB and MMU with a highly-threaded page-table walker (paper §II-A).
+//!
+//! The MMU is shared by all SMs: a TLB fronts a 32-thread page-table
+//! walker with a page-walk cache. In ZnG the page table doubles as the
+//! DBMT — TLB hits therefore resolve a *flash physical* address with zero
+//! extra cost, which is the paper's "zero-overhead FTL" for reads.
+
+use zng_sim::Resource;
+use zng_types::{Cycle, Result};
+
+use crate::cache::{CacheGeometry, SetAssocCache};
+
+/// A translation lookaside buffer over 4 KB page numbers.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cache: SetAssocCache,
+}
+
+impl Tlb {
+    /// Creates a 4-way TLB with `entries` total entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of 4 or not a power of two.
+    pub fn new(entries: usize) -> Tlb {
+        assert!(entries >= 4 && entries % 4 == 0, "TLB entries must be 4-way");
+        let sets = entries / 4;
+        assert!(sets.is_power_of_two(), "TLB sets must be a power of two");
+        Tlb {
+            cache: SetAssocCache::new(CacheGeometry {
+                sets,
+                ways: 4,
+                // Index the cache by vpn << 12 so line granularity = page.
+                line_bytes: 4096,
+            }),
+        }
+    }
+
+    /// Looks up virtual page `vpn`; refreshes LRU on hit.
+    pub fn lookup(&mut self, vpn: u64) -> bool {
+        self.cache.lookup(vpn << 12, false)
+    }
+
+    /// Installs a translation for `vpn`.
+    pub fn fill(&mut self, vpn: u64) {
+        self.cache.fill(vpn << 12, false, zng_types::AppId(0));
+    }
+
+    /// Evicts `vpn` (e.g. DBMT update after GC moved the block).
+    pub fn invalidate(&mut self, vpn: u64) {
+        self.cache.invalidate(vpn << 12);
+    }
+
+    /// TLB hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// TLB misses so far.
+    pub fn misses(&self) -> u64 {
+        self.cache.misses()
+    }
+}
+
+/// The shared MMU: TLB + page-walk cache + threaded walker.
+///
+/// # Examples
+///
+/// ```
+/// use zng_gpu::Mmu;
+/// use zng_types::Cycle;
+///
+/// let mut mmu = Mmu::new(64, 4, Cycle(200));
+/// let t1 = mmu.translate(Cycle(0), 42)?; // cold: page walk
+/// let t2 = mmu.translate(t1, 42)?;       // hot: TLB hit
+/// assert!(t2 - t1 < t1 - Cycle(0));
+/// # Ok::<(), zng_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mmu {
+    tlb: Tlb,
+    walker: Resource,
+    walk_cache: SetAssocCache,
+    /// Cost of one page-table memory access on a walk-cache miss.
+    walk_mem_latency: Cycle,
+    /// Page-table levels (each level is one access).
+    levels: u32,
+    walks: u64,
+}
+
+impl Mmu {
+    /// Creates an MMU with `tlb_entries`, `walker_threads`, and the given
+    /// memory latency for page-table accesses. The page table is
+    /// two-level (the paper's real-GPU MMU reference).
+    pub fn new(tlb_entries: usize, walker_threads: usize, walk_mem_latency: Cycle) -> Mmu {
+        Mmu {
+            tlb: Tlb::new(tlb_entries),
+            walker: Resource::new(walker_threads),
+            walk_cache: SetAssocCache::new(CacheGeometry {
+                sets: 64,
+                ways: 4,
+                line_bytes: 4096,
+            }),
+            walk_mem_latency,
+            levels: 2,
+            walks: 0,
+        }
+    }
+
+    /// Translates virtual page `vpn`; returns when the (flash-)physical
+    /// address is available.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` is kept so platform code treats
+    /// translation uniformly with other fallible stages.
+    pub fn translate(&mut self, now: Cycle, vpn: u64) -> Result<Cycle> {
+        if self.tlb.lookup(vpn) {
+            return Ok(now + Cycle(1));
+        }
+        self.walks += 1;
+        // Walk: each level hits the page-walk cache or memory.
+        let mut walk_time = Cycle::ZERO;
+        for level in 0..self.levels {
+            // The walk reads one 8-byte table entry per level; a 4 KB
+            // walk-cache line therefore covers 512 adjacent entries. The
+            // level tag keeps different levels from aliasing.
+            let entry_addr = ((level as u64) << 40)
+                | ((vpn >> (9 * (self.levels - level - 1))) * 8);
+            if self.walk_cache.lookup(entry_addr, false) {
+                walk_time += Cycle(10);
+            } else {
+                walk_time += self.walk_mem_latency;
+                self.walk_cache.fill(entry_addr, false, zng_types::AppId(0));
+            }
+        }
+        let done = self.walker.acquire(now, walk_time);
+        self.tlb.fill(vpn);
+        Ok(done)
+    }
+
+    /// The TLB, for hit-rate inspection and invalidations.
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// Mutable TLB access (DBMT invalidation after GC).
+    pub fn tlb_mut(&mut self) -> &mut Tlb {
+        &mut self.tlb
+    }
+
+    /// Page walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlb_hit_is_one_cycle() {
+        let mut m = Mmu::new(16, 4, Cycle(200));
+        let t1 = m.translate(Cycle(0), 7).unwrap();
+        assert!(t1 >= Cycle(200), "cold walk pays memory latency: {t1}");
+        let t2 = m.translate(t1, 7).unwrap();
+        assert_eq!(t2, t1 + Cycle(1));
+        assert_eq!(m.walks(), 1);
+    }
+
+    #[test]
+    fn walk_cache_accelerates_neighbouring_pages() {
+        let mut m = Mmu::new(16, 4, Cycle(200));
+        let cold = m.translate(Cycle(0), 0).unwrap();
+        // Page 1 shares the level-0 entry with page 0: cheaper walk.
+        let warm = m.translate(cold, 1).unwrap() - cold;
+        assert!(warm < cold - Cycle(0), "warm {warm} vs cold {cold}");
+    }
+
+    #[test]
+    fn walker_threads_limit_concurrency() {
+        let mut m = Mmu::new(1024, 2, Cycle(100));
+        // Four cold translations at t=0, but only 2 walker threads. Use
+        // spaced vpns so walk-cache sharing doesn't collapse costs.
+        let times: Vec<Cycle> = (0..4)
+            .map(|i| m.translate(Cycle(0), (i as u64) << 20).unwrap())
+            .collect();
+        assert!(times[3] > times[0], "{times:?}");
+    }
+
+    #[test]
+    fn invalidate_forces_rewalk() {
+        let mut m = Mmu::new(16, 4, Cycle(200));
+        m.translate(Cycle(0), 9).unwrap();
+        m.tlb_mut().invalidate(9);
+        m.translate(Cycle(10_000), 9).unwrap();
+        assert_eq!(m.walks(), 2);
+    }
+
+    #[test]
+    fn tlb_hit_rate_reported() {
+        let mut m = Mmu::new(16, 4, Cycle(100));
+        m.translate(Cycle(0), 1).unwrap();
+        m.translate(Cycle(0), 1).unwrap();
+        m.translate(Cycle(0), 1).unwrap();
+        assert!(m.tlb().hit_rate() > 0.5);
+        assert_eq!(m.tlb().misses(), 1);
+    }
+}

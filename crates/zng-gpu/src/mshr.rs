@@ -1,0 +1,158 @@
+//! Miss-status holding registers: merging outstanding misses.
+//!
+//! When several warps miss on the same line (or, in ZnG, the same flash
+//! page) while a fill is in flight, only the first goes to memory; the
+//! rest complete when that fill lands. [`Mshr`] tracks in-flight fills by
+//! an arbitrary key (line address or page number) with their completion
+//! times and merges joiners.
+
+use std::collections::HashMap;
+
+use zng_types::Cycle;
+
+/// In-flight fill tracker.
+///
+/// # Examples
+///
+/// ```
+/// use zng_gpu::Mshr;
+/// use zng_types::Cycle;
+///
+/// let mut mshr = Mshr::new(64);
+/// assert_eq!(mshr.inflight(Cycle(0), 7), None); // nobody fetching 7
+/// mshr.register(7, Cycle(100));
+/// assert_eq!(mshr.inflight(Cycle(10), 7), Some(Cycle(100))); // merge
+/// assert_eq!(mshr.inflight(Cycle(200), 7), None); // already landed
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    capacity: usize,
+    entries: HashMap<u64, Cycle>,
+    merges: u64,
+    registrations: u64,
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Mshr {
+        assert!(capacity > 0, "MSHR needs capacity");
+        Mshr {
+            capacity,
+            entries: HashMap::new(),
+            merges: 0,
+            registrations: 0,
+        }
+    }
+
+    /// If a fill for `key` is still in flight at `now`, returns its
+    /// completion time (the caller merges instead of fetching).
+    pub fn inflight(&mut self, now: Cycle, key: u64) -> Option<Cycle> {
+        match self.entries.get(&key) {
+            Some(&done) if done > now => {
+                self.merges += 1;
+                Some(done)
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Registers a new fill for `key` completing at `done`.
+    ///
+    /// If the file is full, expired entries are reclaimed first; when
+    /// nothing has expired the oldest-completing entry is replaced (a
+    /// structural-hazard approximation that keeps the model non-blocking).
+    pub fn register(&mut self, key: u64, done: Cycle) {
+        self.registrations += 1;
+        if self.entries.len() >= self.capacity {
+            // Reclaim the entry that completes earliest.
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(k, d)| (**d, **k))
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, done);
+    }
+
+    /// Drops any record for `key` (e.g. the line was invalidated).
+    pub fn cancel(&mut self, key: u64) {
+        self.entries.remove(&key);
+    }
+
+    /// Requests that merged onto an in-flight fill.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Fills registered.
+    pub fn registrations(&self) -> u64 {
+        self.registrations
+    }
+
+    /// Entries currently tracked (including expired ones not yet pruned).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no fills are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_while_in_flight() {
+        let mut m = Mshr::new(4);
+        m.register(1, Cycle(100));
+        assert_eq!(m.inflight(Cycle(50), 1), Some(Cycle(100)));
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn expired_entries_are_pruned_on_query() {
+        let mut m = Mshr::new(4);
+        m.register(1, Cycle(100));
+        assert_eq!(m.inflight(Cycle(100), 1), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_replacement_keeps_latest() {
+        let mut m = Mshr::new(2);
+        m.register(1, Cycle(10));
+        m.register(2, Cycle(20));
+        m.register(3, Cycle(30)); // displaces key 1 (earliest completion)
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.inflight(Cycle(0), 1), None);
+        assert_eq!(m.inflight(Cycle(0), 3), Some(Cycle(30)));
+    }
+
+    #[test]
+    fn cancel_removes() {
+        let mut m = Mshr::new(2);
+        m.register(5, Cycle(100));
+        m.cancel(5);
+        assert_eq!(m.inflight(Cycle(0), 5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Mshr::new(0);
+    }
+}

@@ -1,0 +1,426 @@
+//! Dynamic read prefetch: PC-based predictor + access monitor
+//! (paper §IV-B, Figs. 15b and 16).
+//!
+//! * [`Predictor`] — a 512-entry table indexed by the PC of the LD/ST
+//!   instruction. Each entry tracks the last page touched by five
+//!   representative warps and a 4-bit saturating counter: +1 when a warp
+//!   re-touches its recorded page, −1 (and re-record) otherwise. A read
+//!   prefetch fires when the counter exceeds the cutoff (12).
+//! * [`AccessMonitor`] — watches evicted prefetched lines: the waste
+//!   ratio (`unused / evicted`) halves the prefetch granularity above the
+//!   high threshold (0.3) and grows it by 1 KB below the low threshold
+//!   (0.05), within [512 B, 4 KB].
+//! * [`PrefetchPolicy`] — the Fig. 16b policy space: none, fixed 1 KB or
+//!   4 KB, predictor-gated 4 KB, or fully dynamic.
+
+use serde::{Deserialize, Serialize};
+use zng_types::ids::{Pc, WarpId};
+
+/// Number of predictor-table entries (paper default).
+pub const PREDICTOR_ENTRIES: usize = 512;
+/// Representative warps tracked per entry.
+pub const WARP_SLOTS: usize = 5;
+/// Saturating counter ceiling (4 bits).
+pub const COUNTER_MAX: u8 = 15;
+/// Prefetch cutoff (paper: 12).
+pub const PREFETCH_THRESHOLD: u8 = 12;
+
+/// The Fig. 16b prefetch policy space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetchPolicy {
+    /// No prefetch: fetch only the demanded 128 B sector.
+    None,
+    /// Always prefetch a fixed number of bytes (1 KB / 4 KB variants).
+    Fixed(usize),
+    /// Prefetch 4 KB only when the predictor signals locality.
+    Predicted4K,
+    /// Predictor-gated with monitor-adjusted granularity (ZnG default).
+    Dynamic,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WarpSlot {
+    warp: WarpId,
+    page: u64,
+    valid: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    pc: Pc,
+    valid: bool,
+    slots: [WarpSlot; WARP_SLOTS],
+    next_slot: usize,
+    counter: u8,
+}
+
+impl Default for Entry {
+    fn default() -> Entry {
+        Entry {
+            pc: Pc(0),
+            valid: false,
+            slots: [WarpSlot::default(); WARP_SLOTS],
+            next_slot: 0,
+            counter: 0,
+        }
+    }
+}
+
+/// The PC-indexed spatial-locality predictor.
+///
+/// # Examples
+///
+/// ```
+/// use zng_gpu::Predictor;
+/// use zng_types::ids::{Pc, WarpId};
+///
+/// let mut p = Predictor::new();
+/// for _ in 0..16 {
+///     p.observe(Pc(0x40), WarpId(0), 7); // same page over and over
+/// }
+/// assert!(p.should_prefetch(Pc(0x40)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    entries: Vec<Entry>,
+    predictions: u64,
+    correct: u64,
+}
+
+impl Predictor {
+    /// Creates the 512-entry table.
+    pub fn new() -> Predictor {
+        Predictor {
+            entries: vec![Entry::default(); PREDICTOR_ENTRIES],
+            predictions: 0,
+            correct: 0,
+        }
+    }
+
+    fn index(pc: Pc) -> usize {
+        (pc.raw() as usize) % PREDICTOR_ENTRIES
+    }
+
+    /// Records that `warp` at `pc` touched `page`, updating the counter
+    /// and (for Fig. 15b) prediction-accuracy accounting.
+    pub fn observe(&mut self, pc: Pc, warp: WarpId, page: u64) {
+        let entry = &mut self.entries[Self::index(pc)];
+        if !entry.valid || entry.pc != pc {
+            // Alias or cold entry: rebuild.
+            *entry = Entry {
+                pc,
+                valid: true,
+                ..Entry::default()
+            };
+        }
+        // Find this warp's slot. Only five *representative* warps are
+        // tracked per entry (paper §IV-B): an untracked warp claims a
+        // free slot if one exists, otherwise its accesses are simply not
+        // observed — adopting would churn the representatives' history.
+        let slot_idx = match entry.slots.iter().position(|s| s.valid && s.warp == warp) {
+            Some(i) => i,
+            None => {
+                let Some(free) = entry.slots.iter().position(|s| !s.valid) else {
+                    return;
+                };
+                entry.next_slot = (free + 1) % WARP_SLOTS;
+                entry.slots[free] = WarpSlot {
+                    warp,
+                    page,
+                    valid: false, // marked valid below; page set to current
+                };
+                free
+            }
+        };
+        let slot = &mut entry.slots[slot_idx];
+        let had_history = slot.valid;
+        let same_page = slot.page == page;
+
+        // Accuracy accounting: if the counter was above the cutoff we were
+        // predicting "this warp stays on its recorded page".
+        if had_history && entry.counter >= PREFETCH_THRESHOLD {
+            self.predictions += 1;
+            if same_page {
+                self.correct += 1;
+            }
+        }
+
+        if had_history && same_page {
+            entry.counter = (entry.counter + 1).min(COUNTER_MAX);
+        } else if had_history {
+            entry.counter = entry.counter.saturating_sub(1);
+            slot.page = page;
+        } else {
+            slot.valid = true;
+            slot.page = page;
+        }
+    }
+
+    /// Whether a miss at `pc` should trigger a read prefetch (cutoff
+    /// test).
+    pub fn should_prefetch(&self, pc: Pc) -> bool {
+        let entry = &self.entries[Self::index(pc)];
+        entry.valid && entry.pc == pc && entry.counter >= PREFETCH_THRESHOLD
+    }
+
+    /// The current counter value at `pc` (diagnostics).
+    pub fn counter(&self, pc: Pc) -> u8 {
+        let entry = &self.entries[Self::index(pc)];
+        if entry.valid && entry.pc == pc {
+            entry.counter
+        } else {
+            0
+        }
+    }
+
+    /// Prediction accuracy so far (Fig. 15b); 0.0 before any prediction.
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+
+    /// Predictions made (counter above cutoff at observation time).
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+}
+
+impl Default for Predictor {
+    fn default() -> Predictor {
+        Predictor::new()
+    }
+}
+
+/// The dynamic-granularity access monitor.
+///
+/// # Examples
+///
+/// ```
+/// use zng_gpu::AccessMonitor;
+///
+/// let mut m = AccessMonitor::new(0.3, 0.05);
+/// assert_eq!(m.granularity(), 4096);
+/// // A run of wasted prefetches shrinks the granule.
+/// for _ in 0..64 {
+///     m.on_eviction(true, false);
+/// }
+/// assert!(m.granularity() < 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessMonitor {
+    high: f64,
+    low: f64,
+    granularity: usize,
+    evicted: u64,
+    unused: u64,
+    window: u64,
+    adjustments: u64,
+}
+
+/// Evictions per monitor decision window.
+const MONITOR_WINDOW: u64 = 64;
+/// Smallest prefetch granule.
+pub const MIN_GRANULARITY: usize = 512;
+/// Largest prefetch granule (one flash page).
+pub const MAX_GRANULARITY: usize = 4096;
+
+impl AccessMonitor {
+    /// Creates a monitor with the given waste-ratio thresholds
+    /// (paper-optimal: high 0.3, low 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= low < high <= 1`.
+    pub fn new(high: f64, low: f64) -> AccessMonitor {
+        assert!(
+            (0.0..=1.0).contains(&high) && (0.0..=1.0).contains(&low) && low < high,
+            "thresholds must satisfy 0 <= low < high <= 1"
+        );
+        AccessMonitor {
+            high,
+            low,
+            granularity: MAX_GRANULARITY,
+            evicted: 0,
+            unused: 0,
+            window: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// Notes an evicted L2 line's prefetch/accessed bits.
+    pub fn on_eviction(&mut self, prefetch: bool, accessed: bool) {
+        if !prefetch {
+            return;
+        }
+        self.evicted += 1;
+        if !accessed {
+            self.unused += 1;
+        }
+        self.window += 1;
+        if self.window >= MONITOR_WINDOW {
+            let waste = self.unused as f64 / self.evicted.max(1) as f64;
+            if waste > self.high {
+                self.granularity = (self.granularity / 2).max(MIN_GRANULARITY);
+                self.adjustments += 1;
+            } else if waste < self.low {
+                self.granularity = (self.granularity + 1024).min(MAX_GRANULARITY);
+                self.adjustments += 1;
+            }
+            self.evicted = 0;
+            self.unused = 0;
+            self.window = 0;
+        }
+    }
+
+    /// The current prefetch granularity in bytes.
+    pub fn granularity(&self) -> usize {
+        self.granularity
+    }
+
+    /// Granularity adjustments made.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// The (high, low) thresholds.
+    pub fn thresholds(&self) -> (f64, f64) {
+        (self.high, self.low)
+    }
+}
+
+impl Default for AccessMonitor {
+    /// The paper's best configuration: high 0.3, low 0.05.
+    fn default() -> AccessMonitor {
+        AccessMonitor::new(0.3, 0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_and_triggers() {
+        let mut p = Predictor::new();
+        for i in 0..40 {
+            p.observe(Pc(8), WarpId(1), 99);
+            if i < PREFETCH_THRESHOLD as usize {
+                // Needs THRESHOLD+1 same-page observations after the first.
+                assert!(!p.should_prefetch(Pc(8)), "iteration {i}");
+            }
+        }
+        assert!(p.should_prefetch(Pc(8)));
+        assert_eq!(p.counter(Pc(8)), COUNTER_MAX);
+    }
+
+    #[test]
+    fn page_change_decrements() {
+        let mut p = Predictor::new();
+        for _ in 0..20 {
+            p.observe(Pc(8), WarpId(1), 1);
+        }
+        assert!(p.should_prefetch(Pc(8)));
+        // Random-walk pages drive the counter down.
+        for page in 100..110 {
+            p.observe(Pc(8), WarpId(1), page);
+        }
+        assert!(!p.should_prefetch(Pc(8)));
+    }
+
+    #[test]
+    fn separate_warps_have_separate_slots() {
+        let mut p = Predictor::new();
+        // Five warps each streaming their own page: all same-page hits.
+        for _ in 0..20 {
+            for w in 0..WARP_SLOTS as u32 {
+                p.observe(Pc(4), WarpId(w), 1000 + w as u64);
+            }
+        }
+        assert!(p.should_prefetch(Pc(4)));
+    }
+
+    #[test]
+    fn accuracy_tracks_predictions() {
+        let mut p = Predictor::new();
+        for _ in 0..100 {
+            p.observe(Pc(4), WarpId(0), 5);
+        }
+        assert!(p.predictions() > 0);
+        assert!((p.accuracy() - 1.0).abs() < 1e-12);
+        // Break the pattern once: one wrong prediction.
+        p.observe(Pc(4), WarpId(0), 6);
+        assert!(p.accuracy() < 1.0);
+    }
+
+    #[test]
+    fn pc_aliasing_resets_entry() {
+        let mut p = Predictor::new();
+        for _ in 0..20 {
+            p.observe(Pc(0), WarpId(0), 1);
+        }
+        assert!(p.should_prefetch(Pc(0)));
+        // PC 512 aliases to index 0 and evicts the entry.
+        p.observe(Pc(512), WarpId(0), 2);
+        assert!(!p.should_prefetch(Pc(0)));
+        assert_eq!(p.counter(Pc(0)), 0);
+    }
+
+    #[test]
+    fn monitor_shrinks_on_waste() {
+        let mut m = AccessMonitor::default();
+        for _ in 0..(MONITOR_WINDOW as usize) {
+            m.on_eviction(true, false); // 100% waste
+        }
+        assert_eq!(m.granularity(), 2048);
+        for _ in 0..(3 * MONITOR_WINDOW as usize) {
+            m.on_eviction(true, false);
+        }
+        assert_eq!(m.granularity(), MIN_GRANULARITY, "clamped at minimum");
+    }
+
+    #[test]
+    fn monitor_grows_on_useful_prefetches() {
+        let mut m = AccessMonitor::default();
+        // Shrink first.
+        for _ in 0..(2 * MONITOR_WINDOW as usize) {
+            m.on_eviction(true, false);
+        }
+        let small = m.granularity();
+        assert!(small < MAX_GRANULARITY);
+        // All prefetches used: grow by 1 KB per window.
+        for _ in 0..(MONITOR_WINDOW as usize) {
+            m.on_eviction(true, true);
+        }
+        assert_eq!(m.granularity(), (small + 1024).min(MAX_GRANULARITY));
+    }
+
+    #[test]
+    fn monitor_ignores_demand_lines() {
+        let mut m = AccessMonitor::default();
+        for _ in 0..1000 {
+            m.on_eviction(false, false);
+        }
+        assert_eq!(m.granularity(), MAX_GRANULARITY);
+        assert_eq!(m.adjustments(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn inverted_thresholds_rejected() {
+        let _ = AccessMonitor::new(0.05, 0.3);
+    }
+
+    #[test]
+    fn moderate_waste_is_stable() {
+        let mut m = AccessMonitor::default();
+        // Waste ratio 0.125: between low (0.05) and high (0.3) -> hold.
+        for i in 0..(MONITOR_WINDOW as usize) {
+            m.on_eviction(true, i % 8 != 0);
+        }
+        assert_eq!(m.granularity(), MAX_GRANULARITY);
+        assert_eq!(m.adjustments(), 0);
+    }
+}

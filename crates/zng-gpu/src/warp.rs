@@ -1,0 +1,263 @@
+//! Trace-driven warps.
+//!
+//! A warp executes a linear trace of [`WarpOp`]s: compute segments
+//! (counted instructions that occupy the SM's issue port) interleaved
+//! with warp-wide memory operations (expanded by the coalescer into
+//! 128 B requests). Traces are produced by `zng-workloads` to match the
+//! paper's Table II / Fig. 5 statistics.
+
+use serde::{Deserialize, Serialize};
+use zng_types::{
+    ids::{AppId, Pc, WarpId},
+    AccessKind, Cycle, VirtAddr,
+};
+
+use crate::coalesce::Coalescer;
+
+/// The shape of a warp-wide memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// All 32 threads in one 128 B sector (unit-stride words).
+    Sequential,
+    /// Threads separated by a fixed byte stride.
+    Strided(u32),
+    /// Irregular: `n` distinct sectors, each on its own page.
+    Scatter(u8),
+}
+
+impl AccessPattern {
+    /// Expands the pattern into coalesced sector base addresses.
+    pub fn sectors(self, base: u64) -> Vec<u64> {
+        match self {
+            AccessPattern::Sequential => vec![base - base % 128],
+            AccessPattern::Strided(stride) => Coalescer::strided(base, stride as u64),
+            AccessPattern::Scatter(n) => Coalescer::scatter(base, n.max(1)),
+        }
+    }
+}
+
+/// One element of a warp trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarpOp {
+    /// `n` arithmetic instructions (one issue slot each).
+    Compute(u32),
+    /// A warp-wide load/store.
+    Mem {
+        /// Base virtual address of the access.
+        base: VirtAddr,
+        /// Load or store.
+        kind: AccessKind,
+        /// Thread-address shape for the coalescer.
+        pattern: AccessPattern,
+        /// PC of the LD/ST instruction (predictor key).
+        pc: Pc,
+    },
+}
+
+impl WarpOp {
+    /// Instructions this op contributes to IPC (a memory op is one
+    /// instruction).
+    pub fn instructions(&self) -> u64 {
+        match self {
+            WarpOp::Compute(n) => *n as u64,
+            WarpOp::Mem { .. } => 1,
+        }
+    }
+}
+
+/// An immutable warp trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarpTrace {
+    ops: Vec<WarpOp>,
+}
+
+impl WarpTrace {
+    /// Wraps a list of ops.
+    pub fn new(ops: Vec<WarpOp>) -> WarpTrace {
+        WarpTrace { ops }
+    }
+
+    /// The ops in order.
+    pub fn ops(&self) -> &[WarpOp] {
+        &self.ops
+    }
+
+    /// Total instructions in the trace.
+    pub fn instructions(&self) -> u64 {
+        self.ops.iter().map(WarpOp::instructions).sum()
+    }
+
+    /// Number of memory operations.
+    pub fn mem_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, WarpOp::Mem { .. }))
+            .count()
+    }
+
+    /// Fraction of memory ops that are reads (Table II's read ratio).
+    pub fn read_ratio(&self) -> f64 {
+        let (mut reads, mut total) = (0usize, 0usize);
+        for op in &self.ops {
+            if let WarpOp::Mem { kind, .. } = op {
+                total += 1;
+                if kind.is_read() {
+                    reads += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            reads as f64 / total as f64
+        }
+    }
+}
+
+impl FromIterator<WarpOp> for WarpTrace {
+    fn from_iter<T: IntoIterator<Item = WarpOp>>(iter: T) -> WarpTrace {
+        WarpTrace::new(iter.into_iter().collect())
+    }
+}
+
+/// A warp's execution state.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    id: WarpId,
+    app: AppId,
+    trace: WarpTrace,
+    cursor: usize,
+    /// When the warp can next issue.
+    pub ready_at: Cycle,
+    instructions_done: u64,
+}
+
+impl Warp {
+    /// Creates a warp over `trace`, ready at time zero.
+    pub fn new(id: WarpId, app: AppId, trace: WarpTrace) -> Warp {
+        Warp {
+            id,
+            app,
+            trace,
+            cursor: 0,
+            ready_at: Cycle::ZERO,
+            instructions_done: 0,
+        }
+    }
+
+    /// The warp's id.
+    pub fn id(&self) -> WarpId {
+        self.id
+    }
+
+    /// The owning application.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The next op to execute, if the trace is not exhausted.
+    pub fn current_op(&self) -> Option<WarpOp> {
+        self.trace.ops().get(self.cursor).copied()
+    }
+
+    /// Retires the current op, crediting its instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is already exhausted.
+    pub fn retire_op(&mut self) {
+        let op = self
+            .current_op()
+            .expect("retire_op called on a finished warp");
+        self.instructions_done += op.instructions();
+        self.cursor += 1;
+    }
+
+    /// Whether the trace is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.trace.ops().len()
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions_done(&self) -> u64 {
+        self.instructions_done
+    }
+
+    /// Remaining ops.
+    pub fn remaining_ops(&self) -> usize {
+        self.trace.ops().len() - self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(base: u64, kind: AccessKind) -> WarpOp {
+        WarpOp::Mem {
+            base: VirtAddr(base),
+            kind,
+            pattern: AccessPattern::Sequential,
+            pc: Pc(0),
+        }
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let t = WarpTrace::new(vec![
+            WarpOp::Compute(10),
+            mem(0, AccessKind::Read),
+            mem(128, AccessKind::Read),
+            mem(256, AccessKind::Write),
+        ]);
+        assert_eq!(t.instructions(), 13);
+        assert_eq!(t.mem_ops(), 3);
+        assert!((t.read_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_ratio_is_zero() {
+        let t = WarpTrace::new(vec![WarpOp::Compute(5)]);
+        assert_eq!(t.read_ratio(), 0.0);
+        assert_eq!(t.mem_ops(), 0);
+    }
+
+    #[test]
+    fn warp_lifecycle() {
+        let t = WarpTrace::new(vec![WarpOp::Compute(3), mem(0, AccessKind::Read)]);
+        let mut w = Warp::new(WarpId(1), AppId(0), t);
+        assert!(!w.is_done());
+        assert_eq!(w.remaining_ops(), 2);
+        assert!(matches!(w.current_op(), Some(WarpOp::Compute(3))));
+        w.retire_op();
+        assert_eq!(w.instructions_done(), 3);
+        w.retire_op();
+        assert_eq!(w.instructions_done(), 4);
+        assert!(w.is_done());
+        assert_eq!(w.current_op(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished warp")]
+    fn retire_past_end_panics() {
+        let mut w = Warp::new(WarpId(0), AppId(0), WarpTrace::default());
+        w.retire_op();
+    }
+
+    #[test]
+    fn pattern_expansion() {
+        assert_eq!(AccessPattern::Sequential.sectors(130), vec![128]);
+        assert_eq!(AccessPattern::Strided(4).sectors(0).len(), 1);
+        assert_eq!(AccessPattern::Strided(128).sectors(0).len(), 32);
+        assert_eq!(AccessPattern::Scatter(5).sectors(0).len(), 5);
+        // Scatter(0) still touches one sector.
+        assert_eq!(AccessPattern::Scatter(0).sectors(0).len(), 1);
+    }
+
+    #[test]
+    fn trace_from_iterator() {
+        let t: WarpTrace = (0..3).map(WarpOp::Compute).collect();
+        assert_eq!(t.ops().len(), 3);
+        assert_eq!(t.instructions(), 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! Property tests for the predictor and access monitor.
+
+use proptest::prelude::*;
+use zng_gpu::prefetch::{MAX_GRANULARITY, MIN_GRANULARITY};
+use zng_gpu::{AccessMonitor, Predictor};
+use zng_types::ids::{Pc, WarpId};
+
+proptest! {
+    #[test]
+    fn monitor_granularity_stays_in_range(
+        evictions in prop::collection::vec((any::<bool>(), any::<bool>()), 0..2000),
+    ) {
+        let mut m = AccessMonitor::default();
+        for &(p, a) in &evictions {
+            m.on_eviction(p, a);
+            let g = m.granularity();
+            prop_assert!((MIN_GRANULARITY..=MAX_GRANULARITY).contains(&g));
+            prop_assert!(g.is_power_of_two() || g % 1024 == 0);
+        }
+    }
+
+    #[test]
+    fn predictor_counter_is_bounded(pages in prop::collection::vec(0u64..8, 1..500)) {
+        let mut p = Predictor::new();
+        for &page in &pages {
+            p.observe(Pc(16), WarpId(0), page);
+            prop_assert!(p.counter(Pc(16)) <= 15);
+        }
+        prop_assert!(p.accuracy() >= 0.0 && p.accuracy() <= 1.0);
+    }
+
+    #[test]
+    fn steady_stream_always_predicts(n in 14usize..100) {
+        let mut p = Predictor::new();
+        for _ in 0..n {
+            p.observe(Pc(4), WarpId(2), 99);
+        }
+        prop_assert!(p.should_prefetch(Pc(4)));
+    }
+}

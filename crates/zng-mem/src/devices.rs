@@ -1,0 +1,144 @@
+//! Static device data behind the paper's Figures 3a, 3b and 4c.
+//!
+//! These are *device datasheet* numbers, not simulation outputs: the
+//! paper's motivation figures compare memory density (GB per package),
+//! power efficiency (W per GB) and peak throughput across GDDR5, DDR4,
+//! LPDDR4 and Z-NAND. The key relations the figures establish:
+//!
+//! * Z-NAND density is **64×** GPU DRAM density (paper §II-B).
+//! * GPU DRAM burns by far the most W/GB; Z-NAND the least.
+//! * GPU DRAM throughput ≈ 80× a GPU-SSD and 40× HybridGPU (Fig. 4c).
+
+use serde::{Deserialize, Serialize};
+
+/// The device families compared in the motivation figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// GPU on-board GDDR5.
+    Gddr5,
+    /// Desktop DDR4.
+    Ddr4,
+    /// Mobile LPDDR4.
+    Lpddr4,
+    /// Samsung Z-NAND (SLC, 48-layer).
+    ZNand,
+}
+
+impl DeviceClass {
+    /// All classes in the paper's figure order.
+    pub const ALL: [DeviceClass; 4] = [
+        DeviceClass::Gddr5,
+        DeviceClass::Ddr4,
+        DeviceClass::Lpddr4,
+        DeviceClass::ZNand,
+    ];
+}
+
+impl std::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeviceClass::Gddr5 => "GDDR5",
+            DeviceClass::Ddr4 => "DDR4",
+            DeviceClass::Lpddr4 => "LPDDR4",
+            DeviceClass::ZNand => "Z-NAND",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Datasheet-level properties of one memory package.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceInfo {
+    /// Which family.
+    pub class: DeviceClass,
+    /// Capacity of a single package in GB (Fig. 3a).
+    pub density_gb: f64,
+    /// Power per GB in watts (Fig. 3b).
+    pub watt_per_gb: f64,
+    /// Peak per-package throughput in GB/s (feeds Fig. 4c).
+    pub peak_gbps: f64,
+}
+
+impl DeviceInfo {
+    /// Looks up the datasheet record for `class`.
+    pub fn of(class: DeviceClass) -> DeviceInfo {
+        match class {
+            // GDDR5: 1 GB/package (GTX580 era: 8Gb dies), hot.
+            DeviceClass::Gddr5 => DeviceInfo {
+                class,
+                density_gb: 1.0,
+                watt_per_gb: 2.5,
+                peak_gbps: 32.0,
+            },
+            // DDR4: 4 GB/package.
+            DeviceClass::Ddr4 => DeviceInfo {
+                class,
+                density_gb: 4.0,
+                watt_per_gb: 0.9,
+                peak_gbps: 19.2,
+            },
+            // LPDDR4: 4 GB/package, best DRAM power efficiency.
+            DeviceClass::Lpddr4 => DeviceInfo {
+                class,
+                density_gb: 4.0,
+                watt_per_gb: 0.35,
+                peak_gbps: 17.0,
+            },
+            // Z-NAND: 64 GB/package (64x GDDR5), lowest W/GB.
+            DeviceClass::ZNand => DeviceInfo {
+                class,
+                density_gb: 64.0,
+                watt_per_gb: 0.05,
+                peak_gbps: 3.2,
+            },
+        }
+    }
+
+    /// Density ratio of this device to GDDR5.
+    pub fn density_vs_gddr5(&self) -> f64 {
+        self.density_gb / DeviceInfo::of(DeviceClass::Gddr5).density_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znand_is_64x_denser_than_gddr5() {
+        // The paper's headline density claim (§II-B).
+        let z = DeviceInfo::of(DeviceClass::ZNand);
+        assert!((z.density_vs_gddr5() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_ordering_matches_fig3b() {
+        // GDDR5 worst, Z-NAND best; LPDDR4 beats DDR4.
+        let w = |c| DeviceInfo::of(c).watt_per_gb;
+        assert!(w(DeviceClass::Gddr5) > w(DeviceClass::Ddr4));
+        assert!(w(DeviceClass::Ddr4) > w(DeviceClass::Lpddr4));
+        assert!(w(DeviceClass::Lpddr4) > w(DeviceClass::ZNand));
+    }
+
+    #[test]
+    fn density_ordering_matches_fig3a() {
+        let d = |c| DeviceInfo::of(c).density_gb;
+        assert!(d(DeviceClass::ZNand) > d(DeviceClass::Ddr4));
+        assert!(d(DeviceClass::Ddr4) >= d(DeviceClass::Lpddr4));
+        assert!(d(DeviceClass::Lpddr4) > d(DeviceClass::Gddr5));
+    }
+
+    #[test]
+    fn all_covers_each_class_once() {
+        assert_eq!(DeviceClass::ALL.len(), 4);
+        for c in DeviceClass::ALL {
+            assert_eq!(DeviceInfo::of(c).class, c);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DeviceClass::ZNand.to_string(), "Z-NAND");
+        assert_eq!(DeviceClass::Gddr5.to_string(), "GDDR5");
+    }
+}

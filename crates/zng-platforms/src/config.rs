@@ -1,0 +1,210 @@
+//! Platform selection and simulation-wide configuration.
+
+use serde::{Deserialize, Serialize};
+use zng_flash::{FlashGeometry, RegisterTopology};
+use zng_gpu::{GpuConfig, PrefetchPolicy};
+use zng_types::Result;
+
+/// Which GPU-SSD platform to simulate (paper §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// Discrete GPU + SSD over PCIe, host-serviced page faults.
+    Hetero,
+    /// FlashGPU/HybridGPU: SSD module embedded in the GPU.
+    HybridGpu,
+    /// GPU DRAM replaced by Optane DC PMM behind six controllers.
+    Optane,
+    /// ZnG without read/write optimisations.
+    ZngBase,
+    /// ZnG-base + STT-MRAM L2 and dynamic read prefetch.
+    ZngRdopt,
+    /// ZnG-base + grouped flash registers (HW-NiF write buffering).
+    ZngWropt,
+    /// Full ZnG: rdopt + wropt + thrashing redirection into pinned L2.
+    Zng,
+    /// Unbounded GDDR5 holding the entire dataset (Fig. 15a reference).
+    Ideal,
+}
+
+impl PlatformKind {
+    /// The seven paper platforms in Fig. 10 order.
+    pub const PAPER_PLATFORMS: [PlatformKind; 7] = [
+        PlatformKind::Hetero,
+        PlatformKind::HybridGpu,
+        PlatformKind::Optane,
+        PlatformKind::ZngBase,
+        PlatformKind::ZngRdopt,
+        PlatformKind::ZngWropt,
+        PlatformKind::Zng,
+    ];
+
+    /// Whether this platform has a Z-NAND backbone (Fig. 11 applies).
+    pub fn has_flash(self) -> bool {
+        !matches!(self, PlatformKind::Optane | PlatformKind::Ideal)
+    }
+
+    /// Whether the ZnG read optimisation (STT-MRAM + prefetch) is on.
+    pub fn has_rdopt(self) -> bool {
+        matches!(self, PlatformKind::ZngRdopt | PlatformKind::Zng)
+    }
+
+    /// Whether the ZnG write optimisation (register grouping) is on.
+    pub fn has_wropt(self) -> bool {
+        matches!(self, PlatformKind::ZngWropt | PlatformKind::Zng)
+    }
+
+    /// Whether thrashing redirection into pinned L2 is on.
+    pub fn has_redirection(self) -> bool {
+        matches!(self, PlatformKind::Zng)
+    }
+}
+
+impl std::fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PlatformKind::Hetero => "Hetero",
+            PlatformKind::HybridGpu => "HybridGPU",
+            PlatformKind::Optane => "Optane",
+            PlatformKind::ZngBase => "ZnG-base",
+            PlatformKind::ZngRdopt => "ZnG-rdopt",
+            PlatformKind::ZngWropt => "ZnG-wropt",
+            PlatformKind::Zng => "ZnG",
+            PlatformKind::Ideal => "Ideal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Simulation-wide configuration.
+///
+/// The default flash geometry is a *scaled* device (same 16 channels and
+/// timing as Table I, fewer dies/blocks/pages) so whole-figure sweeps run
+/// in seconds; `FlashGeometry::table1()` remains available for full-size
+/// experiments. DESIGN.md §7 records this deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// GPU structure (L2 technology is overridden per platform).
+    pub gpu: GpuConfig,
+    /// Flash geometry.
+    pub flash: FlashGeometry,
+    /// Register interconnect for wropt platforms (Fig. 14 sweeps this).
+    pub register_topology: RegisterTopology,
+    /// Prefetch policy for rdopt platforms (Fig. 16b sweeps this).
+    pub prefetch_policy: PrefetchPolicy,
+    /// Access-monitor thresholds (high, low); Fig. 16a sweeps these.
+    pub monitor_thresholds: (f64, f64),
+    /// Data blocks sharing one log block (ZnG FTL).
+    pub group_size: u64,
+    /// HybridGPU internal DRAM buffer capacity in pages.
+    pub buffer_pages: usize,
+    /// Hetero's on-board GPU memory capacity in pages (page faults beyond
+    /// this working set go to the SSD through the host).
+    pub hetero_gpu_mem_pages: usize,
+    /// When true, garbage collection completes instantly and without
+    /// blocking (the "no-GC" counterfactual of Fig. 17a).
+    pub free_gc: bool,
+}
+
+impl SimConfig {
+    /// The default scaled configuration used by the benches.
+    pub fn scaled() -> SimConfig {
+        // Scaled device: same channels/timing as Table I, fewer
+        // dies/blocks/pages so figure sweeps run in seconds. The register
+        // count per plane is doubled to keep the *per-package* register
+        // capacity proportional to the (scaled) hot write set, matching
+        // the full-size device's ratio.
+        let flash = FlashGeometry {
+            channels: 16,
+            packages_per_channel: 1,
+            dies_per_package: 4,
+            planes_per_die: 4,
+            blocks_per_plane: 128,
+            pages_per_block: 64,
+            page_bytes: 4096,
+            registers_per_plane: 16,
+            io_ports_per_package: 2,
+        };
+        SimConfig {
+            gpu: GpuConfig::table1(),
+            flash,
+            register_topology: RegisterTopology::NiF,
+            prefetch_policy: PrefetchPolicy::Dynamic,
+            monitor_thresholds: (0.3, 0.05),
+            // One log block per data block: the scaled device has OP
+            // headroom, and coarser sharing makes log blocks fill (and GC
+            // fire) after a few thousand writes — far earlier than the
+            // paper's full-size device would. GC studies explicitly set
+            // group_size = 2 and fewer registers to exercise the path.
+            group_size: 1,
+            buffer_pages: 4096,
+            hetero_gpu_mem_pages: 1024,
+            free_gc: false,
+        }
+    }
+
+    /// A minimal configuration for unit tests.
+    pub fn tiny() -> SimConfig {
+        let mut cfg = SimConfig::scaled();
+        cfg.gpu = GpuConfig::tiny();
+        cfg.flash = FlashGeometry::tiny();
+        cfg.buffer_pages = 64;
+        cfg.hetero_gpu_mem_pages = 32;
+        cfg
+    }
+
+    /// Validates the combined configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GPU/flash validation errors.
+    pub fn validate(&self) -> Result<()> {
+        self.gpu.validate()?;
+        self.flash.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_flags() {
+        assert!(PlatformKind::Zng.has_rdopt());
+        assert!(PlatformKind::Zng.has_wropt());
+        assert!(PlatformKind::Zng.has_redirection());
+        assert!(PlatformKind::ZngRdopt.has_rdopt());
+        assert!(!PlatformKind::ZngRdopt.has_wropt());
+        assert!(PlatformKind::ZngWropt.has_wropt());
+        assert!(!PlatformKind::ZngWropt.has_redirection());
+        assert!(!PlatformKind::Optane.has_flash());
+        assert!(PlatformKind::HybridGpu.has_flash());
+        assert!(!PlatformKind::Ideal.has_flash());
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(PlatformKind::ZngBase.to_string(), "ZnG-base");
+        assert_eq!(PlatformKind::HybridGpu.to_string(), "HybridGPU");
+    }
+
+    #[test]
+    fn seven_paper_platforms() {
+        assert_eq!(PlatformKind::PAPER_PLATFORMS.len(), 7);
+    }
+
+    #[test]
+    fn configs_validate() {
+        SimConfig::scaled().validate().unwrap();
+        SimConfig::tiny().validate().unwrap();
+        let mut bad = SimConfig::tiny();
+        bad.flash.channels = 0;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-run metrics: everything the paper's figures plot.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use zng_types::Cycle;
+
+use crate::config::PlatformKind;
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Which platform ran.
+    pub platform: PlatformKind,
+    /// The workload or mix name.
+    pub workload: String,
+    /// Total simulated cycles until the last warp retired.
+    pub cycles: Cycle,
+    /// Warp instructions retired across all SMs.
+    pub instructions: u64,
+    /// Coalesced 128 B memory requests issued.
+    pub requests: u64,
+    /// Instructions per cycle (Fig. 10's metric).
+    pub ipc: f64,
+    /// Flash-array bandwidth in GB/s (Fig. 11); 0 for flash-less
+    /// platforms.
+    pub flash_array_gbps: f64,
+    /// Mean flash-array reads per distinct page (Fig. 12).
+    pub flash_reads_per_page: f64,
+    /// Mean flash-array programs per distinct page (Fig. 13).
+    pub flash_programs_per_page: f64,
+    /// L1D hit rate (mean over SMs).
+    pub l1_hit_rate: f64,
+    /// Shared L2 hit rate.
+    pub l2_hit_rate: f64,
+    /// TLB hit rate.
+    pub tlb_hit_rate: f64,
+    /// Prefetch-predictor accuracy (Fig. 15b); 0 when prefetch is off.
+    pub predictor_accuracy: f64,
+    /// Garbage collections performed.
+    pub gcs: u64,
+    /// Cross-plane register migrations (Fig. 14 accounting).
+    pub register_migrations: u64,
+    /// Writes redirected into pinned L2 space.
+    pub redirected_writes: u64,
+    /// Mean read-request completion latency in cycles (issue → data).
+    pub avg_read_latency: f64,
+    /// Mean write-request completion latency in cycles.
+    pub avg_write_latency: f64,
+    /// Per-app instructions (Fig. 17a per-app performance).
+    pub per_app_instructions: BTreeMap<u16, u64>,
+    /// Per-app completion time (when the app's last warp retired).
+    pub per_app_cycles: BTreeMap<u16, Cycle>,
+    /// Per-app memory requests.
+    pub per_app_requests: BTreeMap<u16, u64>,
+    /// Per-app request time series (Fig. 17b), bucketed by
+    /// `series_interval`.
+    pub per_app_series: BTreeMap<u16, Vec<u64>>,
+    /// Time-series bucket width.
+    pub series_interval: Cycle,
+    /// (start, end) of each garbage collection.
+    pub gc_events: Vec<(Cycle, Cycle)>,
+}
+
+impl RunResult {
+    /// Per-app IPC over the app's own lifetime (launch → its last warp's
+    /// retirement), so one app's long tail does not dilute another's
+    /// throughput.
+    pub fn app_ipc(&self, app: u16) -> f64 {
+        let cycles = self
+            .per_app_cycles
+            .get(&app)
+            .copied()
+            .unwrap_or(self.cycles)
+            .max(Cycle(1));
+        self.per_app_instructions
+            .get(&app)
+            .map(|&i| i as f64 / cycles.raw() as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Simulated wall-clock in microseconds at 1.2 GHz.
+    pub fn simulated_us(&self) -> f64 {
+        self.cycles.raw() as f64 / 1_200.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> RunResult {
+        RunResult {
+            platform: PlatformKind::Zng,
+            workload: "betw-back".into(),
+            cycles: Cycle(1_200_000),
+            instructions: 600_000,
+            requests: 10_000,
+            ipc: 0.5,
+            flash_array_gbps: 10.0,
+            flash_reads_per_page: 3.0,
+            flash_programs_per_page: 1.5,
+            l1_hit_rate: 0.4,
+            l2_hit_rate: 0.8,
+            tlb_hit_rate: 0.99,
+            predictor_accuracy: 0.93,
+            gcs: 1,
+            register_migrations: 5,
+            redirected_writes: 7,
+            avg_read_latency: 500.0,
+            avg_write_latency: 900.0,
+            per_app_instructions: [(0, 400_000), (1, 200_000)].into(),
+            per_app_cycles: [(0, Cycle(1_200_000)), (1, Cycle(1_200_000))].into(),
+            per_app_requests: [(0, 6_000), (1, 4_000)].into(),
+            per_app_series: BTreeMap::new(),
+            series_interval: Cycle(12_000),
+            gc_events: vec![(Cycle(100), Cycle(200))],
+        }
+    }
+
+    #[test]
+    fn app_ipc_partitions_total() {
+        let r = result();
+        let sum = r.app_ipc(0) + r.app_ipc(1);
+        assert!((sum - r.ipc).abs() < 1e-12);
+        assert_eq!(r.app_ipc(9), 0.0);
+    }
+
+    #[test]
+    fn simulated_time_conversion() {
+        let r = result();
+        assert!((r.simulated_us() - 1_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,567 @@
+//! The event-driven simulation runner.
+//!
+//! Warps are trace-driven: compute segments occupy their SM's issue port;
+//! memory ops expand through the coalescer and block the warp until every
+//! 128 B request completes. The memory path is
+//! TLB/MMU → L1D (+MSHR) → interconnect → shared L2 → platform backend,
+//! with the ZnG read path adding the PC predictor / access monitor and
+//! the write path adding register buffering, thrashing redirection and
+//! helper-thread GC blocking (paper Figs. 10–17).
+
+use std::collections::{BTreeMap, HashMap};
+
+use zng_ftl::GcReport;
+use zng_gpu::{
+    AccessMonitor, GpuConfig, Interconnect, L2Cache, L2Technology, Mmu, Mshr, Predictor,
+    PrefetchPolicy, Sm, Warp, WarpOp,
+};
+use zng_sim::{EventQueue, TimeSeries};
+use zng_types::{
+    ids::{AppId, Pc, SmId, WarpId},
+    AccessKind, Cycle, Freq, Result,
+};
+use zng_workloads::MultiApp;
+
+use crate::backend::Backend;
+use crate::config::{PlatformKind, SimConfig};
+use crate::metrics::RunResult;
+
+/// Time-series bucket width for Fig. 17b (10 µs at 1.2 GHz).
+const SERIES_INTERVAL: Cycle = Cycle(12_000);
+/// In redirection mode, 1 in `REDIRECT_PROBE` writes bypasses the pinned
+/// L2 and probes the registers so the thrashing verdict can clear.
+const REDIRECT_PROBE: u64 = 8;
+/// "A few L2 cache space" (paper §III-C): at most this many lines may be
+/// pinned for redirected dirty data.
+const REDIRECT_CAP: u64 = 4096;
+/// Redirected lines drained back to the registers per drain opportunity.
+const DRAIN_CHUNK: usize = 256;
+
+/// One platform instance ready to run workloads.
+#[derive(Debug)]
+pub struct Simulation {
+    kind: PlatformKind,
+    freq: Freq,
+    sms: Vec<Sm>,
+    mmu: Mmu,
+    l2: L2Cache,
+    icnt: Interconnect,
+    backend: Backend,
+    predictor: Predictor,
+    monitor: AccessMonitor,
+    policy: PrefetchPolicy,
+    page_mshr: Mshr,
+    page_bytes: usize,
+    app_blocked_until: HashMap<u16, Cycle>,
+    redirected_writes: u64,
+    write_probe: u64,
+    thrash_mode: bool,
+    pinned_dirty: u64,
+    gc_reports: Vec<GcReport>,
+}
+
+impl Simulation {
+    /// Builds a platform simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn new(kind: PlatformKind, cfg: &SimConfig) -> Result<Simulation> {
+        cfg.validate()?;
+        let freq = cfg.gpu.freq;
+        // rdopt platforms swap the L2 for the 4x STT-MRAM, read-only.
+        let mut gpu_cfg: GpuConfig = cfg.gpu;
+        if kind.has_rdopt() {
+            gpu_cfg.l2_tech = L2Technology::SttMram;
+            gpu_cfg.l2_sets_per_bank *= L2Technology::SttMram.capacity_factor();
+        }
+        let mut l2 = L2Cache::new(&gpu_cfg);
+        if kind.has_rdopt() {
+            l2.set_read_only(true);
+        }
+        let policy = if kind.has_rdopt() {
+            cfg.prefetch_policy
+        } else {
+            PrefetchPolicy::None
+        };
+        let (hi, lo) = cfg.monitor_thresholds;
+        Ok(Simulation {
+            kind,
+            freq,
+            sms: (0..gpu_cfg.sms)
+                .map(|i| Sm::new(SmId(i as u16), &gpu_cfg))
+                .collect(),
+            mmu: Mmu::new(gpu_cfg.tlb_entries, gpu_cfg.walker_threads, Cycle(200)),
+            l2,
+            icnt: Interconnect::new(gpu_cfg.l2_banks, 32.0, Cycle(20)),
+            backend: Backend::new(kind, cfg, freq)?,
+            predictor: Predictor::new(),
+            monitor: AccessMonitor::new(hi, lo),
+            policy,
+            page_mshr: Mshr::new(256),
+            page_bytes: cfg.flash.page_bytes,
+            app_blocked_until: HashMap::new(),
+            redirected_writes: 0,
+            write_probe: 0,
+            thrash_mode: false,
+            pinned_dirty: 0,
+            gc_reports: Vec::new(),
+        })
+    }
+
+    /// The platform being simulated.
+    pub fn kind(&self) -> PlatformKind {
+        self.kind
+    }
+
+    /// Runs `mix` to completion and returns the metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend/FTL errors (e.g. flash out of space).
+    pub fn run(&mut self, mix: &MultiApp) -> Result<RunResult> {
+        let mut warps: Vec<Warp> = Vec::new();
+        for (_, app, traces) in &mix.apps {
+            for trace in traces {
+                let id = WarpId(warps.len() as u32);
+                warps.push(Warp::new(id, *app, trace.clone()));
+            }
+        }
+        let sm_count = self.sms.len();
+
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for i in 0..warps.len() {
+            queue.schedule(Cycle::ZERO, i);
+        }
+
+        let mut last_cycle = Cycle::ZERO;
+        let mut requests: u64 = 0;
+        let (mut read_lat_sum, mut read_lat_n) = (0u64, 0u64);
+        let (mut write_lat_sum, mut write_lat_n) = (0u64, 0u64);
+        let mut per_app_requests: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut series: BTreeMap<u16, TimeSeries> = BTreeMap::new();
+        for (_, app, _) in &mix.apps {
+            series.insert(app.raw(), TimeSeries::new(SERIES_INTERVAL));
+            per_app_requests.insert(app.raw(), 0);
+        }
+
+        while let Some((now, idx)) = queue.pop() {
+            if warps[idx].is_done() {
+                continue;
+            }
+            let app = warps[idx].app();
+            // During a GC of this app's blocks the MMU holds its memory
+            // requests (paper SV-D): the warp re-tries once the helper
+            // thread finishes. Blocking at the event level (rather than
+            // deferring the request to a future timestamp) keeps shared
+            // resources causally reserved.
+            if let Some(&until) = self.app_blocked_until.get(&app.raw()) {
+                if until > now
+                    && matches!(warps[idx].current_op(), Some(WarpOp::Mem { .. }))
+                {
+                    queue.schedule(until, idx);
+                    continue;
+                }
+            }
+            let sm_idx = idx % sm_count;
+            let op = warps[idx].current_op().expect("warp not done");
+            match op {
+                WarpOp::Compute(n) => {
+                    let t = self.sms[sm_idx].issue(now, n);
+                    warps[idx].retire_op();
+                    warps[idx].ready_at = t;
+                    last_cycle = last_cycle.max(t);
+                    queue.schedule(t, idx);
+                }
+                WarpOp::Mem {
+                    base,
+                    kind,
+                    pattern,
+                    pc,
+                } => {
+                    let t_issue = self.sms[sm_idx].issue(now, 1);
+                    let warp_id = warps[idx].id();
+                    let mut done = t_issue;
+                    for sector in pattern.sectors(base.raw()) {
+                        let t =
+                            self.service(t_issue, sm_idx, sector, kind, app, pc, warp_id)?;
+                        match kind {
+                            AccessKind::Read => {
+                                read_lat_sum += t.saturating_since(t_issue).raw();
+                                read_lat_n += 1;
+                            }
+                            AccessKind::Write => {
+                                write_lat_sum += t.saturating_since(t_issue).raw();
+                                write_lat_n += 1;
+                            }
+                        }
+                        done = done.max(t);
+                        requests += 1;
+                        *per_app_requests.entry(app.raw()).or_insert(0) += 1;
+                        if let Some(s) = series.get_mut(&app.raw()) {
+                            s.record(t_issue, 1);
+                        }
+                    }
+                    warps[idx].retire_op();
+                    warps[idx].ready_at = done;
+                    last_cycle = last_cycle.max(done);
+                    queue.schedule(done, idx);
+                }
+            }
+        }
+
+        let instructions: u64 = warps.iter().map(|w| w.instructions_done()).sum();
+        let mut per_app_instructions: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut per_app_cycles: BTreeMap<u16, Cycle> = BTreeMap::new();
+        for w in &warps {
+            *per_app_instructions.entry(w.app().raw()).or_insert(0) += w.instructions_done();
+            let c = per_app_cycles.entry(w.app().raw()).or_insert(Cycle::ZERO);
+            *c = (*c).max(w.ready_at);
+        }
+        let cycles = last_cycle.max(Cycle(1));
+
+        let (flash_gbps, reads_pp, progs_pp) = match self.backend.flash_device() {
+            Some(d) => (
+                d.stats().array_gbps(cycles, self.freq),
+                d.stats().mean_reads_per_page(),
+                d.stats().mean_programs_per_page(),
+            ),
+            None => (0.0, 0.0, 0.0),
+        };
+        let gc_events = self
+            .backend
+            .zng_ftl()
+            .map(|f| f.gc_events().to_vec())
+            .unwrap_or_default();
+
+        Ok(RunResult {
+            platform: self.kind,
+            workload: mix.name.clone(),
+            cycles,
+            instructions,
+            requests,
+            ipc: instructions as f64 / cycles.raw() as f64,
+            flash_array_gbps: flash_gbps,
+            flash_reads_per_page: reads_pp,
+            flash_programs_per_page: progs_pp,
+            l1_hit_rate: self.sms.iter().map(|s| s.l1_hit_rate()).sum::<f64>()
+                / self.sms.len() as f64,
+            l2_hit_rate: self.l2.hit_rate(),
+            tlb_hit_rate: self.mmu.tlb().hit_rate(),
+            predictor_accuracy: self.predictor.accuracy(),
+            gcs: self.backend.gcs(),
+            register_migrations: self
+                .backend
+                .flash_device()
+                .map(|d| d.total_migrations())
+                .unwrap_or(0),
+            redirected_writes: self.redirected_writes,
+            avg_read_latency: read_lat_sum as f64 / read_lat_n.max(1) as f64,
+            avg_write_latency: write_lat_sum as f64 / write_lat_n.max(1) as f64,
+            per_app_instructions,
+            per_app_cycles,
+            per_app_requests,
+            per_app_series: series
+                .into_iter()
+                .map(|(k, s)| (k, s.samples()))
+                .collect(),
+            series_interval: SERIES_INTERVAL,
+            gc_events,
+        })
+    }
+
+    /// Services one 128 B request; returns its completion time.
+    fn service(
+        &mut self,
+        now: Cycle,
+        sm_idx: usize,
+        sector: u64,
+        kind: AccessKind,
+        app: AppId,
+        pc: Pc,
+        warp: WarpId,
+    ) -> Result<Cycle> {
+        let vpn = sector >> 12;
+        let t = self.mmu.translate(now, vpn)?;
+        match kind {
+            AccessKind::Read => self.service_read(t, sm_idx, sector, vpn, app, pc, warp),
+            AccessKind::Write => self.service_write(t, sm_idx, sector, vpn, app),
+        }
+    }
+
+    fn service_read(
+        &mut self,
+        now: Cycle,
+        sm_idx: usize,
+        sector: u64,
+        vpn: u64,
+        app: AppId,
+        pc: Pc,
+        warp: WarpId,
+    ) -> Result<Cycle> {
+        let (l1_hit, t) = self.sms[sm_idx].l1_access(now, sector, false);
+        if l1_hit {
+            return Ok(t);
+        }
+        if let Some(done) = self.sms[sm_idx].mshr_mut().inflight(t, sector) {
+            return Ok(done);
+        }
+        if self.kind.has_rdopt() {
+            self.predictor.observe(pc, warp, vpn);
+        }
+        let bank = self.l2.bank_of(sector);
+        let t = self.icnt.transfer(t, bank, 128);
+        // A whole-page fill may already be in flight.
+        if let Some(done) = self.page_mshr.inflight(t, vpn) {
+            self.sms[sm_idx].l1_fill(sector, app);
+            return Ok(done);
+        }
+        let acc = self.l2.access(t, sector, false);
+        if acc.hit {
+            self.sms[sm_idx].l1_fill(sector, app);
+            return Ok(acc.done);
+        }
+        // L2 miss: fetch from the backend.
+        let (bytes, prefetch) = self.read_granule(pc);
+        let data_at = self.backend.read(acc.done, sector, vpn, bytes)?;
+        // Fill the demand line, plus the prefetch window from page base.
+        let (ev, _) = self.l2.fill_line(data_at, sector, false, app);
+        if let Some(e) = ev {
+            self.monitor.on_eviction(e.prefetch, e.accessed);
+        }
+        if prefetch && bytes > 128 {
+            let page_base = sector & !(self.page_bytes as u64 - 1);
+            let (evicted, _) = self.l2.fill_span(data_at, page_base, bytes, true, app);
+            for e in evicted {
+                self.monitor.on_eviction(e.prefetch, e.accessed);
+            }
+            self.page_mshr.register(vpn, data_at);
+        }
+        self.sms[sm_idx].mshr_mut().register(sector, data_at);
+        self.sms[sm_idx].l1_fill(sector, app);
+        Ok(data_at)
+    }
+
+    fn service_write(
+        &mut self,
+        now: Cycle,
+        sm_idx: usize,
+        sector: u64,
+        vpn: u64,
+        app: AppId,
+    ) -> Result<Cycle> {
+        // Write-through, no L1 allocation.
+        let (_, t) = self.sms[sm_idx].l1_access(now, sector, true);
+        let bank = self.l2.bank_of(sector);
+        let t = self.icnt.transfer(t, bank, 128);
+
+        // Thrashing redirection (full ZnG): absorb the write in pinned L2.
+        if self.kind.has_redirection() && self.thrash_mode && self.pinned_dirty < REDIRECT_CAP {
+            self.write_probe += 1;
+            if self.write_probe % REDIRECT_PROBE != 0 {
+                let (ev, done) = self.l2.fill_line(t, sector, false, app);
+                if let Some(e) = ev {
+                    self.monitor.on_eviction(e.prefetch, e.accessed);
+                }
+                if self.l2.pin_dirty(sector) {
+                    self.redirected_writes += 1;
+                    self.pinned_dirty += 1;
+                    return Ok(done);
+                }
+                // The set was fully pinned: fall through to the registers.
+            }
+        }
+
+        // The L2 copy of this line is now stale.
+        self.l2.invalidate(sector);
+        self.sms[sm_idx].l1_invalidate(sector);
+        let w = self.backend.write(t, sector, vpn)?;
+        self.thrash_mode = self.kind.has_redirection() && w.thrashing;
+        if !w.thrashing && self.pinned_dirty > 0 {
+            self.drain_pinned(w.done)?;
+        }
+        if let Some(gc) = w.gc {
+            self.handle_gc(&gc);
+            self.gc_reports.push(gc);
+        }
+        Ok(w.done)
+    }
+
+    /// Flushes redirected dirty lines back to the registers once
+    /// thrashing subsides (asynchronously; does not gate the warp).
+    ///
+    /// The write-backs are issued concurrently at `now` — they contend
+    /// naturally on the shared flash resources. Chaining them serially
+    /// would reserve far-future link/plane slots and falsely stall every
+    /// later demand access.
+    fn drain_pinned(&mut self, now: Cycle) -> Result<()> {
+        let dirty = self.l2.unpin_up_to(DRAIN_CHUNK);
+        self.pinned_dirty = self.pinned_dirty.saturating_sub(dirty.len() as u64);
+        for line in dirty {
+            let w = self.backend.write(now, line, line >> 12)?;
+            if let Some(gc) = w.gc {
+                self.handle_gc(&gc);
+                self.gc_reports.push(gc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a GC report: block the victim app's requests until the
+    /// merge completes, flush the merged pages from the caches, and
+    /// invalidate their translations (paper §V-D).
+    fn handle_gc(&mut self, gc: &GcReport) {
+        let Some(&vpn0) = gc.flushed_vpns.first() else {
+            return;
+        };
+        // app_base = app << 34, so vpn = addr >> 12 carries app at bit 22.
+        let victim = (vpn0 >> 22) as u16;
+        if std::env::var_os("ZNG_GC_DEBUG").is_some() {
+            eprintln!(
+                "gc: victim=app{victim} start={} done={} pages={}",
+                gc.started.raw(),
+                gc.done.raw(),
+                gc.migrated_pages
+            );
+        }
+        let blocked = self
+            .app_blocked_until
+            .get(&victim)
+            .copied()
+            .unwrap_or(Cycle::ZERO)
+            .max(gc.done);
+        self.app_blocked_until.insert(victim, blocked);
+        for &vpn in &gc.flushed_vpns {
+            self.mmu.tlb_mut().invalidate(vpn);
+            self.page_mshr.cancel(vpn);
+            for s in 0..(self.page_bytes / self.l2.line_bytes()) as u64 {
+                let sector = (vpn << 12) + s * self.l2.line_bytes() as u64;
+                if self.l2.invalidate(sector).is_some() {
+                    for sm in &mut self.sms {
+                        sm.l1_invalidate(sector);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decides how many bytes an L2 read miss fetches (Fig. 16b).
+    fn read_granule(&self, pc: Pc) -> (usize, bool) {
+        if !self.kind.has_rdopt() {
+            return (128, false);
+        }
+        match self.policy {
+            PrefetchPolicy::None => (128, false),
+            PrefetchPolicy::Fixed(n) => (n.max(128), n > 128),
+            PrefetchPolicy::Predicted4K => {
+                if self.predictor.should_prefetch(pc) {
+                    (self.page_bytes, true)
+                } else {
+                    (128, false)
+                }
+            }
+            PrefetchPolicy::Dynamic => {
+                if self.predictor.should_prefetch(pc) {
+                    (self.monitor.granularity(), true)
+                } else {
+                    (128, false)
+                }
+            }
+        }
+    }
+
+    /// GC reports accumulated across runs.
+    pub fn gc_reports(&self) -> &[GcReport] {
+        &self.gc_reports
+    }
+
+    /// The backend (for post-run inspection).
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zng_workloads::{MultiApp, TraceParams};
+
+    fn run(kind: PlatformKind) -> RunResult {
+        let cfg = SimConfig::tiny();
+        let mut sim = Simulation::new(kind, &cfg).unwrap();
+        let mix = MultiApp::from_names(&["betw"], &TraceParams::tiny()).unwrap();
+        sim.run(&mix).unwrap()
+    }
+
+    #[test]
+    fn all_platforms_complete_a_small_run() {
+        for kind in PlatformKind::PAPER_PLATFORMS {
+            let r = run(kind);
+            assert!(r.instructions > 0, "{kind}");
+            assert!(r.cycles > Cycle::ZERO, "{kind}");
+            assert!(r.ipc > 0.0, "{kind}");
+        }
+        let r = run(PlatformKind::Ideal);
+        assert!(r.ipc > 0.0);
+    }
+
+    #[test]
+    fn ideal_beats_zng_base() {
+        let ideal = run(PlatformKind::Ideal);
+        let base = run(PlatformKind::ZngBase);
+        assert!(
+            ideal.ipc > base.ipc * 2.0,
+            "ideal {} vs base {}",
+            ideal.ipc,
+            base.ipc
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run(PlatformKind::Zng);
+        let b = run(PlatformKind::Zng);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn request_count_matches_per_app_sum() {
+        let r = run(PlatformKind::Zng);
+        let sum: u64 = r.per_app_requests.values().sum();
+        assert_eq!(sum, r.requests);
+        let series_sum: u64 = r.per_app_series.values().flatten().sum();
+        assert_eq!(series_sum, r.requests);
+    }
+
+    #[test]
+    fn write_mix_triggers_flash_programs_on_base() {
+        let cfg = SimConfig::tiny();
+        let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let r = sim.run(&mix).unwrap();
+        assert!(r.flash_programs_per_page > 0.0, "{r:?}");
+    }
+
+    #[test]
+    fn rdopt_uses_prefetcher() {
+        let cfg = SimConfig::tiny();
+        let mut sim = Simulation::new(PlatformKind::ZngRdopt, &cfg).unwrap();
+        let mix = MultiApp::from_names(
+            &["betw"],
+            &TraceParams {
+                total_warps: 8,
+                mem_ops_per_warp: 120,
+                footprint_pages: 64,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let r = sim.run(&mix).unwrap();
+        assert!(
+            r.predictor_accuracy > 0.0,
+            "predictor must have made predictions: {r:?}"
+        );
+    }
+}

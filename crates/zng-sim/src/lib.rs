@@ -1,0 +1,25 @@
+//! Discrete-event simulation kernel for the ZnG simulator.
+//!
+//! Three building blocks:
+//!
+//! * [`EventQueue`] — a deterministic time-ordered event heap (FIFO among
+//!   same-cycle events).
+//! * [`Resource`] / [`Link`] — occupancy-based contention models: shared
+//!   hardware (an L2 bank, an ONFI channel, a flash plane, an SSD-engine
+//!   core) is a set of servers that requests *reserve*; the reservation end
+//!   time is the request's departure. This captures queueing and bandwidth
+//!   saturation without per-cycle stepping.
+//! * [`stats`] — counters, histograms and time-series samplers used to
+//!   regenerate the paper's figures.
+//!
+//! Determinism: all randomness must flow through [`rng::seeded`]; the event
+//! queue breaks timestamp ties by insertion order.
+
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+
+pub use event::EventQueue;
+pub use resource::{Link, Resource};
+pub use stats::{Counter, Histogram, Ratio, TimeSeries};

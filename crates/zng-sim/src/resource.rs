@@ -1,0 +1,286 @@
+//! Occupancy-based contention models.
+//!
+//! Shared hardware is modelled as a small pool of servers. A request
+//! *reserves* a server for its service time; the reservation's end is the
+//! request's departure time. Back-to-back reservations serialize, which is
+//! exactly the queueing behaviour that makes, e.g., HybridGPU's single
+//! request dispatcher or a 1 B ONFI bus a bottleneck.
+
+use zng_types::Cycle;
+
+/// A pool of identical servers with reservation semantics.
+///
+/// # Examples
+///
+/// A single-ported resource serializes:
+///
+/// ```
+/// use zng_sim::Resource;
+/// use zng_types::Cycle;
+///
+/// let mut r = Resource::new(1);
+/// assert_eq!(r.acquire(Cycle(0), Cycle(10)), Cycle(10));
+/// // Arrives at t=0 but the server is busy until 10.
+/// assert_eq!(r.acquire(Cycle(0), Cycle(10)), Cycle(20));
+/// ```
+///
+/// A dual-ported resource overlaps two requests:
+///
+/// ```
+/// use zng_sim::Resource;
+/// use zng_types::Cycle;
+///
+/// let mut r = Resource::new(2);
+/// assert_eq!(r.acquire(Cycle(0), Cycle(10)), Cycle(10));
+/// assert_eq!(r.acquire(Cycle(0), Cycle(10)), Cycle(10));
+/// assert_eq!(r.acquire(Cycle(0), Cycle(10)), Cycle(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Next-free time per server.
+    servers: Vec<Cycle>,
+    /// Total busy time accumulated across servers (for utilization).
+    busy: Cycle,
+    /// Number of completed reservations.
+    served: u64,
+}
+
+impl Resource {
+    /// Creates a resource with `ports` parallel servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(ports: usize) -> Resource {
+        assert!(ports > 0, "a resource needs at least one server");
+        Resource {
+            servers: vec![Cycle::ZERO; ports],
+            busy: Cycle::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Reserves the earliest-free server starting no earlier than `now` for
+    /// `service` cycles and returns the completion time.
+    pub fn acquire(&mut self, now: Cycle, service: Cycle) -> Cycle {
+        let slot = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, free)| **free)
+            .map(|(i, _)| i)
+            .expect("resource has at least one server");
+        let start = now.max(self.servers[slot]);
+        let end = start + service;
+        self.servers[slot] = end;
+        self.busy += service;
+        self.served += 1;
+        end
+    }
+
+    /// The earliest time any server becomes free.
+    pub fn earliest_free(&self) -> Cycle {
+        self.servers
+            .iter()
+            .copied()
+            .min()
+            .expect("resource has at least one server")
+    }
+
+    /// Number of servers in the pool.
+    pub fn ports(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Completed reservations so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Fraction of capacity used up to `now` (0.0–1.0).
+    ///
+    /// Returns 0.0 before any time has elapsed.
+    pub fn utilization(&self, now: Cycle) -> f64 {
+        if now == Cycle::ZERO {
+            return 0.0;
+        }
+        let cap = now.raw() as f64 * self.servers.len() as f64;
+        (self.busy.raw() as f64 / cap).min(1.0)
+    }
+
+    /// Forgets all reservations (used between simulation phases).
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            *s = Cycle::ZERO;
+        }
+        self.busy = Cycle::ZERO;
+        self.served = 0;
+    }
+}
+
+/// A bandwidth-limited, fixed-latency transfer pipe (a bus, a NoC link,
+/// a PCIe lane set, a flash channel).
+///
+/// Occupancy is `bytes / bytes_per_cycle`; the propagation `latency` is
+/// pipelined (it delays the data but does not occupy the pipe).
+///
+/// # Examples
+///
+/// ```
+/// use zng_sim::Link;
+/// use zng_types::Cycle;
+///
+/// // An 8 B/cycle mesh link with 4-cycle hop latency.
+/// let mut l = Link::new(8.0, Cycle(4));
+/// // A 4 KB page occupies the link for 512 cycles, arriving at 516.
+/// assert_eq!(l.transfer(Cycle(0), 4096), Cycle(516));
+/// // The next page queues behind the first occupancy.
+/// assert_eq!(l.transfer(Cycle(0), 4096), Cycle(1028));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    pipe: Resource,
+    bytes_per_cycle: f64,
+    latency: Cycle,
+    bytes_moved: u64,
+}
+
+impl Link {
+    /// Creates a link moving `bytes_per_cycle` with per-transfer `latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive.
+    pub fn new(bytes_per_cycle: f64, latency: Cycle) -> Link {
+        assert!(
+            bytes_per_cycle > 0.0,
+            "link bandwidth must be positive, got {bytes_per_cycle}"
+        );
+        Link {
+            pipe: Resource::new(1),
+            bytes_per_cycle,
+            latency,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Reserves the pipe for `bytes` starting no earlier than `now`;
+    /// returns the time the last byte arrives.
+    pub fn transfer(&mut self, now: Cycle, bytes: usize) -> Cycle {
+        let occupancy = Cycle((bytes as f64 / self.bytes_per_cycle).ceil() as u64);
+        self.bytes_moved += bytes as u64;
+        self.pipe.acquire(now, occupancy) + self.latency
+    }
+
+    /// Total bytes pushed through this link.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// The link's configured bandwidth in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// The link's propagation latency.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Fraction of link capacity used up to `now`.
+    pub fn utilization(&self, now: Cycle) -> f64 {
+        self.pipe.utilization(now)
+    }
+
+    /// Forgets all reservations and counters.
+    pub fn reset(&mut self) {
+        self.pipe.reset();
+        self.bytes_moved = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serializes() {
+        let mut r = Resource::new(1);
+        let a = r.acquire(Cycle(0), Cycle(5));
+        let b = r.acquire(Cycle(2), Cycle(5));
+        assert_eq!(a, Cycle(5));
+        assert_eq!(b, Cycle(10)); // queued behind a
+        assert_eq!(r.served(), 2);
+    }
+
+    #[test]
+    fn idle_gap_is_not_reserved() {
+        let mut r = Resource::new(1);
+        r.acquire(Cycle(0), Cycle(5));
+        // Arrives after the first job finished: starts immediately.
+        assert_eq!(r.acquire(Cycle(100), Cycle(5)), Cycle(105));
+    }
+
+    #[test]
+    fn multi_port_overlaps() {
+        let mut r = Resource::new(3);
+        for _ in 0..3 {
+            assert_eq!(r.acquire(Cycle(0), Cycle(10)), Cycle(10));
+        }
+        assert_eq!(r.acquire(Cycle(0), Cycle(10)), Cycle(20));
+        assert_eq!(r.earliest_free(), Cycle(10));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut r = Resource::new(2);
+        assert_eq!(r.utilization(Cycle::ZERO), 0.0);
+        r.acquire(Cycle(0), Cycle(10));
+        // 10 busy cycles over 2 servers * 10 cycles = 0.5.
+        assert!((r.utilization(Cycle(10)) - 0.5).abs() < 1e-12);
+        r.acquire(Cycle(0), Cycle(10));
+        assert!((r.utilization(Cycle(10)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = Resource::new(1);
+        r.acquire(Cycle(0), Cycle(50));
+        r.reset();
+        assert_eq!(r.earliest_free(), Cycle::ZERO);
+        assert_eq!(r.served(), 0);
+        assert_eq!(r.acquire(Cycle(0), Cycle(1)), Cycle(1));
+    }
+
+    #[test]
+    fn link_bandwidth_math() {
+        // 1 B/cycle ONFI-like bus: a 4 KB page takes 4096 cycles.
+        let mut bus = Link::new(1.0, Cycle::ZERO);
+        assert_eq!(bus.transfer(Cycle(0), 4096), Cycle(4096));
+        assert_eq!(bus.bytes_moved(), 4096);
+        // An 8 B/cycle link is 8x faster.
+        let mut mesh = Link::new(8.0, Cycle::ZERO);
+        assert_eq!(mesh.transfer(Cycle(0), 4096), Cycle(512));
+    }
+
+    #[test]
+    fn link_latency_is_pipelined() {
+        let mut l = Link::new(128.0, Cycle(10));
+        let first = l.transfer(Cycle(0), 128); // occupancy 1, arrive 11
+        let second = l.transfer(Cycle(0), 128); // starts at 1, arrive 12
+        assert_eq!(first, Cycle(11));
+        assert_eq!(second, Cycle(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_ports_rejected() {
+        let _ = Resource::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Link::new(0.0, Cycle::ZERO);
+    }
+}

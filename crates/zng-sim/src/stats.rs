@@ -1,0 +1,332 @@
+//! Statistics primitives used to regenerate the paper's figures.
+
+use serde::{Deserialize, Serialize};
+use zng_types::Cycle;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// let mut c = zng_sim::Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+/// A hit/total ratio (cache hit rate, predictor accuracy, waste ratio…).
+///
+/// # Examples
+///
+/// ```
+/// let mut r = zng_sim::Ratio::default();
+/// r.record(true);
+/// r.record(true);
+/// r.record(false);
+/// assert!((r.value() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Records one outcome.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(self) -> u64 {
+        self.hits
+    }
+
+    /// Samples so far.
+    pub fn total(self) -> u64 {
+        self.total
+    }
+
+    /// The ratio, or 0.0 if nothing was recorded.
+    pub fn value(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Resets both counters.
+    pub fn reset(&mut self) {
+        *self = Ratio::default();
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples (latency, queue
+/// depth, reuse counts).
+///
+/// Bucket `i` holds samples in `[2^(i-1), 2^i)`, with bucket 0 holding the
+/// value 0 and 1.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = zng_sim::Histogram::new();
+/// h.record(1);
+/// h.record(100);
+/// assert_eq!(h.count(), 2);
+/// assert!(h.mean() > 50.0);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = 64 - value.leading_zeros() as usize; // 0 -> 0, 1 -> 1, ...
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Approximate p-th percentile (0.0–1.0) from bucket upper bounds.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << (i - 1) };
+            }
+        }
+        self.max
+    }
+
+    /// The raw buckets (`bucket[i]` counts samples with
+    /// `highest_set_bit == i`).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// A fixed-interval time series: counts events per time bucket.
+///
+/// Used for the paper's Fig. 17b (memory requests generated over time
+/// during garbage collection).
+///
+/// # Examples
+///
+/// ```
+/// use zng_types::Cycle;
+/// let mut ts = zng_sim::TimeSeries::new(Cycle(100));
+/// ts.record(Cycle(10), 1);
+/// ts.record(Cycle(150), 2);
+/// ts.record(Cycle(160), 1);
+/// assert_eq!(ts.samples(), vec![1, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    interval: Cycle,
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Cycle) -> TimeSeries {
+        assert!(interval > Cycle::ZERO, "time-series interval must be positive");
+        TimeSeries {
+            interval,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Adds `weight` events at time `at`.
+    pub fn record(&mut self, at: Cycle, weight: u64) {
+        let idx = (at.raw() / self.interval.raw()) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += weight;
+    }
+
+    /// The bucket width.
+    pub fn interval(&self) -> Cycle {
+        self.interval
+    }
+
+    /// The per-bucket event counts, in time order.
+    pub fn samples(&self) -> Vec<u64> {
+        self.buckets.clone()
+    }
+
+    /// Iterates `(bucket_start_time, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (Cycle(i as u64 * self.interval.raw()), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_ops() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn ratio_empty_is_zero() {
+        assert_eq!(Ratio::default().value(), 0.0);
+    }
+
+    #[test]
+    fn ratio_counts() {
+        let mut r = Ratio::default();
+        for i in 0..10 {
+            r.record(i % 2 == 0);
+        }
+        assert_eq!(r.hits(), 5);
+        assert_eq!(r.total(), 10);
+        assert!((r.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_moments() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 4, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.sum(), 1039);
+        assert!((h.mean() - 1039.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentile_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= h.max());
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_layout() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(3); // bucket 2
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 1);
+    }
+
+    #[test]
+    fn time_series_bucketing() {
+        let mut ts = TimeSeries::new(Cycle(10));
+        ts.record(Cycle(0), 1);
+        ts.record(Cycle(9), 1);
+        ts.record(Cycle(10), 5);
+        ts.record(Cycle(35), 2);
+        assert_eq!(ts.samples(), vec![2, 5, 0, 2]);
+        let pairs: Vec<_> = ts.iter().collect();
+        assert_eq!(pairs[1], (Cycle(10), 5));
+        assert_eq!(ts.interval(), Cycle(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn time_series_rejects_zero_interval() {
+        let _ = TimeSeries::new(Cycle::ZERO);
+    }
+}

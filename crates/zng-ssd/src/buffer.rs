@@ -1,0 +1,226 @@
+//! The SSD-internal DRAM page buffer.
+//!
+//! A fully-associative LRU cache of flash pages with dirty tracking.
+//! Residency is decided here; the *timing* of buffer DRAM accesses is
+//! charged by the SSD module through its single-package
+//! [`zng_mem::MemSubsystem`] (the 32-bit-bus bottleneck of Fig. 1b).
+
+use std::collections::HashMap;
+
+/// The result of a buffer lookup/insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferAccess {
+    /// Whether the page was already resident.
+    pub hit: bool,
+    /// A dirty page pushed out to make room (must be flushed to flash).
+    pub evicted_dirty: Option<u64>,
+}
+
+/// A fully-associative LRU page cache with dirty bits.
+///
+/// # Examples
+///
+/// ```
+/// use zng_ssd::PageBuffer;
+///
+/// let mut buf = PageBuffer::new(2);
+/// assert!(!buf.access(1, false).hit);
+/// assert!(buf.access(1, true).hit); // now dirty
+/// buf.access(2, false);
+/// let third = buf.access(3, false); // evicts page 1 (LRU, dirty)
+/// assert_eq!(third.evicted_dirty, Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageBuffer {
+    capacity: usize,
+    /// ppn -> (last_use, dirty)
+    pages: HashMap<u64, (u64, bool)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl PageBuffer {
+    /// Creates a buffer holding `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> PageBuffer {
+        assert!(capacity > 0, "page buffer needs capacity");
+        PageBuffer {
+            capacity,
+            pages: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Touches page `ppn`, marking it dirty if `write`. Inserts on miss,
+    /// evicting the LRU page; a dirty eviction is reported for flushing.
+    pub fn access(&mut self, ppn: u64, write: bool) -> BufferAccess {
+        self.tick += 1;
+        if let Some((last, dirty)) = self.pages.get_mut(&ppn) {
+            *last = self.tick;
+            *dirty |= write;
+            self.hits += 1;
+            return BufferAccess {
+                hit: true,
+                evicted_dirty: None,
+            };
+        }
+        self.misses += 1;
+        let mut evicted_dirty = None;
+        if self.pages.len() >= self.capacity {
+            let victim = self
+                .pages
+                .iter()
+                .min_by_key(|(k, (last, _))| (*last, **k))
+                .map(|(k, _)| *k)
+                .expect("buffer full implies non-empty");
+            let (_, dirty) = self.pages.remove(&victim).expect("victim resident");
+            if dirty {
+                self.writebacks += 1;
+                evicted_dirty = Some(victim);
+            }
+        }
+        self.pages.insert(ppn, (self.tick, write));
+        BufferAccess {
+            hit: false,
+            evicted_dirty,
+        }
+    }
+
+    /// Whether `ppn` is resident.
+    pub fn contains(&self, ppn: u64) -> bool {
+        self.pages.contains_key(&ppn)
+    }
+
+    /// Drains all dirty pages (flush on shutdown/GC), clearing the buffer.
+    pub fn flush_dirty(&mut self) -> Vec<u64> {
+        let mut dirty: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, (_, d))| *d)
+            .map(|(k, _)| *k)
+            .collect();
+        dirty.sort_unstable();
+        self.writebacks += dirty.len() as u64;
+        self.pages.clear();
+        dirty
+    }
+
+    /// Resident page count.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions + flushes performed.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Hit rate (0.0 if never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut b = PageBuffer::new(4);
+        assert!(!b.access(1, false).hit);
+        assert!(b.access(1, false).hit);
+        assert_eq!(b.hits(), 1);
+        assert_eq!(b.misses(), 1);
+        assert!((b.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut b = PageBuffer::new(2);
+        b.access(1, false);
+        b.access(2, false);
+        b.access(1, false); // 2 becomes LRU
+        let r = b.access(3, false);
+        assert!(!r.hit);
+        assert!(!b.contains(2));
+        assert!(b.contains(1) && b.contains(3));
+    }
+
+    #[test]
+    fn clean_evictions_need_no_writeback() {
+        let mut b = PageBuffer::new(1);
+        b.access(1, false);
+        let r = b.access(2, false);
+        assert_eq!(r.evicted_dirty, None);
+        assert_eq!(b.writebacks(), 0);
+    }
+
+    #[test]
+    fn dirty_evictions_reported() {
+        let mut b = PageBuffer::new(1);
+        b.access(1, true);
+        let r = b.access(2, false);
+        assert_eq!(r.evicted_dirty, Some(1));
+        assert_eq!(b.writebacks(), 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut b = PageBuffer::new(2);
+        b.access(1, false);
+        b.access(1, true); // dirties the clean page
+        b.access(2, false);
+        let r = b.access(3, false); // evicts 1
+        assert_eq!(r.evicted_dirty, Some(1));
+    }
+
+    #[test]
+    fn flush_dirty_returns_sorted_and_clears() {
+        let mut b = PageBuffer::new(8);
+        b.access(5, true);
+        b.access(2, false);
+        b.access(9, true);
+        assert_eq!(b.flush_dirty(), vec![5, 9]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        let _ = PageBuffer::new(0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Property tests for the SSD page buffer.
+
+use proptest::prelude::*;
+use zng_ssd::PageBuffer;
+
+proptest! {
+    #[test]
+    fn buffer_never_exceeds_capacity_and_dirty_writebacks_conserve(
+        cap in 1usize..16,
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..400),
+    ) {
+        let mut b = PageBuffer::new(cap);
+        let mut dirty_in_flight = std::collections::HashSet::new();
+        let mut writebacks = 0u64;
+        for &(ppn, write) in &ops {
+            let r = b.access(ppn, write);
+            if write {
+                dirty_in_flight.insert(ppn);
+            }
+            if let Some(victim) = r.evicted_dirty {
+                prop_assert!(dirty_in_flight.remove(&victim), "clean page written back");
+                writebacks += 1;
+            }
+            prop_assert!(b.len() <= cap);
+        }
+        let flushed = b.flush_dirty();
+        for p in &flushed {
+            prop_assert!(dirty_in_flight.remove(p));
+        }
+        prop_assert!(dirty_in_flight.is_empty(), "dirty pages lost");
+        prop_assert_eq!(b.writebacks(), writebacks + flushed.len() as u64);
+    }
+}

@@ -1,0 +1,99 @@
+//! The workspace-wide error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors surfaced by the ZnG simulator's public API.
+///
+/// Simulation-internal invariant violations are bugs and panic instead;
+/// `Error` covers conditions a caller can trigger through configuration or
+/// workload input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        what: String,
+        /// Why it was rejected.
+        why: String,
+    },
+    /// An address fell outside the configured device capacity.
+    AddressOutOfRange {
+        /// The raw offending address.
+        addr: u64,
+        /// The capacity it exceeded, in bytes.
+        capacity: u64,
+    },
+    /// Flash protocol violation: programming a page out of order or
+    /// overwriting without an erase (erase-before-write rule).
+    FlashProtocol(String),
+    /// The device ran out of free blocks and garbage collection could not
+    /// reclaim space.
+    OutOfSpace,
+    /// A workload name was not recognised.
+    UnknownWorkload(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { what, why } => {
+                write!(f, "invalid configuration for {what}: {why}")
+            }
+            Error::AddressOutOfRange { addr, capacity } => {
+                write!(f, "address {addr:#x} out of range (capacity {capacity} bytes)")
+            }
+            Error::FlashProtocol(msg) => write!(f, "flash protocol violation: {msg}"),
+            Error::OutOfSpace => write!(f, "flash device out of space"),
+            Error::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+impl Error {
+    /// Convenience constructor for [`Error::InvalidConfig`].
+    pub fn invalid_config(what: impl Into<String>, why: impl Into<String>) -> Error {
+        Error::InvalidConfig {
+            what: what.into(),
+            why: why.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::invalid_config("l2.size", "must be a multiple of the line size");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for l2.size: must be a multiple of the line size"
+        );
+        let e = Error::AddressOutOfRange {
+            addr: 0x100,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("0x100"));
+        assert_eq!(Error::OutOfSpace.to_string(), "flash device out of space");
+        assert!(Error::UnknownWorkload("bogus".into())
+            .to_string()
+            .contains("bogus"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::OutOfSpace);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! Common vocabulary types for the ZnG simulator.
+//!
+//! This crate defines the newtypes shared by every other crate in the
+//! workspace: simulation time ([`Cycle`], [`Nanos`]), data sizes
+//! ([`size`]), the address spaces that a request traverses
+//! (virtual → logical → flash-physical, see [`addr`]), hardware
+//! identifiers ([`ids`]), the memory-request descriptor
+//! ([`MemoryRequest`]) and the crate-wide error type ([`Error`]).
+//!
+//! # Address spaces
+//!
+//! ZnG requests cross three address spaces, mirroring the paper's
+//! zero-overhead FTL (§IV-A):
+//!
+//! 1. **Virtual** ([`VirtAddr`]) — what a GPU thread computes.
+//! 2. **Logical** ([`LogicalAddr`]) — the global memory address after the
+//!    MMU's page table; indexes caches.
+//! 3. **Flash-physical** ([`FlashAddr`]) — channel/die/plane/block/page,
+//!    produced by the DBMT (block-granular, read-only) plus the
+//!    row-decoder LPMT (log-block pages).
+//!
+//! # Examples
+//!
+//! ```
+//! use zng_types::{Cycle, size::FLASH_PAGE, addr::VirtAddr};
+//!
+//! let t = Cycle(100) + Cycle(20);
+//! assert_eq!(t, Cycle(120));
+//! let va = VirtAddr(0x4000_1234);
+//! assert_eq!(va.page_number(FLASH_PAGE as u64), 0x4000_1234 / 4096);
+//! ```
+
+pub mod addr;
+pub mod error;
+pub mod ids;
+pub mod request;
+pub mod size;
+pub mod time;
+
+pub use addr::{BlockAddr, FlashAddr, Lbn, LogicalAddr, Pdbn, Plbn, Vbn, VirtAddr};
+pub use error::Error;
+pub use ids::{AppId, BankId, ChannelId, DieId, PackageId, Pc, PlaneId, SmId, WarpId};
+pub use request::{AccessKind, MemoryRequest, RequestId};
+pub use size::{CACHE_LINE, FLASH_PAGE, SECTORS_PER_PAGE};
+pub use time::{Cycle, Freq, Nanos};
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;

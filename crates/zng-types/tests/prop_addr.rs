@@ -1,0 +1,23 @@
+//! Property tests for address arithmetic.
+
+use proptest::prelude::*;
+use zng_types::{size::CACHE_LINE, VirtAddr};
+
+proptest! {
+    #[test]
+    fn sector_base_is_aligned_and_close(raw in 0u64..u64::MAX / 2) {
+        let a = VirtAddr(raw);
+        let base = a.sector_base();
+        prop_assert_eq!(base.raw() % CACHE_LINE as u64, 0);
+        prop_assert!(base.raw() <= raw);
+        prop_assert!(raw - base.raw() < CACHE_LINE as u64);
+    }
+
+    #[test]
+    fn page_math_consistent(raw in 0u64..u64::MAX / 2, shift in 7u32..16) {
+        let page = 1u64 << shift;
+        let a = VirtAddr(raw);
+        prop_assert_eq!(a.page_number(page) * page + a.page_offset(page), raw);
+        prop_assert!(a.page_offset(page) < page);
+    }
+}

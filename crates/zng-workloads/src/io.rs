@@ -1,0 +1,153 @@
+//! Saving and loading generated traces.
+//!
+//! Trace synthesis is deterministic per seed, but exporting the exact
+//! warp traces lets an experiment be archived, diffed, or replayed by an
+//! external tool. The format is a versioned JSON envelope around the
+//! serde representation of [`WarpTrace`].
+
+use std::fs;
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use zng_gpu::WarpTrace;
+use zng_types::{Error, Result};
+
+/// On-disk trace bundle: one application's warp traces plus provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceBundle {
+    /// Format version (bumped on breaking changes).
+    pub version: u32,
+    /// Workload name (Table II).
+    pub workload: String,
+    /// Seed the traces were generated from.
+    pub seed: u64,
+    /// One trace per warp.
+    pub traces: Vec<WarpTrace>,
+}
+
+/// Current bundle format version.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+impl TraceBundle {
+    /// Wraps freshly generated traces with provenance.
+    pub fn new(workload: &str, seed: u64, traces: Vec<WarpTrace>) -> TraceBundle {
+        TraceBundle {
+            version: TRACE_FORMAT_VERSION,
+            workload: workload.to_string(),
+            seed,
+            traces,
+        }
+    }
+
+    /// Serialises the bundle as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if serialisation fails (cannot
+    /// happen for well-formed traces).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| Error::invalid_config("trace bundle", e.to_string()))
+    }
+
+    /// Parses a bundle from JSON, validating the format version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on malformed JSON or an
+    /// unsupported version.
+    pub fn from_json(json: &str) -> Result<TraceBundle> {
+        let bundle: TraceBundle = serde_json::from_str(json)
+            .map_err(|e| Error::invalid_config("trace bundle", e.to_string()))?;
+        if bundle.version != TRACE_FORMAT_VERSION {
+            return Err(Error::invalid_config(
+                "trace bundle",
+                format!(
+                    "unsupported format version {} (expected {TRACE_FORMAT_VERSION})",
+                    bundle.version
+                ),
+            ));
+        }
+        Ok(bundle)
+    }
+
+    /// Writes the bundle to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on I/O failure.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = self.to_json()?;
+        let mut f = fs::File::create(path)
+            .map_err(|e| Error::invalid_config("trace file", e.to_string()))?;
+        f.write_all(json.as_bytes())
+            .map_err(|e| Error::invalid_config("trace file", e.to_string()))
+    }
+
+    /// Loads a bundle from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on I/O or format failure.
+    pub fn load(path: &Path) -> Result<TraceBundle> {
+        let mut json = String::new();
+        fs::File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut json))
+            .map_err(|e| Error::invalid_config("trace file", e.to_string()))?;
+        TraceBundle::from_json(&json)
+    }
+
+    /// Total memory operations across all warps.
+    pub fn mem_ops(&self) -> usize {
+        self.traces.iter().map(WarpTrace::mem_ops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TraceParams};
+    use crate::table2::by_name;
+    use zng_types::ids::AppId;
+
+    fn bundle() -> TraceBundle {
+        let spec = by_name("betw").unwrap();
+        let params = TraceParams::tiny();
+        TraceBundle::new("betw", params.seed, generate(&spec, AppId(0), &params))
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let b = bundle();
+        let json = b.to_json().unwrap();
+        let back = TraceBundle::from_json(&json).unwrap();
+        assert_eq!(b, back);
+        assert_eq!(back.workload, "betw");
+        assert!(back.mem_ops() > 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let b = bundle();
+        let dir = std::env::temp_dir();
+        let path = dir.join("zng_trace_test.json");
+        b.save(&path).unwrap();
+        let back = TraceBundle::load(&path).unwrap();
+        assert_eq!(b, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let b = bundle();
+        let json = b.to_json().unwrap().replace("\"version\":1", "\"version\":99");
+        assert!(TraceBundle::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(TraceBundle::from_json("{not json").is_err());
+        assert!(TraceBundle::load(Path::new("/nonexistent/zng")).is_err());
+    }
+}

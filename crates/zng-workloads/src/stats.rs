@@ -1,0 +1,143 @@
+//! Trace statistics: the request-level characterisation of Fig. 5b/5c.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use zng_gpu::{WarpOp, WarpTrace};
+
+/// Aggregate request-level statistics of a trace set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Coalesced 128 B read requests.
+    pub read_requests: u64,
+    /// Coalesced 128 B write requests.
+    pub write_requests: u64,
+    /// Distinct 4 KB pages read.
+    pub pages_read: u64,
+    /// Distinct 4 KB pages written.
+    pub pages_written: u64,
+    /// Mean read requests per distinct read page (Fig. 5b's re-access).
+    pub mean_reads_per_page: f64,
+    /// Mean write requests per distinct written page (Fig. 5c's
+    /// redundancy).
+    pub mean_writes_per_page: f64,
+    /// Reads / (reads + writes).
+    pub read_ratio: f64,
+}
+
+/// Computes [`TraceStats`] by expanding every memory op through the
+/// coalescer.
+///
+/// # Examples
+///
+/// ```
+/// use zng_workloads::{by_name, generate, trace_stats, TraceParams};
+/// use zng_types::ids::AppId;
+///
+/// let spec = by_name("betw")?;
+/// let traces = generate(&spec, AppId(0), &TraceParams::tiny());
+/// let stats = trace_stats(&traces);
+/// assert!(stats.read_ratio > 0.9);
+/// # Ok::<(), zng_types::Error>(())
+/// ```
+pub fn trace_stats(traces: &[WarpTrace]) -> TraceStats {
+    let mut reads_per_page: HashMap<u64, u64> = HashMap::new();
+    let mut writes_per_page: HashMap<u64, u64> = HashMap::new();
+    let (mut reads, mut writes) = (0u64, 0u64);
+    for trace in traces {
+        for op in trace.ops() {
+            if let WarpOp::Mem {
+                base,
+                kind,
+                pattern,
+                ..
+            } = op
+            {
+                for sector in pattern.sectors(base.raw()) {
+                    let page = sector / 4096;
+                    if kind.is_read() {
+                        reads += 1;
+                        *reads_per_page.entry(page).or_insert(0) += 1;
+                    } else {
+                        writes += 1;
+                        *writes_per_page.entry(page).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mean = |m: &HashMap<u64, u64>| {
+        if m.is_empty() {
+            0.0
+        } else {
+            m.values().sum::<u64>() as f64 / m.len() as f64
+        }
+    };
+    TraceStats {
+        read_requests: reads,
+        write_requests: writes,
+        pages_read: reads_per_page.len() as u64,
+        pages_written: writes_per_page.len() as u64,
+        mean_reads_per_page: mean(&reads_per_page),
+        mean_writes_per_page: mean(&writes_per_page),
+        read_ratio: if reads + writes == 0 {
+            0.0
+        } else {
+            reads as f64 / (reads + writes) as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TraceParams};
+    use crate::table2::by_name;
+    use zng_types::ids::AppId;
+
+    #[test]
+    fn empty_traces_are_zero() {
+        let s = trace_stats(&[]);
+        assert_eq!(s.read_requests, 0);
+        assert_eq!(s.mean_reads_per_page, 0.0);
+        assert_eq!(s.read_ratio, 0.0);
+    }
+
+    #[test]
+    fn graph_traces_have_substantial_page_reuse() {
+        // The paper's Fig. 5b: each page read tens of times on average.
+        let spec = by_name("betw").unwrap();
+        let traces = generate(&spec, AppId(0), &TraceParams::default());
+        let s = trace_stats(&traces);
+        assert!(
+            s.mean_reads_per_page > 15.0,
+            "reuse {}",
+            s.mean_reads_per_page
+        );
+    }
+
+    #[test]
+    fn write_heavy_traces_have_write_redundancy() {
+        // Fig. 5c: write-intensive kernels rewrite pages heavily.
+        let spec = by_name("back").unwrap();
+        let traces = generate(&spec, AppId(0), &TraceParams::default());
+        let s = trace_stats(&traces);
+        assert!(
+            s.mean_writes_per_page > 20.0,
+            "redundancy {}",
+            s.mean_writes_per_page
+        );
+        assert!(s.read_ratio < 0.7);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let spec = by_name("gaus").unwrap();
+        let traces = generate(&spec, AppId(0), &TraceParams::tiny());
+        let s = trace_stats(&traces);
+        assert!(s.pages_read <= s.read_requests);
+        assert!(s.pages_written <= s.write_requests);
+        let implied = s.mean_reads_per_page * s.pages_read as f64;
+        assert!((implied - s.read_requests as f64).abs() < 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Design-space exploration: sweep ZnG's two key design choices — the
+//! flash-register interconnect (paper Fig. 14) and the read-prefetch
+//! policy (paper Fig. 16b) — on the flagship `betw-back` mix.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use zng::{Experiment, PlatformKind, Table, TraceParams};
+use zng_flash::RegisterTopology;
+use zng_gpu::PrefetchPolicy;
+
+fn main() -> zng::Result<()> {
+    let params = TraceParams {
+        total_warps: 128,
+        mem_ops_per_warp: 650,
+        footprint_pages: 2048,
+        seed: 42,
+    };
+
+    // --- Register interconnects (Fig. 14) ---
+    // Stress configuration: few registers per plane (the paper's Fig. 14
+    // regime, where the register network actually matters).
+    let mut t = Table::new(vec![
+        "register network".into(),
+        "IPC".into(),
+        "migrations".into(),
+        "programs/page".into(),
+    ]);
+    for topo in [
+        RegisterTopology::SwNet,
+        RegisterTopology::FcNet,
+        RegisterTopology::NiF,
+    ] {
+        let mut exp = Experiment::standard().with_params(params);
+        exp.config_mut().register_topology = topo;
+        exp.config_mut().flash.registers_per_plane = 8;
+        let r = exp.run(PlatformKind::Zng, &["betw", "back"])?;
+        t.row(vec![
+            topo.to_string(),
+            format!("{:.4}", r.ipc),
+            r.register_migrations.to_string(),
+            format!("{:.2}", r.flash_programs_per_page),
+        ]);
+    }
+    t.print("Flash-register interconnects (Fig. 14)");
+
+    // --- Prefetch policies (Fig. 16b) ---
+    let mut t = Table::new(vec![
+        "prefetch policy".into(),
+        "IPC".into(),
+        "L2 hit".into(),
+        "reads/page".into(),
+    ]);
+    for (name, policy) in [
+        ("nopref", PrefetchPolicy::None),
+        ("1KBpref", PrefetchPolicy::Fixed(1024)),
+        ("4KBpref", PrefetchPolicy::Fixed(4096)),
+        ("predict-4KB", PrefetchPolicy::Predicted4K),
+        ("dyn-pref", PrefetchPolicy::Dynamic),
+    ] {
+        let mut exp = Experiment::standard().with_params(params);
+        exp.config_mut().prefetch_policy = policy;
+        let r = exp.run(PlatformKind::Zng, &["betw", "back"])?;
+        t.row(vec![
+            name.into(),
+            format!("{:.4}", r.ipc),
+            format!("{:.2}", r.l2_hit_rate),
+            format!("{:.1}", r.flash_reads_per_page),
+        ]);
+    }
+    t.print("Read-prefetch policies (Fig. 16b)");
+    Ok(())
+}

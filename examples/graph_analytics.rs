@@ -1,0 +1,44 @@
+//! Graph-analytics deep dive: run every GraphBIG workload from Table II
+//! on the full ZnG platform and report the metrics the paper highlights —
+//! IPC, L2 behaviour, flash page re-access (Fig. 12's quantity) and the
+//! read-prefetch predictor's accuracy (Fig. 15b).
+//!
+//! ```text
+//! cargo run --release --example graph_analytics
+//! ```
+
+use zng::{table2, Experiment, PlatformKind, Suite, Table, TraceParams};
+
+fn main() -> zng::Result<()> {
+    let mut exp = Experiment::standard().with_params(TraceParams {
+        total_warps: 128,
+        mem_ops_per_warp: 650,
+        footprint_pages: 2048,
+        seed: 42,
+    });
+
+    let mut table = Table::new(vec![
+        "workload".into(),
+        "IPC".into(),
+        "L2 hit".into(),
+        "TLB hit".into(),
+        "pred acc".into(),
+        "reads/page".into(),
+        "flash GB/s".into(),
+    ]);
+
+    for spec in table2().iter().filter(|w| w.suite == Suite::GraphBig) {
+        let r = exp.run(PlatformKind::Zng, &[spec.name])?;
+        table.row(vec![
+            spec.name.to_string(),
+            format!("{:.3}", r.ipc),
+            format!("{:.2}", r.l2_hit_rate),
+            format!("{:.2}", r.tlb_hit_rate),
+            format!("{:.2}", r.predictor_accuracy),
+            format!("{:.1}", r.flash_reads_per_page),
+            format!("{:.1}", r.flash_array_gbps),
+        ]);
+    }
+    table.print("GraphBIG workloads on full ZnG");
+    Ok(())
+}

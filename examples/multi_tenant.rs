@@ -1,0 +1,52 @@
+//! Multi-tenant scalability (the paper's Fig. 15a): co-run 1, 2, 4 and 8
+//! instances of a read-intensive app (`betw`) and of a write-intensive
+//! app (`back`) on ZnG and on the Ideal (unbounded GDDR5) reference, and
+//! report aggregate throughput scaling.
+//!
+//! The paper's finding: ZnG tracks Ideal up to 4 co-runners (the AWS
+//! sharing limit) and stays within ~15 % (reads) / ~6 % (writes) at 8.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant
+//! ```
+
+use zng::{Experiment, PlatformKind, Table, TraceParams};
+
+fn main() -> zng::Result<()> {
+    let mut exp = Experiment::standard().with_params(TraceParams {
+        total_warps: 64,
+        mem_ops_per_warp: 400,
+        footprint_pages: 1024,
+        seed: 42,
+    });
+
+    let mut table = Table::new(vec![
+        "apps".into(),
+        "betw Ideal".into(),
+        "betw ZnG".into(),
+        "ZnG/Ideal".into(),
+        "back Ideal".into(),
+        "back ZnG".into(),
+        "ZnG/Ideal".into(),
+    ]);
+
+    for n in [1usize, 2, 4, 8] {
+        let betw_names = vec!["betw"; n];
+        let back_names = vec!["back"; n];
+        let betw_ideal = exp.run(PlatformKind::Ideal, &betw_names)?.ipc;
+        let betw_zng = exp.run(PlatformKind::Zng, &betw_names)?.ipc;
+        let back_ideal = exp.run(PlatformKind::Ideal, &back_names)?.ipc;
+        let back_zng = exp.run(PlatformKind::Zng, &back_names)?.ipc;
+        table.row(vec![
+            n.to_string(),
+            format!("{betw_ideal:.3}"),
+            format!("{betw_zng:.3}"),
+            format!("{:.2}", betw_zng / betw_ideal),
+            format!("{back_ideal:.3}"),
+            format!("{back_zng:.3}"),
+            format!("{:.2}", back_zng / back_ideal),
+        ]);
+    }
+    table.print("Co-running scalability: ZnG vs Ideal (Fig. 15a)");
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Diagnostic probe (not part of the paper's figures): single-app runs
+//! with detailed counters, used to calibrate the simulator.
+
+use zng::{Experiment, PlatformKind, TraceParams};
+
+fn main() -> zng::Result<()> {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let wl = names.first().map(String::as_str).unwrap_or("betw");
+    let mut exp = Experiment::standard().with_params(TraceParams {
+        total_warps: 64,
+        mem_ops_per_warp: 650,
+        footprint_pages: 2048,
+        seed: 42,
+    });
+    for kind in [
+        PlatformKind::Ideal,
+        PlatformKind::Optane,
+        PlatformKind::HybridGpu,
+        PlatformKind::ZngBase,
+        PlatformKind::ZngRdopt,
+        PlatformKind::ZngWropt,
+        PlatformKind::Zng,
+    ] {
+        let r = exp.run(kind, &[wl])?;
+        println!(
+            "{:<10} ipc={:<8.4} l2={:.2} l1={:.2} tlb={:.2} gcs={:<4} reqs={:<7} fgbps={:<6.2} rpp={:<6.1} ppp={:<6.1} rlat={:<8.0} wlat={:<8.0} us={:.0}",
+            kind.to_string(),
+            r.ipc,
+            r.l2_hit_rate,
+            r.l1_hit_rate,
+            r.tlb_hit_rate,
+            r.gcs,
+            r.requests,
+            r.flash_array_gbps,
+            r.flash_reads_per_page,
+            r.flash_programs_per_page,
+            r.avg_read_latency,
+            r.avg_write_latency,
+            r.simulated_us()
+        );
+    }
+    Ok(())
+}

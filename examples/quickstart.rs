@@ -1,0 +1,51 @@
+//! Quickstart: run one multi-app workload on every platform and print
+//! the IPC ladder the paper's Fig. 10 is built from.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use zng::{Experiment, PlatformKind, Table};
+
+fn main() -> zng::Result<()> {
+    // The paper's flagship mix: read-intensive betweenness centrality
+    // co-running with write-intensive backpropagation.
+    let mix = ["betw", "back"];
+    let mut exp = Experiment::standard();
+
+    let mut table = Table::new(vec![
+        "platform".into(),
+        "IPC".into(),
+        "vs ZnG".into(),
+        "flash GB/s".into(),
+        "L2 hit".into(),
+        "sim us".into(),
+    ]);
+
+    let mut platforms = PlatformKind::PAPER_PLATFORMS.to_vec();
+    platforms.push(PlatformKind::Ideal);
+
+    let mut results = Vec::new();
+    for kind in platforms {
+        let r = exp.run(kind, &mix)?;
+        results.push(r);
+    }
+    let zng_ipc = results
+        .iter()
+        .find(|r| r.platform == PlatformKind::Zng)
+        .map(|r| r.ipc)
+        .unwrap_or(1.0);
+
+    for r in &results {
+        table.row(vec![
+            r.platform.to_string(),
+            format!("{:.4}", r.ipc),
+            format!("{:.2}x", r.ipc / zng_ipc),
+            format!("{:.2}", r.flash_array_gbps),
+            format!("{:.2}", r.l2_hit_rate),
+            format!("{:.0}", r.simulated_us()),
+        ]);
+    }
+    table.print(&format!("IPC on {} (normalized to ZnG)", mix.join("-")));
+    Ok(())
+}

@@ -1,0 +1,270 @@
+//! `zng-cli` — run ZnG simulations from the command line.
+//!
+//! ```text
+//! zng-cli list                              # platforms and workloads
+//! zng-cli run --platform zng --workloads betw,back
+//! zng-cli run -p optane -w bfs1,gaus --warps 64 --ops 300 --json
+//! zng-cli sweep --workloads betw,back       # every platform, one table
+//! ```
+
+use std::process::ExitCode;
+
+use zng::{table2, Experiment, PlatformKind, RunResult, Table, TraceParams};
+use zng_workloads::{by_name, generate, TraceBundle};
+use zng_types::ids::AppId;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  zng-cli list
+  zng-cli run    --platform <name> --workloads <a,b,..> [options]
+  zng-cli sweep  --workloads <a,b,..> [options]
+  zng-cli traces --workloads <name> --out <file.json> [options]
+
+options:
+  -p, --platform   hetero|hybridgpu|optane|zng-base|zng-rdopt|zng-wropt|zng|ideal
+  -w, --workloads  comma-separated Table II names (co-run as one mix)
+      --warps      warps per application        (default 128)
+      --ops        memory ops per warp          (default 650)
+      --footprint  footprint in 4 KiB pages     (default 2048)
+      --seed       RNG seed                     (default 42)
+      --json       emit the full RunResult as JSON";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("platforms:");
+            for p in PlatformKind::PAPER_PLATFORMS {
+                println!("  {}", flag_name(p));
+            }
+            println!("  ideal");
+            println!("\nworkloads (Table II):");
+            for w in table2() {
+                println!(
+                    "  {:<6} {:?}, read ratio {:.2}, {} kernels",
+                    w.name, w.suite, w.read_ratio, w.kernels
+                );
+            }
+            Ok(())
+        }
+        Some("run") => {
+            let opts = Opts::parse(&args[1..])?;
+            let platform = opts
+                .platform
+                .ok_or_else(|| "run requires --platform".to_string())?;
+            let mut exp = Experiment::standard().with_params(opts.params);
+            let r = exp
+                .run(platform, &opts.workload_refs())
+                .map_err(|e| e.to_string())?;
+            if opts.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
+                );
+            } else {
+                print_result(&r);
+            }
+            Ok(())
+        }
+        Some("sweep") => {
+            let opts = Opts::parse(&args[1..])?;
+            let mut exp = Experiment::standard().with_params(opts.params);
+            let mut t = Table::new(vec![
+                "platform".into(),
+                "IPC".into(),
+                "L2 hit".into(),
+                "flash GB/s".into(),
+                "GCs".into(),
+                "sim us".into(),
+            ]);
+            let mut platforms = PlatformKind::PAPER_PLATFORMS.to_vec();
+            platforms.push(PlatformKind::Ideal);
+            for p in platforms {
+                let r = exp
+                    .run(p, &opts.workload_refs())
+                    .map_err(|e| e.to_string())?;
+                t.row(vec![
+                    p.to_string(),
+                    format!("{:.4}", r.ipc),
+                    format!("{:.2}", r.l2_hit_rate),
+                    format!("{:.2}", r.flash_array_gbps),
+                    r.gcs.to_string(),
+                    format!("{:.0}", r.simulated_us()),
+                ]);
+            }
+            t.print(&format!("sweep: {}", opts.workloads.join("-")));
+            Ok(())
+        }
+        Some("traces") => {
+            let mut out: Option<String> = None;
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                if a == "--out" {
+                    out = Some(
+                        it.next()
+                            .cloned()
+                            .ok_or_else(|| "--out requires a value".to_string())?,
+                    );
+                } else {
+                    rest.push(a.clone());
+                }
+            }
+            let opts = Opts::parse(&rest)?;
+            let out = out.ok_or_else(|| "traces requires --out <file>".to_string())?;
+            let name = opts
+                .workloads
+                .first()
+                .ok_or_else(|| "--workloads is required".to_string())?;
+            let spec = by_name(name).map_err(|e| e.to_string())?;
+            let traces = generate(&spec, AppId(0), &opts.params);
+            let bundle = TraceBundle::new(name, opts.params.seed, traces);
+            bundle
+                .save(std::path::Path::new(&out))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} warps ({} memory ops) of `{name}` to {out}",
+                bundle.traces.len(),
+                bundle.mem_ops()
+            );
+            Ok(())
+        }
+        _ => Err("expected a subcommand: list | run | sweep | traces".into()),
+    }
+}
+
+struct Opts {
+    platform: Option<PlatformKind>,
+    workloads: Vec<String>,
+    params: TraceParams,
+    json: bool,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut opts = Opts {
+            platform: None,
+            workloads: Vec::new(),
+            params: TraceParams {
+                total_warps: 128,
+                mem_ops_per_warp: 650,
+                footprint_pages: 2048,
+                seed: 42,
+            },
+            json: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match a.as_str() {
+                "-p" | "--platform" => {
+                    opts.platform = Some(parse_platform(&value("--platform")?)?);
+                }
+                "-w" | "--workloads" => {
+                    opts.workloads = value("--workloads")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect();
+                }
+                "--warps" => opts.params.total_warps = parse_num(&value("--warps")?)?,
+                "--ops" => opts.params.mem_ops_per_warp = parse_num(&value("--ops")?)?,
+                "--footprint" => {
+                    opts.params.footprint_pages = parse_num(&value("--footprint")?)?
+                }
+                "--seed" => opts.params.seed = parse_num(&value("--seed")?)? as u64,
+                "--json" => opts.json = true,
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        if opts.workloads.is_empty() {
+            return Err("--workloads is required".into());
+        }
+        Ok(opts)
+    }
+
+    fn workload_refs(&self) -> Vec<&str> {
+        self.workloads.iter().map(String::as_str).collect()
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn parse_platform(s: &str) -> Result<PlatformKind, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "hetero" => PlatformKind::Hetero,
+        "hybridgpu" | "hybrid" => PlatformKind::HybridGpu,
+        "optane" => PlatformKind::Optane,
+        "zng-base" | "base" => PlatformKind::ZngBase,
+        "zng-rdopt" | "rdopt" => PlatformKind::ZngRdopt,
+        "zng-wropt" | "wropt" => PlatformKind::ZngWropt,
+        "zng" => PlatformKind::Zng,
+        "ideal" => PlatformKind::Ideal,
+        other => return Err(format!("unknown platform `{other}`")),
+    })
+}
+
+fn flag_name(p: PlatformKind) -> &'static str {
+    match p {
+        PlatformKind::Hetero => "hetero",
+        PlatformKind::HybridGpu => "hybridgpu",
+        PlatformKind::Optane => "optane",
+        PlatformKind::ZngBase => "zng-base",
+        PlatformKind::ZngRdopt => "zng-rdopt",
+        PlatformKind::ZngWropt => "zng-wropt",
+        PlatformKind::Zng => "zng",
+        PlatformKind::Ideal => "ideal",
+    }
+}
+
+fn print_result(r: &RunResult) {
+    let mut t = Table::new(vec!["metric".into(), "value".into()]);
+    t.row(vec!["platform".into(), r.platform.to_string()]);
+    t.row(vec!["workload".into(), r.workload.clone()]);
+    t.row(vec!["IPC".into(), format!("{:.4}", r.ipc)]);
+    t.row(vec!["instructions".into(), r.instructions.to_string()]);
+    t.row(vec!["requests".into(), r.requests.to_string()]);
+    t.row(vec!["cycles".into(), r.cycles.raw().to_string()]);
+    t.row(vec!["simulated us".into(), format!("{:.0}", r.simulated_us())]);
+    t.row(vec!["L1 hit".into(), format!("{:.3}", r.l1_hit_rate)]);
+    t.row(vec!["L2 hit".into(), format!("{:.3}", r.l2_hit_rate)]);
+    t.row(vec!["TLB hit".into(), format!("{:.3}", r.tlb_hit_rate)]);
+    t.row(vec![
+        "flash array GB/s".into(),
+        format!("{:.2}", r.flash_array_gbps),
+    ]);
+    t.row(vec![
+        "flash reads/page".into(),
+        format!("{:.2}", r.flash_reads_per_page),
+    ]);
+    t.row(vec![
+        "flash programs/page".into(),
+        format!("{:.2}", r.flash_programs_per_page),
+    ]);
+    t.row(vec![
+        "predictor accuracy".into(),
+        format!("{:.3}", r.predictor_accuracy),
+    ]);
+    t.row(vec!["GCs".into(), r.gcs.to_string()]);
+    t.row(vec![
+        "register migrations".into(),
+        r.register_migrations.to_string(),
+    ]);
+    t.print("run result");
+}
