@@ -1,0 +1,423 @@
+//! Offline stand-in for the subset of the `proptest` API the ZnG test
+//! suite uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors this dependency-free implementation under the same crate
+//! name. It keeps the property-based *style* of the tests — strategies,
+//! `proptest! { #[test] fn f(x in strategy) { ... } }`, `prop_assert!`
+//! and friends — while replacing the engine with a fixed-count,
+//! deterministic case runner:
+//!
+//! * Each property runs [`CASES`] generated cases.
+//! * The case stream is seeded from the property's fully qualified name,
+//!   so runs are reproducible and independent of test execution order.
+//! * There is no shrinking; a failure reports the case number and the
+//!   generated arguments instead.
+//!
+//! Supported strategy surface: integer `Range`s, `any::<bool>()` and
+//! integer `any`, tuples of 2–4 strategies, `Just`, and
+//! `prop::collection::vec(strategy, size_range)`.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Cases generated per property.
+pub const CASES: u32 = 64;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — not a failure.
+    Reject(String),
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from a preformatted message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection from a preformatted message.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// The deterministic entropy source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: [u64; 2],
+}
+
+impl Gen {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion into
+    /// xoroshiro128++ state).
+    pub fn new(seed: u64) -> Gen {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Gen {
+            state: [next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits (xoroshiro128++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, mut s1] = self.state;
+        let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
+        s1 ^= s0;
+        self.state = [s0.rotate_left(49) ^ s1 ^ (s1 << 21), s1.rotate_left(28)];
+        result
+    }
+
+    /// A uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Stable FNV-1a hash of a test's name, used to seed its case stream.
+pub fn fnv(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Mixes a per-test seed with a case index into a fresh stream seed.
+pub fn mix(seed: u64, case: u64) -> u64 {
+    let mut z = seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, gen: &mut Gen) -> Self::Value {
+        (**self).generate(gen)
+    }
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + gen.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(gen.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, gen: &mut Gen) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (gen.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                ($(self.$idx.generate(gen),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// `any::<T>()` — the full domain of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Creates the full-domain strategy for `T`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, gen: &mut Gen) -> bool {
+        gen.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, gen: &mut Gen) -> $t {
+                gen.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+/// A constant strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _gen: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Gen, Strategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + gen.below(span) as usize;
+            (0..len).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!`-based test file needs.
+
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a
+/// `#[test]` that runs [`CASES`] generated cases. `prop_assume!` skips a
+/// case; `prop_assert!`/`prop_assert_eq!` fail it with the generated
+/// arguments echoed in the panic message.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __seed = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..$crate::CASES {
+                let mut __gen = $crate::Gen::new($crate::mix(__seed, __case as u64));
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __gen);)+
+                let __args = format!(concat!($(stringify!($arg), " = {:?}; ",)+), $(&$arg),+);
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { { $body } Ok(()) })();
+                match __outcome {
+                    Ok(()) | Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed at case {}/{}: {}\n  with {}",
+                            stringify!($name),
+                            __case,
+                            $crate::CASES,
+                            msg,
+                            __args
+                        );
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {:?} != {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}: {:?} != {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`: both {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate as prop;
+
+    #[test]
+    fn gen_is_deterministic() {
+        let mut a = Gen::new(9);
+        let mut b = Gen::new(9);
+        assert!((0..64).all(|_| a.next_u64() == b.next_u64()));
+    }
+
+    #[test]
+    fn strategies_respect_bounds() {
+        let mut gen = Gen::new(1);
+        for _ in 0..1_000 {
+            let x = (3u64..17).generate(&mut gen);
+            assert!((3..17).contains(&x));
+            let v = collection::vec(0u8..3, 1..5).generate(&mut gen);
+            assert!(!v.is_empty() && v.len() < 5);
+            assert!(v.iter().all(|&b| b < 3));
+            let (a, b) = ((0u64..10), any::<bool>()).generate(&mut gen);
+            assert!(a < 10);
+            let _ = b;
+        }
+    }
+
+    proptest! {
+        /// The macro machinery itself: assume, assert, and formatting.
+        #[test]
+        fn macro_roundtrip(x in 0u32..100, flips in prop::collection::vec(any::<bool>(), 0..8)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100, "x out of range: {x}");
+            prop_assert_eq!(flips.len(), flips.len());
+            prop_assert_ne!(x, 13);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API the ZnG
+//! simulator uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal, dependency-free implementation under
+//! the same crate name. It provides:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (the same algorithm rand 0.8's
+//!   `SmallRng` uses on 64-bit targets), seeded with SplitMix64 exactly
+//!   like `SeedableRng::seed_from_u64`.
+//! * [`Rng`] with the methods the simulator calls: `gen`, `gen_range`,
+//!   `gen_bool`.
+//!
+//! Determinism is the only contract that matters to the simulator: a
+//! given seed must always produce the same stream on every platform and
+//! every run. That property is upheld here with pure integer arithmetic.
+
+/// Types that can be sampled uniformly from an RNG (the `Standard`
+/// distribution in real `rand`).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    /// 53 random mantissa bits in `[0, 1)`, matching rand's `Standard`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The raw entropy source.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Ranges that can be sampled (the `SampleRange` idea from real `rand`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing RNG interface.
+pub trait Rng: RngCore {
+    /// Uniform sample of `T` (`rng.gen::<u64>()`, `rng.gen::<f64>()`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+impl<T: RngCore + ?Sized> RngCore for &mut T {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable RNGs (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Expands a 64-bit seed into the full RNG state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete RNG implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong; the same
+    /// generator rand 0.8 selects for `SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..32).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(va, vb);
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(va[0], c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_range(4..16);
+            assert!((4..16).contains(&x));
+            let y: u64 = r.gen_range(0..2u64);
+            assert!(y < 2);
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "{hits}");
+        let mut r = SmallRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn reference_rng_also_works() {
+        fn draw<R: Rng>(rng: &mut R) -> u64 {
+            rng.gen()
+        }
+        let mut r = SmallRng::seed_from_u64(5);
+        let a = draw(&mut r);
+        let b = draw(&mut r);
+        assert_ne!(a, b);
+    }
+}

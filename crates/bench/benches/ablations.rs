@@ -95,12 +95,8 @@ fn wear_ablation() {
         let mut geometry = FlashGeometry::tiny();
         geometry.blocks_per_plane = 2;
         geometry.pages_per_block = 8;
-        let mut dev = FlashDevice::zng_config(
-            geometry,
-            Freq::default(),
-            RegisterTopology::NiF,
-        )
-        .expect("device");
+        let mut dev = FlashDevice::zng_config(geometry, Freq::default(), RegisterTopology::NiF)
+            .expect("device");
         let mut ftl = ZngFtl::with_wear_policy(&dev, 1, WriteMode::Direct, policy);
         let mut now = Cycle::ZERO;
         let writes = if quick() { 2_000u64 } else { 6_000 };

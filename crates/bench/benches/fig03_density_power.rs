@@ -23,7 +23,10 @@ fn main() {
     }
 
     let z = DeviceInfo::of(DeviceClass::ZNand);
-    assert!((z.density_vs_gddr5() - 64.0).abs() < 1e-9, "64x density claim");
+    assert!(
+        (z.density_vs_gddr5() - 64.0).abs() < 1e-9,
+        "64x density claim"
+    );
     let worst_dram = DeviceInfo::of(DeviceClass::Gddr5).watt_per_gb;
     assert!(z.watt_per_gb < worst_dram / 10.0, "Z-NAND power efficiency");
 

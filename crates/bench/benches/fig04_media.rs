@@ -7,11 +7,11 @@
 
 use zng::Table;
 use zng_bench::report;
+use zng_flash::FlashGeometry;
 use zng_ftl::SsdEngine;
 use zng_mem::MemTiming;
 use zng_ssd::SsdModule;
 use zng_types::{AccessKind, Cycle, Freq};
-use zng_flash::FlashGeometry;
 
 fn main() {
     let freq = Freq::default();

@@ -8,7 +8,11 @@ fn main() {
     let params = params_standard();
     let exp_proto = Experiment::standard().with_params(params);
     let all_mixes = mixes(&params).expect("standard mixes");
-    let selected = if quick() { &all_mixes[..2] } else { &all_mixes[..] };
+    let selected = if quick() {
+        &all_mixes[..2]
+    } else {
+        &all_mixes[..]
+    };
 
     let mut platforms = PlatformKind::PAPER_PLATFORMS.to_vec();
     platforms.push(PlatformKind::Ideal);
@@ -35,8 +39,8 @@ fn main() {
     for (pi, &p) in platforms.iter().enumerate() {
         let mut cells = vec![p.to_string()];
         let mut normed = Vec::new();
-        for mi in 0..selected.len() {
-            let norm = ipc[pi][mi] / ipc[zng_row][mi].max(1e-12);
+        for (mi, &v) in ipc[pi].iter().enumerate() {
+            let norm = v / ipc[zng_row][mi].max(1e-12);
             normed.push(norm);
             cells.push(format!("{norm:.3}"));
         }
@@ -59,7 +63,10 @@ fn main() {
     assert!(hybrid < 1.0, "ZnG must beat HybridGPU (paper: 7.5x)");
     assert!(hetero < hybrid, "HybridGPU must beat Hetero (paper: +31%)");
     assert!(base < hybrid, "ZnG-base cannot catch HybridGPU (paper)");
-    assert!(wropt > base, "wropt must beat base (paper: 2.6x over rdopt)");
+    assert!(
+        wropt > base,
+        "wropt must beat base (paper: 2.6x over rdopt)"
+    );
 
     report(
         "fig10",

@@ -11,7 +11,11 @@ fn main() {
     let params = params_standard();
     let exp_proto = Experiment::standard().with_params(params);
     let all_mixes = mixes(&params).expect("mixes");
-    let selected = if quick() { &all_mixes[..2] } else { &all_mixes[..] };
+    let selected = if quick() {
+        &all_mixes[..2]
+    } else {
+        &all_mixes[..]
+    };
 
     let platforms = [
         PlatformKind::HybridGpu,

@@ -11,13 +11,21 @@ use zng_bench::{params_standard, quick, report};
 fn main() {
     let params = params_standard();
     let all_mixes = mixes(&params).expect("mixes");
-    let selected = if quick() { &all_mixes[..2] } else { &all_mixes[..4] };
+    let selected = if quick() {
+        &all_mixes[..2]
+    } else {
+        &all_mixes[..4]
+    };
 
     // Configurations in the figure's order. All use register-buffered
     // writes (so the write path doesn't drown the read metric).
     // (label, platform, prefetch policy)
     let configs: [(&str, PlatformKind, PrefetchPolicy); 4] = [
-        ("SRAM L2 (6MB)", PlatformKind::ZngWropt, PrefetchPolicy::None),
+        (
+            "SRAM L2 (6MB)",
+            PlatformKind::ZngWropt,
+            PrefetchPolicy::None,
+        ),
         ("STT-MRAM (24MB)", PlatformKind::Zng, PrefetchPolicy::None),
         ("Dyn-prefetch", PlatformKind::Zng, PrefetchPolicy::Dynamic),
         ("Redirection", PlatformKind::Zng, PrefetchPolicy::Dynamic),

@@ -14,7 +14,11 @@ use zng_bench::{params_standard, quick, report};
 fn main() {
     let params = params_standard();
     let all_mixes = mixes(&params).expect("mixes");
-    let selected = if quick() { &all_mixes[..2] } else { &all_mixes[..4] };
+    let selected = if quick() {
+        &all_mixes[..2]
+    } else {
+        &all_mixes[..4]
+    };
 
     // All three buffer writes in registers (the paper's Fig. 13 is about
     // the register *organisation*): baseline keeps each plane's registers

@@ -25,9 +25,7 @@ fn main() {
         for &lo in lows {
             let mut exp = Experiment::standard().with_params(params);
             exp.config_mut().monitor_thresholds = (hi, lo);
-            let r = exp
-                .run(PlatformKind::Zng, &["betw", "back"])
-                .expect("run");
+            let r = exp.run(PlatformKind::Zng, &["betw", "back"]).expect("run");
             if r.ipc > best.0 {
                 best = (r.ipc, hi, lo);
             }

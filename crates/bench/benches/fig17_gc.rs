@@ -58,7 +58,10 @@ fn main() {
         String::new(),
     ]);
     assert!(with_gc.gcs > 0, "GC must fire in this configuration");
-    assert!(impacts[1] < -0.3, "GC must hurt the write app substantially");
+    assert!(
+        impacts[1] < -0.3,
+        "GC must hurt the write app substantially"
+    );
     assert!(
         impacts[0] > impacts[1],
         "the read app must be hurt far less than the write app"

@@ -1,116 +1,104 @@
-//! Criterion microbenchmarks for the simulator's hot components: event
-//! queue, set-associative cache, coalescer, row-decoder CAM, register
-//! cache, Zipf sampler and the end-to-end per-request service path.
+//! Microbenchmarks for the simulator's hot components: event queue,
+//! set-associative cache, coalescer, row-decoder CAM, register cache and
+//! Zipf sampler.
+//!
+//! Uses a self-contained timing harness (median of several timed rounds
+//! after warmup) instead of an external bench framework, matching the
+//! other `harness = false` bench binaries in this crate.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use zng_flash::{RegisterCache, RowDecoder};
 use zng_gpu::{CacheGeometry, Coalescer, SetAssocCache};
 use zng_sim::rng::{seeded, Zipf};
 use zng_sim::EventQueue;
 use zng_types::{ids::AppId, Cycle};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter_batched(
-            EventQueue::<u32>::new,
-            |mut q| {
-                for i in 0..1_000u32 {
-                    q.schedule(Cycle((i as u64 * 7919) % 4096), i);
-                }
-                while q.pop().is_some() {}
-            },
-            BatchSize::SmallInput,
-        );
-    });
+/// Times `f` (median of `rounds` after warmup) and prints one line.
+fn bench<T>(name: &str, rounds: usize, mut f: impl FnMut() -> T) {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!("{name:<32} {:>10.2} us/iter", samples[samples.len() / 2]);
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("l2_bank_lookup_fill", |b| {
-        let geo = CacheGeometry {
-            sets: 1024,
-            ways: 8,
-            line_bytes: 128,
-        };
-        b.iter_batched(
-            || SetAssocCache::new(geo),
-            |mut cache| {
-                for i in 0..2_000u64 {
-                    let addr = (i * 131) % (1 << 22);
-                    if !cache.lookup(addr, false) {
-                        cache.fill(addr, false, AppId(0));
-                    }
-                }
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
+fn main() {
+    println!("micro_components: hot-path microbenchmarks\n");
 
-fn bench_coalescer(c: &mut Criterion) {
-    c.bench_function("coalesce_strided_warp", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for stride in [4u64, 32, 128] {
-                total += Coalescer::strided(0x1000, stride).len();
-            }
-            total
-        });
-    });
-}
-
-fn bench_row_decoder(c: &mut Criterion) {
-    c.bench_function("row_decoder_cam_search", |b| {
-        let mut dec = RowDecoder::new(384);
-        for k in 0..300u64 {
-            dec.record(k).unwrap();
+    bench("event_queue_push_pop_1k", 50, || {
+        let mut q = EventQueue::<u32>::new();
+        for i in 0..1_000u32 {
+            q.schedule(Cycle((i as u64 * 7919) % 4096), i);
         }
-        b.iter(|| {
-            let mut hits = 0;
-            for k in 0..384u64 {
-                if dec.lookup(k).is_some() {
-                    hits += 1;
-                }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        n
+    });
+
+    let geo = CacheGeometry {
+        sets: 1024,
+        ways: 8,
+        line_bytes: 128,
+    };
+    bench("l2_bank_lookup_fill_2k", 50, || {
+        let mut cache = SetAssocCache::new(geo);
+        for i in 0..2_000u64 {
+            let addr = (i * 131) % (1 << 22);
+            if !cache.lookup(addr, false) {
+                cache.fill(addr, false, AppId(0));
             }
-            hits
-        });
+        }
+        cache.occupancy()
     });
-}
 
-fn bench_register_cache(c: &mut Criterion) {
-    c.bench_function("register_cache_write_stream", |b| {
-        b.iter_batched(
-            || RegisterCache::grouped(64, 8),
-            |mut regs| {
-                for k in 0..2_000u64 {
-                    regs.write(k % 700, (k % 64) as usize);
-                }
-            },
-            BatchSize::SmallInput,
-        );
+    bench("coalesce_strided_warp", 200, || {
+        let mut total = 0usize;
+        for stride in [4u64, 32, 128] {
+            total += Coalescer::strided(0x1000, stride).len();
+        }
+        total
     });
-}
 
-fn bench_zipf(c: &mut Criterion) {
-    c.bench_function("zipf_sample_4096", |b| {
-        let z = Zipf::new(4096, 0.85);
-        let mut rng = seeded(1);
-        b.iter(|| {
-            let mut acc = 0usize;
-            for _ in 0..1_000 {
-                acc += z.sample(&mut rng);
+    let mut dec = RowDecoder::new(384);
+    for k in 0..300u64 {
+        dec.record(k).unwrap();
+    }
+    bench("row_decoder_cam_search", 200, || {
+        let mut hits = 0;
+        for k in 0..384u64 {
+            if dec.lookup(k).is_some() {
+                hits += 1;
             }
-            acc
-        });
+        }
+        hits
+    });
+
+    bench("register_cache_write_stream_2k", 50, || {
+        let mut regs = RegisterCache::grouped(64, 8);
+        for k in 0..2_000u64 {
+            regs.write(k % 700, (k % 64) as usize);
+        }
+        regs.len()
+    });
+
+    let z = Zipf::new(4096, 0.85);
+    let mut rng = seeded(1);
+    bench("zipf_sample_1k", 100, || {
+        let mut acc = 0usize;
+        for _ in 0..1_000 {
+            acc += z.sample(&mut rng);
+        }
+        acc
     });
 }
-
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_cache,
-    bench_coalescer,
-    bench_row_decoder,
-    bench_register_cache,
-    bench_zipf
-);
-criterion_main!(benches);

@@ -16,7 +16,11 @@ fn main() {
     let znand = FlashTiming::znand();
 
     let mut t = Table::new(vec!["parameter".into(), "value".into(), "paper".into()]);
-    t.row(vec!["SM / freq".into(), format!("{}/{}", gpu.sms, gpu.freq), "16/1.2 GHz".into()]);
+    t.row(vec![
+        "SM / freq".into(),
+        format!("{}/{}", gpu.sms, gpu.freq),
+        "16/1.2 GHz".into(),
+    ]);
     t.row(vec![
         "max warps".into(),
         format!("{} per SM", gpu.max_warps_per_sm),

@@ -69,17 +69,14 @@ fn save_json(id: &str, title: &str, table: &Table, paper: &str) {
     if fs::create_dir_all(&dir).is_err() {
         return;
     }
-    let record = serde_json::json!({
-        "id": id,
-        "title": title,
-        "paper_expectation": paper,
-        "rendered": table.render(),
-        "quick_mode": quick(),
-    });
-    let _ = fs::write(
-        dir.join(format!("{id}.json")),
-        serde_json::to_string_pretty(&record).unwrap_or_default(),
-    );
+    let record = zng_json::Value::object(vec![
+        ("id", zng_json::Value::from(id)),
+        ("title", zng_json::Value::from(title)),
+        ("paper_expectation", zng_json::Value::from(paper)),
+        ("rendered", zng_json::Value::from(table.render())),
+        ("quick_mode", zng_json::Value::from(quick())),
+    ]);
+    let _ = fs::write(dir.join(format!("{id}.json")), record.to_string_pretty());
 }
 
 /// Directory where benches drop their JSON records

@@ -1,10 +1,9 @@
 //! Flash-block state machine: erase-before-write and in-order programming.
 
-use serde::{Deserialize, Serialize};
 use zng_types::{Error, Result};
 
 /// What a block is currently used for.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockKind {
     /// Erased and unused.
     #[default]
@@ -35,7 +34,7 @@ pub enum BlockKind {
 /// assert_eq!(b.kind(), BlockKind::Free);
 /// # Ok::<(), zng_types::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     pages: u32,
     kind: BlockKind,
@@ -45,6 +44,13 @@ pub struct Block {
     valid: Vec<u64>,
     valid_count: u32,
     erase_count: u32,
+    /// Set when a program or erase on this block failed verification:
+    /// the block must be retired once its live data has been migrated.
+    failed: bool,
+    /// Verification metadata: the `(key, sequence)` of the last
+    /// successful program of each page. Not part of the timing model —
+    /// property tests use it to prove no acknowledged write is lost.
+    stamps: Vec<Option<(u64, u64)>>,
 }
 
 impl Block {
@@ -59,9 +65,11 @@ impl Block {
             pages,
             kind: BlockKind::Free,
             next_page: 0,
-            valid: vec![0; (pages as usize + 63) / 64],
+            valid: vec![0; (pages as usize).div_ceil(64)],
             valid_count: 0,
             erase_count: 0,
+            failed: false,
+            stamps: vec![None; pages as usize],
         }
     }
 
@@ -126,8 +134,33 @@ impl Block {
         self.kind = BlockKind::Free;
         self.next_page = 0;
         self.valid.iter_mut().for_each(|w| *w = 0);
+        self.stamps.iter_mut().for_each(|s| *s = None);
         self.erase_count += 1;
         Ok(())
+    }
+
+    /// Marks the block failed (a program or erase did not verify). The
+    /// flag is sticky — it survives erases — so the FTL retires the
+    /// block instead of returning it to the free pool.
+    pub fn mark_failed(&mut self) {
+        self.failed = true;
+    }
+
+    /// Whether a program/erase on this block has ever failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Records verification metadata for `page` (ignored out of range).
+    pub fn set_stamp(&mut self, page: u32, key: u64, seq: u64) {
+        if let Some(s) = self.stamps.get_mut(page as usize) {
+            *s = Some((key, seq));
+        }
+    }
+
+    /// The `(key, sequence)` of the last successful program of `page`.
+    pub fn stamp(&self, page: u32) -> Option<(u64, u64)> {
+        self.stamps.get(page as usize).copied().flatten()
     }
 
     /// Sets the block's role (done by the FTL when allocating).
@@ -240,5 +273,31 @@ mod tests {
     #[should_panic(expected = "at least one page")]
     fn zero_pages_rejected() {
         let _ = Block::new(0);
+    }
+
+    #[test]
+    fn failed_flag_is_sticky_across_erase() {
+        let mut b = Block::new(2);
+        assert!(!b.is_failed());
+        b.program_next().unwrap();
+        b.mark_failed();
+        b.invalidate(0);
+        b.erase().unwrap();
+        assert!(b.is_failed(), "failure survives erase");
+    }
+
+    #[test]
+    fn stamps_track_last_program_and_clear_on_erase() {
+        let mut b = Block::new(4);
+        b.program_next().unwrap();
+        assert_eq!(b.stamp(0), None);
+        b.set_stamp(0, 77, 1);
+        b.set_stamp(0, 77, 2); // re-stamp supersedes
+        assert_eq!(b.stamp(0), Some((77, 2)));
+        b.set_stamp(99, 1, 1); // out of range: no-op
+        assert_eq!(b.stamp(99), None);
+        b.invalidate(0);
+        b.erase().unwrap();
+        assert_eq!(b.stamp(0), None, "erase clears stamps");
     }
 }

@@ -92,6 +92,28 @@ impl RowDecoder {
         Ok(slot)
     }
 
+    /// Rolls back the most recent [`RowDecoder::record`] of
+    /// `logical_page` after its log program failed verification: the
+    /// burned slot stays consumed and stale, and the mapping reverts to
+    /// `previous` (the slot [`RowDecoder::lookup`] returned before the
+    /// record) — so an earlier acknowledged write stays reachable — or
+    /// disappears entirely if the page was never logged before.
+    pub fn retract(&mut self, logical_page: u64, previous: Option<u32>) {
+        match previous {
+            Some(slot) => {
+                // `record` already counted the old mapping as superseded;
+                // reviving it keeps the stale count right (the burned
+                // slot is the one stale page).
+                self.map.insert(logical_page, slot);
+            }
+            None => {
+                if self.map.remove(&logical_page).is_some() {
+                    self.superseded += 1;
+                }
+            }
+        }
+    }
+
     /// Whether no free log pages remain.
     pub fn is_full(&self) -> bool {
         self.next_free >= self.pages
@@ -159,6 +181,30 @@ mod tests {
     }
 
     #[test]
+    fn retract_without_prior_mapping_removes() {
+        let mut d = RowDecoder::new(4);
+        d.record(10).unwrap();
+        d.retract(10, None);
+        assert_eq!(d.lookup(10), None);
+        assert_eq!(d.stale(), 1, "the burned slot is stale");
+        assert_eq!(d.free_pages(), 3, "the slot itself is not reclaimed");
+        d.retract(10, None); // idempotent
+        assert_eq!(d.stale(), 1);
+    }
+
+    #[test]
+    fn retract_revives_previous_mapping() {
+        let mut d = RowDecoder::new(4);
+        d.record(10).unwrap(); // slot 0: the acked write
+        let old = d.lookup(10);
+        d.record(10).unwrap(); // slot 1: fails verification
+        d.retract(10, old);
+        assert_eq!(d.lookup(10), Some(0), "acked data stays reachable");
+        assert_eq!(d.stale(), 1, "only the burned slot is stale");
+        assert_eq!(d.mappings(), vec![(10, 0)]);
+    }
+
+    #[test]
     fn lookup_counts_searches() {
         let mut d = RowDecoder::new(2);
         d.lookup(1);
@@ -174,10 +220,7 @@ mod tests {
             d.record(k).unwrap();
         }
         let m = d.mappings();
-        assert_eq!(
-            m,
-            vec![(1, 1), (3, 3), (5, 0), (9, 2)],
-        );
+        assert_eq!(m, vec![(1, 1), (3, 3), (5, 0), (9, 2)],);
     }
 
     #[test]

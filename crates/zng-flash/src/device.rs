@@ -9,14 +9,19 @@
 //! * [`FlashDevice::zng_config`] — 8 B mesh network, grouped registers
 //!   with a selectable interconnect (ZnG).
 
-use zng_types::{ids::ChannelId, BlockAddr, Cycle, FlashAddr, Freq, Result};
+use zng_types::{ids::ChannelId, BlockAddr, Cycle, Error, FlashAddr, Freq, Result};
 
 use crate::block::Block;
+use crate::fault::{FaultConfig, PlaneFaults};
 use crate::geometry::FlashGeometry;
 use crate::network::FlashNetwork;
 use crate::package::{BufferedWrite, FlashPackage, PendingProgram, RegisterTopology};
+use crate::plane::{EraseReport, ProgramReport};
 use crate::stats::FlashStats;
 use crate::timing::{FlashCycles, FlashTiming};
+
+/// Z-NAND program/erase endurance (paper §II-B).
+pub const PE_LIMIT: u32 = 100_000;
 
 /// A device-global logical page identity used for register lookups and
 /// re-access/redundancy statistics.
@@ -47,8 +52,7 @@ impl EnduranceReport {
         if self.max_block_erases == 0 || self.worn_blocks == 0 {
             return 1.0;
         }
-        (self.total_erases as f64 / self.worn_blocks as f64)
-            / self.max_block_erases as f64
+        (self.total_erases as f64 / self.worn_blocks as f64) / self.max_block_erases as f64
     }
 }
 
@@ -60,6 +64,9 @@ pub struct FlashDevice {
     packages: Vec<FlashPackage>,
     network: FlashNetwork,
     stats: FlashStats,
+    /// Monotonic program sequence, stamped onto successfully programmed
+    /// pages for write-loss verification (pure metadata, no timing).
+    program_seq: u64,
 }
 
 impl FlashDevice {
@@ -95,14 +102,34 @@ impl FlashDevice {
             packages,
             network,
             stats: FlashStats::new(),
+            program_seq: 0,
         })
+    }
+
+    /// Installs fault injection on every plane. Each plane gets its own
+    /// RNG stream derived from `cfg.seed` and its device-global index, so
+    /// runs are deterministic per seed; the `none` profile clears all
+    /// fault state and performs no RNG draws at all.
+    pub fn set_fault_config(&mut self, cfg: &FaultConfig) {
+        let planes_per_package =
+            (self.geometry.dies_per_package * self.geometry.planes_per_die) as u64;
+        for (ch, pkg) in self.packages.iter_mut().enumerate() {
+            for idx in 0..pkg.plane_count() {
+                let tag = ch as u64 * planes_per_package + idx as u64;
+                pkg.plane_mut(idx)
+                    .set_faults(PlaneFaults::new(cfg, tag, PE_LIMIT as u64));
+            }
+        }
     }
 
     /// The HybridGPU-style device: 1 B ONFI bus, private registers.
     pub fn hybrid_config(geometry: FlashGeometry, freq: Freq) -> Result<FlashDevice> {
         geometry.validate()?;
         let timing = FlashTiming::znand();
-        let net = FlashNetwork::bus(geometry.channels, timing.to_cycles(freq).channel_bytes_per_cycle);
+        let net = FlashNetwork::bus(
+            geometry.channels,
+            timing.to_cycles(freq).channel_bytes_per_cycle,
+        );
         FlashDevice::new(geometry, timing, freq, net, RegisterTopology::Private)
     }
 
@@ -119,8 +146,7 @@ impl FlashDevice {
     }
 
     fn plane_idx(&self, addr: BlockAddr) -> usize {
-        self.packages[addr.channel.index()]
-            .plane_index(addr.die.index(), addr.plane.index())
+        self.packages[addr.channel.index()].plane_index(addr.die.index(), addr.plane.index())
     }
 
     /// Reads logical page `key` stored at `addr`, delivering
@@ -136,7 +162,9 @@ impl FlashDevice {
     ///
     /// # Errors
     ///
-    /// Flash protocol errors (unprogrammed page, bad address).
+    /// Flash protocol errors (unprogrammed page, bad address), or
+    /// [`Error::UncorrectableRead`] when fault injection exhausts the
+    /// read-retry ladder (transient: a later attempt may succeed).
     pub fn read(
         &mut self,
         now: Cycle,
@@ -152,12 +180,20 @@ impl FlashDevice {
         }
         let plane_idx = self.plane_idx(addr.block);
         let pkg = &mut self.packages[ch.index()];
-        let (at_pins, sensed) =
-            pkg.read_page_from_array(now, plane_idx, addr.block.block, addr.page)?;
-        if sensed {
+        let r = match pkg.read_page_from_array(now, plane_idx, addr.block.block, addr.page) {
+            Ok(r) => r,
+            Err(e) => {
+                if matches!(e, Error::UncorrectableRead { .. }) {
+                    self.stats.record_uncorrectable_read();
+                }
+                return Err(e);
+            }
+        };
+        self.stats.record_read_retries(r.retries as u64);
+        if r.sensed {
             self.stats.record_read(key, self.geometry.page_bytes);
         }
-        Ok(self.network.transfer(at_pins, ch, transfer_bytes))
+        Ok(self.network.transfer(r.done, ch, transfer_bytes))
     }
 
     /// Serves `transfer_bytes` of logical page `key` from channel `ch`'s
@@ -177,20 +213,39 @@ impl FlashDevice {
         Some(self.network.transfer(at_pins, ch, transfer_bytes))
     }
 
+    /// Stamps a successfully programmed page and bumps the sequence;
+    /// failed programs count into the failure statistics instead.
+    fn finish_program(&mut self, block: BlockAddr, key: PageKey, report: &ProgramReport) {
+        if report.failed {
+            self.stats.record_program_failure();
+            return;
+        }
+        self.program_seq += 1;
+        let seq = self.program_seq;
+        if let Ok(b) = self.block_mut(block) {
+            b.set_stamp(report.page, key, seq);
+        }
+    }
+
     /// Programs a full page of logical page `key` into the next in-order
     /// page of `block`, streaming the data across the network first.
+    ///
+    /// A report with [`ProgramReport::failed`] set means verification
+    /// failed: the page holds garbage, the block is marked failed, and
+    /// the FTL must re-drive the write into another block.
     ///
     /// # Errors
     ///
     /// Flash protocol errors (full block).
-    pub fn program(&mut self, now: Cycle, block: BlockAddr, key: PageKey) -> Result<(u32, Cycle)> {
+    pub fn program(&mut self, now: Cycle, block: BlockAddr, key: PageKey) -> Result<ProgramReport> {
         let ch = block.channel;
         let arrived = self.network.transfer(now, ch, self.geometry.page_bytes);
         let plane_idx = self.plane_idx(block);
         let pkg = &mut self.packages[ch.index()];
-        let (page, done) = pkg.program_page(arrived, plane_idx, block.block)?;
+        let report = pkg.program_page(arrived, plane_idx, block.block)?;
         self.stats.record_program(key, self.geometry.page_bytes);
-        Ok((page, done))
+        self.finish_program(block, key, &report);
+        Ok(report)
     }
 
     /// Programs a page as part of a GC migration: same mechanics as
@@ -204,14 +259,17 @@ impl FlashDevice {
         &mut self,
         now: Cycle,
         block: BlockAddr,
-    ) -> Result<(u32, Cycle)> {
+        key: PageKey,
+    ) -> Result<ProgramReport> {
         let ch = block.channel;
         let arrived = self.network.transfer(now, ch, self.geometry.page_bytes);
         let plane_idx = self.plane_idx(block);
         let pkg = &mut self.packages[ch.index()];
-        let (page, done) = pkg.program_page(arrived, plane_idx, block.block)?;
-        self.stats.record_migration_program(self.geometry.page_bytes);
-        Ok((page, done))
+        let report = pkg.program_page(arrived, plane_idx, block.block)?;
+        self.stats
+            .record_migration_program(self.geometry.page_bytes);
+        self.finish_program(block, key, &report);
+        Ok(report)
     }
 
     /// Programs a register-evicted page (data already inside the package).
@@ -224,12 +282,13 @@ impl FlashDevice {
         now: Cycle,
         block: BlockAddr,
         key: PageKey,
-    ) -> Result<(u32, Cycle)> {
+    ) -> Result<ProgramReport> {
         let plane_idx = self.plane_idx(block);
         let pkg = &mut self.packages[block.channel.index()];
-        let (page, done) = pkg.program_page_internal(now, plane_idx, block.block)?;
+        let report = pkg.program_page_internal(now, plane_idx, block.block)?;
         self.stats.record_program(key, self.geometry.page_bytes);
-        Ok((page, done))
+        self.finish_program(block, key, &report);
+        Ok(report)
     }
 
     /// Submits a 128 B sector write of `key` (homed at `home`) to the
@@ -242,14 +301,26 @@ impl FlashDevice {
         pkg.buffered_write(arrived, key, plane_idx, 128, &mut self.network)
     }
 
-    /// Erases `block`.
+    /// Erases `block`. A report with [`EraseReport::failed`] set means
+    /// the block failed erase verification and must be retired.
     ///
     /// # Errors
     ///
     /// Flash protocol errors (valid pages remain).
-    pub fn erase(&mut self, now: Cycle, block: BlockAddr) -> Result<Cycle> {
+    pub fn erase(&mut self, now: Cycle, block: BlockAddr) -> Result<EraseReport> {
         let plane_idx = self.plane_idx(block);
-        self.packages[block.channel.index()].erase_block(now, plane_idx, block.block)
+        let report =
+            self.packages[block.channel.index()].erase_block(now, plane_idx, block.block)?;
+        if report.failed {
+            self.stats.record_erase_failure();
+        }
+        Ok(report)
+    }
+
+    /// The `(key, sequence)` stamped by the last successful program of
+    /// the page at `addr` (verification metadata, no timing impact).
+    pub fn page_stamp(&self, addr: FlashAddr) -> Option<(u64, u64)> {
+        self.block(addr.block).and_then(|b| b.stamp(addr.page))
     }
 
     /// Marks a page stale (superseded by a newer program elsewhere).
@@ -355,7 +426,7 @@ impl FlashDevice {
             total_erases: total,
             max_block_erases: max,
             worn_blocks,
-            pe_limit: 100_000, // Z-NAND endurance (paper §II-B)
+            pe_limit: PE_LIMIT,
         }
     }
 }
@@ -381,11 +452,12 @@ mod tests {
     #[test]
     fn program_then_read_roundtrip() {
         let mut d = device();
-        let (page, t_prog) = d.program(Cycle(0), block0(), 1).unwrap();
-        assert_eq!(page, 0);
-        assert!(t_prog >= Cycle(120_000));
-        let t_read = d.read(t_prog, block0().page(0), 1, 128).unwrap();
-        assert!(t_read > t_prog);
+        let r = d.program(Cycle(0), block0(), 1).unwrap();
+        assert_eq!(r.page, 0);
+        assert!(!r.failed);
+        assert!(r.done >= Cycle(120_000));
+        let t_read = d.read(r.done, block0().page(0), 1, 128).unwrap();
+        assert!(t_read > r.done);
         assert_eq!(d.stats().total_reads(), 1);
         assert_eq!(d.stats().total_programs(), 1);
     }
@@ -416,7 +488,9 @@ mod tests {
         let t_sector = d.read(Cycle(1_000_000), block0().page(0), 1, 128).unwrap();
         let mut d2 = device();
         d2.program(Cycle(0), block0(), 1).unwrap();
-        let t_page = d2.read(Cycle(1_000_000), block0().page(0), 1, 4096).unwrap();
+        let t_page = d2
+            .read(Cycle(1_000_000), block0().page(0), 1, 4096)
+            .unwrap();
         assert!(t_page > t_sector, "4 KB network transfer costs more");
     }
 
@@ -463,9 +537,53 @@ mod tests {
         d.program(Cycle(0), block0(), 7).unwrap();
         let before_pages = d.stats().mean_programs_per_page();
         let b1 = BlockAddr::new(ChannelId(1), DieId(0), PlaneId(0), 0);
-        d.program_migrate(Cycle(0), b1).unwrap();
+        d.program_migrate(Cycle(0), b1, 7).unwrap();
         assert_eq!(d.stats().mean_programs_per_page(), before_pages);
         assert!(d.stats().bytes_programmed() >= 2 * 4096);
+    }
+
+    #[test]
+    fn stamps_record_successful_programs() {
+        let mut d = device();
+        let r1 = d.program(Cycle(0), block0(), 10).unwrap();
+        let r2 = d.program(Cycle(0), block0(), 11).unwrap();
+        let a1 = block0().page(r1.page);
+        let a2 = block0().page(r2.page);
+        let (k1, s1) = d.page_stamp(a1).unwrap();
+        let (k2, s2) = d.page_stamp(a2).unwrap();
+        assert_eq!((k1, k2), (10, 11));
+        assert!(s2 > s1, "sequence is monotonic");
+        assert!(d.page_stamp(block0().page(99)).is_none());
+    }
+
+    #[test]
+    fn fault_config_streams_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut d = device();
+            d.set_fault_config(&crate::fault::FaultConfig::end_of_life().with_seed(seed));
+            let mut log = Vec::new();
+            for k in 0..32u64 {
+                let r = d.program(Cycle(0), block0(), k);
+                log.push(match r {
+                    Ok(rep) => (rep.failed, rep.page),
+                    Err(_) => (true, u32::MAX),
+                });
+            }
+            (log, d.stats().program_failures())
+        };
+        assert_eq!(run(9), run(9), "same seed, same fault sequence");
+    }
+
+    #[test]
+    fn none_profile_draws_nothing() {
+        let mut d = device();
+        d.set_fault_config(&crate::fault::FaultConfig::none());
+        for k in 0..16u64 {
+            assert!(!d.program(Cycle(0), block0(), k).unwrap().failed);
+        }
+        d.invalidate(block0().page(0));
+        assert_eq!(d.stats().read_retries(), 0);
+        assert_eq!(d.stats().program_failures(), 0);
     }
 
     #[test]

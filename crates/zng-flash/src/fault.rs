@@ -1,0 +1,306 @@
+//! Fault injection: a wear-dependent raw-bit-error-rate (RBER) model.
+//!
+//! Z-NAND keeps conventional NAND's failure physics even though its
+//! latencies are an order of magnitude lower: raw bit errors grow with a
+//! block's program/erase count, reads that exceed the ECC correction
+//! budget must be retried with tuned reference voltages, and blocks whose
+//! programs or erases fail verification are retired for good. This module
+//! models those mechanisms as *probabilities per operation*:
+//!
+//! * **Reads** fail *transiently*. Each failed attempt escalates to the
+//!   next read-retry step (slower, finer-grained sensing) with a
+//!   geometrically decaying failure probability; running out of steps is
+//!   an ECC-uncorrectable read ([`zng_types::Error::UncorrectableRead`]).
+//!   The data itself survives — a later, independent read may succeed.
+//! * **Programs and erases** fail *permanently*: the affected block stops
+//!   accepting new data and must be retired by the FTL.
+//!
+//! All draws come from a per-plane deterministic RNG seeded via
+//! [`zng_sim::rng::derive_seed`], so runs remain reproducible and the
+//! [`FaultProfile::None`] preset performs no draws at all (bit-identical
+//! to a fault-free build).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use zng_sim::rng::{derive_seed, seeded};
+use zng_types::{Error, Result};
+
+/// How aggressively faults are injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultProfile {
+    /// No faults; every RNG draw is skipped (bit-identical baseline).
+    #[default]
+    None,
+    /// Mid-life device: occasional read retries, rare program/erase
+    /// failures. Uncorrectable reads are vanishingly rare.
+    Nominal,
+    /// Worn device near its endurance limit: frequent retries, routine
+    /// program/erase failures, blocks retiring under sustained writes.
+    EndOfLife,
+}
+
+impl FaultProfile {
+    /// Parses a CLI-style profile name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for unrecognised names.
+    pub fn parse(s: &str) -> Result<FaultProfile> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" | "off" => Ok(FaultProfile::None),
+            "nominal" => Ok(FaultProfile::Nominal),
+            "end-of-life" | "eol" => Ok(FaultProfile::EndOfLife),
+            other => Err(Error::invalid_config(
+                "fault profile",
+                format!("unknown profile `{other}` (expected none|nominal|end-of-life)"),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultProfile::None => write!(f, "none"),
+            FaultProfile::Nominal => write!(f, "nominal"),
+            FaultProfile::EndOfLife => write!(f, "end-of-life"),
+        }
+    }
+}
+
+/// Fault-injection configuration carried by `SimConfig`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Which RBER preset to apply.
+    pub profile: FaultProfile,
+    /// Master seed; each plane derives its own stream from this.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No fault injection (the default).
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            profile: FaultProfile::None,
+            seed: 42,
+        }
+    }
+
+    /// Mid-life fault rates.
+    pub fn nominal() -> FaultConfig {
+        FaultConfig {
+            profile: FaultProfile::Nominal,
+            seed: 42,
+        }
+    }
+
+    /// End-of-life fault rates.
+    pub fn end_of_life() -> FaultConfig {
+        FaultConfig {
+            profile: FaultProfile::EndOfLife,
+            seed: 42,
+        }
+    }
+
+    /// The same profile with a different master seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig::none()
+    }
+}
+
+/// Raw fault-rate parameters behind a [`FaultProfile`].
+///
+/// Failure probabilities scale linearly with *wear fraction* — the
+/// block's erase count over the media's P/E rating — so a fresh device
+/// sees only the base rates while a worn one degrades smoothly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultParams {
+    /// First-attempt read failure probability on a fresh block.
+    pub read_fail_base: f64,
+    /// Additional read failure probability at 100 % wear.
+    pub read_fail_wear: f64,
+    /// Multiplier applied to the read failure probability per retry
+    /// step (each tuned re-sense is much more likely to succeed).
+    pub retry_decay: f64,
+    /// Program failure probability on a fresh block.
+    pub program_fail_base: f64,
+    /// Additional program failure probability at 100 % wear.
+    pub program_fail_wear: f64,
+    /// Erase failure probability on a fresh block.
+    pub erase_fail_base: f64,
+    /// Additional erase failure probability at 100 % wear.
+    pub erase_fail_wear: f64,
+}
+
+impl FaultParams {
+    /// Parameters for `profile`, or `None` for [`FaultProfile::None`].
+    pub fn for_profile(profile: FaultProfile) -> Option<FaultParams> {
+        match profile {
+            FaultProfile::None => None,
+            FaultProfile::Nominal => Some(FaultParams {
+                read_fail_base: 2e-3,
+                read_fail_wear: 0.05,
+                retry_decay: 0.1,
+                program_fail_base: 1e-5,
+                program_fail_wear: 1e-3,
+                erase_fail_base: 1e-5,
+                erase_fail_wear: 1e-3,
+            }),
+            FaultProfile::EndOfLife => Some(FaultParams {
+                read_fail_base: 0.08,
+                read_fail_wear: 0.4,
+                retry_decay: 0.25,
+                program_fail_base: 0.05,
+                program_fail_wear: 0.3,
+                erase_fail_base: 0.25,
+                erase_fail_wear: 0.5,
+            }),
+        }
+    }
+}
+
+/// Read-retry ladder depth: attempts beyond the initial sense before a
+/// read is declared ECC-uncorrectable.
+pub const MAX_READ_RETRIES: u32 = 4;
+
+/// Extra sense cycles charged per retry step (each step re-senses with
+/// tighter reference voltages, on top of the nominal read time).
+pub const RETRY_STEP_EXTRA_CYCLES: u64 = 900;
+
+/// Per-plane fault state: the profile's rates plus a private RNG stream.
+#[derive(Debug, Clone)]
+pub struct PlaneFaults {
+    params: FaultParams,
+    pe_limit: u64,
+    rng: SmallRng,
+}
+
+impl PlaneFaults {
+    /// Builds the fault state for one plane, or `None` when the profile
+    /// injects nothing. `plane_tag` must be unique per plane so streams
+    /// do not correlate across the device; `pe_limit` is the media's P/E
+    /// rating used to convert erase counts into wear fractions.
+    pub fn new(cfg: &FaultConfig, plane_tag: u64, pe_limit: u64) -> Option<PlaneFaults> {
+        let params = FaultParams::for_profile(cfg.profile)?;
+        Some(PlaneFaults {
+            params,
+            pe_limit: pe_limit.max(1),
+            rng: seeded(derive_seed(cfg.seed, plane_tag)),
+        })
+    }
+
+    /// Wear fraction for a block: erase count over the P/E rating.
+    fn wear_fraction(&self, erase_count: u64) -> f64 {
+        (erase_count as f64 / self.pe_limit as f64).min(1.0)
+    }
+
+    /// Draws whether read-retry `step` (0 = initial sense) fails on a
+    /// block with the given wear.
+    pub fn read_attempt_fails(&mut self, erase_count: u64, step: u32) -> bool {
+        let wear = self.wear_fraction(erase_count);
+        let p = (self.params.read_fail_base + self.params.read_fail_wear * wear)
+            * self.params.retry_decay.powi(step as i32);
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Draws whether a page program fails verification (permanent).
+    pub fn program_fails(&mut self, erase_count: u64) -> bool {
+        let wear = self.wear_fraction(erase_count);
+        let p = self.params.program_fail_base + self.params.program_fail_wear * wear;
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Draws whether a block erase fails verification (permanent).
+    pub fn erase_fails(&mut self, erase_count: u64) -> bool {
+        let wear = self.wear_fraction(erase_count);
+        let p = self.params.erase_fail_base + self.params.erase_fail_wear * wear;
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_profile_has_no_state() {
+        assert!(PlaneFaults::new(&FaultConfig::none(), 0, 100_000).is_none());
+        assert!(FaultParams::for_profile(FaultProfile::None).is_none());
+    }
+
+    #[test]
+    fn parse_roundtrips_and_rejects_garbage() {
+        for p in [
+            FaultProfile::None,
+            FaultProfile::Nominal,
+            FaultProfile::EndOfLife,
+        ] {
+            assert_eq!(FaultProfile::parse(&p.to_string()).unwrap(), p);
+        }
+        assert_eq!(FaultProfile::parse("eol").unwrap(), FaultProfile::EndOfLife);
+        assert_eq!(FaultProfile::parse("OFF").unwrap(), FaultProfile::None);
+        assert!(FaultProfile::parse("catastrophic").is_err());
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cfg = FaultConfig::end_of_life().with_seed(7);
+        let mut a = PlaneFaults::new(&cfg, 3, 100_000).unwrap();
+        let mut b = PlaneFaults::new(&cfg, 3, 100_000).unwrap();
+        for step in 0..64 {
+            assert_eq!(
+                a.read_attempt_fails(50_000, step % 4),
+                b.read_attempt_fails(50_000, step % 4)
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_planes_get_distinct_streams() {
+        let cfg = FaultConfig::end_of_life();
+        let mut a = PlaneFaults::new(&cfg, 0, 100_000).unwrap();
+        let mut b = PlaneFaults::new(&cfg, 1, 100_000).unwrap();
+        let mismatch = (0..256)
+            .filter(|_| a.read_attempt_fails(90_000, 0) != b.read_attempt_fails(90_000, 0))
+            .count();
+        assert!(mismatch > 0, "plane streams should decorrelate");
+    }
+
+    #[test]
+    fn wear_raises_failure_rates() {
+        let cfg = FaultConfig::nominal();
+        let trials = 20_000;
+        let fresh = {
+            let mut f = PlaneFaults::new(&cfg, 0, 100_000).unwrap();
+            (0..trials).filter(|_| f.program_fails(0)).count()
+        };
+        let worn = {
+            let mut f = PlaneFaults::new(&cfg, 0, 100_000).unwrap();
+            (0..trials).filter(|_| f.program_fails(100_000)).count()
+        };
+        assert!(worn > fresh, "worn {worn} should exceed fresh {fresh}");
+    }
+
+    #[test]
+    fn retry_steps_decay_geometrically() {
+        let cfg = FaultConfig::end_of_life();
+        let trials = 20_000;
+        let rate = |step: u32| {
+            let mut f = PlaneFaults::new(&cfg, 0, 100_000).unwrap();
+            (0..trials)
+                .filter(|_| f.read_attempt_fails(0, step))
+                .count() as f64
+                / trials as f64
+        };
+        let (s0, s2) = (rate(0), rate(2));
+        assert!(s0 > 4.0 * s2, "step 0 rate {s0} vs step 2 rate {s2}");
+    }
+}

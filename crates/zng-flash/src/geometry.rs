@@ -1,6 +1,5 @@
 //! Flash topology (Table I) and address decomposition.
 
-use serde::{Deserialize, Serialize};
 use zng_types::{
     ids::{ChannelId, DieId, PlaneId},
     BlockAddr, Error, Result,
@@ -22,7 +21,7 @@ use zng_types::{
 /// // 16 * 8 * 8 * 1024 blocks * 384 pages * 4 KiB = 1.5 TiB.
 /// assert_eq!(g.capacity_bytes(), 1_649_267_441_664);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlashGeometry {
     /// Flash channels (each with its own controller in ZnG).
     pub channels: usize,
@@ -238,10 +237,7 @@ mod tests {
     #[test]
     fn capacity_math() {
         let g = FlashGeometry::tiny();
-        assert_eq!(
-            g.capacity_bytes(),
-            (4 * 2 * 2 * 64) as u64 * 16 * 4096
-        );
+        assert_eq!(g.capacity_bytes(), (4 * 2 * 2 * 64) as u64 * 16 * 4096);
         assert_eq!(g.block_bytes(), 16 * 4096);
     }
 }

@@ -23,6 +23,7 @@
 pub mod block;
 pub mod decoder;
 pub mod device;
+pub mod fault;
 pub mod geometry;
 pub mod network;
 pub mod package;
@@ -34,10 +35,11 @@ pub mod timing;
 pub use block::{Block, BlockKind};
 pub use decoder::{RowDecoder, CAM_SEARCH_CYCLES};
 pub use device::{EnduranceReport, FlashDevice, PageKey};
+pub use fault::{FaultConfig, FaultParams, FaultProfile, PlaneFaults, MAX_READ_RETRIES};
 pub use geometry::FlashGeometry;
 pub use network::{FlashNetwork, NetworkTopology};
 pub use package::{FlashPackage, RegisterTopology};
-pub use plane::Plane;
+pub use plane::{EraseReport, Plane, ProgramReport, ReadReport};
 pub use registers::{RegisterCache, WriteOutcome};
 pub use stats::FlashStats;
 pub use timing::{FlashCycles, FlashTiming};

@@ -6,12 +6,11 @@
 //! injection link per channel, XY-routed hops for cross-package traffic
 //! (SWnet register migrations).
 
-use serde::{Deserialize, Serialize};
 use zng_sim::Link;
 use zng_types::{ids::ChannelId, Cycle};
 
 /// The fabric style connecting controllers to packages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetworkTopology {
     /// Shared ONFI bus per channel (1 B wide).
     Bus,

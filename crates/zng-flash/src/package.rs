@@ -9,17 +9,16 @@
 //! (dedicated point-to-point wires) or **HW-NiF** (shared I/O bus + data
 //! bus per plane, a local network between data registers).
 
-use serde::{Deserialize, Serialize};
 use zng_sim::Resource;
 use zng_types::{ids::ChannelId, Cycle, Result};
 
 use crate::network::FlashNetwork;
-use crate::plane::Plane;
+use crate::plane::{EraseReport, Plane, ProgramReport, ReadReport};
 use crate::registers::{Evicted, RegisterCache, WriteOutcome};
 use crate::timing::FlashCycles;
 
 /// How the flash registers of a package are interconnected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegisterTopology {
     /// Registers are private to their plane (the Fig. 13 "baseline").
     Private,
@@ -182,21 +181,25 @@ impl FlashPackage {
     }
 
     /// Reads a page from the array of plane `idx` (or its cache register,
-    /// if latched) and streams it out of an I/O port; returns the time
-    /// the page is at the package pins and whether the array was sensed.
+    /// if latched) and streams it out of an I/O port; the report's `done`
+    /// is when the page is at the package pins.
     ///
     /// # Errors
     ///
-    /// Flash protocol errors (unprogrammed page, bad block index).
+    /// Flash protocol errors (unprogrammed page, bad block index), or
+    /// [`zng_types::Error::UncorrectableRead`] under fault injection.
     pub fn read_page_from_array(
         &mut self,
         now: Cycle,
         plane_idx: usize,
         block: u32,
         page: u32,
-    ) -> Result<(Cycle, bool)> {
-        let (ready, sensed) = self.planes[plane_idx].read_page_traced(now, block, page)?;
-        Ok((self.io_transfer(ready, self.page_bytes), sensed))
+    ) -> Result<ReadReport> {
+        let r = self.planes[plane_idx].read_page_traced(now, block, page)?;
+        Ok(ReadReport {
+            done: self.io_transfer(r.done, self.page_bytes),
+            ..r
+        })
     }
 
     /// Serves `bytes` of a register-resident page through an I/O port.
@@ -220,7 +223,7 @@ impl FlashPackage {
         now: Cycle,
         plane_idx: usize,
         block: u32,
-    ) -> Result<(u32, Cycle)> {
+    ) -> Result<ProgramReport> {
         let arrived = self.io_transfer(now, self.page_bytes);
         self.planes[plane_idx].program_next(arrived, block)
     }
@@ -236,7 +239,7 @@ impl FlashPackage {
         now: Cycle,
         plane_idx: usize,
         block: u32,
-    ) -> Result<(u32, Cycle)> {
+    ) -> Result<ProgramReport> {
         self.planes[plane_idx].program_next(now, block)
     }
 
@@ -245,7 +248,7 @@ impl FlashPackage {
     /// # Errors
     ///
     /// Flash protocol errors (valid pages remain).
-    pub fn erase_block(&mut self, now: Cycle, plane_idx: usize, block: u32) -> Result<Cycle> {
+    pub fn erase_block(&mut self, now: Cycle, plane_idx: usize, block: u32) -> Result<EraseReport> {
         self.planes[plane_idx].erase(now, block)
     }
 
@@ -365,18 +368,7 @@ mod tests {
     fn pkg(topology: RegisterTopology) -> (FlashPackage, FlashNetwork) {
         let timing = FlashTiming::znand().to_cycles(Freq::default());
         (
-            FlashPackage::new(
-                ChannelId(0),
-                2,
-                2,
-                16,
-                8,
-                4096,
-                2,
-                2,
-                timing,
-                topology,
-            ),
+            FlashPackage::new(ChannelId(0), 2, 2, 16, 8, 4096, 2, 2, timing, topology),
             FlashNetwork::mesh(1, 8.0, Cycle(2)),
         )
     }
@@ -394,14 +386,14 @@ mod tests {
     fn read_includes_sense_and_io() {
         let (mut p, _) = pkg(RegisterTopology::NiF);
         p.program_page(Cycle(0), 0, 0).unwrap();
-        let (t, sensed) = p.read_page_from_array(Cycle(200_000), 0, 0, 0).unwrap();
+        let r = p.read_page_from_array(Cycle(200_000), 0, 0, 0).unwrap();
         // 3600 sense + 512 io transfer.
-        assert!(sensed);
-        assert_eq!(t, Cycle(200_000 + 3_600 + 512));
+        assert!(r.sensed);
+        assert_eq!(r.done, Cycle(200_000 + 3_600 + 512));
         // A repeat read of the same page streams from the cache register.
-        let (t2, sensed2) = p.read_page_from_array(t, 0, 0, 0).unwrap();
-        assert!(!sensed2);
-        assert!(t2 - t < Cycle(3_600));
+        let r2 = p.read_page_from_array(r.done, 0, 0, 0).unwrap();
+        assert!(!r2.sensed);
+        assert!(r2.done - r.done < Cycle(3_600));
     }
 
     #[test]
@@ -483,8 +475,8 @@ mod tests {
     #[test]
     fn internal_program_skips_io_port() {
         let (mut p, _) = pkg(RegisterTopology::NiF);
-        let (_, t_ext) = p.program_page(Cycle(0), 0, 0).unwrap();
-        let (_, t_int) = p.program_page_internal(Cycle(0), 1, 0).unwrap();
+        let t_ext = p.program_page(Cycle(0), 0, 0).unwrap().done;
+        let t_int = p.program_page_internal(Cycle(0), 1, 0).unwrap().done;
         assert!(t_int < t_ext);
     }
 }

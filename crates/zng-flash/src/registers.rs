@@ -16,8 +16,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a page held in a register (device-global page key).
 pub type RegPageKey = u64;
 
@@ -32,7 +30,7 @@ struct Entry {
 
 /// A page pushed out of the register cache; the caller must program it to
 /// its home plane (and pay a migration if `holder_plane != home_plane`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Evicted {
     /// The page being written back.
     pub key: RegPageKey,
@@ -45,7 +43,7 @@ pub struct Evicted {
 }
 
 /// The result of a sector write submitted to the register cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteOutcome {
     /// The write merged into a register already holding the page.
     pub hit: bool,
@@ -140,7 +138,10 @@ impl RegisterCache {
     ///
     /// Panics if `home_plane` is out of range.
     pub fn write(&mut self, key: RegPageKey, home_plane: usize) -> WriteOutcome {
-        assert!(home_plane < self.planes, "home plane {home_plane} out of range");
+        assert!(
+            home_plane < self.planes,
+            "home plane {home_plane} out of range"
+        );
         self.tick += 1;
         self.total_writes += 1;
         self.window_writes += 1;

@@ -18,6 +18,10 @@ pub struct FlashStats {
     page_programs: HashMap<u64, u32>,
     bytes_read: u64,
     bytes_programmed: u64,
+    read_retries: u64,
+    uncorrectable_reads: u64,
+    program_failures: u64,
+    erase_failures: u64,
 }
 
 impl FlashStats {
@@ -43,6 +47,47 @@ impl FlashStats {
     /// how often the same page is written by the workload).
     pub fn record_migration_program(&mut self, bytes: usize) {
         self.bytes_programmed += bytes as u64;
+    }
+
+    /// Records `n` read-retry ladder steps taken by one sense.
+    pub fn record_read_retries(&mut self, n: u64) {
+        self.read_retries += n;
+    }
+
+    /// Records a read that stayed uncorrectable through the whole retry
+    /// ladder.
+    pub fn record_uncorrectable_read(&mut self) {
+        self.uncorrectable_reads += 1;
+    }
+
+    /// Records a program that failed verification.
+    pub fn record_program_failure(&mut self) {
+        self.program_failures += 1;
+    }
+
+    /// Records an erase that failed verification.
+    pub fn record_erase_failure(&mut self) {
+        self.erase_failures += 1;
+    }
+
+    /// Total read-retry ladder steps across all senses.
+    pub fn read_retries(&self) -> u64 {
+        self.read_retries
+    }
+
+    /// Reads declared ECC-uncorrectable after exhausting the ladder.
+    pub fn uncorrectable_reads(&self) -> u64 {
+        self.uncorrectable_reads
+    }
+
+    /// Programs that failed verification.
+    pub fn program_failures(&self) -> u64 {
+        self.program_failures
+    }
+
+    /// Erases that failed verification.
+    pub fn erase_failures(&self) -> u64 {
+        self.erase_failures
     }
 
     /// Average array reads per distinct page (paper's "read re-access").
@@ -109,6 +154,10 @@ impl FlashStats {
         self.page_programs.clear();
         self.bytes_read = 0;
         self.bytes_programmed = 0;
+        self.read_retries = 0;
+        self.uncorrectable_reads = 0;
+        self.program_failures = 0;
+        self.erase_failures = 0;
     }
 }
 
@@ -163,9 +212,21 @@ mod tests {
         let mut s = FlashStats::new();
         s.record_read(1, 10);
         s.record_program(1, 10);
+        s.record_read_retries(3);
+        s.record_uncorrectable_read();
+        s.record_program_failure();
+        s.record_erase_failure();
+        assert_eq!(s.read_retries(), 3);
+        assert_eq!(s.uncorrectable_reads(), 1);
+        assert_eq!(s.program_failures(), 1);
+        assert_eq!(s.erase_failures(), 1);
         s.reset();
         assert_eq!(s.total_reads(), 0);
         assert_eq!(s.total_programs(), 0);
         assert_eq!(s.bytes_programmed(), 0);
+        assert_eq!(s.read_retries(), 0);
+        assert_eq!(s.uncorrectable_reads(), 0);
+        assert_eq!(s.program_failures(), 0);
+        assert_eq!(s.erase_failures(), 0);
     }
 }

@@ -1,10 +1,9 @@
 //! Flash media timing (Z-NAND SLC vs. TLC V-NAND) and ONFI channel rates.
 
-use serde::{Deserialize, Serialize};
 use zng_types::{Cycle, Freq, Nanos};
 
 /// Raw media timing parameters in wall-clock units.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlashTiming {
     /// Media name for reports.
     pub name: &'static str,
@@ -65,7 +64,7 @@ impl Default for FlashTiming {
 }
 
 /// Media timing converted to GPU cycles, ready for the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlashCycles {
     /// Page read (sense) time.
     pub read: Cycle,
@@ -93,7 +92,7 @@ mod tests {
         assert_eq!(c.read, Cycle(3_600)); // 3 us * 1.2 GHz
         assert_eq!(c.program, Cycle(120_000)); // 100 us
         assert_eq!(c.erase, Cycle(1_200_000)); // 1 ms
-        // 800 MB/s over a 1.2 GHz clock = 2/3 B per cycle.
+                                               // 800 MB/s over a 1.2 GHz clock = 2/3 B per cycle.
         assert!((c.channel_bytes_per_cycle - 2.0 / 3.0).abs() < 1e-9);
     }
 

@@ -49,6 +49,8 @@ pub struct BlockAllocator {
     allocated: u64,
     policy: WearPolicy,
     release_seq: u64,
+    /// Blocks permanently removed from service (failed program/erase).
+    retired: u64,
 }
 
 impl BlockAllocator {
@@ -66,6 +68,7 @@ impl BlockAllocator {
             allocated: 0,
             policy,
             release_seq: 0,
+            retired: 0,
         }
     }
 
@@ -80,7 +83,8 @@ impl BlockAllocator {
     /// # Errors
     ///
     /// Returns [`Error::OutOfSpace`] when neither fresh nor recycled
-    /// blocks remain.
+    /// blocks remain, or [`Error::DeviceWornOut`] when block retirement
+    /// is what exhausted the pool — the device reached end of life.
     pub fn allocate(&mut self) -> Result<u64> {
         if self.next_fresh < self.total_blocks {
             let idx = self.next_fresh;
@@ -93,6 +97,9 @@ impl BlockAllocator {
                 self.allocated += 1;
                 Ok(idx)
             }
+            None if self.retired > 0 => Err(Error::DeviceWornOut {
+                retired_blocks: self.retired,
+            }),
             None => Err(Error::OutOfSpace),
         }
     }
@@ -109,6 +116,20 @@ impl BlockAllocator {
             WearPolicy::Lifo => u64::MAX - self.release_seq,
         };
         self.recycled.push(Reverse((key, index)));
+    }
+
+    /// Permanently removes a block from service instead of recycling it
+    /// (a program or erase on it failed verification). The index never
+    /// returns from [`BlockAllocator::allocate`] again.
+    pub fn retire(&mut self, index: u64) {
+        debug_assert!(index < self.total_blocks, "retired unknown block {index}");
+        self.allocated = self.allocated.saturating_sub(1);
+        self.retired += 1;
+    }
+
+    /// Blocks permanently retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
     }
 
     /// Blocks currently handed out.
@@ -194,6 +215,22 @@ mod tests {
         a.release(2, 1); // most recent: reused first
         assert_eq!(a.allocate().unwrap(), 2);
         assert_eq!(a.allocate().unwrap(), 0);
+    }
+
+    #[test]
+    fn retirement_shrinks_the_pool_for_good() {
+        let mut a = BlockAllocator::new(2);
+        let b0 = a.allocate().unwrap();
+        a.allocate().unwrap();
+        a.retire(b0);
+        assert_eq!(a.retired(), 1);
+        assert_eq!(a.free(), 0);
+        // The worn-out signal replaces plain out-of-space once any block
+        // has been retired.
+        assert!(matches!(
+            a.allocate(),
+            Err(Error::DeviceWornOut { retired_blocks: 1 })
+        ));
     }
 
     #[test]

@@ -13,6 +13,16 @@
 //!   data-block groups to over-provisioned log blocks, and a GPU
 //!   helper-thread **garbage collector** with wear levelling.
 
+/// Backstop on write re-drives after repeated program failures. Failed
+/// programs burn slots and eventually exhaust the free pool into
+/// [`zng_types::Error::DeviceWornOut`]; this bound only catches a broken
+/// fault model looping forever.
+pub(crate) const MAX_WRITE_REDRIVES: u32 = 64;
+
+/// Read-retry attempts a GC migration read gets before the collector
+/// gives up and propagates the uncorrectable read.
+pub(crate) const GC_READ_ATTEMPTS: u32 = 4;
+
 pub mod allocator;
 pub mod engine;
 pub mod pagemap;

@@ -12,6 +12,7 @@ use zng_flash::{BlockKind, FlashDevice};
 use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
 
 use crate::allocator::BlockAllocator;
+use crate::{GC_READ_ATTEMPTS, MAX_WRITE_REDRIVES};
 
 /// A page-level FTL with greedy GC and wear-aware allocation.
 #[derive(Debug, Clone)]
@@ -29,6 +30,10 @@ pub struct PageMapFtl {
     gc_threshold: u64,
     gcs: u64,
     pages_migrated: u64,
+    /// Blocks permanently retired after failed programs/erases.
+    blocks_retired: u64,
+    /// Writes re-driven to a new block after a program failure.
+    write_redrives: u64,
 }
 
 impl PageMapFtl {
@@ -46,6 +51,8 @@ impl PageMapFtl {
             gc_threshold: (total / 64).max(2),
             gcs: 0,
             pages_migrated: 0,
+            blocks_retired: 0,
+            write_redrives: 0,
         }
     }
 
@@ -70,7 +77,10 @@ impl PageMapFtl {
         let ch = self.cursor % self.active.len();
         self.cursor = self.cursor.wrapping_add(1);
         let need_new = match self.active[ch] {
-            Some(addr) => device.block(addr).map(|b| b.is_full()).unwrap_or(false),
+            Some(addr) => device
+                .block(addr)
+                .map(|b| b.is_full() || b.is_failed())
+                .unwrap_or(false),
             None => true,
         };
         if need_new {
@@ -98,26 +108,45 @@ impl PageMapFtl {
         pages[addr.page as usize] = Some(lpn);
     }
 
+    /// Seals the active block that just failed a program so GC salvages
+    /// its live pages and retires it; new writes go elsewhere.
+    fn seal_active(&mut self, block: BlockAddr) {
+        for slot in self.active.iter_mut() {
+            if *slot == Some(block) {
+                *slot = None;
+                self.sealed.push(block);
+            }
+        }
+    }
+
     /// Writes one logical page; returns program-complete time.
+    ///
+    /// A program that fails verification seals the stricken block and
+    /// re-drives the write into another channel's active block; the
+    /// superseded copy is invalidated only after the replacement program
+    /// verifies, so a failure never strands acknowledged data.
     ///
     /// # Errors
     ///
     /// Propagates allocation and flash-protocol errors.
-    pub fn write_page(
-        &mut self,
-        now: Cycle,
-        device: &mut FlashDevice,
-        lpn: u64,
-    ) -> Result<Cycle> {
-        // Invalidate the superseded copy *before* programming so GC of the
-        // old block never migrates stale data.
-        if let Some(old) = self.map.get(&lpn).copied() {
-            device.invalidate(old);
+    pub fn write_page(&mut self, now: Cycle, device: &mut FlashDevice, lpn: u64) -> Result<Cycle> {
+        for _ in 0..MAX_WRITE_REDRIVES {
+            let block = self.next_slot(device, now)?;
+            let report = device.program(now, block, lpn)?;
+            if report.failed {
+                self.write_redrives += 1;
+                self.seal_active(block);
+                continue;
+            }
+            if let Some(old) = self.map.get(&lpn).copied() {
+                device.invalidate(old);
+            }
+            self.record_mapping(device, lpn, FlashAddr::new(block, report.page));
+            return Ok(report.done);
         }
-        let block = self.next_slot(device, now)?;
-        let (page, done) = device.program(now, block, lpn)?;
-        self.record_mapping(device, lpn, FlashAddr::new(block, page));
-        Ok(done)
+        Err(Error::FlashProtocol(format!(
+            "write of lpn {lpn} still failing after {MAX_WRITE_REDRIVES} re-drives"
+        )))
     }
 
     /// Installs `lpn` as pre-loaded data (the workload's initial dataset
@@ -152,8 +181,30 @@ impl PageMapFtl {
         if !self.map.contains_key(&lpn) {
             self.install(device, lpn)?;
         }
-        let addr = self.map[&lpn];
-        device.read(now, addr, lpn, transfer_bytes)
+        let addr = *self.map.get(&lpn).expect("lpn just installed above");
+        self.retried_read(now, device, addr, lpn, transfer_bytes)
+    }
+
+    /// A read with a bounded retry budget against transient
+    /// ECC-uncorrectable senses.
+    fn retried_read(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        addr: FlashAddr,
+        lpn: u64,
+        bytes: usize,
+    ) -> Result<Cycle> {
+        let mut attempt = 0;
+        loop {
+            match device.read(now, addr, lpn, bytes) {
+                Ok(t) => return Ok(t),
+                Err(Error::UncorrectableRead { .. }) if attempt + 1 < GC_READ_ATTEMPTS => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Greedy garbage collection: migrate the least-valid sealed block's
@@ -193,20 +244,49 @@ impl PageMapFtl {
             })
             .unwrap_or_default();
         let mut t = now;
+        let page_bytes = device.geometry().page_bytes;
         for (page, lpn) in live {
-            t = device.read(t, FlashAddr::new(victim, page), lpn, device.geometry().page_bytes)?;
-            device.invalidate(FlashAddr::new(victim, page));
-            let dest = self.next_slot(device, t)?;
-            let (new_page, done) = device.program_migrate(t, dest)?;
-            self.record_mapping(device, lpn, FlashAddr::new(dest, new_page));
-            t = done;
+            let src = FlashAddr::new(victim, page);
+            t = self.retried_read(t, device, src, lpn, page_bytes)?;
+            // Re-drive the migration program until it verifies; the
+            // source copy stays valid until the new one lands.
+            let mut redrives = 0;
+            loop {
+                let dest = self.next_slot(device, t)?;
+                let report = device.program_migrate(t, dest, lpn)?;
+                if report.failed {
+                    self.write_redrives += 1;
+                    self.seal_active(dest);
+                    redrives += 1;
+                    if redrives >= MAX_WRITE_REDRIVES {
+                        return Err(Error::FlashProtocol(format!(
+                            "GC migration of lpn {lpn} still failing after \
+                             {MAX_WRITE_REDRIVES} re-drives"
+                        )));
+                    }
+                    continue;
+                }
+                device.invalidate(src);
+                self.record_mapping(device, lpn, FlashAddr::new(dest, report.page));
+                t = report.done;
+                break;
+            }
             self.pages_migrated += 1;
         }
-        let erased = device.erase(t, victim)?;
-        let wear = device.block(victim).map(|b| b.erase_count()).unwrap_or(0);
+        let erase = device.erase(t, victim)?;
         self.rmap.remove(&victim_idx);
-        self.allocator.release(victim_idx, wear);
-        Ok(erased)
+        // A failed erase (or earlier failed program) retires the block.
+        match device.block(victim) {
+            Some(b) if b.is_failed() => {
+                self.allocator.retire(victim_idx);
+                self.blocks_retired += 1;
+            }
+            b => {
+                let wear = b.map(|blk| blk.erase_count()).unwrap_or(0);
+                self.allocator.release(victim_idx, wear);
+            }
+        }
+        Ok(erase.done)
     }
 
     /// Garbage collections performed.
@@ -222,6 +302,16 @@ impl PageMapFtl {
     /// Mapped logical pages.
     pub fn mapped(&self) -> usize {
         self.map.len()
+    }
+
+    /// Blocks permanently retired after failed programs/erases.
+    pub fn blocks_retired(&self) -> u64 {
+        self.blocks_retired
+    }
+
+    /// Writes re-driven to a new block after a program failure.
+    pub fn write_redrives(&self) -> u64 {
+        self.write_redrives
     }
 }
 
@@ -297,6 +387,42 @@ mod tests {
         assert!(f.gcs() > 0, "GC must have run");
         assert!(f.pages_migrated() < 40_000, "migration is bounded");
         // All 256 logical pages still readable.
+        for lpn in 0..256 {
+            assert!(f.translate(lpn).is_some());
+            f.read_page(t, &mut d, lpn, 128).unwrap();
+        }
+    }
+
+    #[test]
+    fn eol_churn_wears_out_gracefully() {
+        let (mut d, mut f) = setup();
+        d.set_fault_config(&zng_flash::FaultConfig::end_of_life());
+        let mut t = Cycle(0);
+        let mut worn = false;
+        for i in 0..400_000u64 {
+            match f.write_page(t, &mut d, i % 256) {
+                Ok(done) => t = done,
+                Err(Error::DeviceWornOut { retired_blocks }) => {
+                    assert!(retired_blocks > 0);
+                    worn = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(worn, "sustained EOL churn must wear the device out");
+        assert!(f.blocks_retired() > 0);
+        assert!(f.write_redrives() > 0);
+    }
+
+    #[test]
+    fn nominal_faults_keep_data_readable_under_churn() {
+        let (mut d, mut f) = setup();
+        d.set_fault_config(&zng_flash::FaultConfig::nominal());
+        let mut t = Cycle(0);
+        for i in 0..20_000u64 {
+            t = f.write_page(t, &mut d, i % 256).unwrap();
+        }
         for lpn in 0..256 {
             assert!(f.translate(lpn).is_some());
             f.read_page(t, &mut d, lpn, 128).unwrap();

@@ -23,7 +23,9 @@
 use std::collections::HashMap;
 
 use zng_flash::{BlockKind, FlashDevice, RowDecoder, CAM_SEARCH_CYCLES};
-use zng_types::{BlockAddr, Cycle, FlashAddr, Result};
+use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
+
+use crate::{GC_READ_ATTEMPTS, MAX_WRITE_REDRIVES};
 
 /// How writes reach the flash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +87,10 @@ pub struct ZngFtl {
     migrated: u64,
     /// (start, end) of each GC, for the Fig. 17 time series.
     gc_events: Vec<(Cycle, Cycle)>,
+    /// Blocks permanently retired after failed programs/erases.
+    blocks_retired: u64,
+    /// Writes re-driven into a new log slot after a program failure.
+    write_redrives: u64,
 }
 
 impl ZngFtl {
@@ -95,7 +101,12 @@ impl ZngFtl {
     ///
     /// Panics if `group_size` is zero.
     pub fn new(device: &FlashDevice, group_size: u64, mode: WriteMode) -> ZngFtl {
-        ZngFtl::with_wear_policy(device, group_size, mode, crate::allocator::WearPolicy::LeastErased)
+        ZngFtl::with_wear_policy(
+            device,
+            group_size,
+            mode,
+            crate::allocator::WearPolicy::LeastErased,
+        )
     }
 
     /// Creates the FTL with an explicit wear-levelling policy (paper §VI:
@@ -125,6 +136,8 @@ impl ZngFtl {
             gcs: 0,
             migrated: 0,
             gc_events: Vec::new(),
+            blocks_retired: 0,
+            write_redrives: 0,
         }
     }
 
@@ -176,11 +189,7 @@ impl ZngFtl {
 
     /// Resolves where `vpn` currently lives: the log block (if logged)
     /// or its data block. Returns `(address, extra CAM-search cycles)`.
-    fn resolve(
-        &mut self,
-        device: &mut FlashDevice,
-        vpn: u64,
-    ) -> Result<(FlashAddr, Cycle)> {
+    fn resolve(&mut self, device: &mut FlashDevice, vpn: u64) -> Result<(FlashAddr, Cycle)> {
         let vbn = self.vbn_of(vpn);
         let data = self.ensure_data_block(device, vbn)?;
         let group = self.group_of(vpn);
@@ -217,8 +226,7 @@ impl ZngFtl {
         let group = self.group_of(vpn);
         if let Some(lb) = self.lbmt.get(&group) {
             let log_ch = lb.addr.channel;
-            if let Some(done) =
-                device.read_from_register_if_held(now, log_ch, vpn, transfer_bytes)
+            if let Some(done) = device.read_from_register_if_held(now, log_ch, vpn, transfer_bytes)
             {
                 return Ok(done);
             }
@@ -232,12 +240,7 @@ impl ZngFtl {
     /// # Errors
     ///
     /// Propagates allocation and flash-protocol errors.
-    pub fn write(
-        &mut self,
-        now: Cycle,
-        device: &mut FlashDevice,
-        vpn: u64,
-    ) -> Result<WriteResult> {
+    pub fn write(&mut self, now: Cycle, device: &mut FlashDevice, vpn: u64) -> Result<WriteResult> {
         let vbn = self.vbn_of(vpn);
         self.ensure_data_block(device, vbn)?;
         let group = self.group_of(vpn);
@@ -267,7 +270,11 @@ impl ZngFtl {
             // queued; the *caller* blocks this app until `gc.done`.
             self.ensure_log_block(device, group)?;
             let r = self.write_direct(now, device, vpn, group)?;
-            return Ok(WriteResult { done: r.done, gc, thrashing: false });
+            return Ok(WriteResult {
+                done: r.done,
+                gc,
+                thrashing: false,
+            });
         }
         // Read-modify-write: fetch the page being partially overwritten,
         // merge in a plane register, and program the log page. The warp
@@ -320,6 +327,11 @@ impl ZngFtl {
     /// Appends `vpn` to `group`'s log block: records the LPMT mapping in
     /// the row decoder, invalidates a superseded log page, and programs
     /// the array.
+    ///
+    /// A program that fails verification is re-driven into the next log
+    /// slot (the burned slot's mapping is retracted so the previous
+    /// acknowledged version stays reachable); re-drives that fill the log
+    /// block trigger an inline merge and continue on the fresh log block.
     fn program_log_page(
         &mut self,
         now: Cycle,
@@ -327,16 +339,43 @@ impl ZngFtl {
         vpn: u64,
         group: u64,
     ) -> Result<Cycle> {
-        let lb = self.lbmt.get_mut(&group).expect("log block ensured");
-        let old = lb.decoder.lookup(vpn);
-        let slot = lb.decoder.record(vpn)?;
-        let addr = lb.addr;
-        if let Some(stale) = old {
-            device.invalidate(FlashAddr::new(addr, stale));
+        for _ in 0..MAX_WRITE_REDRIVES {
+            let lb = self.lbmt.get_mut(&group).expect("log block ensured");
+            if lb.decoder.is_full() {
+                // Rare corner: re-drives consumed the last log slots
+                // mid-write. Merge the group inline and continue on the
+                // fresh log block. The merge is recorded in `gc_events`;
+                // its blocking report cannot reach this write's caller.
+                self.gc_group(now, device, group)?;
+                self.ensure_log_block(device, group)?;
+                continue;
+            }
+            let old = lb.decoder.lookup(vpn);
+            let slot = lb.decoder.record(vpn)?;
+            let addr = lb.addr;
+            let report = device.program_evicted(now, addr, vpn)?;
+            debug_assert_eq!(report.page, slot, "decoder and block program in lock-step");
+            if !report.failed {
+                // Supersede the previous version only once the new one
+                // is verified, so a failure never strands acked data.
+                if let Some(stale) = old {
+                    device.invalidate(FlashAddr::new(addr, stale));
+                }
+                return Ok(report.done);
+            }
+            // The burned slot holds garbage (the plane already
+            // invalidated it); point the mapping back at the previous
+            // version and try the next slot.
+            self.write_redrives += 1;
+            self.lbmt
+                .get_mut(&group)
+                .expect("log block ensured")
+                .decoder
+                .retract(vpn, old);
         }
-        let (page, done) = device.program_evicted(now, addr, vpn)?;
-        debug_assert_eq!(page, slot, "decoder and block program in lock-step");
-        Ok(done)
+        Err(Error::FlashProtocol(format!(
+            "write of vpn {vpn} still failing after {MAX_WRITE_REDRIVES} re-drives"
+        )))
     }
 
     /// Merges `group`: rewrites every data block with logged pages to a
@@ -372,7 +411,10 @@ impl ZngFtl {
         // Which data blocks of the group actually have logged pages?
         let mut by_vbn: HashMap<u64, Vec<(u64, u32)>> = HashMap::new();
         for (vpn, slot) in lb.decoder.mappings() {
-            by_vbn.entry(self.vbn_of(vpn)).or_default().push((vpn, slot));
+            by_vbn
+                .entry(self.vbn_of(vpn))
+                .or_default()
+                .push((vpn, slot));
         }
         let mut flushed = Vec::new();
         let mut migrated = 0u64;
@@ -383,35 +425,62 @@ impl ZngFtl {
         vbns.sort_unstable();
         for vbn in vbns {
             let logged = &by_vbn[&vbn];
-            let old_data = self.dbmt[&vbn];
-            let fresh = self.alloc_block(device, BlockKind::Data)?;
+            // Every logged vpn passed through `write`, which ensures its
+            // data block first; dbmt entries are never removed. A miss
+            // here is a simulator bug, not a caller-reachable state.
+            let old_data = self
+                .dbmt
+                .get(&vbn)
+                .copied()
+                .expect("logged vpn's data block was ensured at write time");
             let logged_map: HashMap<u64, u32> = logged.iter().copied().collect();
             // Merge all pages of the block, newest version of each. The
             // helper thread double-buffers: the next page's read overlaps
             // the previous page's program (reads and programs occupy
             // different planes), so the chain advances at read speed and
             // the destination plane's program queue absorbs the rest.
-            let mut read_t = now;
-            let mut last_prog = now;
+            //
+            // A program failure mid-merge abandons the destination block
+            // (data blocks must stay offset-ordered, so a partial block
+            // cannot be patched), retires it, and restarts the merge on a
+            // new fresh block — the sources are untouched (reads only).
+            // Each restart shrinks the free pool, so repeated failures
+            // terminate in `Error::DeviceWornOut` from the allocator.
+            let (fresh, read_t, last_prog) = loop {
+                let fresh = self.alloc_block(device, BlockKind::Data)?;
+                let mut read_t = now;
+                let mut last_prog = now;
+                let mut burned = false;
+                for offset in 0..self.pages_per_block {
+                    let vpn = vbn * self.pages_per_block + offset;
+                    // Stale register copies are folded into the merge.
+                    device.discard_register(old_data.channel, vpn);
+                    let src = match logged_map.get(&vpn) {
+                        Some(&slot) => FlashAddr::new(lb.addr, slot),
+                        None => FlashAddr::new(old_data, offset as u32),
+                    };
+                    read_t = self.gc_read(read_t, device, src, vpn, page_bytes)?;
+                    let report = device.program_migrate(read_t, fresh, vpn)?;
+                    if report.failed {
+                        burned = true;
+                        break;
+                    }
+                    last_prog = last_prog.max(report.done);
+                    migrated += 1;
+                }
+                if !burned {
+                    break (fresh, read_t, last_prog);
+                }
+                self.retire_block(device, fresh)?;
+            };
             for offset in 0..self.pages_per_block {
-                let vpn = vbn * self.pages_per_block + offset;
-                // Stale register copies are folded into the merge.
-                device.discard_register(old_data.channel, vpn);
-                let src = match logged_map.get(&vpn) {
-                    Some(&slot) => FlashAddr::new(lb.addr, slot),
-                    None => FlashAddr::new(old_data, offset as u32),
-                };
-                read_t = device.read(read_t, src, vpn, page_bytes)?;
-                let (_, prog_done) = device.program_migrate(read_t, fresh)?;
-                last_prog = last_prog.max(prog_done);
-                migrated += 1;
-                flushed.push(vpn);
+                flushed.push(vbn * self.pages_per_block + offset);
             }
             done = done.max(last_prog);
             // Retire the old data block.
             self.invalidate_whole_block(device, old_data)?;
-            let erase_done = device.erase(read_t, old_data)?;
-            done = done.max(erase_done);
+            let erase = device.erase(read_t, old_data)?;
+            done = done.max(erase.done);
             self.release_block(device, old_data);
             erased += 1;
             self.dbmt.insert(vbn, fresh);
@@ -419,8 +488,8 @@ impl ZngFtl {
 
         // Retire the log block itself.
         self.invalidate_whole_block(device, lb.addr)?;
-        let erase_done = device.erase(done, lb.addr)?;
-        done = done.max(erase_done);
+        let erase = device.erase(done, lb.addr)?;
+        done = done.max(erase.done);
         self.release_block(device, lb.addr);
         erased += 1;
 
@@ -436,6 +505,29 @@ impl ZngFtl {
         })
     }
 
+    /// A GC migration read with a bounded retry budget: uncorrectable
+    /// senses are transient, so the helper thread re-reads a few times
+    /// before giving up on the whole merge.
+    fn gc_read(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        src: FlashAddr,
+        vpn: u64,
+        bytes: usize,
+    ) -> Result<Cycle> {
+        let mut attempt = 0;
+        loop {
+            match device.read(now, src, vpn, bytes) {
+                Ok(t) => return Ok(t),
+                Err(Error::UncorrectableRead { .. }) if attempt + 1 < GC_READ_ATTEMPTS => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     fn invalidate_whole_block(&mut self, device: &mut FlashDevice, addr: BlockAddr) -> Result<()> {
         let block = device.block_mut(addr)?;
         let live: Vec<u32> = block.valid_page_indices().collect();
@@ -445,10 +537,31 @@ impl ZngFtl {
         Ok(())
     }
 
+    /// Returns an erased (or failed) block to the allocator: failed
+    /// blocks are retired for good, healthy ones are recycled with their
+    /// wear count.
     fn release_block(&mut self, device: &FlashDevice, addr: BlockAddr) {
         let idx = device.geometry().index_for_block(addr);
-        let wear = device.block(addr).map(|b| b.erase_count()).unwrap_or(0);
-        self.allocator.release(idx, wear);
+        match device.block(addr) {
+            Some(b) if b.is_failed() => {
+                self.allocator.retire(idx);
+                self.blocks_retired += 1;
+            }
+            b => {
+                let wear = b.map(|blk| blk.erase_count()).unwrap_or(0);
+                self.allocator.release(idx, wear);
+            }
+        }
+    }
+
+    /// Permanently removes a half-written block from service (no erase:
+    /// a block that failed program verification is not trusted again).
+    fn retire_block(&mut self, device: &mut FlashDevice, addr: BlockAddr) -> Result<()> {
+        self.invalidate_whole_block(device, addr)?;
+        let idx = device.geometry().index_for_block(addr);
+        self.allocator.retire(idx);
+        self.blocks_retired += 1;
+        Ok(())
     }
 
     /// Estimated DBMT size in bytes (entries × 16 B), the table the MMU
@@ -473,11 +586,35 @@ impl ZngFtl {
         &self.gc_events
     }
 
+    /// Blocks permanently retired after failed programs/erases.
+    pub fn blocks_retired(&self) -> u64 {
+        self.blocks_retired
+    }
+
+    /// Writes re-driven into a new log slot after a program failure.
+    pub fn write_redrives(&self) -> u64 {
+        self.write_redrives
+    }
+
+    /// Where `vpn` currently resolves on flash, if its data block exists
+    /// (a verification aid for the fault property tests; does not count
+    /// CAM searches or allocate blocks).
+    pub fn locate(&self, vpn: u64) -> Option<FlashAddr> {
+        let group = self.group_of(vpn);
+        if let Some(lb) = self.lbmt.get(&group) {
+            if let Some((_, slot)) = lb.decoder.mappings().iter().find(|&&(k, _)| k == vpn) {
+                return Some(FlashAddr::new(lb.addr, *slot));
+            }
+        }
+        let data = self.dbmt.get(&self.vbn_of(vpn))?;
+        Some(FlashAddr::new(*data, (vpn % self.pages_per_block) as u32))
+    }
+
     /// Live log-block utilization of `group` (0.0–1.0), if it exists.
     pub fn log_utilization(&self, group: u64) -> Option<f64> {
-        self.lbmt.get(&group).map(|lb| {
-            1.0 - lb.decoder.free_pages() as f64 / self.pages_per_block as f64
-        })
+        self.lbmt
+            .get(&group)
+            .map(|lb| 1.0 - lb.decoder.free_pages() as f64 / self.pages_per_block as f64)
     }
 }
 
@@ -486,6 +623,8 @@ mod tests {
     use super::*;
     use zng_flash::{FlashGeometry, RegisterTopology};
     use zng_types::Freq;
+
+    use zng_flash::FaultConfig;
 
     fn setup(mode: WriteMode) -> (FlashDevice, ZngFtl) {
         let d = FlashDevice::zng_config(
@@ -608,5 +747,51 @@ mod tests {
         assert!(f.log_utilization(0).unwrap() > 0.0);
         assert!(f.log_utilization(1).unwrap() > 0.0);
         assert!(f.log_utilization(2).is_none());
+    }
+
+    #[test]
+    fn eol_churn_wears_out_gracefully() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        d.set_fault_config(&FaultConfig::end_of_life());
+        let mut t = Cycle(0);
+        let mut worn = None;
+        for i in 0..400_000u64 {
+            match f.write(t, &mut d, i % 64) {
+                Ok(r) => t = r.done,
+                Err(Error::DeviceWornOut { retired_blocks }) => {
+                    worn = Some(retired_blocks);
+                    break;
+                }
+                // The RMW fetch can hit a transient uncorrectable read;
+                // the warp would simply re-issue.
+                Err(Error::UncorrectableRead { .. }) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let retired = worn.expect("sustained EOL churn must wear the device out");
+        assert!(retired > 0);
+        assert!(f.blocks_retired() > 0, "the FTL retired blocks on the way");
+        assert!(f.write_redrives() > 0, "failed programs were re-driven");
+        assert!(d.stats().program_failures() > 0);
+        // Worn out stays worn out: other groups' log blocks may absorb a
+        // few more writes, but continued churn hits the exhausted pool
+        // again almost immediately.
+        let again = (0..200u64)
+            .any(|i| matches!(f.write(t, &mut d, i % 64), Err(Error::DeviceWornOut { .. })));
+        assert!(again, "the exhausted spare pool must resurface");
+    }
+
+    #[test]
+    fn nominal_faults_keep_all_writes_readable() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        d.set_fault_config(&FaultConfig::nominal());
+        let mut t = Cycle(0);
+        for i in 0..2_000u64 {
+            t = f.write(t, &mut d, i % 32).unwrap().done;
+        }
+        for vpn in 0..32u64 {
+            let (addr, _) = f.resolve(&mut d, vpn).unwrap();
+            assert_eq!(f.locate(vpn), Some(addr));
+        }
     }
 }

@@ -97,7 +97,10 @@ impl SetAssocCache {
             geo.line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
-        assert!(geo.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            geo.sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         SetAssocCache {
             geo,
             lines: vec![Line::default(); geo.sets * geo.ways],
@@ -119,7 +122,7 @@ impl SetAssocCache {
     }
 
     fn line_addr(&self, set: usize, tag: u64) -> u64 {
-        ((tag << self.geo.sets.trailing_zeros() | set as u64) as u64) << self.set_shift
+        (tag << self.geo.sets.trailing_zeros() | set as u64) << self.set_shift
     }
 
     fn slot_range(&self, set: usize) -> std::ops::Range<usize> {
@@ -288,10 +291,7 @@ impl SetAssocCache {
         for set in 0..self.geo.sets {
             for i in self.slot_range(set) {
                 if self.lines[i].valid && self.lines[i].app == app {
-                    flushed.push((
-                        !self.lines[i].dirty,
-                        self.line_addr(set, self.lines[i].tag),
-                    ));
+                    flushed.push((!self.lines[i].dirty, self.line_addr(set, self.lines[i].tag)));
                     self.lines[i].valid = false;
                     self.lines[i].pinned = false;
                 }

@@ -93,17 +93,13 @@ mod tests {
     fn scatter_crosses_pages() {
         let reqs = Coalescer::scatter(0, 4);
         assert_eq!(reqs.len(), 4);
-        let pages: std::collections::HashSet<u64> =
-            reqs.iter().map(|a| a / 4096).collect();
+        let pages: std::collections::HashSet<u64> = reqs.iter().map(|a| a / 4096).collect();
         assert_eq!(pages.len(), 4, "each scatter sector on its own page");
     }
 
     #[test]
     fn coalesced_addresses_are_sector_aligned() {
-        for addrs in [
-            Coalescer::strided(12345, 52),
-            Coalescer::scatter(999, 7),
-        ] {
+        for addrs in [Coalescer::strided(12345, 52), Coalescer::scatter(999, 7)] {
             for a in addrs {
                 assert_eq!(a % CACHE_LINE as u64, 0);
             }

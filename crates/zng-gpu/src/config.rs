@@ -1,10 +1,9 @@
 //! GPU structural configuration (paper Table I).
 
-use serde::{Deserialize, Serialize};
 use zng_types::{Error, Freq, Result};
 
 /// The L2 storage technology (paper §III-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum L2Technology {
     /// SRAM: 6 MB, 1-cycle reads and writes.
     Sram,
@@ -45,7 +44,7 @@ impl L2Technology {
 /// assert_eq!(cfg.sms, 16);
 /// assert_eq!(cfg.l2_total_bytes(), 6 * 1024 * 1024);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuConfig {
     /// Streaming multiprocessors.
     pub sms: usize,
@@ -147,7 +146,10 @@ impl GpuConfig {
             }
         }
         if !self.line_bytes.is_power_of_two() {
-            return Err(Error::invalid_config("line_bytes", "must be a power of two"));
+            return Err(Error::invalid_config(
+                "line_bytes",
+                "must be a power of two",
+            ));
         }
         Ok(())
     }

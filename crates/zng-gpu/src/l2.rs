@@ -6,8 +6,8 @@
 //! the flash registers — except for *pinned* lines that absorb redirected
 //! dirty data when the registers thrash (paper §III-C).
 
-use zng_types::{ids::AppId, ids::BankId, Cycle};
 use zng_sim::Resource;
+use zng_types::{ids::AppId, ids::BankId, Cycle};
 
 use crate::cache::{CacheGeometry, EvictedLine, SetAssocCache};
 use crate::config::{GpuConfig, L2Technology};
@@ -152,11 +152,7 @@ impl L2Cache {
 
     /// Unpins all lines, returning dirty line addresses for write-back.
     pub fn unpin_all(&mut self) -> Vec<u64> {
-        let mut dirty: Vec<u64> = self
-            .banks
-            .iter_mut()
-            .flat_map(|b| b.unpin_all())
-            .collect();
+        let mut dirty: Vec<u64> = self.banks.iter_mut().flat_map(|b| b.unpin_all()).collect();
         dirty.sort_unstable();
         dirty
     }

@@ -23,7 +23,10 @@ impl Tlb {
     ///
     /// Panics if `entries` is not a multiple of 4 or not a power of two.
     pub fn new(entries: usize) -> Tlb {
-        assert!(entries >= 4 && entries % 4 == 0, "TLB entries must be 4-way");
+        assert!(
+            entries >= 4 && entries.is_multiple_of(4),
+            "TLB entries must be 4-way"
+        );
         let sets = entries / 4;
         assert!(sets.is_power_of_two(), "TLB sets must be a power of two");
         Tlb {
@@ -125,8 +128,8 @@ impl Mmu {
             // The walk reads one 8-byte table entry per level; a 4 KB
             // walk-cache line therefore covers 512 adjacent entries. The
             // level tag keeps different levels from aliasing.
-            let entry_addr = ((level as u64) << 40)
-                | ((vpn >> (9 * (self.levels - level - 1))) * 8);
+            let entry_addr =
+                ((level as u64) << 40) | ((vpn >> (9 * (self.levels - level - 1))) * 8);
             if self.walk_cache.lookup(entry_addr, false) {
                 walk_time += Cycle(10);
             } else {

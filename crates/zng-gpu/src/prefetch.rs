@@ -13,7 +13,6 @@
 //! * [`PrefetchPolicy`] — the Fig. 16b policy space: none, fixed 1 KB or
 //!   4 KB, predictor-gated 4 KB, or fully dynamic.
 
-use serde::{Deserialize, Serialize};
 use zng_types::ids::{Pc, WarpId};
 
 /// Number of predictor-table entries (paper default).
@@ -26,7 +25,7 @@ pub const COUNTER_MAX: u8 = 15;
 pub const PREFETCH_THRESHOLD: u8 = 12;
 
 /// The Fig. 16b prefetch policy space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PrefetchPolicy {
     /// No prefetch: fetch only the demanded 128 B sector.
     None,

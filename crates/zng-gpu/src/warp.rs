@@ -6,7 +6,6 @@
 //! 128 B requests). Traces are produced by `zng-workloads` to match the
 //! paper's Table II / Fig. 5 statistics.
 
-use serde::{Deserialize, Serialize};
 use zng_types::{
     ids::{AppId, Pc, WarpId},
     AccessKind, Cycle, VirtAddr,
@@ -15,7 +14,7 @@ use zng_types::{
 use crate::coalesce::Coalescer;
 
 /// The shape of a warp-wide memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessPattern {
     /// All 32 threads in one 128 B sector (unit-stride words).
     Sequential,
@@ -37,7 +36,7 @@ impl AccessPattern {
 }
 
 /// One element of a warp trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WarpOp {
     /// `n` arithmetic instructions (one issue slot each).
     Compute(u32),
@@ -66,7 +65,7 @@ impl WarpOp {
 }
 
 /// An immutable warp trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WarpTrace {
     ops: Vec<WarpOp>,
 }

@@ -9,10 +9,8 @@
 //! * GPU DRAM burns by far the most W/GB; Z-NAND the least.
 //! * GPU DRAM throughput ≈ 80× a GPU-SSD and 40× HybridGPU (Fig. 4c).
 
-use serde::{Deserialize, Serialize};
-
 /// The device families compared in the motivation figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// GPU on-board GDDR5.
     Gddr5,
@@ -47,7 +45,7 @@ impl std::fmt::Display for DeviceClass {
 }
 
 /// Datasheet-level properties of one memory package.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceInfo {
     /// Which family.
     pub class: DeviceClass,

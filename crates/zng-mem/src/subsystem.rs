@@ -1,6 +1,5 @@
 //! A controller-interleaved memory-subsystem model.
 
-use serde::{Deserialize, Serialize};
 use zng_sim::Link;
 use zng_types::{AccessKind, Cycle, Freq, Nanos};
 
@@ -8,7 +7,7 @@ use zng_types::{AccessKind, Cycle, Freq, Nanos};
 ///
 /// Latencies are expressed in nanoseconds and converted to GPU cycles when
 /// the subsystem is instantiated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemTiming {
     /// Device name for reports.
     pub name: &'static str,
@@ -317,7 +316,10 @@ mod tests {
         assert!(fill_done > Cycle(1_000_000));
         // ...must not delay an earlier-time demand access.
         let t = m.access(Cycle(0), 0, AccessKind::Read, 128);
-        assert!(t < Cycle(1_000), "demand access poisoned by future fill: {t}");
+        assert!(
+            t < Cycle(1_000),
+            "demand access poisoned by future fill: {t}"
+        );
         assert_eq!(m.bytes_written(), 4096);
     }
 

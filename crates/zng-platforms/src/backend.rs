@@ -4,7 +4,7 @@ use zng_flash::{FlashDevice, RegisterTopology};
 use zng_ftl::{GcReport, WriteMode, ZngFtl};
 use zng_mem::{MemSubsystem, MemTiming, PcieLink};
 use zng_ssd::{NvmeSsd, PageBuffer, SsdModule};
-use zng_types::{AccessKind, Cycle, Freq, Result};
+use zng_types::{AccessKind, Cycle, Error, Freq, Result};
 
 use crate::config::{PlatformKind, SimConfig};
 
@@ -69,7 +69,7 @@ impl Backend {
     /// Propagates configuration validation errors.
     pub fn new(kind: PlatformKind, cfg: &SimConfig, freq: Freq) -> Result<Backend> {
         cfg.validate()?;
-        Ok(match kind {
+        let mut backend = match kind {
             PlatformKind::Ideal => Backend::Ideal {
                 mem: MemSubsystem::new(MemTiming::gddr5(), freq),
             },
@@ -108,8 +108,20 @@ impl Backend {
                     free_gc: cfg.free_gc,
                 }
             }
-        })
+        };
+        match &mut backend {
+            Backend::Zng { device, .. } => device.set_fault_config(&cfg.fault),
+            Backend::HybridGpu { ssd } => ssd.apply_faults(&cfg.fault),
+            Backend::Hetero { ssd, .. } => ssd.apply_faults(&cfg.fault),
+            Backend::Ideal { .. } | Backend::Optane { .. } => {}
+        }
+        Ok(backend)
     }
+
+    /// Read-retry attempts the host/controller issues on top of the
+    /// plane's own retry ladder before an uncorrectable read is surfaced
+    /// to the workload.
+    const HOST_READ_ATTEMPTS: u32 = 8;
 
     /// Reads `bytes` of the page `vpn` starting at `sector`; returns the
     /// data-arrival time at the L2.
@@ -129,12 +141,26 @@ impl Backend {
                 pcie,
                 host_dram,
             } => {
-                let t = Self::hetero_ensure_resident(
-                    now, vpn, resident, ssd, pcie, host_dram,
-                )?;
+                let t = Self::hetero_ensure_resident(now, vpn, resident, ssd, pcie, host_dram)?;
                 Ok(gddr5.access(t, sector, AccessKind::Read, bytes))
             }
-            Backend::Zng { device, ftl, .. } => ftl.read(now, device, vpn, bytes),
+            Backend::Zng { device, ftl, .. } => {
+                // Host-level retry: an uncorrectable sense is transient,
+                // so the controller re-issues the read a few times before
+                // giving up on the request.
+                let mut attempt = 0;
+                loop {
+                    match ftl.read(now, device, vpn, bytes) {
+                        Ok(t) => return Ok(t),
+                        Err(Error::UncorrectableRead { .. })
+                            if attempt + 1 < Self::HOST_READ_ATTEMPTS =>
+                        {
+                            attempt += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
         }
     }
 
@@ -195,9 +221,7 @@ impl Backend {
                 pcie,
                 host_dram,
             } => {
-                let t = Self::hetero_ensure_resident(
-                    now, vpn, resident, ssd, pcie, host_dram,
-                )?;
+                let t = Self::hetero_ensure_resident(now, vpn, resident, ssd, pcie, host_dram)?;
                 // Dirty the resident page.
                 resident.access(vpn, true);
                 Ok(BackendWrite {
@@ -214,7 +238,11 @@ impl Backend {
                 if *free_gc {
                     // Counterfactual: the GC was free and non-blocking.
                     return Ok(BackendWrite {
-                        done: if r.gc.is_some() { now + Cycle(1) } else { r.done },
+                        done: if r.gc.is_some() {
+                            now + Cycle(1)
+                        } else {
+                            r.done
+                        },
                         gc: None,
                         thrashing: r.thrashing,
                     });
@@ -251,6 +279,28 @@ impl Backend {
         match self {
             Backend::Zng { ftl, .. } => ftl.gcs(),
             Backend::HybridGpu { ssd } => ssd.ftl().gcs(),
+            Backend::Hetero { ssd, .. } => ssd.ftl().gcs(),
+            _ => 0,
+        }
+    }
+
+    /// Blocks the backend's FTL permanently retired after failed
+    /// programs/erases.
+    pub fn blocks_retired(&self) -> u64 {
+        match self {
+            Backend::Zng { ftl, .. } => ftl.blocks_retired(),
+            Backend::HybridGpu { ssd } => ssd.ftl().blocks_retired(),
+            Backend::Hetero { ssd, .. } => ssd.ftl().blocks_retired(),
+            _ => 0,
+        }
+    }
+
+    /// Writes the backend's FTL re-drove after program failures.
+    pub fn write_redrives(&self) -> u64 {
+        match self {
+            Backend::Zng { ftl, .. } => ftl.write_redrives(),
+            Backend::HybridGpu { ssd } => ssd.ftl().write_redrives(),
+            Backend::Hetero { ssd, .. } => ssd.ftl().write_redrives(),
             _ => 0,
         }
     }
@@ -300,7 +350,11 @@ mod tests {
     fn wropt_writes_buffer_in_registers() {
         let mut b = backend(PlatformKind::Zng);
         let w = b.write(Cycle(0), 0, 0).unwrap();
-        assert!(w.done < Cycle(10_000), "buffered write is fast: {:?}", w.done);
+        assert!(
+            w.done < Cycle(10_000),
+            "buffered write is fast: {:?}",
+            w.done
+        );
         // No program yet.
         assert_eq!(b.flash_device().unwrap().stats().total_programs(), 0);
     }

@@ -1,12 +1,11 @@
 //! Platform selection and simulation-wide configuration.
 
-use serde::{Deserialize, Serialize};
-use zng_flash::{FlashGeometry, RegisterTopology};
+use zng_flash::{FaultConfig, FlashGeometry, RegisterTopology};
 use zng_gpu::{GpuConfig, PrefetchPolicy};
 use zng_types::Result;
 
 /// Which GPU-SSD platform to simulate (paper §V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformKind {
     /// Discrete GPU + SSD over PCIe, host-serviced page faults.
     Hetero,
@@ -81,7 +80,7 @@ impl std::fmt::Display for PlatformKind {
 /// timing as Table I, fewer dies/blocks/pages) so whole-figure sweeps run
 /// in seconds; `FlashGeometry::table1()` remains available for full-size
 /// experiments. DESIGN.md §7 records this deviation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// GPU structure (L2 technology is overridden per platform).
     pub gpu: GpuConfig,
@@ -103,6 +102,9 @@ pub struct SimConfig {
     /// When true, garbage collection completes instantly and without
     /// blocking (the "no-GC" counterfactual of Fig. 17a).
     pub free_gc: bool,
+    /// Fault injection applied to the flash media (RBER model,
+    /// read-retry, block retirement). Defaults to no faults.
+    pub fault: FaultConfig,
 }
 
 impl SimConfig {
@@ -139,6 +141,7 @@ impl SimConfig {
             buffer_pages: 4096,
             hetero_gpu_mem_pages: 1024,
             free_gc: false,
+            fault: FaultConfig::none(),
         }
     }
 

@@ -2,13 +2,13 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use zng_json::Value;
 use zng_types::Cycle;
 
 use crate::config::PlatformKind;
 
 /// The outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Which platform ran.
     pub platform: PlatformKind,
@@ -60,6 +60,18 @@ pub struct RunResult {
     pub series_interval: Cycle,
     /// (start, end) of each garbage collection.
     pub gc_events: Vec<(Cycle, Cycle)>,
+    /// Read-retry steps taken by the flash planes (fault injection).
+    pub read_retries: u64,
+    /// Reads that exhausted the retry ladder (ECC-uncorrectable).
+    pub uncorrectable_reads: u64,
+    /// Page programs that failed verification.
+    pub program_failures: u64,
+    /// Block erases that failed verification.
+    pub erase_failures: u64,
+    /// Blocks the FTL permanently retired.
+    pub blocks_retired: u64,
+    /// Writes the FTL re-drove after program failures.
+    pub write_redrives: u64,
 }
 
 impl RunResult {
@@ -82,6 +94,85 @@ impl RunResult {
     /// Simulated wall-clock in microseconds at 1.2 GHz.
     pub fn simulated_us(&self) -> f64 {
         self.cycles.raw() as f64 / 1_200.0
+    }
+
+    /// The result as a JSON document (what `zng-cli --json` prints).
+    ///
+    /// Newtype wrappers flatten to their raw numbers, the platform to its
+    /// variant name, and per-app maps to objects keyed by the decimal
+    /// app id.
+    pub fn to_json_value(&self) -> Value {
+        fn app_map<T: Clone + Into<Value>>(m: &BTreeMap<u16, T>) -> Value {
+            Value::object(
+                m.iter()
+                    .map(|(k, v)| (k.to_string(), v.clone().into()))
+                    .collect(),
+            )
+        }
+        Value::object(vec![
+            ("platform", Value::from(format!("{:?}", self.platform))),
+            ("workload", Value::from(self.workload.as_str())),
+            ("cycles", Value::from(self.cycles.raw())),
+            ("instructions", Value::from(self.instructions)),
+            ("requests", Value::from(self.requests)),
+            ("ipc", Value::from(self.ipc)),
+            ("flash_array_gbps", Value::from(self.flash_array_gbps)),
+            (
+                "flash_reads_per_page",
+                Value::from(self.flash_reads_per_page),
+            ),
+            (
+                "flash_programs_per_page",
+                Value::from(self.flash_programs_per_page),
+            ),
+            ("l1_hit_rate", Value::from(self.l1_hit_rate)),
+            ("l2_hit_rate", Value::from(self.l2_hit_rate)),
+            ("tlb_hit_rate", Value::from(self.tlb_hit_rate)),
+            ("predictor_accuracy", Value::from(self.predictor_accuracy)),
+            ("gcs", Value::from(self.gcs)),
+            ("register_migrations", Value::from(self.register_migrations)),
+            ("redirected_writes", Value::from(self.redirected_writes)),
+            ("avg_read_latency", Value::from(self.avg_read_latency)),
+            ("avg_write_latency", Value::from(self.avg_write_latency)),
+            ("per_app_instructions", app_map(&self.per_app_instructions)),
+            (
+                "per_app_cycles",
+                Value::object(
+                    self.per_app_cycles
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Value::from(v.raw())))
+                        .collect(),
+                ),
+            ),
+            ("per_app_requests", app_map(&self.per_app_requests)),
+            (
+                "per_app_series",
+                Value::object(
+                    self.per_app_series
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Value::from(v.clone())))
+                        .collect(),
+                ),
+            ),
+            ("series_interval", Value::from(self.series_interval.raw())),
+            ("read_retries", Value::from(self.read_retries)),
+            ("uncorrectable_reads", Value::from(self.uncorrectable_reads)),
+            ("program_failures", Value::from(self.program_failures)),
+            ("erase_failures", Value::from(self.erase_failures)),
+            ("blocks_retired", Value::from(self.blocks_retired)),
+            ("write_redrives", Value::from(self.write_redrives)),
+            (
+                "gc_events",
+                Value::Array(
+                    self.gc_events
+                        .iter()
+                        .map(|&(s, e)| {
+                            Value::Array(vec![Value::from(s.raw()), Value::from(e.raw())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -115,6 +206,12 @@ mod tests {
             per_app_series: BTreeMap::new(),
             series_interval: Cycle(12_000),
             gc_events: vec![(Cycle(100), Cycle(200))],
+            read_retries: 3,
+            uncorrectable_reads: 0,
+            program_failures: 1,
+            erase_failures: 0,
+            blocks_retired: 1,
+            write_redrives: 2,
         }
     }
 

@@ -156,9 +156,7 @@ impl Simulation {
             // deferring the request to a future timestamp) keeps shared
             // resources causally reserved.
             if let Some(&until) = self.app_blocked_until.get(&app.raw()) {
-                if until > now
-                    && matches!(warps[idx].current_op(), Some(WarpOp::Mem { .. }))
-                {
+                if until > now && matches!(warps[idx].current_op(), Some(WarpOp::Mem { .. })) {
                     queue.schedule(until, idx);
                     continue;
                 }
@@ -183,8 +181,7 @@ impl Simulation {
                     let warp_id = warps[idx].id();
                     let mut done = t_issue;
                     for sector in pattern.sectors(base.raw()) {
-                        let t =
-                            self.service(t_issue, sm_idx, sector, kind, app, pc, warp_id)?;
+                        let t = self.service(t_issue, sm_idx, sector, kind, app, pc, warp_id)?;
                         match kind {
                             AccessKind::Read => {
                                 read_lat_sum += t.saturating_since(t_issue).raw();
@@ -228,6 +225,16 @@ impl Simulation {
             ),
             None => (0.0, 0.0, 0.0),
         };
+        let (read_retries, uncorrectable_reads, program_failures, erase_failures) =
+            match self.backend.flash_device() {
+                Some(d) => (
+                    d.stats().read_retries(),
+                    d.stats().uncorrectable_reads(),
+                    d.stats().program_failures(),
+                    d.stats().erase_failures(),
+                ),
+                None => (0, 0, 0, 0),
+            };
         let gc_events = self
             .backend
             .zng_ftl()
@@ -261,16 +268,20 @@ impl Simulation {
             per_app_instructions,
             per_app_cycles,
             per_app_requests,
-            per_app_series: series
-                .into_iter()
-                .map(|(k, s)| (k, s.samples()))
-                .collect(),
+            per_app_series: series.into_iter().map(|(k, s)| (k, s.samples())).collect(),
             series_interval: SERIES_INTERVAL,
             gc_events,
+            read_retries,
+            uncorrectable_reads,
+            program_failures,
+            erase_failures,
+            blocks_retired: self.backend.blocks_retired(),
+            write_redrives: self.backend.write_redrives(),
         })
     }
 
     /// Services one 128 B request; returns its completion time.
+    #[allow(clippy::too_many_arguments)]
     fn service(
         &mut self,
         now: Cycle,
@@ -289,6 +300,7 @@ impl Simulation {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn service_read(
         &mut self,
         now: Cycle,
@@ -358,7 +370,7 @@ impl Simulation {
         // Thrashing redirection (full ZnG): absorb the write in pinned L2.
         if self.kind.has_redirection() && self.thrash_mode && self.pinned_dirty < REDIRECT_CAP {
             self.write_probe += 1;
-            if self.write_probe % REDIRECT_PROBE != 0 {
+            if !self.write_probe.is_multiple_of(REDIRECT_PROBE) {
                 let (ev, done) = self.l2.fill_line(t, sector, false, app);
                 if let Some(e) = ev {
                     self.monitor.on_eviction(e.prefetch, e.accessed);
@@ -542,6 +554,57 @@ mod tests {
         let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
         let r = sim.run(&mix).unwrap();
         assert!(r.flash_programs_per_page > 0.0, "{r:?}");
+    }
+
+    #[test]
+    fn none_profile_keeps_fault_counters_at_zero() {
+        let r = run(PlatformKind::ZngBase);
+        assert_eq!(r.read_retries, 0);
+        assert_eq!(r.uncorrectable_reads, 0);
+        assert_eq!(r.program_failures, 0);
+        assert_eq!(r.erase_failures, 0);
+        assert_eq!(r.blocks_retired, 0);
+        assert_eq!(r.write_redrives, 0);
+    }
+
+    #[test]
+    fn eol_faults_are_counted_and_survivable() {
+        let mut cfg = SimConfig::tiny();
+        cfg.fault = zng_flash::FaultConfig::end_of_life();
+        let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let r = sim.run(&mix).unwrap();
+        assert!(r.ipc > 0.0);
+        assert!(r.read_retries > 0, "EOL reads must hit the retry ladder");
+    }
+
+    #[test]
+    fn eol_sustained_writes_wear_out_gracefully() {
+        let mut cfg = SimConfig::tiny();
+        cfg.fault = zng_flash::FaultConfig::end_of_life();
+        // Shrink the pool so sustained writes exhaust it within the run.
+        cfg.flash.blocks_per_plane = 8;
+        let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+        let mix = MultiApp::from_names(
+            &["back"],
+            &TraceParams {
+                total_warps: 4,
+                mem_ops_per_warp: 4_000,
+                footprint_pages: 32,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        match sim.run(&mix) {
+            Err(zng_types::Error::DeviceWornOut { retired_blocks }) => {
+                assert!(retired_blocks > 0);
+            }
+            Err(e) => panic!("expected graceful wear-out, got: {e}"),
+            Ok(r) => panic!(
+                "run should exhaust the tiny spare pool (retired {})",
+                r.blocks_retired
+            ),
+        }
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Statistics primitives used to regenerate the paper's figures.
 
-use serde::{Deserialize, Serialize};
 use zng_types::Cycle;
 
 /// A monotonically increasing event counter.
@@ -13,7 +12,7 @@ use zng_types::Cycle;
 /// c.incr();
 /// assert_eq!(c.get(), 4);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -53,7 +52,7 @@ impl Counter {
 /// r.record(false);
 /// assert!((r.value() - 2.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Ratio {
     hits: u64,
     total: u64,
@@ -109,7 +108,7 @@ impl Ratio {
 /// assert_eq!(h.count(), 2);
 /// assert!(h.mean() > 50.0);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -197,7 +196,7 @@ impl Histogram {
 /// ts.record(Cycle(160), 1);
 /// assert_eq!(ts.samples(), vec![1, 3]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimeSeries {
     interval: Cycle,
     buckets: Vec<u64>,
@@ -210,7 +209,10 @@ impl TimeSeries {
     ///
     /// Panics if `interval` is zero.
     pub fn new(interval: Cycle) -> TimeSeries {
-        assert!(interval > Cycle::ZERO, "time-series interval must be positive");
+        assert!(
+            interval > Cycle::ZERO,
+            "time-series interval must be positive"
+        );
         TimeSeries {
             interval,
             buckets: Vec::new(),

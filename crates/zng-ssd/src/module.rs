@@ -104,6 +104,11 @@ impl SsdModule {
         &self.device
     }
 
+    /// Applies a fault-injection configuration to the flash media.
+    pub fn apply_faults(&mut self, cfg: &zng_flash::FaultConfig) {
+        self.device.set_fault_config(cfg);
+    }
+
     /// The internal page buffer (for hit-rate inspection).
     pub fn buffer(&self) -> &PageBuffer {
         &self.buffer

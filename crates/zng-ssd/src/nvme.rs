@@ -72,6 +72,16 @@ impl NvmeSsd {
         &self.device
     }
 
+    /// The page-level FTL, for statistics.
+    pub fn ftl(&self) -> &PageMapFtl {
+        &self.ftl
+    }
+
+    /// Applies a fault-injection configuration to the flash media.
+    pub fn apply_faults(&mut self, cfg: &zng_flash::FaultConfig) {
+        self.device.set_fault_config(cfg);
+    }
+
     /// Page reads issued.
     pub fn reads(&self) -> u64 {
         self.reads

@@ -14,8 +14,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{ChannelId, DieId, PlaneId};
 use crate::size::CACHE_LINE;
 
@@ -24,7 +22,6 @@ macro_rules! addr_newtype {
         $(#[$meta])*
         #[derive(
             Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub u64);
 
@@ -89,7 +86,6 @@ macro_rules! block_number_newtype {
         $(#[$meta])*
         #[derive(
             Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub u32);
 
@@ -144,9 +140,7 @@ block_number_newtype!(
 /// let b = BlockAddr::new(ChannelId(3), DieId(1), PlaneId(7), 42);
 /// assert_eq!(b.block, 42);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockAddr {
     /// The flash channel (one package per channel in Table I).
     pub channel: ChannelId,
@@ -171,10 +165,7 @@ impl BlockAddr {
 
     /// The page address `page` within this block.
     pub const fn page(self, page: u32) -> FlashAddr {
-        FlashAddr {
-            block: self,
-            page,
-        }
+        FlashAddr { block: self, page }
     }
 }
 
@@ -199,9 +190,7 @@ impl fmt::Display for BlockAddr {
 /// assert_eq!(page.block.plane, PlaneId(1));
 /// assert_eq!(page.page, 17);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlashAddr {
     /// The containing block.
     pub block: BlockAddr,

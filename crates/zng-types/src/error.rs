@@ -33,6 +33,22 @@ pub enum Error {
     OutOfSpace,
     /// A workload name was not recognised.
     UnknownWorkload(String),
+    /// A page read stayed uncorrectable after exhausting the read-retry
+    /// ladder (raw bit errors exceeded the ECC budget on every attempt).
+    UncorrectableRead {
+        /// Physical block index within the plane.
+        block: u64,
+        /// Page offset within the block.
+        page: u32,
+        /// Retry attempts performed before giving up.
+        retries: u32,
+    },
+    /// The device wore out: so many blocks were retired that the FTL has
+    /// no spare capacity left to remap around failures.
+    DeviceWornOut {
+        /// Blocks retired over the device's lifetime.
+        retired_blocks: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -42,11 +58,26 @@ impl fmt::Display for Error {
                 write!(f, "invalid configuration for {what}: {why}")
             }
             Error::AddressOutOfRange { addr, capacity } => {
-                write!(f, "address {addr:#x} out of range (capacity {capacity} bytes)")
+                write!(
+                    f,
+                    "address {addr:#x} out of range (capacity {capacity} bytes)"
+                )
             }
             Error::FlashProtocol(msg) => write!(f, "flash protocol violation: {msg}"),
             Error::OutOfSpace => write!(f, "flash device out of space"),
             Error::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+            Error::UncorrectableRead {
+                block,
+                page,
+                retries,
+            } => write!(
+                f,
+                "uncorrectable read at block {block} page {page} after {retries} retries"
+            ),
+            Error::DeviceWornOut { retired_blocks } => write!(
+                f,
+                "flash device worn out ({retired_blocks} blocks retired, spare pool exhausted)"
+            ),
         }
     }
 }
@@ -89,11 +120,24 @@ mod tests {
         assert!(Error::UnknownWorkload("bogus".into())
             .to_string()
             .contains("bogus"));
+        let e = Error::UncorrectableRead {
+            block: 7,
+            page: 3,
+            retries: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "uncorrectable read at block 7 page 3 after 4 retries"
+        );
+        let e = Error::DeviceWornOut { retired_blocks: 12 };
+        assert!(e.to_string().contains("12 blocks retired"));
     }
 
     #[test]
     fn implements_std_error() {
         let e: Box<dyn std::error::Error> = Box::new(Error::OutOfSpace);
+        assert!(e.source().is_none());
+        let e: Box<dyn std::error::Error> = Box::new(Error::DeviceWornOut { retired_blocks: 1 });
         assert!(e.source().is_none());
     }
 }

@@ -5,14 +5,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! id_newtype {
     ($(#[$meta:meta])* $name:ident($inner:ty), $tag:expr) => {
         $(#[$meta])*
         #[derive(
             Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub $inner);
 
@@ -90,9 +87,7 @@ id_newtype!(
 /// The read-prefetch predictor (paper §IV-B) indexes its table by PC: all
 /// memory requests born from the same static load exhibit the same access
 /// pattern.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pc(pub u64);
 
 impl Pc {

@@ -6,16 +6,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::VirtAddr;
 use crate::ids::{AppId, Pc, WarpId};
 use crate::size::CACHE_LINE;
 
 /// Whether an access reads or writes memory.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum AccessKind {
     /// A load.
     #[default]
@@ -48,9 +44,7 @@ impl fmt::Display for AccessKind {
 }
 
 /// A monotonically assigned request identifier (unique per simulation run).
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
 
 impl fmt::Display for RequestId {
@@ -75,7 +69,7 @@ impl fmt::Display for RequestId {
 /// assert!(req.kind.is_read());
 /// assert_eq!(req.size, 128);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemoryRequest {
     /// Sector-aligned virtual address.
     pub addr: VirtAddr,

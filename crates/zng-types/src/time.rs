@@ -8,8 +8,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in (or span of) simulated time, measured in GPU core cycles.
 ///
 /// `Cycle` is an ordinary unsigned counter with saturating-free arithmetic;
@@ -25,9 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(start + latency, Cycle(4_600));
 /// assert_eq!((start + latency) - start, latency);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cycle(pub u64);
 
 impl Cycle {
@@ -146,7 +142,7 @@ impl From<u64> for Cycle {
 /// // A 3 µs Z-NAND read is 3600 GPU cycles.
 /// assert_eq!(Nanos(3_000.0).to_cycles(gpu).raw(), 3_600);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Nanos(pub f64);
 
 impl Nanos {
@@ -193,7 +189,7 @@ impl fmt::Display for Nanos {
 /// let onfi = Freq::mhz(800.0);
 /// assert_eq!(onfi.hz(), 8e8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Freq(f64);
 
 impl Freq {

@@ -14,18 +14,17 @@
 //! `(spec, app, params)` triple always yields the same traces.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use zng_gpu::{AccessPattern, WarpOp, WarpTrace};
 use zng_sim::rng::{derive_seed, seeded, Zipf};
 use zng_types::{
     ids::{AppId, Pc},
     AccessKind, VirtAddr,
 };
-use zng_gpu::{AccessPattern, WarpOp, WarpTrace};
 
 use crate::table2::{Class, WorkloadSpec};
 
 /// Trace-synthesis knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceParams {
     /// Warps generated for the application (spread over SMs by the
     /// platform).
@@ -215,8 +214,7 @@ fn scientific_warp(
     let mut in_cursor = in_base;
     // Spread warp cursors evenly over the output region so the write
     // working set covers the whole region (and many log groups).
-    let mut out_cursor =
-        out_base + (warp as u64 * output_pages / params.total_warps as u64) * 4096;
+    let mut out_cursor = out_base + (warp as u64 * output_pages / params.total_warps as u64) * 4096;
     let mut ops = Vec::with_capacity(params.mem_ops_per_warp * 2);
     let ops_per_kernel = (params.mem_ops_per_warp as u32 / spec.kernels.max(1)).max(64);
     // Reads average 0.95*1 + 0.05*32 = 2.55 sectors per op.
@@ -338,15 +336,17 @@ mod tests {
     }
 
     fn addrs(traces: &[WarpTrace]) -> impl Iterator<Item = u64> + '_ {
-        traces.iter().flat_map(|t| {
-            t.ops().iter().filter_map(|op| match op {
-                WarpOp::Mem { base, pattern, .. } => {
-                    Some(pattern.sectors(base.raw()).into_iter())
-                }
-                _ => None,
+        traces
+            .iter()
+            .flat_map(|t| {
+                t.ops().iter().filter_map(|op| match op {
+                    WarpOp::Mem { base, pattern, .. } => {
+                        Some(pattern.sectors(base.raw()).into_iter())
+                    }
+                    _ => None,
+                })
             })
-        })
-        .flatten()
+            .flatten()
     }
 
     fn max_addr(traces: &[WarpTrace]) -> u64 {

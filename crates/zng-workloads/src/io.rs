@@ -3,18 +3,26 @@
 //! Trace synthesis is deterministic per seed, but exporting the exact
 //! warp traces lets an experiment be archived, diffed, or replayed by an
 //! external tool. The format is a versioned JSON envelope around the
-//! serde representation of [`WarpTrace`].
+//! externally-tagged representation of [`WarpTrace`]:
+//!
+//! ```json
+//! {"version":1,"workload":"betw","seed":42,"traces":[
+//!   {"ops":[{"Compute":5},
+//!           {"Mem":{"base":4096,"kind":"Read","pattern":"Sequential","pc":7}},
+//!           {"Mem":{"base":8192,"kind":"Write","pattern":{"Strided":128},"pc":9}}]}
+//! ]}
+//! ```
 
 use std::fs;
 use std::io::{Read as _, Write as _};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-use zng_gpu::WarpTrace;
-use zng_types::{Error, Result};
+use zng_gpu::{AccessPattern, WarpOp, WarpTrace};
+use zng_json::Value;
+use zng_types::{ids::Pc, AccessKind, Error, Result, VirtAddr};
 
 /// On-disk trace bundle: one application's warp traces plus provenance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceBundle {
     /// Format version (bumped on breaking changes).
     pub version: u32,
@@ -40,15 +48,30 @@ impl TraceBundle {
         }
     }
 
-    /// Serialises the bundle as JSON.
+    /// Serialises the bundle as compact JSON.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] if serialisation fails (cannot
     /// happen for well-formed traces).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self)
-            .map_err(|e| Error::invalid_config("trace bundle", e.to_string()))
+        let traces = self
+            .traces
+            .iter()
+            .map(|t| {
+                Value::object(vec![(
+                    "ops",
+                    Value::Array(t.ops().iter().map(op_to_json).collect()),
+                )])
+            })
+            .collect();
+        let doc = Value::object(vec![
+            ("version", Value::from(self.version)),
+            ("workload", Value::from(self.workload.as_str())),
+            ("seed", Value::from(self.seed)),
+            ("traces", Value::Array(traces)),
+        ]);
+        Ok(doc.to_string_compact())
     }
 
     /// Parses a bundle from JSON, validating the format version.
@@ -58,18 +81,32 @@ impl TraceBundle {
     /// Returns [`Error::InvalidConfig`] on malformed JSON or an
     /// unsupported version.
     pub fn from_json(json: &str) -> Result<TraceBundle> {
-        let bundle: TraceBundle = serde_json::from_str(json)
-            .map_err(|e| Error::invalid_config("trace bundle", e.to_string()))?;
-        if bundle.version != TRACE_FORMAT_VERSION {
+        let doc =
+            Value::parse(json).map_err(|e| Error::invalid_config("trace bundle", e.to_string()))?;
+        let version = field_u64(&doc, "version")? as u32;
+        if version != TRACE_FORMAT_VERSION {
             return Err(Error::invalid_config(
                 "trace bundle",
-                format!(
-                    "unsupported format version {} (expected {TRACE_FORMAT_VERSION})",
-                    bundle.version
-                ),
+                format!("unsupported format version {version} (expected {TRACE_FORMAT_VERSION})"),
             ));
         }
-        Ok(bundle)
+        let workload = doc["workload"]
+            .as_str()
+            .ok_or_else(|| bad("missing `workload`"))?
+            .to_string();
+        let seed = field_u64(&doc, "seed")?;
+        let traces = doc["traces"]
+            .as_array()
+            .ok_or_else(|| bad("missing `traces`"))?
+            .iter()
+            .map(trace_from_json)
+            .collect::<Result<Vec<WarpTrace>>>()?;
+        Ok(TraceBundle {
+            version,
+            workload,
+            seed,
+            traces,
+        })
     }
 
     /// Writes the bundle to `path` as JSON.
@@ -102,6 +139,92 @@ impl TraceBundle {
     pub fn mem_ops(&self) -> usize {
         self.traces.iter().map(WarpTrace::mem_ops).sum()
     }
+}
+
+fn op_to_json(op: &WarpOp) -> Value {
+    match *op {
+        WarpOp::Compute(n) => Value::object(vec![("Compute", Value::from(n))]),
+        WarpOp::Mem {
+            base,
+            kind,
+            pattern,
+            pc,
+        } => {
+            let kind = match kind {
+                AccessKind::Read => "Read",
+                AccessKind::Write => "Write",
+            };
+            let pattern = match pattern {
+                AccessPattern::Sequential => Value::from("Sequential"),
+                AccessPattern::Strided(s) => Value::object(vec![("Strided", Value::from(s))]),
+                AccessPattern::Scatter(n) => Value::object(vec![("Scatter", Value::from(n))]),
+            };
+            Value::object(vec![(
+                "Mem",
+                Value::object(vec![
+                    ("base", Value::from(base.raw())),
+                    ("kind", Value::from(kind)),
+                    ("pattern", pattern),
+                    ("pc", Value::from(pc.raw())),
+                ]),
+            )])
+        }
+    }
+}
+
+fn bad(why: impl Into<String>) -> Error {
+    Error::invalid_config("trace bundle", why)
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64> {
+    v[key]
+        .as_u64()
+        .ok_or_else(|| bad(format!("missing or non-integer `{key}`")))
+}
+
+fn trace_from_json(v: &Value) -> Result<WarpTrace> {
+    let ops = v["ops"]
+        .as_array()
+        .ok_or_else(|| bad("trace without `ops`"))?
+        .iter()
+        .map(op_from_json)
+        .collect::<Result<Vec<WarpOp>>>()?;
+    Ok(WarpTrace::new(ops))
+}
+
+fn op_from_json(v: &Value) -> Result<WarpOp> {
+    if let Some(n) = v["Compute"].as_u64() {
+        return Ok(WarpOp::Compute(n as u32));
+    }
+    let mem = &v["Mem"];
+    if mem.as_object().is_some() {
+        let kind = match mem["kind"].as_str() {
+            Some("Read") => AccessKind::Read,
+            Some("Write") => AccessKind::Write,
+            other => return Err(bad(format!("unknown access kind {other:?}"))),
+        };
+        let pattern = pattern_from_json(&mem["pattern"])?;
+        return Ok(WarpOp::Mem {
+            base: VirtAddr(field_u64(mem, "base")?),
+            kind,
+            pattern,
+            pc: Pc(field_u64(mem, "pc")?),
+        });
+    }
+    Err(bad("op is neither `Compute` nor `Mem`"))
+}
+
+fn pattern_from_json(v: &Value) -> Result<AccessPattern> {
+    if v.as_str() == Some("Sequential") {
+        return Ok(AccessPattern::Sequential);
+    }
+    if let Some(s) = v["Strided"].as_u64() {
+        return Ok(AccessPattern::Strided(s as u32));
+    }
+    if let Some(n) = v["Scatter"].as_u64() {
+        return Ok(AccessPattern::Scatter(n as u8));
+    }
+    Err(bad("unknown access pattern"))
 }
 
 #[cfg(test)]
@@ -141,13 +264,17 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let b = bundle();
-        let json = b.to_json().unwrap().replace("\"version\":1", "\"version\":99");
+        let json = b
+            .to_json()
+            .unwrap()
+            .replace("\"version\":1", "\"version\":99");
         assert!(TraceBundle::from_json(&json).is_err());
     }
 
     #[test]
     fn malformed_json_rejected() {
         assert!(TraceBundle::from_json("{not json").is_err());
+        assert!(TraceBundle::from_json("{\"version\":1}").is_err());
         assert!(TraceBundle::load(Path::new("/nonexistent/zng")).is_err());
     }
 }

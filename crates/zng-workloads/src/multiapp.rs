@@ -6,9 +6,9 @@
 //! the paper singles out for the GC study (Fig. 17) and the scalability
 //! sweep (Fig. 15a).
 
+use zng_gpu::WarpTrace;
 use zng_types::ids::AppId;
 use zng_types::Result;
-use zng_gpu::WarpTrace;
 
 use crate::generator::{generate, TraceParams};
 use crate::table2::{by_name, WorkloadSpec};
@@ -111,8 +111,7 @@ mod tests {
         let m = MultiApp::from_names(&names, &TraceParams::tiny()).unwrap();
         assert_eq!(m.apps.len(), 8);
         // Distinct app ids -> distinct address windows.
-        let ids: std::collections::HashSet<u16> =
-            m.apps.iter().map(|(_, a, _)| a.raw()).collect();
+        let ids: std::collections::HashSet<u16> = m.apps.iter().map(|(_, a, _)| a.raw()).collect();
         assert_eq!(ids.len(), 8);
     }
 }

@@ -2,11 +2,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use zng_gpu::{WarpOp, WarpTrace};
 
 /// Aggregate request-level statistics of a trace set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceStats {
     /// Coalesced 128 B read requests.
     pub read_requests: u64,

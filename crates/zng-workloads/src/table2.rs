@@ -1,11 +1,10 @@
 //! The paper's Table II: 16 GPU benchmarks with read ratios and kernel
 //! counts.
 
-use serde::{Deserialize, Serialize};
 use zng_types::{Error, Result};
 
 /// Source benchmark suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// GraphBIG graph analysis.
     GraphBig,
@@ -16,7 +15,7 @@ pub enum Suite {
 }
 
 /// Access-pattern family, which drives trace synthesis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Class {
     /// Irregular, pointer-chasing graph traversal (Zipf-reused pages).
     Graph,
@@ -25,7 +24,7 @@ pub enum Class {
 }
 
 /// One Table II row.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// Workload name as the paper prints it.
     pub name: &'static str,
@@ -52,22 +51,118 @@ pub fn table2() -> &'static [WorkloadSpec] {
     use Class::*;
     use Suite::*;
     const T: &[WorkloadSpec] = &[
-        WorkloadSpec { name: "betw", suite: GraphBig, read_ratio: 0.98, kernels: 11, class: Graph },
-        WorkloadSpec { name: "bfs1", suite: GraphBig, read_ratio: 0.95, kernels: 7, class: Graph },
-        WorkloadSpec { name: "bfs2", suite: GraphBig, read_ratio: 0.99, kernels: 9, class: Graph },
-        WorkloadSpec { name: "bfs3", suite: GraphBig, read_ratio: 0.88, kernels: 10, class: Graph },
-        WorkloadSpec { name: "bfs4", suite: GraphBig, read_ratio: 0.97, kernels: 12, class: Graph },
-        WorkloadSpec { name: "bfs5", suite: GraphBig, read_ratio: 0.99, kernels: 6, class: Graph },
-        WorkloadSpec { name: "bfs6", suite: GraphBig, read_ratio: 0.97, kernels: 7, class: Graph },
-        WorkloadSpec { name: "gc1", suite: GraphBig, read_ratio: 0.98, kernels: 8, class: Graph },
-        WorkloadSpec { name: "gc2", suite: GraphBig, read_ratio: 0.99, kernels: 10, class: Graph },
-        WorkloadSpec { name: "sssp3", suite: GraphBig, read_ratio: 0.98, kernels: 8, class: Graph },
-        WorkloadSpec { name: "deg", suite: GraphBig, read_ratio: 1.0, kernels: 1, class: Graph },
-        WorkloadSpec { name: "pr", suite: GraphBig, read_ratio: 0.99, kernels: 53, class: Graph },
-        WorkloadSpec { name: "back", suite: Rodinia, read_ratio: 0.57, kernels: 1, class: Scientific },
-        WorkloadSpec { name: "gaus", suite: Rodinia, read_ratio: 0.66, kernels: 3, class: Scientific },
-        WorkloadSpec { name: "FDT", suite: Polybench, read_ratio: 0.73, kernels: 1, class: Scientific },
-        WorkloadSpec { name: "gram", suite: Polybench, read_ratio: 0.75, kernels: 3, class: Scientific },
+        WorkloadSpec {
+            name: "betw",
+            suite: GraphBig,
+            read_ratio: 0.98,
+            kernels: 11,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "bfs1",
+            suite: GraphBig,
+            read_ratio: 0.95,
+            kernels: 7,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "bfs2",
+            suite: GraphBig,
+            read_ratio: 0.99,
+            kernels: 9,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "bfs3",
+            suite: GraphBig,
+            read_ratio: 0.88,
+            kernels: 10,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "bfs4",
+            suite: GraphBig,
+            read_ratio: 0.97,
+            kernels: 12,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "bfs5",
+            suite: GraphBig,
+            read_ratio: 0.99,
+            kernels: 6,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "bfs6",
+            suite: GraphBig,
+            read_ratio: 0.97,
+            kernels: 7,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "gc1",
+            suite: GraphBig,
+            read_ratio: 0.98,
+            kernels: 8,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "gc2",
+            suite: GraphBig,
+            read_ratio: 0.99,
+            kernels: 10,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "sssp3",
+            suite: GraphBig,
+            read_ratio: 0.98,
+            kernels: 8,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "deg",
+            suite: GraphBig,
+            read_ratio: 1.0,
+            kernels: 1,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "pr",
+            suite: GraphBig,
+            read_ratio: 0.99,
+            kernels: 53,
+            class: Graph,
+        },
+        WorkloadSpec {
+            name: "back",
+            suite: Rodinia,
+            read_ratio: 0.57,
+            kernels: 1,
+            class: Scientific,
+        },
+        WorkloadSpec {
+            name: "gaus",
+            suite: Rodinia,
+            read_ratio: 0.66,
+            kernels: 3,
+            class: Scientific,
+        },
+        WorkloadSpec {
+            name: "FDT",
+            suite: Polybench,
+            read_ratio: 0.73,
+            kernels: 1,
+            class: Scientific,
+        },
+        WorkloadSpec {
+            name: "gram",
+            suite: Polybench,
+            read_ratio: 0.75,
+            kernels: 3,
+            class: Scientific,
+        },
     ];
     T
 }

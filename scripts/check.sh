@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repo quality gate: formatting, lints (warnings are errors), full tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q --workspace

@@ -9,9 +9,11 @@
 
 use std::process::ExitCode;
 
-use zng::{table2, Experiment, PlatformKind, RunResult, Table, TraceParams};
-use zng_workloads::{by_name, generate, TraceBundle};
+use zng::{
+    table2, Experiment, FaultConfig, FaultProfile, PlatformKind, RunResult, Table, TraceParams,
+};
 use zng_types::ids::AppId;
+use zng_workloads::{by_name, generate, TraceBundle};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +41,7 @@ options:
       --ops        memory ops per warp          (default 650)
       --footprint  footprint in 4 KiB pages     (default 2048)
       --seed       RNG seed                     (default 42)
+      --faults     fault profile: none|nominal|end-of-life (default none)
       --json       emit the full RunResult as JSON";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -64,14 +67,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 .platform
                 .ok_or_else(|| "run requires --platform".to_string())?;
             let mut exp = Experiment::standard().with_params(opts.params);
+            exp.config_mut().fault = opts.fault_config();
             let r = exp
                 .run(platform, &opts.workload_refs())
                 .map_err(|e| e.to_string())?;
             if opts.json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
-                );
+                println!("{}", r.to_json_value().to_string_pretty());
             } else {
                 print_result(&r);
             }
@@ -80,6 +81,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("sweep") => {
             let opts = Opts::parse(&args[1..])?;
             let mut exp = Experiment::standard().with_params(opts.params);
+            exp.config_mut().fault = opts.fault_config();
             let mut t = Table::new(vec![
                 "platform".into(),
                 "IPC".into(),
@@ -148,6 +150,7 @@ struct Opts {
     platform: Option<PlatformKind>,
     workloads: Vec<String>,
     params: TraceParams,
+    faults: FaultProfile,
     json: bool,
 }
 
@@ -162,6 +165,7 @@ impl Opts {
                 footprint_pages: 2048,
                 seed: 42,
             },
+            faults: FaultProfile::None,
             json: false,
         };
         let mut it = args.iter();
@@ -183,10 +187,12 @@ impl Opts {
                 }
                 "--warps" => opts.params.total_warps = parse_num(&value("--warps")?)?,
                 "--ops" => opts.params.mem_ops_per_warp = parse_num(&value("--ops")?)?,
-                "--footprint" => {
-                    opts.params.footprint_pages = parse_num(&value("--footprint")?)?
-                }
+                "--footprint" => opts.params.footprint_pages = parse_num(&value("--footprint")?)?,
                 "--seed" => opts.params.seed = parse_num(&value("--seed")?)? as u64,
+                "--faults" => {
+                    opts.faults =
+                        FaultProfile::parse(&value("--faults")?).map_err(|e| e.to_string())?;
+                }
                 "--json" => opts.json = true,
                 other => return Err(format!("unknown option `{other}`")),
             }
@@ -199,6 +205,14 @@ impl Opts {
 
     fn workload_refs(&self) -> Vec<&str> {
         self.workloads.iter().map(String::as_str).collect()
+    }
+
+    /// The fault configuration implied by `--faults` and `--seed`.
+    fn fault_config(&self) -> FaultConfig {
+        FaultConfig {
+            profile: self.faults,
+            seed: self.params.seed,
+        }
     }
 }
 
@@ -241,7 +255,10 @@ fn print_result(r: &RunResult) {
     t.row(vec!["instructions".into(), r.instructions.to_string()]);
     t.row(vec!["requests".into(), r.requests.to_string()]);
     t.row(vec!["cycles".into(), r.cycles.raw().to_string()]);
-    t.row(vec!["simulated us".into(), format!("{:.0}", r.simulated_us())]);
+    t.row(vec![
+        "simulated us".into(),
+        format!("{:.0}", r.simulated_us()),
+    ]);
     t.row(vec!["L1 hit".into(), format!("{:.3}", r.l1_hit_rate)]);
     t.row(vec!["L2 hit".into(), format!("{:.3}", r.l2_hit_rate)]);
     t.row(vec!["TLB hit".into(), format!("{:.3}", r.tlb_hit_rate)]);
@@ -266,5 +283,17 @@ fn print_result(r: &RunResult) {
         "register migrations".into(),
         r.register_migrations.to_string(),
     ]);
+    t.row(vec!["read retries".into(), r.read_retries.to_string()]);
+    t.row(vec![
+        "uncorrectable reads".into(),
+        r.uncorrectable_reads.to_string(),
+    ]);
+    t.row(vec![
+        "program failures".into(),
+        r.program_failures.to_string(),
+    ]);
+    t.row(vec!["erase failures".into(), r.erase_failures.to_string()]);
+    t.row(vec!["blocks retired".into(), r.blocks_retired.to_string()]);
+    t.row(vec!["write re-drives".into(), r.write_redrives.to_string()]);
     t.print("run result");
 }

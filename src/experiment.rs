@@ -123,10 +123,7 @@ impl Experiment {
         workloads: &[&str],
     ) -> Result<Vec<RunResult>> {
         let mix = self.mix(workloads)?;
-        platforms
-            .iter()
-            .map(|&p| self.run_mix(p, &mix))
-            .collect()
+        platforms.iter().map(|&p| self.run_mix(p, &mix)).collect()
     }
 }
 

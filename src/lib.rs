@@ -38,7 +38,7 @@ pub mod report;
 
 pub use experiment::{geomean, Experiment};
 pub use report::Table;
-pub use zng_flash::RegisterTopology;
+pub use zng_flash::{FaultConfig, FaultProfile, RegisterTopology};
 pub use zng_gpu::PrefetchPolicy;
 pub use zng_platforms::{Backend, PlatformKind, RunResult, SimConfig, Simulation};
 pub use zng_types::{Cycle, Error, Result};

@@ -72,8 +72,8 @@ impl Table {
         }
         let mut out = String::new();
         let write_row = |out: &mut String, r: &[String]| {
-            for c in 0..cols {
-                let _ = write!(out, "{:<width$}  ", cell(r, c), width = widths[c]);
+            for (c, width) in widths.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell(r, c), width = width);
             }
             let _ = writeln!(out);
         };
@@ -105,7 +105,7 @@ mod tests {
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // header + rule + 2 rows
-        // The second column starts at the same offset in every row.
+                                    // The second column starts at the same offset in every row.
         let col = lines[0].find("bbbb").unwrap();
         assert_eq!(&lines[2][col..col + 1], "1");
         assert_eq!(&lines[3][col..col + 2], "22");

@@ -11,7 +11,15 @@ fn list_shows_platforms_and_workloads() {
     let out = cli().arg("list").output().expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for needle in ["hetero", "hybridgpu", "optane", "zng", "ideal", "betw", "gram"] {
+    for needle in [
+        "hetero",
+        "hybridgpu",
+        "optane",
+        "zng",
+        "ideal",
+        "betw",
+        "gram",
+    ] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
 }
@@ -20,12 +28,25 @@ fn list_shows_platforms_and_workloads() {
 fn run_prints_metrics_table() {
     let out = cli()
         .args([
-            "run", "-p", "ideal", "-w", "betw", "--warps", "8", "--ops", "40",
-            "--footprint", "128",
+            "run",
+            "-p",
+            "ideal",
+            "-w",
+            "betw",
+            "--warps",
+            "8",
+            "--ops",
+            "40",
+            "--footprint",
+            "128",
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("IPC"));
     assert!(text.contains("Ideal"));
@@ -35,14 +56,24 @@ fn run_prints_metrics_table() {
 fn run_json_is_parseable() {
     let out = cli()
         .args([
-            "run", "-p", "zng", "-w", "betw", "--warps", "8", "--ops", "40",
-            "--footprint", "128", "--json",
+            "run",
+            "-p",
+            "zng",
+            "-w",
+            "betw",
+            "--warps",
+            "8",
+            "--ops",
+            "40",
+            "--footprint",
+            "128",
+            "--json",
         ])
         .output()
         .expect("spawn");
     assert!(out.status.success());
-    let v: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("valid JSON RunResult");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let v = zng_json::Value::parse(&text).expect("valid JSON RunResult");
     assert!(v["ipc"].as_f64().unwrap() > 0.0);
     assert_eq!(v["platform"], "Zng");
 }
@@ -52,12 +83,25 @@ fn traces_roundtrip_through_disk() {
     let path = std::env::temp_dir().join("zng_cli_traces_test.json");
     let out = cli()
         .args([
-            "traces", "-w", "bfs1", "--out", path.to_str().unwrap(), "--warps", "4",
-            "--ops", "20", "--footprint", "64",
+            "traces",
+            "-w",
+            "bfs1",
+            "--out",
+            path.to_str().unwrap(),
+            "--warps",
+            "4",
+            "--ops",
+            "20",
+            "--footprint",
+            "64",
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bundle = zng_workloads::TraceBundle::load(&path).expect("load");
     assert_eq!(bundle.workload, "bfs1");
     assert_eq!(bundle.traces.len(), 4);
@@ -67,7 +111,7 @@ fn traces_roundtrip_through_disk() {
 #[test]
 fn bad_arguments_fail_with_usage() {
     for args in [
-        vec!["run"],                         // missing everything
+        vec!["run"], // missing everything
         vec!["run", "-p", "bogus", "-w", "betw"],
         vec!["run", "-p", "zng", "-w", "nope"],
         vec!["frobnicate"],

@@ -169,10 +169,7 @@ fn request_accounting_is_consistent() {
         r.requests,
         "per-app requests must partition the total"
     );
-    assert_eq!(
-        r.per_app_instructions.values().sum::<u64>(),
-        r.instructions
-    );
+    assert_eq!(r.per_app_instructions.values().sum::<u64>(), r.instructions);
     let series_total: u64 = r.per_app_series.values().flatten().sum();
     assert_eq!(series_total, r.requests);
 }
