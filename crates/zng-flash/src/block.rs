@@ -1,6 +1,6 @@
 //! Flash-block state machine: erase-before-write and in-order programming.
 
-use zng_types::{Error, Result};
+use zng_types::{Cycle, Error, Result};
 
 /// What a block is currently used for.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
@@ -12,6 +12,46 @@ pub enum BlockKind {
     Data,
     /// A physical log block (over-provisioned, LPMT-remapped writes).
     Log,
+}
+
+/// Out-of-band (OOB) metadata written atomically with a page's data.
+///
+/// Real NAND reserves a spare area per page; ZnG's recovery story depends
+/// on it: after a power loss the volatile mapping tables (DBMT / LBMT /
+/// row-decoder LPMT) are gone and a full-device OOB scan is the only way
+/// to rebuild them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OobMeta {
+    /// Logical page number the data belongs to.
+    pub lpn: u64,
+    /// Monotonic device-wide program stamp; duplicate LPNs found during a
+    /// recovery scan are resolved in favour of the highest stamp.
+    pub seq: u64,
+    /// The role the owning block had when the page was programmed
+    /// (data-vs-log tag), so the scan can rebuild DBMT vs LPMT entries.
+    pub tag: BlockKind,
+    /// When the array program completed. A power loss before this instant
+    /// leaves the page torn.
+    pub programmed_at: Cycle,
+    /// Demand writes tear when power is cut mid-program; GC migrations
+    /// and dataset preloads do not (the helper thread orders its erase
+    /// after migration completion, so a cut mid-merge leaves the sources
+    /// as the surviving copies instead — see DESIGN.md).
+    pub demand: bool,
+}
+
+/// Per-page OOB state as seen by a recovery scan.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum PageOob {
+    /// Never successfully programmed with metadata: an erased slot, or
+    /// garbage left by a failed (unverified) program.
+    #[default]
+    Blank,
+    /// Programmed and verified; metadata readable.
+    Written(OobMeta),
+    /// A power loss interrupted the program: the page reads back as
+    /// detectable garbage and must never be served.
+    Torn,
 }
 
 /// One flash block: a fixed number of pages that must be programmed
@@ -47,10 +87,11 @@ pub struct Block {
     /// Set when a program or erase on this block failed verification:
     /// the block must be retired once its live data has been migrated.
     failed: bool,
-    /// Verification metadata: the `(key, sequence)` of the last
-    /// successful program of each page. Not part of the timing model —
-    /// property tests use it to prove no acknowledged write is lost.
-    stamps: Vec<Option<(u64, u64)>>,
+    /// Per-page out-of-band metadata, written atomically with each page.
+    /// Not part of the timing model; recovery scans it to rebuild the
+    /// volatile mapping tables and property tests use it to prove no
+    /// acknowledged write is lost.
+    oob: Vec<PageOob>,
 }
 
 impl Block {
@@ -69,7 +110,7 @@ impl Block {
             valid_count: 0,
             erase_count: 0,
             failed: false,
-            stamps: vec![None; pages as usize],
+            oob: vec![PageOob::Blank; pages as usize],
         }
     }
 
@@ -134,7 +175,7 @@ impl Block {
         self.kind = BlockKind::Free;
         self.next_page = 0;
         self.valid.iter_mut().for_each(|w| *w = 0);
-        self.stamps.iter_mut().for_each(|s| *s = None);
+        self.oob.iter_mut().for_each(|s| *s = PageOob::Blank);
         self.erase_count += 1;
         Ok(())
     }
@@ -151,16 +192,91 @@ impl Block {
         self.failed
     }
 
-    /// Records verification metadata for `page` (ignored out of range).
-    pub fn set_stamp(&mut self, page: u32, key: u64, seq: u64) {
-        if let Some(s) = self.stamps.get_mut(page as usize) {
-            *s = Some((key, seq));
+    /// Records the full out-of-band record for `page` (ignored out of
+    /// range). Written "atomically with the page": the device calls this
+    /// from the same completion that verifies the program.
+    pub fn record_oob(&mut self, page: u32, meta: OobMeta) {
+        if let Some(s) = self.oob.get_mut(page as usize) {
+            *s = PageOob::Written(meta);
         }
+    }
+
+    /// The OOB state of `page` ([`PageOob::Blank`] out of range).
+    pub fn oob(&self, page: u32) -> PageOob {
+        self.oob.get(page as usize).copied().unwrap_or_default()
+    }
+
+    /// Whether `page` was torn by a power loss mid-program.
+    pub fn is_torn(&self, page: u32) -> bool {
+        matches!(self.oob(page), PageOob::Torn)
+    }
+
+    /// Records verification metadata for `page` (ignored out of range).
+    /// Shorthand for [`Block::record_oob`] with the block's current kind
+    /// and no timing information; tests and preloads use it.
+    pub fn set_stamp(&mut self, page: u32, key: u64, seq: u64) {
+        self.record_oob(
+            page,
+            OobMeta {
+                lpn: key,
+                seq,
+                tag: self.kind,
+                programmed_at: Cycle::ZERO,
+                demand: false,
+            },
+        );
     }
 
     /// The `(key, sequence)` of the last successful program of `page`.
     pub fn stamp(&self, page: u32) -> Option<(u64, u64)> {
-        self.stamps.get(page as usize).copied().flatten()
+        match self.oob(page) {
+            PageOob::Written(m) => Some((m.lpn, m.seq)),
+            _ => None,
+        }
+    }
+
+    /// Cuts power over this block at `now`.
+    ///
+    /// The flash array itself is non-volatile — programmed pages, OOB
+    /// records, wear counters and the sticky failed flag all survive —
+    /// but two things change:
+    ///
+    /// * any **demand** program still in flight (`programmed_at > now`)
+    ///   is torn: its page becomes detectable garbage — unless its
+    ///   sequence is covered by `fenced_seq`, the device-wide erase
+    ///   barrier (an erase is only issued after the programs whose
+    ///   invalidations justified it have verified, so every program
+    ///   sequenced before the last erase has completed);
+    /// * the **validity bitmap and block role are dropped** — they are
+    ///   FTL bookkeeping mirrored here for the model's convenience, not
+    ///   media state. Recovery rebuilds both from the OOB scan.
+    ///
+    /// Returns the number of pages torn.
+    pub fn power_loss(&mut self, now: Cycle, fenced_seq: u64) -> u32 {
+        let mut torn = 0;
+        for slot in self.oob.iter_mut().take(self.next_page as usize) {
+            if let PageOob::Written(m) = slot {
+                if m.demand && m.programmed_at > now && m.seq > fenced_seq {
+                    *slot = PageOob::Torn;
+                    torn += 1;
+                }
+            }
+        }
+        self.kind = BlockKind::Free;
+        self.valid.iter_mut().for_each(|w| *w = 0);
+        self.valid_count = 0;
+        torn
+    }
+
+    /// Re-marks a programmed page valid during recovery (the scan decided
+    /// this copy is the winner for its LPN). No-op out of range, on
+    /// unprogrammed pages, or when already valid.
+    pub fn restore_valid(&mut self, page: u32) {
+        if page >= self.next_page || self.is_valid(page) {
+            return;
+        }
+        self.valid[(page / 64) as usize] |= 1 << (page % 64);
+        self.valid_count += 1;
     }
 
     /// Sets the block's role (done by the FTL when allocating).
@@ -284,6 +400,69 @@ mod tests {
         b.invalidate(0);
         b.erase().unwrap();
         assert!(b.is_failed(), "failure survives erase");
+    }
+
+    #[test]
+    fn power_loss_tears_inflight_demand_programs_only() {
+        let mut b = Block::new(4);
+        b.set_kind(BlockKind::Log);
+        for _ in 0..3 {
+            b.program_next().unwrap();
+        }
+        let meta = |at: u64, demand: bool| OobMeta {
+            lpn: 7,
+            seq: 1,
+            tag: BlockKind::Log,
+            programmed_at: Cycle(at),
+            demand,
+        };
+        b.record_oob(0, meta(50, true)); // completed before the cut
+        b.record_oob(1, meta(500, true)); // in flight: tears
+        b.record_oob(2, meta(500, false)); // migration in flight: survives
+        let torn = b.power_loss(Cycle(100), 0);
+        assert_eq!(torn, 1);
+        assert!(!b.is_torn(0) && b.is_torn(1) && !b.is_torn(2));
+        // Volatile per-block bookkeeping is dropped…
+        assert_eq!(b.kind(), BlockKind::Free);
+        assert_eq!(b.valid_pages(), 0);
+        // …but the array contents survive.
+        assert_eq!(b.programmed_pages(), 3);
+        assert_eq!(b.stamp(0), Some((7, 1)));
+        assert_eq!(b.stamp(1), None, "torn pages lose their metadata");
+    }
+
+    #[test]
+    fn restore_valid_rebuilds_bitmap_after_power_loss() {
+        let mut b = Block::new(4);
+        b.program_next().unwrap();
+        b.program_next().unwrap();
+        b.power_loss(Cycle::ZERO, 0);
+        assert_eq!(b.valid_pages(), 0);
+        b.restore_valid(1);
+        b.restore_valid(1); // idempotent
+        b.restore_valid(3); // unprogrammed: no-op
+        assert_eq!(b.valid_pages(), 1);
+        assert!(b.is_valid(1) && !b.is_valid(0));
+    }
+
+    #[test]
+    fn erase_clears_torn_state() {
+        let mut b = Block::new(2);
+        b.program_next().unwrap();
+        b.record_oob(
+            0,
+            OobMeta {
+                lpn: 1,
+                seq: 1,
+                tag: BlockKind::Data,
+                programmed_at: Cycle(10),
+                demand: true,
+            },
+        );
+        b.power_loss(Cycle::ZERO, 0);
+        assert!(b.is_torn(0));
+        b.erase().unwrap();
+        assert_eq!(b.oob(0), PageOob::Blank);
     }
 
     #[test]

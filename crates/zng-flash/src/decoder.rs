@@ -147,6 +147,28 @@ impl RowDecoder {
         self.searches
     }
 
+    /// Rebuilds a decoder from an OOB scan during crash recovery.
+    ///
+    /// `consumed` is the number of pages already programmed in the log
+    /// block (the in-order next-free register), `entries` the surviving
+    /// live mappings. Any consumed slot not backing a live mapping is
+    /// stale; the search counter restarts at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero (same contract as [`RowDecoder::new`]).
+    pub fn restore(
+        pages: u32,
+        consumed: u32,
+        entries: impl IntoIterator<Item = (u64, u32)>,
+    ) -> RowDecoder {
+        let mut dec = RowDecoder::new(pages);
+        dec.next_free = consumed.min(pages);
+        dec.map.extend(entries);
+        dec.superseded = u64::from(dec.next_free).saturating_sub(dec.map.len() as u64);
+        dec
+    }
+
     /// Clears all mappings after the log block is erased.
     pub fn reset(&mut self) {
         self.map.clear();
@@ -239,5 +261,15 @@ mod tests {
     #[should_panic(expected = "at least one wordline")]
     fn zero_pages_rejected() {
         let _ = RowDecoder::new(0);
+    }
+
+    #[test]
+    fn restore_rebuilds_cam_state() {
+        let mut d = RowDecoder::restore(8, 5, [(10u64, 4u32), (20, 2), (30, 3)]);
+        assert_eq!(d.lookup(10), Some(4));
+        assert_eq!(d.lookup(20), Some(2));
+        assert_eq!(d.free_pages(), 3);
+        assert_eq!(d.stale(), 2, "5 consumed slots back 3 live mappings");
+        assert_eq!(d.record(40).unwrap(), 5, "in-order register resumes");
     }
 }

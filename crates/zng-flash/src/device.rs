@@ -11,7 +11,7 @@
 
 use zng_types::{ids::ChannelId, BlockAddr, Cycle, Error, FlashAddr, Freq, Result};
 
-use crate::block::Block;
+use crate::block::{Block, OobMeta, PageOob};
 use crate::fault::{FaultConfig, PlaneFaults};
 use crate::geometry::FlashGeometry;
 use crate::network::FlashNetwork;
@@ -56,6 +56,18 @@ impl EnduranceReport {
     }
 }
 
+/// What a sudden power loss destroyed (returned by
+/// [`FlashDevice::power_loss`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerLossReport {
+    /// Demand programs that were in flight when power was cut; their
+    /// pages are now detectably torn.
+    pub pages_torn: u64,
+    /// Pages that lived only in the volatile register write cache and
+    /// were lost outright (never durable, never acknowledged as such).
+    pub register_pages_lost: u64,
+}
+
 /// The assembled Z-NAND device.
 #[derive(Debug, Clone)]
 pub struct FlashDevice {
@@ -67,6 +79,11 @@ pub struct FlashDevice {
     /// Monotonic program sequence, stamped onto successfully programmed
     /// pages for write-loss verification (pure metadata, no timing).
     program_seq: u64,
+    /// Erase barrier: the program sequence at the most recent erase.
+    /// The controller only issues an erase once the programs whose
+    /// invalidations justified it have verified, so at a power loss every
+    /// program sequenced at or before this watermark has completed.
+    fenced_seq: u64,
 }
 
 impl FlashDevice {
@@ -103,6 +120,7 @@ impl FlashDevice {
             network,
             stats: FlashStats::new(),
             program_seq: 0,
+            fenced_seq: 0,
         })
     }
 
@@ -213,17 +231,38 @@ impl FlashDevice {
         Some(self.network.transfer(at_pins, ch, transfer_bytes))
     }
 
-    /// Stamps a successfully programmed page and bumps the sequence;
+    /// Writes the OOB record of a successfully programmed page (stamp +
+    /// LPN + block tag, atomically with the data) and bumps the sequence;
     /// failed programs count into the failure statistics instead.
-    fn finish_program(&mut self, block: BlockAddr, key: PageKey, report: &ProgramReport) {
+    /// `demand` marks writes that tear if power is cut before
+    /// `report.done`; GC migrations and preloads pass `false` (see
+    /// [`OobMeta::demand`]).
+    fn finish_program(
+        &mut self,
+        block: BlockAddr,
+        key: PageKey,
+        report: &ProgramReport,
+        demand: bool,
+    ) {
         if report.failed {
             self.stats.record_program_failure();
             return;
         }
         self.program_seq += 1;
         let seq = self.program_seq;
+        let done = report.done;
         if let Ok(b) = self.block_mut(block) {
-            b.set_stamp(report.page, key, seq);
+            let tag = b.kind();
+            b.record_oob(
+                report.page,
+                OobMeta {
+                    lpn: key,
+                    seq,
+                    tag,
+                    programmed_at: done,
+                    demand,
+                },
+            );
         }
     }
 
@@ -244,7 +283,7 @@ impl FlashDevice {
         let pkg = &mut self.packages[ch.index()];
         let report = pkg.program_page(arrived, plane_idx, block.block)?;
         self.stats.record_program(key, self.geometry.page_bytes);
-        self.finish_program(block, key, &report);
+        self.finish_program(block, key, &report, true);
         Ok(report)
     }
 
@@ -268,7 +307,7 @@ impl FlashDevice {
         let report = pkg.program_page(arrived, plane_idx, block.block)?;
         self.stats
             .record_migration_program(self.geometry.page_bytes);
-        self.finish_program(block, key, &report);
+        self.finish_program(block, key, &report, false);
         Ok(report)
     }
 
@@ -287,8 +326,36 @@ impl FlashDevice {
         let pkg = &mut self.packages[block.channel.index()];
         let report = pkg.program_page_internal(now, plane_idx, block.block)?;
         self.stats.record_program(key, self.geometry.page_bytes);
-        self.finish_program(block, key, &report);
+        self.finish_program(block, key, &report, true);
         Ok(report)
+    }
+
+    /// Installs logical page `lpn` into the next in-order page of `block`
+    /// with a full OOB record, **outside** the timing model: this is how
+    /// FTLs pre-load a dataset that logically resided on the device at
+    /// kernel launch. The stamp sequence still advances so later demand
+    /// writes of the same LPN outrank the preload during recovery.
+    ///
+    /// # Errors
+    ///
+    /// Flash protocol errors (full block, bad address).
+    pub fn preload_page(&mut self, block: BlockAddr, lpn: u64) -> Result<u32> {
+        self.program_seq += 1;
+        let seq = self.program_seq;
+        let b = self.block_mut(block)?;
+        let tag = b.kind();
+        let page = b.program_next()?;
+        b.record_oob(
+            page,
+            OobMeta {
+                lpn,
+                seq,
+                tag,
+                programmed_at: Cycle::ZERO,
+                demand: false,
+            },
+        );
+        Ok(page)
     }
 
     /// Submits a 128 B sector write of `key` (homed at `home`) to the
@@ -309,6 +376,9 @@ impl FlashDevice {
     /// Flash protocol errors (valid pages remain).
     pub fn erase(&mut self, now: Cycle, block: BlockAddr) -> Result<EraseReport> {
         let plane_idx = self.plane_idx(block);
+        // Erase barrier: all programs issued so far are ordered before
+        // this erase (see the `fenced_seq` field).
+        self.fenced_seq = self.program_seq;
         let report =
             self.packages[block.channel.index()].erase_block(now, plane_idx, block.block)?;
         if report.failed {
@@ -321,6 +391,43 @@ impl FlashDevice {
     /// the page at `addr` (verification metadata, no timing impact).
     pub fn page_stamp(&self, addr: FlashAddr) -> Option<(u64, u64)> {
         self.block(addr.block).and_then(|b| b.stamp(addr.page))
+    }
+
+    /// The full OOB record of the page at `addr`, if it was programmed
+    /// with one and not torn.
+    pub fn page_oob(&self, addr: FlashAddr) -> Option<OobMeta> {
+        match self.block(addr.block).map(|b| b.oob(addr.page)) {
+            Some(PageOob::Written(m)) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the page at `addr` was torn by a power loss.
+    pub fn page_is_torn(&self, addr: FlashAddr) -> bool {
+        self.block(addr.block).is_some_and(|b| b.is_torn(addr.page))
+    }
+
+    /// Cuts power to the whole device at `now`.
+    ///
+    /// Everything volatile is lost: the register write caches of every
+    /// package (unwritten pages are gone), the plane cache-register
+    /// latches, and the per-block validity/role bookkeeping that mirrors
+    /// FTL state. In-flight demand programs (`programmed_at > now`) are
+    /// torn. Only the flash arrays — programmed pages, OOB records, wear
+    /// counters, sticky failure flags — survive, which is exactly what an
+    /// FTL `recover()` scan starts from.
+    pub fn power_loss(&mut self, now: Cycle) -> PowerLossReport {
+        let mut report = PowerLossReport {
+            pages_torn: 0,
+            register_pages_lost: 0,
+        };
+        for pkg in &mut self.packages {
+            let (torn, dropped) = pkg.power_loss(now, self.fenced_seq);
+            report.pages_torn += torn;
+            report.register_pages_lost += dropped;
+        }
+        self.stats.record_power_loss(report.pages_torn);
+        report
     }
 
     /// Marks a page stale (superseded by a newer program elsewhere).
@@ -554,6 +661,64 @@ mod tests {
         assert_eq!((k1, k2), (10, 11));
         assert!(s2 > s1, "sequence is monotonic");
         assert!(d.page_stamp(block0().page(99)).is_none());
+    }
+
+    #[test]
+    fn power_loss_tears_inflight_and_drops_registers() {
+        let mut d = device();
+        // A completed program (cut happens long after done).
+        let r0 = d.program(Cycle(0), block0(), 10).unwrap();
+        // An in-flight demand program: cut at its issue time.
+        let r1 = d.program(r0.done, block0(), 11).unwrap();
+        // A register-resident page that never reached the array.
+        d.buffered_write(r0.done, 99, block0());
+        let rep = d.power_loss(r0.done + Cycle(1));
+        assert_eq!(rep.pages_torn, 1);
+        assert_eq!(rep.register_pages_lost, 1);
+        // The durable page survives with its OOB intact.
+        let m = d.page_oob(block0().page(r0.page)).unwrap();
+        assert_eq!(m.lpn, 10);
+        assert!(d.page_is_torn(block0().page(r1.page)));
+        assert!(d.page_oob(block0().page(r1.page)).is_none());
+        // Torn pages are refused at the device level too.
+        assert!(matches!(
+            d.read(Cycle(10_000_000), block0().page(r1.page), 11, 128),
+            Err(Error::TornPage { .. })
+        ));
+        assert_eq!(d.stats().power_losses(), 1);
+        assert_eq!(d.stats().pages_torn(), 1);
+    }
+
+    #[test]
+    fn erase_fences_earlier_programs_from_tearing() {
+        let mut d = device();
+        // An in-flight demand program (done far in the future)…
+        let r = d.program(Cycle(0), block0(), 5).unwrap();
+        assert!(r.done > Cycle(1));
+        // …followed by an erase elsewhere: the controller only issues an
+        // erase after the programs ordered before it have verified.
+        let other = BlockAddr::new(ChannelId(1), DieId(0), PlaneId(0), 0);
+        let rp = d.program(Cycle(0), other, 6).unwrap();
+        d.invalidate(other.page(rp.page));
+        d.erase(Cycle(0), other).unwrap();
+        let rep = d.power_loss(Cycle(1));
+        assert_eq!(rep.pages_torn, 0, "the erase barrier covers the program");
+        assert!(d.page_oob(block0().page(r.page)).is_some());
+    }
+
+    #[test]
+    fn preload_stamps_oob_outside_timing() {
+        let mut d = device();
+        let page = d.preload_page(block0(), 42).unwrap();
+        let m = d.page_oob(block0().page(page)).unwrap();
+        assert_eq!(m.lpn, 42);
+        assert!(!m.demand);
+        assert_eq!(m.programmed_at, Cycle::ZERO);
+        assert_eq!(d.stats().total_programs(), 0, "no timing, no stats");
+        // A later demand program outranks the preload.
+        let r = d.program(Cycle(0), block0(), 42).unwrap();
+        let m2 = d.page_oob(block0().page(r.page)).unwrap();
+        assert!(m2.seq > m.seq);
     }
 
     #[test]

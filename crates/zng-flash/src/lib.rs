@@ -32,9 +32,9 @@ pub mod registers;
 pub mod stats;
 pub mod timing;
 
-pub use block::{Block, BlockKind};
+pub use block::{Block, BlockKind, OobMeta, PageOob};
 pub use decoder::{RowDecoder, CAM_SEARCH_CYCLES};
-pub use device::{EnduranceReport, FlashDevice, PageKey};
+pub use device::{EnduranceReport, FlashDevice, PageKey, PowerLossReport};
 pub use fault::{FaultConfig, FaultParams, FaultProfile, PlaneFaults, MAX_READ_RETRIES};
 pub use geometry::FlashGeometry;
 pub use network::{FlashNetwork, NetworkTopology};

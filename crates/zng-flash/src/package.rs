@@ -338,6 +338,21 @@ impl FlashPackage {
         self.registers.discard(key)
     }
 
+    /// Cuts power to the package at `now`: the register write cache is
+    /// dropped without write-back and every plane loses its volatile
+    /// state (`fenced_seq` is the device-wide erase barrier, see
+    /// [`crate::block::Block::power_loss`]). Returns
+    /// `(pages_torn, register_pages_lost)`.
+    pub fn power_loss(&mut self, now: Cycle, fenced_seq: u64) -> (u64, u64) {
+        let dropped = self.registers.power_loss() as u64;
+        let torn = self
+            .planes
+            .iter_mut()
+            .map(|p| p.power_loss(now, fenced_seq))
+            .sum::<u64>();
+        (torn, dropped)
+    }
+
     /// Cross-plane register migrations performed.
     pub fn migrations(&self) -> u64 {
         self.migrations

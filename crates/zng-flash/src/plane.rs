@@ -172,6 +172,14 @@ impl Plane {
                 "reading unprogrammed page {page} of block {block}"
             )));
         }
+        if self.blocks.get(&block).is_some_and(|b| b.is_torn(page)) {
+            // A program interrupted by power loss left detectable garbage;
+            // serving it would silently return corrupt data.
+            return Err(Error::TornPage {
+                block: block as u64,
+                page,
+            });
+        }
         if self.sensed == Some((block, page)) {
             // Register data already passed ECC when it was latched.
             self.register_reads += 1;
@@ -291,6 +299,20 @@ impl Plane {
                 .mark_failed();
         }
         Ok(EraseReport { done, failed })
+    }
+
+    /// Cuts power to the plane at `now`: the cache-register latch is
+    /// lost and every block drops its volatile bookkeeping (validity,
+    /// role) while tearing in-flight demand programs not covered by the
+    /// device's erase barrier `fenced_seq`. Returns the number of pages
+    /// torn.
+    pub fn power_loss(&mut self, now: Cycle, fenced_seq: u64) -> u64 {
+        self.sensed = None;
+        self.sensed_at = Cycle::ZERO;
+        self.blocks
+            .values_mut()
+            .map(|b| b.power_loss(now, fenced_seq) as u64)
+            .sum()
     }
 
     /// When the array next becomes idle.
@@ -415,6 +437,31 @@ mod tests {
         assert!(p.block(3).is_none());
         p.block_mut(3).unwrap();
         assert!(p.block(3).is_some());
+    }
+
+    #[test]
+    fn torn_pages_are_never_served() {
+        use crate::block::OobMeta;
+        use crate::BlockKind;
+        let mut p = plane();
+        let r = p.program_next(Cycle(0), 0).unwrap();
+        p.block_mut(0).unwrap().record_oob(
+            r.page,
+            OobMeta {
+                lpn: 9,
+                seq: 1,
+                tag: BlockKind::Log,
+                programmed_at: r.done,
+                demand: true,
+            },
+        );
+        // Power cut before the program completes: the page tears.
+        let torn = p.power_loss(Cycle(10), 0);
+        assert_eq!(torn, 1);
+        assert!(matches!(
+            p.read_page(Cycle(500_000), 0, r.page),
+            Err(Error::TornPage { block: 0, page }) if page == r.page
+        ));
     }
 
     #[test]

@@ -270,6 +270,20 @@ impl RegisterCache {
         out
     }
 
+    /// Cuts power: every resident page is lost **without** write-back
+    /// (registers are volatile — this is the write-cache data a crash
+    /// destroys), and the thrashing window resets. Returns how many
+    /// pages were dropped.
+    pub fn power_loss(&mut self) -> usize {
+        let dropped = self.entries.len();
+        self.entries.clear();
+        self.plane_occupancy.iter_mut().for_each(|o| *o = 0);
+        self.window_writes = 0;
+        self.window_evictions = 0;
+        self.thrashing = false;
+        dropped
+    }
+
     /// The thrashing checker's current verdict (paper §III-C).
     pub fn is_thrashing(&self) -> bool {
         self.thrashing
@@ -383,6 +397,25 @@ mod tests {
         assert_eq!(keys, vec![1, 3, 5, 9]);
         assert!(r.is_empty());
         // Occupancy was reset: new writes fit locally again.
+        assert!(!r.write(10, 0).inserted_remote);
+    }
+
+    #[test]
+    fn power_loss_drops_everything_without_writeback() {
+        let mut r = RegisterCache::grouped(2, 2);
+        for k in 0..4u64 {
+            r.write(k, (k % 2) as usize);
+        }
+        let evictions_before = r.evictions();
+        assert_eq!(r.power_loss(), 4);
+        assert!(r.is_empty());
+        assert_eq!(
+            r.evictions(),
+            evictions_before,
+            "a power loss is not a write-back"
+        );
+        assert!(!r.is_thrashing());
+        // Slots are genuinely free again.
         assert!(!r.write(10, 0).inserted_remote);
     }
 

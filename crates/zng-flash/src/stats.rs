@@ -22,6 +22,8 @@ pub struct FlashStats {
     uncorrectable_reads: u64,
     program_failures: u64,
     erase_failures: u64,
+    power_losses: u64,
+    pages_torn: u64,
 }
 
 impl FlashStats {
@@ -70,6 +72,12 @@ impl FlashStats {
         self.erase_failures += 1;
     }
 
+    /// Records a device-wide power loss that tore `pages_torn` pages.
+    pub fn record_power_loss(&mut self, pages_torn: u64) {
+        self.power_losses += 1;
+        self.pages_torn += pages_torn;
+    }
+
     /// Total read-retry ladder steps across all senses.
     pub fn read_retries(&self) -> u64 {
         self.read_retries
@@ -88,6 +96,16 @@ impl FlashStats {
     /// Erases that failed verification.
     pub fn erase_failures(&self) -> u64 {
         self.erase_failures
+    }
+
+    /// Power losses injected over the device's lifetime.
+    pub fn power_losses(&self) -> u64 {
+        self.power_losses
+    }
+
+    /// Pages torn by power losses over the device's lifetime.
+    pub fn pages_torn(&self) -> u64 {
+        self.pages_torn
     }
 
     /// Average array reads per distinct page (paper's "read re-access").
@@ -158,6 +176,8 @@ impl FlashStats {
         self.uncorrectable_reads = 0;
         self.program_failures = 0;
         self.erase_failures = 0;
+        self.power_losses = 0;
+        self.pages_torn = 0;
     }
 }
 

@@ -77,6 +77,43 @@ impl BlockAllocator {
         self.policy
     }
 
+    /// Rebuilds an allocator from a crash-recovery OOB scan.
+    ///
+    /// * `next_fresh` — one past the highest block index ever touched
+    ///   (allocation hands out fresh indices in order, so every untouched
+    ///   index is a contiguous suffix);
+    /// * `allocated` — blocks the recovered mapping tables reference;
+    /// * `retired` — blocks permanently out of service (sticky failure);
+    /// * `recycled` — erased blocks returned to the pool as
+    ///   `(index, erase_count)`.
+    ///
+    /// Release order is lost with the crash, so the `Fifo`/`Lifo`
+    /// policies fall back to the iteration order of `recycled` (the scan
+    /// feeds it in ascending block index, keeping recovery deterministic).
+    pub fn rebuild(
+        total_blocks: u64,
+        policy: WearPolicy,
+        next_fresh: u64,
+        allocated: u64,
+        retired: u64,
+        recycled: impl IntoIterator<Item = (u64, u32)>,
+    ) -> BlockAllocator {
+        let mut a = BlockAllocator::with_policy(total_blocks, policy);
+        a.next_fresh = next_fresh.min(total_blocks);
+        a.allocated = allocated;
+        a.retired = retired;
+        for (index, erase_count) in recycled {
+            a.release_seq += 1;
+            let key = match policy {
+                WearPolicy::LeastErased => erase_count as u64,
+                WearPolicy::Fifo => a.release_seq,
+                WearPolicy::Lifo => u64::MAX - a.release_seq,
+            };
+            a.recycled.push(Reverse((key, index)));
+        }
+        a
+    }
+
     /// Allocates one block index: fresh blocks in striping order first,
     /// then recycled blocks lowest-wear-first.
     ///
@@ -227,6 +264,32 @@ mod tests {
         assert_eq!(a.free(), 0);
         // The worn-out signal replaces plain out-of-space once any block
         // has been retired.
+        assert!(matches!(
+            a.allocate(),
+            Err(Error::DeviceWornOut { retired_blocks: 1 })
+        ));
+    }
+
+    #[test]
+    fn rebuild_restores_pool_shape() {
+        let mut a = BlockAllocator::rebuild(
+            8,
+            WearPolicy::LeastErased,
+            5, // indices 0..5 were touched
+            2, // two still referenced by the recovered tables
+            1, // one retired for good
+            [(1u64, 3u32), (4, 1)],
+        );
+        assert_eq!(a.allocated(), 2);
+        assert_eq!(a.retired(), 1);
+        assert_eq!(a.fresh_remaining(), 3);
+        assert_eq!(a.free(), 5);
+        // Recycled blocks come back wear-levelled, then fresh suffix…
+        assert_eq!(a.allocate().unwrap(), 5);
+        assert_eq!(a.allocate().unwrap(), 6);
+        assert_eq!(a.allocate().unwrap(), 7);
+        assert_eq!(a.allocate().unwrap(), 4); // wear 1
+        assert_eq!(a.allocate().unwrap(), 1); // wear 3
         assert!(matches!(
             a.allocate(),
             Err(Error::DeviceWornOut { retired_blocks: 1 })

@@ -6,7 +6,7 @@
 //! mapping table lives in SSD DRAM and is *consulted by the SSD engine* —
 //! the engine cost is charged by the SSD module, not here.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use zng_flash::{BlockKind, FlashDevice};
 use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
@@ -150,7 +150,8 @@ impl PageMapFtl {
     }
 
     /// Installs `lpn` as pre-loaded data (the workload's initial dataset
-    /// resides on the SSD) without charging simulation time.
+    /// resides on the SSD) without charging simulation time. The page
+    /// still gets an OOB record so it survives a crash-recovery scan.
     ///
     /// # Errors
     ///
@@ -160,7 +161,7 @@ impl PageMapFtl {
             return Ok(());
         }
         let block = self.next_slot(device, Cycle::ZERO)?;
-        let page = device.block_mut(block)?.program_next()?;
+        let page = device.preload_page(block, lpn)?;
         self.record_mapping(device, lpn, FlashAddr::new(block, page));
         Ok(())
     }
@@ -289,6 +290,96 @@ impl PageMapFtl {
         Ok(erase.done)
     }
 
+    /// Rebuilds the mapping tables after a power loss.
+    ///
+    /// Call after [`FlashDevice::power_loss`]: the page map, reverse map,
+    /// sealed list and per-channel active blocks are reconstructed from a
+    /// full-device OOB scan. Duplicate logical pages resolve by program
+    /// stamp (newest intact copy wins), torn pages are discarded, dead
+    /// blocks are erased back into the free pool, and the allocator is
+    /// re-derived. Deterministic and idempotent: scanning the same media
+    /// twice rebuilds the same mapping state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash-protocol errors from the dead-block reclaim.
+    pub fn recover(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+    ) -> Result<crate::recovery::RecoveryReport> {
+        use crate::recovery;
+        let scan = recovery::scan_device(device);
+        let winners = recovery::resolve_winners(&scan.blocks);
+        let candidates: u64 = scan.blocks.iter().map(|b| b.entries.len() as u64).sum();
+        let geo = *device.geometry();
+
+        self.map.clear();
+        self.rmap.clear();
+        self.sealed.clear();
+        self.active = vec![None; geo.channels];
+        self.cursor = 0;
+
+        // Winners per owning block; rebuilding map + rmap together.
+        let mut live_by_block: BTreeMap<u64, Vec<(u32, u64)>> = BTreeMap::new();
+        for (&lpn, &(_, addr)) in &winners {
+            self.map.insert(lpn, addr);
+            live_by_block
+                .entry(geo.index_for_block(addr.block))
+                .or_default()
+                .push((addr.page, lpn));
+        }
+
+        let mut referenced = 0u64;
+        let mut dead = Vec::new();
+        for blk in &scan.blocks {
+            let Some(live) = live_by_block.get(&blk.idx) else {
+                dead.push(blk);
+                continue;
+            };
+            referenced += 1;
+            let b = device.block_mut(blk.addr)?;
+            b.set_kind(BlockKind::Data);
+            let mut pages = vec![None; geo.pages_per_block];
+            for &(page, lpn) in live {
+                b.restore_valid(page);
+                pages[page as usize] = Some(lpn);
+            }
+            self.rmap.insert(blk.idx, pages);
+            // A partial healthy block resumes in-order writes as its
+            // channel's active block; everything else (full, failed, or a
+            // second partial on the same channel) is sealed for GC.
+            let ch = blk.addr.channel.index();
+            if !blk.full && !blk.failed && self.active[ch].is_none() {
+                self.active[ch] = Some(blk.addr);
+            } else {
+                self.sealed.push(blk.addr);
+            }
+        }
+
+        let reclaim = recovery::reclaim_dead(device, dead, now + scan.base_cycles)?;
+        // Only retirements discovered by this recovery count as new; the
+        // rest were already charged when they happened.
+        self.blocks_retired += reclaim.retired.saturating_sub(self.allocator.retired());
+        let next_fresh = scan.blocks.last().map(|b| b.idx + 1).unwrap_or(0);
+        self.allocator = BlockAllocator::rebuild(
+            geo.total_blocks() as u64,
+            self.allocator.policy(),
+            next_fresh,
+            referenced,
+            reclaim.retired,
+            reclaim.recycled,
+        );
+        let done = reclaim.done.max(now + scan.base_cycles);
+        Ok(recovery::RecoveryReport {
+            pages_scanned: scan.pages_scanned,
+            torn_discarded: scan.torn,
+            stale_dropped: candidates - winners.len() as u64,
+            blocks_erased: reclaim.erased,
+            scan_cycles: done - now,
+        })
+    }
+
     /// Garbage collections performed.
     pub fn gcs(&self) -> u64 {
         self.gcs
@@ -312,6 +403,11 @@ impl PageMapFtl {
     /// Writes re-driven to a new block after a program failure.
     pub fn write_redrives(&self) -> u64 {
         self.write_redrives
+    }
+
+    /// Free blocks (fresh + recycled) in the allocator's pool.
+    pub fn free_blocks(&self) -> u64 {
+        self.allocator.free()
     }
 }
 
@@ -413,6 +509,64 @@ mod tests {
         assert!(worn, "sustained EOL churn must wear the device out");
         assert!(f.blocks_retired() > 0);
         assert!(f.write_redrives() > 0);
+    }
+
+    #[test]
+    fn recovery_rebuilds_map_after_power_loss() {
+        let (mut d, mut f) = setup();
+        let mut t = Cycle(0);
+        for i in 0..500u64 {
+            t = f.write_page(t, &mut d, i % 64).unwrap();
+        }
+        let before: Vec<_> = (0..64u64).map(|l| f.translate(l)).collect();
+        // `t` is the last program's completion, so nothing is in flight.
+        d.power_loss(t);
+        let rep = f.recover(t, &mut d).unwrap();
+        assert!(rep.pages_scanned >= 500);
+        assert!(rep.stale_dropped > 0, "overwrites left stale versions");
+        assert_eq!(rep.torn_discarded, 0);
+        let after: Vec<_> = (0..64u64).map(|l| f.translate(l)).collect();
+        assert_eq!(before, after, "mappings survive the crash exactly");
+        for l in 0..64u64 {
+            f.read_page(t + rep.scan_cycles, &mut d, l, 128).unwrap();
+        }
+        f.write_page(t + rep.scan_cycles, &mut d, 7).unwrap();
+    }
+
+    #[test]
+    fn recovery_rolls_torn_write_back_to_previous_copy() {
+        let (mut d, mut f) = setup();
+        let t1 = f.write_page(Cycle(0), &mut d, 9).unwrap();
+        let a1 = f.translate(9).unwrap();
+        // Second write of the same page is cut mid-program.
+        f.write_page(t1, &mut d, 9).unwrap();
+        let cut = t1 + Cycle(1);
+        let lost = d.power_loss(cut);
+        assert_eq!(lost.pages_torn, 1);
+        let rep = f.recover(cut, &mut d).unwrap();
+        assert_eq!(rep.torn_discarded, 1);
+        assert_eq!(f.translate(9), Some(a1), "rolls back to the acked copy");
+        f.read_page(cut + rep.scan_cycles, &mut d, 9, 128).unwrap();
+    }
+
+    #[test]
+    fn recovery_is_idempotent_under_midflight_cut() {
+        let (mut d, mut f) = setup();
+        let mut t = Cycle(0);
+        for i in 0..300u64 {
+            t = f.write_page(t, &mut d, i % 64).unwrap();
+        }
+        let cut = t - Cycle(60_000); // the last program is mid-flight
+        d.power_loss(cut);
+        f.recover(cut, &mut d).unwrap();
+        let first: Vec<_> = (0..64u64).map(|l| f.translate(l)).collect();
+        let free = f.free_blocks();
+        // Crash during recovery, recover again: same mapping state.
+        d.power_loss(cut);
+        f.recover(cut, &mut d).unwrap();
+        let second: Vec<_> = (0..64u64).map(|l| f.translate(l)).collect();
+        assert_eq!(first, second);
+        assert_eq!(f.free_blocks(), free);
     }
 
     #[test]

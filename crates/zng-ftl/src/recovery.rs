@@ -1,0 +1,196 @@
+//! Crash recovery shared by both FTLs: the full-device OOB scan.
+//!
+//! A power loss destroys every volatile mapping structure — the DBMT in
+//! the GPU MMU, the LBMT in shared memory, the row-decoder LPMTs, the
+//! page-map table in SSD DRAM — but the flash arrays survive, and every
+//! programmed page carries an out-of-band record written atomically with
+//! its data: the logical page number, a device-wide monotonic program
+//! stamp, and the block's role tag ([`zng_flash::OobMeta`]). Recovery is
+//! therefore a scan: read every touched block's OOB area, resolve
+//! duplicate logical pages by stamp (newest wins), discard torn pages,
+//! and re-derive the free pool and per-block wear.
+
+use std::collections::BTreeMap;
+
+use zng_flash::{FlashDevice, OobMeta, PageOob};
+use zng_types::{BlockAddr, Cycle, FlashAddr, Result};
+
+/// Modelled cost of sensing one programmed page's OOB area during the
+/// recovery scan. The spare bytes are a tiny fraction of the 4 KB page,
+/// so an OOB sense is far cheaper than the 3 µs full-page read; planes
+/// scan their own blocks in parallel, so the scan's wall time is the
+/// busiest plane's chain.
+pub const OOB_SCAN_CYCLES_PER_PAGE: Cycle = Cycle(450);
+
+/// What a full-device recovery scan found and rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Programmed pages whose OOB records were scanned.
+    pub pages_scanned: u64,
+    /// Torn pages (programs interrupted by the power cut) discarded.
+    pub torn_discarded: u64,
+    /// Superseded page versions dropped in favour of a newer stamp.
+    pub stale_dropped: u64,
+    /// Dead blocks erased back into the free pool during recovery.
+    pub blocks_erased: u64,
+    /// Modelled duration of the scan plus dead-block reclaim, in device
+    /// cycles; the platform blocks resumed apps for this long.
+    pub scan_cycles: Cycle,
+}
+
+/// One touched block's surviving media state.
+#[derive(Debug)]
+pub(crate) struct ScannedBlock {
+    /// Device-wide block index (the allocator's currency).
+    pub idx: u64,
+    pub addr: BlockAddr,
+    /// Intact OOB records by page index (torn pages excluded).
+    pub entries: Vec<(u32, OobMeta)>,
+    /// Pages programmed (the in-order high-water mark survives).
+    pub programmed: u32,
+    pub erase_count: u32,
+    /// Sticky failure flag (survives the power loss).
+    pub failed: bool,
+    pub full: bool,
+}
+
+impl ScannedBlock {
+    /// The newest program stamp in the block — its age when choosing
+    /// between duplicate copies of the same content.
+    pub fn max_seq(&self) -> u64 {
+        self.entries.iter().map(|(_, m)| m.seq).max().unwrap_or(0)
+    }
+}
+
+/// The raw scan: every touched block in ascending device index.
+pub(crate) struct Scan {
+    pub blocks: Vec<ScannedBlock>,
+    pub pages_scanned: u64,
+    pub torn: u64,
+    /// The busiest plane's OOB chain (planes scan in parallel).
+    pub base_cycles: Cycle,
+}
+
+/// Scans the OOB area of every block ever touched. Pure inspection: no
+/// media mutation, deterministic (ascending block index).
+pub(crate) fn scan_device(device: &FlashDevice) -> Scan {
+    let geo = device.geometry();
+    let mut blocks = Vec::new();
+    let mut per_plane: BTreeMap<(usize, usize, usize), u64> = BTreeMap::new();
+    let mut pages_scanned = 0u64;
+    let mut torn = 0u64;
+    for idx in 0..geo.total_blocks() as u64 {
+        let addr = match geo.block_for_index(idx) {
+            Ok(a) => a,
+            Err(_) => continue,
+        };
+        let Some(b) = device.block(addr) else {
+            continue;
+        };
+        let programmed = b.programmed_pages();
+        let mut entries = Vec::new();
+        let mut block_torn = 0u64;
+        for page in 0..programmed {
+            match b.oob(page) {
+                PageOob::Written(m) => entries.push((page, m)),
+                PageOob::Torn => block_torn += 1,
+                PageOob::Blank => {}
+            }
+        }
+        pages_scanned += programmed as u64;
+        torn += block_torn;
+        *per_plane
+            .entry((addr.channel.index(), addr.die.index(), addr.plane.index()))
+            .or_insert(0) += programmed as u64;
+        blocks.push(ScannedBlock {
+            idx,
+            addr,
+            entries,
+            programmed,
+            erase_count: b.erase_count(),
+            failed: b.is_failed(),
+            full: b.is_full(),
+        });
+    }
+    let busiest = per_plane.values().copied().max().unwrap_or(0);
+    Scan {
+        blocks,
+        pages_scanned,
+        torn,
+        base_cycles: Cycle(OOB_SCAN_CYCLES_PER_PAGE.0 * busiest),
+    }
+}
+
+/// Resolves every logical page to its newest intact copy: the winner is
+/// the highest program stamp among non-torn pages. Returns
+/// `lpn -> (stamp, location)` in logical-page order.
+pub(crate) fn resolve_winners(blocks: &[ScannedBlock]) -> BTreeMap<u64, (u64, FlashAddr)> {
+    let mut winners: BTreeMap<u64, (u64, FlashAddr)> = BTreeMap::new();
+    for blk in blocks {
+        for &(page, m) in &blk.entries {
+            let cand = (m.seq, FlashAddr::new(blk.addr, page));
+            match winners.get_mut(&m.lpn) {
+                Some(w) if w.0 >= m.seq => {}
+                Some(w) => *w = cand,
+                None => {
+                    winners.insert(m.lpn, cand);
+                }
+            }
+        }
+    }
+    winners
+}
+
+/// What reclaiming the dead (unreferenced) blocks produced.
+pub(crate) struct Reclaim {
+    /// `(index, erase_count)` of blocks returned clean to the pool, in
+    /// ascending index order.
+    pub recycled: Vec<(u64, u32)>,
+    /// Dead blocks out of service: previously failed ones plus any whose
+    /// reclaim erase failed verification.
+    pub retired: u64,
+    /// Erase operations actually performed.
+    pub erased: u64,
+    /// When the slowest reclaim erase completes.
+    pub done: Cycle,
+}
+
+/// Erases dead blocks back into the free pool. Failed blocks are never
+/// trusted again; blocks with no programmed pages are already clean and
+/// skip the erase. Erases start at `start` (after the OOB scan) and run
+/// in parallel across planes — each reserves its plane's array resource.
+pub(crate) fn reclaim_dead<'a>(
+    device: &mut FlashDevice,
+    dead: impl IntoIterator<Item = &'a ScannedBlock>,
+    start: Cycle,
+) -> Result<Reclaim> {
+    let mut out = Reclaim {
+        recycled: Vec::new(),
+        retired: 0,
+        erased: 0,
+        done: start,
+    };
+    for blk in dead {
+        if blk.failed {
+            out.retired += 1;
+            continue;
+        }
+        if blk.programmed == 0 {
+            out.recycled.push((blk.idx, blk.erase_count));
+            continue;
+        }
+        let rep = device.erase(start, blk.addr)?;
+        out.done = out.done.max(rep.done);
+        out.erased += 1;
+        if rep.failed {
+            out.retired += 1;
+        } else {
+            let wear = device
+                .block(blk.addr)
+                .map(|b| b.erase_count())
+                .unwrap_or(blk.erase_count + 1);
+            out.recycled.push((blk.idx, wear));
+        }
+    }
+    Ok(out)
+}

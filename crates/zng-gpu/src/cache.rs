@@ -301,6 +301,21 @@ impl SetAssocCache {
         flushed.into_iter().map(|(_, a)| a).collect()
     }
 
+    /// Drops every line — pinned, dirty, all of it — without write-back
+    /// (a power loss; redirected writes that never reached flash are
+    /// gone). Returns the number of valid lines lost. Statistics survive
+    /// (they are host-side accounting, not SRAM).
+    pub fn invalidate_all(&mut self) -> usize {
+        let mut lost = 0;
+        for line in &mut self.lines {
+            if line.valid {
+                lost += 1;
+            }
+            *line = Line::default();
+        }
+        lost
+    }
+
     /// The cache's shape.
     pub fn geometry(&self) -> CacheGeometry {
         self.geo
@@ -467,6 +482,18 @@ mod tests {
         c.fill(0, false, AppId(0));
         assert!(c.fill(0, true, AppId(1)).is_none());
         assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_all_drops_even_pinned_dirty_lines() {
+        let mut c = cache();
+        c.fill(0, false, AppId(0));
+        c.pin_dirty(0);
+        c.fill(128, false, AppId(1));
+        assert_eq!(c.invalidate_all(), 2);
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.pinned(), 0);
+        assert!(!c.probe(0) && !c.probe(128));
     }
 
     #[test]

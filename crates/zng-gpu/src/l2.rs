@@ -178,6 +178,15 @@ impl L2Cache {
         self.banks.iter().map(|b| b.pinned()).sum()
     }
 
+    /// Drops every resident line in every bank — pinned dirty lines
+    /// included — without any write-back. This models a power cut: both
+    /// SRAM and STT-MRAM L2 contents are treated as lost because the
+    /// tag/state arrays are volatile even when the data array is not.
+    /// Returns the number of lines lost. Hit/miss statistics survive.
+    pub fn power_loss(&mut self) -> usize {
+        self.banks.iter_mut().map(|b| b.invalidate_all()).sum()
+    }
+
     /// Invalidates a line; returns `Some(dirty)` if it was resident.
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
         let bank = self.bank_of(addr).index();
@@ -325,6 +334,18 @@ mod tests {
         assert!(!c.pin_dirty(4096 * 64)); // not resident
         let dirty = c.unpin_all();
         assert_eq!(dirty, vec![0]);
+    }
+
+    #[test]
+    fn power_loss_drops_all_banks_including_pinned() {
+        let mut c = l2();
+        c.fill_line(Cycle(0), 0, false, AppId(0));
+        c.fill_line(Cycle(0), 128, false, AppId(1));
+        assert!(c.pin_dirty(0));
+        assert_eq!(c.power_loss(), 2);
+        assert_eq!(c.pinned(), 0, "pinned dirty lines are gone, not drained");
+        assert!(!c.probe(0));
+        assert!(!c.probe(128));
     }
 
     #[test]

@@ -54,6 +54,12 @@ impl Tlb {
         self.cache.invalidate(vpn << 12);
     }
 
+    /// Drops every cached translation (power loss: the TLB is SRAM).
+    /// Returns the number of live entries lost.
+    pub fn flush_all(&mut self) -> usize {
+        self.cache.invalidate_all()
+    }
+
     /// TLB hit rate so far.
     pub fn hit_rate(&self) -> f64 {
         self.cache.hit_rate()
@@ -199,6 +205,16 @@ mod tests {
         m.tlb_mut().invalidate(9);
         m.translate(Cycle(10_000), 9).unwrap();
         assert_eq!(m.walks(), 2);
+    }
+
+    #[test]
+    fn flush_all_forces_rewalk_of_everything() {
+        let mut m = Mmu::new(16, 4, Cycle(200));
+        m.translate(Cycle(0), 1).unwrap();
+        m.translate(Cycle(0), 2).unwrap();
+        assert_eq!(m.tlb_mut().flush_all(), 2);
+        m.translate(Cycle(100_000), 1).unwrap();
+        assert_eq!(m.walks(), 3, "post-flush lookup walks again");
     }
 
     #[test]

@@ -90,6 +90,14 @@ impl Mshr {
         self.entries.remove(&key);
     }
 
+    /// Drops every tracked fill (power loss — nothing in flight survives).
+    /// Returns the number of entries dropped.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
     /// Requests that merged onto an in-flight fill.
     pub fn merges(&self) -> u64 {
         self.merges
@@ -148,6 +156,16 @@ mod tests {
         m.register(5, Cycle(100));
         m.cancel(5);
         assert_eq!(m.inflight(Cycle(0), 5), None);
+    }
+
+    #[test]
+    fn clear_drops_everything_in_flight() {
+        let mut m = Mshr::new(4);
+        m.register(1, Cycle(100));
+        m.register(2, Cycle(200));
+        assert_eq!(m.clear(), 2);
+        assert!(m.is_empty());
+        assert_eq!(m.inflight(Cycle(0), 1), None);
     }
 
     #[test]

@@ -88,6 +88,13 @@ impl Sm {
         &mut self.mshr
     }
 
+    /// Power loss: drops the L1D contents and every in-flight MSHR fill.
+    /// The issue port and statistics survive (they are model state, not
+    /// silicon). Returns `(l1_lines_lost, mshr_entries_dropped)`.
+    pub fn power_loss(&mut self) -> (usize, usize) {
+        (self.l1.invalidate_all(), self.mshr.clear())
+    }
+
     /// L1D hit rate.
     pub fn l1_hit_rate(&self) -> f64 {
         self.l1.hit_rate()
@@ -152,6 +159,18 @@ mod tests {
         assert_eq!(s.l1_flush_app(AppId(1)), 2);
         let (hit, _) = s.l1_access(Cycle(0), 256, false);
         assert!(hit, "other app's line survives");
+    }
+
+    #[test]
+    fn power_loss_empties_l1_and_mshr() {
+        let mut s = sm();
+        s.l1_fill(0x80, AppId(0));
+        s.mshr_mut().register(7, Cycle(1_000));
+        let (lines, fills) = s.power_loss();
+        assert_eq!((lines, fills), (1, 1));
+        let (hit, _) = s.l1_access(Cycle(0), 0x80, false);
+        assert!(!hit);
+        assert!(s.mshr_mut().is_empty());
     }
 
     #[test]

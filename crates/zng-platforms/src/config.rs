@@ -105,6 +105,12 @@ pub struct SimConfig {
     /// Fault injection applied to the flash media (RBER model,
     /// read-retry, block retirement). Defaults to no faults.
     pub fault: FaultConfig,
+    /// When `Some(n)`, cut power after the `n`-th completed request:
+    /// all volatile state (mapping tables, flash registers, write
+    /// buffers, pinned L2 lines) is dropped, the FTL recovers from the
+    /// out-of-band scan, and the run resumes. `None` (default) never
+    /// crashes and leaves results byte-identical to a crash-free build.
+    pub crash_at: Option<u64>,
 }
 
 impl SimConfig {
@@ -142,6 +148,7 @@ impl SimConfig {
             hetero_gpu_mem_pages: 1024,
             free_gc: false,
             fault: FaultConfig::none(),
+            crash_at: None,
         }
     }
 

@@ -22,5 +22,5 @@ pub mod runner;
 
 pub use backend::Backend;
 pub use config::{PlatformKind, SimConfig};
-pub use metrics::RunResult;
+pub use metrics::{CrashRecoverySummary, RunResult};
 pub use runner::Simulation;

@@ -7,6 +7,25 @@ use zng_types::Cycle;
 
 use crate::config::PlatformKind;
 
+/// What a mid-run power cut and recovery looked like (`--crash-at`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRecoverySummary {
+    /// Completed requests when the power cut fired.
+    pub at_requests: u64,
+    /// Simulation time of the cut.
+    pub at_cycle: Cycle,
+    /// Programmed pages whose OOB metadata was scanned.
+    pub pages_scanned: u64,
+    /// Torn (mid-program) pages discarded.
+    pub torn_discarded: u64,
+    /// Superseded page versions dropped during winner resolution.
+    pub stale_dropped: u64,
+    /// Dead blocks erased back into the free pool.
+    pub blocks_erased: u64,
+    /// Modelled cost of the recovery scan.
+    pub scan_cycles: Cycle,
+}
+
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -72,6 +91,10 @@ pub struct RunResult {
     pub blocks_retired: u64,
     /// Writes the FTL re-drove after program failures.
     pub write_redrives: u64,
+    /// Present only when `--crash-at` fired: the power cut and the
+    /// recovery scan that followed. `None` runs emit byte-identical
+    /// output to builds without the crash machinery.
+    pub crash_recovery: Option<CrashRecoverySummary>,
 }
 
 impl RunResult {
@@ -109,7 +132,7 @@ impl RunResult {
                     .collect(),
             )
         }
-        Value::object(vec![
+        let mut fields = vec![
             ("platform", Value::from(format!("{:?}", self.platform))),
             ("workload", Value::from(self.workload.as_str())),
             ("cycles", Value::from(self.cycles.raw())),
@@ -172,7 +195,17 @@ impl RunResult {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(cr) = &self.crash_recovery {
+            fields.push(("crash_at_requests", Value::from(cr.at_requests)));
+            fields.push(("crash_at_cycle", Value::from(cr.at_cycle.raw())));
+            fields.push(("crash_pages_scanned", Value::from(cr.pages_scanned)));
+            fields.push(("crash_torn_discarded", Value::from(cr.torn_discarded)));
+            fields.push(("crash_stale_dropped", Value::from(cr.stale_dropped)));
+            fields.push(("crash_blocks_erased", Value::from(cr.blocks_erased)));
+            fields.push(("crash_scan_cycles", Value::from(cr.scan_cycles.raw())));
+        }
+        Value::object(fields)
     }
 }
 
@@ -212,6 +245,7 @@ mod tests {
             erase_failures: 0,
             blocks_retired: 1,
             write_redrives: 2,
+            crash_recovery: None,
         }
     }
 
@@ -227,5 +261,25 @@ mod tests {
     fn simulated_time_conversion() {
         let r = result();
         assert!((r.simulated_us() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_keys_only_when_a_crash_happened() {
+        let mut r = result();
+        let clean = r.to_json_value().to_string();
+        assert!(!clean.contains("crash_"), "no crash keys in a clean run");
+        r.crash_recovery = Some(CrashRecoverySummary {
+            at_requests: 100,
+            at_cycle: Cycle(500_000),
+            pages_scanned: 64,
+            torn_discarded: 2,
+            stale_dropped: 5,
+            blocks_erased: 3,
+            scan_cycles: Cycle(28_800),
+        });
+        let crashed = r.to_json_value().to_string();
+        assert!(crashed.contains("\"crash_at_requests\":100"));
+        assert!(crashed.contains("\"crash_torn_discarded\":2"));
+        assert!(crashed.contains("\"crash_scan_cycles\":28800"));
     }
 }

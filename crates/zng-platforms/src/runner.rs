@@ -15,7 +15,7 @@ use zng_gpu::{
     AccessMonitor, GpuConfig, Interconnect, L2Cache, L2Technology, Mmu, Mshr, Predictor,
     PrefetchPolicy, Sm, Warp, WarpOp,
 };
-use zng_sim::{EventQueue, TimeSeries};
+use zng_sim::{CrashSwitch, EventQueue, TimeSeries};
 use zng_types::{
     ids::{AppId, Pc, SmId, WarpId},
     AccessKind, Cycle, Freq, Result,
@@ -24,7 +24,7 @@ use zng_workloads::MultiApp;
 
 use crate::backend::Backend;
 use crate::config::{PlatformKind, SimConfig};
-use crate::metrics::RunResult;
+use crate::metrics::{CrashRecoverySummary, RunResult};
 
 /// Time-series bucket width for Fig. 17b (10 µs at 1.2 GHz).
 const SERIES_INTERVAL: Cycle = Cycle(12_000);
@@ -58,6 +58,8 @@ pub struct Simulation {
     thrash_mode: bool,
     pinned_dirty: u64,
     gc_reports: Vec<GcReport>,
+    crash_switch: CrashSwitch,
+    crash_summary: Option<CrashRecoverySummary>,
 }
 
 impl Simulation {
@@ -106,6 +108,11 @@ impl Simulation {
             thrash_mode: false,
             pinned_dirty: 0,
             gc_reports: Vec::new(),
+            crash_switch: cfg
+                .crash_at
+                .map(CrashSwitch::at_ops)
+                .unwrap_or_else(CrashSwitch::disarmed),
+            crash_summary: None,
         })
     }
 
@@ -146,6 +153,34 @@ impl Simulation {
         }
 
         while let Some((now, idx)) = queue.pop() {
+            // Power cut: fires once, at a request-count boundary. The
+            // storage side loses its volatile state and recovers from the
+            // OOB scan; the GPU side reboots with cold caches. Every app
+            // is held until the recovery scan finishes.
+            if self.crash_switch.poll(requests) {
+                let report = self.backend.crash_recover(now)?;
+                self.power_cut_gpu();
+                let resume = now + report.map(|r| r.scan_cycles).unwrap_or(Cycle::ZERO);
+                for (_, app, _) in &mix.apps {
+                    let blocked = self
+                        .app_blocked_until
+                        .get(&app.raw())
+                        .copied()
+                        .unwrap_or(Cycle::ZERO)
+                        .max(resume);
+                    self.app_blocked_until.insert(app.raw(), blocked);
+                }
+                let r = report.unwrap_or_default();
+                self.crash_summary = Some(CrashRecoverySummary {
+                    at_requests: requests,
+                    at_cycle: now,
+                    pages_scanned: r.pages_scanned,
+                    torn_discarded: r.torn_discarded,
+                    stale_dropped: r.stale_dropped,
+                    blocks_erased: r.blocks_erased,
+                    scan_cycles: r.scan_cycles,
+                });
+            }
             if warps[idx].is_done() {
                 continue;
             }
@@ -277,7 +312,22 @@ impl Simulation {
             erase_failures,
             blocks_retired: self.backend.blocks_retired(),
             write_redrives: self.backend.write_redrives(),
+            crash_recovery: self.crash_summary.take(),
         })
+    }
+
+    /// Drops every piece of volatile GPU state at a power cut: L2
+    /// contents (pinned dirty lines included — redirected writes die
+    /// with the SRAM), L1s, MSHRs, TLB and in-flight page fills.
+    fn power_cut_gpu(&mut self) {
+        self.l2.power_loss();
+        self.pinned_dirty = 0;
+        self.thrash_mode = false;
+        self.mmu.tlb_mut().flush_all();
+        for sm in &mut self.sms {
+            sm.power_loss();
+        }
+        self.page_mshr.clear();
     }
 
     /// Services one 128 B request; returns its completion time.
@@ -605,6 +655,52 @@ mod tests {
                 r.blocks_retired
             ),
         }
+    }
+
+    #[test]
+    fn crash_at_recovers_and_finishes_the_run() {
+        let mut cfg = SimConfig::tiny();
+        cfg.crash_at = Some(50);
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let crashed = Simulation::new(PlatformKind::Zng, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let clean = Simulation::new(PlatformKind::Zng, &SimConfig::tiny())
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let summary = crashed.crash_recovery.expect("crash must be reported");
+        assert!(summary.at_requests >= 50);
+        assert!(summary.at_cycle > Cycle::ZERO);
+        assert_eq!(
+            crashed.requests, clean.requests,
+            "every request still serviced across the cut"
+        );
+        assert!(
+            crashed.cycles >= clean.cycles,
+            "recovery can only add time: {} vs {}",
+            crashed.cycles,
+            clean.cycles
+        );
+    }
+
+    #[test]
+    fn disarmed_crash_reports_nothing() {
+        let r = run(PlatformKind::Zng);
+        assert!(r.crash_recovery.is_none());
+    }
+
+    #[test]
+    fn crash_on_flashless_platform_is_a_cold_reboot() {
+        let mut cfg = SimConfig::tiny();
+        cfg.crash_at = Some(20);
+        let mut sim = Simulation::new(PlatformKind::Ideal, &cfg).unwrap();
+        let mix = MultiApp::from_names(&["betw"], &TraceParams::tiny()).unwrap();
+        let r = sim.run(&mix).unwrap();
+        let summary = r.crash_recovery.expect("cut still recorded");
+        assert_eq!(summary.pages_scanned, 0, "no flash, nothing to scan");
+        assert!(r.instructions > 0);
     }
 
     #[test]

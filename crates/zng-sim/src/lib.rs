@@ -11,15 +11,19 @@
 //!   saturation without per-cycle stepping.
 //! * [`stats`] — counters, histograms and time-series samplers used to
 //!   regenerate the paper's figures.
+//! * [`CrashSwitch`] — a one-shot power-cut trigger for the
+//!   crash-consistency experiments.
 //!
 //! Determinism: all randomness must flow through [`rng::seeded`]; the event
 //! queue breaks timestamp ties by insertion order.
 
 pub mod event;
+pub mod power;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 
 pub use event::EventQueue;
+pub use power::CrashSwitch;
 pub use resource::{Link, Resource};
 pub use stats::{Counter, Histogram, Ratio, TimeSeries};

@@ -1,0 +1,101 @@
+//! Power-failure injection for crash-consistency experiments.
+//!
+//! A [`CrashSwitch`] arms a single power cut at a request-count boundary:
+//! the runner polls it once per completed request and, on the firing
+//! poll, drops all volatile state (mapping tables, flash registers, write
+//! caches, pinned L2 lines) before running FTL recovery. The switch fires
+//! exactly once — replaying past the crash point after recovery does not
+//! re-trigger it.
+
+/// A one-shot power-cut trigger armed at an operation count.
+///
+/// # Examples
+///
+/// ```
+/// use zng_sim::CrashSwitch;
+///
+/// let mut s = CrashSwitch::at_ops(3);
+/// assert!(!s.poll(1));
+/// assert!(!s.poll(2));
+/// assert!(s.poll(3), "fires at the armed count");
+/// assert!(!s.poll(4), "and never again");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSwitch {
+    at_ops: u64,
+    fired: bool,
+}
+
+impl CrashSwitch {
+    /// Arms a cut after `ops` completed operations. `ops == 0` fires on
+    /// the first poll.
+    pub fn at_ops(ops: u64) -> CrashSwitch {
+        CrashSwitch {
+            at_ops: ops,
+            fired: false,
+        }
+    }
+
+    /// A switch that never fires (the default, crash-free run).
+    pub fn disarmed() -> CrashSwitch {
+        CrashSwitch {
+            at_ops: u64::MAX,
+            fired: true,
+        }
+    }
+
+    /// Polls with the current completed-operation count; returns `true`
+    /// exactly once, when the armed count is first reached.
+    pub fn poll(&mut self, ops: u64) -> bool {
+        if self.fired || ops < self.at_ops {
+            return false;
+        }
+        self.fired = true;
+        true
+    }
+
+    /// Whether the cut has already happened.
+    pub fn fired(&self) -> bool {
+        self.fired && self.at_ops != u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_at_the_armed_count() {
+        let mut s = CrashSwitch::at_ops(5);
+        for ops in 0..5 {
+            assert!(!s.poll(ops));
+        }
+        assert!(s.poll(5));
+        assert!(s.fired());
+        assert!(!s.poll(6));
+        assert!(!s.poll(1_000));
+    }
+
+    #[test]
+    fn fires_even_when_the_exact_count_is_skipped() {
+        let mut s = CrashSwitch::at_ops(10);
+        assert!(!s.poll(9));
+        assert!(s.poll(11), "late poll past the boundary still fires");
+        assert!(!s.poll(12));
+    }
+
+    #[test]
+    fn zero_fires_immediately() {
+        let mut s = CrashSwitch::at_ops(0);
+        assert!(s.poll(0));
+    }
+
+    #[test]
+    fn disarmed_never_fires() {
+        let mut s = CrashSwitch::disarmed();
+        for ops in 0..100 {
+            assert!(!s.poll(ops));
+        }
+        assert!(!s.fired(), "a disarmed switch reports no crash");
+    }
+}

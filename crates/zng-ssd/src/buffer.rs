@@ -79,12 +79,12 @@ impl PageBuffer {
                 .pages
                 .iter()
                 .min_by_key(|(k, (last, _))| (*last, **k))
-                .map(|(k, _)| *k)
-                .expect("buffer full implies non-empty");
-            let (_, dirty) = self.pages.remove(&victim).expect("victim resident");
-            if dirty {
-                self.writebacks += 1;
-                evicted_dirty = Some(victim);
+                .map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                if let Some((_, true)) = self.pages.remove(&victim) {
+                    self.writebacks += 1;
+                    evicted_dirty = Some(victim);
+                }
             }
         }
         self.pages.insert(ppn, (self.tick, write));
@@ -111,6 +111,16 @@ impl PageBuffer {
         self.writebacks += dirty.len() as u64;
         self.pages.clear();
         dirty
+    }
+
+    /// Power loss: every buffered page — dirty ones included — vanishes
+    /// with **no** write-back (the buffer is DRAM). Returns the number of
+    /// dirty pages lost; those writes were never durable and recovery
+    /// must not resurrect them.
+    pub fn power_loss(&mut self) -> usize {
+        let lost = self.pages.values().filter(|(_, d)| *d).count();
+        self.pages.clear();
+        lost
     }
 
     /// Resident page count.
@@ -216,6 +226,17 @@ mod tests {
         b.access(9, true);
         assert_eq!(b.flush_dirty(), vec![5, 9]);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn power_loss_drops_dirty_pages_without_writeback() {
+        let mut b = PageBuffer::new(8);
+        b.access(1, true);
+        b.access(2, false);
+        b.access(3, true);
+        assert_eq!(b.power_loss(), 2, "two dirty pages lost");
+        assert!(b.is_empty());
+        assert_eq!(b.writebacks(), 0, "a power cut never writes back");
     }
 
     #[test]

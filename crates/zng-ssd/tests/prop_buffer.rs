@@ -1,7 +1,10 @@
-//! Property tests for the SSD page buffer.
+//! Property tests for the SSD page buffer, alone and mounted in the
+//! NVMe SSD under end-of-life fault injection.
 
 use proptest::prelude::*;
-use zng_ssd::PageBuffer;
+use zng_flash::{FaultConfig, FlashGeometry};
+use zng_ssd::{NvmeSsd, PageBuffer, SsdModule};
+use zng_types::{AccessKind, Cycle, Error, Freq};
 
 proptest! {
     #[test]
@@ -29,5 +32,99 @@ proptest! {
         }
         prop_assert!(dirty_in_flight.is_empty(), "dirty pages lost");
         prop_assert_eq!(b.writebacks(), writebacks + flushed.len() as u64);
+    }
+
+    /// A power cut empties the buffer without any write-back, whatever
+    /// state the access history left it in.
+    #[test]
+    fn power_loss_never_writes_back(
+        cap in 1usize..16,
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200),
+    ) {
+        let mut b = PageBuffer::new(cap);
+        for &(ppn, write) in &ops {
+            b.access(ppn, write);
+        }
+        let before = b.writebacks();
+        let lost = b.power_loss();
+        prop_assert!(lost <= cap, "cannot lose more dirty pages than fit");
+        prop_assert!(b.is_empty());
+        prop_assert_eq!(b.writebacks(), before, "power loss flushed nothing");
+    }
+
+    /// The HybridGPU module's buffer stays panic-free and within
+    /// capacity under end-of-life fault injection, and a crash/recover
+    /// cycle leaves the module serviceable.
+    #[test]
+    fn module_buffer_survives_end_of_life_faults(
+        seed in 0u64..40,
+        ops in prop::collection::vec((0u64..32, any::<bool>()), 1..80),
+        crash_at in 0usize..80,
+    ) {
+        let mut m = SsdModule::hybrid(FlashGeometry::tiny(), 4, Freq::default()).unwrap();
+        m.apply_faults(&FaultConfig::end_of_life().with_seed(seed));
+        let crash_at = crash_at.min(ops.len());
+        let mut t = Cycle::ZERO;
+        let mut worn = false;
+        for &(vpn, write) in &ops[..crash_at] {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            match m.access_sector(t, vpn, kind) {
+                Ok(done) => t = done,
+                Err(Error::DeviceWornOut { .. }) => { worn = true; break }
+                Err(Error::UncorrectableRead { .. }) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("access failed: {e}"))),
+            }
+            prop_assert!(m.buffer().len() <= m.buffer().capacity());
+        }
+        if worn {
+            return Ok(());
+        }
+        match m.crash_recover(t + Cycle(10_000_000)) {
+            Ok(_) => {}
+            Err(Error::DeviceWornOut { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("recovery failed: {e}"))),
+        }
+        prop_assert!(m.buffer().is_empty(), "buffer survived the cut");
+        for &(vpn, _) in &ops[crash_at..] {
+            match m.access_sector(t + Cycle(20_000_000), vpn, AccessKind::Read) {
+                Ok(_) => {}
+                Err(Error::DeviceWornOut { .. }) => break,
+                Err(Error::UncorrectableRead { .. }) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("post-recovery: {e}"))),
+            }
+        }
+    }
+
+    /// The discrete NVMe SSD under end-of-life faults: completed writes
+    /// stay readable across a quiescent crash/recover cycle.
+    #[test]
+    fn nvme_recovers_under_end_of_life_faults(
+        seed in 0u64..40,
+        writes in prop::collection::vec(0u64..64, 1..60),
+    ) {
+        let mut s = NvmeSsd::new(FlashGeometry::tiny(), Freq::default()).unwrap();
+        s.apply_faults(&FaultConfig::end_of_life().with_seed(seed));
+        let mut t = Cycle::ZERO;
+        let mut acked = std::collections::BTreeSet::new();
+        for &ppn in &writes {
+            match s.write_page(t, ppn) {
+                Ok(done) => { t = done; acked.insert(ppn); }
+                Err(Error::DeviceWornOut { .. }) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("write failed: {e}"))),
+            }
+        }
+        match s.crash_recover(t + Cycle(10_000_000)) {
+            Ok(report) => {
+                prop_assert_eq!(report.torn_discarded, 0, "quiescent cut tears nothing");
+            }
+            Err(Error::DeviceWornOut { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("recovery failed: {e}"))),
+        }
+        for &ppn in &acked {
+            match s.read_page(t + Cycle(20_000_000), ppn) {
+                Ok(_) | Err(Error::UncorrectableRead { .. }) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("lost page {ppn}: {e}"))),
+            }
+        }
     }
 }

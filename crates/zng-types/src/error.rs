@@ -49,6 +49,15 @@ pub enum Error {
         /// Blocks retired over the device's lifetime.
         retired_blocks: u64,
     },
+    /// A read hit a page whose program was interrupted by a power loss.
+    /// Torn pages are detectable (their out-of-band metadata fails
+    /// verification) and must be discarded by recovery, never served.
+    TornPage {
+        /// Physical block index within the plane.
+        block: u64,
+        /// Page offset within the block.
+        page: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -77,6 +86,10 @@ impl fmt::Display for Error {
             Error::DeviceWornOut { retired_blocks } => write!(
                 f,
                 "flash device worn out ({retired_blocks} blocks retired, spare pool exhausted)"
+            ),
+            Error::TornPage { block, page } => write!(
+                f,
+                "torn page at block {block} page {page} (program interrupted by power loss)"
             ),
         }
     }

@@ -1,0 +1,59 @@
+//! Crash consistency: cut power mid-run, recover the FTL from the
+//! out-of-band metadata scan, resume, and print the recovery report.
+//!
+//! The cut drops *everything* volatile — mapping tables, flash
+//! registers, write buffers, pinned L2 lines — leaving only what the
+//! flash arrays durably hold. Recovery scans every programmed page's
+//! OOB metadata (logical page number, program stamp, data-vs-log tag),
+//! discards torn mid-program pages, resolves duplicate logical pages by
+//! stamp, and rebuilds the mapping tables before the workload resumes.
+//!
+//! ```text
+//! cargo run --release --example crash_recovery
+//! ```
+
+use zng::{Experiment, PlatformKind, Table};
+
+fn main() -> zng::Result<()> {
+    let mix = ["back"];
+    let crash_at = 1_000;
+
+    let mut clean = Experiment::quick();
+    let baseline = clean.run(PlatformKind::Zng, &mix)?;
+
+    let mut exp = Experiment::quick();
+    exp.config_mut().crash_at = Some(crash_at);
+    let r = exp.run(PlatformKind::Zng, &mix)?;
+
+    let cr = r
+        .crash_recovery
+        .expect("the cut fires well inside this run");
+    let mut t = Table::new(vec!["recovery metric".into(), "value".into()]);
+    t.row(vec!["crash at request".into(), cr.at_requests.to_string()]);
+    t.row(vec!["crash at cycle".into(), cr.at_cycle.raw().to_string()]);
+    t.row(vec!["pages scanned".into(), cr.pages_scanned.to_string()]);
+    t.row(vec!["torn discarded".into(), cr.torn_discarded.to_string()]);
+    t.row(vec!["stale dropped".into(), cr.stale_dropped.to_string()]);
+    t.row(vec!["blocks erased".into(), cr.blocks_erased.to_string()]);
+    t.row(vec!["scan cycles".into(), cr.scan_cycles.raw().to_string()]);
+    t.print(&format!(
+        "power cut after {crash_at} requests on ZnG ({})",
+        mix.join("-")
+    ));
+
+    println!();
+    println!(
+        "run completed across the cut: {} requests in {} cycles \
+         (clean run: {} cycles, delta {:+.2}%)",
+        r.requests,
+        r.cycles.raw(),
+        baseline.cycles.raw(),
+        100.0 * (r.cycles.raw() as f64 - baseline.cycles.raw() as f64)
+            / baseline.cycles.raw() as f64,
+    );
+    println!(
+        "(a cut can even shorten the tail: register-buffered dirty data \
+         is lost instead of being drained to the arrays)"
+    );
+    Ok(())
+}

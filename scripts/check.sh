@@ -3,6 +3,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fail fast with a clear message when the toolchain components the gate
+# needs are missing, instead of dying mid-run on a cryptic cargo error.
+if ! cargo fmt --version >/dev/null 2>&1; then
+  echo "error: 'cargo fmt' is unavailable — install it with: rustup component add rustfmt" >&2
+  exit 1
+fi
+if ! cargo clippy --version >/dev/null 2>&1; then
+  echo "error: 'cargo clippy' is unavailable — install it with: rustup component add clippy" >&2
+  exit 1
+fi
+
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace

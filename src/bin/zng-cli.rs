@@ -42,6 +42,7 @@ options:
       --footprint  footprint in 4 KiB pages     (default 2048)
       --seed       RNG seed                     (default 42)
       --faults     fault profile: none|nominal|end-of-life (default none)
+      --crash-at   cut power after N completed requests, recover, resume
       --json       emit the full RunResult as JSON";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -68,6 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| "run requires --platform".to_string())?;
             let mut exp = Experiment::standard().with_params(opts.params);
             exp.config_mut().fault = opts.fault_config();
+            exp.config_mut().crash_at = opts.crash_at;
             let r = exp
                 .run(platform, &opts.workload_refs())
                 .map_err(|e| e.to_string())?;
@@ -82,6 +84,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let opts = Opts::parse(&args[1..])?;
             let mut exp = Experiment::standard().with_params(opts.params);
             exp.config_mut().fault = opts.fault_config();
+            exp.config_mut().crash_at = opts.crash_at;
             let mut t = Table::new(vec![
                 "platform".into(),
                 "IPC".into(),
@@ -151,6 +154,7 @@ struct Opts {
     workloads: Vec<String>,
     params: TraceParams,
     faults: FaultProfile,
+    crash_at: Option<u64>,
     json: bool,
 }
 
@@ -166,6 +170,7 @@ impl Opts {
                 seed: 42,
             },
             faults: FaultProfile::None,
+            crash_at: None,
             json: false,
         };
         let mut it = args.iter();
@@ -192,6 +197,9 @@ impl Opts {
                 "--faults" => {
                     opts.faults =
                         FaultProfile::parse(&value("--faults")?).map_err(|e| e.to_string())?;
+                }
+                "--crash-at" => {
+                    opts.crash_at = Some(parse_num(&value("--crash-at")?)? as u64);
                 }
                 "--json" => opts.json = true,
                 other => return Err(format!("unknown option `{other}`")),
@@ -295,5 +303,29 @@ fn print_result(r: &RunResult) {
     t.row(vec!["erase failures".into(), r.erase_failures.to_string()]);
     t.row(vec!["blocks retired".into(), r.blocks_retired.to_string()]);
     t.row(vec!["write re-drives".into(), r.write_redrives.to_string()]);
+    if let Some(cr) = &r.crash_recovery {
+        t.row(vec!["crash at request".into(), cr.at_requests.to_string()]);
+        t.row(vec!["crash at cycle".into(), cr.at_cycle.raw().to_string()]);
+        t.row(vec![
+            "recovery pages scanned".into(),
+            cr.pages_scanned.to_string(),
+        ]);
+        t.row(vec![
+            "recovery torn discarded".into(),
+            cr.torn_discarded.to_string(),
+        ]);
+        t.row(vec![
+            "recovery stale dropped".into(),
+            cr.stale_dropped.to_string(),
+        ]);
+        t.row(vec![
+            "recovery blocks erased".into(),
+            cr.blocks_erased.to_string(),
+        ]);
+        t.row(vec![
+            "recovery scan cycles".into(),
+            cr.scan_cycles.raw().to_string(),
+        ]);
+    }
     t.print("run result");
 }

@@ -40,7 +40,9 @@ pub use experiment::{geomean, Experiment};
 pub use report::Table;
 pub use zng_flash::{FaultConfig, FaultProfile, RegisterTopology};
 pub use zng_gpu::PrefetchPolicy;
-pub use zng_platforms::{Backend, PlatformKind, RunResult, SimConfig, Simulation};
+pub use zng_platforms::{
+    Backend, CrashRecoverySummary, PlatformKind, RunResult, SimConfig, Simulation,
+};
 pub use zng_types::{Cycle, Error, Result};
 pub use zng_workloads::{
     by_name, mixes, standard_mix_names, table2, trace_stats, Class, MultiApp, Suite, TraceParams,
