@@ -69,12 +69,18 @@ fn save_json(id: &str, title: &str, table: &Table, paper: &str) {
     if fs::create_dir_all(&dir).is_err() {
         return;
     }
+    let (headline_label, headline) = match table.headline() {
+        Some((label, value)) => (zng_json::Value::from(label), zng_json::Value::from(value)),
+        None => (zng_json::Value::Null, zng_json::Value::Null),
+    };
     let record = zng_json::Value::object(vec![
         ("id", zng_json::Value::from(id)),
         ("title", zng_json::Value::from(title)),
         ("paper_expectation", zng_json::Value::from(paper)),
         ("rendered", zng_json::Value::from(table.render())),
         ("quick_mode", zng_json::Value::from(quick())),
+        ("headline_label", headline_label),
+        ("headline", headline),
     ]);
     let _ = fs::write(dir.join(format!("{id}.json")), record.to_string_pretty());
 }

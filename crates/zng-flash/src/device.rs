@@ -9,6 +9,7 @@
 //! * [`FlashDevice::zng_config`] — 8 B mesh network, grouped registers
 //!   with a selectable interconnect (ZnG).
 
+use zng_sim::AdmissionQueue;
 use zng_types::{ids::ChannelId, BlockAddr, Cycle, Error, FlashAddr, Freq, Result};
 
 use crate::block::{Block, OobMeta, PageOob};
@@ -84,6 +85,11 @@ pub struct FlashDevice {
     /// invalidations justified it have verified, so at a power loss every
     /// program sequenced at or before this watermark has completed.
     fenced_seq: u64,
+    /// One finite request queue per channel controller. Unbounded (and
+    /// untracked) by default; FTL demand traffic asks for admission here
+    /// while GC/recovery traffic bypasses it, so reclamation can always
+    /// make progress.
+    admission: Vec<AdmissionQueue>,
 }
 
 impl FlashDevice {
@@ -113,6 +119,7 @@ impl FlashDevice {
                 )
             })
             .collect();
+        let channels = geometry.channels;
         Ok(FlashDevice {
             geometry,
             cycles,
@@ -121,7 +128,57 @@ impl FlashDevice {
             stats: FlashStats::new(),
             program_seq: 0,
             fenced_seq: 0,
+            admission: vec![AdmissionQueue::new(); channels],
         })
+    }
+
+    /// Bounds every channel controller's request queue and the network's
+    /// injection links (`None` = unbounded, the default). Only the
+    /// explicit admission API ([`FlashDevice::try_admit`]) and
+    /// [`FlashNetwork::try_transfer`] enforce the bound, so internal
+    /// GC/recovery traffic keeps flowing under overload.
+    pub fn set_queue_depth(&mut self, depth: Option<usize>) {
+        for q in &mut self.admission {
+            q.set_depth(depth);
+        }
+        self.network.set_queue_depth(depth);
+    }
+
+    /// Asks channel `ch`'s controller to admit one demand request at
+    /// `now`. Fails with [`Error::Backpressure`] when the channel queue is
+    /// full; no-op (always admitted) in unbounded mode.
+    pub fn try_admit(&mut self, now: Cycle, ch: ChannelId) -> Result<()> {
+        self.admission[ch.index()]
+            .try_admit(now)
+            .map_err(|retry_at| Error::Backpressure { retry_at })
+    }
+
+    /// Reports the completion time of the demand request most recently
+    /// admitted on channel `ch` (releases its queue slot at `done`).
+    pub fn note_inflight(&mut self, ch: ChannelId, done: Cycle) {
+        self.admission[ch.index()].note_inflight(done);
+    }
+
+    /// Demand requests refused by channel admission plus injections
+    /// refused by the network.
+    pub fn qos_rejections(&self) -> u64 {
+        self.admission.iter().map(|q| q.rejected()).sum::<u64>() + self.network.rejections()
+    }
+
+    /// Demand requests admitted under a bounded configuration.
+    pub fn qos_admitted(&self) -> u64 {
+        self.admission.iter().map(|q| q.admitted()).sum()
+    }
+
+    /// Largest in-flight population admitted on any channel queue or
+    /// network link.
+    pub fn qos_max_occupancy(&self) -> u64 {
+        self.admission
+            .iter()
+            .map(|q| q.max_occupancy())
+            .max()
+            .unwrap_or(0)
+            .max(self.network.max_link_occupancy())
     }
 
     /// Installs fault injection on every plane. Each plane gets its own

@@ -25,12 +25,14 @@ pub(crate) const GC_READ_ATTEMPTS: u32 = 4;
 
 pub mod allocator;
 pub mod engine;
+pub mod pacing;
 pub mod pagemap;
 pub mod recovery;
 pub mod zngftl;
 
 pub use allocator::{BlockAllocator, WearPolicy};
 pub use engine::SsdEngine;
+pub use pacing::GcPacing;
 pub use pagemap::PageMapFtl;
 pub use recovery::{RecoveryReport, OOB_SCAN_CYCLES_PER_PAGE};
 pub use zngftl::{GcReport, WriteMode, ZngFtl};

@@ -1,0 +1,49 @@
+//! GC pacing: bounding how long a log-block merge may stall foreground
+//! traffic.
+//!
+//! A full log-block merge can take hundreds of microseconds; without
+//! pacing the victim application is blocked for the whole merge (ZnG's
+//! baseline behaviour, paper §V-A / Fig. 17). Under overload control the
+//! FTL instead publishes a *blocking deadline* alongside every merge: the
+//! victim is stalled no longer than the configured budget, and the runner
+//! additionally enforces a *credit* — the number of foreground events one
+//! merge may stall — so end-of-life fault profiles (whose merges re-drive
+//! and restart) degrade gracefully instead of collapsing. Merges that
+//! outlive their deadline are counted as deadline misses; the media work
+//! itself always completes (plane reservations are unaffected), only the
+//! foreground stall is capped.
+
+use zng_types::Cycle;
+
+/// Pacing policy for log-block merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcPacing {
+    /// Longest foreground stall one merge may impose. A merge finishing
+    /// later than `started + stall_budget` is a deadline miss and blocks
+    /// only up to the deadline.
+    pub stall_budget: Cycle,
+    /// How many foreground events one merge may stall before the runner
+    /// releases the victim app early (0 = never stall).
+    pub credit_writes: u64,
+}
+
+impl GcPacing {
+    /// The blocking deadline for a merge that started at `started`.
+    pub fn deadline(&self, started: Cycle) -> Cycle {
+        started + self.stall_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_is_start_plus_budget() {
+        let p = GcPacing {
+            stall_budget: Cycle(10_000),
+            credit_writes: 4,
+        };
+        assert_eq!(p.deadline(Cycle(500)), Cycle(10_500));
+    }
+}

@@ -45,8 +45,13 @@ pub struct GcReport {
     pub group: u64,
     /// When the GC started.
     pub started: Cycle,
-    /// When the merge finished (victim app unblocked).
+    /// When the merge finished on the media.
     pub done: Cycle,
+    /// How long the victim app is actually blocked. Equal to `done`
+    /// without GC pacing; with pacing it is capped at the blocking
+    /// deadline (`started + stall_budget`), and a capped merge counts as
+    /// a deadline miss.
+    pub blocking_done: Cycle,
     /// Pages migrated (reads+programs on the GC thread).
     pub migrated_pages: u64,
     /// Blocks erased (data blocks + the log block).
@@ -92,6 +97,13 @@ pub struct ZngFtl {
     blocks_retired: u64,
     /// Writes re-driven into a new log slot after a program failure.
     write_redrives: u64,
+    /// GC pacing policy; `None` (the default) blocks the victim for the
+    /// whole merge, preserving baseline behaviour bit-for-bit.
+    pacing: Option<crate::pacing::GcPacing>,
+    /// Merges whose media completion overran the blocking deadline.
+    gc_deadline_misses: u64,
+    /// Merges that ran with pacing enabled.
+    paced_gcs: u64,
 }
 
 impl ZngFtl {
@@ -139,7 +151,32 @@ impl ZngFtl {
             gc_events: Vec::new(),
             blocks_retired: 0,
             write_redrives: 0,
+            pacing: None,
+            gc_deadline_misses: 0,
+            paced_gcs: 0,
         }
+    }
+
+    /// Installs (or clears) the GC pacing policy. With pacing, every
+    /// merge's [`GcReport::blocking_done`] is capped at the blocking
+    /// deadline and overruns are counted as deadline misses.
+    pub fn set_gc_pacing(&mut self, pacing: Option<crate::pacing::GcPacing>) {
+        self.pacing = pacing;
+    }
+
+    /// The installed pacing policy, if any.
+    pub fn gc_pacing(&self) -> Option<crate::pacing::GcPacing> {
+        self.pacing
+    }
+
+    /// Merges whose media completion overran the blocking deadline.
+    pub fn gc_deadline_misses(&self) -> u64 {
+        self.gc_deadline_misses
+    }
+
+    /// Merges that ran with pacing enabled.
+    pub fn paced_gcs(&self) -> u64 {
+        self.paced_gcs
     }
 
     /// Data blocks sharing one log block.
@@ -215,7 +252,11 @@ impl ZngFtl {
     ///
     /// # Errors
     ///
-    /// Propagates allocation and flash-protocol errors.
+    /// Propagates allocation and flash-protocol errors. Under a bounded
+    /// queue configuration a saturated channel controller rejects the
+    /// read with [`Error::Backpressure`] before touching the media;
+    /// register-served reads bypass admission (they never reach the
+    /// channel's request queue).
     pub fn read(
         &mut self,
         now: Cycle,
@@ -235,23 +276,34 @@ impl ZngFtl {
             }
         }
         let (addr, cam) = self.resolve(device, vpn)?;
-        device.read(now + cam, addr, vpn, transfer_bytes)
+        device.try_admit(now, addr.block.channel)?;
+        let done = device.read(now + cam, addr, vpn, transfer_bytes)?;
+        device.note_inflight(addr.block.channel, done);
+        Ok(done)
     }
 
     /// Writes one 128 B sector of `vpn`.
     ///
     /// # Errors
     ///
-    /// Propagates allocation and flash-protocol errors.
+    /// Propagates allocation and flash-protocol errors. Under a bounded
+    /// queue configuration a saturated log-home channel rejects the write
+    /// with [`Error::Backpressure`] before any state changes, so a
+    /// rejected write can simply be retried later. GC traffic triggered
+    /// by an admitted write bypasses admission (reclamation must always
+    /// make progress).
     pub fn write(&mut self, now: Cycle, device: &mut FlashDevice, vpn: u64) -> Result<WriteResult> {
         let vbn = self.vbn_of(vpn);
         self.ensure_data_block(device, vbn)?;
         let group = self.group_of(vpn);
         let log_addr = self.ensure_log_block(device, group)?;
-        match self.mode {
+        device.try_admit(now, log_addr.channel)?;
+        let r = match self.mode {
             WriteMode::Direct => self.write_direct(now, device, vpn, group),
             WriteMode::Buffered => self.write_buffered(now, device, vpn, group, log_addr),
-        }
+        }?;
+        device.note_inflight(log_addr.channel, r.done);
+        Ok(r)
     }
 
     /// ZnG-base path: fetch the current page, merge, program a log page.
@@ -402,6 +454,7 @@ impl ZngFtl {
                     group,
                     started: now,
                     done: now,
+                    blocking_done: now,
                     migrated_pages: 0,
                     erased_blocks: 0,
                     flushed_vpns: Vec::new(),
@@ -498,10 +551,22 @@ impl ZngFtl {
 
         self.migrated += migrated;
         self.gc_events.push((now, done));
+        let blocking_done = match self.pacing {
+            Some(p) => {
+                self.paced_gcs += 1;
+                let deadline = p.deadline(now);
+                if done > deadline {
+                    self.gc_deadline_misses += 1;
+                }
+                done.min(deadline)
+            }
+            None => done,
+        };
         Ok(GcReport {
             group,
             started: now,
             done,
+            blocking_done,
             migrated_pages: migrated,
             erased_blocks: erased,
             flushed_vpns: flushed,

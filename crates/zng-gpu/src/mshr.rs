@@ -30,6 +30,9 @@ pub struct Mshr {
     entries: HashMap<u64, Cycle>,
     merges: u64,
     registrations: u64,
+    /// Structural-hazard stalls observed through the bounded API
+    /// ([`Mshr::full_until`] / [`Mshr::try_register`]).
+    full_stalls: u64,
 }
 
 impl Mshr {
@@ -45,6 +48,7 @@ impl Mshr {
             entries: HashMap::new(),
             merges: 0,
             registrations: 0,
+            full_stalls: 0,
         }
     }
 
@@ -83,6 +87,33 @@ impl Mshr {
             }
         }
         self.entries.insert(key, done);
+    }
+
+    /// Bounded-mode structural-hazard check: if the file has no free
+    /// entry at `now` (after pruning landed fills), returns the earliest
+    /// cycle at which one frees up — the caller backs off and retries
+    /// instead of displacing an in-flight fill. Returns `None` when an
+    /// entry (or a mergeable fill for `key`) is available.
+    ///
+    /// Each `Some` result counts one MSHR-full stall.
+    pub fn full_until(&mut self, now: Cycle, key: u64) -> Option<Cycle> {
+        self.entries.retain(|_, &mut done| done > now);
+        if self.entries.len() < self.capacity || self.entries.contains_key(&key) {
+            return None;
+        }
+        self.full_stalls += 1;
+        let earliest = self
+            .entries
+            .values()
+            .copied()
+            .min()
+            .expect("a full MSHR file has entries");
+        Some(earliest.max(now + Cycle(1)))
+    }
+
+    /// MSHR-full stalls observed through [`Mshr::full_until`].
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
     }
 
     /// Drops any record for `key` (e.g. the line was invalidated).
@@ -166,6 +197,20 @@ mod tests {
         assert_eq!(m.clear(), 2);
         assert!(m.is_empty());
         assert_eq!(m.inflight(Cycle(0), 1), None);
+    }
+
+    #[test]
+    fn full_until_reports_earliest_free_slot() {
+        let mut m = Mshr::new(2);
+        m.register(1, Cycle(100));
+        m.register(2, Cycle(200));
+        assert_eq!(m.full_until(Cycle(0), 3), Some(Cycle(100)));
+        assert_eq!(m.full_stalls(), 1);
+        // A mergeable key is never a structural hazard.
+        assert_eq!(m.full_until(Cycle(0), 1), None);
+        // Once the earliest fill lands, space exists again.
+        assert_eq!(m.full_until(Cycle(100), 3), None);
+        assert_eq!(m.full_stalls(), 1);
     }
 
     #[test]

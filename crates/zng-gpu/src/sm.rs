@@ -84,6 +84,11 @@ impl Sm {
     }
 
     /// The SM's MSHR file (merged misses).
+    pub fn mshr(&self) -> &Mshr {
+        &self.mshr
+    }
+
+    /// Mutable access to the SM's MSHR file.
     pub fn mshr_mut(&mut self) -> &mut Mshr {
         &mut self.mshr
     }

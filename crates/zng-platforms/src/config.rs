@@ -4,6 +4,8 @@ use zng_flash::{FaultConfig, FlashGeometry, RegisterTopology};
 use zng_gpu::{GpuConfig, PrefetchPolicy};
 use zng_types::Result;
 
+use crate::qos::QosConfig;
+
 /// Which GPU-SSD platform to simulate (paper §V-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformKind {
@@ -111,6 +113,11 @@ pub struct SimConfig {
     /// out-of-band scan, and the run resumes. `None` (default) never
     /// crashes and leaves results byte-identical to a crash-free build.
     pub crash_at: Option<u64>,
+    /// Overload-control and QoS policy (bounded queues, backpressure
+    /// retries, GC pacing, fair-share isolation). The default
+    /// ([`QosConfig::unbounded`]) disables every mechanism and keeps
+    /// output byte-identical to the unbounded simulator.
+    pub qos: QosConfig,
 }
 
 impl SimConfig {
@@ -149,6 +156,7 @@ impl SimConfig {
             free_gc: false,
             fault: FaultConfig::none(),
             crash_at: None,
+            qos: QosConfig::unbounded(),
         }
     }
 
@@ -170,6 +178,7 @@ impl SimConfig {
     pub fn validate(&self) -> Result<()> {
         self.gpu.validate()?;
         self.flash.validate()?;
+        self.qos.validate()?;
         Ok(())
     }
 }

@@ -18,9 +18,11 @@
 pub mod backend;
 pub mod config;
 pub mod metrics;
+pub mod qos;
 pub mod runner;
 
 pub use backend::Backend;
 pub use config::{PlatformKind, SimConfig};
 pub use metrics::{CrashRecoverySummary, RunResult};
+pub use qos::{FairShare, QosConfig, QosSummary, MAX_QOS_APPS};
 pub use runner::Simulation;

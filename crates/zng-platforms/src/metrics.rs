@@ -6,6 +6,7 @@ use zng_json::Value;
 use zng_types::Cycle;
 
 use crate::config::PlatformKind;
+use crate::qos::QosSummary;
 
 /// What a mid-run power cut and recovery looked like (`--crash-at`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +67,10 @@ pub struct RunResult {
     pub avg_read_latency: f64,
     /// Mean write-request completion latency in cycles.
     pub avg_write_latency: f64,
+    /// Per-app mean read latency in cycles (QoS isolation accounting).
+    pub per_app_read_latency: BTreeMap<u16, f64>,
+    /// Per-app mean write latency in cycles.
+    pub per_app_write_latency: BTreeMap<u16, f64>,
     /// Per-app instructions (Fig. 17a per-app performance).
     pub per_app_instructions: BTreeMap<u16, u64>,
     /// Per-app completion time (when the app's last warp retired).
@@ -95,6 +100,11 @@ pub struct RunResult {
     /// recovery scan that followed. `None` runs emit byte-identical
     /// output to builds without the crash machinery.
     pub crash_recovery: Option<CrashRecoverySummary>,
+    /// Present only when a non-default (bounded) QoS policy ran:
+    /// rejection/retry/pacing/fairness counters and exact latency
+    /// percentiles. `None` runs emit byte-identical output to builds
+    /// without the overload-control machinery.
+    pub qos: Option<QosSummary>,
 }
 
 impl RunResult {
@@ -196,6 +206,44 @@ impl RunResult {
                 ),
             ),
         ];
+        if let Some(q) = &self.qos {
+            fields.push(("qos_rejected", Value::from(q.rejected)));
+            fields.push(("qos_retried", Value::from(q.retried)));
+            fields.push((
+                "qos_retry_budget_exhausted",
+                Value::from(q.retry_budget_exhausted),
+            ));
+            fields.push(("qos_mshr_stalls", Value::from(q.mshr_stalls)));
+            fields.push((
+                "qos_pinned_overflow_stalls",
+                Value::from(q.pinned_overflow_stalls),
+            ));
+            fields.push(("qos_gc_deadline_misses", Value::from(q.gc_deadline_misses)));
+            fields.push(("qos_paced_gcs", Value::from(q.paced_gcs)));
+            fields.push((
+                "qos_gc_credit_exhausted",
+                Value::from(q.gc_credit_exhausted),
+            ));
+            fields.push(("qos_fairness_throttles", Value::from(q.fairness_throttles)));
+            fields.push(("qos_max_service_lag", Value::from(q.max_service_lag)));
+            fields.push((
+                "qos_max_queue_occupancy",
+                Value::from(q.max_queue_occupancy),
+            ));
+            fields.push(("qos_read_p50", Value::from(q.read_p50)));
+            fields.push(("qos_read_p95", Value::from(q.read_p95)));
+            fields.push(("qos_read_p99", Value::from(q.read_p99)));
+            fields.push(("qos_write_p50", Value::from(q.write_p50)));
+            fields.push(("qos_write_p95", Value::from(q.write_p95)));
+            fields.push(("qos_write_p99", Value::from(q.write_p99)));
+            // Per-app latency breakdowns ride with the QoS summary so the
+            // default output stays byte-stable across versions.
+            fields.push(("per_app_read_latency", app_map(&self.per_app_read_latency)));
+            fields.push((
+                "per_app_write_latency",
+                app_map(&self.per_app_write_latency),
+            ));
+        }
         if let Some(cr) = &self.crash_recovery {
             fields.push(("crash_at_requests", Value::from(cr.at_requests)));
             fields.push(("crash_at_cycle", Value::from(cr.at_cycle.raw())));
@@ -233,6 +281,8 @@ mod tests {
             redirected_writes: 7,
             avg_read_latency: 500.0,
             avg_write_latency: 900.0,
+            per_app_read_latency: [(0, 450.0), (1, 580.0)].into(),
+            per_app_write_latency: [(0, 850.0), (1, 990.0)].into(),
             per_app_instructions: [(0, 400_000), (1, 200_000)].into(),
             per_app_cycles: [(0, Cycle(1_200_000)), (1, Cycle(1_200_000))].into(),
             per_app_requests: [(0, 6_000), (1, 4_000)].into(),
@@ -246,6 +296,7 @@ mod tests {
             blocks_retired: 1,
             write_redrives: 2,
             crash_recovery: None,
+            qos: None,
         }
     }
 
@@ -281,5 +332,25 @@ mod tests {
         assert!(crashed.contains("\"crash_at_requests\":100"));
         assert!(crashed.contains("\"crash_torn_discarded\":2"));
         assert!(crashed.contains("\"crash_scan_cycles\":28800"));
+    }
+
+    #[test]
+    fn qos_keys_only_when_a_bounded_policy_ran() {
+        let mut r = result();
+        let clean = r.to_json_value().to_string();
+        assert!(!clean.contains("qos_"), "no QoS keys in a default run");
+        assert!(!clean.contains("per_app_read_latency"));
+        r.qos = Some(QosSummary {
+            rejected: 12,
+            retried: 9,
+            read_p99: 7_777,
+            ..QosSummary::default()
+        });
+        let bounded = r.to_json_value().to_string();
+        assert!(bounded.contains("\"qos_rejected\":12"));
+        assert!(bounded.contains("\"qos_retried\":9"));
+        assert!(bounded.contains("\"qos_read_p99\":7777"));
+        assert!(bounded.contains("\"per_app_read_latency\""));
+        assert!(bounded.contains("\"per_app_write_latency\""));
     }
 }

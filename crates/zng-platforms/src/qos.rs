@@ -1,0 +1,382 @@
+//! Overload control and per-app QoS isolation.
+//!
+//! Every shared resource in the simulator is an infinite queue by
+//! default: under a GC storm requests accumulate unbounded wait time and
+//! one write-heavy app can starve its co-runner. [`QosConfig`] turns on
+//! the overload story end to end — finite channel/module queues
+//! ([`zng_flash::FlashDevice::set_queue_depth`]), bounded-backoff retries
+//! at the warp scheduler, GC pacing credits ([`zng_ftl::GcPacing`]) and a
+//! deterministic weighted fair-share gate ([`FairShare`]).
+//!
+//! The default configuration ([`QosConfig::unbounded`]) disables every
+//! mechanism and is bit-identical to the pre-QoS simulator.
+
+use std::collections::BTreeMap;
+
+use zng_types::{ids::AppId, Cycle, Error, Result};
+
+/// Number of per-app fair-share weight slots (app ids 0..8). Multi-app
+/// mixes in the paper run at most four co-runners.
+pub const MAX_QOS_APPS: usize = 8;
+
+/// Overload-control policy, plumbed `SimConfig` → `Backend` → runner.
+///
+/// `QosConfig::default()` is [`QosConfig::unbounded`]: every bound off,
+/// behaviour (and output) byte-identical to the unbounded simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosConfig {
+    /// In-flight bound for each flash channel controller, the SSD-module
+    /// dispatcher and the flash network's injection links. `None` =
+    /// infinite queues (no admission control anywhere).
+    pub queue_depth: Option<usize>,
+    /// How many backoff retries a rejected request may perform before the
+    /// runner falls back to waiting for the rejecting queue's hinted
+    /// `retry_at` (which is guaranteed to admit in the sequential model).
+    pub retry_budget: u32,
+    /// First backoff delay; doubles every retry (exponential backoff).
+    pub backoff_base: Cycle,
+    /// Ceiling on a single backoff delay.
+    pub backoff_cap: Cycle,
+    /// GC pacing: longest foreground stall one log-block merge may
+    /// impose. `None` = block the victim for the whole merge.
+    pub gc_stall_budget: Option<Cycle>,
+    /// GC pacing credit: foreground events one merge may stall before
+    /// the victim app is released early. Ignored without a stall budget.
+    pub gc_credit_writes: u64,
+    /// Per-app fair-share weights (index = app id; higher = more service
+    /// per fairness window). Apps beyond [`MAX_QOS_APPS`] weigh 1.
+    pub fair_weights: [u32; MAX_QOS_APPS],
+    /// Fairness window: how far (in weighted serviced requests) one app
+    /// may run ahead of the furthest-behind active app before the warp
+    /// scheduler throttles it. 0 disables the fairness gate.
+    pub fair_window: u64,
+}
+
+impl QosConfig {
+    /// The default policy: everything unbounded, nothing tracked —
+    /// byte-identical to the simulator without overload control.
+    pub fn unbounded() -> QosConfig {
+        QosConfig {
+            queue_depth: None,
+            retry_budget: 8,
+            backoff_base: Cycle(64),
+            backoff_cap: Cycle(4096),
+            gc_stall_budget: None,
+            gc_credit_writes: 0,
+            fair_weights: [1; MAX_QOS_APPS],
+            fair_window: 0,
+        }
+    }
+
+    /// A sensible bounded policy: finite queues of `depth`, an 8-retry
+    /// exponential backoff, a 64 K-cycle GC stall budget with 32 credit
+    /// writes, and a 256-request fairness window with equal weights.
+    pub fn bounded(depth: usize) -> QosConfig {
+        QosConfig {
+            queue_depth: Some(depth),
+            gc_stall_budget: Some(Cycle(65_536)),
+            gc_credit_writes: 32,
+            fair_window: 256,
+            ..QosConfig::unbounded()
+        }
+    }
+
+    /// Whether every overload-control mechanism is off (the byte-identical
+    /// default).
+    pub fn is_unbounded(&self) -> bool {
+        self.queue_depth.is_none() && self.gc_stall_budget.is_none() && self.fair_window == 0
+    }
+
+    /// The backoff delay before retry number `attempt` (0-based):
+    /// `backoff_base * 2^attempt`, saturating at `backoff_cap`.
+    pub fn backoff_delay(&self, attempt: u32) -> Cycle {
+        let raw = self
+            .backoff_base
+            .raw()
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        Cycle(raw.min(self.backoff_cap.raw()))
+    }
+
+    /// The fair-share weight of `app` (1 beyond the weight table).
+    pub fn weight_for(&self, app: AppId) -> u32 {
+        self.fair_weights
+            .get(app.index())
+            .copied()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero backoff base (retries would never advance time) and
+    /// a cap below the base.
+    pub fn validate(&self) -> Result<()> {
+        if self.backoff_base == Cycle::ZERO {
+            return Err(Error::invalid_config(
+                "qos.backoff_base",
+                "must be positive or retries cannot advance time",
+            ));
+        }
+        if self.backoff_cap < self.backoff_base {
+            return Err(Error::invalid_config(
+                "qos.backoff_cap",
+                "must be at least the backoff base",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for QosConfig {
+    fn default() -> QosConfig {
+        QosConfig::unbounded()
+    }
+}
+
+/// Deterministic weighted max-lag fairness tracker.
+///
+/// Each serviced request credits its app with `1 / weight` of weighted
+/// progress (kept in integer arithmetic as `count * LCM-free` — we store
+/// raw counts and compare `count_a * w_b` against `count_b * w_a` scaled,
+/// avoiding floats for bit-determinism). An app is throttled when its
+/// weighted progress exceeds the furthest-behind *active* app's by more
+/// than the window, which bounds the service lag any app can accumulate
+/// (starvation freedom).
+#[derive(Debug, Clone, Default)]
+pub struct FairShare {
+    /// Requests serviced per app.
+    served: BTreeMap<u16, u64>,
+    /// Apps that still have unfinished warps.
+    active: BTreeMap<u16, u64>,
+    /// Throttle decisions taken.
+    throttles: u64,
+    /// Largest weighted lead observed between any two active apps.
+    max_lag: u64,
+}
+
+impl FairShare {
+    /// Creates a tracker with `warps_per_app` unfinished warps per app.
+    pub fn new(warps_per_app: &BTreeMap<u16, u64>) -> FairShare {
+        FairShare {
+            served: warps_per_app.keys().map(|&a| (a, 0)).collect(),
+            active: warps_per_app.clone(),
+            throttles: 0,
+            max_lag: 0,
+        }
+    }
+
+    /// Credits one serviced request to `app`.
+    pub fn record(&mut self, app: u16) {
+        *self.served.entry(app).or_insert(0) += 1;
+    }
+
+    /// Marks one of `app`'s warps as finished; an app with no unfinished
+    /// warps no longer participates in fairness comparisons.
+    pub fn warp_done(&mut self, app: u16) {
+        if let Some(n) = self.active.get_mut(&app) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.active.remove(&app);
+            }
+        }
+    }
+
+    /// Whether `app` should be throttled at this point: its weighted
+    /// progress leads the furthest-behind active app by more than
+    /// `window`. Weighted progress of app `a` is `served[a] / weight[a]`,
+    /// compared in integer arithmetic. Counts a throttle when true.
+    pub fn should_throttle(&mut self, app: u16, cfg: &QosConfig, window: u64) -> bool {
+        if self.active.len() < 2 || !self.active.contains_key(&app) {
+            return false;
+        }
+        let my_served = self.served.get(&app).copied().unwrap_or(0);
+        let my_w = cfg.weight_for(AppId(app)) as u64;
+        // The furthest-behind active competitor's weighted progress.
+        let mut behind: Option<(u64, u64)> = None; // (served, weight)
+        for (&other, _) in self.active.iter() {
+            if other == app {
+                continue;
+            }
+            let s = self.served.get(&other).copied().unwrap_or(0);
+            let w = cfg.weight_for(AppId(other)) as u64;
+            let is_behind = match behind {
+                None => true,
+                // s/w < bs/bw  <=>  s*bw < bs*w
+                Some((bs, bw)) => s * bw < bs * w,
+            };
+            if is_behind {
+                behind = Some((s, w));
+            }
+        }
+        let Some((bs, bw)) = behind else { return false };
+        // lead = my_served/my_w - bs/bw, in whole requests of my weight:
+        // throttle when my_served * bw > (bs + window * bw) * my_w
+        // i.e. my weighted progress exceeds theirs by more than `window`
+        // weighted requests.
+        let lead_lhs = my_served.saturating_mul(bw);
+        let lead_rhs = bs.saturating_mul(my_w) + window.saturating_mul(my_w).saturating_mul(bw);
+        let lag = lead_lhs.saturating_sub(bs.saturating_mul(my_w)) / (my_w * bw).max(1);
+        self.max_lag = self.max_lag.max(lag);
+        if lead_lhs > lead_rhs {
+            self.throttles += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Throttle decisions taken so far.
+    pub fn throttles(&self) -> u64 {
+        self.throttles
+    }
+
+    /// Largest weighted service lead observed between the throttle
+    /// candidate and the furthest-behind active app.
+    pub fn max_lag(&self) -> u64 {
+        self.max_lag
+    }
+
+    /// Requests serviced per app.
+    pub fn served(&self) -> &BTreeMap<u16, u64> {
+        &self.served
+    }
+}
+
+/// Aggregated overload-control observations for one run. Present in
+/// `RunResult` only when a non-default (bounded) [`QosConfig`] ran, so
+/// default output stays byte-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QosSummary {
+    /// Admissions refused across flash channels, network links and the
+    /// SSD-module dispatcher.
+    pub rejected: u64,
+    /// Backoff retries the runner performed after rejections.
+    pub retried: u64,
+    /// Requests whose retry budget ran out (they then waited for the
+    /// queue's hinted `retry_at` instead of backing off again).
+    pub retry_budget_exhausted: u64,
+    /// MSHR-full structural hazards resolved by bounded backoff.
+    pub mshr_stalls: u64,
+    /// Pinned-L2 overflow events degraded gracefully to register writes.
+    pub pinned_overflow_stalls: u64,
+    /// Log-block merges that overran their blocking deadline.
+    pub gc_deadline_misses: u64,
+    /// Log-block merges that ran under pacing.
+    pub paced_gcs: u64,
+    /// Merges whose stall credit ran out, releasing the victim app early.
+    pub gc_credit_exhausted: u64,
+    /// Warp-issue throttles taken by the fairness gate.
+    pub fairness_throttles: u64,
+    /// Largest weighted service lead observed between apps.
+    pub max_service_lag: u64,
+    /// Largest in-flight population admitted to any bounded queue.
+    pub max_queue_occupancy: u64,
+    /// Exact read-latency percentiles (cycles) across all sectors.
+    pub read_p50: u64,
+    /// 95th percentile read latency (cycles).
+    pub read_p95: u64,
+    /// 99th percentile read latency (cycles).
+    pub read_p99: u64,
+    /// Exact write-latency percentiles (cycles) across all sectors.
+    pub write_p50: u64,
+    /// 95th percentile write latency (cycles).
+    pub write_p95: u64,
+    /// 99th percentile write latency (cycles).
+    pub write_p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unbounded_and_valid() {
+        let q = QosConfig::default();
+        assert!(q.is_unbounded());
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn bounded_preset_turns_everything_on() {
+        let q = QosConfig::bounded(16);
+        assert!(!q.is_unbounded());
+        assert_eq!(q.queue_depth, Some(16));
+        assert!(q.gc_stall_budget.is_some());
+        assert!(q.fair_window > 0);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let q = QosConfig::unbounded();
+        assert_eq!(q.backoff_delay(0), Cycle(64));
+        assert_eq!(q.backoff_delay(1), Cycle(128));
+        assert_eq!(q.backoff_delay(3), Cycle(512));
+        assert_eq!(q.backoff_delay(10), Cycle(4096), "capped");
+        assert_eq!(q.backoff_delay(200), Cycle(4096), "shift overflow capped");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_backoff() {
+        let mut q = QosConfig::unbounded();
+        q.backoff_base = Cycle::ZERO;
+        assert!(q.validate().is_err());
+        let mut q = QosConfig::unbounded();
+        q.backoff_cap = Cycle(1);
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn fair_share_throttles_the_leader_only() {
+        let cfg = QosConfig::bounded(8);
+        let warps: BTreeMap<u16, u64> = [(0, 4), (1, 4)].into_iter().collect();
+        let mut f = FairShare::new(&warps);
+        for _ in 0..300 {
+            f.record(0);
+        }
+        f.record(1);
+        assert!(f.should_throttle(0, &cfg, 256), "app 0 leads by > window");
+        assert!(
+            !f.should_throttle(1, &cfg, 256),
+            "the laggard never throttles"
+        );
+        assert_eq!(f.throttles(), 1);
+        assert!(f.max_lag() >= 256);
+    }
+
+    #[test]
+    fn fair_share_ignores_finished_apps() {
+        let cfg = QosConfig::bounded(8);
+        let warps: BTreeMap<u16, u64> = [(0, 1), (1, 1)].into_iter().collect();
+        let mut f = FairShare::new(&warps);
+        for _ in 0..1000 {
+            f.record(0);
+        }
+        // App 1 finished: no active competitor, no throttling.
+        f.warp_done(1);
+        assert!(!f.should_throttle(0, &cfg, 256));
+    }
+
+    #[test]
+    fn fair_share_respects_weights() {
+        let mut cfg = QosConfig::bounded(8);
+        cfg.fair_weights[0] = 4; // app 0 is entitled to 4x service
+        let warps: BTreeMap<u16, u64> = [(0, 4), (1, 4)].into_iter().collect();
+        let mut f = FairShare::new(&warps);
+        for _ in 0..900 {
+            f.record(0);
+        }
+        for _ in 0..100 {
+            f.record(1);
+        }
+        // Weighted progress: 900/4 = 225 vs 100/1 = 100; lead 125 < 256.
+        assert!(!f.should_throttle(0, &cfg, 256));
+        for _ in 0..700 {
+            f.record(0);
+        }
+        // 1600/4 = 400 vs 100: lead 300 > 256.
+        assert!(f.should_throttle(0, &cfg, 256));
+    }
+}

@@ -15,16 +15,17 @@ use zng_gpu::{
     AccessMonitor, GpuConfig, Interconnect, L2Cache, L2Technology, Mmu, Mshr, Predictor,
     PrefetchPolicy, Sm, Warp, WarpOp,
 };
-use zng_sim::{CrashSwitch, EventQueue, TimeSeries};
+use zng_sim::{CrashSwitch, EventQueue, Percentiles, TimeSeries};
 use zng_types::{
     ids::{AppId, Pc, SmId, WarpId},
-    AccessKind, Cycle, Freq, Result,
+    AccessKind, Cycle, Error, Freq, Result,
 };
 use zng_workloads::MultiApp;
 
-use crate::backend::Backend;
+use crate::backend::{Backend, BackendWrite};
 use crate::config::{PlatformKind, SimConfig};
 use crate::metrics::{CrashRecoverySummary, RunResult};
+use crate::qos::{FairShare, QosConfig, QosSummary};
 
 /// Time-series bucket width for Fig. 17b (10 µs at 1.2 GHz).
 const SERIES_INTERVAL: Cycle = Cycle(12_000);
@@ -60,6 +61,22 @@ pub struct Simulation {
     gc_reports: Vec<GcReport>,
     crash_switch: CrashSwitch,
     crash_summary: Option<CrashRecoverySummary>,
+    /// Overload-control policy. [`QosConfig::unbounded`] (the default)
+    /// makes every QoS hook below a no-op.
+    qos: QosConfig,
+    /// Backoff retries performed after [`Error::Backpressure`] rejections.
+    qos_retried: u64,
+    /// Requests whose backoff budget ran out (they then waited for the
+    /// rejecting queue's hinted `retry_at`, which is guaranteed to admit
+    /// in the sequential model).
+    qos_budget_exhausted: u64,
+    /// Redirected writes that found the pinned-L2 region full and
+    /// degraded gracefully to the register path.
+    pinned_overflow_stalls: u64,
+    /// Paced GCs whose stall credit ran out, releasing the victim early.
+    gc_credit_exhausted: u64,
+    /// Remaining foreground-stall credit per victim app (GC pacing).
+    gc_credits: HashMap<u16, u64>,
 }
 
 impl Simulation {
@@ -113,6 +130,12 @@ impl Simulation {
                 .map(CrashSwitch::at_ops)
                 .unwrap_or_else(CrashSwitch::disarmed),
             crash_summary: None,
+            qos: cfg.qos,
+            qos_retried: 0,
+            qos_budget_exhausted: 0,
+            pinned_overflow_stalls: 0,
+            gc_credit_exhausted: 0,
+            gc_credits: HashMap::new(),
         })
     }
 
@@ -141,10 +164,29 @@ impl Simulation {
             queue.schedule(Cycle::ZERO, i);
         }
 
+        // Fairness gate: only built when a fairness window is configured;
+        // `None` keeps the scheduling loop bit-identical to the
+        // pre-QoS runner.
+        let mut fair = if self.qos.fair_window > 0 {
+            let mut warps_per_app: BTreeMap<u16, u64> = BTreeMap::new();
+            for w in &warps {
+                *warps_per_app.entry(w.app().raw()).or_insert(0) += 1;
+            }
+            Some(FairShare::new(&warps_per_app))
+        } else {
+            None
+        };
+        // Exact latency percentiles store every sample; only pay for
+        // them when a bounded QoS policy will report them.
+        let mut read_pct = (!self.qos.is_unbounded()).then(Percentiles::new);
+        let mut write_pct = (!self.qos.is_unbounded()).then(Percentiles::new);
+
         let mut last_cycle = Cycle::ZERO;
         let mut requests: u64 = 0;
         let (mut read_lat_sum, mut read_lat_n) = (0u64, 0u64);
         let (mut write_lat_sum, mut write_lat_n) = (0u64, 0u64);
+        let mut per_app_read_lat: BTreeMap<u16, (u64, u64)> = BTreeMap::new();
+        let mut per_app_write_lat: BTreeMap<u16, (u64, u64)> = BTreeMap::new();
         let mut per_app_requests: BTreeMap<u16, u64> = BTreeMap::new();
         let mut series: BTreeMap<u16, TimeSeries> = BTreeMap::new();
         for (_, app, _) in &mix.apps {
@@ -192,7 +234,38 @@ impl Simulation {
             // resources causally reserved.
             if let Some(&until) = self.app_blocked_until.get(&app.raw()) {
                 if until > now && matches!(warps[idx].current_op(), Some(WarpOp::Mem { .. })) {
-                    queue.schedule(until, idx);
+                    // GC pacing credit: every stalled foreground event
+                    // burns one of the merge's credits; when they run out
+                    // the victim is released early rather than waiting
+                    // for the whole merge (crash-resume blocking carries
+                    // no credit entry and always waits in full).
+                    match self.gc_credits.get_mut(&app.raw()) {
+                        Some(credit) if *credit == 0 => {
+                            self.app_blocked_until.remove(&app.raw());
+                            self.gc_credits.remove(&app.raw());
+                            self.gc_credit_exhausted += 1;
+                        }
+                        Some(credit) => {
+                            *credit -= 1;
+                            queue.schedule(until, idx);
+                            continue;
+                        }
+                        None => {
+                            queue.schedule(until, idx);
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Fair-share gate: a memory op from an app that has run more
+            // than a window ahead of the furthest-behind active app is
+            // deferred one backoff quantum, bounding any app's service
+            // lag (starvation freedom).
+            if let Some(f) = fair.as_mut() {
+                if matches!(warps[idx].current_op(), Some(WarpOp::Mem { .. }))
+                    && f.should_throttle(app.raw(), &self.qos, self.qos.fair_window)
+                {
+                    queue.schedule(now + self.qos.backoff_base, idx);
                     continue;
                 }
             }
@@ -202,6 +275,11 @@ impl Simulation {
                 WarpOp::Compute(n) => {
                     let t = self.sms[sm_idx].issue(now, n);
                     warps[idx].retire_op();
+                    if warps[idx].is_done() {
+                        if let Some(f) = fair.as_mut() {
+                            f.warp_done(app.raw());
+                        }
+                    }
                     warps[idx].ready_at = t;
                     last_cycle = last_cycle.max(t);
                     queue.schedule(t, idx);
@@ -217,15 +295,31 @@ impl Simulation {
                     let mut done = t_issue;
                     for sector in pattern.sectors(base.raw()) {
                         let t = self.service(t_issue, sm_idx, sector, kind, app, pc, warp_id)?;
+                        let lat = t.saturating_since(t_issue).raw();
                         match kind {
                             AccessKind::Read => {
-                                read_lat_sum += t.saturating_since(t_issue).raw();
+                                read_lat_sum += lat;
                                 read_lat_n += 1;
+                                let e = per_app_read_lat.entry(app.raw()).or_insert((0, 0));
+                                e.0 += lat;
+                                e.1 += 1;
+                                if let Some(p) = read_pct.as_mut() {
+                                    p.record(lat);
+                                }
                             }
                             AccessKind::Write => {
-                                write_lat_sum += t.saturating_since(t_issue).raw();
+                                write_lat_sum += lat;
                                 write_lat_n += 1;
+                                let e = per_app_write_lat.entry(app.raw()).or_insert((0, 0));
+                                e.0 += lat;
+                                e.1 += 1;
+                                if let Some(p) = write_pct.as_mut() {
+                                    p.record(lat);
+                                }
                             }
+                        }
+                        if let Some(f) = fair.as_mut() {
+                            f.record(app.raw());
                         }
                         done = done.max(t);
                         requests += 1;
@@ -235,6 +329,11 @@ impl Simulation {
                         }
                     }
                     warps[idx].retire_op();
+                    if warps[idx].is_done() {
+                        if let Some(f) = fair.as_mut() {
+                            f.warp_done(app.raw());
+                        }
+                    }
                     warps[idx].ready_at = done;
                     last_cycle = last_cycle.max(done);
                     queue.schedule(done, idx);
@@ -276,6 +375,32 @@ impl Simulation {
             .map(|f| f.gc_events().to_vec())
             .unwrap_or_default();
 
+        let mean = |m: &BTreeMap<u16, (u64, u64)>| -> BTreeMap<u16, f64> {
+            m.iter()
+                .map(|(&a, &(sum, n))| (a, sum as f64 / n.max(1) as f64))
+                .collect()
+        };
+        let qos = (!self.qos.is_unbounded()).then(|| QosSummary {
+            rejected: self.backend.qos_rejections(),
+            retried: self.qos_retried,
+            retry_budget_exhausted: self.qos_budget_exhausted,
+            mshr_stalls: self.sms.iter().map(|s| s.mshr().full_stalls()).sum::<u64>()
+                + self.page_mshr.full_stalls(),
+            pinned_overflow_stalls: self.pinned_overflow_stalls,
+            gc_deadline_misses: self.backend.gc_deadline_misses(),
+            paced_gcs: self.backend.paced_gcs(),
+            gc_credit_exhausted: self.gc_credit_exhausted,
+            fairness_throttles: fair.as_ref().map(FairShare::throttles).unwrap_or(0),
+            max_service_lag: fair.as_ref().map(FairShare::max_lag).unwrap_or(0),
+            max_queue_occupancy: self.backend.qos_max_occupancy(),
+            read_p50: read_pct.as_mut().map(|p| p.percentile(0.50)).unwrap_or(0),
+            read_p95: read_pct.as_mut().map(|p| p.percentile(0.95)).unwrap_or(0),
+            read_p99: read_pct.as_mut().map(|p| p.percentile(0.99)).unwrap_or(0),
+            write_p50: write_pct.as_mut().map(|p| p.percentile(0.50)).unwrap_or(0),
+            write_p95: write_pct.as_mut().map(|p| p.percentile(0.95)).unwrap_or(0),
+            write_p99: write_pct.as_mut().map(|p| p.percentile(0.99)).unwrap_or(0),
+        });
+
         Ok(RunResult {
             platform: self.kind,
             workload: mix.name.clone(),
@@ -300,6 +425,8 @@ impl Simulation {
             redirected_writes: self.redirected_writes,
             avg_read_latency: read_lat_sum as f64 / read_lat_n.max(1) as f64,
             avg_write_latency: write_lat_sum as f64 / write_lat_n.max(1) as f64,
+            per_app_read_latency: mean(&per_app_read_lat),
+            per_app_write_latency: mean(&per_app_write_lat),
             per_app_instructions,
             per_app_cycles,
             per_app_requests,
@@ -313,6 +440,7 @@ impl Simulation {
             blocks_retired: self.backend.blocks_retired(),
             write_redrives: self.backend.write_redrives(),
             crash_recovery: self.crash_summary.take(),
+            qos,
         })
     }
 
@@ -368,6 +496,18 @@ impl Simulation {
         if let Some(done) = self.sms[sm_idx].mshr_mut().inflight(t, sector) {
             return Ok(done);
         }
+        // Bounded mode: a full MSHR file is a structural hazard. Instead
+        // of displacing an in-flight fill (the unbounded approximation),
+        // the warp backs off until the earliest fill frees a slot — one
+        // bounded retry, surfaced as an `mshr_stalls` count.
+        let t = if self.qos.queue_depth.is_some() {
+            self.sms[sm_idx]
+                .mshr_mut()
+                .full_until(t, sector)
+                .unwrap_or(t)
+        } else {
+            t
+        };
         if self.kind.has_rdopt() {
             self.predictor.observe(pc, warp, vpn);
         }
@@ -385,7 +525,7 @@ impl Simulation {
         }
         // L2 miss: fetch from the backend.
         let (bytes, prefetch) = self.read_granule(pc);
-        let data_at = self.backend.read(acc.done, sector, vpn, bytes)?;
+        let data_at = self.backend_read(acc.done, sector, vpn, bytes)?;
         // Fill the demand line, plus the prefetch window from page base.
         let (ev, _) = self.l2.fill_line(data_at, sector, false, app);
         if let Some(e) = ev {
@@ -415,29 +555,42 @@ impl Simulation {
         // Write-through, no L1 allocation.
         let (_, t) = self.sms[sm_idx].l1_access(now, sector, true);
         let bank = self.l2.bank_of(sector);
-        let t = self.icnt.transfer(t, bank, 128);
+        let mut t = self.icnt.transfer(t, bank, 128);
 
         // Thrashing redirection (full ZnG): absorb the write in pinned L2.
-        if self.kind.has_redirection() && self.thrash_mode && self.pinned_dirty < REDIRECT_CAP {
-            self.write_probe += 1;
-            if !self.write_probe.is_multiple_of(REDIRECT_PROBE) {
-                let (ev, done) = self.l2.fill_line(t, sector, false, app);
-                if let Some(e) = ev {
-                    self.monitor.on_eviction(e.prefetch, e.accessed);
+        if self.kind.has_redirection() && self.thrash_mode {
+            if self.pinned_dirty < REDIRECT_CAP {
+                self.write_probe += 1;
+                if !self.write_probe.is_multiple_of(REDIRECT_PROBE) {
+                    let (ev, done) = self.l2.fill_line(t, sector, false, app);
+                    if let Some(e) = ev {
+                        self.monitor.on_eviction(e.prefetch, e.accessed);
+                    }
+                    if self.l2.pin_dirty(sector) {
+                        self.redirected_writes += 1;
+                        self.pinned_dirty += 1;
+                        return Ok(done);
+                    }
+                    // The set was fully pinned: fall through to the
+                    // registers, gracefully. Bounded mode pays (and
+                    // counts) one backoff quantum for the failed pin.
+                    if !self.qos.is_unbounded() {
+                        self.pinned_overflow_stalls += 1;
+                        t += self.qos.backoff_delay(0);
+                    }
                 }
-                if self.l2.pin_dirty(sector) {
-                    self.redirected_writes += 1;
-                    self.pinned_dirty += 1;
-                    return Ok(done);
-                }
-                // The set was fully pinned: fall through to the registers.
+            } else if !self.qos.is_unbounded() {
+                // The pinned region is at its cap: same graceful
+                // degradation to the register path.
+                self.pinned_overflow_stalls += 1;
+                t += self.qos.backoff_delay(0);
             }
         }
 
         // The L2 copy of this line is now stale.
         self.l2.invalidate(sector);
         self.sms[sm_idx].l1_invalidate(sector);
-        let w = self.backend.write(t, sector, vpn)?;
+        let w = self.backend_write(t, sector, vpn)?;
         self.thrash_mode = self.kind.has_redirection() && w.thrashing;
         if !w.thrashing && self.pinned_dirty > 0 {
             self.drain_pinned(w.done)?;
@@ -460,7 +613,7 @@ impl Simulation {
         let dirty = self.l2.unpin_up_to(DRAIN_CHUNK);
         self.pinned_dirty = self.pinned_dirty.saturating_sub(dirty.len() as u64);
         for line in dirty {
-            let w = self.backend.write(now, line, line >> 12)?;
+            let w = self.backend_write(now, line, line >> 12)?;
             if let Some(gc) = w.gc {
                 self.handle_gc(&gc);
                 self.gc_reports.push(gc);
@@ -469,9 +622,63 @@ impl Simulation {
         Ok(())
     }
 
+    /// Calls the backend read, absorbing [`Error::Backpressure`]: a
+    /// bounded exponential backoff (at most `retry_budget` re-issues),
+    /// then one forced wait at the rejecting queue's hinted `retry_at`,
+    /// which is guaranteed to admit in the sequential model. Unbounded
+    /// configurations never see a rejection, so this is a pass-through.
+    fn backend_read(&mut self, now: Cycle, sector: u64, vpn: u64, bytes: usize) -> Result<Cycle> {
+        let mut t = now;
+        let mut attempt = 0u32;
+        loop {
+            match self.backend.read(t, sector, vpn, bytes) {
+                Err(Error::Backpressure { retry_at }) => {
+                    t = self.next_retry_at(t, retry_at, &mut attempt);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Write-side twin of [`Simulation::backend_read`]. Rejections happen
+    /// before any FTL state changes, so a re-issue is idempotent.
+    fn backend_write(&mut self, now: Cycle, sector: u64, vpn: u64) -> Result<BackendWrite> {
+        let mut t = now;
+        let mut attempt = 0u32;
+        loop {
+            match self.backend.write(t, sector, vpn) {
+                Err(Error::Backpressure { retry_at }) => {
+                    t = self.next_retry_at(t, retry_at, &mut attempt);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// The shared backoff policy: exponential delays while the retry
+    /// budget lasts, then a single wait at the queue's hinted `retry_at`.
+    /// Time strictly advances on every path (the backoff base is
+    /// validated positive and `retry_at > t` by construction), so the
+    /// retry loops terminate.
+    fn next_retry_at(&mut self, t: Cycle, retry_at: Cycle, attempt: &mut u32) -> Cycle {
+        if *attempt < self.qos.retry_budget {
+            self.qos_retried += 1;
+            let delayed = t + self.qos.backoff_delay(*attempt);
+            *attempt += 1;
+            delayed
+        } else {
+            if *attempt == self.qos.retry_budget {
+                self.qos_budget_exhausted += 1;
+            }
+            *attempt += 1;
+            t.max(retry_at)
+        }
+    }
+
     /// Applies a GC report: block the victim app's requests until the
-    /// merge completes, flush the merged pages from the caches, and
-    /// invalidate their translations (paper §V-D).
+    /// merge's *blocking* horizon (the full merge, or its pacing deadline
+    /// when a stall budget is configured), flush the merged pages from
+    /// the caches, and invalidate their translations (paper §V-D).
     fn handle_gc(&mut self, gc: &GcReport) {
         let Some(&vpn0) = gc.flushed_vpns.first() else {
             return;
@@ -491,8 +698,13 @@ impl Simulation {
             .get(&victim)
             .copied()
             .unwrap_or(Cycle::ZERO)
-            .max(gc.done);
+            .max(gc.blocking_done);
         self.app_blocked_until.insert(victim, blocked);
+        if self.qos.gc_stall_budget.is_some() {
+            // Arm the pacing credit for this merge: each foreground event
+            // the victim stalls on burns one credit (see the run loop).
+            self.gc_credits.insert(victim, self.qos.gc_credit_writes);
+        }
         for &vpn in &gc.flushed_vpns {
             self.mmu.tlb_mut().invalidate(vpn);
             self.page_mshr.cancel(vpn);
@@ -701,6 +913,56 @@ mod tests {
         let summary = r.crash_recovery.expect("cut still recorded");
         assert_eq!(summary.pages_scanned, 0, "no flash, nothing to scan");
         assert!(r.instructions > 0);
+    }
+
+    #[test]
+    fn default_run_reports_no_qos_summary() {
+        let r = run(PlatformKind::Zng);
+        assert!(r.qos.is_none(), "unbounded default must not report QoS");
+        // Per-app latency breakdowns are always collected.
+        assert!(!r.per_app_read_latency.is_empty());
+        let app_mean =
+            r.per_app_read_latency.values().sum::<f64>() / r.per_app_read_latency.len() as f64;
+        assert!(app_mean > 0.0);
+    }
+
+    #[test]
+    fn bounded_qos_run_completes_and_reports() {
+        let mut cfg = SimConfig::tiny();
+        cfg.qos = crate::qos::QosConfig::bounded(2);
+        let mix = MultiApp::from_names(&["betw", "back"], &TraceParams::tiny()).unwrap();
+        let mut sim = Simulation::new(PlatformKind::Zng, &cfg).unwrap();
+        let r = sim.run(&mix).unwrap();
+        assert!(r.instructions > 0);
+        let q = r.qos.expect("bounded policy must report a summary");
+        assert!(q.rejected > 0, "depth-2 queues must refuse bursts: {q:?}");
+        assert!(q.retried > 0, "rejections must be retried: {q:?}");
+        assert!(
+            q.read_p99 >= q.read_p95 && q.read_p95 >= q.read_p50,
+            "{q:?}"
+        );
+        // Retries are bounded: each request performs at most
+        // retry_budget backoffs plus one forced wait.
+        let per_request_cap = (cfg.qos.retry_budget as u64 + 1) * r.requests;
+        assert!(q.retried + q.retry_budget_exhausted <= per_request_cap);
+    }
+
+    #[test]
+    fn bounded_qos_run_is_deterministic() {
+        let mut cfg = SimConfig::tiny();
+        cfg.qos = crate::qos::QosConfig::bounded(2);
+        let mix = MultiApp::from_names(&["betw", "back"], &TraceParams::tiny()).unwrap();
+        let a = Simulation::new(PlatformKind::Zng, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let b = Simulation::new(PlatformKind::Zng, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.qos, b.qos);
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub mod stats;
 
 pub use event::EventQueue;
 pub use power::CrashSwitch;
-pub use resource::{Link, Resource};
-pub use stats::{Counter, Histogram, Ratio, TimeSeries};
+pub use resource::{Admission, AdmissionQueue, Link, Resource};
+pub use stats::{Counter, Histogram, Percentiles, Ratio, TimeSeries};

@@ -181,6 +181,84 @@ impl Histogram {
     }
 }
 
+/// An exact-percentile accumulator: keeps every sample and answers
+/// nearest-rank percentile queries precisely.
+///
+/// [`Histogram`] trades accuracy for O(log max) memory; `Percentiles`
+/// stores all samples, so it is reserved for bounded-cardinality series
+/// (per-request latencies of a single run) where the QoS report needs
+/// exact p50/p95/p99 numbers rather than power-of-two bucket bounds.
+///
+/// # Examples
+///
+/// ```
+/// let mut p = zng_sim::Percentiles::new();
+/// for v in [10u64, 20, 30, 40, 50] {
+///     p.record(v);
+/// }
+/// assert_eq!(p.percentile(0.5), 30);
+/// assert_eq!(p.percentile(1.0), 50);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Percentiles {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty accumulator.
+    pub fn new() -> Percentiles {
+        Percentiles::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Mean of samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample seen (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Exact p-th percentile (0.0–1.0) by the nearest-rank method:
+    /// the smallest sample such that at least `ceil(p * count)` samples
+    /// are less than or equal to it. Returns 0 if empty.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = (p.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+        self.samples[rank.max(1) - 1]
+    }
+
+    /// Forgets all samples.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+    }
+}
+
 /// A fixed-interval time series: counts events per time bucket.
 ///
 /// Used for the paper's Fig. 17b (memory requests generated over time
@@ -311,6 +389,54 @@ mod tests {
         assert_eq!(h.buckets()[0], 1);
         assert_eq!(h.buckets()[1], 1);
         assert_eq!(h.buckets()[2], 1);
+    }
+
+    #[test]
+    fn percentiles_exact_on_hand_checked_inputs() {
+        // Nearest-rank on [15, 20, 35, 40, 50] (the canonical worked
+        // example): p30 -> rank ceil(0.3*5)=2 -> 20; p40 -> rank 2 -> 20;
+        // p50 -> rank 3 -> 35; p100 -> rank 5 -> 50.
+        let mut p = Percentiles::new();
+        for v in [50u64, 15, 40, 35, 20] {
+            p.record(v);
+        }
+        assert_eq!(p.percentile(0.30), 20);
+        assert_eq!(p.percentile(0.40), 20);
+        assert_eq!(p.percentile(0.50), 35);
+        assert_eq!(p.percentile(1.00), 50);
+        assert_eq!(p.percentile(0.0), 15, "p0 clamps to the minimum");
+        assert_eq!(p.count(), 5);
+        assert_eq!(p.max(), 50);
+        assert!((p.mean() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_single_sample_and_empty() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.percentile(0.99), 0);
+        assert_eq!(p.mean(), 0.0);
+        p.record(7);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(p.percentile(q), 7);
+        }
+        p.reset();
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentiles_interleaved_record_and_query() {
+        let mut p = Percentiles::new();
+        for v in 1..=100u64 {
+            p.record(v);
+        }
+        assert_eq!(p.percentile(0.50), 50);
+        assert_eq!(p.percentile(0.95), 95);
+        assert_eq!(p.percentile(0.99), 99);
+        // Recording after a query re-sorts lazily.
+        p.record(1000);
+        assert_eq!(p.percentile(1.0), 1000);
+        assert_eq!(p.percentile(0.5), 51);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use zng_flash::{FlashDevice, FlashGeometry};
 use zng_ftl::{PageMapFtl, RecoveryReport, SsdEngine};
 use zng_mem::{MemSubsystem, MemTiming};
-use zng_sim::Resource;
-use zng_types::{AccessKind, Cycle, Freq, Nanos, Result};
+use zng_sim::{AdmissionQueue, Resource};
+use zng_types::{AccessKind, Cycle, Error, Freq, Nanos, Result};
 
 use crate::buffer::PageBuffer;
 
@@ -21,6 +21,9 @@ use crate::buffer::PageBuffer;
 pub struct SsdModule {
     dispatcher: Resource,
     dispatch_cost: Cycle,
+    /// NVMe-style submission-queue bound in front of the dispatcher.
+    /// Unbounded (and untracked) by default.
+    admission: AdmissionQueue,
     engine: SsdEngine,
     buffer: PageBuffer,
     buffer_dram: MemSubsystem,
@@ -43,6 +46,7 @@ impl SsdModule {
         Ok(SsdModule {
             dispatcher: Resource::new(1),
             dispatch_cost: Nanos(25.0).to_cycles(freq),
+            admission: AdmissionQueue::new(),
             engine: SsdEngine::commercial(freq),
             buffer: PageBuffer::new(buffer_pages),
             buffer_dram: MemSubsystem::new(MemTiming::hybrid_buffer(), freq),
@@ -70,8 +74,14 @@ impl SsdModule {
     ///
     /// # Errors
     ///
-    /// Propagates FTL/flash errors.
+    /// Propagates FTL/flash errors. Under a bounded queue configuration
+    /// ([`SsdModule::set_queue_depth`]) a saturated module rejects with
+    /// [`Error::Backpressure`] *before* any state changes — a rejected
+    /// access can simply be retried later.
     pub fn access_sector(&mut self, now: Cycle, vpn: u64, kind: AccessKind) -> Result<Cycle> {
+        self.admission
+            .try_admit(now)
+            .map_err(|retry_at| Error::Backpressure { retry_at })?;
         let dispatched = self.dispatcher.acquire(now, self.dispatch_cost);
         let lookup = self.buffer.access(vpn, kind.is_write());
         let mut ready = dispatched;
@@ -96,7 +106,29 @@ impl SsdModule {
         }
         // Serve the 128 B sector from buffer DRAM.
         let addr = vpn * self.page_bytes() as u64;
-        Ok(self.buffer_dram.access(ready, addr, kind, 128))
+        let done = self.buffer_dram.access(ready, addr, kind, 128);
+        self.admission.note_inflight(done);
+        Ok(done)
+    }
+
+    /// Bounds the module's in-flight request population (`None` =
+    /// unbounded, the default) and the flash backbone behind it.
+    pub fn set_queue_depth(&mut self, depth: Option<usize>) {
+        self.admission.set_depth(depth);
+        self.device.set_queue_depth(depth);
+    }
+
+    /// Requests refused by module admission plus flash-level rejections.
+    pub fn qos_rejections(&self) -> u64 {
+        self.admission.rejected() + self.device.qos_rejections()
+    }
+
+    /// Largest in-flight population admitted to the module queue or any
+    /// flash channel queue.
+    pub fn qos_max_occupancy(&self) -> u64 {
+        self.admission
+            .max_occupancy()
+            .max(self.device.qos_max_occupancy())
     }
 
     /// Simulates a power cut at `now` followed by FTL recovery.

@@ -3,6 +3,8 @@
 use std::error::Error as StdError;
 use std::fmt;
 
+use crate::time::Cycle;
+
 /// Errors surfaced by the ZnG simulator's public API.
 ///
 /// Simulation-internal invariant violations are bugs and panic instead;
@@ -49,6 +51,16 @@ pub enum Error {
         /// Blocks retired over the device's lifetime.
         retired_blocks: u64,
     },
+    /// A bounded queue refused admission: the component is saturated and
+    /// the caller should retry no earlier than `retry_at`.
+    ///
+    /// Only surfaced when overload control is enabled (a finite queue
+    /// depth was configured); unbounded mode never rejects.
+    Backpressure {
+        /// Earliest cycle at which a queue slot is guaranteed free,
+        /// assuming no competing arrivals in between.
+        retry_at: Cycle,
+    },
     /// A read hit a page whose program was interrupted by a power loss.
     /// Torn pages are detectable (their out-of-band metadata fails
     /// verification) and must be discarded by recovery, never served.
@@ -86,6 +98,11 @@ impl fmt::Display for Error {
             Error::DeviceWornOut { retired_blocks } => write!(
                 f,
                 "flash device worn out ({retired_blocks} blocks retired, spare pool exhausted)"
+            ),
+            Error::Backpressure { retry_at } => write!(
+                f,
+                "backpressure: queue full, retry at cycle {}",
+                retry_at.raw()
             ),
             Error::TornPage { block, page } => write!(
                 f,
@@ -144,6 +161,13 @@ mod tests {
         );
         let e = Error::DeviceWornOut { retired_blocks: 12 };
         assert!(e.to_string().contains("12 blocks retired"));
+        let e = Error::Backpressure {
+            retry_at: Cycle(4096),
+        };
+        assert_eq!(
+            e.to_string(),
+            "backpressure: queue full, retry at cycle 4096"
+        );
     }
 
     #[test]

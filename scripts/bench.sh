@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table bench in quick mode and consolidates the
+# per-bench JSON records (target/zng-results/*.json) into repo-root
+# BENCH.json — one headline metric per bench.
+#
+# Usage: scripts/bench.sh [OUTPUT]   (default BENCH.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ZNG_QUICK=1 cargo bench --workspace
+cargo run -q --release -p zng-bench --bin consolidate -- "${1:-BENCH.json}"

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repo quality gate: formatting, lints (warnings are errors), full tests.
+# Repo quality gate: formatting, lints (warnings are errors), docs
+# (warnings are errors), full tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,4 +17,5 @@ fi
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo test -q --workspace

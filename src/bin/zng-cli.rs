@@ -10,7 +10,8 @@
 use std::process::ExitCode;
 
 use zng::{
-    table2, Experiment, FaultConfig, FaultProfile, PlatformKind, RunResult, Table, TraceParams,
+    table2, Cycle, Experiment, FaultConfig, FaultProfile, PlatformKind, QosConfig, RunResult,
+    Table, TraceParams,
 };
 use zng_types::ids::AppId;
 use zng_workloads::{by_name, generate, TraceBundle};
@@ -43,6 +44,12 @@ options:
       --seed       RNG seed                     (default 42)
       --faults     fault profile: none|nominal|end-of-life (default none)
       --crash-at   cut power after N completed requests, recover, resume
+      --qos        enable the bounded overload-control preset
+      --queue-depth    per-channel in-flight bound       (implies --qos)
+      --retry-budget   backoff retries per rejected request (default 8)
+      --gc-stall-budget  max cycles one GC may stall its victim
+      --gc-credits     foreground stalls per GC before early release
+      --fair-window    per-app fair-share window in requests
       --json       emit the full RunResult as JSON";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -63,13 +70,16 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("run") => {
-            let opts = Opts::parse(&args[1..])?;
+            let opts = Opts::parse(&args[1..], "run", RUN_FLAGS)?;
             let platform = opts
                 .platform
                 .ok_or_else(|| "run requires --platform".to_string())?;
             let mut exp = Experiment::standard().with_params(opts.params);
             exp.config_mut().fault = opts.fault_config();
             exp.config_mut().crash_at = opts.crash_at;
+            if let Some(q) = opts.qos {
+                exp.config_mut().qos = q;
+            }
             let r = exp
                 .run(platform, &opts.workload_refs())
                 .map_err(|e| e.to_string())?;
@@ -81,10 +91,13 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("sweep") => {
-            let opts = Opts::parse(&args[1..])?;
+            let opts = Opts::parse(&args[1..], "sweep", SWEEP_FLAGS)?;
             let mut exp = Experiment::standard().with_params(opts.params);
             exp.config_mut().fault = opts.fault_config();
             exp.config_mut().crash_at = opts.crash_at;
+            if let Some(q) = opts.qos {
+                exp.config_mut().qos = q;
+            }
             let mut t = Table::new(vec![
                 "platform".into(),
                 "IPC".into(),
@@ -126,7 +139,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     rest.push(a.clone());
                 }
             }
-            let opts = Opts::parse(&rest)?;
+            let opts = Opts::parse(&rest, "traces", TRACES_FLAGS)?;
             let out = out.ok_or_else(|| "traces requires --out <file>".to_string())?;
             let name = opts
                 .workloads
@@ -149,17 +162,67 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Flags each subcommand accepts (used for unknown-flag diagnostics).
+const RUN_FLAGS: &[&str] = &[
+    "-p",
+    "--platform",
+    "-w",
+    "--workloads",
+    "--warps",
+    "--ops",
+    "--footprint",
+    "--seed",
+    "--faults",
+    "--crash-at",
+    "--qos",
+    "--queue-depth",
+    "--retry-budget",
+    "--gc-stall-budget",
+    "--gc-credits",
+    "--fair-window",
+    "--json",
+];
+const SWEEP_FLAGS: &[&str] = &[
+    "-w",
+    "--workloads",
+    "--warps",
+    "--ops",
+    "--footprint",
+    "--seed",
+    "--faults",
+    "--crash-at",
+    "--qos",
+    "--queue-depth",
+    "--retry-budget",
+    "--gc-stall-budget",
+    "--gc-credits",
+    "--fair-window",
+];
+const TRACES_FLAGS: &[&str] = &[
+    "-w",
+    "--workloads",
+    "--warps",
+    "--ops",
+    "--footprint",
+    "--seed",
+    "--out",
+];
+
+/// Queue depth installed by a bare `--qos` (no `--queue-depth`).
+const DEFAULT_QUEUE_DEPTH: usize = 16;
+
 struct Opts {
     platform: Option<PlatformKind>,
     workloads: Vec<String>,
     params: TraceParams,
     faults: FaultProfile,
     crash_at: Option<u64>,
+    qos: Option<QosConfig>,
     json: bool,
 }
 
 impl Opts {
-    fn parse(args: &[String]) -> Result<Opts, String> {
+    fn parse(args: &[String], subcommand: &str, allowed: &[&str]) -> Result<Opts, String> {
         let mut opts = Opts {
             platform: None,
             workloads: Vec::new(),
@@ -171,10 +234,17 @@ impl Opts {
             },
             faults: FaultProfile::None,
             crash_at: None,
+            qos: None,
             json: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
+            if a.starts_with('-') && !allowed.contains(&a.as_str()) {
+                return Err(format!(
+                    "unknown flag `{a}` for `{subcommand}` — valid flags: {}",
+                    allowed.join(", ")
+                ));
+            }
             let mut value = |name: &str| {
                 it.next()
                     .cloned()
@@ -201,14 +271,46 @@ impl Opts {
                 "--crash-at" => {
                     opts.crash_at = Some(parse_num(&value("--crash-at")?)? as u64);
                 }
+                "--qos" => {
+                    opts.qos_mut();
+                }
+                "--queue-depth" => {
+                    let depth = parse_num(&value("--queue-depth")?)?;
+                    opts.qos_mut().queue_depth = Some(depth);
+                }
+                "--retry-budget" => {
+                    opts.qos_mut().retry_budget = parse_num(&value("--retry-budget")?)? as u32;
+                }
+                "--gc-stall-budget" => {
+                    let cycles = parse_num(&value("--gc-stall-budget")?)? as u64;
+                    opts.qos_mut().gc_stall_budget = Some(Cycle(cycles));
+                }
+                "--gc-credits" => {
+                    opts.qos_mut().gc_credit_writes = parse_num(&value("--gc-credits")?)? as u64;
+                }
+                "--fair-window" => {
+                    opts.qos_mut().fair_window = parse_num(&value("--fair-window")?)? as u64;
+                }
                 "--json" => opts.json = true,
-                other => return Err(format!("unknown option `{other}`")),
+                other => {
+                    return Err(format!(
+                        "unknown argument `{other}` for `{subcommand}` — valid flags: {}",
+                        allowed.join(", ")
+                    ))
+                }
             }
         }
         if opts.workloads.is_empty() {
             return Err("--workloads is required".into());
         }
         Ok(opts)
+    }
+
+    /// The QoS policy being built up by flags, starting from the bounded
+    /// preset the first time any QoS flag appears.
+    fn qos_mut(&mut self) -> &mut QosConfig {
+        self.qos
+            .get_or_insert_with(|| QosConfig::bounded(DEFAULT_QUEUE_DEPTH))
     }
 
     fn workload_refs(&self) -> Vec<&str> {
@@ -303,6 +405,54 @@ fn print_result(r: &RunResult) {
     t.row(vec!["erase failures".into(), r.erase_failures.to_string()]);
     t.row(vec!["blocks retired".into(), r.blocks_retired.to_string()]);
     t.row(vec!["write re-drives".into(), r.write_redrives.to_string()]);
+    if let Some(q) = &r.qos {
+        t.row(vec!["qos rejected".into(), q.rejected.to_string()]);
+        t.row(vec!["qos retried".into(), q.retried.to_string()]);
+        t.row(vec![
+            "qos budget exhausted".into(),
+            q.retry_budget_exhausted.to_string(),
+        ]);
+        t.row(vec!["qos MSHR stalls".into(), q.mshr_stalls.to_string()]);
+        t.row(vec![
+            "qos pinned overflows".into(),
+            q.pinned_overflow_stalls.to_string(),
+        ]);
+        t.row(vec![
+            "qos GC deadline misses".into(),
+            q.gc_deadline_misses.to_string(),
+        ]);
+        t.row(vec!["qos paced GCs".into(), q.paced_gcs.to_string()]);
+        t.row(vec![
+            "qos GC credits exhausted".into(),
+            q.gc_credit_exhausted.to_string(),
+        ]);
+        t.row(vec![
+            "qos fairness throttles".into(),
+            q.fairness_throttles.to_string(),
+        ]);
+        t.row(vec![
+            "qos max service lag".into(),
+            q.max_service_lag.to_string(),
+        ]);
+        t.row(vec![
+            "qos max queue occupancy".into(),
+            q.max_queue_occupancy.to_string(),
+        ]);
+        t.row(vec![
+            "read p50/p95/p99".into(),
+            format!("{}/{}/{}", q.read_p50, q.read_p95, q.read_p99),
+        ]);
+        t.row(vec![
+            "write p50/p95/p99".into(),
+            format!("{}/{}/{}", q.write_p50, q.write_p95, q.write_p99),
+        ]);
+        for (app, lat) in &r.per_app_read_latency {
+            t.row(vec![format!("app{app} avg read lat"), format!("{lat:.0}")]);
+        }
+        for (app, lat) in &r.per_app_write_latency {
+            t.row(vec![format!("app{app} avg write lat"), format!("{lat:.0}")]);
+        }
+    }
     if let Some(cr) = &r.crash_recovery {
         t.row(vec!["crash at request".into(), cr.at_requests.to_string()]);
         t.row(vec!["crash at cycle".into(), cr.at_cycle.raw().to_string()]);

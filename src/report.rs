@@ -44,6 +44,29 @@ impl Table {
         self.row(cells)
     }
 
+    /// The table's headline metric: the label of the first data row that
+    /// contains a numeric cell, paired with that cell's value.
+    ///
+    /// Benches use this to export one representative number per figure
+    /// into `BENCH.json` (see `scripts/bench.sh`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut t = zng::Table::new(vec!["w".into(), "IPC".into()]);
+    /// t.row(vec!["betw".into(), "0.512".into()]);
+    /// assert_eq!(t.headline(), Some(("betw".into(), 0.512)));
+    /// ```
+    pub fn headline(&self) -> Option<(String, f64)> {
+        self.rows.iter().find_map(|r| {
+            let label = r.first()?.clone();
+            r.iter()
+                .skip(1)
+                .find_map(|c| c.trim().parse::<f64>().ok().filter(|v| v.is_finite()))
+                .map(|v| (label, v))
+        })
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -118,6 +141,16 @@ mod tests {
         assert!(t.render().contains("1.235"));
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn headline_finds_first_numeric_cell() {
+        let mut t = Table::new(vec!["w".into(), "note".into(), "IPC".into()]);
+        t.row(vec!["hdr".into(), "n/a".into(), "n/a".into()]);
+        t.row(vec!["betw".into(), "ok".into(), "1.250".into()]);
+        // The first row has no parseable number, so the second wins.
+        assert_eq!(t.headline(), Some(("betw".into(), 1.25)));
+        assert_eq!(Table::default().headline(), None);
     }
 
     #[test]

@@ -109,6 +109,86 @@ fn traces_roundtrip_through_disk() {
 }
 
 #[test]
+fn qos_flags_add_overload_metrics() {
+    let out = cli()
+        .args([
+            "run",
+            "-p",
+            "zng",
+            "-w",
+            "betw,back",
+            "--warps",
+            "8",
+            "--ops",
+            "40",
+            "--footprint",
+            "128",
+            "--qos",
+            "--queue-depth",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("qos rejected"), "{text}");
+    assert!(text.contains("read p50/p95/p99"), "{text}");
+    assert!(text.contains("app0 avg read lat"), "{text}");
+}
+
+#[test]
+fn default_run_has_no_qos_rows() {
+    let out = cli()
+        .args([
+            "run",
+            "-p",
+            "ideal",
+            "-w",
+            "betw",
+            "--warps",
+            "4",
+            "--ops",
+            "20",
+            "--footprint",
+            "64",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("qos"), "default output must be QoS-free");
+}
+
+#[test]
+fn unknown_flags_name_the_flag_and_list_valid_ones() {
+    let out = cli()
+        .args(["run", "-p", "zng", "-w", "betw", "--bogus"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "unknown flag must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("`--bogus`"), "names the flag: {err}");
+    assert!(err.contains("for `run`"), "names the subcommand: {err}");
+    assert!(err.contains("--queue-depth"), "lists valid flags: {err}");
+
+    // `--platform` is a run flag, not a sweep flag.
+    let out = cli()
+        .args(["sweep", "-w", "betw", "--platform", "zng"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("`--platform`") && err.contains("for `sweep`"),
+        "{err}"
+    );
+}
+
+#[test]
 fn bad_arguments_fail_with_usage() {
     for args in [
         vec!["run"], // missing everything

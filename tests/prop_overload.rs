@@ -1,0 +1,256 @@
+//! Overload-control property tests (this PR's headline invariants).
+//!
+//! For both flash FTL platforms (ZnG and HybridGPU), every fault
+//! profile, and the paper's `betw-back` co-run mix, a bounded QoS
+//! policy must preserve the unbounded simulator's correctness:
+//!
+//! 1. **No admitted request lost**: the bounded run services exactly the
+//!    same number of requests and retires exactly the same number of
+//!    instructions as the unbounded run — rejections delay work, they
+//!    never drop it.
+//! 2. **Queue-depth invariant**: no bounded queue ever holds more
+//!    in-flight requests than its configured depth.
+//! 3. **Bounded retries**: a rejected request performs at most
+//!    `retry_budget` backoff re-issues before the single forced wait at
+//!    the queue's hinted `retry_at`.
+//! 4. **Bit-determinism**: two runs of the same bounded configuration
+//!    produce identical cycle counts and identical QoS summaries.
+//! 5. **Starvation freedom**: with a fairness window `w`, no app's
+//!    weighted service lead ever exceeds `w` by more than one warp's
+//!    worth of in-flight sectors, and every app finishes its work.
+
+use proptest::prelude::*;
+use zng::{PlatformKind, QosConfig, RunResult, SimConfig, Simulation};
+use zng_flash::FaultConfig;
+use zng_types::Cycle;
+use zng_workloads::{MultiApp, TraceParams};
+
+/// The two platforms whose backends run a real FTL over bounded flash
+/// queues (Hetero's page-fault path is deliberately unbounded: its
+/// residency buffer mutates before the SSD read, so a rejected retry
+/// would not be idempotent there).
+const FTL_PLATFORMS: [PlatformKind; 2] = [PlatformKind::Zng, PlatformKind::HybridGpu];
+
+fn fault_profile(profile: u8) -> FaultConfig {
+    match profile {
+        0 => FaultConfig::none(),
+        1 => FaultConfig::nominal(),
+        _ => FaultConfig::end_of_life(),
+    }
+}
+
+fn params() -> TraceParams {
+    TraceParams {
+        total_warps: 8,
+        mem_ops_per_warp: 120,
+        footprint_pages: 64,
+        seed: 42,
+    }
+}
+
+fn mix() -> MultiApp {
+    MultiApp::from_names(&["betw", "back"], &params()).unwrap()
+}
+
+fn run_with(kind: PlatformKind, profile: u8, qos: QosConfig) -> RunResult {
+    let mut cfg = SimConfig::tiny();
+    cfg.fault = fault_profile(profile);
+    cfg.qos = qos;
+    let mut sim = Simulation::new(kind, &cfg).unwrap();
+    sim.run(&mix()).unwrap()
+}
+
+#[test]
+fn bounded_runs_lose_no_admitted_request() {
+    for kind in FTL_PLATFORMS {
+        for profile in 0..3u8 {
+            let unbounded = run_with(kind, profile, QosConfig::unbounded());
+            let bounded = run_with(kind, profile, QosConfig::bounded(2));
+            assert_eq!(
+                bounded.requests, unbounded.requests,
+                "{kind} profile {profile}: rejections must not drop requests"
+            );
+            assert_eq!(
+                bounded.instructions, unbounded.instructions,
+                "{kind} profile {profile}: every warp still retires fully"
+            );
+            assert!(unbounded.qos.is_none(), "unbounded reports no summary");
+            let q = bounded.qos.expect("bounded run must report a summary");
+            assert!(
+                q.rejected > 0,
+                "{kind} profile {profile}: depth-2 queues must reject bursts"
+            );
+            assert!(
+                q.retried > 0,
+                "{kind} profile {profile}: rejections must be retried"
+            );
+        }
+    }
+}
+
+#[test]
+fn queue_occupancy_never_exceeds_depth() {
+    for kind in FTL_PLATFORMS {
+        for profile in 0..3u8 {
+            for depth in [1usize, 2, 4] {
+                let r = run_with(kind, profile, QosConfig::bounded(depth));
+                let q = r.qos.unwrap();
+                assert!(
+                    q.max_queue_occupancy <= depth as u64,
+                    "{kind} profile {profile} depth {depth}: occupancy {} exceeds bound",
+                    q.max_queue_occupancy
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn retries_are_bounded_by_the_budget() {
+    for kind in FTL_PLATFORMS {
+        for profile in 0..3u8 {
+            let mut qos = QosConfig::bounded(1);
+            qos.retry_budget = 3;
+            let r = run_with(kind, profile, qos);
+            let q = r.qos.unwrap();
+            // Each rejected request may back off at most `retry_budget`
+            // times and exhaust its budget at most once; backend-level
+            // requests are bounded by sector requests (plus GC drains),
+            // so a generous structural cap still catches unbounded loops.
+            let cap = (qos.retry_budget as u64 + 1) * r.requests * 2;
+            assert!(
+                q.retried + q.retry_budget_exhausted <= cap,
+                "{kind} profile {profile}: {} retries + {} exhaustions over cap {cap}",
+                q.retried,
+                q.retry_budget_exhausted
+            );
+            assert!(
+                q.retry_budget_exhausted <= r.requests * 2,
+                "{kind} profile {profile}: a request exhausts its budget at most once"
+            );
+        }
+    }
+}
+
+#[test]
+fn bounded_runs_are_bit_deterministic() {
+    for kind in FTL_PLATFORMS {
+        for profile in 0..3u8 {
+            let a = run_with(kind, profile, QosConfig::bounded(2));
+            let b = run_with(kind, profile, QosConfig::bounded(2));
+            assert_eq!(a.cycles, b.cycles, "{kind} profile {profile}");
+            assert_eq!(a.instructions, b.instructions, "{kind} profile {profile}");
+            assert_eq!(a.requests, b.requests, "{kind} profile {profile}");
+            assert_eq!(a.qos, b.qos, "{kind} profile {profile}");
+            assert_eq!(
+                a.per_app_requests, b.per_app_requests,
+                "{kind} profile {profile}"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_app_starves_under_fair_share() {
+    for kind in FTL_PLATFORMS {
+        for profile in 0..3u8 {
+            let mut qos = QosConfig::bounded(2);
+            qos.fair_window = 64;
+            let r = run_with(kind, profile, qos);
+            // Every app finished all of its work.
+            let per_warp = params().mem_ops_per_warp as u64;
+            for (app, &instr) in &r.per_app_instructions {
+                assert!(
+                    instr > 0,
+                    "{kind} profile {profile}: app {app} retired nothing"
+                );
+            }
+            assert_eq!(r.per_app_instructions.len(), 2, "both apps ran");
+            let q = r.qos.unwrap();
+            // Max-lag fairness: one app may run ahead by the window plus
+            // the sectors a single warp op has in flight past the gate.
+            let slack = 2 * per_warp;
+            assert!(
+                q.max_service_lag <= qos.fair_window + slack,
+                "{kind} profile {profile}: lag {} over window {} + slack {}",
+                q.max_service_lag,
+                qos.fair_window,
+                slack
+            );
+        }
+    }
+}
+
+#[test]
+fn end_of_life_bounded_run_paces_gc() {
+    // A write-heavy mix on the base platform (direct writes, no register
+    // buffering) under end-of-life faults: log blocks fill, GC fires,
+    // and a tight stall budget must pace every merge.
+    let mut cfg = SimConfig::tiny();
+    cfg.fault = FaultConfig::end_of_life();
+    cfg.qos = QosConfig::bounded(2);
+    cfg.qos.gc_stall_budget = Some(Cycle(1_000));
+    cfg.qos.gc_credit_writes = 2;
+    let mix = MultiApp::from_names(
+        &["back"],
+        &TraceParams {
+            total_warps: 4,
+            mem_ops_per_warp: 600,
+            footprint_pages: 16,
+            seed: 7,
+        },
+    )
+    .unwrap();
+    let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+    let r = sim.run(&mix).unwrap();
+    assert!(r.gcs > 0, "the mix must trigger garbage collection");
+    let q = r.qos.unwrap();
+    assert!(
+        q.rejected > 0,
+        "bounded queues must reject under load: {q:?}"
+    );
+    assert!(q.retried > 0, "{q:?}");
+    assert!(q.paced_gcs > 0, "every merge runs under pacing: {q:?}");
+    assert!(
+        q.paced_gcs == r.gcs,
+        "paced merges {} must cover all {} GCs",
+        q.paced_gcs,
+        r.gcs
+    );
+    assert!(
+        q.gc_deadline_misses <= q.paced_gcs,
+        "a merge misses its deadline at most once: {q:?}"
+    );
+}
+
+proptest! {
+    /// Random bounded policies keep the no-loss and depth invariants on
+    /// the ZnG platform across random seeds.
+    #[test]
+    fn random_bounded_policies_preserve_work(
+        depth in 1usize..6,
+        budget in 0u32..6,
+        seed in 0u64..32,
+    ) {
+        let p = TraceParams {
+            total_warps: 4,
+            mem_ops_per_warp: 60,
+            footprint_pages: 32,
+            seed,
+        };
+        let mix = MultiApp::from_names(&["betw", "back"], &p).unwrap();
+        let mut cfg = SimConfig::tiny();
+        let mut sim = Simulation::new(PlatformKind::Zng, &cfg).unwrap();
+        let unbounded = sim.run(&mix).unwrap();
+
+        cfg.qos = QosConfig::bounded(depth);
+        cfg.qos.retry_budget = budget;
+        let mut sim = Simulation::new(PlatformKind::Zng, &cfg).unwrap();
+        let bounded = sim.run(&mix).unwrap();
+
+        prop_assert_eq!(bounded.requests, unbounded.requests);
+        prop_assert_eq!(bounded.instructions, unbounded.instructions);
+        let q = bounded.qos.unwrap();
+        prop_assert!(q.max_queue_occupancy <= depth as u64);
+    }
+}
