@@ -8,7 +8,8 @@
 //! and friends — while replacing the engine with a fixed-count,
 //! deterministic case runner:
 //!
-//! * Each property runs [`CASES`] generated cases.
+//! * Each property runs [`CASES`] generated cases ([`QUICK_CASES`]
+//!   under `ZNG_QUICK=1`, CI's fast lane — see [`cases`]).
 //! * The case stream is seeded from the property's fully qualified name,
 //!   so runs are reproducible and independent of test execution order.
 //! * There is no shrinking; a failure reports the case number and the
@@ -21,8 +22,26 @@
 use std::fmt;
 use std::ops::Range;
 
-/// Cases generated per property.
+/// Cases generated per property in a full run (see [`cases`]).
 pub const CASES: u32 = 64;
+
+/// Cases generated per property when the `ZNG_QUICK` fast lane is on.
+pub const QUICK_CASES: u32 = 8;
+
+/// Cases to run per property: [`CASES`] normally, [`QUICK_CASES`] when
+/// the `ZNG_QUICK` environment variable is set to a non-empty value
+/// other than `0` (CI's quick job). The case stream is unchanged — a
+/// quick run executes a prefix of the full run's cases.
+pub fn cases() -> u32 {
+    cases_for(std::env::var("ZNG_QUICK").ok().as_deref())
+}
+
+fn cases_for(quick: Option<&str>) -> u32 {
+    match quick {
+        Some(v) if !v.is_empty() && v != "0" => QUICK_CASES,
+        _ => CASES,
+    }
+}
 
 /// Why a test case did not pass.
 #[derive(Debug, Clone)]
@@ -278,7 +297,7 @@ pub mod prelude {
 /// Declares deterministic property tests.
 ///
 /// Each `fn name(arg in strategy, ...) { body }` item expands to a
-/// `#[test]` that runs [`CASES`] generated cases. `prop_assume!` skips a
+/// `#[test]` that runs [`cases`] generated cases. `prop_assume!` skips a
 /// case; `prop_assert!`/`prop_assert_eq!` fail it with the generated
 /// arguments echoed in the panic message.
 #[macro_export]
@@ -287,7 +306,8 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let __seed = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..$crate::CASES {
+            let __cases = $crate::cases();
+            for __case in 0..__cases {
                 let mut __gen = $crate::Gen::new($crate::mix(__seed, __case as u64));
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut __gen);)+
                 let __args = format!(concat!($(stringify!($arg), " = {:?}; ",)+), $(&$arg),+);
@@ -300,7 +320,7 @@ macro_rules! proptest {
                             "property {} failed at case {}/{}: {}\n  with {}",
                             stringify!($name),
                             __case,
-                            $crate::CASES,
+                            __cases,
                             msg,
                             __args
                         );
@@ -387,6 +407,15 @@ macro_rules! prop_assume {
 mod tests {
     use super::*;
     use crate as prop;
+
+    #[test]
+    fn quick_mode_trims_the_case_count() {
+        assert_eq!(cases_for(None), CASES);
+        assert_eq!(cases_for(Some("")), CASES);
+        assert_eq!(cases_for(Some("0")), CASES);
+        assert_eq!(cases_for(Some("1")), QUICK_CASES);
+        assert_eq!(cases_for(Some("yes")), QUICK_CASES);
+    }
 
     #[test]
     fn gen_is_deterministic() {

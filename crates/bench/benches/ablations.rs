@@ -13,12 +13,16 @@
 use zng::Table;
 use zng_bench::{quick, report};
 use zng_flash::{FlashDevice, FlashGeometry, FlashTiming, RegisterTopology};
-use zng_ftl::{WearPolicy, WriteMode, ZngFtl};
-use zng_types::{Cycle, Freq};
+use zng_ftl::{RainConfig, WearPolicy, WriteMode, ZngFtl};
+use zng_types::{
+    ids::{ChannelId, DieId},
+    Cycle, Freq,
+};
 
 fn main() {
     media_ablation();
     wear_ablation();
+    redundancy_ablation();
 }
 
 /// Streams a read-heavy page workload through a ZnG-style device built
@@ -130,5 +134,130 @@ fn wear_ablation() {
         "Wear-levelling policy under write churn",
         &t,
         "the helper thread's wear levelling spreads erases, extending Z-NAND lifetime (paper SVI)",
+    );
+}
+
+/// Redundancy overhead: the same read stream with RAIN off, RAIN on
+/// (healthy), and RAIN degraded by a dead die, plus the patrol
+/// scrubber's media cost — the numbers behind EXPERIMENTS.md
+/// "Redundancy & self-healing overhead".
+fn redundancy_ablation() {
+    let vpns = if quick() { 128u64 } else { 512 };
+
+    // One sequential read chain over the footprint; the chained `now`
+    // makes the end time the sum of every read's latency.
+    let read_pass = |ftl: &mut ZngFtl, dev: &mut FlashDevice, start: Cycle| -> Cycle {
+        let mut t = start;
+        for vpn in 0..vpns {
+            t = ftl.read(t, dev, vpn, 4096).expect("stream read");
+        }
+        t
+    };
+    let device = || {
+        FlashDevice::zng_config(
+            FlashGeometry::tiny(),
+            Freq::default(),
+            RegisterTopology::NiF,
+        )
+        .expect("device")
+    };
+
+    // Redundancy off: the baseline read stream.
+    let mut dev0 = device();
+    let mut off = ZngFtl::new(&dev0, 1, WriteMode::Direct);
+    let t_off = read_pass(&mut off, &mut dev0, Cycle::ZERO);
+
+    // RAIN on, healthy media: reads never touch parity.
+    let mut dev = device();
+    let mut rain = ZngFtl::new(&dev, 1, WriteMode::Direct);
+    rain.set_redundancy(&dev, Some(RainConfig::default()));
+    let t_healthy = read_pass(&mut rain, &mut dev, Cycle::ZERO);
+    assert_eq!(
+        t_healthy.raw(),
+        t_off.raw(),
+        "healthy RAIN reads must cost exactly the baseline"
+    );
+
+    // Kill one die and stream again: every page whose block sits on the
+    // dead die is reconstructed from its surviving stripe members.
+    dev.fail_die(ChannelId(1), DieId(0));
+    let t0 = rain.fence_dead_die(t_healthy, &mut dev).expect("fence");
+    let t_degraded = read_pass(&mut rain, &mut dev, t0);
+    let c = rain.redundancy().expect("installed").counters();
+    assert!(
+        c.reconstructions > 0,
+        "the dead die must force reconstructions"
+    );
+    let healthy_cycles = t_healthy.raw();
+    let degraded_cycles = t_degraded.raw() - t0.raw();
+    let extra_per_recon =
+        (degraded_cycles.saturating_sub(healthy_cycles)) as f64 / c.reconstructions as f64;
+
+    // Patrol scrub on healthy media (unpaced, so the horizon is the true
+    // media time): cycles per page scanned.
+    let mut dev2 = device();
+    let mut scrubbed = ZngFtl::new(&dev2, 1, WriteMode::Direct);
+    scrubbed.set_redundancy(&dev2, Some(RainConfig::default()));
+    let t1 = read_pass(&mut scrubbed, &mut dev2, Cycle::ZERO);
+    let steps = if quick() { 32 } else { 128 };
+    let mut now = t1;
+    let mut scrub_cycles = 0u64;
+    for _ in 0..steps {
+        let h = scrubbed.scrub_step(now, &mut dev2).expect("scrub step");
+        scrub_cycles += h.raw() - now.raw();
+        now = h + Cycle(1);
+    }
+    let scanned = scrubbed
+        .redundancy()
+        .expect("installed")
+        .counters()
+        .scrub_scanned;
+    assert!(scanned > 0, "the patrol must scan live pages");
+
+    let ms = |cycles: u64| cycles as f64 / 1.2e6;
+    let mut t = Table::new(vec![
+        "config".into(),
+        "read stream (ms)".into(),
+        "vs off".into(),
+        "reconstructions".into(),
+        "extra cyc/recon".into(),
+    ]);
+    t.row(vec![
+        "redundancy off".into(),
+        format!("{:.3}", ms(t_off.raw())),
+        "1.00x".into(),
+        "0".into(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "RAIN healthy".into(),
+        format!("{:.3}", ms(t_healthy.raw())),
+        format!("{:.2}x", t_healthy.raw() as f64 / t_off.raw() as f64),
+        "0".into(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "RAIN degraded (1 die dead)".into(),
+        format!("{:.3}", ms(degraded_cycles)),
+        format!("{:.2}x", degraded_cycles as f64 / t_off.raw() as f64),
+        c.reconstructions.to_string(),
+        format!("{extra_per_recon:.0}"),
+    ]);
+    t.row(vec![
+        format!("patrol scrub ({scanned} pages)"),
+        format!("{:.3}", ms(scrub_cycles)),
+        format!(
+            "+{:.1}% of baseline",
+            100.0 * scrub_cycles as f64 / t_off.raw() as f64
+        ),
+        "0".into(),
+        format!("{:.0} cyc/page", scrub_cycles as f64 / scanned as f64),
+    ]);
+    report(
+        "ablation_redundancy",
+        "RAIN reconstruction & patrol-scrub overhead",
+        &t,
+        "device-level redundancy beneath the FTL: healthy reads free, degraded reads pay a \
+         bounded stripe fan-out, scrub paced in the background (GNStor-style RAIN)",
     );
 }

@@ -12,6 +12,9 @@ pub enum BlockKind {
     Data,
     /// A physical log block (over-provisioned, LPMT-remapped writes).
     Log,
+    /// A RAIN parity block: holds per-stripe XOR pages, never user data.
+    /// Recovery scans skip parity pages when resolving logical winners.
+    Parity,
 }
 
 /// Out-of-band (OOB) metadata written atomically with a page's data.

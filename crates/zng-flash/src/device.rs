@@ -10,7 +10,10 @@
 //!   with a selectable interconnect (ZnG).
 
 use zng_sim::AdmissionQueue;
-use zng_types::{ids::ChannelId, BlockAddr, Cycle, Error, FlashAddr, Freq, Result};
+use zng_types::{
+    ids::{ChannelId, DieId},
+    BlockAddr, Cycle, Error, FlashAddr, Freq, Result,
+};
 
 use crate::block::{Block, OobMeta, PageOob};
 use crate::fault::{FaultConfig, PlaneFaults};
@@ -90,6 +93,12 @@ pub struct FlashDevice {
     /// while GC/recovery traffic bypasses it, so reclamation can always
     /// make progress.
     admission: Vec<AdmissionQueue>,
+    /// Dies that failed outright, as `(channel, die)` pairs. Every array
+    /// access under a dead die errors; the package's registers and I/O
+    /// ports survive (the failure domain is the die, not the chip).
+    dead_dies: Vec<(u16, u16)>,
+    /// Array reads refused because their die is dead.
+    dead_die_reads: u64,
 }
 
 impl FlashDevice {
@@ -129,7 +138,55 @@ impl FlashDevice {
             program_seq: 0,
             fenced_seq: 0,
             admission: vec![AdmissionQueue::new(); channels],
+            dead_dies: Vec::new(),
+            dead_die_reads: 0,
         })
+    }
+
+    /// Fails the die at `(ch, die)`: from now on every array read,
+    /// program or erase under it errors. The fault is permanent for the
+    /// rest of the run; redundancy-aware FTLs fence the die's blocks and
+    /// reconstruct its data from surviving stripe members. Idempotent.
+    pub fn fail_die(&mut self, ch: ChannelId, die: DieId) {
+        let key = (ch.index() as u16, die.index() as u16);
+        if !self.dead_dies.contains(&key) {
+            self.dead_dies.push(key);
+        }
+    }
+
+    /// Whether the die at `(ch, die)` has failed.
+    pub fn die_is_dead(&self, ch: ChannelId, die: DieId) -> bool {
+        self.dead_dies
+            .contains(&(ch.index() as u16, die.index() as u16))
+    }
+
+    /// Failed dies as `(channel, die)` pairs, in failure order.
+    pub fn dead_dies(&self) -> &[(u16, u16)] {
+        &self.dead_dies
+    }
+
+    /// Array reads refused because their die is dead (each one is a
+    /// reconstruction opportunity for a redundant FTL).
+    pub fn dead_die_reads(&self) -> u64 {
+        self.dead_die_reads
+    }
+
+    /// Fails channel `ch`'s flash-network injection link; its traffic
+    /// detours deterministically through the neighbouring channel (see
+    /// [`FlashNetwork::fail_link`]).
+    pub fn fail_link(&mut self, ch: ChannelId) {
+        self.network.fail_link(ch);
+    }
+
+    fn check_die_alive(&self, block: BlockAddr) -> Result<()> {
+        if self.die_is_dead(block.channel, block.die) {
+            return Err(Error::FlashProtocol(format!(
+                "array access on dead die {}:{}",
+                block.channel.index(),
+                block.die.index()
+            )));
+        }
+        Ok(())
     }
 
     /// Bounds every channel controller's request queue and the network's
@@ -253,6 +310,18 @@ impl FlashDevice {
             let at_pins = pkg.read_from_register(now, transfer_bytes);
             return Ok(self.network.transfer(at_pins, ch, transfer_bytes));
         }
+        if self.die_is_dead(ch, addr.block.die) {
+            // Surfaced as an uncorrectable read so the FTL's existing
+            // retry/reconstruction machinery handles both failure classes
+            // through one path; retries are pointless on dead silicon, so
+            // the ladder depth is reported as zero.
+            self.dead_die_reads += 1;
+            return Err(Error::UncorrectableRead {
+                block: addr.block.block as u64,
+                page: addr.page,
+                retries: 0,
+            });
+        }
         let plane_idx = self.plane_idx(addr.block);
         let pkg = &mut self.packages[ch.index()];
         let r = match pkg.read_page_from_array(now, plane_idx, addr.block.block, addr.page) {
@@ -334,6 +403,7 @@ impl FlashDevice {
     ///
     /// Flash protocol errors (full block).
     pub fn program(&mut self, now: Cycle, block: BlockAddr, key: PageKey) -> Result<ProgramReport> {
+        self.check_die_alive(block)?;
         let ch = block.channel;
         let arrived = self.network.transfer(now, ch, self.geometry.page_bytes);
         let plane_idx = self.plane_idx(block);
@@ -357,6 +427,7 @@ impl FlashDevice {
         block: BlockAddr,
         key: PageKey,
     ) -> Result<ProgramReport> {
+        self.check_die_alive(block)?;
         let ch = block.channel;
         let arrived = self.network.transfer(now, ch, self.geometry.page_bytes);
         let plane_idx = self.plane_idx(block);
@@ -379,6 +450,7 @@ impl FlashDevice {
         block: BlockAddr,
         key: PageKey,
     ) -> Result<ProgramReport> {
+        self.check_die_alive(block)?;
         let plane_idx = self.plane_idx(block);
         let pkg = &mut self.packages[block.channel.index()];
         let report = pkg.program_page_internal(now, plane_idx, block.block)?;
@@ -432,6 +504,7 @@ impl FlashDevice {
     ///
     /// Flash protocol errors (valid pages remain).
     pub fn erase(&mut self, now: Cycle, block: BlockAddr) -> Result<EraseReport> {
+        self.check_die_alive(block)?;
         let plane_idx = self.plane_idx(block);
         // Erase barrier: all programs issued so far are ordered before
         // this erase (see the `fenced_seq` field).
@@ -813,5 +886,41 @@ mod tests {
         let mut g = FlashGeometry::tiny();
         g.channels = 0;
         assert!(FlashDevice::zng_config(g, Freq::default(), RegisterTopology::NiF).is_err());
+    }
+
+    #[test]
+    fn dead_die_refuses_array_access_but_keeps_registers() {
+        let mut d = device();
+        let r = d.program(Cycle(0), block0(), 1).unwrap();
+        d.fail_die(ChannelId(0), DieId(0));
+        assert!(d.die_is_dead(ChannelId(0), DieId(0)));
+        assert!(!d.die_is_dead(ChannelId(0), DieId(1)));
+        assert_eq!(d.dead_dies(), &[(0, 0)]);
+        // Reads come back as uncorrectable with zero ladder depth.
+        assert!(matches!(
+            d.read(Cycle(1_000_000), block0().page(r.page), 1, 128),
+            Err(Error::UncorrectableRead { retries: 0, .. })
+        ));
+        assert_eq!(d.dead_die_reads(), 1);
+        // Programs and erases are refused outright.
+        assert!(d.program(Cycle(0), block0(), 2).is_err());
+        assert!(d.erase(Cycle(0), block0()).is_err());
+        // The surviving die on the same channel still works.
+        let b_live = BlockAddr::new(ChannelId(0), DieId(1), PlaneId(0), 0);
+        let r2 = d.program(Cycle(0), b_live, 3).unwrap();
+        assert!(d.read(r2.done, b_live.page(r2.page), 3, 128).is_ok());
+        // Register-resident pages survive: the failure domain is the die.
+        d.buffered_write(Cycle(0), 42, block0());
+        assert!(d
+            .read_from_register_if_held(Cycle(10), ChannelId(0), 42, 128)
+            .is_some());
+    }
+
+    #[test]
+    fn fail_die_is_idempotent() {
+        let mut d = device();
+        d.fail_die(ChannelId(1), DieId(0));
+        d.fail_die(ChannelId(1), DieId(0));
+        assert_eq!(d.dead_dies().len(), 1);
     }
 }

@@ -41,5 +41,5 @@ pub use network::{FlashNetwork, NetworkTopology};
 pub use package::{FlashPackage, RegisterTopology};
 pub use plane::{EraseReport, Plane, ProgramReport, ReadReport};
 pub use registers::{RegisterCache, WriteOutcome};
-pub use stats::FlashStats;
+pub use stats::{FlashStats, RETRY_DEPTH_BUCKETS};
 pub use timing::{FlashCycles, FlashTiming};

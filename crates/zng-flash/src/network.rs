@@ -40,6 +40,11 @@ pub struct FlashNetwork {
     topology: NetworkTopology,
     links: Vec<Link>,
     hop_latency: Cycle,
+    /// A failed injection link (degraded-mode fault model). Traffic for
+    /// this channel detours through the next channel's link.
+    failed_link: Option<usize>,
+    /// Transfers that took the detour around the failed link.
+    rerouted: u64,
 }
 
 impl FlashNetwork {
@@ -53,6 +58,8 @@ impl FlashNetwork {
                 .map(|_| Link::new(bytes_per_cycle, Cycle::ZERO))
                 .collect(),
             hop_latency: Cycle::ZERO,
+            failed_link: None,
+            rerouted: 0,
         }
     }
 
@@ -67,7 +74,47 @@ impl FlashNetwork {
                 .map(|_| Link::new(bytes_per_cycle, Cycle::ZERO))
                 .collect(),
             hop_latency,
+            failed_link: None,
+            rerouted: 0,
         }
+    }
+
+    /// Fails channel `ch`'s injection link: from now on its traffic
+    /// detours deterministically through the next channel's link, paying
+    /// [`FlashNetwork::DETOUR_EXTRA_HOPS`] extra hops and contending with
+    /// that channel's own traffic. No-op on a single-link network (there
+    /// is nowhere to detour to).
+    pub fn fail_link(&mut self, ch: ChannelId) {
+        if self.links.len() > 1 && ch.index() < self.links.len() {
+            self.failed_link = Some(ch.index());
+        }
+    }
+
+    /// The failed injection link, if any.
+    pub fn failed_link(&self) -> Option<usize> {
+        self.failed_link
+    }
+
+    /// Extra hops a detoured transfer pays: one to reach the neighbour
+    /// router and one back to the home node on the far side.
+    pub const DETOUR_EXTRA_HOPS: u32 = 2;
+
+    /// Resolves channel `ch` to the link its traffic actually uses plus
+    /// any extra detour hops, counting reroutes.
+    fn route(&mut self, ch: ChannelId) -> (usize, u32) {
+        match self.failed_link {
+            Some(dead) if dead == ch.index() => {
+                self.rerouted += 1;
+                ((ch.index() + 1) % self.links.len(), Self::DETOUR_EXTRA_HOPS)
+            }
+            _ => (ch.index(), 0),
+        }
+    }
+
+    /// Routing decisions that detoured around the failed link (admitted
+    /// or not — the detour was attempted either way).
+    pub fn rerouted(&self) -> u64 {
+        self.rerouted
     }
 
     /// The configured topology.
@@ -93,10 +140,12 @@ impl FlashNetwork {
     }
 
     /// Transfers `bytes` between channel `ch`'s controller and its
-    /// package; returns arrival time.
+    /// package; returns arrival time. A failed injection link reroutes
+    /// the transfer through the neighbouring channel's link.
     pub fn transfer(&mut self, now: Cycle, ch: ChannelId, bytes: usize) -> Cycle {
-        let hops = self.hops(ch, ch).max(1);
-        self.links[ch.index()].transfer(now, bytes) + self.hop_latency * hops as u64
+        let (link, extra) = self.route(ch);
+        let hops = self.hops(ch, ch).max(1) + extra;
+        self.links[link].transfer(now, bytes) + self.hop_latency * hops as u64
     }
 
     /// Bounds the number of transfers queued on every injection link
@@ -113,8 +162,9 @@ impl FlashNetwork {
     /// [`Error::Backpressure`] when channel `ch`'s injection link is
     /// saturated. Rejections move no bytes.
     pub fn try_transfer(&mut self, now: Cycle, ch: ChannelId, bytes: usize) -> Result<Cycle> {
-        let hops = self.hops(ch, ch).max(1);
-        match self.links[ch.index()].try_transfer(now, bytes) {
+        let (link, extra) = self.route(ch);
+        let hops = self.hops(ch, ch).max(1) + extra;
+        match self.links[link].try_transfer(now, bytes) {
             Admission::Admitted(done) => Ok(done + self.hop_latency * hops as u64),
             Admission::Rejected { retry_at } => Err(Error::Backpressure { retry_at }),
         }
@@ -138,9 +188,11 @@ impl FlashNetwork {
     /// package (SWnet register-to-register copy through the fabric).
     /// Occupies both endpoints' injection links.
     pub fn migrate(&mut self, now: Cycle, from: ChannelId, to: ChannelId, bytes: usize) -> Cycle {
-        let leave = self.links[from.index()].transfer(now, bytes);
-        let arrive = self.links[to.index()].transfer(leave, bytes);
-        arrive + self.hop_latency * self.hops(from, to) as u64
+        let (from_link, from_extra) = self.route(from);
+        let (to_link, to_extra) = self.route(to);
+        let leave = self.links[from_link].transfer(now, bytes);
+        let arrive = self.links[to_link].transfer(leave, bytes);
+        arrive + self.hop_latency * (self.hops(from, to) + from_extra + to_extra) as u64
     }
 
     /// Total bytes moved on channel `ch`'s link.
@@ -153,11 +205,13 @@ impl FlashNetwork {
         self.links.iter().map(|l| l.bytes_moved()).sum()
     }
 
-    /// Clears all reservations and counters.
+    /// Clears all reservations and counters (the failed-link fault, being
+    /// configuration rather than state, survives).
     pub fn reset(&mut self) {
         for l in &mut self.links {
             l.reset();
         }
+        self.rerouted = 0;
     }
 }
 
@@ -236,5 +290,49 @@ mod tests {
         net.transfer(Cycle(0), ChannelId(0), 100);
         net.reset();
         assert_eq!(net.total_bytes_moved(), 0);
+    }
+
+    #[test]
+    fn failed_link_detours_through_neighbour() {
+        let mut net = FlashNetwork::mesh(4, 8.0, Cycle(2));
+        let healthy = net.transfer(Cycle(0), ChannelId(0), 4096);
+        assert_eq!(healthy, Cycle(512 + 2)); // 512 transfer + 1 hop
+        net.fail_link(ChannelId(0));
+        assert_eq!(net.failed_link(), Some(0));
+        // Detour: neighbour link 1 carries the bytes, 2 extra hops.
+        let detoured = net.transfer(Cycle(1_000), ChannelId(0), 4096);
+        assert_eq!(detoured, Cycle(1_000 + 512 + 2 + 2 * 2));
+        assert_eq!(net.rerouted(), 1);
+        assert_eq!(net.bytes_moved(ChannelId(0)), 4096, "pre-failure bytes");
+        assert_eq!(net.bytes_moved(ChannelId(1)), 4096, "detoured bytes");
+        // The neighbour's own traffic now contends with the detour.
+        let neighbour = net.transfer(Cycle(1_000), ChannelId(1), 4096);
+        assert!(neighbour > Cycle(1_000 + 512 + 2));
+    }
+
+    #[test]
+    fn failed_link_detour_is_deterministic_and_wraps() {
+        let mut a = FlashNetwork::mesh(4, 8.0, Cycle(2));
+        let mut b = FlashNetwork::mesh(4, 8.0, Cycle(2));
+        a.fail_link(ChannelId(3));
+        b.fail_link(ChannelId(3));
+        for i in 0..8u64 {
+            let t = Cycle(i * 100);
+            assert_eq!(
+                a.transfer(t, ChannelId(3), 512),
+                b.transfer(t, ChannelId(3), 512)
+            );
+        }
+        assert_eq!(a.rerouted(), 8);
+        assert_eq!(a.bytes_moved(ChannelId(0)), 8 * 512, "detour wraps to 0");
+    }
+
+    #[test]
+    fn single_link_network_ignores_link_failure() {
+        let mut net = FlashNetwork::mesh(1, 8.0, Cycle(2));
+        net.fail_link(ChannelId(0));
+        assert_eq!(net.failed_link(), None);
+        net.transfer(Cycle(0), ChannelId(0), 64);
+        assert_eq!(net.rerouted(), 0);
     }
 }

@@ -4,6 +4,14 @@ use std::collections::HashMap;
 
 use zng_types::{Cycle, Freq};
 
+use crate::fault::MAX_READ_RETRIES;
+
+/// Buckets in the read-retry depth histogram: one per possible depth of a
+/// *successful* sense (0 retries through [`MAX_READ_RETRIES`] retries).
+/// Reads that exhaust the ladder are counted by
+/// [`FlashStats::uncorrectable_reads`] instead.
+pub const RETRY_DEPTH_BUCKETS: usize = MAX_READ_RETRIES as usize + 1;
+
 /// Per-logical-page access accounting plus aggregate byte counters.
 ///
 /// * **read re-access** (Fig. 5b / Fig. 12) — average number of array
@@ -19,6 +27,7 @@ pub struct FlashStats {
     bytes_read: u64,
     bytes_programmed: u64,
     read_retries: u64,
+    retry_depth: [u64; RETRY_DEPTH_BUCKETS],
     uncorrectable_reads: u64,
     program_failures: u64,
     erase_failures: u64,
@@ -51,9 +60,13 @@ impl FlashStats {
         self.bytes_programmed += bytes as u64;
     }
 
-    /// Records `n` read-retry ladder steps taken by one sense.
+    /// Records `n` read-retry ladder steps taken by one *successful*
+    /// sense: `n` total steps are tallied and the sense lands in depth
+    /// bucket `n` of the retry-depth histogram.
     pub fn record_read_retries(&mut self, n: u64) {
         self.read_retries += n;
+        let bucket = (n as usize).min(RETRY_DEPTH_BUCKETS - 1);
+        self.retry_depth[bucket] += 1;
     }
 
     /// Records a read that stayed uncorrectable through the whole retry
@@ -81,6 +94,14 @@ impl FlashStats {
     /// Total read-retry ladder steps across all senses.
     pub fn read_retries(&self) -> u64 {
         self.read_retries
+    }
+
+    /// Read-retry depth histogram: `[d]` counts the successful senses
+    /// that needed exactly `d` ladder steps. Deep-but-successful reads
+    /// are the patrol scrubber's input signal — a page repeatedly landing
+    /// in the high buckets is drifting toward uncorrectable.
+    pub fn retry_depth_histogram(&self) -> [u64; RETRY_DEPTH_BUCKETS] {
+        self.retry_depth
     }
 
     /// Reads declared ECC-uncorrectable after exhausting the ladder.
@@ -173,6 +194,7 @@ impl FlashStats {
         self.bytes_read = 0;
         self.bytes_programmed = 0;
         self.read_retries = 0;
+        self.retry_depth = [0; RETRY_DEPTH_BUCKETS];
         self.uncorrectable_reads = 0;
         self.program_failures = 0;
         self.erase_failures = 0;
@@ -245,8 +267,23 @@ mod tests {
         assert_eq!(s.total_programs(), 0);
         assert_eq!(s.bytes_programmed(), 0);
         assert_eq!(s.read_retries(), 0);
+        assert_eq!(s.retry_depth_histogram(), [0; RETRY_DEPTH_BUCKETS]);
         assert_eq!(s.uncorrectable_reads(), 0);
         assert_eq!(s.program_failures(), 0);
         assert_eq!(s.erase_failures(), 0);
+    }
+
+    #[test]
+    fn retry_depth_histogram_buckets_by_depth() {
+        let mut s = FlashStats::new();
+        s.record_read_retries(0);
+        s.record_read_retries(0);
+        s.record_read_retries(2);
+        s.record_read_retries(99); // clamps into the deepest bucket
+        let h = s.retry_depth_histogram();
+        assert_eq!(h[0], 2);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[RETRY_DEPTH_BUCKETS - 1], 1);
+        assert_eq!(s.read_retries(), 101);
     }
 }

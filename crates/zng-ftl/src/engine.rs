@@ -7,8 +7,46 @@
 //! memory access latency. [`SsdEngine`] models the cores as a small
 //! server pool with a per-request firmware cost.
 
+use zng_flash::FlashDevice;
 use zng_sim::Resource;
-use zng_types::{Cycle, Freq, Nanos};
+use zng_types::{Cycle, Error, FlashAddr, Freq, Nanos, Result};
+
+use crate::rain::RainState;
+use crate::GC_READ_ATTEMPTS;
+
+/// A read with a bounded retry budget against transient ECC-uncorrectable
+/// senses — the one retry loop shared by both FTLs' GC, scrub and
+/// migration paths ([`GC_READ_ATTEMPTS`] attempts).
+///
+/// When a [`RainState`] is supplied, a read that exhausts the whole
+/// ladder (or hits a dead die) is transparently reconstructed from its
+/// surviving stripe members instead of failing; without one, the final
+/// uncorrectable error propagates exactly as before.
+pub(crate) fn retried_read(
+    device: &mut FlashDevice,
+    now: Cycle,
+    addr: FlashAddr,
+    key: u64,
+    bytes: usize,
+    rain: Option<&mut RainState>,
+) -> Result<Cycle> {
+    let mut attempt = 0;
+    loop {
+        match device.read(now, addr, key, bytes) {
+            Ok(t) => return Ok(t),
+            Err(Error::UncorrectableRead { .. }) if attempt + 1 < GC_READ_ATTEMPTS => {
+                attempt += 1;
+            }
+            Err(e @ Error::UncorrectableRead { .. }) => {
+                return match rain {
+                    Some(r) => r.reconstruct(now, device, addr, bytes),
+                    None => Err(e),
+                };
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
 
 /// The embedded-core firmware execution model.
 ///

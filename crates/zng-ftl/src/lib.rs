@@ -27,6 +27,7 @@ pub mod allocator;
 pub mod engine;
 pub mod pacing;
 pub mod pagemap;
+pub mod rain;
 pub mod recovery;
 pub mod zngftl;
 
@@ -34,5 +35,6 @@ pub use allocator::{BlockAllocator, WearPolicy};
 pub use engine::SsdEngine;
 pub use pacing::GcPacing;
 pub use pagemap::PageMapFtl;
+pub use rain::{RainConfig, RainCounters, RainState, RAIN_XOR_CYCLES};
 pub use recovery::{RecoveryReport, OOB_SCAN_CYCLES_PER_PAGE};
 pub use zngftl::{GcReport, WriteMode, ZngFtl};

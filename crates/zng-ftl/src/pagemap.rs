@@ -12,7 +12,8 @@ use zng_flash::{BlockKind, FlashDevice};
 use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
 
 use crate::allocator::BlockAllocator;
-use crate::{GC_READ_ATTEMPTS, MAX_WRITE_REDRIVES};
+use crate::rain::{Claim, RainConfig, RainState};
+use crate::MAX_WRITE_REDRIVES;
 
 /// A page-level FTL with greedy GC and wear-aware allocation.
 #[derive(Debug, Clone)]
@@ -34,6 +35,9 @@ pub struct PageMapFtl {
     blocks_retired: u64,
     /// Writes re-driven to a new block after a program failure.
     write_redrives: u64,
+    /// Opt-in RAIN redundancy: `None` (the default) preserves baseline
+    /// behaviour bit-for-bit.
+    rain: Option<RainState>,
 }
 
 impl PageMapFtl {
@@ -53,7 +57,20 @@ impl PageMapFtl {
             pages_migrated: 0,
             blocks_retired: 0,
             write_redrives: 0,
+            rain: None,
         }
+    }
+
+    /// Enables (or disables) RAIN redundancy. Enable before the first
+    /// write: stripes only protect pages programmed while redundancy is
+    /// on.
+    pub fn set_redundancy(&mut self, device: &FlashDevice, config: Option<RainConfig>) {
+        self.rain = config.map(|c| RainState::new(device, c));
+    }
+
+    /// The redundancy state, when enabled.
+    pub fn redundancy(&self) -> Option<&RainState> {
+        self.rain.as_ref()
     }
 
     /// Current flash location of `lpn`, if mapped.
@@ -65,7 +82,17 @@ impl PageMapFtl {
         if self.allocator.free() <= self.gc_threshold {
             self.gc(now, device)?;
         }
-        let idx = self.allocator.allocate()?;
+        let idx = loop {
+            let idx = self.allocator.allocate()?;
+            match self.rain.as_mut() {
+                Some(rain) => match rain.classify(device, idx)? {
+                    Claim::Keep => break idx,
+                    Claim::Parity => {}
+                    Claim::Fenced => self.allocator.retire(idx),
+                },
+                None => break idx,
+            }
+        };
         let addr = device.geometry().block_for_index(idx)?;
         device.block_mut(addr)?.set_kind(BlockKind::Data);
         Ok(addr)
@@ -142,6 +169,9 @@ impl PageMapFtl {
                 device.invalidate(old);
             }
             self.record_mapping(device, lpn, FlashAddr::new(block, report.page));
+            if let Some(rain) = self.rain.as_mut() {
+                rain.note_program(report.done, device, block)?;
+            }
             return Ok(report.done);
         }
         Err(Error::FlashProtocol(format!(
@@ -162,6 +192,9 @@ impl PageMapFtl {
         }
         let block = self.next_slot(device, Cycle::ZERO)?;
         let page = device.preload_page(block, lpn)?;
+        if let Some(rain) = self.rain.as_mut() {
+            rain.note_preload(device, block)?;
+        }
         self.record_mapping(device, lpn, FlashAddr::new(block, page));
         Ok(())
     }
@@ -187,7 +220,8 @@ impl PageMapFtl {
     }
 
     /// A read with a bounded retry budget against transient
-    /// ECC-uncorrectable senses.
+    /// ECC-uncorrectable senses; with redundancy on, an exhausted ladder
+    /// falls back to stripe reconstruction.
     fn retried_read(
         &mut self,
         now: Cycle,
@@ -196,16 +230,7 @@ impl PageMapFtl {
         lpn: u64,
         bytes: usize,
     ) -> Result<Cycle> {
-        let mut attempt = 0;
-        loop {
-            match device.read(now, addr, lpn, bytes) {
-                Ok(t) => return Ok(t),
-                Err(Error::UncorrectableRead { .. }) if attempt + 1 < GC_READ_ATTEMPTS => {
-                    attempt += 1;
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        crate::engine::retried_read(device, now, addr, lpn, bytes, self.rain.as_mut())
     }
 
     /// Greedy garbage collection: migrate the least-valid sealed block's
@@ -269,6 +294,9 @@ impl PageMapFtl {
                 }
                 device.invalidate(src);
                 self.record_mapping(device, lpn, FlashAddr::new(dest, report.page));
+                if let Some(rain) = self.rain.as_mut() {
+                    rain.note_program(report.done, device, dest)?;
+                }
                 t = report.done;
                 break;
             }
@@ -371,12 +399,209 @@ impl PageMapFtl {
             reclaim.recycled,
         );
         let done = reclaim.done.max(now + scan.base_cycles);
+        if let Some(rain) = self.rain.as_mut() {
+            // Open-stripe parity lived in SRAM (lost with power) and
+            // flushed parity blocks were reclaimed by the scan just now:
+            // stripes restart empty.
+            rain.reset_after_recovery();
+        }
         Ok(recovery::RecoveryReport {
             pages_scanned: scan.pages_scanned,
             torn_discarded: scan.torn,
             stale_dropped: candidates - winners.len() as u64,
             blocks_erased: reclaim.erased,
             scan_cycles: done - now,
+        })
+    }
+
+    /// Fences a freshly failed die: active write slots on it are dropped
+    /// (the next write allocates elsewhere) and its sealed blocks leave
+    /// the GC candidate list, while their live pages stay mapped — reads
+    /// reconstruct from the stripe — until
+    /// [`PageMapFtl::rebuild_dead_die`] migrates them. A no-op without
+    /// redundancy.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` for parity with
+    /// [`crate::ZngFtl::fence_dead_die`].
+    pub fn fence_dead_die(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        let Some(rain) = self.rain.as_mut() else {
+            return Ok(now);
+        };
+        let mut fenced = 0u64;
+        for slot in self.active.iter_mut() {
+            if let Some(addr) = *slot {
+                if device.die_is_dead(addr.channel, addr.die) {
+                    *slot = None;
+                    fenced += 1;
+                }
+            }
+        }
+        self.sealed.retain(|addr| {
+            let dead = device.die_is_dead(addr.channel, addr.die);
+            if dead {
+                fenced += 1;
+            }
+            !dead
+        });
+        rain.fenced_blocks += fenced;
+        Ok(now)
+    }
+
+    /// Migrates every logical page lost to a dead die onto healthy
+    /// blocks: each is reconstructed from its surviving stripe members
+    /// and re-programmed through the normal write path, then the dead
+    /// blocks are retired. Returns the completion time and the pages
+    /// rebuilt; a no-op without redundancy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and flash-protocol errors, and
+    /// [`Error::UncorrectableRead`] when a stripe has lost a second
+    /// member.
+    pub fn rebuild_dead_die(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+    ) -> Result<(Cycle, u64)> {
+        if self.rain.is_none() {
+            return Ok((now, 0));
+        }
+        let page_bytes = device.geometry().page_bytes;
+        let mut lost: Vec<(u64, FlashAddr)> = self
+            .map
+            .iter()
+            .filter(|(_, a)| device.die_is_dead(a.block.channel, a.block.die))
+            .map(|(&l, &a)| (l, a))
+            .collect();
+        lost.sort_unstable();
+        let mut t = now;
+        let mut pages = 0u64;
+        for (lpn, old) in lost {
+            t = self
+                .rain
+                .as_mut()
+                .expect("rebuild requires redundancy")
+                .reconstruct(t, device, old, page_bytes)?;
+            let mut redrives = 0;
+            loop {
+                let dest = self.next_slot(device, t)?;
+                let report = device.program_migrate(t, dest, lpn)?;
+                if report.failed {
+                    self.write_redrives += 1;
+                    self.seal_active(dest);
+                    redrives += 1;
+                    if redrives >= MAX_WRITE_REDRIVES {
+                        return Err(Error::FlashProtocol(format!(
+                            "rebuild of lpn {lpn} still failing after \
+                             {MAX_WRITE_REDRIVES} re-drives"
+                        )));
+                    }
+                    continue;
+                }
+                device.invalidate(old);
+                self.record_mapping(device, lpn, FlashAddr::new(dest, report.page));
+                if let Some(rain) = self.rain.as_mut() {
+                    rain.note_program(report.done, device, dest)?;
+                }
+                t = report.done;
+                break;
+            }
+            pages += 1;
+        }
+        // Every dead block is now fully stale: drop its reverse map and
+        // retire it so the pool never hands it out again.
+        let mut dead_idxs: Vec<u64> = self
+            .rmap
+            .keys()
+            .copied()
+            .filter(|&idx| {
+                device
+                    .geometry()
+                    .block_for_index(idx)
+                    .map(|a| device.die_is_dead(a.channel, a.die))
+                    .unwrap_or(false)
+            })
+            .collect();
+        dead_idxs.sort_unstable();
+        for idx in dead_idxs {
+            self.rmap.remove(&idx);
+            self.allocator.retire(idx);
+            self.blocks_retired += 1;
+            if let Some(rain) = self.rain.as_mut() {
+                rain.fenced_blocks += 1;
+            }
+        }
+        if let Some(rain) = self.rain.as_mut() {
+            rain.rebuild_pages += pages;
+        }
+        Ok((t, pages))
+    }
+
+    /// One patrol-scrub step: sense the next live page and migrate it to
+    /// a fresh location when its retry depth reached the scrub threshold
+    /// (or the sense needed the stripe outright). The foreground stall is
+    /// capped by the configured pacing budget; the media work always
+    /// completes. A no-op without redundancy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and flash-protocol errors.
+    pub fn scrub_step(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        if self.rain.is_none() {
+            return Ok(now);
+        }
+        let Some((addr, lpn)) = self
+            .rain
+            .as_mut()
+            .expect("checked above")
+            .scrub_scan(device)
+        else {
+            return Ok(now);
+        };
+        let page_bytes = device.geometry().page_bytes;
+        let retries_before = device.stats().read_retries();
+        let unc_before = device.stats().uncorrectable_reads();
+        let mut t = self.retried_read(now, device, addr, lpn, page_bytes)?;
+        let depth = device.stats().read_retries() - retries_before;
+        let strained = device.stats().uncorrectable_reads() > unc_before;
+        let config = self.rain.as_ref().expect("checked above").config();
+        self.rain.as_mut().expect("checked above").scrub_scanned += 1;
+        if (depth >= config.scrub_threshold as u64 || strained) && self.translate(lpn) == Some(addr)
+        {
+            let mut redrives = 0;
+            loop {
+                let dest = self.next_slot(device, t)?;
+                let report = device.program_migrate(t, dest, lpn)?;
+                if report.failed {
+                    self.write_redrives += 1;
+                    self.seal_active(dest);
+                    redrives += 1;
+                    if redrives >= MAX_WRITE_REDRIVES {
+                        return Err(Error::FlashProtocol(format!(
+                            "scrub rewrite of lpn {lpn} still failing after \
+                             {MAX_WRITE_REDRIVES} re-drives"
+                        )));
+                    }
+                    continue;
+                }
+                device.invalidate(addr);
+                self.record_mapping(device, lpn, FlashAddr::new(dest, report.page));
+                if let Some(rain) = self.rain.as_mut() {
+                    rain.note_program(report.done, device, dest)?;
+                }
+                t = report.done;
+                break;
+            }
+            self.rain.as_mut().expect("checked above").scrub_rewrites += 1;
+        }
+        Ok(match config.pacing {
+            Some(p) if t > p.deadline(now) => {
+                self.rain.as_mut().expect("checked above").scrub_overruns += 1;
+                p.deadline(now)
+            }
+            _ => t,
         })
     }
 

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use zng_flash::{FlashDevice, OobMeta, PageOob};
+use zng_flash::{BlockKind, FlashDevice, OobMeta, PageOob};
 use zng_types::{BlockAddr, Cycle, FlashAddr, Result};
 
 /// Modelled cost of sensing one programmed page's OOB area during the
@@ -128,6 +128,12 @@ pub(crate) fn resolve_winners(blocks: &[ScannedBlock]) -> BTreeMap<u64, (u64, Fl
     let mut winners: BTreeMap<u64, (u64, FlashAddr)> = BTreeMap::new();
     for blk in blocks {
         for &(page, m) in &blk.entries {
+            if m.tag == BlockKind::Parity {
+                // RAIN parity pages carry synthetic keys outside the
+                // logical space; they protect stripes but never name a
+                // logical page.
+                continue;
+            }
             let cand = (m.seq, FlashAddr::new(blk.addr, page));
             match winners.get_mut(&m.lpn) {
                 Some(w) if w.0 >= m.seq => {}
@@ -193,4 +199,86 @@ pub(crate) fn reclaim_dead<'a>(
         }
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zng_flash::{FlashGeometry, RegisterTopology};
+    use zng_types::Freq;
+
+    fn device() -> FlashDevice {
+        FlashDevice::zng_config(
+            FlashGeometry::tiny(),
+            Freq::default(),
+            RegisterTopology::Private,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_cost_is_per_page_for_a_single_block() {
+        let mut d = device();
+        let addr = d.geometry().block_for_index(0).unwrap();
+        let mut t = Cycle(0);
+        for lpn in 0..5u64 {
+            t = d.program(t, addr, lpn).unwrap().done;
+        }
+        d.power_loss(t);
+        let scan = scan_device(&d);
+        assert_eq!(scan.pages_scanned, 5);
+        assert_eq!(scan.base_cycles, Cycle(OOB_SCAN_CYCLES_PER_PAGE.0 * 5));
+    }
+
+    #[test]
+    fn planes_scan_in_parallel_so_the_busiest_governs() {
+        let mut d = device();
+        let geo = *d.geometry();
+        // Channel-first striping puts consecutive indices on different
+        // channels: 7 pages on one plane, 2 on another -> the busiest
+        // plane's chain sets the wall time.
+        let a = geo.block_for_index(0).unwrap();
+        let b = geo.block_for_index(1).unwrap();
+        assert_ne!(a.channel, b.channel);
+        let mut t = Cycle(0);
+        for lpn in 0..7u64 {
+            t = d.program(t, a, lpn).unwrap().done;
+        }
+        for lpn in 7..9u64 {
+            t = d.program(t, b, lpn).unwrap().done;
+        }
+        d.power_loss(t);
+        let scan = scan_device(&d);
+        assert_eq!(scan.pages_scanned, 9);
+        assert_eq!(scan.base_cycles, Cycle(OOB_SCAN_CYCLES_PER_PAGE.0 * 7));
+    }
+
+    #[test]
+    fn preloaded_pages_cost_scan_time_like_programmed_ones() {
+        let mut d = device();
+        let addr = d.geometry().block_for_index(2).unwrap();
+        for lpn in 0..4u64 {
+            d.preload_page(addr, lpn).unwrap();
+        }
+        let scan = scan_device(&d);
+        assert_eq!(scan.pages_scanned, 4);
+        assert_eq!(scan.base_cycles, Cycle(OOB_SCAN_CYCLES_PER_PAGE.0 * 4));
+    }
+
+    #[test]
+    fn parity_tagged_records_never_win_a_logical_page() {
+        let mut d = device();
+        let geo = *d.geometry();
+        let data = geo.block_for_index(0).unwrap();
+        let parity = geo.block_for_index(4).unwrap();
+        let t = d.program(Cycle(0), data, 7).unwrap().done;
+        d.block_mut(parity).unwrap().set_kind(BlockKind::Parity);
+        // Newer stamp than the data copy: without the tag filter this
+        // parity record would shadow lpn 7.
+        d.program(t, parity, 7).unwrap();
+        let scan = scan_device(&d);
+        let winners = resolve_winners(&scan.blocks);
+        let (_, addr) = winners.get(&7).copied().expect("data copy survives");
+        assert_eq!(addr.block, data);
+    }
 }

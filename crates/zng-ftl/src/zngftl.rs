@@ -25,8 +25,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use zng_flash::{BlockKind, FlashDevice, RowDecoder, CAM_SEARCH_CYCLES};
 use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
 
+use crate::rain::{Claim, RainConfig, RainState};
 use crate::recovery::{self, RecoveryReport};
-use crate::{GC_READ_ATTEMPTS, MAX_WRITE_REDRIVES};
+use crate::MAX_WRITE_REDRIVES;
 
 /// How writes reach the flash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +105,9 @@ pub struct ZngFtl {
     gc_deadline_misses: u64,
     /// Merges that ran with pacing enabled.
     paced_gcs: u64,
+    /// RAIN redundancy & self-healing state; `None` (the default)
+    /// preserves baseline behaviour bit-for-bit.
+    rain: Option<RainState>,
 }
 
 impl ZngFtl {
@@ -154,7 +158,21 @@ impl ZngFtl {
             pacing: None,
             gc_deadline_misses: 0,
             paced_gcs: 0,
+            rain: None,
         }
+    }
+
+    /// Installs (or clears) RAIN redundancy: superblocks reserve one
+    /// rotating parity member, uncorrectable reads reconstruct from
+    /// surviving stripe members, and the patrol scrub / die-failure
+    /// machinery activates. `None` keeps the baseline bit-for-bit.
+    pub fn set_redundancy(&mut self, device: &FlashDevice, config: Option<RainConfig>) {
+        self.rain = config.map(|c| RainState::new(device, c));
+    }
+
+    /// The redundancy state, if installed.
+    pub fn redundancy(&self) -> Option<&RainState> {
+        self.rain.as_ref()
     }
 
     /// Installs (or clears) the GC pacing policy. With pacing, every
@@ -193,7 +211,20 @@ impl ZngFtl {
     }
 
     fn alloc_block(&mut self, device: &mut FlashDevice, kind: BlockKind) -> Result<BlockAddr> {
-        let idx = self.allocator.allocate()?;
+        let idx = loop {
+            let idx = self.allocator.allocate()?;
+            match self.rain.as_mut() {
+                Some(rain) => match rain.classify(device, idx)? {
+                    Claim::Keep => break idx,
+                    // The superblock's reserved parity member: RAIN keeps
+                    // it, the FTL allocates again.
+                    Claim::Parity => {}
+                    // A block on a dead die: permanently out of service.
+                    Claim::Fenced => self.allocator.retire(idx),
+                },
+                None => break idx,
+            }
+        };
         let addr = device.geometry().block_for_index(idx)?;
         device.block_mut(addr)?.set_kind(kind);
         Ok(addr)
@@ -212,6 +243,11 @@ impl ZngFtl {
         let addr = self.alloc_block(device, BlockKind::Data)?;
         for offset in 0..self.pages_per_block {
             device.preload_page(addr, vbn * self.pages_per_block + offset)?;
+        }
+        if let Some(rain) = self.rain.as_mut() {
+            // Parity of a pre-resident superblock logically pre-resided
+            // too: flush it outside the timing model.
+            rain.note_preload(device, addr)?;
         }
         self.dbmt.insert(vbn, addr);
         Ok(addr)
@@ -277,9 +313,31 @@ impl ZngFtl {
         }
         let (addr, cam) = self.resolve(device, vpn)?;
         device.try_admit(now, addr.block.channel)?;
-        let done = device.read(now + cam, addr, vpn, transfer_bytes)?;
+        let done = self.read_media(now + cam, device, addr, vpn, transfer_bytes)?;
         device.note_inflight(addr.block.channel, done);
         Ok(done)
+    }
+
+    /// One media sense with the RAIN fallback: an uncorrectable result
+    /// (the host retry ladder lives in the platform; a dead die never
+    /// recovers) reconstructs from surviving stripe members when
+    /// redundancy is on, and propagates untouched when it is off.
+    fn read_media(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        addr: FlashAddr,
+        vpn: u64,
+        transfer_bytes: usize,
+    ) -> Result<Cycle> {
+        match device.read(now, addr, vpn, transfer_bytes) {
+            Err(Error::UncorrectableRead { .. }) if self.rain.is_some() => self
+                .rain
+                .as_mut()
+                .expect("checked above")
+                .reconstruct(now, device, addr, transfer_bytes),
+            r => r,
+        }
     }
 
     /// Writes one 128 B sector of `vpn`.
@@ -337,7 +395,8 @@ impl ZngFtl {
         // 100 µs program completes in the background (the plane stays
         // busy, which is the real throughput penalty).
         let (src, cam) = self.resolve(device, vpn)?;
-        let fetched = device.read(now + cam, src, vpn, device.geometry().page_bytes)?;
+        let page_bytes = device.geometry().page_bytes;
+        let fetched = self.read_media(now + cam, device, src, vpn, page_bytes)?;
         self.program_log_page(fetched, device, vpn, group)?;
         Ok(WriteResult {
             done: fetched + Cycle(600),
@@ -415,6 +474,9 @@ impl ZngFtl {
                 // is verified, so a failure never strands acked data.
                 if let Some(stale) = old {
                     device.invalidate(FlashAddr::new(addr, stale));
+                }
+                if let Some(rain) = self.rain.as_mut() {
+                    rain.note_program(report.done, device, addr)?;
                 }
                 return Ok(report.done);
             }
@@ -529,25 +591,22 @@ impl ZngFtl {
                 }
                 self.retire_block(device, fresh)?;
             };
+            if let Some(rain) = self.rain.as_mut() {
+                rain.note_program(last_prog, device, fresh)?;
+            }
             for offset in 0..self.pages_per_block {
                 flushed.push(vbn * self.pages_per_block + offset);
             }
             done = done.max(last_prog);
             // Retire the old data block.
             self.invalidate_whole_block(device, old_data)?;
-            let erase = device.erase(read_t, old_data)?;
-            done = done.max(erase.done);
-            self.release_block(device, old_data);
-            erased += 1;
+            done = done.max(self.erase_or_fence(read_t, device, old_data, &mut erased)?);
             self.dbmt.insert(vbn, fresh);
         }
 
         // Retire the log block itself.
         self.invalidate_whole_block(device, lb.addr)?;
-        let erase = device.erase(done, lb.addr)?;
-        done = done.max(erase.done);
-        self.release_block(device, lb.addr);
-        erased += 1;
+        done = done.max(self.erase_or_fence(done, device, lb.addr, &mut erased)?);
 
         self.migrated += migrated;
         self.gc_events.push((now, done));
@@ -575,7 +634,8 @@ impl ZngFtl {
 
     /// A GC migration read with a bounded retry budget: uncorrectable
     /// senses are transient, so the helper thread re-reads a few times
-    /// before giving up on the whole merge.
+    /// before giving up on the whole merge. With redundancy on, a read
+    /// that exhausts the ladder reconstructs from its stripe instead.
     fn gc_read(
         &mut self,
         now: Cycle,
@@ -584,15 +644,38 @@ impl ZngFtl {
         vpn: u64,
         bytes: usize,
     ) -> Result<Cycle> {
-        let mut attempt = 0;
-        loop {
-            match device.read(now, src, vpn, bytes) {
-                Ok(t) => return Ok(t),
-                Err(Error::UncorrectableRead { .. }) if attempt + 1 < GC_READ_ATTEMPTS => {
-                    attempt += 1;
-                }
-                Err(e) => return Err(e),
-            }
+        crate::engine::retried_read(device, now, src, vpn, bytes, self.rain.as_mut())
+    }
+
+    /// Erases a reclaimed block, unless its die has died since: a block on
+    /// dead silicon cannot be erased, so it is fenced out of service
+    /// instead (its content, if still referenced anywhere, reconstructs
+    /// from the stripe). Returns when the erase completes, bumping
+    /// `erased` only for real erases.
+    fn erase_or_fence(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        addr: BlockAddr,
+        erased: &mut u64,
+    ) -> Result<Cycle> {
+        if device.die_is_dead(addr.channel, addr.die) {
+            self.fence_block(device, addr);
+            return Ok(now);
+        }
+        let erase = device.erase(now, addr)?;
+        self.release_block(device, addr);
+        *erased += 1;
+        Ok(erase.done)
+    }
+
+    /// Permanently removes a dead-die block from service (no erase is
+    /// possible on dead silicon).
+    fn fence_block(&mut self, device: &FlashDevice, addr: BlockAddr) {
+        let idx = device.geometry().index_for_block(addr);
+        self.allocator.retire(idx);
+        if let Some(rain) = self.rain.as_mut() {
+            rain.fenced_blocks += 1;
         }
     }
 
@@ -743,12 +826,190 @@ impl ZngFtl {
             reclaim.recycled,
         );
         let done = reclaim.done.max(now + scan.base_cycles);
+        if let Some(rain) = self.rain.as_mut() {
+            // Open-stripe parity lived in SRAM (lost with power) and
+            // flushed parity blocks were reclaimed by the scan just now:
+            // stripes restart empty.
+            rain.reset_after_recovery();
+        }
         Ok(RecoveryReport {
             pages_scanned: scan.pages_scanned,
             torn_discarded: scan.torn,
             stale_dropped: candidates - installed,
             blocks_erased: reclaim.erased,
             scan_cycles: done - now,
+        })
+    }
+
+    /// Fences a freshly failed die: every group whose log block sits on
+    /// the dead die is re-logged onto a spare block immediately (writes
+    /// would otherwise hard-fail), while data blocks stay degraded —
+    /// their reads reconstruct from the stripe — until
+    /// [`ZngFtl::rebuild_dead_die`] runs. Returns when the relocations
+    /// complete; a no-op without redundancy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and flash-protocol errors, and
+    /// [`Error::UncorrectableRead`] when a stripe has lost a second
+    /// member.
+    pub fn fence_dead_die(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        if self.rain.is_none() {
+            return Ok(now);
+        }
+        let page_bytes = device.geometry().page_bytes;
+        let mut groups: Vec<u64> = self
+            .lbmt
+            .iter()
+            .filter(|(_, lb)| device.die_is_dead(lb.addr.channel, lb.addr.die))
+            .map(|(&g, _)| g)
+            .collect();
+        groups.sort_unstable();
+        let mut t = now;
+        for group in groups {
+            let lb = self.lbmt.remove(&group).expect("group collected above");
+            let mut live: Vec<(u64, u32)> = lb.decoder.mappings();
+            live.sort_unstable_by_key(|&(_, slot)| slot);
+            let addr = self.alloc_block(device, BlockKind::Log)?;
+            let decoder = RowDecoder::new(self.pages_per_block as u32);
+            self.lbmt.insert(group, LogBlock { addr, decoder });
+            let mut pages = 0u64;
+            for (vpn, slot) in live {
+                let src = FlashAddr::new(lb.addr, slot);
+                let r = self
+                    .rain
+                    .as_mut()
+                    .expect("fencing requires redundancy")
+                    .reconstruct(t, device, src, page_bytes)?;
+                t = self.program_log_page(r, device, vpn, group)?;
+                pages += 1;
+            }
+            self.invalidate_whole_block(device, lb.addr)?;
+            self.fence_block(device, lb.addr);
+            if let Some(rain) = self.rain.as_mut() {
+                rain.rebuild_pages += pages;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Re-creates every data block lost to a dead die onto spare blocks:
+    /// each page is reconstructed from its surviving stripe members and
+    /// programmed to a fresh block (chained on the GPU helper thread),
+    /// after which reads stop paying the reconstruction fan-out. Returns
+    /// the completion time and the pages rebuilt; a no-op without
+    /// redundancy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and flash-protocol errors, and
+    /// [`Error::UncorrectableRead`] when a stripe has lost a second
+    /// member.
+    pub fn rebuild_dead_die(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+    ) -> Result<(Cycle, u64)> {
+        if self.rain.is_none() {
+            return Ok((now, 0));
+        }
+        let page_bytes = device.geometry().page_bytes;
+        let mut lost: Vec<(u64, BlockAddr)> = self
+            .dbmt
+            .iter()
+            .filter(|(_, a)| device.die_is_dead(a.channel, a.die))
+            .map(|(&v, &a)| (v, a))
+            .collect();
+        lost.sort_unstable();
+        let mut t = now;
+        let mut pages = 0u64;
+        for (vbn, old) in lost {
+            // A mid-rebuild program failure abandons the destination
+            // (data blocks stay offset-ordered) and restarts on a new
+            // spare, exactly like a GC merge.
+            let (fresh, last_prog) = loop {
+                let fresh = self.alloc_block(device, BlockKind::Data)?;
+                let mut rt = t;
+                let mut last_prog = t;
+                let mut burned = false;
+                for offset in 0..self.pages_per_block {
+                    let vpn = vbn * self.pages_per_block + offset;
+                    let src = FlashAddr::new(old, offset as u32);
+                    rt = self
+                        .rain
+                        .as_mut()
+                        .expect("rebuild requires redundancy")
+                        .reconstruct(rt, device, src, page_bytes)?;
+                    let report = device.program_migrate(rt, fresh, vpn)?;
+                    if report.failed {
+                        burned = true;
+                        break;
+                    }
+                    last_prog = last_prog.max(report.done);
+                }
+                if !burned {
+                    break (fresh, last_prog);
+                }
+                self.retire_block(device, fresh)?;
+            };
+            if let Some(rain) = self.rain.as_mut() {
+                rain.note_program(last_prog, device, fresh)?;
+                rain.rebuild_pages += self.pages_per_block;
+            }
+            pages += self.pages_per_block;
+            t = t.max(last_prog);
+            self.invalidate_whole_block(device, old)?;
+            self.fence_block(device, old);
+            self.dbmt.insert(vbn, fresh);
+        }
+        Ok((t, pages))
+    }
+
+    /// One patrol-scrub step, run by the GPU helper thread between demand
+    /// requests: sense the next live page and rewrite it through the log
+    /// path when its retry depth reached the scrub threshold (or the
+    /// sense needed the stripe outright). The foreground stall is capped
+    /// by the configured pacing budget; the media work always completes.
+    /// A no-op without redundancy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and flash-protocol errors.
+    pub fn scrub_step(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        if self.rain.is_none() {
+            return Ok(now);
+        }
+        let Some((addr, vpn)) = self
+            .rain
+            .as_mut()
+            .expect("checked above")
+            .scrub_scan(device)
+        else {
+            return Ok(now);
+        };
+        let page_bytes = device.geometry().page_bytes;
+        let retries_before = device.stats().read_retries();
+        let unc_before = device.stats().uncorrectable_reads();
+        let mut t =
+            crate::engine::retried_read(device, now, addr, vpn, page_bytes, self.rain.as_mut())?;
+        let depth = device.stats().read_retries() - retries_before;
+        let strained = device.stats().uncorrectable_reads() > unc_before;
+        let config = self.rain.as_ref().expect("checked above").config();
+        self.rain.as_mut().expect("checked above").scrub_scanned += 1;
+        if (depth >= config.scrub_threshold as u64 || strained) && self.locate(vpn) == Some(addr) {
+            let vbn = self.vbn_of(vpn);
+            self.ensure_data_block(device, vbn)?;
+            let group = self.group_of(vpn);
+            self.ensure_log_block(device, group)?;
+            t = self.program_log_page(t, device, vpn, group)?;
+            self.rain.as_mut().expect("checked above").scrub_rewrites += 1;
+        }
+        Ok(match config.pacing {
+            Some(p) if t > p.deadline(now) => {
+                self.rain.as_mut().expect("checked above").scrub_overruns += 1;
+                p.deadline(now)
+            }
+            _ => t,
         })
     }
 

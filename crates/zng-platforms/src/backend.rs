@@ -1,9 +1,10 @@
 //! Platform-specific memory backends (the path below the shared L2).
 
 use zng_flash::{FlashDevice, RegisterTopology};
-use zng_ftl::{GcPacing, GcReport, RecoveryReport, WriteMode, ZngFtl};
+use zng_ftl::{GcPacing, GcReport, RainConfig, RainCounters, RecoveryReport, WriteMode, ZngFtl};
 use zng_mem::{MemSubsystem, MemTiming, PcieLink};
 use zng_ssd::{NvmeSsd, PageBuffer, SsdModule};
+use zng_types::ids::{ChannelId, DieId};
 use zng_types::{AccessKind, Cycle, Error, Freq, Result};
 
 use crate::config::{PlatformKind, SimConfig};
@@ -134,7 +135,31 @@ impl Backend {
                 }));
             }
         }
+        // Redundancy: RAIN parity + patrol scrub on every flash FTL. The
+        // scrubber inherits the QoS GC stall budget so background repair
+        // and foreground traffic share one pacing contract.
+        if cfg.redundancy.enabled {
+            let rain = RainConfig {
+                scrub_threshold: cfg.redundancy.scrub_threshold,
+                pacing: cfg.qos.gc_stall_budget.map(|budget| GcPacing {
+                    stall_budget: budget,
+                    credit_writes: cfg.qos.gc_credit_writes,
+                }),
+            };
+            backend.set_redundancy(Some(rain));
+        }
         Ok(backend)
+    }
+
+    /// Installs (or removes, with `None`) RAIN redundancy on the flash
+    /// FTL. A no-op on flashless platforms.
+    pub fn set_redundancy(&mut self, config: Option<RainConfig>) {
+        match self {
+            Backend::Zng { device, ftl, .. } => ftl.set_redundancy(device, config),
+            Backend::HybridGpu { ssd } => ssd.set_redundancy(config),
+            Backend::Hetero { ssd, .. } => ssd.set_redundancy(config),
+            Backend::Ideal { .. } | Backend::Optane { .. } => {}
+        }
     }
 
     /// Read-retry attempts the host/controller issues on top of the
@@ -388,6 +413,88 @@ impl Backend {
             Backend::Zng { ftl, .. } => ftl.paced_gcs(),
             _ => 0,
         }
+    }
+
+    /// Kills one die and fences its blocks out of the allocator; returns
+    /// when the emergency relocations complete. A no-op (returns `now`)
+    /// on flashless platforms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash/FTL errors from the fencing relocations.
+    pub fn fail_die(&mut self, now: Cycle, channel: u16, die: u16) -> Result<Cycle> {
+        let (ch, die) = (ChannelId(channel), DieId(die));
+        match self {
+            Backend::Zng { device, ftl, .. } => {
+                device.fail_die(ch, die);
+                ftl.fence_dead_die(now, device)
+            }
+            Backend::HybridGpu { ssd } => ssd.fail_die(now, ch, die),
+            Backend::Hetero { ssd, .. } => ssd.fail_die(now, ch, die),
+            Backend::Ideal { .. } | Backend::Optane { .. } => Ok(now),
+        }
+    }
+
+    /// Severs one flash network link; transfers detour around it.
+    pub fn fail_link(&mut self, channel: u16) {
+        let ch = ChannelId(channel);
+        match self {
+            Backend::Zng { device, .. } => device.fail_link(ch),
+            Backend::HybridGpu { ssd } => ssd.fail_link(ch),
+            Backend::Hetero { ssd, .. } => ssd.fail_link(ch),
+            Backend::Ideal { .. } | Backend::Optane { .. } => {}
+        }
+    }
+
+    /// One patrol-scrub step on the flash FTL; returns the foreground
+    /// stall horizon (capped by the pacing budget when one is set).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash/FTL errors.
+    pub fn scrub_step(&mut self, now: Cycle) -> Result<Cycle> {
+        match self {
+            Backend::Zng { device, ftl, .. } => ftl.scrub_step(now, device),
+            Backend::HybridGpu { ssd } => ssd.scrub_step(now),
+            Backend::Hetero { ssd, .. } => ssd.scrub_step(now),
+            Backend::Ideal { .. } | Backend::Optane { .. } => Ok(now),
+        }
+    }
+
+    /// Re-creates every page stranded on dead dies onto healthy spare
+    /// blocks; returns `(completion, pages rebuilt)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash/FTL errors from reconstruction and reprogramming.
+    pub fn rebuild_dead_die(&mut self, now: Cycle) -> Result<(Cycle, u64)> {
+        match self {
+            Backend::Zng { device, ftl, .. } => ftl.rebuild_dead_die(now, device),
+            Backend::HybridGpu { ssd } => ssd.rebuild_dead_die(now),
+            Backend::Hetero { ssd, .. } => ssd.rebuild_dead_die(now),
+            Backend::Ideal { .. } | Backend::Optane { .. } => Ok((now, 0)),
+        }
+    }
+
+    /// The redundancy subsystem's counters, when RAIN is installed.
+    pub fn rain_counters(&self) -> Option<RainCounters> {
+        match self {
+            Backend::Zng { ftl, .. } => ftl.redundancy().map(|r| r.counters()),
+            Backend::HybridGpu { ssd } => ssd.ftl().redundancy().map(|r| r.counters()),
+            Backend::Hetero { ssd, .. } => ssd.ftl().redundancy().map(|r| r.counters()),
+            Backend::Ideal { .. } | Backend::Optane { .. } => None,
+        }
+    }
+
+    /// Reads that targeted a dead die (each one forced a reconstruction
+    /// or an uncorrectable error).
+    pub fn dead_die_reads(&self) -> u64 {
+        self.flash_device().map_or(0, FlashDevice::dead_die_reads)
+    }
+
+    /// Transfers that detoured around a severed flash network link.
+    pub fn rerouted_transfers(&self) -> u64 {
+        self.flash_device().map_or(0, |d| d.network().rerouted())
     }
 }
 

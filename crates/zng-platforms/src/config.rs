@@ -2,7 +2,7 @@
 
 use zng_flash::{FaultConfig, FlashGeometry, RegisterTopology};
 use zng_gpu::{GpuConfig, PrefetchPolicy};
-use zng_types::Result;
+use zng_types::{Error, Result};
 
 use crate::qos::QosConfig;
 
@@ -118,6 +118,111 @@ pub struct SimConfig {
     /// ([`QosConfig::unbounded`]) disables every mechanism and keeps
     /// output byte-identical to the unbounded simulator.
     pub qos: QosConfig,
+    /// Redundancy & self-healing policy (RAIN parity, patrol scrub,
+    /// die/link failure injection). The default
+    /// ([`RedundancyConfig::off`]) disables everything and keeps output
+    /// byte-identical to a redundancy-free build.
+    pub redundancy: RedundancyConfig,
+}
+
+/// Redundancy & self-healing policy: RAIN stripe parity across channels,
+/// reconstruction-on-read, background patrol scrub, and die/link failure
+/// injection with degraded-mode operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundancyConfig {
+    /// Master switch. Off (the default) adds no parity bookkeeping, no
+    /// scrub and no failure hooks — runs are byte-identical to a build
+    /// without the subsystem.
+    pub enabled: bool,
+    /// Patrol-scrub cadence: one scrub step every `n` completed
+    /// requests. `0` disables the patrol (reconstruction-on-read still
+    /// works).
+    pub scrub_every_ops: u64,
+    /// Read-retry depth at or above which the scrubber proactively
+    /// rewrites a page.
+    pub scrub_threshold: u32,
+    /// When `Some(n)`, kill one die after the `n`-th completed request:
+    /// its blocks are fenced, reads reconstruct from the surviving
+    /// stripe members, and the run ends with a rebuild onto spares.
+    pub die_fail_at: Option<u64>,
+    /// Which die dies: `(channel, die-within-channel)`.
+    pub die_fail: (u16, u16),
+    /// When `Some(ch)`, sever channel `ch`'s mesh link at the start of
+    /// the run; its transfers detour through a neighbour.
+    pub link_fail: Option<u16>,
+}
+
+impl RedundancyConfig {
+    /// Everything off — the byte-identical default.
+    pub fn off() -> RedundancyConfig {
+        RedundancyConfig {
+            enabled: false,
+            scrub_every_ops: 0,
+            scrub_threshold: 2,
+            die_fail_at: None,
+            die_fail: (0, 0),
+            link_fail: None,
+        }
+    }
+
+    /// RAIN on with the default scrub threshold and no injected
+    /// failures; pass the patrol cadence (`0` = no patrol).
+    pub fn rain(scrub_every_ops: u64) -> RedundancyConfig {
+        RedundancyConfig {
+            enabled: true,
+            scrub_every_ops,
+            ..RedundancyConfig::off()
+        }
+    }
+
+    /// Validates against the flash geometry.
+    ///
+    /// # Errors
+    ///
+    /// Rejects failure injection or scrubbing without `enabled`, parity
+    /// on a single-channel device, and out-of-range die/link targets.
+    pub fn validate(&self, flash: &FlashGeometry) -> Result<()> {
+        let invalid = |what: &str, why: &str| Error::InvalidConfig {
+            what: what.into(),
+            why: why.into(),
+        };
+        if !self.enabled {
+            if self.die_fail_at.is_some() || self.link_fail.is_some() || self.scrub_every_ops != 0 {
+                return Err(invalid(
+                    "redundancy",
+                    "die/link failure and patrol scrub require redundancy to be enabled",
+                ));
+            }
+            return Ok(());
+        }
+        if flash.channels < 2 {
+            return Err(invalid(
+                "redundancy",
+                "RAIN parity needs at least two channels to stripe across",
+            ));
+        }
+        let dies = flash.packages_per_channel * flash.dies_per_package;
+        if self.die_fail_at.is_some()
+            && (self.die_fail.0 as usize >= flash.channels || self.die_fail.1 as usize >= dies)
+        {
+            return Err(invalid("die_fail", "die-fail target outside the geometry"));
+        }
+        if let Some(ch) = self.link_fail {
+            if ch as usize >= flash.channels {
+                return Err(invalid(
+                    "link_fail",
+                    "link-fail channel outside the geometry",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for RedundancyConfig {
+    fn default() -> RedundancyConfig {
+        RedundancyConfig::off()
+    }
 }
 
 impl SimConfig {
@@ -157,6 +262,7 @@ impl SimConfig {
             fault: FaultConfig::none(),
             crash_at: None,
             qos: QosConfig::unbounded(),
+            redundancy: RedundancyConfig::off(),
         }
     }
 
@@ -179,6 +285,7 @@ impl SimConfig {
         self.gpu.validate()?;
         self.flash.validate()?;
         self.qos.validate()?;
+        self.redundancy.validate(&self.flash)?;
         Ok(())
     }
 }
@@ -225,5 +332,34 @@ mod tests {
         let mut bad = SimConfig::tiny();
         bad.flash.channels = 0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn redundancy_validation_rules() {
+        let mut cfg = SimConfig::tiny();
+        cfg.redundancy = RedundancyConfig::rain(100);
+        cfg.validate().unwrap();
+
+        // Failure injection without the master switch is rejected.
+        let mut orphan = SimConfig::tiny();
+        orphan.redundancy.die_fail_at = Some(5);
+        assert!(orphan.validate().is_err());
+
+        // Parity needs at least two channels.
+        let mut narrow = SimConfig::tiny();
+        narrow.redundancy = RedundancyConfig::rain(0);
+        narrow.flash.channels = 1;
+        assert!(narrow.validate().is_err());
+
+        // Die/link targets must exist.
+        let mut off_die = SimConfig::tiny();
+        off_die.redundancy = RedundancyConfig::rain(0);
+        off_die.redundancy.die_fail_at = Some(1);
+        off_die.redundancy.die_fail = (99, 0);
+        assert!(off_die.validate().is_err());
+        let mut off_link = SimConfig::tiny();
+        off_link.redundancy = RedundancyConfig::rain(0);
+        off_link.redundancy.link_fail = Some(99);
+        assert!(off_link.validate().is_err());
     }
 }

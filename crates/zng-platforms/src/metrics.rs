@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use zng_flash::RETRY_DEPTH_BUCKETS;
 use zng_json::Value;
 use zng_types::Cycle;
 
@@ -25,6 +26,38 @@ pub struct CrashRecoverySummary {
     pub blocks_erased: u64,
     /// Modelled cost of the recovery scan.
     pub scan_cycles: Cycle,
+}
+
+/// What the redundancy & self-healing subsystem did (`--redundancy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RedundancySummary {
+    /// Pages rebuilt from surviving stripe members on the read path.
+    pub reconstructions: u64,
+    /// Member senses issued by those reconstructions.
+    pub reconstruction_reads: u64,
+    /// Parity pages flushed from helper-thread SRAM to flash.
+    pub parity_pages: u64,
+    /// Pages the patrol scrubber sensed.
+    pub scrub_scanned: u64,
+    /// Scrubbed pages proactively rewritten to fresh cells.
+    pub scrub_rewrites: u64,
+    /// Scrub steps whose media time overran the pacing budget.
+    pub scrub_overruns: u64,
+    /// Patrol-scrub steps the runner scheduled.
+    pub scrub_ticks: u64,
+    /// Pages re-created onto spares by the post-failure rebuild.
+    pub rebuild_pages: u64,
+    /// Reconstructions forced by a dead home die (degraded mode).
+    pub degraded_reads: u64,
+    /// Blocks fenced out of service on dead dies.
+    pub fenced_blocks: u64,
+    /// Reads that targeted a dead die.
+    pub dead_die_reads: u64,
+    /// Transfers that detoured around a severed network link.
+    pub rerouted_transfers: u64,
+    /// Reads by retry-ladder depth (`[0]` = clean first sense; the last
+    /// bucket also absorbs deeper retries).
+    pub retry_depth_histogram: [u64; RETRY_DEPTH_BUCKETS],
 }
 
 /// The outcome of one simulation run.
@@ -105,6 +138,10 @@ pub struct RunResult {
     /// percentiles. `None` runs emit byte-identical output to builds
     /// without the overload-control machinery.
     pub qos: Option<QosSummary>,
+    /// Present only when `--redundancy` ran: RAIN, scrub, rebuild and
+    /// degraded-mode counters. `None` runs emit byte-identical output to
+    /// builds without the redundancy machinery.
+    pub redundancy: Option<RedundancySummary>,
 }
 
 impl RunResult {
@@ -253,6 +290,27 @@ impl RunResult {
             fields.push(("crash_blocks_erased", Value::from(cr.blocks_erased)));
             fields.push(("crash_scan_cycles", Value::from(cr.scan_cycles.raw())));
         }
+        if let Some(rd) = &self.redundancy {
+            fields.push(("rain_reconstructions", Value::from(rd.reconstructions)));
+            fields.push((
+                "rain_reconstruction_reads",
+                Value::from(rd.reconstruction_reads),
+            ));
+            fields.push(("rain_parity_pages", Value::from(rd.parity_pages)));
+            fields.push(("scrub_ticks", Value::from(rd.scrub_ticks)));
+            fields.push(("scrub_scanned", Value::from(rd.scrub_scanned)));
+            fields.push(("scrub_rewrites", Value::from(rd.scrub_rewrites)));
+            fields.push(("scrub_overruns", Value::from(rd.scrub_overruns)));
+            fields.push(("rebuild_pages", Value::from(rd.rebuild_pages)));
+            fields.push(("degraded_reads", Value::from(rd.degraded_reads)));
+            fields.push(("fenced_blocks", Value::from(rd.fenced_blocks)));
+            fields.push(("dead_die_reads", Value::from(rd.dead_die_reads)));
+            fields.push(("rerouted_transfers", Value::from(rd.rerouted_transfers)));
+            fields.push((
+                "retry_depth_histogram",
+                Value::from(rd.retry_depth_histogram.to_vec()),
+            ));
+        }
         Value::object(fields)
     }
 }
@@ -297,6 +355,7 @@ mod tests {
             write_redrives: 2,
             crash_recovery: None,
             qos: None,
+            redundancy: None,
         }
     }
 
@@ -352,5 +411,29 @@ mod tests {
         assert!(bounded.contains("\"qos_read_p99\":7777"));
         assert!(bounded.contains("\"per_app_read_latency\""));
         assert!(bounded.contains("\"per_app_write_latency\""));
+    }
+
+    #[test]
+    fn redundancy_keys_only_when_rain_ran() {
+        let mut r = result();
+        let clean = r.to_json_value().to_string();
+        assert!(!clean.contains("rain_"), "no RAIN keys in a default run");
+        assert!(!clean.contains("scrub_"));
+        assert!(!clean.contains("retry_depth_histogram"));
+        let mut hist = [0u64; RETRY_DEPTH_BUCKETS];
+        hist[0] = 40;
+        hist[2] = 3;
+        r.redundancy = Some(RedundancySummary {
+            reconstructions: 4,
+            scrub_rewrites: 2,
+            degraded_reads: 4,
+            retry_depth_histogram: hist,
+            ..RedundancySummary::default()
+        });
+        let rain = r.to_json_value().to_string();
+        assert!(rain.contains("\"rain_reconstructions\":4"));
+        assert!(rain.contains("\"scrub_rewrites\":2"));
+        assert!(rain.contains("\"degraded_reads\":4"));
+        assert!(rain.contains("\"retry_depth_histogram\":[40,0,3,0,0]"));
     }
 }

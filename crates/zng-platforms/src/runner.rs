@@ -15,7 +15,7 @@ use zng_gpu::{
     AccessMonitor, GpuConfig, Interconnect, L2Cache, L2Technology, Mmu, Mshr, Predictor,
     PrefetchPolicy, Sm, Warp, WarpOp,
 };
-use zng_sim::{CrashSwitch, EventQueue, Percentiles, TimeSeries};
+use zng_sim::{CrashSwitch, EventQueue, PatrolTicker, Percentiles, TimeSeries};
 use zng_types::{
     ids::{AppId, Pc, SmId, WarpId},
     AccessKind, Cycle, Error, Freq, Result,
@@ -23,8 +23,8 @@ use zng_types::{
 use zng_workloads::MultiApp;
 
 use crate::backend::{Backend, BackendWrite};
-use crate::config::{PlatformKind, SimConfig};
-use crate::metrics::{CrashRecoverySummary, RunResult};
+use crate::config::{PlatformKind, RedundancyConfig, SimConfig};
+use crate::metrics::{CrashRecoverySummary, RedundancySummary, RunResult};
 use crate::qos::{FairShare, QosConfig, QosSummary};
 
 /// Time-series bucket width for Fig. 17b (10 µs at 1.2 GHz).
@@ -61,6 +61,13 @@ pub struct Simulation {
     gc_reports: Vec<GcReport>,
     crash_switch: CrashSwitch,
     crash_summary: Option<CrashRecoverySummary>,
+    /// Redundancy policy. [`RedundancyConfig::off`] (the default) makes
+    /// every self-healing hook below a no-op.
+    redundancy: RedundancyConfig,
+    /// One-shot die-failure trigger (`die_fail_at`).
+    die_switch: CrashSwitch,
+    /// Patrol-scrub cadence, keyed to completed requests.
+    patrol: PatrolTicker,
     /// Overload-control policy. [`QosConfig::unbounded`] (the default)
     /// makes every QoS hook below a no-op.
     qos: QosConfig,
@@ -104,6 +111,12 @@ impl Simulation {
             PrefetchPolicy::None
         };
         let (hi, lo) = cfg.monitor_thresholds;
+        let mut backend = Backend::new(kind, cfg, freq)?;
+        if let Some(ch) = cfg.redundancy.link_fail {
+            // A severed link is a boot-time condition: every transfer on
+            // that channel detours for the whole run.
+            backend.fail_link(ch);
+        }
         Ok(Simulation {
             kind,
             freq,
@@ -113,7 +126,7 @@ impl Simulation {
             mmu: Mmu::new(gpu_cfg.tlb_entries, gpu_cfg.walker_threads, Cycle(200)),
             l2,
             icnt: Interconnect::new(gpu_cfg.l2_banks, 32.0, Cycle(20)),
-            backend: Backend::new(kind, cfg, freq)?,
+            backend,
             predictor: Predictor::new(),
             monitor: AccessMonitor::new(hi, lo),
             policy,
@@ -130,6 +143,13 @@ impl Simulation {
                 .map(CrashSwitch::at_ops)
                 .unwrap_or_else(CrashSwitch::disarmed),
             crash_summary: None,
+            redundancy: cfg.redundancy,
+            die_switch: cfg
+                .redundancy
+                .die_fail_at
+                .map(CrashSwitch::at_ops)
+                .unwrap_or_else(CrashSwitch::disarmed),
+            patrol: PatrolTicker::every_ops(cfg.redundancy.scrub_every_ops),
             qos: cfg.qos,
             qos_retried: 0,
             qos_budget_exhausted: 0,
@@ -203,15 +223,7 @@ impl Simulation {
                 let report = self.backend.crash_recover(now)?;
                 self.power_cut_gpu();
                 let resume = now + report.map(|r| r.scan_cycles).unwrap_or(Cycle::ZERO);
-                for (_, app, _) in &mix.apps {
-                    let blocked = self
-                        .app_blocked_until
-                        .get(&app.raw())
-                        .copied()
-                        .unwrap_or(Cycle::ZERO)
-                        .max(resume);
-                    self.app_blocked_until.insert(app.raw(), blocked);
-                }
+                self.block_all_apps(mix, resume);
                 let r = report.unwrap_or_default();
                 self.crash_summary = Some(CrashRecoverySummary {
                     at_requests: requests,
@@ -222,6 +234,22 @@ impl Simulation {
                     blocks_erased: r.blocks_erased,
                     scan_cycles: r.scan_cycles,
                 });
+            }
+            // Die failure: fires once. The FTL fences the dead die's
+            // blocks (relocating live log pages around it) and every app
+            // is held while the emergency relocations run; afterwards
+            // reads reconstruct from surviving stripe members.
+            if self.die_switch.poll(requests) {
+                let (ch, die) = self.redundancy.die_fail;
+                let fenced = self.backend.fail_die(now, ch, die)?;
+                self.block_all_apps(mix, fenced);
+            }
+            // Patrol scrub: one bounded step per cadence boundary. The
+            // step's media work always completes but the foreground
+            // stall is capped by the pacing budget when one is set.
+            if self.patrol.poll(requests) {
+                let horizon = self.backend.scrub_step(now)?;
+                self.block_all_apps(mix, horizon);
             }
             if warps[idx].is_done() {
                 continue;
@@ -341,6 +369,14 @@ impl Simulation {
             }
         }
 
+        // Post-failure rebuild: with the foreground traffic drained, the
+        // helper threads re-create every page stranded on dead dies onto
+        // healthy spare blocks (maintenance time, not charged to the
+        // run's cycle count).
+        if self.redundancy.enabled && self.die_switch.fired() {
+            self.backend.rebuild_dead_die(last_cycle)?;
+        }
+
         let instructions: u64 = warps.iter().map(|w| w.instructions_done()).sum();
         let mut per_app_instructions: BTreeMap<u16, u64> = BTreeMap::new();
         let mut per_app_cycles: BTreeMap<u16, Cycle> = BTreeMap::new();
@@ -400,6 +436,28 @@ impl Simulation {
             write_p95: write_pct.as_mut().map(|p| p.percentile(0.95)).unwrap_or(0),
             write_p99: write_pct.as_mut().map(|p| p.percentile(0.99)).unwrap_or(0),
         });
+        let redundancy = self.redundancy.enabled.then(|| {
+            let c = self.backend.rain_counters().unwrap_or_default();
+            RedundancySummary {
+                reconstructions: c.reconstructions,
+                reconstruction_reads: c.reconstruction_reads,
+                parity_pages: c.parity_pages,
+                scrub_scanned: c.scrub_scanned,
+                scrub_rewrites: c.scrub_rewrites,
+                scrub_overruns: c.scrub_overruns,
+                scrub_ticks: self.patrol.ticks(),
+                rebuild_pages: c.rebuild_pages,
+                degraded_reads: c.degraded_reads,
+                fenced_blocks: c.fenced_blocks,
+                dead_die_reads: self.backend.dead_die_reads(),
+                rerouted_transfers: self.backend.rerouted_transfers(),
+                retry_depth_histogram: self
+                    .backend
+                    .flash_device()
+                    .map(|d| d.stats().retry_depth_histogram())
+                    .unwrap_or_default(),
+            }
+        });
 
         Ok(RunResult {
             platform: self.kind,
@@ -441,7 +499,22 @@ impl Simulation {
             write_redrives: self.backend.write_redrives(),
             crash_recovery: self.crash_summary.take(),
             qos,
+            redundancy,
         })
+    }
+
+    /// Holds every app's memory requests until `until` (device-wide
+    /// maintenance: crash recovery, die fencing, a scrub step).
+    fn block_all_apps(&mut self, mix: &MultiApp, until: Cycle) {
+        for (_, app, _) in &mix.apps {
+            let blocked = self
+                .app_blocked_until
+                .get(&app.raw())
+                .copied()
+                .unwrap_or(Cycle::ZERO)
+                .max(until);
+            self.app_blocked_until.insert(app.raw(), blocked);
+        }
     }
 
     /// Drops every piece of volatile GPU state at a power cut: L2
@@ -963,6 +1036,78 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.requests, b.requests);
         assert_eq!(a.qos, b.qos);
+    }
+
+    #[test]
+    fn default_run_reports_no_redundancy_summary() {
+        let r = run(PlatformKind::Zng);
+        assert!(r.redundancy.is_none(), "off by default, no summary");
+    }
+
+    #[test]
+    fn patrol_scrub_runs_on_cadence() {
+        let mut cfg = SimConfig::tiny();
+        cfg.redundancy = RedundancyConfig::rain(20);
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let mut sim = Simulation::new(PlatformKind::Zng, &cfg).unwrap();
+        let r = sim.run(&mix).unwrap();
+        let rd = r.redundancy.expect("enabled policy must report");
+        assert!(rd.scrub_ticks > 0, "{rd:?}");
+        assert!(rd.scrub_scanned > 0, "{rd:?}");
+        assert!(
+            rd.retry_depth_histogram.iter().sum::<u64>() > 0,
+            "every read lands in a depth bucket: {rd:?}"
+        );
+    }
+
+    #[test]
+    fn die_failure_mid_run_completes_and_rebuilds() {
+        let mut cfg = SimConfig::tiny();
+        cfg.redundancy = RedundancyConfig::rain(0);
+        cfg.redundancy.die_fail_at = Some(60);
+        cfg.redundancy.die_fail = (1, 0);
+        // Read-heavy mix: preloaded data blocks stay on the dead die
+        // (writes would relocate them into log blocks on their own), so
+        // the end-of-run rebuild has stranded pages to re-create.
+        let mix = MultiApp::from_names(&["betw"], &TraceParams::tiny()).unwrap();
+        let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+        let r = sim.run(&mix).unwrap();
+        assert!(r.instructions > 0);
+        let rd = r.redundancy.expect("enabled policy must report");
+        assert!(rd.fenced_blocks > 0, "dead die's blocks fenced: {rd:?}");
+        assert!(rd.rebuild_pages > 0, "stranded pages rebuilt: {rd:?}");
+    }
+
+    #[test]
+    fn die_failure_run_is_deterministic() {
+        let mut cfg = SimConfig::tiny();
+        cfg.redundancy = RedundancyConfig::rain(25);
+        cfg.redundancy.die_fail_at = Some(40);
+        cfg.redundancy.die_fail = (2, 1);
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let a = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let b = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.redundancy, b.redundancy);
+    }
+
+    #[test]
+    fn severed_link_reroutes_transfers() {
+        let mut cfg = SimConfig::tiny();
+        cfg.redundancy = RedundancyConfig::rain(0);
+        cfg.redundancy.link_fail = Some(1);
+        let mix = MultiApp::from_names(&["betw"], &TraceParams::tiny()).unwrap();
+        let mut sim = Simulation::new(PlatformKind::Zng, &cfg).unwrap();
+        let r = sim.run(&mix).unwrap();
+        let rd = r.redundancy.expect("enabled policy must report");
+        assert!(rd.rerouted_transfers > 0, "{rd:?}");
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod rng;
 pub mod stats;
 
 pub use event::EventQueue;
-pub use power::CrashSwitch;
+pub use power::{CrashSwitch, PatrolTicker};
 pub use resource::{Admission, AdmissionQueue, Link, Resource};
 pub use stats::{Counter, Histogram, Percentiles, Ratio, TimeSeries};

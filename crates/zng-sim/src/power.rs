@@ -60,6 +60,63 @@ impl CrashSwitch {
     }
 }
 
+/// A recurring trigger firing every `every` completed operations — the
+/// patrol-scrub cadence (and any other periodic background chore keyed
+/// to request progress rather than wall time).
+///
+/// # Examples
+///
+/// ```
+/// use zng_sim::PatrolTicker;
+///
+/// let mut t = PatrolTicker::every_ops(3);
+/// assert!(!t.poll(1));
+/// assert!(t.poll(3));
+/// assert!(!t.poll(4));
+/// assert!(t.poll(6), "re-arms after each firing");
+/// assert_eq!(t.ticks(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatrolTicker {
+    every: u64,
+    next: u64,
+    ticks: u64,
+}
+
+impl PatrolTicker {
+    /// A ticker firing every `every` completed operations; `every == 0`
+    /// never fires (disabled).
+    pub fn every_ops(every: u64) -> PatrolTicker {
+        PatrolTicker {
+            every,
+            next: every.max(1),
+            ticks: 0,
+        }
+    }
+
+    /// A ticker that never fires.
+    pub fn disabled() -> PatrolTicker {
+        PatrolTicker::every_ops(0)
+    }
+
+    /// Polls with the current completed-operation count; returns `true`
+    /// when a period boundary has been reached, then re-arms one period
+    /// past the poll (a late poll does not burst-fire the missed ticks).
+    pub fn poll(&mut self, ops: u64) -> bool {
+        if self.every == 0 || ops < self.next {
+            return false;
+        }
+        self.next = ops + self.every;
+        self.ticks += 1;
+        true
+    }
+
+    /// Times the ticker has fired.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +154,32 @@ mod tests {
             assert!(!s.poll(ops));
         }
         assert!(!s.fired(), "a disarmed switch reports no crash");
+    }
+
+    #[test]
+    fn ticker_fires_every_period_without_bursting() {
+        let mut t = PatrolTicker::every_ops(10);
+        let mut fired = Vec::new();
+        for ops in 0..35u64 {
+            if t.poll(ops) {
+                fired.push(ops);
+            }
+        }
+        assert_eq!(fired, vec![10, 20, 30]);
+        assert_eq!(t.ticks(), 3);
+        // A late poll past several boundaries fires once, not thrice.
+        let mut late = PatrolTicker::every_ops(10);
+        assert!(late.poll(35));
+        assert!(!late.poll(36));
+        assert_eq!(late.ticks(), 1);
+    }
+
+    #[test]
+    fn disabled_ticker_never_fires() {
+        let mut t = PatrolTicker::disabled();
+        for ops in 0..100 {
+            assert!(!t.poll(ops));
+        }
+        assert_eq!(t.ticks(), 0);
     }
 }

@@ -9,9 +9,10 @@
 //! 4. the **ONFI bus** flash network with private plane registers.
 
 use zng_flash::{FlashDevice, FlashGeometry};
-use zng_ftl::{PageMapFtl, RecoveryReport, SsdEngine};
+use zng_ftl::{PageMapFtl, RainConfig, RecoveryReport, SsdEngine};
 use zng_mem::{MemSubsystem, MemTiming};
 use zng_sim::{AdmissionQueue, Resource};
+use zng_types::ids::{ChannelId, DieId};
 use zng_types::{AccessKind, Cycle, Error, Freq, Nanos, Result};
 
 use crate::buffer::PageBuffer;
@@ -156,6 +157,45 @@ impl SsdModule {
     /// Applies a fault-injection configuration to the flash media.
     pub fn apply_faults(&mut self, cfg: &zng_flash::FaultConfig) {
         self.device.set_fault_config(cfg);
+    }
+
+    /// Enables (or disables, with `None`) RAIN redundancy on the FTL.
+    pub fn set_redundancy(&mut self, config: Option<RainConfig>) {
+        self.ftl.set_redundancy(&self.device, config);
+    }
+
+    /// Kills one die and fences its blocks: reads reconstruct around it,
+    /// the allocator stops handing out its blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash/FTL errors from the fencing relocations.
+    pub fn fail_die(&mut self, now: Cycle, channel: ChannelId, die: DieId) -> Result<Cycle> {
+        self.device.fail_die(channel, die);
+        self.ftl.fence_dead_die(now, &mut self.device)
+    }
+
+    /// Severs one mesh/bus link; transfers detour deterministically.
+    pub fn fail_link(&mut self, channel: ChannelId) {
+        self.device.fail_link(channel);
+    }
+
+    /// One patrol-scrub step: scan the next slot, rewrite it if strained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash/FTL errors.
+    pub fn scrub_step(&mut self, now: Cycle) -> Result<Cycle> {
+        self.ftl.scrub_step(now, &mut self.device)
+    }
+
+    /// Re-creates every page stranded on dead dies onto healthy spares.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash/FTL errors from reconstruction and reprogramming.
+    pub fn rebuild_dead_die(&mut self, now: Cycle) -> Result<(Cycle, u64)> {
+        self.ftl.rebuild_dead_die(now, &mut self.device)
     }
 
     /// The internal page buffer (for hit-rate inspection).

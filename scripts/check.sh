@@ -19,3 +19,8 @@ cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo test -q --workspace
+
+# Self-healing end-to-end smoke: a die failure plus a severed mesh link
+# mid-run must still complete and rebuild (exercises the RAIN paths the
+# unit tests cover piecewise).
+cargo run -q --example redundancy_rebuild >/dev/null

@@ -10,8 +10,8 @@
 use std::process::ExitCode;
 
 use zng::{
-    table2, Cycle, Experiment, FaultConfig, FaultProfile, PlatformKind, QosConfig, RunResult,
-    Table, TraceParams,
+    table2, Cycle, Experiment, FaultConfig, FaultProfile, PlatformKind, QosConfig,
+    RedundancyConfig, RunResult, Table, TraceParams,
 };
 use zng_types::ids::AppId;
 use zng_workloads::{by_name, generate, TraceBundle};
@@ -50,6 +50,12 @@ options:
       --gc-stall-budget  max cycles one GC may stall its victim
       --gc-credits     foreground stalls per GC before early release
       --fair-window    per-app fair-share window in requests
+      --redundancy     enable RAIN parity + reconstruction-on-read
+      --scrub-every    patrol-scrub step every N requests (implies --redundancy)
+      --scrub-threshold  retry depth that triggers a scrub rewrite (default 2)
+      --die-fail-at    kill one die after N requests (implies --redundancy)
+      --die-fail       which die dies, as ch:die    (default 0:0)
+      --link-fail      sever channel N's mesh link  (implies --redundancy)
       --json       emit the full RunResult as JSON";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -80,6 +86,9 @@ fn run(args: &[String]) -> Result<(), String> {
             if let Some(q) = opts.qos {
                 exp.config_mut().qos = q;
             }
+            if let Some(rd) = opts.redundancy {
+                exp.config_mut().redundancy = rd;
+            }
             let r = exp
                 .run(platform, &opts.workload_refs())
                 .map_err(|e| e.to_string())?;
@@ -97,6 +106,9 @@ fn run(args: &[String]) -> Result<(), String> {
             exp.config_mut().crash_at = opts.crash_at;
             if let Some(q) = opts.qos {
                 exp.config_mut().qos = q;
+            }
+            if let Some(rd) = opts.redundancy {
+                exp.config_mut().redundancy = rd;
             }
             let mut t = Table::new(vec![
                 "platform".into(),
@@ -180,6 +192,12 @@ const RUN_FLAGS: &[&str] = &[
     "--gc-stall-budget",
     "--gc-credits",
     "--fair-window",
+    "--redundancy",
+    "--scrub-every",
+    "--scrub-threshold",
+    "--die-fail-at",
+    "--die-fail",
+    "--link-fail",
     "--json",
 ];
 const SWEEP_FLAGS: &[&str] = &[
@@ -197,6 +215,12 @@ const SWEEP_FLAGS: &[&str] = &[
     "--gc-stall-budget",
     "--gc-credits",
     "--fair-window",
+    "--redundancy",
+    "--scrub-every",
+    "--scrub-threshold",
+    "--die-fail-at",
+    "--die-fail",
+    "--link-fail",
 ];
 const TRACES_FLAGS: &[&str] = &[
     "-w",
@@ -218,6 +242,7 @@ struct Opts {
     faults: FaultProfile,
     crash_at: Option<u64>,
     qos: Option<QosConfig>,
+    redundancy: Option<RedundancyConfig>,
     json: bool,
 }
 
@@ -235,6 +260,7 @@ impl Opts {
             faults: FaultProfile::None,
             crash_at: None,
             qos: None,
+            redundancy: None,
             json: false,
         };
         let mut it = args.iter();
@@ -291,6 +317,33 @@ impl Opts {
                 "--fair-window" => {
                     opts.qos_mut().fair_window = parse_num(&value("--fair-window")?)? as u64;
                 }
+                "--redundancy" => {
+                    opts.redundancy_mut();
+                }
+                "--scrub-every" => {
+                    opts.redundancy_mut().scrub_every_ops =
+                        parse_num(&value("--scrub-every")?)? as u64;
+                }
+                "--scrub-threshold" => {
+                    opts.redundancy_mut().scrub_threshold =
+                        parse_num(&value("--scrub-threshold")?)? as u32;
+                }
+                "--die-fail-at" => {
+                    opts.redundancy_mut().die_fail_at =
+                        Some(parse_num(&value("--die-fail-at")?)? as u64);
+                }
+                "--die-fail" => {
+                    let spec = value("--die-fail")?;
+                    let (ch, die) = spec
+                        .split_once(':')
+                        .ok_or_else(|| format!("--die-fail wants ch:die, got `{spec}`"))?;
+                    opts.redundancy_mut().die_fail =
+                        (parse_num(ch)? as u16, parse_num(die)? as u16);
+                }
+                "--link-fail" => {
+                    opts.redundancy_mut().link_fail =
+                        Some(parse_num(&value("--link-fail")?)? as u16);
+                }
                 "--json" => opts.json = true,
                 other => {
                     return Err(format!(
@@ -311,6 +364,13 @@ impl Opts {
     fn qos_mut(&mut self) -> &mut QosConfig {
         self.qos
             .get_or_insert_with(|| QosConfig::bounded(DEFAULT_QUEUE_DEPTH))
+    }
+
+    /// The redundancy policy being built up by flags, enabled the first
+    /// time any redundancy flag appears.
+    fn redundancy_mut(&mut self) -> &mut RedundancyConfig {
+        self.redundancy
+            .get_or_insert_with(|| RedundancyConfig::rain(0))
     }
 
     fn workload_refs(&self) -> Vec<&str> {
@@ -452,6 +512,40 @@ fn print_result(r: &RunResult) {
         for (app, lat) in &r.per_app_write_latency {
             t.row(vec![format!("app{app} avg write lat"), format!("{lat:.0}")]);
         }
+    }
+    if let Some(rd) = &r.redundancy {
+        t.row(vec![
+            "rain reconstructions".into(),
+            rd.reconstructions.to_string(),
+        ]);
+        t.row(vec![
+            "rain member reads".into(),
+            rd.reconstruction_reads.to_string(),
+        ]);
+        t.row(vec![
+            "rain parity pages".into(),
+            rd.parity_pages.to_string(),
+        ]);
+        t.row(vec![
+            "scrub ticks/scanned".into(),
+            format!("{}/{}", rd.scrub_ticks, rd.scrub_scanned),
+        ]);
+        t.row(vec!["scrub rewrites".into(), rd.scrub_rewrites.to_string()]);
+        t.row(vec!["scrub overruns".into(), rd.scrub_overruns.to_string()]);
+        t.row(vec!["rebuild pages".into(), rd.rebuild_pages.to_string()]);
+        t.row(vec!["degraded reads".into(), rd.degraded_reads.to_string()]);
+        t.row(vec!["fenced blocks".into(), rd.fenced_blocks.to_string()]);
+        t.row(vec!["dead-die reads".into(), rd.dead_die_reads.to_string()]);
+        t.row(vec![
+            "rerouted transfers".into(),
+            rd.rerouted_transfers.to_string(),
+        ]);
+        let hist: Vec<String> = rd
+            .retry_depth_histogram
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        t.row(vec!["retry depth 0..4+".into(), hist.join("/")]);
     }
     if let Some(cr) = &r.crash_recovery {
         t.row(vec!["crash at request".into(), cr.at_requests.to_string()]);
