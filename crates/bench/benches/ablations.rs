@@ -23,6 +23,7 @@ fn main() {
     media_ablation();
     wear_ablation();
     redundancy_ablation();
+    integrity_ablation();
 }
 
 /// Streams a read-heavy page workload through a ZnG-style device built
@@ -259,5 +260,130 @@ fn redundancy_ablation() {
         &t,
         "device-level redundancy beneath the FTL: healthy reads free, degraded reads pay a \
          bounded stripe fan-out, scrub paced in the background (GNStor-style RAIN)",
+    );
+}
+
+/// End-to-end integrity overhead: the same read stream unverified,
+/// verified on clean media, and verified with silent corruption healed
+/// through RAIN — the numbers behind EXPERIMENTS.md "End-to-end data
+/// integrity overhead".
+fn integrity_ablation() {
+    let vpns = if quick() { 128u64 } else { 512 };
+
+    let read_pass = |ftl: &mut ZngFtl, dev: &mut FlashDevice, start: Cycle| -> Cycle {
+        let mut t = start;
+        for vpn in 0..vpns {
+            t = ftl.read(t, dev, vpn, 4096).expect("stream read");
+        }
+        t
+    };
+    let device = || {
+        FlashDevice::zng_config(
+            FlashGeometry::tiny(),
+            Freq::default(),
+            RegisterTopology::NiF,
+        )
+        .expect("device")
+    };
+
+    // Verification off: the baseline read stream.
+    let mut dev0 = device();
+    let mut off = ZngFtl::new(&dev0, 1, WriteMode::Direct);
+    let t_off = read_pass(&mut off, &mut dev0, Cycle::ZERO);
+
+    // Verification on, clean media: the OOB checksum rides the page the
+    // read already sensed, so verified reads must cost the baseline.
+    let mut dev1 = device();
+    let mut clean = ZngFtl::new(&dev1, 1, WriteMode::Direct);
+    clean.set_integrity(true);
+    let t_clean = read_pass(&mut clean, &mut dev1, Cycle::ZERO);
+    assert_eq!(
+        t_clean.raw(),
+        t_off.raw(),
+        "verified reads on clean media must cost exactly the baseline"
+    );
+
+    // Verification on, RAIN on, and a slice of the footprint silently
+    // corrupted: each hit pays one charged re-read plus the stripe
+    // reconstruction, then heals in place (a second pass is clean).
+    // The footprint is *written* first so every page belongs to a
+    // stripe (preloaded pages have no parity to reconstruct from), and
+    // the heal pass is measured against this device's own clean
+    // verified pass.
+    let mut dev2 = device();
+    let mut healed = ZngFtl::new(&dev2, 1, WriteMode::Direct);
+    healed.set_redundancy(&dev2, Some(RainConfig::default()));
+    healed.set_integrity(true);
+    let mut tw = Cycle::ZERO;
+    for vpn in 0..vpns {
+        tw = healed.write(tw, &mut dev2, vpn).expect("stream write").done;
+    }
+    let warm = read_pass(&mut healed, &mut dev2, tw);
+    let warm_cycles = warm.raw() - tw.raw();
+    // Consecutive vpns sit at distinct page offsets of one block, so
+    // each corrupt page is the only bad member of its stripe (two in
+    // one stripe is beyond single parity, by design); capping at one
+    // block's worth of pages keeps the offsets distinct.
+    let corrupted = (vpns / 16).min(16);
+    for vpn in 0..corrupted {
+        let addr = healed.locate(vpn).expect("mapped after the warm pass");
+        dev2.mark_page_corrupt(addr).expect("mark corrupt");
+    }
+    let t_heal = read_pass(&mut healed, &mut dev2, warm);
+    let c = healed.integrity_counters();
+    assert_eq!(c.detected, corrupted, "every corrupt page must be caught");
+    assert_eq!(c.reconstructed, corrupted, "every hit must heal");
+    let heal_cycles = t_heal.raw() - warm.raw();
+    let extra_per_heal = heal_cycles.saturating_sub(warm_cycles) as f64 / corrupted.max(1) as f64;
+    let t_second = read_pass(&mut healed, &mut dev2, t_heal);
+    assert_eq!(
+        healed.integrity_counters().detected,
+        corrupted,
+        "healed pages must read clean on the second pass"
+    );
+    let second_cycles = t_second.raw() - t_heal.raw();
+
+    let ms = |cycles: u64| cycles as f64 / 1.2e6;
+    let mut t = Table::new(vec![
+        "config".into(),
+        "read stream (ms)".into(),
+        "vs clean".into(),
+        "detected".into(),
+        "extra cyc/heal".into(),
+    ]);
+    t.row(vec![
+        "integrity off".into(),
+        format!("{:.3}", ms(t_off.raw())),
+        "1.00x".into(),
+        "0".into(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "verified, clean media".into(),
+        format!("{:.3}", ms(t_clean.raw())),
+        format!("{:.2}x", t_clean.raw() as f64 / t_off.raw() as f64),
+        "0".into(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        format!("verified, {corrupted} pages corrupt (RAIN heal)"),
+        format!("{:.3}", ms(heal_cycles)),
+        format!("{:.2}x", heal_cycles as f64 / warm_cycles as f64),
+        c.detected.to_string(),
+        format!("{extra_per_heal:.0}"),
+    ]);
+    t.row(vec![
+        "second pass (healed in place)".into(),
+        format!("{:.3}", ms(second_cycles)),
+        format!("{:.2}x", second_cycles as f64 / warm_cycles as f64),
+        "0".into(),
+        "-".into(),
+    ]);
+    report(
+        "ablation_integrity",
+        "End-to-end verified-read & heal overhead",
+        &t,
+        "verified reads are free on clean media; a caught silent flip pays one re-read plus \
+         the stripe reconstruction and then heals in place (end-to-end checksum discipline)",
     );
 }

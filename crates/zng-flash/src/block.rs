@@ -95,6 +95,13 @@ pub struct Block {
     /// volatile mapping tables and property tests use it to prove no
     /// acknowledged write is lost.
     oob: Vec<PageOob>,
+    /// Silent-corruption bitmap, one bit per page: set when the page's
+    /// payload was flipped *below* the ECC model (a miscorrection the
+    /// sense reports as success). The simulator carries no payload bytes,
+    /// so this flag *is* the corruption — "does the stored payload still
+    /// match its OOB checksum". Survives power loss (the array is
+    /// non-volatile) and clears on erase.
+    corrupt: Vec<u64>,
 }
 
 impl Block {
@@ -114,7 +121,22 @@ impl Block {
             erase_count: 0,
             failed: false,
             oob: vec![PageOob::Blank; pages as usize],
+            corrupt: vec![0; (pages as usize).div_ceil(64)],
         }
+    }
+
+    /// Flags `page`'s payload as silently corrupted: its stored bits no
+    /// longer match the checksum in its OOB record. No-op out of range.
+    pub fn mark_corrupt(&mut self, page: u32) {
+        if page < self.pages {
+            self.corrupt[(page / 64) as usize] |= 1 << (page % 64);
+        }
+    }
+
+    /// Whether `page`'s payload fails its end-to-end checksum. Only an
+    /// integrity-verifying reader notices — the sense itself succeeds.
+    pub fn is_corrupt(&self, page: u32) -> bool {
+        page < self.pages && self.corrupt[(page / 64) as usize] & (1 << (page % 64)) != 0
     }
 
     /// Programs the next in-order page; returns its index.
@@ -179,6 +201,7 @@ impl Block {
         self.next_page = 0;
         self.valid.iter_mut().for_each(|w| *w = 0);
         self.oob.iter_mut().for_each(|s| *s = PageOob::Blank);
+        self.corrupt.iter_mut().for_each(|w| *w = 0);
         self.erase_count += 1;
         Ok(())
     }
@@ -446,6 +469,23 @@ mod tests {
         b.restore_valid(3); // unprogrammed: no-op
         assert_eq!(b.valid_pages(), 1);
         assert!(b.is_valid(1) && !b.is_valid(0));
+    }
+
+    #[test]
+    fn corruption_survives_power_loss_and_clears_on_erase() {
+        let mut b = Block::new(4);
+        b.program_next().unwrap();
+        b.program_next().unwrap();
+        assert!(!b.is_corrupt(0));
+        b.mark_corrupt(0);
+        b.mark_corrupt(99); // out of range: no-op
+        assert!(b.is_corrupt(0) && !b.is_corrupt(1));
+        // The array is non-volatile: corruption survives the cut.
+        b.power_loss(Cycle::ZERO, 0);
+        assert!(b.is_corrupt(0));
+        // A fresh erase gives the cells new, clean charge.
+        b.erase().unwrap();
+        assert!(!b.is_corrupt(0));
     }
 
     #[test]

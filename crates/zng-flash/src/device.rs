@@ -16,7 +16,7 @@ use zng_types::{
 };
 
 use crate::block::{Block, OobMeta, PageOob};
-use crate::fault::{FaultConfig, PlaneFaults};
+use crate::fault::{FaultConfig, PlaneFaults, PlaneSdc, SdcConfig};
 use crate::geometry::FlashGeometry;
 use crate::network::FlashNetwork;
 use crate::package::{BufferedWrite, FlashPackage, PendingProgram, RegisterTopology};
@@ -99,6 +99,13 @@ pub struct FlashDevice {
     dead_dies: Vec<(u16, u16)>,
     /// Array reads refused because their die is dead.
     dead_die_reads: u64,
+    /// Per-plane silent-corruption streams, indexed by the same
+    /// device-global plane tag as the RBER streams. Empty (no RNG state
+    /// at all) unless a non-zero SDC rate was configured.
+    sdc: Vec<Option<PlaneSdc>>,
+    /// One-shot deterministic corruption: the program whose sequence
+    /// number equals this value lands silently corrupted.
+    sdc_at: Option<u64>,
 }
 
 impl FlashDevice {
@@ -140,6 +147,8 @@ impl FlashDevice {
             admission: vec![AdmissionQueue::new(); channels],
             dead_dies: Vec::new(),
             dead_die_reads: 0,
+            sdc: Vec::new(),
+            sdc_at: None,
         })
     }
 
@@ -254,6 +263,24 @@ impl FlashDevice {
         }
     }
 
+    /// Installs silent-corruption (SDC) injection. A non-zero rate gives
+    /// every plane its own RNG stream, seeded from `cfg.seed` and the
+    /// device-global plane tag but salted so it never correlates with the
+    /// RBER fault streams; a zero rate clears all SDC RNG state. The
+    /// deterministic `sdc_at` one-shot needs no RNG either way.
+    pub fn set_integrity_config(&mut self, cfg: &SdcConfig) {
+        self.sdc_at = cfg.sdc_at;
+        if cfg.rate > 0.0 {
+            let planes_per_package = self.geometry.dies_per_package * self.geometry.planes_per_die;
+            let total = self.geometry.channels * planes_per_package;
+            self.sdc = (0..total)
+                .map(|tag| PlaneSdc::new(cfg, tag as u64, PE_LIMIT as u64))
+                .collect();
+        } else {
+            self.sdc = Vec::new();
+        }
+    }
+
     /// The HybridGPU-style device: 1 B ONFI bus, private registers.
     pub fn hybrid_config(geometry: FlashGeometry, freq: Freq) -> Result<FlashDevice> {
         geometry.validate()?;
@@ -336,8 +363,43 @@ impl FlashDevice {
         self.stats.record_read_retries(r.retries as u64);
         if r.sensed {
             self.stats.record_read(key, self.geometry.page_bytes);
+            self.maybe_miscorrect(now, addr);
         }
         Ok(self.network.transfer(r.done, ch, transfer_bytes))
+    }
+
+    /// Draws from the plane's SDC stream on a fresh array sense: with
+    /// probability scaled by block wear and page retention age, the ECC
+    /// engine miscorrects the payload and the page is silently corrupted
+    /// from here on (the flag is in the array, so it persists across
+    /// power loss until the block is erased). No-op — and no RNG draw —
+    /// when SDC injection is off or the page is already corrupt.
+    fn maybe_miscorrect(&mut self, now: Cycle, addr: FlashAddr) {
+        if self.sdc.is_empty() {
+            return;
+        }
+        let planes_per_package = self.geometry.dies_per_package * self.geometry.planes_per_die;
+        let tag = addr.block.channel.index() * planes_per_package + self.plane_idx(addr.block);
+        let (erase_count, age) = match self.block(addr.block) {
+            Some(b) if !b.is_corrupt(addr.page) => {
+                let age = match b.oob(addr.page) {
+                    PageOob::Written(m) => now.raw().saturating_sub(m.programmed_at.raw()),
+                    _ => now.raw(),
+                };
+                (b.erase_count() as u64, age)
+            }
+            _ => return,
+        };
+        let hit = match self.sdc.get_mut(tag).and_then(|s| s.as_mut()) {
+            Some(stream) => stream.miscorrects(erase_count, age),
+            None => return,
+        };
+        if hit {
+            if let Ok(b) = self.block_mut(addr.block) {
+                b.mark_corrupt(addr.page);
+            }
+            self.stats.record_silent_corruption();
+        }
     }
 
     /// Serves `transfer_bytes` of logical page `key` from channel `ch`'s
@@ -377,6 +439,7 @@ impl FlashDevice {
         self.program_seq += 1;
         let seq = self.program_seq;
         let done = report.done;
+        let sdc_hit = self.sdc_at == Some(seq);
         if let Ok(b) = self.block_mut(block) {
             let tag = b.kind();
             b.record_oob(
@@ -389,6 +452,12 @@ impl FlashDevice {
                     demand,
                 },
             );
+            if sdc_hit {
+                b.mark_corrupt(report.page);
+            }
+        }
+        if sdc_hit {
+            self.stats.record_silent_corruption();
         }
     }
 
@@ -471,6 +540,7 @@ impl FlashDevice {
     pub fn preload_page(&mut self, block: BlockAddr, lpn: u64) -> Result<u32> {
         self.program_seq += 1;
         let seq = self.program_seq;
+        let sdc_hit = self.sdc_at == Some(seq);
         let b = self.block_mut(block)?;
         let tag = b.kind();
         let page = b.program_next()?;
@@ -484,6 +554,10 @@ impl FlashDevice {
                 demand: false,
             },
         );
+        if sdc_hit {
+            b.mark_corrupt(page);
+            self.stats.record_silent_corruption();
+        }
         Ok(page)
     }
 
@@ -535,6 +609,25 @@ impl FlashDevice {
     /// Whether the page at `addr` was torn by a power loss.
     pub fn page_is_torn(&self, addr: FlashAddr) -> bool {
         self.block(addr.block).is_some_and(|b| b.is_torn(addr.page))
+    }
+
+    /// Whether the page at `addr` holds a silently corrupted payload (its
+    /// end-to-end checksum would fail even though ECC reported success).
+    pub fn page_is_corrupt(&self, addr: FlashAddr) -> bool {
+        self.block(addr.block)
+            .is_some_and(|b| b.is_corrupt(addr.page))
+    }
+
+    /// Marks the page at `addr` silently corrupted (test/fault-injection
+    /// aid; the organic paths are the SDC streams and `sdc_at`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an address error for an invalid block index.
+    pub fn mark_page_corrupt(&mut self, addr: FlashAddr) -> Result<()> {
+        self.block_mut(addr.block)?.mark_corrupt(addr.page);
+        self.stats.record_silent_corruption();
+        Ok(())
     }
 
     /// Cuts power to the whole device at `now`.
@@ -914,6 +1007,86 @@ mod tests {
         assert!(d
             .read_from_register_if_held(Cycle(10), ChannelId(0), 42, 128)
             .is_some());
+    }
+
+    #[test]
+    fn sdc_at_corrupts_exactly_one_program() {
+        let mut d = device();
+        d.set_integrity_config(&SdcConfig {
+            rate: 0.0,
+            sdc_at: Some(2),
+            seed: 42,
+        });
+        let r1 = d.program(Cycle(0), block0(), 10).unwrap();
+        let r2 = d.program(Cycle(0), block0(), 11).unwrap();
+        let r3 = d.program(Cycle(0), block0(), 12).unwrap();
+        assert!(!d.page_is_corrupt(block0().page(r1.page)));
+        assert!(d.page_is_corrupt(block0().page(r2.page)));
+        assert!(!d.page_is_corrupt(block0().page(r3.page)));
+        assert_eq!(d.stats().silent_corruptions(), 1);
+        // The corrupt read still "succeeds" at the device level — the
+        // miscorrection is silent; detection is the FTL checksum's job.
+        assert!(d
+            .read(Cycle(10_000_000), block0().page(r2.page), 11, 128)
+            .is_ok());
+    }
+
+    #[test]
+    fn sdc_rate_streams_corrupt_reads_deterministically() {
+        let run = |seed: u64| {
+            let mut d = device();
+            d.set_integrity_config(&SdcConfig {
+                rate: 0.2,
+                sdc_at: None,
+                seed,
+            });
+            let r = d.program(Cycle(0), block0(), 1).unwrap();
+            let addr = block0().page(r.page);
+            let mut first_corrupt = None;
+            for i in 0..64u64 {
+                let now = Cycle(1_000_000 + i * 1_000_000);
+                let _ = d.read(now, addr, 1, 128);
+                if first_corrupt.is_none() && d.page_is_corrupt(addr) {
+                    first_corrupt = Some(i);
+                }
+            }
+            (first_corrupt, d.stats().silent_corruptions())
+        };
+        assert_eq!(run(7), run(7), "same seed, same corruption point");
+        let (hit, n) = run(7);
+        assert!(
+            hit.is_some(),
+            "20% per-sense rate must fire within 64 reads"
+        );
+        assert_eq!(n, 1, "an already-corrupt page draws no further");
+    }
+
+    #[test]
+    fn integrity_off_keeps_no_sdc_state() {
+        let mut d = device();
+        d.set_integrity_config(&SdcConfig::off());
+        let r = d.program(Cycle(0), block0(), 1).unwrap();
+        let addr = block0().page(r.page);
+        for i in 0..16u64 {
+            d.read(Cycle(1_000_000 + i), addr, 1, 128).unwrap();
+        }
+        assert!(!d.page_is_corrupt(addr));
+        assert_eq!(d.stats().silent_corruptions(), 0);
+    }
+
+    #[test]
+    fn mark_page_corrupt_clears_on_erase() {
+        let mut d = device();
+        let r = d.program(Cycle(0), block0(), 1).unwrap();
+        let addr = block0().page(r.page);
+        d.mark_page_corrupt(addr).unwrap();
+        assert!(d.page_is_corrupt(addr));
+        // Corruption lives in the array: a power loss does not clear it.
+        d.power_loss(Cycle(10_000_000));
+        assert!(d.page_is_corrupt(addr));
+        d.invalidate(addr);
+        d.erase(Cycle(10_000_000), block0()).unwrap();
+        assert!(!d.page_is_corrupt(addr));
     }
 
     #[test]

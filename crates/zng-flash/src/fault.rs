@@ -167,6 +167,97 @@ impl FaultParams {
     }
 }
 
+/// Silent-data-corruption (SDC) injection: bit flips *below* the ECC
+/// model. Unlike the loud RBER faults above, a miscorrection leaves the
+/// sense looking successful — the ECC engine "fixed" the page into the
+/// wrong codeword — so only an end-to-end payload checksum can catch it.
+/// Disabled by default; [`SdcConfig::off`] performs no RNG draws and is
+/// bit-identical to a build without the subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdcConfig {
+    /// Base probability that a successful array sense returns silently
+    /// miscorrected data, before wear/retention scaling. `0.0` disables
+    /// the stochastic stream entirely (no draws).
+    pub rate: f64,
+    /// When `Some(n)`, the page stamped with device program sequence `n`
+    /// is deterministically written corrupted (a miscorrected program
+    /// verify) — a zero-RNG single-shot for reproducible tests.
+    pub sdc_at: Option<u64>,
+    /// Master seed; each plane derives its own SDC stream from this,
+    /// salted so it never overlaps the RBER streams.
+    pub seed: u64,
+}
+
+impl SdcConfig {
+    /// No silent corruption (the default): zero draws, bit-identical.
+    pub fn off() -> SdcConfig {
+        SdcConfig {
+            rate: 0.0,
+            sdc_at: None,
+            seed: 42,
+        }
+    }
+
+    /// Whether any injection mechanism is armed.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0 || self.sdc_at.is_some()
+    }
+}
+
+impl Default for SdcConfig {
+    fn default() -> SdcConfig {
+        SdcConfig::off()
+    }
+}
+
+/// Seed salt separating per-plane SDC streams from the RBER streams, so
+/// arming SDC never perturbs the existing fault draws.
+const SDC_SEED_SALT: u64 = 0x5dc0_5dc0_5dc0_5dc0;
+
+/// Retention scaling: the age (cycles since program) at which the
+/// miscorrection probability has doubled. Charge loss accumulates with
+/// time on the shelf, so old pages are likelier to slip past ECC.
+pub const SDC_RETENTION_DOUBLING_CYCLES: u64 = 100_000_000;
+
+/// Per-plane silent-corruption state: the armed rate plus a private RNG
+/// stream decorrelated from the plane's RBER stream.
+#[derive(Debug, Clone)]
+pub struct PlaneSdc {
+    rate: f64,
+    pe_limit: u64,
+    rng: SmallRng,
+}
+
+impl PlaneSdc {
+    /// Builds the SDC state for one plane, or `None` when the rate is
+    /// zero (the deterministic `sdc_at` single-shot needs no RNG and is
+    /// handled by the device). `plane_tag` must match the plane's RBER
+    /// tag; the salt keeps the streams independent.
+    pub fn new(cfg: &SdcConfig, plane_tag: u64, pe_limit: u64) -> Option<PlaneSdc> {
+        if cfg.rate <= 0.0 {
+            return None;
+        }
+        Some(PlaneSdc {
+            rate: cfg.rate,
+            pe_limit: pe_limit.max(1),
+            rng: seeded(derive_seed(cfg.seed ^ SDC_SEED_SALT, plane_tag)),
+        })
+    }
+
+    /// Draws whether a *successful* sense of a page with the given block
+    /// wear and retention age returns silently miscorrected data. The
+    /// probability grows linearly with wear (worn cells have narrower
+    /// margins) and with shelf age (charge loss), so cold, old data on a
+    /// tired block is the likeliest victim — matching the physics the
+    /// patrol scrubber exists to fight.
+    pub fn miscorrects(&mut self, erase_count: u64, age_cycles: u64) -> bool {
+        let wear = (erase_count as f64 / self.pe_limit as f64).min(1.0);
+        let retention = 1.0 + age_cycles as f64 / SDC_RETENTION_DOUBLING_CYCLES as f64;
+        let p = self.rate * (0.25 + 0.75 * wear) * retention;
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+}
+
 /// Read-retry ladder depth: attempts beyond the initial sense before a
 /// read is declared ECC-uncorrectable.
 pub const MAX_READ_RETRIES: u32 = 4;
@@ -287,6 +378,60 @@ mod tests {
             (0..trials).filter(|_| f.program_fails(100_000)).count()
         };
         assert!(worn > fresh, "worn {worn} should exceed fresh {fresh}");
+    }
+
+    #[test]
+    fn sdc_off_has_no_state_and_zero_rate_draws_nothing() {
+        assert!(!SdcConfig::off().is_active());
+        assert!(PlaneSdc::new(&SdcConfig::off(), 0, 100_000).is_none());
+        // A pure sdc_at single-shot is active but still needs no RNG.
+        let one_shot = SdcConfig {
+            sdc_at: Some(7),
+            ..SdcConfig::off()
+        };
+        assert!(one_shot.is_active());
+        assert!(PlaneSdc::new(&one_shot, 0, 100_000).is_none());
+    }
+
+    #[test]
+    fn sdc_streams_are_deterministic_and_decorrelated_from_rber() {
+        let cfg = SdcConfig {
+            rate: 0.3,
+            sdc_at: None,
+            seed: 42,
+        };
+        let mut a = PlaneSdc::new(&cfg, 3, 100_000).unwrap();
+        let mut b = PlaneSdc::new(&cfg, 3, 100_000).unwrap();
+        for _ in 0..64 {
+            assert_eq!(a.miscorrects(50_000, 0), b.miscorrects(50_000, 0));
+        }
+        // Same master seed, same plane: the SDC stream must not replay
+        // the RBER stream (the salt separates them).
+        let mut sdc = PlaneSdc::new(&cfg, 3, 100_000).unwrap();
+        let mut rber = PlaneFaults::new(&FaultConfig::end_of_life(), 3, 100_000).unwrap();
+        let mismatch = (0..256)
+            .filter(|_| sdc.miscorrects(90_000, 0) != rber.read_attempt_fails(90_000, 0))
+            .count();
+        assert!(mismatch > 0, "SDC stream must decorrelate from RBER");
+    }
+
+    #[test]
+    fn sdc_rate_scales_with_wear_and_retention() {
+        let cfg = SdcConfig {
+            rate: 0.02,
+            sdc_at: None,
+            seed: 42,
+        };
+        let trials = 20_000;
+        let count = |erase: u64, age: u64| {
+            let mut s = PlaneSdc::new(&cfg, 0, 100_000).unwrap();
+            (0..trials).filter(|_| s.miscorrects(erase, age)).count()
+        };
+        let fresh = count(0, 0);
+        let worn = count(100_000, 0);
+        let aged = count(0, 10 * SDC_RETENTION_DOUBLING_CYCLES);
+        assert!(worn > fresh, "wear must raise the rate: {worn} vs {fresh}");
+        assert!(aged > fresh, "age must raise the rate: {aged} vs {fresh}");
     }
 
     #[test]

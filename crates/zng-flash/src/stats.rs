@@ -33,6 +33,7 @@ pub struct FlashStats {
     erase_failures: u64,
     power_losses: u64,
     pages_torn: u64,
+    silent_corruptions: u64,
 }
 
 impl FlashStats {
@@ -91,6 +92,13 @@ impl FlashStats {
         self.pages_torn += pages_torn;
     }
 
+    /// Records a silent corruption: ECC reported success but the payload
+    /// it delivered (or stored) is wrong. Invisible to the device; only
+    /// the FTL's end-to-end checksum can catch it.
+    pub fn record_silent_corruption(&mut self) {
+        self.silent_corruptions += 1;
+    }
+
     /// Total read-retry ladder steps across all senses.
     pub fn read_retries(&self) -> u64 {
         self.read_retries
@@ -127,6 +135,12 @@ impl FlashStats {
     /// Pages torn by power losses over the device's lifetime.
     pub fn pages_torn(&self) -> u64 {
         self.pages_torn
+    }
+
+    /// Pages silently corrupted (ECC miscorrections) over the device's
+    /// lifetime.
+    pub fn silent_corruptions(&self) -> u64 {
+        self.silent_corruptions
     }
 
     /// Average array reads per distinct page (paper's "read re-access").
@@ -200,6 +214,7 @@ impl FlashStats {
         self.erase_failures = 0;
         self.power_losses = 0;
         self.pages_torn = 0;
+        self.silent_corruptions = 0;
     }
 }
 

@@ -1,0 +1,67 @@
+//! End-to-end data-integrity bookkeeping shared by both FTLs.
+//!
+//! Every program writes a payload checksum into the page's reserved OOB
+//! namespace; every host/GPU-facing read verifies it (the simulator
+//! carries no payload bytes, so the checksum check is modelled as the
+//! device's per-page corruption flag — see
+//! [`zng_flash::FlashDevice::page_is_corrupt`]). On a mismatch the FTL
+//! escalates through a fixed ladder: one charged re-read, then stripe
+//! reconstruction plus a healing rewrite when redundancy is on, then
+//! [`zng_types::Error::IntegrityViolation`].
+
+/// Event counters of the end-to-end integrity layer (per FTL instance).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityCounters {
+    /// Host-facing reads whose payload checksum mismatched.
+    pub detected: u64,
+    /// Verification re-reads charged after a mismatch (the corruption is
+    /// in the array, so they fail again — but a real controller cannot
+    /// know that without trying).
+    pub rereads: u64,
+    /// Mismatched payloads recovered by stripe reconstruction.
+    pub reconstructed: u64,
+    /// Corrupt physical pages taken out of service: superseded by a
+    /// healed clean copy, purged by the patrol scrubber, or excluded
+    /// from the winners of a crash-recovery scan.
+    pub quarantined: u64,
+}
+
+impl IntegrityCounters {
+    /// Folds another counter snapshot into this one.
+    pub fn merge(&mut self, other: IntegrityCounters) {
+        self.detected += other.detected;
+        self.rereads += other.rereads;
+        self.reconstructed += other.reconstructed;
+        self.quarantined += other.quarantined;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = IntegrityCounters {
+            detected: 1,
+            rereads: 2,
+            reconstructed: 3,
+            quarantined: 4,
+        };
+        a.merge(IntegrityCounters {
+            detected: 10,
+            rereads: 20,
+            reconstructed: 30,
+            quarantined: 40,
+        });
+        assert_eq!(
+            a,
+            IntegrityCounters {
+                detected: 11,
+                rereads: 22,
+                reconstructed: 33,
+                quarantined: 44,
+            }
+        );
+    }
+}

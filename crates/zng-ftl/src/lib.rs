@@ -25,6 +25,7 @@ pub(crate) const GC_READ_ATTEMPTS: u32 = 4;
 
 pub mod allocator;
 pub mod engine;
+pub mod integrity;
 pub mod pacing;
 pub mod pagemap;
 pub mod rain;
@@ -33,6 +34,7 @@ pub mod zngftl;
 
 pub use allocator::{BlockAllocator, WearPolicy};
 pub use engine::SsdEngine;
+pub use integrity::IntegrityCounters;
 pub use pacing::GcPacing;
 pub use pagemap::PageMapFtl;
 pub use rain::{RainConfig, RainCounters, RainState, RAIN_XOR_CYCLES};

@@ -12,6 +12,7 @@ use zng_flash::{BlockKind, FlashDevice};
 use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
 
 use crate::allocator::BlockAllocator;
+use crate::integrity::IntegrityCounters;
 use crate::rain::{Claim, RainConfig, RainState};
 use crate::MAX_WRITE_REDRIVES;
 
@@ -38,6 +39,10 @@ pub struct PageMapFtl {
     /// Opt-in RAIN redundancy: `None` (the default) preserves baseline
     /// behaviour bit-for-bit.
     rain: Option<RainState>,
+    /// End-to-end payload verification on host-facing reads; off by
+    /// default (bit-for-bit baseline).
+    integrity: bool,
+    icounters: IntegrityCounters,
 }
 
 impl PageMapFtl {
@@ -58,6 +63,8 @@ impl PageMapFtl {
             blocks_retired: 0,
             write_redrives: 0,
             rain: None,
+            integrity: false,
+            icounters: IntegrityCounters::default(),
         }
     }
 
@@ -71,6 +78,24 @@ impl PageMapFtl {
     /// The redundancy state, when enabled.
     pub fn redundancy(&self) -> Option<&RainState> {
         self.rain.as_ref()
+    }
+
+    /// Enables (or disables) end-to-end payload verification: every
+    /// host-facing read checks the page's OOB checksum and escalates on a
+    /// mismatch (re-read → stripe reconstruction → fail loudly). Off by
+    /// default, preserving baseline behaviour bit-for-bit.
+    pub fn set_integrity(&mut self, enabled: bool) {
+        self.integrity = enabled;
+    }
+
+    /// Whether end-to-end payload verification is enabled.
+    pub fn integrity_enabled(&self) -> bool {
+        self.integrity
+    }
+
+    /// Event counters of the integrity layer.
+    pub fn integrity_counters(&self) -> IntegrityCounters {
+        self.icounters
     }
 
     /// Current flash location of `lpn`, if mapped.
@@ -216,7 +241,82 @@ impl PageMapFtl {
             self.install(device, lpn)?;
         }
         let addr = *self.map.get(&lpn).expect("lpn just installed above");
-        self.retried_read(now, device, addr, lpn, transfer_bytes)
+        let done = self.retried_read(now, device, addr, lpn, transfer_bytes)?;
+        self.verify_read(done, device, addr, lpn, transfer_bytes)
+    }
+
+    /// Validates the delivered payload against its OOB checksum and
+    /// escalates on a mismatch. The corruption lives in the array (a
+    /// consistent ECC miscorrection), so the charged re-read fails again;
+    /// with redundancy on, the page is reconstructed from its stripe and
+    /// healed onto a fresh location, else the read fails loudly — a
+    /// corrupted payload is never served as a successful read.
+    fn verify_read(
+        &mut self,
+        done: Cycle,
+        device: &mut FlashDevice,
+        addr: FlashAddr,
+        lpn: u64,
+        bytes: usize,
+    ) -> Result<Cycle> {
+        if !self.integrity || !device.page_is_corrupt(addr) {
+            return Ok(done);
+        }
+        self.icounters.detected += 1;
+        let t = device.read(done, addr, lpn, bytes).unwrap_or(done);
+        self.icounters.rereads += 1;
+        if self.rain.is_none() {
+            return Err(Error::IntegrityViolation {
+                block: addr.block.block as u64,
+                page: addr.page,
+            });
+        }
+        let t = self
+            .rain
+            .as_mut()
+            .expect("checked above")
+            .reconstruct(t, device, addr, bytes)?;
+        self.icounters.reconstructed += 1;
+        let t = self.heal_migrate(t, device, addr, lpn)?;
+        self.icounters.quarantined += 1;
+        Ok(t)
+    }
+
+    /// Migrates a reconstructed page off its corrupt physical location
+    /// through the normal write path, quarantining the stale copy.
+    fn heal_migrate(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        src: FlashAddr,
+        lpn: u64,
+    ) -> Result<Cycle> {
+        let mut t = now;
+        let mut redrives = 0;
+        loop {
+            let dest = self.next_slot(device, t)?;
+            let report = device.program_migrate(t, dest, lpn)?;
+            if report.failed {
+                self.write_redrives += 1;
+                self.seal_active(dest);
+                redrives += 1;
+                if redrives >= MAX_WRITE_REDRIVES {
+                    return Err(Error::FlashProtocol(format!(
+                        "integrity heal of lpn {lpn} still failing after \
+                         {MAX_WRITE_REDRIVES} re-drives"
+                    )));
+                }
+                continue;
+            }
+            device.invalidate(src);
+            self.record_mapping(device, lpn, FlashAddr::new(dest, report.page));
+            if let Some(rain) = self.rain.as_mut() {
+                rain.note_program(report.done, device, dest)?;
+            }
+            t = report.done;
+            break;
+        }
+        Ok(t)
     }
 
     /// A read with a bounded retry budget against transient
@@ -291,6 +391,12 @@ impl PageMapFtl {
                         )));
                     }
                     continue;
+                }
+                if device.page_is_corrupt(src) {
+                    // GC must not launder corruption: the moved copy is
+                    // byte-identical to the source, checksum mismatch
+                    // included.
+                    device.mark_page_corrupt(FlashAddr::new(dest, report.page))?;
                 }
                 device.invalidate(src);
                 self.record_mapping(device, lpn, FlashAddr::new(dest, report.page));
@@ -405,11 +511,13 @@ impl PageMapFtl {
             // stripes restart empty.
             rain.reset_after_recovery();
         }
+        self.icounters.quarantined += scan.corrupt;
         Ok(recovery::RecoveryReport {
             pages_scanned: scan.pages_scanned,
             torn_discarded: scan.torn,
             stale_dropped: candidates - winners.len() as u64,
             blocks_erased: reclaim.erased,
+            corrupt_quarantined: scan.corrupt,
             scan_cycles: done - now,
         })
     }
@@ -566,10 +674,25 @@ impl PageMapFtl {
         let mut t = self.retried_read(now, device, addr, lpn, page_bytes)?;
         let depth = device.stats().read_retries() - retries_before;
         let strained = device.stats().uncorrectable_reads() > unc_before;
+        // The patrol validates checksums too: a corrupt page is always
+        // rewritten, fed by a clean stripe reconstruction (rewriting the
+        // sensed payload would just copy the corruption along).
+        let corrupt = self.integrity && device.page_is_corrupt(addr);
         let config = self.rain.as_ref().expect("checked above").config();
         self.rain.as_mut().expect("checked above").scrub_scanned += 1;
-        if (depth >= config.scrub_threshold as u64 || strained) && self.translate(lpn) == Some(addr)
+        if (depth >= config.scrub_threshold as u64 || strained || corrupt)
+            && self.translate(lpn) == Some(addr)
         {
+            if corrupt {
+                self.icounters.detected += 1;
+                t = self
+                    .rain
+                    .as_mut()
+                    .expect("checked above")
+                    .reconstruct(t, device, addr, page_bytes)?;
+                self.icounters.reconstructed += 1;
+                self.icounters.quarantined += 1;
+            }
             let mut redrives = 0;
             loop {
                 let dest = self.next_slot(device, t)?;
@@ -792,6 +915,101 @@ mod tests {
         let second: Vec<_> = (0..64u64).map(|l| f.translate(l)).collect();
         assert_eq!(first, second);
         assert_eq!(f.free_blocks(), free);
+    }
+
+    #[test]
+    fn integrity_off_serves_corrupt_pages_unchanged() {
+        let (mut d, mut f) = setup();
+        let t = f.write_page(Cycle(0), &mut d, 5).unwrap();
+        let addr = f.translate(5).unwrap();
+        d.mark_page_corrupt(addr).unwrap();
+        // Baseline semantics: without the opt-in there is no checksum to
+        // fail, so the corrupt payload flows through silently.
+        f.read_page(t, &mut d, 5, 128).unwrap();
+        assert_eq!(f.integrity_counters(), IntegrityCounters::default());
+    }
+
+    #[test]
+    fn integrity_read_fails_loudly_without_redundancy() {
+        let (mut d, mut f) = setup();
+        f.set_integrity(true);
+        let t = f.write_page(Cycle(0), &mut d, 5).unwrap();
+        let addr = f.translate(5).unwrap();
+        d.mark_page_corrupt(addr).unwrap();
+        match f.read_page(t, &mut d, 5, 128) {
+            Err(Error::IntegrityViolation { .. }) => {}
+            other => panic!("expected IntegrityViolation, got {other:?}"),
+        }
+        let c = f.integrity_counters();
+        assert_eq!(c.detected, 1);
+        assert_eq!(c.rereads, 1, "one charged re-read before giving up");
+        assert_eq!(c.reconstructed, 0);
+    }
+
+    #[test]
+    fn integrity_read_reconstructs_and_heals_with_redundancy() {
+        let (mut d, mut f) = setup();
+        f.set_redundancy(&d, Some(RainConfig::default()));
+        f.set_integrity(true);
+        let t = f.write_page(Cycle(0), &mut d, 5).unwrap();
+        let addr = f.translate(5).unwrap();
+        d.mark_page_corrupt(addr).unwrap();
+        let t = f.read_page(t, &mut d, 5, 128).unwrap();
+        let c = f.integrity_counters();
+        assert_eq!(c.detected, 1);
+        assert_eq!(c.reconstructed, 1);
+        assert_eq!(c.quarantined, 1);
+        // Healed: the lpn now maps to a clean copy; re-reading it detects
+        // nothing new.
+        let healed = f.translate(5).unwrap();
+        assert_ne!(healed, addr);
+        assert!(!d.page_is_corrupt(healed));
+        f.read_page(t, &mut d, 5, 128).unwrap();
+        assert_eq!(f.integrity_counters().detected, 1);
+    }
+
+    #[test]
+    fn gc_never_launders_corruption() {
+        let (mut d, mut f) = setup();
+        f.set_integrity(true);
+        let t = f.write_page(Cycle(0), &mut d, 5).unwrap();
+        let addr = f.translate(5).unwrap();
+        d.mark_page_corrupt(addr).unwrap();
+        // Seal the stricken block and migrate its one live page.
+        f.seal_active(addr.block);
+        let t = f.gc(t, &mut d).unwrap();
+        let moved = f.translate(5).unwrap();
+        assert_ne!(moved.block, addr.block);
+        assert!(
+            d.page_is_corrupt(moved),
+            "the migrated copy carries the bad checksum along"
+        );
+        // The verified read still refuses to serve it.
+        assert!(matches!(
+            f.read_page(t, &mut d, 5, 128),
+            Err(Error::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_quarantines_corrupt_copies() {
+        let (mut d, mut f) = setup();
+        f.set_integrity(true);
+        let t1 = f.write_page(Cycle(0), &mut d, 9).unwrap();
+        let a1 = f.translate(9).unwrap();
+        let t2 = f.write_page(t1, &mut d, 9).unwrap();
+        let a2 = f.translate(9).unwrap();
+        d.mark_page_corrupt(a2).unwrap();
+        d.power_loss(t2);
+        let rep = f.recover(t2, &mut d).unwrap();
+        assert_eq!(rep.corrupt_quarantined, 1);
+        assert_eq!(f.integrity_counters().quarantined, 1);
+        assert_eq!(
+            f.translate(9),
+            Some(a1),
+            "rolls back to the newest intact copy"
+        );
+        f.read_page(t2 + rep.scan_cycles, &mut d, 9, 128).unwrap();
     }
 
     #[test]

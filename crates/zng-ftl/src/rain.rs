@@ -348,6 +348,15 @@ impl RainState {
             let Some(t) = landed else {
                 return Err(lost);
             };
+            if device.page_is_corrupt(member) {
+                // A silently corrupted member poisons the XOR combine:
+                // single parity cannot tell which contribution is wrong,
+                // so the reconstruction must not be served as clean data.
+                return Err(Error::IntegrityViolation {
+                    block: addr.block.block as u64,
+                    page: addr.page,
+                });
+            }
             reads += 1;
             done = done.max(t);
         }

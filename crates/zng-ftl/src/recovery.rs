@@ -33,6 +33,10 @@ pub struct RecoveryReport {
     pub stale_dropped: u64,
     /// Dead blocks erased back into the free pool during recovery.
     pub blocks_erased: u64,
+    /// Pages whose payload checksum failed verification during the scan:
+    /// quarantined (never resurrected as winners), like torn pages. The
+    /// logical page rolls back to its newest *intact* copy, if any.
+    pub corrupt_quarantined: u64,
     /// Modelled duration of the scan plus dead-block reclaim, in device
     /// cycles; the platform blocks resumed apps for this long.
     pub scan_cycles: Cycle,
@@ -67,6 +71,8 @@ pub(crate) struct Scan {
     pub blocks: Vec<ScannedBlock>,
     pub pages_scanned: u64,
     pub torn: u64,
+    /// Pages whose payload checksum failed verification (quarantined).
+    pub corrupt: u64,
     /// The busiest plane's OOB chain (planes scan in parallel).
     pub base_cycles: Cycle,
 }
@@ -79,11 +85,18 @@ pub(crate) fn scan_device(device: &FlashDevice) -> Scan {
     let mut per_plane: BTreeMap<(usize, usize, usize), u64> = BTreeMap::new();
     let mut pages_scanned = 0u64;
     let mut torn = 0u64;
+    let mut corrupt = 0u64;
     for idx in 0..geo.total_blocks() as u64 {
         let addr = match geo.block_for_index(idx) {
             Ok(a) => a,
             Err(_) => continue,
         };
+        // A dead die refuses array access: its OOB is as unreadable as
+        // its payload, so its blocks are invisible to the scan (and are
+        // never reclaimed or chosen as winners).
+        if device.die_is_dead(addr.channel, addr.die) {
+            continue;
+        }
         let Some(b) = device.block(addr) else {
             continue;
         };
@@ -92,6 +105,10 @@ pub(crate) fn scan_device(device: &FlashDevice) -> Scan {
         let mut block_torn = 0u64;
         for page in 0..programmed {
             match b.oob(page) {
+                // A record whose payload checksum fails is quarantined
+                // exactly like a torn page: it must never become a
+                // winner, or recovery would resurrect corrupted data.
+                PageOob::Written(_) if b.is_corrupt(page) => corrupt += 1,
                 PageOob::Written(m) => entries.push((page, m)),
                 PageOob::Torn => block_torn += 1,
                 PageOob::Blank => {}
@@ -117,6 +134,7 @@ pub(crate) fn scan_device(device: &FlashDevice) -> Scan {
         blocks,
         pages_scanned,
         torn,
+        corrupt,
         base_cycles: Cycle(OOB_SCAN_CYCLES_PER_PAGE.0 * busiest),
     }
 }
@@ -263,6 +281,25 @@ mod tests {
         let scan = scan_device(&d);
         assert_eq!(scan.pages_scanned, 4);
         assert_eq!(scan.base_cycles, Cycle(OOB_SCAN_CYCLES_PER_PAGE.0 * 4));
+    }
+
+    #[test]
+    fn corrupt_records_are_quarantined_not_resurrected() {
+        let mut d = device();
+        let geo = *d.geometry();
+        let a = geo.block_for_index(0).unwrap();
+        let b = geo.block_for_index(1).unwrap();
+        // Two versions of lpn 7: the newer one silently corrupted.
+        let r1 = d.program(Cycle(0), a, 7).unwrap();
+        let r2 = d.program(r1.done, b, 7).unwrap();
+        d.mark_page_corrupt(FlashAddr::new(b, r2.page)).unwrap();
+        d.power_loss(r2.done + Cycle(10_000_000));
+        let scan = scan_device(&d);
+        assert_eq!(scan.corrupt, 1, "the corrupt record is quarantined");
+        assert_eq!(scan.pages_scanned, 2);
+        let winners = resolve_winners(&scan.blocks);
+        let (_, addr) = winners.get(&7).copied().expect("intact copy survives");
+        assert_eq!(addr.block, a, "rolls back to the newest intact copy");
     }
 
     #[test]

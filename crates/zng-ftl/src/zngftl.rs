@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use zng_flash::{BlockKind, FlashDevice, RowDecoder, CAM_SEARCH_CYCLES};
 use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
 
+use crate::integrity::IntegrityCounters;
 use crate::rain::{Claim, RainConfig, RainState};
 use crate::recovery::{self, RecoveryReport};
 use crate::MAX_WRITE_REDRIVES;
@@ -108,6 +109,10 @@ pub struct ZngFtl {
     /// RAIN redundancy & self-healing state; `None` (the default)
     /// preserves baseline behaviour bit-for-bit.
     rain: Option<RainState>,
+    /// End-to-end payload verification on host-facing reads; off by
+    /// default (bit-for-bit baseline: no checksum checks, no extra work).
+    integrity: bool,
+    icounters: IntegrityCounters,
 }
 
 impl ZngFtl {
@@ -159,6 +164,8 @@ impl ZngFtl {
             gc_deadline_misses: 0,
             paced_gcs: 0,
             rain: None,
+            integrity: false,
+            icounters: IntegrityCounters::default(),
         }
     }
 
@@ -173,6 +180,24 @@ impl ZngFtl {
     /// The redundancy state, if installed.
     pub fn redundancy(&self) -> Option<&RainState> {
         self.rain.as_ref()
+    }
+
+    /// Enables (or disables) end-to-end payload verification: every
+    /// host-facing read checks the page's OOB checksum and escalates on a
+    /// mismatch (re-read → stripe reconstruction → fail loudly). Off by
+    /// default, preserving baseline behaviour bit-for-bit.
+    pub fn set_integrity(&mut self, enabled: bool) {
+        self.integrity = enabled;
+    }
+
+    /// Whether end-to-end payload verification is enabled.
+    pub fn integrity_enabled(&self) -> bool {
+        self.integrity
+    }
+
+    /// Event counters of the integrity layer.
+    pub fn integrity_counters(&self) -> IntegrityCounters {
+        self.icounters
     }
 
     /// Installs (or clears) the GC pacing policy. With pacing, every
@@ -314,8 +339,59 @@ impl ZngFtl {
         let (addr, cam) = self.resolve(device, vpn)?;
         device.try_admit(now, addr.block.channel)?;
         let done = self.read_media(now + cam, device, addr, vpn, transfer_bytes)?;
+        let done = self.verify_payload(done, device, addr, vpn, transfer_bytes, true)?;
         device.note_inflight(addr.block.channel, done);
         Ok(done)
+    }
+
+    /// Verifies a served payload against its OOB checksum (integrity mode
+    /// only; a no-op otherwise). A mismatch escalates: one charged
+    /// re-read, then stripe reconstruction when redundancy is on — with a
+    /// healing rewrite through the log path if `heal` — then
+    /// [`Error::IntegrityViolation`]. Callers that immediately supersede
+    /// the page anyway (the RMW write fetch) pass `heal = false`.
+    fn verify_payload(
+        &mut self,
+        done: Cycle,
+        device: &mut FlashDevice,
+        addr: FlashAddr,
+        vpn: u64,
+        bytes: usize,
+        heal: bool,
+    ) -> Result<Cycle> {
+        if !self.integrity || !device.page_is_corrupt(addr) {
+            return Ok(done);
+        }
+        self.icounters.detected += 1;
+        // The corruption is in the array (a consistent miscorrection), so
+        // the re-read returns the same wrong payload; it is still charged
+        // because the controller cannot know that without trying.
+        let t = device.read(done, addr, vpn, bytes).unwrap_or(done);
+        self.icounters.rereads += 1;
+        if self.rain.is_none() {
+            return Err(Error::IntegrityViolation {
+                block: addr.block.block as u64,
+                page: addr.page,
+            });
+        }
+        let t = self
+            .rain
+            .as_mut()
+            .expect("checked above")
+            .reconstruct(t, device, addr, bytes)?;
+        self.icounters.reconstructed += 1;
+        if heal {
+            // Re-log the reconstructed payload as a clean copy; the
+            // corrupt physical page is superseded (a corrupt log slot is
+            // invalidated outright, a corrupt data page is outranked by
+            // the new log copy until the next merge erases it).
+            let group = self.group_of(vpn);
+            self.ensure_data_block(device, self.vbn_of(vpn))?;
+            self.ensure_log_block(device, group)?;
+            self.program_log_page(t, device, vpn, group)?;
+        }
+        self.icounters.quarantined += 1;
+        Ok(t)
     }
 
     /// One media sense with the RAIN fallback: an uncorrectable result
@@ -397,6 +473,10 @@ impl ZngFtl {
         let (src, cam) = self.resolve(device, vpn)?;
         let page_bytes = device.geometry().page_bytes;
         let fetched = self.read_media(now + cam, device, src, vpn, page_bytes)?;
+        // The RMW fetch is a consumer too: merging a corrupt payload
+        // would launder the corruption into the new log page. No healing
+        // rewrite — the merged program below supersedes the page anyway.
+        let fetched = self.verify_payload(fetched, device, src, vpn, page_bytes, false)?;
         self.program_log_page(fetched, device, vpn, group)?;
         Ok(WriteResult {
             done: fetched + Cycle(600),
@@ -582,6 +662,12 @@ impl ZngFtl {
                     if report.failed {
                         burned = true;
                         break;
+                    }
+                    if device.page_is_corrupt(src) {
+                        // GC must not launder corruption: the moved
+                        // payload still fails its checksum at the new
+                        // location, so the flag moves with it.
+                        device.mark_page_corrupt(FlashAddr::new(fresh, report.page))?;
                     }
                     last_prog = last_prog.max(report.done);
                     migrated += 1;
@@ -832,11 +918,13 @@ impl ZngFtl {
             // stripes restart empty.
             rain.reset_after_recovery();
         }
+        self.icounters.quarantined += scan.corrupt;
         Ok(RecoveryReport {
             pages_scanned: scan.pages_scanned,
             torn_discarded: scan.torn,
             stale_dropped: candidates - installed,
             blocks_erased: reclaim.erased,
+            corrupt_quarantined: scan.corrupt,
             scan_cycles: done - now,
         })
     }
@@ -994,9 +1082,25 @@ impl ZngFtl {
             crate::engine::retried_read(device, now, addr, vpn, page_bytes, self.rain.as_mut())?;
         let depth = device.stats().read_retries() - retries_before;
         let strained = device.stats().uncorrectable_reads() > unc_before;
+        // The patrol validates checksums too: a corrupt page is always
+        // rewritten, fed by a clean stripe reconstruction (rewriting the
+        // sensed payload would just copy the corruption along).
+        let corrupt = self.integrity && device.page_is_corrupt(addr);
         let config = self.rain.as_ref().expect("checked above").config();
         self.rain.as_mut().expect("checked above").scrub_scanned += 1;
-        if (depth >= config.scrub_threshold as u64 || strained) && self.locate(vpn) == Some(addr) {
+        if (depth >= config.scrub_threshold as u64 || strained || corrupt)
+            && self.locate(vpn) == Some(addr)
+        {
+            if corrupt {
+                self.icounters.detected += 1;
+                t = self
+                    .rain
+                    .as_mut()
+                    .expect("checked above")
+                    .reconstruct(t, device, addr, page_bytes)?;
+                self.icounters.reconstructed += 1;
+                self.icounters.quarantined += 1;
+            }
             let vbn = self.vbn_of(vpn);
             self.ensure_data_block(device, vbn)?;
             let group = self.group_of(vpn);
@@ -1311,5 +1415,72 @@ mod tests {
             let (addr, _) = f.resolve(&mut d, vpn).unwrap();
             assert_eq!(f.locate(vpn), Some(addr));
         }
+    }
+
+    #[test]
+    fn integrity_off_serves_corrupt_pages_unchanged() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        let t = f.read(Cycle(0), &mut d, 100, 128).unwrap();
+        let addr = f.locate(100).unwrap();
+        d.mark_page_corrupt(addr).unwrap();
+        // Baseline semantics: without the opt-in there is no checksum to
+        // fail, so the corrupt payload flows through silently.
+        f.read(t, &mut d, 100, 128).unwrap();
+        assert_eq!(f.integrity_counters(), IntegrityCounters::default());
+    }
+
+    #[test]
+    fn integrity_read_fails_loudly_without_redundancy() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        f.set_integrity(true);
+        let t = f.read(Cycle(0), &mut d, 100, 128).unwrap();
+        let addr = f.locate(100).unwrap();
+        d.mark_page_corrupt(addr).unwrap();
+        match f.read(t, &mut d, 100, 128) {
+            Err(Error::IntegrityViolation { .. }) => {}
+            other => panic!("expected IntegrityViolation, got {other:?}"),
+        }
+        let c = f.integrity_counters();
+        assert_eq!(c.detected, 1);
+        assert_eq!(c.rereads, 1, "one charged re-read before giving up");
+        assert_eq!(c.reconstructed, 0);
+    }
+
+    #[test]
+    fn integrity_read_reconstructs_and_heals_with_redundancy() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        f.set_redundancy(&d, Some(RainConfig::default()));
+        f.set_integrity(true);
+        let t = f.read(Cycle(0), &mut d, 100, 128).unwrap();
+        let addr = f.locate(100).unwrap();
+        d.mark_page_corrupt(addr).unwrap();
+        let t = f.read(t, &mut d, 100, 128).unwrap();
+        let c = f.integrity_counters();
+        assert_eq!(c.detected, 1);
+        assert_eq!(c.reconstructed, 1);
+        assert_eq!(c.quarantined, 1);
+        // Healed: the vpn now resolves to a clean log copy; re-reading it
+        // detects nothing new.
+        let healed = f.locate(100).unwrap();
+        assert_ne!(healed, addr);
+        assert!(!d.page_is_corrupt(healed));
+        f.read(t, &mut d, 100, 128).unwrap();
+        assert_eq!(f.integrity_counters().detected, 1);
+    }
+
+    #[test]
+    fn recovery_quarantines_corrupt_copies() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        f.set_integrity(true);
+        let t = f.write(Cycle(0), &mut d, 5).unwrap().done;
+        let t = f.write(t, &mut d, 5).unwrap().done;
+        let newest = f.locate(5).unwrap();
+        d.mark_page_corrupt(newest).unwrap();
+        // Cut well after both background programs complete.
+        d.power_loss(t + Cycle(10_000_000));
+        let rep = f.recover(t + Cycle(10_000_000), &mut d).unwrap();
+        assert_eq!(rep.corrupt_quarantined, 1);
+        assert_eq!(f.integrity_counters().quarantined, 1);
+        assert_ne!(f.locate(5), Some(newest), "never resurrected as winner");
     }
 }

@@ -11,6 +11,13 @@
 //!
 //! The prefetch/accessed pair feeds the access monitor: a line evicted
 //! with `prefetch && !accessed` was a wasted prefetch (paper §IV-B).
+//!
+//! Lines also carry a **poison bit** for end-to-end data-integrity
+//! containment: a fill fed by data that failed payload verification is
+//! poisoned so every consumer faults deterministically instead of
+//! computing on garbage. Poison is sticky until the line is invalidated;
+//! a poisoned line never becomes dirty, so it can never be written back
+//! to flash as clean data.
 
 use zng_types::ids::AppId;
 
@@ -41,6 +48,7 @@ struct Line {
     prefetch: bool,
     accessed: bool,
     pinned: bool,
+    poison: bool,
     app: AppId,
 }
 
@@ -140,7 +148,9 @@ impl SetAssocCache {
             if line.valid && line.tag == tag {
                 line.last_use = self.tick;
                 line.accessed = true;
-                line.dirty |= write;
+                // A poisoned line never turns dirty: its payload must not
+                // reach flash via a write-back.
+                line.dirty |= write && !line.poison;
                 self.hits += 1;
                 return true;
             }
@@ -210,9 +220,43 @@ impl SetAssocCache {
             prefetch,
             accessed: false,
             pinned: false,
+            poison: false,
             app,
         };
         evicted
+    }
+
+    /// Poisons `addr`'s resident line (its fill data failed integrity
+    /// verification): consumers check [`SetAssocCache::is_poisoned`] and
+    /// fault instead of reading garbage. Poisoning clears the dirty bit
+    /// — the payload must never be written back — and is sticky until
+    /// the line is invalidated or refilled. Returns `false` if the line
+    /// is not resident.
+    pub fn poison_line(&mut self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for i in self.slot_range(set) {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == tag {
+                line.poison = true;
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `addr`'s line is resident and poisoned.
+    pub fn is_poisoned(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.slot_range(set)
+            .any(|i| self.lines[i].valid && self.lines[i].tag == tag && self.lines[i].poison)
+    }
+
+    /// Currently poisoned lines.
+    pub fn poisoned(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid && l.poison).count()
     }
 
     /// Marks `addr`'s line dirty and pinned (write redirection); returns
@@ -223,6 +267,11 @@ impl SetAssocCache {
         for i in self.slot_range(set) {
             let line = &mut self.lines[i];
             if line.valid && line.tag == tag {
+                if line.poison {
+                    // Redirecting writes into a poisoned line would pin
+                    // bad data for an eventual write-back; refuse.
+                    return false;
+                }
                 line.dirty = true;
                 line.pinned = true;
                 return true;
@@ -278,6 +327,7 @@ impl SetAssocCache {
             if line.valid && line.tag == tag {
                 line.valid = false;
                 line.pinned = false;
+                line.poison = false;
                 return Some(line.dirty);
             }
         }
@@ -494,6 +544,42 @@ mod tests {
         assert_eq!(c.occupancy(), 0);
         assert_eq!(c.pinned(), 0);
         assert!(!c.probe(0) && !c.probe(128));
+    }
+
+    #[test]
+    fn poison_is_sticky_and_never_dirties() {
+        let mut c = cache();
+        assert!(!c.poison_line(0), "not resident yet");
+        c.fill(0, false, AppId(0));
+        c.lookup(0, true); // dirty it first
+        assert!(c.poison_line(0));
+        assert!(c.is_poisoned(0));
+        assert_eq!(c.poisoned(), 1);
+        // Poisoning scrubbed the dirty bit and later writes cannot
+        // restore it: the bad payload never reaches a write-back.
+        c.lookup(0, true);
+        assert!(c.is_poisoned(0), "poison survives a write hit");
+        assert!(!c.pin_dirty(0), "redirection refuses poisoned lines");
+        c.fill(512, false, AppId(0));
+        c.lookup(512, false);
+        let ev = c.fill(1024, false, AppId(0)).expect("eviction");
+        assert_eq!(ev.addr, 0);
+        assert!(!ev.dirty, "poisoned victim leaves as clean (dropped)");
+    }
+
+    #[test]
+    fn poison_clears_on_invalidate_and_refill() {
+        let mut c = cache();
+        c.fill(0, false, AppId(0));
+        c.poison_line(0);
+        assert_eq!(c.invalidate(0), Some(false));
+        assert!(!c.is_poisoned(0));
+        c.fill(0, false, AppId(0));
+        assert!(!c.is_poisoned(0), "a fresh fill starts clean");
+
+        c.poison_line(0);
+        assert_eq!(c.invalidate_all(), 1);
+        assert_eq!(c.poisoned(), 0);
     }
 
     #[test]

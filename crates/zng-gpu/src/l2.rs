@@ -143,6 +143,23 @@ impl L2Cache {
         self.banks[self.bank_of(addr).index()].probe(addr)
     }
 
+    /// Poisons `addr`'s resident line (integrity containment); returns
+    /// `false` if not resident.
+    pub fn poison_line(&mut self, addr: u64) -> bool {
+        let bank = self.bank_of(addr).index();
+        self.banks[bank].poison_line(addr)
+    }
+
+    /// Whether `addr`'s line is resident and poisoned.
+    pub fn is_poisoned(&self, addr: u64) -> bool {
+        self.banks[self.bank_of(addr).index()].is_poisoned(addr)
+    }
+
+    /// Currently poisoned lines across all banks.
+    pub fn poisoned(&self) -> usize {
+        self.banks.iter().map(|b| b.poisoned()).sum()
+    }
+
     /// Pins `addr`'s line dirty (write redirection target). Returns
     /// `false` if not resident.
     pub fn pin_dirty(&mut self, addr: u64) -> bool {
@@ -346,6 +363,23 @@ mod tests {
         assert_eq!(c.pinned(), 0, "pinned dirty lines are gone, not drained");
         assert!(!c.probe(0));
         assert!(!c.probe(128));
+    }
+
+    #[test]
+    fn poison_containment_round_trip() {
+        let mut c = l2();
+        c.fill_line(Cycle(0), 0, false, AppId(0));
+        assert!(c.poison_line(0));
+        assert!(c.is_poisoned(0));
+        assert_eq!(c.poisoned(), 1);
+        // A poisoned line still *hits* (the consumer checks the bit and
+        // faults), never dirties, and drops cleanly on power loss.
+        let a = c.access(Cycle(1), 0, true);
+        assert!(a.hit);
+        assert!(!c.pin_dirty(0));
+        assert_eq!(c.power_loss(), 1);
+        assert_eq!(c.poisoned(), 0);
+        assert!(!c.is_poisoned(0));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Platform-specific memory backends (the path below the shared L2).
 
 use zng_flash::{FlashDevice, RegisterTopology};
-use zng_ftl::{GcPacing, GcReport, RainConfig, RainCounters, RecoveryReport, WriteMode, ZngFtl};
+use zng_ftl::{
+    GcPacing, GcReport, IntegrityCounters, RainConfig, RainCounters, RecoveryReport, WriteMode,
+    ZngFtl,
+};
 use zng_mem::{MemSubsystem, MemTiming, PcieLink};
 use zng_ssd::{NvmeSsd, PageBuffer, SsdModule};
 use zng_types::ids::{ChannelId, DieId};
@@ -147,6 +150,21 @@ impl Backend {
                 }),
             };
             backend.set_redundancy(Some(rain));
+        }
+        // End-to-end integrity: arm silent-corruption injection on the
+        // media and payload verification in the FTL. Off by default —
+        // no checksum work, no RNG draws, byte-identical output.
+        if cfg.integrity.enabled {
+            let sdc = cfg.integrity.sdc();
+            match &mut backend {
+                Backend::Zng { device, ftl, .. } => {
+                    device.set_integrity_config(&sdc);
+                    ftl.set_integrity(true);
+                }
+                Backend::HybridGpu { ssd } => ssd.apply_integrity(&sdc, true),
+                Backend::Hetero { ssd, .. } => ssd.apply_integrity(&sdc, true),
+                Backend::Ideal { .. } | Backend::Optane { .. } => {}
+            }
         }
         Ok(backend)
     }
@@ -474,6 +492,26 @@ impl Backend {
             Backend::Hetero { ssd, .. } => ssd.rebuild_dead_die(now),
             Backend::Ideal { .. } | Backend::Optane { .. } => Ok((now, 0)),
         }
+    }
+
+    /// The integrity layer's counters, when verification is enabled.
+    pub fn integrity_counters(&self) -> Option<IntegrityCounters> {
+        match self {
+            Backend::Zng { ftl, .. } if ftl.integrity_enabled() => Some(ftl.integrity_counters()),
+            Backend::HybridGpu { ssd } if ssd.ftl().integrity_enabled() => {
+                Some(ssd.ftl().integrity_counters())
+            }
+            Backend::Hetero { ssd, .. } if ssd.ftl().integrity_enabled() => {
+                Some(ssd.ftl().integrity_counters())
+            }
+            _ => None,
+        }
+    }
+
+    /// Silently miscorrected pages injected into the flash arrays.
+    pub fn silent_corruptions(&self) -> u64 {
+        self.flash_device()
+            .map_or(0, |d| d.stats().silent_corruptions())
     }
 
     /// The redundancy subsystem's counters, when RAIN is installed.

@@ -123,6 +123,108 @@ pub struct SimConfig {
     /// ([`RedundancyConfig::off`]) disables everything and keeps output
     /// byte-identical to a redundancy-free build.
     pub redundancy: RedundancyConfig,
+    /// End-to-end data integrity: silent-corruption injection below the
+    /// ECC model, payload verification on every host/GPU-facing read, and
+    /// poison containment in the caches. The default
+    /// ([`IntegrityConfig::off`]) draws no randomness and keeps output
+    /// byte-identical to an integrity-free build.
+    pub integrity: IntegrityConfig,
+    /// Runner watchdog: when `Some(budget)`, a simulation that makes no
+    /// forward progress (no request completes) within `budget` cycles
+    /// fails with [`zng_types::Error::Stalled`] instead of spinning.
+    /// `None` (the default) never trips.
+    pub watchdog: Option<u64>,
+}
+
+/// End-to-end data-integrity policy: silent-corruption injection in the
+/// flash arrays (miscorrections below the ECC model), per-page payload
+/// checksums verified on every host/GPU-facing read, and poisoning of
+/// cache lines fed by data that failed verification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegrityConfig {
+    /// Master switch for *verification*. Off (the default) computes no
+    /// checksums and keeps runs byte-identical to an integrity-free
+    /// build.
+    pub enabled: bool,
+    /// Base probability that a successful array sense returns silently
+    /// miscorrected data, scaled up by wear and retention age. `0.0`
+    /// (the default) disables the stochastic stream — zero RNG draws.
+    pub sdc_rate: f64,
+    /// When `Some(n)`, the page stamped with device program sequence `n`
+    /// is deterministically written corrupted — a zero-RNG single-shot
+    /// for reproducible experiments.
+    pub sdc_at: Option<u64>,
+    /// Seed for the per-plane SDC streams (salted so they never overlap
+    /// the RBER fault streams).
+    pub seed: u64,
+}
+
+impl IntegrityConfig {
+    /// Everything off — the byte-identical default.
+    pub fn off() -> IntegrityConfig {
+        IntegrityConfig {
+            enabled: false,
+            sdc_rate: 0.0,
+            sdc_at: None,
+            seed: 42,
+        }
+    }
+
+    /// Verification on with a stochastic silent-corruption rate.
+    pub fn with_rate(sdc_rate: f64) -> IntegrityConfig {
+        IntegrityConfig {
+            enabled: true,
+            sdc_rate,
+            ..IntegrityConfig::off()
+        }
+    }
+
+    /// Verification on with one deterministic corrupted program.
+    pub fn with_shot(sdc_at: u64) -> IntegrityConfig {
+        IntegrityConfig {
+            enabled: true,
+            sdc_at: Some(sdc_at),
+            ..IntegrityConfig::off()
+        }
+    }
+
+    /// The device-side injection knobs in `zng-flash` vocabulary.
+    pub fn sdc(&self) -> zng_flash::SdcConfig {
+        zng_flash::SdcConfig {
+            rate: self.sdc_rate,
+            sdc_at: self.sdc_at,
+            seed: self.seed,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects injection without `enabled` (silent corruption that
+    /// nothing verifies would be an undetectable foot-gun) and rates
+    /// outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        let invalid = |why: &str| Error::InvalidConfig {
+            what: "integrity".into(),
+            why: why.into(),
+        };
+        if !self.enabled && (self.sdc_rate != 0.0 || self.sdc_at.is_some()) {
+            return Err(invalid(
+                "silent-corruption injection requires integrity verification to be enabled",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.sdc_rate) || self.sdc_rate.is_nan() {
+            return Err(invalid("sdc rate must be within [0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> IntegrityConfig {
+        IntegrityConfig::off()
+    }
 }
 
 /// Redundancy & self-healing policy: RAIN stripe parity across channels,
@@ -263,6 +365,8 @@ impl SimConfig {
             crash_at: None,
             qos: QosConfig::unbounded(),
             redundancy: RedundancyConfig::off(),
+            integrity: IntegrityConfig::off(),
+            watchdog: None,
         }
     }
 
@@ -286,6 +390,13 @@ impl SimConfig {
         self.flash.validate()?;
         self.qos.validate()?;
         self.redundancy.validate(&self.flash)?;
+        self.integrity.validate()?;
+        if self.watchdog == Some(0) {
+            return Err(Error::InvalidConfig {
+                what: "watchdog".into(),
+                why: "a zero-cycle progress budget would trip immediately".into(),
+            });
+        }
         Ok(())
     }
 }
@@ -361,5 +472,36 @@ mod tests {
         off_link.redundancy = RedundancyConfig::rain(0);
         off_link.redundancy.link_fail = Some(99);
         assert!(off_link.validate().is_err());
+    }
+
+    #[test]
+    fn integrity_validation_rules() {
+        let mut cfg = SimConfig::tiny();
+        cfg.integrity = IntegrityConfig::with_rate(1e-4);
+        cfg.validate().unwrap();
+        cfg.integrity = IntegrityConfig::with_shot(7);
+        cfg.validate().unwrap();
+
+        // Injection without verification is rejected.
+        let mut orphan = SimConfig::tiny();
+        orphan.integrity.sdc_rate = 1e-4;
+        assert!(orphan.validate().is_err());
+        let mut shot = SimConfig::tiny();
+        shot.integrity.sdc_at = Some(3);
+        assert!(shot.validate().is_err());
+
+        // The rate is a probability.
+        let mut hot = SimConfig::tiny();
+        hot.integrity = IntegrityConfig::with_rate(1.5);
+        assert!(hot.validate().is_err());
+    }
+
+    #[test]
+    fn watchdog_rejects_zero_budget() {
+        let mut cfg = SimConfig::tiny();
+        cfg.watchdog = Some(0);
+        assert!(cfg.validate().is_err());
+        cfg.watchdog = Some(1_000_000);
+        cfg.validate().unwrap();
     }
 }

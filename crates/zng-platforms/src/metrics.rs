@@ -26,6 +26,25 @@ pub struct CrashRecoverySummary {
     pub blocks_erased: u64,
     /// Modelled cost of the recovery scan.
     pub scan_cycles: Cycle,
+    /// Corrupt page copies quarantined by the scan (integrity mode).
+    pub corrupt_quarantined: u64,
+}
+
+/// What the end-to-end integrity subsystem did (`--integrity`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntegritySummary {
+    /// Pages the media silently corrupted below the ECC model.
+    pub silent_corruptions: u64,
+    /// Checksum mismatches caught on the read path.
+    pub detected: u64,
+    /// Charged re-reads issued after a mismatch.
+    pub rereads: u64,
+    /// Corrupt pages rebuilt from RAIN parity.
+    pub reconstructed: u64,
+    /// Corrupt copies quarantined (scrub + recovery, never resurrected).
+    pub quarantined: u64,
+    /// L2 lines poisoned after an unrecoverable integrity violation.
+    pub poisoned_lines: u64,
 }
 
 /// What the redundancy & self-healing subsystem did (`--redundancy`).
@@ -142,6 +161,10 @@ pub struct RunResult {
     /// degraded-mode counters. `None` runs emit byte-identical output to
     /// builds without the redundancy machinery.
     pub redundancy: Option<RedundancySummary>,
+    /// Present only when `--integrity` ran: silent-corruption,
+    /// verification and poison-containment counters. `None` runs emit
+    /// byte-identical output to builds without the integrity machinery.
+    pub integrity: Option<IntegritySummary>,
 }
 
 impl RunResult {
@@ -289,6 +312,14 @@ impl RunResult {
             fields.push(("crash_stale_dropped", Value::from(cr.stale_dropped)));
             fields.push(("crash_blocks_erased", Value::from(cr.blocks_erased)));
             fields.push(("crash_scan_cycles", Value::from(cr.scan_cycles.raw())));
+            // Gated on the integrity summary so integrity-off crash runs
+            // stay byte-identical to builds without this machinery.
+            if self.integrity.is_some() {
+                fields.push((
+                    "crash_corrupt_quarantined",
+                    Value::from(cr.corrupt_quarantined),
+                ));
+            }
         }
         if let Some(rd) = &self.redundancy {
             fields.push(("rain_reconstructions", Value::from(rd.reconstructions)));
@@ -310,6 +341,17 @@ impl RunResult {
                 "retry_depth_histogram",
                 Value::from(rd.retry_depth_histogram.to_vec()),
             ));
+        }
+        if let Some(i) = &self.integrity {
+            fields.push((
+                "integrity_silent_corruptions",
+                Value::from(i.silent_corruptions),
+            ));
+            fields.push(("integrity_detected", Value::from(i.detected)));
+            fields.push(("integrity_rereads", Value::from(i.rereads)));
+            fields.push(("integrity_reconstructed", Value::from(i.reconstructed)));
+            fields.push(("integrity_quarantined", Value::from(i.quarantined)));
+            fields.push(("integrity_poisoned_lines", Value::from(i.poisoned_lines)));
         }
         Value::object(fields)
     }
@@ -356,6 +398,7 @@ mod tests {
             crash_recovery: None,
             qos: None,
             redundancy: None,
+            integrity: None,
         }
     }
 
@@ -386,11 +429,42 @@ mod tests {
             stale_dropped: 5,
             blocks_erased: 3,
             scan_cycles: Cycle(28_800),
+            corrupt_quarantined: 1,
         });
         let crashed = r.to_json_value().to_string();
         assert!(crashed.contains("\"crash_at_requests\":100"));
         assert!(crashed.contains("\"crash_torn_discarded\":2"));
         assert!(crashed.contains("\"crash_scan_cycles\":28800"));
+        assert!(
+            !crashed.contains("crash_corrupt_quarantined"),
+            "quarantine key rides with the integrity summary, not the crash"
+        );
+        r.integrity = Some(IntegritySummary::default());
+        let with_integrity = r.to_json_value().to_string();
+        assert!(with_integrity.contains("\"crash_corrupt_quarantined\":1"));
+    }
+
+    #[test]
+    fn integrity_keys_only_when_verification_ran() {
+        let mut r = result();
+        let clean = r.to_json_value().to_string();
+        assert!(
+            !clean.contains("integrity_"),
+            "no integrity keys in a default run"
+        );
+        r.integrity = Some(IntegritySummary {
+            silent_corruptions: 3,
+            detected: 3,
+            rereads: 3,
+            reconstructed: 2,
+            quarantined: 2,
+            poisoned_lines: 1,
+        });
+        let verified = r.to_json_value().to_string();
+        assert!(verified.contains("\"integrity_silent_corruptions\":3"));
+        assert!(verified.contains("\"integrity_detected\":3"));
+        assert!(verified.contains("\"integrity_reconstructed\":2"));
+        assert!(verified.contains("\"integrity_poisoned_lines\":1"));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use zng_workloads::MultiApp;
 
 use crate::backend::{Backend, BackendWrite};
 use crate::config::{PlatformKind, RedundancyConfig, SimConfig};
-use crate::metrics::{CrashRecoverySummary, RedundancySummary, RunResult};
+use crate::metrics::{CrashRecoverySummary, IntegritySummary, RedundancySummary, RunResult};
 use crate::qos::{FairShare, QosConfig, QosSummary};
 
 /// Time-series bucket width for Fig. 17b (10 µs at 1.2 GHz).
@@ -84,6 +84,13 @@ pub struct Simulation {
     gc_credit_exhausted: u64,
     /// Remaining foreground-stall credit per victim app (GC pacing).
     gc_credits: HashMap<u16, u64>,
+    /// Watchdog budget: abort with [`Error::Stalled`] when the event loop
+    /// advances this many cycles past the last completed request.
+    watchdog: Option<u64>,
+    /// End-to-end integrity verification enabled (`--integrity`).
+    integrity_on: bool,
+    /// L2 lines poisoned after unrecoverable integrity violations.
+    poisoned_lines: u64,
 }
 
 impl Simulation {
@@ -156,6 +163,9 @@ impl Simulation {
             pinned_overflow_stalls: 0,
             gc_credit_exhausted: 0,
             gc_credits: HashMap::new(),
+            watchdog: cfg.watchdog,
+            integrity_on: cfg.integrity.enabled,
+            poisoned_lines: 0,
         })
     }
 
@@ -214,7 +224,14 @@ impl Simulation {
             per_app_requests.insert(app.raw(), 0);
         }
 
+        // Watchdog: the newest completion time across serviced requests.
+        // Completions are recorded ahead of event pop time, so a healthy
+        // run never trips; a run that stops retiring memory requests
+        // while the clock advances past the budget aborts loudly.
+        let mut last_progress = Cycle::ZERO;
+
         while let Some((now, idx)) = queue.pop() {
+            Self::watchdog_check(self.watchdog, now, last_progress)?;
             // Power cut: fires once, at a request-count boundary. The
             // storage side loses its volatile state and recovers from the
             // OOB scan; the GPU side reboots with cold caches. Every app
@@ -233,6 +250,7 @@ impl Simulation {
                     stale_dropped: r.stale_dropped,
                     blocks_erased: r.blocks_erased,
                     scan_cycles: r.scan_cycles,
+                    corrupt_quarantined: r.corrupt_quarantined,
                 });
             }
             // Die failure: fires once. The FTL fences the dead die's
@@ -351,6 +369,7 @@ impl Simulation {
                         }
                         done = done.max(t);
                         requests += 1;
+                        last_progress = last_progress.max(t);
                         *per_app_requests.entry(app.raw()).or_insert(0) += 1;
                         if let Some(s) = series.get_mut(&app.raw()) {
                             s.record(t_issue, 1);
@@ -458,6 +477,17 @@ impl Simulation {
                     .unwrap_or_default(),
             }
         });
+        let integrity = self.integrity_on.then(|| {
+            let c = self.backend.integrity_counters().unwrap_or_default();
+            IntegritySummary {
+                silent_corruptions: self.backend.silent_corruptions(),
+                detected: c.detected,
+                rereads: c.rereads,
+                reconstructed: c.reconstructed,
+                quarantined: c.quarantined,
+                poisoned_lines: self.poisoned_lines,
+            }
+        });
 
         Ok(RunResult {
             platform: self.kind,
@@ -500,6 +530,7 @@ impl Simulation {
             crash_recovery: self.crash_summary.take(),
             qos,
             redundancy,
+            integrity,
         })
     }
 
@@ -598,7 +629,23 @@ impl Simulation {
         }
         // L2 miss: fetch from the backend.
         let (bytes, prefetch) = self.read_granule(pc);
-        let data_at = self.backend_read(acc.done, sector, vpn, bytes)?;
+        let data_at = match self.backend_read(acc.done, sector, vpn, bytes) {
+            Ok(t) => t,
+            Err(e @ Error::IntegrityViolation { .. }) => {
+                // Poison containment: the unverifiable data still lands
+                // in the L2 but the line is poisoned — it can never turn
+                // dirty or be written back, and any dependent warp faults
+                // deterministically instead of consuming it.
+                let (ev, _) = self.l2.fill_line(acc.done, sector, false, app);
+                if let Some(ev) = ev {
+                    self.monitor.on_eviction(ev.prefetch, ev.accessed);
+                }
+                self.l2.poison_line(sector);
+                self.poisoned_lines += 1;
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
         // Fill the demand line, plus the prefetch window from page base.
         let (ev, _) = self.l2.fill_line(data_at, sector, false, app);
         if let Some(e) = ev {
@@ -693,6 +740,19 @@ impl Simulation {
             }
         }
         Ok(())
+    }
+
+    /// The no-forward-progress watchdog: fails with [`Error::Stalled`]
+    /// when the event clock has advanced more than `budget` cycles past
+    /// the newest request completion. `None` disables the check.
+    fn watchdog_check(budget: Option<u64>, now: Cycle, last_progress: Cycle) -> Result<()> {
+        match budget {
+            Some(b) if now.raw().saturating_sub(last_progress.raw()) > b => Err(Error::Stalled {
+                cycle: now,
+                last_progress,
+            }),
+            _ => Ok(()),
+        }
     }
 
     /// Calls the backend read, absorbing [`Error::Backpressure`]: a
@@ -1108,6 +1168,127 @@ mod tests {
         let r = sim.run(&mix).unwrap();
         let rd = r.redundancy.expect("enabled policy must report");
         assert!(rd.rerouted_transfers > 0, "{rd:?}");
+    }
+
+    #[test]
+    fn watchdog_check_trips_only_beyond_budget() {
+        assert!(Simulation::watchdog_check(None, Cycle(u64::MAX), Cycle::ZERO).is_ok());
+        // Exactly at the budget is still progress.
+        assert!(Simulation::watchdog_check(Some(100), Cycle(600), Cycle(500)).is_ok());
+        match Simulation::watchdog_check(Some(100), Cycle(601), Cycle(500)) {
+            Err(Error::Stalled {
+                cycle,
+                last_progress,
+            }) => {
+                assert_eq!(cycle, Cycle(601));
+                assert_eq!(last_progress, Cycle(500));
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        // Saturating arithmetic: progress recorded ahead of the clock
+        // (a request completing in the future) never underflows.
+        assert!(Simulation::watchdog_check(Some(0), Cycle(10), Cycle(500)).is_ok());
+    }
+
+    #[test]
+    fn generous_watchdog_run_matches_default() {
+        let mut cfg = SimConfig::tiny();
+        cfg.watchdog = Some(u64::MAX);
+        let mix = MultiApp::from_names(&["betw"], &TraceParams::tiny()).unwrap();
+        let watched = Simulation::new(PlatformKind::Zng, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let plain = Simulation::new(PlatformKind::Zng, &SimConfig::tiny())
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(watched.cycles, plain.cycles);
+        assert_eq!(watched.requests, plain.requests);
+        assert_eq!(watched.instructions, plain.instructions);
+    }
+
+    #[test]
+    fn tiny_watchdog_budget_trips_stalled() {
+        // A 1-cycle budget trips as soon as the clock advances before the
+        // first request completes — the loud-abort path, end to end.
+        let mut cfg = SimConfig::tiny();
+        cfg.watchdog = Some(1);
+        let mix = MultiApp::from_names(&["betw"], &TraceParams::tiny()).unwrap();
+        let mut sim = Simulation::new(PlatformKind::Zng, &cfg).unwrap();
+        match sim.run(&mix) {
+            Err(Error::Stalled {
+                cycle,
+                last_progress,
+            }) => {
+                assert!(cycle > last_progress);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_run_reports_no_integrity_summary() {
+        let r = run(PlatformKind::Zng);
+        assert!(r.integrity.is_none(), "off by default, no summary");
+    }
+
+    #[test]
+    fn integrity_shot_without_redundancy_fails_loudly_and_poisons() {
+        use crate::config::IntegrityConfig;
+        let mut cfg = SimConfig::tiny();
+        cfg.integrity = IntegrityConfig::with_shot(5);
+        let mix = MultiApp::from_names(&["betw"], &TraceParams::tiny()).unwrap();
+        let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+        match sim.run(&mix) {
+            Err(Error::IntegrityViolation { .. }) => {}
+            other => panic!("expected an integrity violation, got {other:?}"),
+        }
+        // The fetched line was contained: poisoned in the L2, never dirty.
+        assert_eq!(sim.poisoned_lines, 1);
+        assert_eq!(sim.l2.poisoned(), 1);
+    }
+
+    #[test]
+    fn integrity_shot_with_redundancy_heals_and_completes() {
+        use crate::config::IntegrityConfig;
+        let mut cfg = SimConfig::tiny();
+        cfg.integrity = IntegrityConfig::with_shot(5);
+        cfg.redundancy = RedundancyConfig::rain(0);
+        let mix = MultiApp::from_names(&["betw"], &TraceParams::tiny()).unwrap();
+        let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+        let r = sim.run(&mix).unwrap();
+        let i = r.integrity.expect("integrity summary must be present");
+        assert!(i.silent_corruptions >= 1, "{i:?}");
+        assert!(i.detected >= 1, "{i:?}");
+        assert!(i.reconstructed >= 1, "{i:?}");
+        assert_eq!(i.poisoned_lines, 0, "healed reads never poison: {i:?}");
+        // The clean twin finishes with the same request count.
+        let clean = Simulation::new(PlatformKind::ZngBase, &SimConfig::tiny())
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(r.requests, clean.requests);
+    }
+
+    #[test]
+    fn integrity_run_is_deterministic() {
+        use crate::config::IntegrityConfig;
+        let mut cfg = SimConfig::tiny();
+        cfg.integrity = IntegrityConfig::with_shot(5);
+        cfg.redundancy = RedundancyConfig::rain(0);
+        let mix = MultiApp::from_names(&["betw"], &TraceParams::tiny()).unwrap();
+        let a = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let b = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.integrity, b.integrity);
     }
 
     #[test]

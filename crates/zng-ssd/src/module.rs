@@ -164,6 +164,13 @@ impl SsdModule {
         self.ftl.set_redundancy(&self.device, config);
     }
 
+    /// Applies the end-to-end integrity policy: silent-corruption
+    /// injection on the media plus payload verification in the FTL.
+    pub fn apply_integrity(&mut self, cfg: &zng_flash::SdcConfig, verify: bool) {
+        self.device.set_integrity_config(cfg);
+        self.ftl.set_integrity(verify);
+    }
+
     /// Kills one die and fences its blocks: reads reconstruct around it,
     /// the allocator stops handing out its blocks.
     ///

@@ -70,6 +70,25 @@ pub enum Error {
         /// Page offset within the block.
         page: u32,
     },
+    /// A page's payload failed its end-to-end checksum after every
+    /// recovery avenue (re-read, stripe reconstruction) was exhausted:
+    /// the ECC engine silently miscorrected the data and the integrity
+    /// layer refused to serve it.
+    IntegrityViolation {
+        /// Physical block index within the plane.
+        block: u64,
+        /// Page offset within the block.
+        page: u32,
+    },
+    /// The simulation made no forward progress for longer than the
+    /// configured watchdog budget (for example a retry/backoff livelock);
+    /// aborted rather than spinning forever.
+    Stalled {
+        /// The cycle at which the watchdog fired.
+        cycle: Cycle,
+        /// The last cycle at which a request completed.
+        last_progress: Cycle,
+    },
 }
 
 impl fmt::Display for Error {
@@ -107,6 +126,20 @@ impl fmt::Display for Error {
             Error::TornPage { block, page } => write!(
                 f,
                 "torn page at block {block} page {page} (program interrupted by power loss)"
+            ),
+            Error::IntegrityViolation { block, page } => write!(
+                f,
+                "integrity violation at block {block} page {page} \
+                 (payload checksum mismatch, ECC miscorrection)"
+            ),
+            Error::Stalled {
+                cycle,
+                last_progress,
+            } => write!(
+                f,
+                "simulation stalled: no forward progress since cycle {} (watchdog fired at {})",
+                last_progress.raw(),
+                cycle.raw()
             ),
         }
     }
@@ -167,6 +200,20 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "backpressure: queue full, retry at cycle 4096"
+        );
+        let e = Error::IntegrityViolation { block: 5, page: 2 };
+        assert_eq!(
+            e.to_string(),
+            "integrity violation at block 5 page 2 \
+             (payload checksum mismatch, ECC miscorrection)"
+        );
+        let e = Error::Stalled {
+            cycle: Cycle(9000),
+            last_progress: Cycle(1000),
+        };
+        assert_eq!(
+            e.to_string(),
+            "simulation stalled: no forward progress since cycle 1000 (watchdog fired at 9000)"
         );
     }
 

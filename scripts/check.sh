@@ -20,7 +20,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo test -q --workspace
 
+# Golden-determinism gate: the default-config JSON output is pinned
+# byte-for-byte against tests/golden/ (determinism + opt-in features
+# stay inert when off). Run by name so drift fails loudly even when the
+# main test run is filtered.
+cargo test -q --test golden
+
 # Self-healing end-to-end smoke: a die failure plus a severed mesh link
 # mid-run must still complete and rebuild (exercises the RAIN paths the
 # unit tests cover piecewise).
 cargo run -q --example redundancy_rebuild >/dev/null
+
+# Data-integrity end-to-end smoke: a silent bit flip must fail loudly
+# (poisoned L2 line, IntegrityViolation) without redundancy and heal in
+# place with RAIN on (exercises the verified-read paths end to end).
+cargo run -q --example integrity_poison >/dev/null

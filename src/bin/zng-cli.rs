@@ -10,20 +10,33 @@
 use std::process::ExitCode;
 
 use zng::{
-    table2, Cycle, Experiment, FaultConfig, FaultProfile, PlatformKind, QosConfig,
+    table2, Cycle, Experiment, FaultConfig, FaultProfile, IntegrityConfig, PlatformKind, QosConfig,
     RedundancyConfig, RunResult, Table, TraceParams,
 };
 use zng_types::ids::AppId;
 use zng_workloads::{by_name, generate, TraceBundle};
 
+/// Exit-code contract: usage errors (bad flags, missing arguments)
+/// exit 2 and print the usage text; simulation errors (integrity
+/// violations, device wear-out, watchdog stalls, I/O) exit 1 with the
+/// error alone on stderr; success exits 0.
+enum CliError {
+    Usage(String),
+    Sim(String),
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Sim(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -56,9 +69,16 @@ options:
       --die-fail-at    kill one die after N requests (implies --redundancy)
       --die-fail       which die dies, as ch:die    (default 0:0)
       --link-fail      sever channel N's mesh link  (implies --redundancy)
+      --integrity      verify per-page OOB checksums on every read
+      --sdc-rate       silent-corruption probability per read at
+                       end-of-life wear, 0..1     (implies --integrity)
+      --sdc-at         silently corrupt the Nth page program/preload
+                       (implies --integrity)
+      --watchdog       abort with exit 1 when no request completes
+                       within N cycles
       --json       emit the full RunResult as JSON";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("platforms:");
@@ -76,22 +96,15 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("run") => {
-            let opts = Opts::parse(&args[1..], "run", RUN_FLAGS)?;
+            let opts = Opts::parse(&args[1..], "run", RUN_FLAGS).map_err(CliError::Usage)?;
             let platform = opts
                 .platform
-                .ok_or_else(|| "run requires --platform".to_string())?;
+                .ok_or_else(|| CliError::Usage("run requires --platform".into()))?;
             let mut exp = Experiment::standard().with_params(opts.params);
-            exp.config_mut().fault = opts.fault_config();
-            exp.config_mut().crash_at = opts.crash_at;
-            if let Some(q) = opts.qos {
-                exp.config_mut().qos = q;
-            }
-            if let Some(rd) = opts.redundancy {
-                exp.config_mut().redundancy = rd;
-            }
+            opts.apply(&mut exp);
             let r = exp
                 .run(platform, &opts.workload_refs())
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::Sim(e.to_string()))?;
             if opts.json {
                 println!("{}", r.to_json_value().to_string_pretty());
             } else {
@@ -100,16 +113,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("sweep") => {
-            let opts = Opts::parse(&args[1..], "sweep", SWEEP_FLAGS)?;
+            let opts = Opts::parse(&args[1..], "sweep", SWEEP_FLAGS).map_err(CliError::Usage)?;
             let mut exp = Experiment::standard().with_params(opts.params);
-            exp.config_mut().fault = opts.fault_config();
-            exp.config_mut().crash_at = opts.crash_at;
-            if let Some(q) = opts.qos {
-                exp.config_mut().qos = q;
-            }
-            if let Some(rd) = opts.redundancy {
-                exp.config_mut().redundancy = rd;
-            }
+            opts.apply(&mut exp);
             let mut t = Table::new(vec![
                 "platform".into(),
                 "IPC".into(),
@@ -123,7 +129,7 @@ fn run(args: &[String]) -> Result<(), String> {
             for p in platforms {
                 let r = exp
                     .run(p, &opts.workload_refs())
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| CliError::Sim(e.to_string()))?;
                 t.row(vec![
                     p.to_string(),
                     format!("{:.4}", r.ipc),
@@ -145,24 +151,24 @@ fn run(args: &[String]) -> Result<(), String> {
                     out = Some(
                         it.next()
                             .cloned()
-                            .ok_or_else(|| "--out requires a value".to_string())?,
+                            .ok_or_else(|| CliError::Usage("--out requires a value".into()))?,
                     );
                 } else {
                     rest.push(a.clone());
                 }
             }
-            let opts = Opts::parse(&rest, "traces", TRACES_FLAGS)?;
-            let out = out.ok_or_else(|| "traces requires --out <file>".to_string())?;
+            let opts = Opts::parse(&rest, "traces", TRACES_FLAGS).map_err(CliError::Usage)?;
+            let out = out.ok_or_else(|| CliError::Usage("traces requires --out <file>".into()))?;
             let name = opts
                 .workloads
                 .first()
-                .ok_or_else(|| "--workloads is required".to_string())?;
-            let spec = by_name(name).map_err(|e| e.to_string())?;
+                .ok_or_else(|| CliError::Usage("--workloads is required".into()))?;
+            let spec = by_name(name).map_err(|e| CliError::Usage(e.to_string()))?;
             let traces = generate(&spec, AppId(0), &opts.params);
             let bundle = TraceBundle::new(name, opts.params.seed, traces);
             bundle
                 .save(std::path::Path::new(&out))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::Sim(e.to_string()))?;
             println!(
                 "wrote {} warps ({} memory ops) of `{name}` to {out}",
                 bundle.traces.len(),
@@ -170,7 +176,9 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
-        _ => Err("expected a subcommand: list | run | sweep | traces".into()),
+        _ => Err(CliError::Usage(
+            "expected a subcommand: list | run | sweep | traces".into(),
+        )),
     }
 }
 
@@ -198,6 +206,10 @@ const RUN_FLAGS: &[&str] = &[
     "--die-fail-at",
     "--die-fail",
     "--link-fail",
+    "--integrity",
+    "--sdc-rate",
+    "--sdc-at",
+    "--watchdog",
     "--json",
 ];
 const SWEEP_FLAGS: &[&str] = &[
@@ -221,6 +233,10 @@ const SWEEP_FLAGS: &[&str] = &[
     "--die-fail-at",
     "--die-fail",
     "--link-fail",
+    "--integrity",
+    "--sdc-rate",
+    "--sdc-at",
+    "--watchdog",
 ];
 const TRACES_FLAGS: &[&str] = &[
     "-w",
@@ -243,6 +259,8 @@ struct Opts {
     crash_at: Option<u64>,
     qos: Option<QosConfig>,
     redundancy: Option<RedundancyConfig>,
+    integrity: Option<IntegrityConfig>,
+    watchdog: Option<u64>,
     json: bool,
 }
 
@@ -261,6 +279,8 @@ impl Opts {
             crash_at: None,
             qos: None,
             redundancy: None,
+            integrity: None,
+            watchdog: None,
             json: false,
         };
         let mut it = args.iter();
@@ -344,6 +364,18 @@ impl Opts {
                     opts.redundancy_mut().link_fail =
                         Some(parse_num(&value("--link-fail")?)? as u16);
                 }
+                "--integrity" => {
+                    opts.integrity_mut();
+                }
+                "--sdc-rate" => {
+                    opts.integrity_mut().sdc_rate = parse_float(&value("--sdc-rate")?)?;
+                }
+                "--sdc-at" => {
+                    opts.integrity_mut().sdc_at = Some(parse_num(&value("--sdc-at")?)? as u64);
+                }
+                "--watchdog" => {
+                    opts.watchdog = Some(parse_num(&value("--watchdog")?)? as u64);
+                }
                 "--json" => opts.json = true,
                 other => {
                     return Err(format!(
@@ -355,6 +387,11 @@ impl Opts {
         }
         if opts.workloads.is_empty() {
             return Err("--workloads is required".into());
+        }
+        // Unknown workload names are usage errors, caught before any
+        // simulation work starts.
+        for w in &opts.workloads {
+            by_name(w).map_err(|e| e.to_string())?;
         }
         Ok(opts)
     }
@@ -373,6 +410,33 @@ impl Opts {
             .get_or_insert_with(|| RedundancyConfig::rain(0))
     }
 
+    /// The integrity policy being built up by flags, enabled (verified
+    /// reads, no injection) the first time any integrity flag appears.
+    fn integrity_mut(&mut self) -> &mut IntegrityConfig {
+        self.integrity.get_or_insert_with(|| IntegrityConfig {
+            enabled: true,
+            ..IntegrityConfig::off()
+        })
+    }
+
+    /// Installs the parsed policies into the experiment's configuration.
+    fn apply(&self, exp: &mut Experiment) {
+        exp.config_mut().fault = self.fault_config();
+        exp.config_mut().crash_at = self.crash_at;
+        if let Some(q) = self.qos {
+            exp.config_mut().qos = q;
+        }
+        if let Some(rd) = self.redundancy {
+            exp.config_mut().redundancy = rd;
+        }
+        if let Some(mut i) = self.integrity {
+            // The SDC streams share the run's RNG seed.
+            i.seed = self.params.seed;
+            exp.config_mut().integrity = i;
+        }
+        exp.config_mut().watchdog = self.watchdog;
+    }
+
     fn workload_refs(&self) -> Vec<&str> {
         self.workloads.iter().map(String::as_str).collect()
     }
@@ -387,6 +451,10 @@ impl Opts {
 }
 
 fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn parse_float(s: &str) -> Result<f64, String> {
     s.parse().map_err(|_| format!("`{s}` is not a number"))
 }
 
@@ -569,6 +637,32 @@ fn print_result(r: &RunResult) {
         t.row(vec![
             "recovery scan cycles".into(),
             cr.scan_cycles.raw().to_string(),
+        ]);
+        if r.integrity.is_some() {
+            t.row(vec![
+                "recovery corrupt quarantined".into(),
+                cr.corrupt_quarantined.to_string(),
+            ]);
+        }
+    }
+    if let Some(i) = &r.integrity {
+        t.row(vec![
+            "silent corruptions".into(),
+            i.silent_corruptions.to_string(),
+        ]);
+        t.row(vec!["integrity detected".into(), i.detected.to_string()]);
+        t.row(vec!["integrity re-reads".into(), i.rereads.to_string()]);
+        t.row(vec![
+            "integrity reconstructed".into(),
+            i.reconstructed.to_string(),
+        ]);
+        t.row(vec![
+            "integrity quarantined".into(),
+            i.quarantined.to_string(),
+        ]);
+        t.row(vec![
+            "poisoned L2 lines".into(),
+            i.poisoned_lines.to_string(),
         ]);
     }
     t.print("run result");

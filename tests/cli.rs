@@ -200,5 +200,130 @@ fn bad_arguments_fail_with_usage() {
         assert!(!out.status.success(), "args {args:?} should fail");
         let err = String::from_utf8_lossy(&out.stderr);
         assert!(err.contains("usage:"), "no usage in stderr: {err}");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "usage errors exit 2: {args:?}\n{err}"
+        );
     }
+}
+
+#[test]
+fn simulation_errors_exit_one_without_usage() {
+    // A 1-cycle watchdog budget trips immediately: a simulation error,
+    // not a usage error, so exit 1 and no usage dump.
+    let out = cli()
+        .args([
+            "run",
+            "-p",
+            "zng",
+            "-w",
+            "betw",
+            "--warps",
+            "8",
+            "--ops",
+            "40",
+            "--footprint",
+            "128",
+            "--watchdog",
+            "1",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "simulation errors exit 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("stalled"), "names the stall: {err}");
+    assert!(
+        !err.contains("usage:"),
+        "no usage text for sim errors: {err}"
+    );
+}
+
+#[test]
+fn integrity_violation_exits_one() {
+    // A silent-corruption shot with no redundancy to reconstruct from is
+    // unrecoverable: the read fails loudly and the process exits 1.
+    let out = cli()
+        .args([
+            "run",
+            "-p",
+            "zng-base",
+            "-w",
+            "betw",
+            "--warps",
+            "8",
+            "--ops",
+            "40",
+            "--footprint",
+            "128",
+            "--integrity",
+            "--sdc-at",
+            "5",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "integrity violations exit 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("integrity"), "names the violation: {err}");
+}
+
+#[test]
+fn integrity_flags_add_counters_and_heal_with_redundancy() {
+    let out = cli()
+        .args([
+            "run",
+            "-p",
+            "zng-base",
+            "-w",
+            "betw",
+            "--warps",
+            "8",
+            "--ops",
+            "40",
+            "--footprint",
+            "128",
+            "--integrity",
+            "--sdc-at",
+            "5",
+            "--redundancy",
+            "--json",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let v = zng_json::Value::parse(&text).expect("valid JSON RunResult");
+    assert!(v["integrity_detected"].as_f64().unwrap() >= 1.0);
+    assert!(v["integrity_reconstructed"].as_f64().unwrap() >= 1.0);
+    assert_eq!(v["integrity_poisoned_lines"].as_f64().unwrap(), 0.0);
+}
+
+#[test]
+fn default_run_has_no_integrity_rows() {
+    let out = cli()
+        .args([
+            "run",
+            "-p",
+            "zng",
+            "-w",
+            "betw",
+            "--warps",
+            "4",
+            "--ops",
+            "20",
+            "--footprint",
+            "64",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !text.contains("integrity") && !text.contains("poisoned"),
+        "default output must be integrity-free:\n{text}"
+    );
 }

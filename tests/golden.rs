@@ -1,0 +1,92 @@
+//! Golden-determinism gate: the default run's JSON output is pinned
+//! byte-for-byte against checked-in golden files.
+//!
+//! Two guarantees ride on this:
+//!
+//! 1. **Determinism** — the same command run twice produces identical
+//!    bytes (no hidden clock, RNG or hash-order dependence).
+//! 2. **Integrity-off is inert** — the opt-in data-integrity subsystem
+//!    (and every other opt-in feature) leaves the default output
+//!    untouched. A change that perturbs these bytes is either a real
+//!    behaviour change (regenerate the goldens deliberately, in the
+//!    same commit, with an explanation) or an accidental leak of an
+//!    opt-in feature into the default path (fix the leak).
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo build --release
+//! ./target/release/zng-cli run -p zng -w betw --warps 8 --ops 40 \
+//!     --footprint 128 --json > tests/golden/run_default.json
+//! ./target/release/zng-cli run -p zng -w betw --warps 8 --ops 40 \
+//!     --footprint 128 --json --faults end-of-life > tests/golden/run_eol.json
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+const RUN_ARGS: &[&str] = &[
+    "run",
+    "-p",
+    "zng",
+    "-w",
+    "betw",
+    "--warps",
+    "8",
+    "--ops",
+    "40",
+    "--footprint",
+    "128",
+    "--json",
+];
+
+fn run_cli(extra: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_zng-cli"))
+        .args(RUN_ARGS)
+        .args(extra)
+        .output()
+        .expect("spawn zng-cli");
+    assert!(
+        out.status.success(),
+        "golden run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn golden(name: &str) -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn assert_bytes_match(got: &[u8], want: &[u8], what: &str) {
+    if got != want {
+        panic!(
+            "{what} drifted from its golden file.\n\
+             If the change is intentional, regenerate the goldens (see \
+             tests/golden.rs header) in the same commit.\n\
+             --- golden ---\n{}\n--- got ---\n{}",
+            String::from_utf8_lossy(want),
+            String::from_utf8_lossy(got),
+        );
+    }
+}
+
+#[test]
+fn default_run_matches_golden_and_is_deterministic() {
+    let first = run_cli(&[]);
+    let second = run_cli(&[]);
+    assert_eq!(
+        first, second,
+        "two identical invocations produced different bytes"
+    );
+    assert_bytes_match(&first, &golden("run_default.json"), "default run");
+}
+
+#[test]
+fn end_of_life_run_matches_golden() {
+    let got = run_cli(&["--faults", "end-of-life"]);
+    assert_bytes_match(&got, &golden("run_eol.json"), "end-of-life run");
+}

@@ -125,12 +125,45 @@ impl Ftl {
         }
     }
 
+    fn recover(
+        &mut self,
+        now: Cycle,
+        d: &mut FlashDevice,
+    ) -> zng_types::Result<zng_ftl::RecoveryReport> {
+        match self {
+            Ftl::Zng(f) => f.recover(now, d),
+            Ftl::Map(f) => f.recover(now, d),
+        }
+    }
+
     fn clone_box(&self) -> Ftl {
         match self {
             Ftl::Zng(f) => Ftl::Zng(f.clone()),
             Ftl::Map(f) => Ftl::Map(f.clone()),
         }
     }
+}
+
+/// No logical page may ever resolve into a parity block: parity is
+/// reconstruction input, never mappable data (a crash that interrupts
+/// parity maintenance must not resurrect it as a winner).
+fn assert_no_parity_mapped(
+    f: &Ftl,
+    d: &FlashDevice,
+    lpns: impl Iterator<Item = u64>,
+    what: &str,
+) -> Result<(), TestCaseError> {
+    for lpn in lpns {
+        if let Some(addr) = f.locate(lpn) {
+            if let Some(b) = d.block(addr.block) {
+                prop_assert!(
+                    b.kind() != BlockKind::Parity,
+                    "{what}: lpn {lpn} maps into a parity block"
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Stamp snapshot (`lpn -> seq`) of every acked logical page, taken
@@ -475,6 +508,161 @@ fn check_off_is_inert(
     Ok(())
 }
 
+/// A power cut in the middle of a patrol-scrub step: the interrupted
+/// relocations must tear away cleanly — after OOB-scan recovery every
+/// settled write is still readable at no older a version, and no stale
+/// parity is resurrected as data.
+fn check_crash_mid_scrub(
+    profile: u8,
+    seed: u64,
+    writes: &[u64],
+    threshold: u32,
+    cut_pct: u64,
+    mode: Option<WriteMode>,
+) -> Result<(), TestCaseError> {
+    let strict = profile == 0;
+    let mut d = device(profile, seed);
+    let rain = RainConfig {
+        scrub_threshold: threshold,
+        pacing: None,
+    };
+    let mut f = Ftl::new(&d, mode, rain);
+
+    let mut acked: HashMap<u64, u64> = HashMap::new();
+    let mut t = Cycle::ZERO;
+    for &lpn in writes {
+        match f.write(t, &mut d, lpn) {
+            Ok(done) => {
+                t = done;
+                *acked.entry(lpn).or_insert(0) += 1;
+            }
+            Err(Error::DeviceWornOut { .. }) => break,
+            Err(Error::UncorrectableRead { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("write failed: {e}"))),
+        }
+    }
+    // Settle the background programs: every acked write is durable, so
+    // the cut below can only interrupt the scrub's own relocations.
+    t += Cycle(10_000_000);
+    let baseline = acked_stamps(&f, &d, &acked);
+
+    let horizon = match f.scrub_step(t, &mut d) {
+        Ok(h) => h,
+        Err(Error::UncorrectableRead { .. }) if !strict => return Ok(()),
+        Err(e) => return Err(TestCaseError::fail(format!("scrub step failed: {e}"))),
+    };
+    let span = horizon.raw().saturating_sub(t.raw());
+    let t_cut = Cycle(t.raw() + span * cut_pct.min(99) / 100);
+    d.power_loss(t_cut);
+    let report = f
+        .recover(t_cut, &mut d)
+        .map_err(|e| TestCaseError::fail(format!("recovery failed: {e}")))?;
+    let t_after = t_cut + report.scan_cycles + Cycle(1);
+
+    check_readable(&mut f, &mut d, t_after, &baseline, strict, "mid-scrub cut")?;
+    assert_no_parity_mapped(&f, &d, baseline.keys().copied(), "mid-scrub cut")
+}
+
+/// A power cut in the middle of a dead-die rebuild: half-recreated
+/// spare copies tear away, the originals (reconstructable from the
+/// surviving members) win again, and no parity block is mapped as data.
+fn check_crash_mid_rebuild(
+    profile: u8,
+    seed: u64,
+    writes: &[u64],
+    fail_at: usize,
+    cut_pct: u64,
+    mode: Option<WriteMode>,
+) -> Result<(), TestCaseError> {
+    let strict = profile == 0;
+    let mut d = device(profile, seed);
+    let mut f = Ftl::new(&d, mode, RainConfig::default());
+
+    let mut acked: HashMap<u64, u64> = HashMap::new();
+    let mut t = Cycle::ZERO;
+    let fail_at = fail_at.min(writes.len());
+    for &lpn in &writes[..fail_at] {
+        match f.write(t, &mut d, lpn) {
+            Ok(done) => {
+                t = done;
+                *acked.entry(lpn).or_insert(0) += 1;
+            }
+            Err(Error::DeviceWornOut { .. }) => break,
+            Err(Error::UncorrectableRead { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("write failed: {e}"))),
+        }
+    }
+    d.fail_die(ChannelId(1), DieId(0));
+    match f.fence_dead_die(t, &mut d) {
+        Ok(done) => t = done,
+        Err(Error::UncorrectableRead { .. }) if !strict => return Ok(()),
+        Err(e) => return Err(TestCaseError::fail(format!("fence failed: {e}"))),
+    }
+    // Settle, snapshot the durable state, then interrupt the rebuild.
+    t += Cycle(10_000_000);
+    let baseline = acked_stamps(&f, &d, &acked);
+    // Pages still sitting on the dead die when the power cut lands are
+    // the double-fault window of single-parity RAIN: the crash wipes the
+    // open stripes, so nothing can reconstruct them afterwards. Their
+    // loss is tolerated; everything on healthy media must survive.
+    let on_dead_die: std::collections::HashSet<u64> = baseline
+        .keys()
+        .copied()
+        .filter(|&lpn| {
+            f.locate(lpn)
+                .is_some_and(|a| d.die_is_dead(a.block.channel, a.block.die))
+        })
+        .collect();
+    let (done, _pages) = match f.rebuild_dead_die(t, &mut d) {
+        Ok(r) => r,
+        Err(Error::UncorrectableRead { .. }) if !strict => return Ok(()),
+        Err(e) => return Err(TestCaseError::fail(format!("rebuild failed: {e}"))),
+    };
+    let span = done.raw().saturating_sub(t.raw());
+    let t_cut = Cycle(t.raw() + span * cut_pct.min(99) / 100);
+    d.power_loss(t_cut);
+    let report = f
+        .recover(t_cut, &mut d)
+        .map_err(|e| TestCaseError::fail(format!("recovery failed: {e}")))?;
+    let t_after = t_cut + report.scan_cycles + Cycle(1);
+
+    for (&lpn, &seq) in &baseline {
+        let Some(addr) = f.locate(lpn) else {
+            prop_assert!(
+                on_dead_die.contains(&lpn),
+                "mid-rebuild cut: lpn {lpn} on healthy media lost its mapping"
+            );
+            continue;
+        };
+        let stamp = d.page_stamp(addr);
+        prop_assert!(
+            stamp.is_some(),
+            "mid-rebuild cut: lpn {lpn} maps to unstamped media"
+        );
+        let (key, got) = stamp.unwrap();
+        prop_assert_eq!(
+            key,
+            lpn,
+            "mid-rebuild cut: lpn {} resolves to foreign data",
+            lpn
+        );
+        prop_assert!(
+            got >= seq,
+            "mid-rebuild cut: lpn {lpn} rolled back past the acked version ({got} < {seq})"
+        );
+        match f.read(t_after, &mut d, lpn) {
+            Ok(_) => {}
+            Err(Error::UncorrectableRead { .. }) if !strict => {}
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "mid-rebuild cut: read of acked lpn {lpn} failed: {e}"
+                )))
+            }
+        }
+    }
+    assert_no_parity_mapped(&f, &d, baseline.keys().copied(), "mid-rebuild cut")
+}
+
 proptest! {
     /// ZnG FTL, direct writes: a single die failure at any point loses
     /// no acked write; rebuild moves everything off the dead die.
@@ -547,6 +735,61 @@ proptest! {
             _ => None,
         };
         check_determinism(profile, seed, &writes, fail_at, scrub_steps, mode)?;
+    }
+
+    /// A crash in the middle of a patrol-scrub step loses no acked
+    /// write and never resurrects a parity block as mapped data.
+    #[test]
+    fn zng_crash_mid_scrub_loses_nothing(
+        profile in 0u8..3,
+        seed in 0u64..40,
+        writes in prop::collection::vec(0u64..48, 1..48),
+        threshold in 0u32..4,
+        cut_pct in 0u64..100,
+        flavor in 0u8..2,
+    ) {
+        let mode = match flavor {
+            0 => Some(WriteMode::Direct),
+            _ => Some(WriteMode::Buffered),
+        };
+        check_crash_mid_scrub(profile, seed, &writes, threshold, cut_pct, mode)?;
+    }
+
+    /// Page-map FTL: same mid-scrub crash contract.
+    #[test]
+    fn pagemap_crash_mid_scrub_loses_nothing(
+        profile in 0u8..3,
+        seed in 0u64..40,
+        writes in prop::collection::vec(0u64..192, 1..48),
+        threshold in 0u32..4,
+        cut_pct in 0u64..100,
+    ) {
+        check_crash_mid_scrub(profile, seed, &writes, threshold, cut_pct, None)?;
+    }
+
+    /// A crash in the middle of a dead-die rebuild: the half-built
+    /// spare copies tear away and every acked write stays readable.
+    #[test]
+    fn zng_crash_mid_rebuild_loses_nothing(
+        profile in 0u8..3,
+        seed in 0u64..40,
+        writes in prop::collection::vec(0u64..48, 1..48),
+        fail_at in 0usize..48,
+        cut_pct in 0u64..100,
+    ) {
+        check_crash_mid_rebuild(profile, seed, &writes, fail_at, cut_pct, Some(WriteMode::Direct))?;
+    }
+
+    /// Page-map FTL: same mid-rebuild crash contract.
+    #[test]
+    fn pagemap_crash_mid_rebuild_loses_nothing(
+        profile in 0u8..3,
+        seed in 0u64..40,
+        writes in prop::collection::vec(0u64..192, 1..48),
+        fail_at in 0usize..48,
+        cut_pct in 0u64..100,
+    ) {
+        check_crash_mid_rebuild(profile, seed, &writes, fail_at, cut_pct, None)?;
     }
 
     /// Redundancy off = the previous write path, bit for bit.
