@@ -12,11 +12,13 @@
 
 use zng::Table;
 use zng_bench::{quick, report};
-use zng_flash::{FlashDevice, FlashGeometry, FlashTiming, RegisterTopology};
-use zng_ftl::{RainConfig, WearPolicy, WriteMode, ZngFtl};
+use zng_flash::{
+    FaultConfig, FlashDevice, FlashGeometry, FlashTiming, RegisterTopology, DISTURB_READS_PER_CYCLE,
+};
+use zng_ftl::{RainConfig, RefreshPolicy, WearPolicy, WriteMode, ZngFtl};
 use zng_types::{
     ids::{ChannelId, DieId},
-    Cycle, Freq,
+    Cycle, Error, Freq,
 };
 
 fn main() {
@@ -24,6 +26,7 @@ fn main() {
     wear_ablation();
     redundancy_ablation();
     integrity_ablation();
+    lifetime_ablation();
 }
 
 /// Streams a read-heavy page workload through a ZnG-style device built
@@ -385,5 +388,152 @@ fn integrity_ablation() {
         &t,
         "verified reads are free on clean media; a caught silent flip pays one re-read plus \
          the stripe reconstruction and then heals in place (end-to-end checksum discipline)",
+    );
+}
+
+/// Lifetime management: hot/cold skewed churn with the endurance
+/// subsystem off vs on (static wear levelling), plus sustained
+/// end-of-life churn showing the wear-out cliff degrading into a
+/// capacity step — the numbers behind EXPERIMENTS.md
+/// "Endurance & lifetime management".
+fn lifetime_ablation() {
+    // A deliberately tiny device so recycling cycles many times.
+    let geometry = || {
+        let mut g = FlashGeometry::tiny();
+        g.blocks_per_plane = 2;
+        g.pages_per_block = 8;
+        g
+    };
+    let writes = if quick() { 2_000u64 } else { 6_000 };
+
+    // Hot/cold skew: half the device holds cold data written once and
+    // folded into data blocks, then churn on a single hot group.
+    // Without intervention the cold blocks never recycle and the wear
+    // spread (max/mean erase fraction) grows.
+    let churn = |endurance: bool| {
+        let mut dev = FlashDevice::zng_config(geometry(), Freq::default(), RegisterTopology::NiF)
+            .expect("device");
+        let mut ftl = ZngFtl::new(&dev, 1, WriteMode::Direct);
+        if endurance {
+            dev.set_endurance_tracking(Some(DISTURB_READS_PER_CYCLE));
+            ftl.set_endurance(Some(RefreshPolicy {
+                disturb_threshold: 0,
+                retention_threshold: 0,
+                wear_spread: 1.5,
+                pacing: None,
+            }));
+        }
+        let mut now = Cycle::ZERO;
+        for vbn in 1..=16u64 {
+            for p in 0..8u64 {
+                let r = ftl.write(now, &mut dev, vbn * 8 + p).expect("cold write");
+                now = r.done.max(now + Cycle(1));
+            }
+            // Fold the group into its data block; a full log would
+            // otherwise pin one block per cold group on this tiny device.
+            let merged = ftl.gc_group(now, &mut dev, vbn).expect("cold merge").done;
+            now = merged.max(now + Cycle(1));
+        }
+        for i in 0..writes {
+            let r = ftl.write(now, &mut dev, i % 8).expect("hot write");
+            now = r.done.max(now + Cycle(1));
+            if endurance && i % 16 == 0 {
+                let h = ftl.refresh_step(now, &mut dev).expect("refresh step");
+                now = h.max(now + Cycle(1));
+            }
+        }
+        let c = ftl.endurance_counters().unwrap_or_default();
+        (dev.endurance(), c)
+    };
+    let (rep_off, _) = churn(false);
+    let (rep_on, c_on) = churn(true);
+    assert!(
+        c_on.level_migrations > 0,
+        "the skew must trip the static leveler"
+    );
+    assert!(
+        rep_on.wear_spread() < rep_off.wear_spread(),
+        "static levelling must reduce the wear spread ({:.2} vs {:.2})",
+        rep_on.wear_spread(),
+        rep_off.wear_spread()
+    );
+
+    // End of life: accelerated wear faults until the spare pool runs
+    // dry. With endurance on, the hard DeviceWornOut cliff becomes a
+    // CapacityDegraded refusal and already-acked data stays readable.
+    let mut dev = FlashDevice::zng_config(geometry(), Freq::default(), RegisterTopology::NiF)
+        .expect("device");
+    dev.set_fault_config(&FaultConfig::end_of_life());
+    let mut ftl = ZngFtl::new(&dev, 1, WriteMode::Direct);
+    ftl.set_endurance(Some(RefreshPolicy {
+        disturb_threshold: 0,
+        retention_threshold: 0,
+        wear_spread: 0.0,
+        pacing: None,
+    }));
+    let mut now = Cycle::ZERO;
+    let mut remaining = None;
+    for i in 0..400_000u64 {
+        match ftl.write(now, &mut dev, i % 16) {
+            Ok(r) => now = r.done.max(now + Cycle(1)),
+            Err(Error::CapacityDegraded { remaining_pages }) => {
+                remaining = Some(remaining_pages);
+                break;
+            }
+            Err(Error::UncorrectableRead { .. }) => {}
+            Err(e) => panic!("endurance mode must degrade gracefully, got {e}"),
+        }
+    }
+    let remaining = remaining.expect("sustained EOL churn must exhaust the pool");
+    let c_eol = ftl.endurance_counters().expect("endurance installed");
+    let rep_eol = dev.endurance();
+
+    let mut t = Table::new(vec![
+        "config".into(),
+        "wear spread".into(),
+        "worst wear".into(),
+        "refreshes".into(),
+        "level migs".into(),
+        "capacity steps".into(),
+    ]);
+    t.row(vec![
+        "spread reduction".into(),
+        format!("{:.2}", rep_off.wear_spread() / rep_on.wear_spread()),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "endurance off".into(),
+        format!("{:.2}", rep_off.wear_spread()),
+        format!("{:.4}", rep_off.worst_wear_fraction()),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+    ]);
+    t.row(vec![
+        "refresh + static levelling".into(),
+        format!("{:.2}", rep_on.wear_spread()),
+        format!("{:.4}", rep_on.worst_wear_fraction()),
+        c_on.refreshes.to_string(),
+        c_on.level_migrations.to_string(),
+        c_on.capacity_steps.to_string(),
+    ]);
+    t.row(vec![
+        format!("end of life ({remaining} pages left)"),
+        format!("{:.2}", rep_eol.wear_spread()),
+        format!("{:.4}", rep_eol.worst_wear_fraction()),
+        c_eol.refreshes.to_string(),
+        c_eol.level_migrations.to_string(),
+        c_eol.capacity_steps.to_string(),
+    ]);
+    assert!(c_eol.capacity_steps >= 1, "the cliff must become a step");
+    report(
+        "ablation_lifetime",
+        "Endurance management: levelling, refresh & graceful EOL",
+        &t,
+        "static levelling pulls cold data into worn blocks to flatten the wear spread, and \
+         the end-of-life cliff becomes a graceful capacity step (paper SVI lifetime)",
     );
 }

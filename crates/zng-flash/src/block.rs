@@ -102,6 +102,15 @@ pub struct Block {
     /// match its OOB checksum". Survives power loss (the array is
     /// non-volatile) and clears on erase.
     corrupt: Vec<u64>,
+    /// Read-disturb exposure: array senses against this block since its
+    /// last erase. Disturb is accumulated charge drift on sibling pages,
+    /// so it is physical state — it survives power loss and only an
+    /// erase (fresh charge) resets it.
+    disturb_reads: u64,
+    /// When the first page after the last erase finished programming:
+    /// the block's retention clock. Charge state, so it survives power
+    /// loss and clears on erase.
+    first_programmed: Option<Cycle>,
 }
 
 impl Block {
@@ -122,7 +131,27 @@ impl Block {
             failed: false,
             oob: vec![PageOob::Blank; pages as usize],
             corrupt: vec![0; (pages as usize).div_ceil(64)],
+            disturb_reads: 0,
+            first_programmed: None,
         }
+    }
+
+    /// Records one read-disturb exposure: an array sense against any page
+    /// of this block drifts the charge of its sibling pages. Cleared by
+    /// [`Block::erase`] only.
+    pub fn note_disturb_read(&mut self) {
+        self.disturb_reads = self.disturb_reads.saturating_add(1);
+    }
+
+    /// Array senses against this block since its last erase.
+    pub fn disturb_reads(&self) -> u64 {
+        self.disturb_reads
+    }
+
+    /// When the first page after the last erase finished programming, if
+    /// any — the block's retention clock for refresh decisions.
+    pub fn first_programmed(&self) -> Option<Cycle> {
+        self.first_programmed
     }
 
     /// Flags `page`'s payload as silently corrupted: its stored bits no
@@ -202,6 +231,8 @@ impl Block {
         self.valid.iter_mut().for_each(|w| *w = 0);
         self.oob.iter_mut().for_each(|s| *s = PageOob::Blank);
         self.corrupt.iter_mut().for_each(|w| *w = 0);
+        self.disturb_reads = 0;
+        self.first_programmed = None;
         self.erase_count += 1;
         Ok(())
     }
@@ -224,6 +255,9 @@ impl Block {
     pub fn record_oob(&mut self, page: u32, meta: OobMeta) {
         if let Some(s) = self.oob.get_mut(page as usize) {
             *s = PageOob::Written(meta);
+            if self.first_programmed.is_none() {
+                self.first_programmed = Some(meta.programmed_at);
+            }
         }
     }
 
@@ -506,6 +540,47 @@ mod tests {
         assert!(b.is_torn(0));
         b.erase().unwrap();
         assert_eq!(b.oob(0), PageOob::Blank);
+    }
+
+    #[test]
+    fn disturb_reads_survive_power_loss_and_clear_on_erase() {
+        let mut b = Block::new(2);
+        b.program_next().unwrap();
+        assert_eq!(b.disturb_reads(), 0);
+        b.note_disturb_read();
+        b.note_disturb_read();
+        assert_eq!(b.disturb_reads(), 2);
+        // Disturb is charge drift — physical state that survives a cut.
+        b.power_loss(Cycle::ZERO, 0);
+        assert_eq!(b.disturb_reads(), 2);
+        // A fresh erase re-charges the cells.
+        b.erase().unwrap();
+        assert_eq!(b.disturb_reads(), 0);
+    }
+
+    #[test]
+    fn first_programmed_stamps_retention_clock() {
+        let mut b = Block::new(3);
+        assert_eq!(b.first_programmed(), None);
+        b.program_next().unwrap();
+        let meta = |at: u64| OobMeta {
+            lpn: 1,
+            seq: 1,
+            tag: BlockKind::Data,
+            programmed_at: Cycle(at),
+            demand: true,
+        };
+        b.record_oob(0, meta(100));
+        assert_eq!(b.first_programmed(), Some(Cycle(100)));
+        // Later programs never move the retention clock backwards.
+        b.program_next().unwrap();
+        b.record_oob(1, meta(900));
+        assert_eq!(b.first_programmed(), Some(Cycle(100)));
+        // Survives power loss, clears on erase.
+        b.power_loss(Cycle(2_000), 0);
+        assert_eq!(b.first_programmed(), Some(Cycle(100)));
+        b.erase().unwrap();
+        assert_eq!(b.first_programmed(), None);
     }
 
     #[test]

@@ -38,8 +38,13 @@ pub struct EnduranceReport {
     pub total_erases: u64,
     /// Erases endured by the worst-worn block.
     pub max_block_erases: u32,
+    /// Erases endured by the least-worn block (zero while any block has
+    /// never been erased).
+    pub min_block_erases: u32,
     /// Blocks erased at least once.
     pub worn_blocks: u64,
+    /// Total blocks in the device geometry.
+    pub total_blocks: u64,
     /// The media's program/erase endurance (Z-NAND: 100 000).
     pub pe_limit: u32,
 }
@@ -48,6 +53,30 @@ impl EnduranceReport {
     /// Fraction of the worst block's endurance consumed (0.0-1.0).
     pub fn worst_wear_fraction(&self) -> f64 {
         self.max_block_erases as f64 / self.pe_limit as f64
+    }
+
+    /// Fraction of the least-worn block's endurance consumed (0.0-1.0).
+    pub fn min_wear_fraction(&self) -> f64 {
+        self.min_block_erases as f64 / self.pe_limit as f64
+    }
+
+    /// Mean erase fraction across *all* blocks (untouched ones included).
+    pub fn mean_wear_fraction(&self) -> f64 {
+        if self.total_blocks == 0 {
+            return 0.0;
+        }
+        self.total_erases as f64 / self.total_blocks as f64 / self.pe_limit as f64
+    }
+
+    /// Wear spread: the worst block's erase fraction over the device
+    /// mean (1.0 = perfectly even; the static wear leveler's trigger
+    /// metric). Defined as 1.0 on an unworn device.
+    pub fn wear_spread(&self) -> f64 {
+        let mean = self.mean_wear_fraction();
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        self.worst_wear_fraction() / mean
     }
 
     /// Wear-levelling quality: mean erases per worn block divided by the
@@ -106,6 +135,9 @@ pub struct FlashDevice {
     /// One-shot deterministic corruption: the program whose sequence
     /// number equals this value lands silently corrupted.
     sdc_at: Option<u64>,
+    /// Read-disturb tracking unit (senses per P/E-equivalent cycle of
+    /// exposure); `None` disables endurance accounting entirely.
+    disturb_unit: Option<u64>,
 }
 
 impl FlashDevice {
@@ -149,7 +181,37 @@ impl FlashDevice {
             dead_die_reads: 0,
             sdc: Vec::new(),
             sdc_at: None,
+            disturb_unit: None,
         })
+    }
+
+    /// Enables (or disables, with `None`) read-disturb endurance
+    /// tracking: every array sense charges its block's disturb counter
+    /// and every `unit` senses amplify the block's effective RBER/SDC
+    /// wear by one P/E cycle until the block is erased. Off by default;
+    /// the off state performs no counter updates and leaves every fault
+    /// draw bit-identical.
+    pub fn set_endurance_tracking(&mut self, unit: Option<u64>) {
+        self.disturb_unit = unit.map(|u| u.max(1));
+        for pkg in &mut self.packages {
+            for idx in 0..pkg.plane_count() {
+                pkg.plane_mut(idx).set_disturb_unit(self.disturb_unit);
+            }
+        }
+    }
+
+    /// Whether read-disturb endurance tracking is enabled.
+    pub fn endurance_tracking(&self) -> bool {
+        self.disturb_unit.is_some()
+    }
+
+    /// `block`'s disturb exposure in P/E-equivalent cycles (zero when
+    /// tracking is off).
+    pub fn disturb_cycles(&self, block: BlockAddr) -> u64 {
+        let plane_idx = self.plane_idx(block);
+        self.packages[block.channel.index()]
+            .plane(plane_idx)
+            .disturb_cycles(block.block)
     }
 
     /// Fails the die at `(ch, die)`: from now on every array read,
@@ -350,8 +412,25 @@ impl FlashDevice {
             });
         }
         let plane_idx = self.plane_idx(addr.block);
+        let track = self.disturb_unit.is_some();
+        let (pre_noted, pre_errors) = if track {
+            let p = self.packages[ch.index()].plane(plane_idx);
+            (p.disturb_noted(), p.disturb_errors())
+        } else {
+            (0, 0)
+        };
         let pkg = &mut self.packages[ch.index()];
-        let r = match pkg.read_page_from_array(now, plane_idx, addr.block.block, addr.page) {
+        let result = pkg.read_page_from_array(now, plane_idx, addr.block.block, addr.page);
+        if track {
+            let p = self.packages[ch.index()].plane(plane_idx);
+            for _ in pre_noted..p.disturb_noted() {
+                self.stats.record_disturb_read();
+            }
+            for _ in pre_errors..p.disturb_errors() {
+                self.stats.record_disturb_triggered_error();
+            }
+        }
+        let r = match result {
             Ok(r) => r,
             Err(e) => {
                 if matches!(e, Error::UncorrectableRead { .. }) {
@@ -390,10 +469,20 @@ impl FlashDevice {
             }
             _ => return,
         };
-        let hit = match self.sdc.get_mut(tag).and_then(|s| s.as_mut()) {
-            Some(stream) => stream.miscorrects(erase_count, age),
+        let disturb = if self.disturb_unit.is_some() {
+            self.packages[addr.block.channel.index()]
+                .plane(self.plane_idx(addr.block))
+                .disturb_cycles(addr.block.block)
+        } else {
+            0
+        };
+        let (hit, disturb_hit) = match self.sdc.get_mut(tag).and_then(|s| s.as_mut()) {
+            Some(stream) => stream.miscorrects_disturbed(erase_count, age, disturb),
             None => return,
         };
+        if disturb_hit {
+            self.stats.record_disturb_triggered_error();
+        }
         if hit {
             if let Ok(b) = self.block_mut(addr.block) {
                 b.mark_corrupt(addr.page);
@@ -737,25 +826,28 @@ impl FlashDevice {
     pub fn endurance(&self) -> EnduranceReport {
         let mut total = 0u64;
         let mut max = 0u32;
+        let mut min = u32::MAX;
         let mut worn_blocks = 0u64;
-        for idx in 0..self.geometry.total_blocks() as u64 {
+        let total_blocks = self.geometry.total_blocks() as u64;
+        for idx in 0..total_blocks {
             let addr = match self.geometry.block_for_index(idx) {
                 Ok(a) => a,
                 Err(_) => continue,
             };
-            if let Some(b) = self.block(addr) {
-                let e = b.erase_count();
-                if e > 0 {
-                    worn_blocks += 1;
-                    total += e as u64;
-                    max = max.max(e);
-                }
+            let e = self.block(addr).map(|b| b.erase_count()).unwrap_or(0);
+            min = min.min(e);
+            if e > 0 {
+                worn_blocks += 1;
+                total += e as u64;
+                max = max.max(e);
             }
         }
         EnduranceReport {
             total_erases: total,
             max_block_erases: max,
+            min_block_erases: if min == u32::MAX { 0 } else { min },
             worn_blocks,
+            total_blocks,
             pe_limit: PE_LIMIT,
         }
     }
@@ -1087,6 +1179,69 @@ mod tests {
         d.invalidate(addr);
         d.erase(Cycle(10_000_000), block0()).unwrap();
         assert!(!d.page_is_corrupt(addr));
+    }
+
+    #[test]
+    fn endurance_tracking_charges_disturb_and_resets_on_erase() {
+        let mut d = device();
+        d.set_endurance_tracking(Some(4));
+        assert!(d.endurance_tracking());
+        let r = d.program(Cycle(0), block0(), 1).unwrap();
+        let addr = block0().page(r.page);
+        for i in 0..8u64 {
+            // Distinct cache-register keys are not in play here: evict
+            // the latch by reading through the device repeatedly after a
+            // program of another page would be complex; instead rely on
+            // the first sense + register hits. Re-program to evict.
+            let _ = d.read(Cycle(1_000_000 + i), addr, 1, 128);
+            d.program(Cycle(1_000_000 + i), block0(), 100 + i).unwrap();
+        }
+        let b = d.block(block0()).unwrap();
+        assert!(b.disturb_reads() > 0, "senses must charge the counter");
+        assert!(d.stats().disturb_reads() > 0);
+        assert_eq!(d.disturb_cycles(block0()), b.disturb_reads() / 4);
+        // Erase restores the charge.
+        for p in 0..b.programmed_pages() {
+            d.invalidate(block0().page(p));
+        }
+        d.erase(Cycle(50_000_000), block0()).unwrap();
+        assert_eq!(d.block(block0()).unwrap().disturb_reads(), 0);
+        assert_eq!(d.disturb_cycles(block0()), 0);
+    }
+
+    #[test]
+    fn endurance_tracking_off_is_inert() {
+        let mut d = device();
+        let r = d.program(Cycle(0), block0(), 1).unwrap();
+        for i in 0..8u64 {
+            let _ = d.read(Cycle(1_000_000 + i), block0().page(r.page), 1, 128);
+        }
+        assert_eq!(d.stats().disturb_reads(), 0);
+        assert_eq!(d.stats().disturb_triggered_errors(), 0);
+        assert_eq!(d.block(block0()).unwrap().disturb_reads(), 0);
+    }
+
+    #[test]
+    fn endurance_report_tracks_min_mean_and_spread() {
+        let mut d = device();
+        let fresh = d.endurance();
+        assert_eq!(fresh.min_block_erases, 0);
+        assert_eq!(fresh.mean_wear_fraction(), 0.0);
+        assert_eq!(fresh.wear_spread(), 1.0, "unworn device is even");
+        // Wear one block once.
+        let r = d.program(Cycle(0), block0(), 1).unwrap();
+        d.invalidate(block0().page(r.page));
+        d.erase(Cycle(0), block0()).unwrap();
+        let e = d.endurance();
+        assert_eq!(e.max_block_erases, 1);
+        assert_eq!(e.min_block_erases, 0, "other blocks untouched");
+        assert_eq!(e.total_blocks, d.geometry().total_blocks() as u64);
+        assert!(e.mean_wear_fraction() > 0.0);
+        assert!(
+            e.wear_spread() > 1.0,
+            "single worn block must show a spread"
+        );
+        assert!(e.min_wear_fraction() < e.worst_wear_fraction());
     }
 
     #[test]

@@ -251,12 +251,40 @@ impl PlaneSdc {
     /// tired block is the likeliest victim — matching the physics the
     /// patrol scrubber exists to fight.
     pub fn miscorrects(&mut self, erase_count: u64, age_cycles: u64) -> bool {
-        let wear = (erase_count as f64 / self.pe_limit as f64).min(1.0);
+        self.miscorrects_disturbed(erase_count, age_cycles, 0).0
+    }
+
+    /// Like [`PlaneSdc::miscorrects`] with read-disturb amplification:
+    /// `disturb_cycles` extra P/E-equivalent cycles of exposure raise the
+    /// effective wear. One uniform draw decides both the amplified
+    /// outcome and whether wear + retention alone would have miscorrected,
+    /// so the second element — "attributable to disturb alone" — is exact
+    /// and passing zero is bit-identical to the plain method.
+    pub fn miscorrects_disturbed(
+        &mut self,
+        erase_count: u64,
+        age_cycles: u64,
+        disturb_cycles: u64,
+    ) -> (bool, bool) {
         let retention = 1.0 + age_cycles as f64 / SDC_RETENTION_DOUBLING_CYCLES as f64;
-        let p = self.rate * (0.25 + 0.75 * wear) * retention;
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
+        let p_of = |erase: u64| {
+            let wear = (erase as f64 / self.pe_limit as f64).min(1.0);
+            (self.rate * (0.25 + 0.75 * wear) * retention).clamp(0.0, 1.0)
+        };
+        let p_base = p_of(erase_count);
+        let p_amp = p_of(erase_count.saturating_add(disturb_cycles));
+        let u: f64 = self.rng.gen();
+        (u < p_amp, u >= p_base && u < p_amp)
     }
 }
+
+/// Read-disturb amplification: every this many array senses against a
+/// block add the RBER/SDC exposure of one extra P/E cycle to its pages,
+/// until an erase restores the charge. Pass-gate stress from a sense
+/// drifts *sibling* pages' thresholds, so hot read-only blocks (GraphBIG
+/// re-reads a page ~42× per run, paper Fig. 5) age without ever being
+/// written — the failure mode background refresh exists to repair.
+pub const DISTURB_READS_PER_CYCLE: u64 = 16;
 
 /// Read-retry ladder depth: attempts beyond the initial sense before a
 /// read is declared ECC-uncorrectable.
@@ -296,10 +324,30 @@ impl PlaneFaults {
     /// Draws whether read-retry `step` (0 = initial sense) fails on a
     /// block with the given wear.
     pub fn read_attempt_fails(&mut self, erase_count: u64, step: u32) -> bool {
-        let wear = self.wear_fraction(erase_count);
-        let p = (self.params.read_fail_base + self.params.read_fail_wear * wear)
-            * self.params.retry_decay.powi(step as i32);
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
+        self.read_attempt_fails_disturbed(erase_count, 0, step).0
+    }
+
+    /// Like [`PlaneFaults::read_attempt_fails`] with read-disturb
+    /// amplification folded in: `disturb_cycles` extra P/E-equivalent
+    /// cycles of exposure raise the effective wear. One uniform draw
+    /// decides both outcomes, so the second element — "this failure is
+    /// attributable to disturb alone" — is exact, and passing zero is
+    /// bit-identical (same draw, same stream) to the plain method.
+    pub fn read_attempt_fails_disturbed(
+        &mut self,
+        erase_count: u64,
+        disturb_cycles: u64,
+        step: u32,
+    ) -> (bool, bool) {
+        let decay = self.params.retry_decay.powi(step as i32);
+        let p_of = |wear: f64| {
+            ((self.params.read_fail_base + self.params.read_fail_wear * wear) * decay)
+                .clamp(0.0, 1.0)
+        };
+        let p_base = p_of(self.wear_fraction(erase_count));
+        let p_amp = p_of(self.wear_fraction(erase_count.saturating_add(disturb_cycles)));
+        let u: f64 = self.rng.gen();
+        (u < p_amp, u >= p_base && u < p_amp)
     }
 
     /// Draws whether a page program fails verification (permanent).
@@ -432,6 +480,58 @@ mod tests {
         let aged = count(0, 10 * SDC_RETENTION_DOUBLING_CYCLES);
         assert!(worn > fresh, "wear must raise the rate: {worn} vs {fresh}");
         assert!(aged > fresh, "age must raise the rate: {aged} vs {fresh}");
+    }
+
+    #[test]
+    fn zero_disturb_is_bit_identical_to_plain_draws() {
+        let cfg = FaultConfig::end_of_life().with_seed(9);
+        let mut plain = PlaneFaults::new(&cfg, 2, 100_000).unwrap();
+        let mut amped = PlaneFaults::new(&cfg, 2, 100_000).unwrap();
+        for step in 0..256u32 {
+            let want = plain.read_attempt_fails(40_000, step % 4);
+            let (got, disturb) = amped.read_attempt_fails_disturbed(40_000, 0, step % 4);
+            assert_eq!(got, want, "zero disturb must not perturb the stream");
+            assert!(!disturb, "no failure is attributable to zero disturb");
+        }
+        let sdc = SdcConfig {
+            rate: 0.2,
+            sdc_at: None,
+            seed: 42,
+        };
+        let mut plain = PlaneSdc::new(&sdc, 2, 100_000).unwrap();
+        let mut amped = PlaneSdc::new(&sdc, 2, 100_000).unwrap();
+        for _ in 0..256 {
+            let want = plain.miscorrects(40_000, 1_000);
+            let (got, disturb) = amped.miscorrects_disturbed(40_000, 1_000, 0);
+            assert_eq!(got, want);
+            assert!(!disturb);
+        }
+    }
+
+    #[test]
+    fn disturb_amplification_raises_failure_rate_and_attributes_it() {
+        let cfg = FaultConfig::nominal();
+        let trials = 20_000;
+        let run = |disturb: u64| {
+            let mut f = PlaneFaults::new(&cfg, 0, 100_000).unwrap();
+            let mut fails = 0u32;
+            let mut attributed = 0u32;
+            for _ in 0..trials {
+                let (fail, disturb_hit) = f.read_attempt_fails_disturbed(0, disturb, 0);
+                fails += fail as u32;
+                attributed += disturb_hit as u32;
+            }
+            (fails, attributed)
+        };
+        let (base_fails, base_attr) = run(0);
+        let (amp_fails, amp_attr) = run(100_000);
+        assert_eq!(base_attr, 0);
+        assert!(
+            amp_fails > base_fails,
+            "disturb must raise the rate: {amp_fails} vs {base_fails}"
+        );
+        assert!(amp_attr > 0, "some failures must be attributed to disturb");
+        assert!(amp_attr <= amp_fails);
     }
 
     #[test]

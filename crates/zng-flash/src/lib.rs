@@ -36,8 +36,8 @@ pub use block::{Block, BlockKind, OobMeta, PageOob};
 pub use decoder::{RowDecoder, CAM_SEARCH_CYCLES};
 pub use device::{EnduranceReport, FlashDevice, PageKey, PowerLossReport};
 pub use fault::{
-    FaultConfig, FaultParams, FaultProfile, PlaneFaults, PlaneSdc, SdcConfig, MAX_READ_RETRIES,
-    SDC_RETENTION_DOUBLING_CYCLES,
+    FaultConfig, FaultParams, FaultProfile, PlaneFaults, PlaneSdc, SdcConfig,
+    DISTURB_READS_PER_CYCLE, MAX_READ_RETRIES, SDC_RETENTION_DOUBLING_CYCLES,
 };
 pub use geometry::FlashGeometry;
 pub use network::{FlashNetwork, NetworkTopology};

@@ -79,6 +79,16 @@ pub struct Plane {
     /// Fault-injection state; `None` runs the plane fault-free with no
     /// RNG draws at all.
     faults: Option<PlaneFaults>,
+    /// Read-disturb tracking unit: array senses per block that add one
+    /// P/E-equivalent cycle of RBER exposure. `None` (the default)
+    /// disables disturb accounting entirely — no counter updates, and
+    /// every fault draw is bit-identical to a build without it.
+    disturb_unit: Option<u64>,
+    /// Senses charged to per-block disturb counters (endurance on only).
+    disturb_noted: u64,
+    /// Failed read attempts attributable to disturb amplification alone,
+    /// including the final attempt of an uncorrectable read.
+    disturb_errors: u64,
 }
 
 impl Plane {
@@ -98,12 +108,33 @@ impl Plane {
             programs: 0,
             erases: 0,
             faults: None,
+            disturb_unit: None,
+            disturb_noted: 0,
+            disturb_errors: 0,
         }
     }
 
     /// Installs (or clears) the plane's fault-injection state.
     pub fn set_faults(&mut self, faults: Option<PlaneFaults>) {
         self.faults = faults;
+    }
+
+    /// Enables read-disturb accounting: every array sense bumps its
+    /// block's disturb counter and every `unit` senses amplify the
+    /// block's effective wear by one P/E cycle. `None` (the default)
+    /// disables it with zero behavioural footprint.
+    pub fn set_disturb_unit(&mut self, unit: Option<u64>) {
+        self.disturb_unit = unit.map(|u| u.max(1));
+    }
+
+    /// Senses charged to per-block disturb counters.
+    pub fn disturb_noted(&self) -> u64 {
+        self.disturb_noted
+    }
+
+    /// Failed read attempts attributable to disturb amplification alone.
+    pub fn disturb_errors(&self) -> u64 {
+        self.disturb_errors
     }
 
     fn check_block(&self, block: u32) -> Result<()> {
@@ -190,6 +221,19 @@ impl Plane {
             });
         }
         self.reads += 1;
+        // Read disturb: the sense stresses the whole block's sibling
+        // pages. The pre-sense exposure drives this read's amplification;
+        // the counter is charged afterwards.
+        let disturb_cycles = match self.disturb_unit {
+            Some(unit) => {
+                self.blocks
+                    .get(&block)
+                    .map(|b| b.disturb_reads())
+                    .unwrap_or(0)
+                    / unit
+            }
+            None => 0,
+        };
         // Reads preempt programs (suspend-resume): they serialize only
         // against other reads, plus a fixed suspension overhead when a
         // program/erase is in flight.
@@ -210,8 +254,17 @@ impl Plane {
             // reference voltages — slower, but far more likely to pass
             // ECC. The time of every failed attempt stays charged to the
             // read port.
-            while faults.read_attempt_fails(wear, retries) {
+            loop {
+                let (failed, disturb_hit) =
+                    faults.read_attempt_fails_disturbed(wear, disturb_cycles, retries);
+                if disturb_hit {
+                    self.disturb_errors += 1;
+                }
+                if !failed {
+                    break;
+                }
                 if retries >= MAX_READ_RETRIES {
+                    self.note_disturb(block);
                     // ECC-uncorrectable. The register does not latch a
                     // failed sense, so the previously sensed page is
                     // simply gone and the stored data stays intact.
@@ -226,6 +279,7 @@ impl Plane {
                 done = self.read_port.acquire(done, step);
             }
         }
+        self.note_disturb(block);
         self.sensed = Some((block, page));
         self.sensed_at = done;
         Ok(ReadReport {
@@ -233,6 +287,33 @@ impl Plane {
             sensed: true,
             retries,
         })
+    }
+
+    /// Charges one array sense against `block`'s disturb counter
+    /// (no-op unless disturb accounting is enabled).
+    fn note_disturb(&mut self, block: u32) {
+        if self.disturb_unit.is_none() {
+            return;
+        }
+        if let Some(b) = self.blocks.get_mut(&block) {
+            b.note_disturb_read();
+            self.disturb_noted += 1;
+        }
+    }
+
+    /// `block`'s current disturb exposure in P/E-equivalent cycles
+    /// (zero when disturb accounting is disabled).
+    pub fn disturb_cycles(&self, block: u32) -> u64 {
+        match self.disturb_unit {
+            Some(unit) => {
+                self.blocks
+                    .get(&block)
+                    .map(|b| b.disturb_reads())
+                    .unwrap_or(0)
+                    / unit
+            }
+            None => 0,
+        }
     }
 
     /// Programs the next in-order page of `block`.
@@ -539,6 +620,66 @@ mod tests {
             }
         }
         panic!("no seed in 0..64 produced a retried read under EOL rates");
+    }
+
+    #[test]
+    fn disturb_accounting_charges_senses_not_register_hits() {
+        let mut p = plane();
+        p.set_disturb_unit(Some(4));
+        p.program_next(Cycle(0), 0).unwrap();
+        // First read senses the array and charges the counter…
+        p.read_page_traced(Cycle(200_000), 0, 0).unwrap();
+        assert_eq!(p.block(0).unwrap().disturb_reads(), 1);
+        assert_eq!(p.disturb_noted(), 1);
+        // …repeat reads stream from the register latch: no disturb.
+        p.read_page_traced(Cycle(300_000), 0, 0).unwrap();
+        assert_eq!(p.block(0).unwrap().disturb_reads(), 1);
+        // 4 senses = one P/E-equivalent cycle of exposure.
+        for i in 0..3 {
+            p.sensed = None;
+            p.read_page_traced(Cycle(400_000 + i), 0, 0).unwrap();
+        }
+        assert_eq!(p.disturb_cycles(0), 1);
+    }
+
+    #[test]
+    fn disturb_off_keeps_counters_untouched() {
+        let mut p = plane();
+        p.program_next(Cycle(0), 0).unwrap();
+        for i in 0..8 {
+            p.sensed = None;
+            p.read_page_traced(Cycle(200_000 + i), 0, 0).unwrap();
+        }
+        assert_eq!(p.block(0).unwrap().disturb_reads(), 0);
+        assert_eq!(p.disturb_noted(), 0);
+        assert_eq!(p.disturb_errors(), 0);
+        assert_eq!(p.disturb_cycles(0), 0);
+    }
+
+    #[test]
+    fn heavy_disturb_exposure_triggers_attributable_errors() {
+        use crate::fault::{FaultConfig, PlaneFaults};
+        let mut p = plane();
+        p.set_faults(PlaneFaults::new(&FaultConfig::nominal(), 0, 100_000));
+        // One sense = one full P/E cycle of exposure: pathological, but
+        // it drives the amplified rate to the wear ceiling fast.
+        p.set_disturb_unit(Some(1));
+        p.program_next(Cycle(0), 0).unwrap();
+        for _ in 0..100_000 {
+            p.block_mut(0).unwrap().note_disturb_read();
+        }
+        let mut t = Cycle(1_000_000);
+        for _ in 0..2_000 {
+            p.sensed = None;
+            match p.read_page_traced(t, 0, 0) {
+                Ok(r) => t = r.done,
+                Err(_) => t += Cycle(10_000),
+            }
+        }
+        assert!(
+            p.disturb_errors() > 0,
+            "full-wear disturb exposure must cause attributable errors"
+        );
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub struct FlashStats {
     power_losses: u64,
     pages_torn: u64,
     silent_corruptions: u64,
+    disturb_reads: u64,
+    disturb_triggered_errors: u64,
 }
 
 impl FlashStats {
@@ -99,6 +101,19 @@ impl FlashStats {
         self.silent_corruptions += 1;
     }
 
+    /// Records one read-disturb exposure: an array sense charged against
+    /// a block's disturb counter (endurance tracking enabled only).
+    pub fn record_disturb_read(&mut self) {
+        self.disturb_reads += 1;
+    }
+
+    /// Records a read-error draw (retry step or miscorrection) that only
+    /// failed because read-disturb amplification raised the block's error
+    /// probability past what wear + retention alone justify.
+    pub fn record_disturb_triggered_error(&mut self) {
+        self.disturb_triggered_errors += 1;
+    }
+
     /// Total read-retry ladder steps across all senses.
     pub fn read_retries(&self) -> u64 {
         self.read_retries
@@ -141,6 +156,16 @@ impl FlashStats {
     /// lifetime.
     pub fn silent_corruptions(&self) -> u64 {
         self.silent_corruptions
+    }
+
+    /// Array senses charged against per-block disturb counters.
+    pub fn disturb_reads(&self) -> u64 {
+        self.disturb_reads
+    }
+
+    /// Read errors attributable to disturb amplification alone.
+    pub fn disturb_triggered_errors(&self) -> u64 {
+        self.disturb_triggered_errors
     }
 
     /// Average array reads per distinct page (paper's "read re-access").
@@ -215,6 +240,8 @@ impl FlashStats {
         self.power_losses = 0;
         self.pages_torn = 0;
         self.silent_corruptions = 0;
+        self.disturb_reads = 0;
+        self.disturb_triggered_errors = 0;
     }
 }
 
@@ -286,6 +313,21 @@ mod tests {
         assert_eq!(s.uncorrectable_reads(), 0);
         assert_eq!(s.program_failures(), 0);
         assert_eq!(s.erase_failures(), 0);
+    }
+
+    #[test]
+    fn disturb_counters_accumulate_and_reset() {
+        let mut s = FlashStats::new();
+        assert_eq!(s.disturb_reads(), 0);
+        assert_eq!(s.disturb_triggered_errors(), 0);
+        s.record_disturb_read();
+        s.record_disturb_read();
+        s.record_disturb_triggered_error();
+        assert_eq!(s.disturb_reads(), 2);
+        assert_eq!(s.disturb_triggered_errors(), 1);
+        s.reset();
+        assert_eq!(s.disturb_reads(), 0);
+        assert_eq!(s.disturb_triggered_errors(), 0);
     }
 
     #[test]

@@ -141,6 +141,33 @@ impl BlockAllocator {
         }
     }
 
+    /// Allocates the *most*-worn recycled block: the static wear
+    /// leveler's destination for cold data, so tired blocks hold bits
+    /// that rarely churn while low-wear blocks return to the hot pool.
+    /// Falls back to [`BlockAllocator::allocate`] when the recycle pool
+    /// is empty (a fresh block is then the only choice).
+    ///
+    /// # Errors
+    ///
+    /// Same exhaustion errors as [`BlockAllocator::allocate`].
+    pub fn allocate_most_worn(&mut self) -> Result<u64> {
+        if self.recycled.is_empty() {
+            return self.allocate();
+        }
+        let mut items: Vec<(u64, u64)> = self.recycled.drain().map(|Reverse(p)| p).collect();
+        // Deterministic pick: highest key, then highest index.
+        let pos = items
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &pair)| pair)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let (_key, idx) = items.swap_remove(pos);
+        self.recycled.extend(items.into_iter().map(Reverse));
+        self.allocated += 1;
+        Ok(idx)
+    }
+
     /// Returns an erased block to the pool with its lifetime erase count.
     pub fn release(&mut self, index: u64, erase_count: u32) {
         debug_assert!(index < self.total_blocks, "released unknown block {index}");
@@ -252,6 +279,27 @@ mod tests {
         a.release(2, 1); // most recent: reused first
         assert_eq!(a.allocate().unwrap(), 2);
         assert_eq!(a.allocate().unwrap(), 0);
+    }
+
+    #[test]
+    fn most_worn_allocation_picks_the_tired_end() {
+        let mut a = BlockAllocator::new(4);
+        for _ in 0..4 {
+            a.allocate().unwrap();
+        }
+        a.release(0, 5);
+        a.release(1, 2);
+        a.release(2, 9);
+        assert_eq!(a.allocate_most_worn().unwrap(), 2); // wear 9
+        assert_eq!(a.allocate().unwrap(), 1); // normal path still coldest
+        assert_eq!(a.allocate_most_worn().unwrap(), 0);
+        // Pool empty: falls back to the normal exhaustion contract.
+        assert!(matches!(a.allocate_most_worn(), Err(Error::OutOfSpace)));
+        a.retire(0);
+        assert!(matches!(
+            a.allocate_most_worn(),
+            Err(Error::DeviceWornOut { .. })
+        ));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod pacing;
 pub mod pagemap;
 pub mod rain;
 pub mod recovery;
+pub mod refresh;
 pub mod zngftl;
 
 pub use allocator::{BlockAllocator, WearPolicy};
@@ -39,4 +40,5 @@ pub use pacing::GcPacing;
 pub use pagemap::PageMapFtl;
 pub use rain::{RainConfig, RainCounters, RainState, RAIN_XOR_CYCLES};
 pub use recovery::{RecoveryReport, OOB_SCAN_CYCLES_PER_PAGE};
+pub use refresh::{EnduranceCounters, RefreshPolicy, RefreshReason, REFRESH_SCAN_BLOCKS_PER_STEP};
 pub use zngftl::{GcReport, WriteMode, ZngFtl};

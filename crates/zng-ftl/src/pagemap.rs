@@ -14,6 +14,7 @@ use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
 use crate::allocator::BlockAllocator;
 use crate::integrity::IntegrityCounters;
 use crate::rain::{Claim, RainConfig, RainState};
+use crate::refresh::{EnduranceCounters, EnduranceState, RefreshPolicy};
 use crate::MAX_WRITE_REDRIVES;
 
 /// A page-level FTL with greedy GC and wear-aware allocation.
@@ -30,6 +31,10 @@ pub struct PageMapFtl {
     /// Sealed (fully programmed) blocks eligible for GC.
     sealed: Vec<BlockAddr>,
     gc_threshold: u64,
+    /// Re-entry guard: GC's own migration programs must not trigger a
+    /// nested collection (unbounded recursion when the pool can't refill,
+    /// e.g. at end of life); they allocate directly instead.
+    gc_active: bool,
     gcs: u64,
     pages_migrated: u64,
     /// Blocks permanently retired after failed programs/erases.
@@ -43,6 +48,11 @@ pub struct PageMapFtl {
     /// default (bit-for-bit baseline).
     integrity: bool,
     icounters: IntegrityCounters,
+    /// Endurance management (refresh scheduler, static wear leveler,
+    /// graceful end-of-life degradation); `None` (the default) preserves
+    /// baseline behaviour bit-for-bit, including the hard
+    /// [`Error::DeviceWornOut`] cliff.
+    endurance: Option<EnduranceState>,
 }
 
 impl PageMapFtl {
@@ -58,6 +68,7 @@ impl PageMapFtl {
             cursor: 0,
             sealed: Vec::new(),
             gc_threshold: (total / 64).max(2),
+            gc_active: false,
             gcs: 0,
             pages_migrated: 0,
             blocks_retired: 0,
@@ -65,7 +76,26 @@ impl PageMapFtl {
             rain: None,
             integrity: false,
             icounters: IntegrityCounters::default(),
+            endurance: None,
         }
+    }
+
+    /// Installs (or clears) the endurance policy: the refresh scheduler,
+    /// the static wear leveler and graceful end-of-life capacity
+    /// degradation activate together. `None` keeps the baseline
+    /// bit-for-bit, including the hard [`Error::DeviceWornOut`] cliff.
+    pub fn set_endurance(&mut self, policy: Option<RefreshPolicy>) {
+        self.endurance = policy.map(EnduranceState::new);
+    }
+
+    /// Whether endurance management is enabled.
+    pub fn endurance_enabled(&self) -> bool {
+        self.endurance.is_some()
+    }
+
+    /// Event counters of the endurance subsystem, when enabled.
+    pub fn endurance_counters(&self) -> Option<EnduranceCounters> {
+        self.endurance.as_ref().map(|s| s.counters)
     }
 
     /// Enables (or disables) RAIN redundancy. Enable before the first
@@ -104,11 +134,27 @@ impl PageMapFtl {
     }
 
     fn fresh_block(&mut self, device: &mut FlashDevice, now: Cycle) -> Result<BlockAddr> {
-        if self.allocator.free() <= self.gc_threshold {
+        self.fresh_block_with(device, now, false)
+    }
+
+    /// The one allocation chokepoint. `most_worn` picks the tired end of
+    /// the recycled pool instead of the coldest block — the static wear
+    /// leveler's destination, so cold data parks on high-wear cells.
+    fn fresh_block_with(
+        &mut self,
+        device: &mut FlashDevice,
+        now: Cycle,
+        most_worn: bool,
+    ) -> Result<BlockAddr> {
+        if self.allocator.free() <= self.gc_threshold && !self.gc_active {
             self.gc(now, device)?;
         }
         let idx = loop {
-            let idx = self.allocator.allocate()?;
+            let idx = if most_worn {
+                self.allocator.allocate_most_worn()?
+            } else {
+                self.allocator.allocate()?
+            };
             match self.rain.as_mut() {
                 Some(rain) => match rain.classify(device, idx)? {
                     Claim::Keep => break idx,
@@ -182,6 +228,16 @@ impl PageMapFtl {
     ///
     /// Propagates allocation and flash-protocol errors.
     pub fn write_page(&mut self, now: Cycle, device: &mut FlashDevice, lpn: u64) -> Result<Cycle> {
+        self.write_page_inner(now, device, lpn)
+            .map_err(|e| self.degrade_worn(e))
+    }
+
+    fn write_page_inner(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        lpn: u64,
+    ) -> Result<Cycle> {
         for _ in 0..MAX_WRITE_REDRIVES {
             let block = self.next_slot(device, now)?;
             let report = device.program(now, block, lpn)?;
@@ -238,7 +294,11 @@ impl PageMapFtl {
         transfer_bytes: usize,
     ) -> Result<Cycle> {
         if !self.map.contains_key(&lpn) {
-            self.install(device, lpn)?;
+            // The install allocates; at end of life it can hit the spare
+            // pool cliff, which endurance mode reports as a capacity
+            // step (already-mapped pages read without allocating).
+            self.install(device, lpn)
+                .map_err(|e| self.degrade_worn(e))?;
         }
         let addr = *self.map.get(&lpn).expect("lpn just installed above");
         let done = self.retried_read(now, device, addr, lpn, transfer_bytes)?;
@@ -341,6 +401,13 @@ impl PageMapFtl {
     /// Returns [`Error::OutOfSpace`] when no sealed block exists to
     /// reclaim.
     pub fn gc(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        self.gc_active = true;
+        let r = self.gc_inner(now, device);
+        self.gc_active = false;
+        r
+    }
+
+    fn gc_inner(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
         let victim_pos = self
             .sealed
             .iter()
@@ -511,6 +578,9 @@ impl PageMapFtl {
             // stripes restart empty.
             rain.reset_after_recovery();
         }
+        if let Some(st) = self.endurance.as_mut() {
+            st.reset_after_recovery();
+        }
         self.icounters.quarantined += scan.corrupt;
         Ok(recovery::RecoveryReport {
             pages_scanned: scan.pages_scanned,
@@ -586,7 +656,7 @@ impl PageMapFtl {
         lost.sort_unstable();
         let mut t = now;
         let mut pages = 0u64;
-        for (lpn, old) in lost {
+        'rebuild: for (lpn, old) in lost {
             t = self
                 .rain
                 .as_mut()
@@ -594,7 +664,15 @@ impl PageMapFtl {
                 .reconstruct(t, device, old, page_bytes)?;
             let mut redrives = 0;
             loop {
-                let dest = self.next_slot(device, t)?;
+                let dest = match self.next_slot(device, t) {
+                    Ok(d) => d,
+                    // Spare pool ran dry mid-rebuild: stop and report the
+                    // partial progress instead of aborting. The remaining
+                    // pages stay mapped and degraded — their reads keep
+                    // reconstructing from the stripe.
+                    Err(Error::DeviceWornOut { .. }) | Err(Error::OutOfSpace) => break 'rebuild,
+                    Err(e) => return Err(e),
+                };
                 let report = device.program_migrate(t, dest, lpn)?;
                 if report.failed {
                     self.write_redrives += 1;
@@ -618,19 +696,22 @@ impl PageMapFtl {
             }
             pages += 1;
         }
-        // Every dead block is now fully stale: drop its reverse map and
-        // retire it so the pool never hands it out again.
+        // A fully rebuilt dead block is entirely stale: drop its reverse
+        // map and retire it so the pool never hands it out again. Blocks
+        // still holding live pages (a partial rebuild that ran the pool
+        // dry) keep their maps so reads keep reconstructing.
         let mut dead_idxs: Vec<u64> = self
             .rmap
-            .keys()
-            .copied()
-            .filter(|&idx| {
+            .iter()
+            .filter(|(&idx, pages)| {
                 device
                     .geometry()
                     .block_for_index(idx)
                     .map(|a| device.die_is_dead(a.channel, a.die))
                     .unwrap_or(false)
+                    && pages.iter().all(Option::is_none)
             })
+            .map(|(&idx, _)| idx)
             .collect();
         dead_idxs.sort_unstable();
         for idx in dead_idxs {
@@ -726,6 +807,223 @@ impl PageMapFtl {
             }
             _ => t,
         })
+    }
+
+    /// Converts an end-of-life allocator failure into the graceful
+    /// [`Error::CapacityDegraded`] step when endurance management is on;
+    /// passes every other error — and the baseline's hard cliff — through
+    /// untouched.
+    fn degrade_worn(&mut self, e: Error) -> Error {
+        let mapped = self.map.len() as u64;
+        match self.endurance.as_mut() {
+            Some(st) => st.degrade(e, mapped),
+            None => e,
+        }
+    }
+
+    /// One endurance step, run between demand requests: walk the refresh
+    /// cursor and relocate the first sealed block whose disturb count or
+    /// retention age crossed its threshold (verified reads → re-program →
+    /// remap → erase, which resets both clocks); with no refresh
+    /// candidate, run one static-levelling migration when the device
+    /// wear spread exceeds the configured ratio. The foreground stall is
+    /// capped by the policy's pacing budget; the media work always
+    /// completes. A no-op without an endurance policy.
+    ///
+    /// At end of life a step that cannot allocate a destination block is
+    /// skipped, not surfaced — the data is no safer anywhere else, the
+    /// mapping stays consistent, and capacity degradation is the write
+    /// path's to report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash-protocol errors.
+    pub fn refresh_step(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        let Some(st) = self.endurance.as_mut() else {
+            return Ok(now);
+        };
+        if let Some((addr, reason)) = st.scan_candidate(device, now) {
+            // An active block is mid-write (in-order programming can't be
+            // disturbed); it seals soon and refreshes on a later pass.
+            let idx = device.geometry().index_for_block(addr);
+            if self.active.contains(&Some(addr)) || !self.rmap.contains_key(&idx) {
+                return Ok(now);
+            }
+            self.sealed.retain(|a| *a != addr);
+            let (done, pages) = match self.relocate_block(now, device, addr, None) {
+                Ok(r) => r,
+                Err(Error::DeviceWornOut { .. }) => {
+                    // No spare to refresh into; the victim keeps serving
+                    // (and stays tracked) until capacity frees up.
+                    self.sealed.push(addr);
+                    return Ok(now);
+                }
+                Err(e) => return Err(e),
+            };
+            let st = self.endurance.as_mut().expect("checked above");
+            st.note_refresh(reason, pages);
+            return Ok(st.pace(now, done));
+        }
+        if self
+            .endurance
+            .as_ref()
+            .expect("checked above")
+            .wants_levelling(device)
+        {
+            let done = match self.level_step(now, device) {
+                Ok(done) => done,
+                Err(Error::DeviceWornOut { .. }) => now,
+                Err(e) => return Err(e),
+            };
+            let st = self.endurance.as_mut().expect("checked above");
+            return Ok(st.pace(now, done));
+        }
+        Ok(now)
+    }
+
+    /// One static-levelling migration: the coldest sealed block (lowest
+    /// erase count, holding live pages) is relocated into the most-worn
+    /// spare block, and its freed low-wear cells rejoin the allocation
+    /// pool where the wear-levelled allocator hands them to hot traffic.
+    /// A no-op when the recycled pool is empty (a fresh block has zero
+    /// wear — migrating cold data onto it would widen the spread) or no
+    /// eligible victim exists.
+    fn level_step(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        if self.allocator.recycled_available() == 0 {
+            return Ok(now);
+        }
+        let victim = self
+            .sealed
+            .iter()
+            .copied()
+            .filter(|&a| {
+                !device.die_is_dead(a.channel, a.die)
+                    && device.block(a).is_some_and(|b| !b.is_failed())
+                    && self
+                        .rmap
+                        .get(&device.geometry().index_for_block(a))
+                        .is_some_and(|pages| pages.iter().any(Option::is_some))
+            })
+            .min_by_key(|&a| {
+                let wear = device.block(a).map(|b| b.erase_count()).unwrap_or(0);
+                (wear, device.geometry().index_for_block(a))
+            });
+        let Some(victim) = victim else {
+            return Ok(now);
+        };
+        let dest = self.fresh_block_with(device, now, true)?;
+        self.sealed.retain(|a| *a != victim);
+        let (done, pages) = match self.relocate_block(now, device, victim, Some(dest)) {
+            Ok(r) => r,
+            Err(e @ Error::DeviceWornOut { .. }) => {
+                // Keep the partially drained victim tracked; the caller
+                // skips the step.
+                self.sealed.push(victim);
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some(st) = self.endurance.as_mut() {
+            st.note_levelling(pages);
+        }
+        Ok(done)
+    }
+
+    /// Migrates every live page of `victim` (verified reads with the
+    /// retry/reconstruction ladder; corrupt flags move along, never
+    /// laundered), then erases the victim and returns it to the pool.
+    /// Pages land in `dest` while it has room (the static leveler's
+    /// worn-block destination), overflowing into the normal striped
+    /// write path; `None` uses the striped path throughout. The caller
+    /// must have removed `victim` from the sealed list.
+    fn relocate_block(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        victim: BlockAddr,
+        dest: Option<BlockAddr>,
+    ) -> Result<(Cycle, u64)> {
+        let victim_idx = device.geometry().index_for_block(victim);
+        let live: Vec<(u32, u64)> = self
+            .rmap
+            .get(&victim_idx)
+            .map(|pages| {
+                pages
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(p, lpn)| lpn.map(|l| (p as u32, l)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut t = now;
+        let mut moved = 0u64;
+        let page_bytes = device.geometry().page_bytes;
+        for (page, lpn) in live {
+            let src = FlashAddr::new(victim, page);
+            t = self.retried_read(t, device, src, lpn, page_bytes)?;
+            let mut redrives = 0;
+            loop {
+                let target = match dest {
+                    Some(d)
+                        if device
+                            .block(d)
+                            .is_some_and(|b| !b.is_full() && !b.is_failed()) =>
+                    {
+                        d
+                    }
+                    _ => self.next_slot(device, t)?,
+                };
+                let report = device.program_migrate(t, target, lpn)?;
+                if report.failed {
+                    self.write_redrives += 1;
+                    // A burned striped block is sealed for salvage; a
+                    // burned dedicated destination just stops accepting
+                    // (it joins the sealed list below for GC to retire).
+                    if Some(target) != dest {
+                        self.seal_active(target);
+                    }
+                    redrives += 1;
+                    if redrives >= MAX_WRITE_REDRIVES {
+                        return Err(Error::FlashProtocol(format!(
+                            "relocation of lpn {lpn} still failing after \
+                             {MAX_WRITE_REDRIVES} re-drives"
+                        )));
+                    }
+                    continue;
+                }
+                if device.page_is_corrupt(src) {
+                    // Relocation must not launder corruption: the moved
+                    // copy is byte-identical, checksum mismatch included.
+                    device.mark_page_corrupt(FlashAddr::new(target, report.page))?;
+                }
+                device.invalidate(src);
+                self.record_mapping(device, lpn, FlashAddr::new(target, report.page));
+                if let Some(rain) = self.rain.as_mut() {
+                    rain.note_program(report.done, device, target)?;
+                }
+                t = report.done;
+                break;
+            }
+            moved += 1;
+        }
+        let erase = device.erase(t, victim)?;
+        self.rmap.remove(&victim_idx);
+        match device.block(victim) {
+            Some(b) if b.is_failed() => {
+                self.allocator.retire(victim_idx);
+                self.blocks_retired += 1;
+            }
+            b => {
+                let wear = b.map(|blk| blk.erase_count()).unwrap_or(0);
+                self.allocator.release(victim_idx, wear);
+            }
+        }
+        if let Some(d) = dest {
+            // The dedicated destination is sealed (partial or full): GC
+            // sees it, and a burned one gets retired at its next erase.
+            self.sealed.push(d);
+        }
+        Ok((erase.done, moved))
     }
 
     /// Garbage collections performed.
@@ -860,6 +1158,79 @@ mod tests {
     }
 
     #[test]
+    fn refresh_relocates_aged_blocks_and_stays_readable() {
+        use crate::refresh::RefreshPolicy;
+        let (mut d, mut f) = setup();
+        f.set_endurance(Some(RefreshPolicy {
+            disturb_threshold: 0,
+            retention_threshold: 1_000_000,
+            wear_spread: 0.0,
+            pacing: None,
+        }));
+        let t = f.write_page(Cycle(0), &mut d, 42).unwrap();
+        let addr = f.translate(42).unwrap();
+        f.seal_active(addr.block);
+        // Long idle: the copy ages past the retention threshold.
+        let mut t = t + Cycle(10_000_000);
+        for _ in 0..64 {
+            t = f.refresh_step(t, &mut d).unwrap();
+            if f.endurance_counters().unwrap().refreshes > 0 {
+                break;
+            }
+        }
+        let c = f.endurance_counters().unwrap();
+        assert_eq!(c.refreshes, 1, "the aged block must refresh");
+        assert_eq!(c.retention_refreshes, 1);
+        let moved = f.translate(42).unwrap();
+        assert_ne!(moved.block, addr.block, "data moved to fresh cells");
+        f.read_page(t, &mut d, 42, 128).unwrap();
+        // The victim was erased back into the pool: nothing maps to it.
+        assert!(d
+            .block(addr.block)
+            .is_some_and(|b| !b.is_programmed(addr.page)));
+    }
+
+    #[test]
+    fn endurance_turns_worn_out_cliff_into_capacity_steps() {
+        use crate::refresh::RefreshPolicy;
+        let (mut d, mut f) = setup();
+        d.set_fault_config(&zng_flash::FaultConfig::end_of_life());
+        f.set_endurance(Some(RefreshPolicy {
+            disturb_threshold: 0,
+            retention_threshold: 0,
+            wear_spread: 0.0,
+            pacing: None,
+        }));
+        let mut t = Cycle(0);
+        let mut degraded = None;
+        for i in 0..400_000u64 {
+            match f.write_page(t, &mut d, i % 256) {
+                Ok(done) => t = done,
+                Err(Error::CapacityDegraded { remaining_pages }) => {
+                    degraded = Some(remaining_pages);
+                    break;
+                }
+                Err(Error::DeviceWornOut { .. }) => {
+                    panic!("endurance mode must degrade the cliff away")
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let remaining = degraded.expect("sustained EOL churn must exhaust the pool");
+        assert!(remaining > 0, "mapped data remains advertised");
+        assert_eq!(f.endurance_counters().unwrap().capacity_steps, 1);
+        for lpn in 0..256u64 {
+            if f.translate(lpn).is_none() {
+                continue; // never successfully acked under EOL faults
+            }
+            match f.read_page(t, &mut d, lpn, 128) {
+                Ok(_) | Err(Error::UncorrectableRead { .. }) => {}
+                Err(e) => panic!("read of acked lpn {lpn} failed: {e}"),
+            }
+        }
+    }
+
+    #[test]
     fn recovery_rebuilds_map_after_power_loss() {
         let (mut d, mut f) = setup();
         let mut t = Cycle(0);
@@ -989,6 +1360,64 @@ mod tests {
             f.read_page(t, &mut d, 5, 128),
             Err(Error::IntegrityViolation { .. })
         ));
+    }
+
+    #[test]
+    fn rebuild_reports_partial_progress_when_spares_run_dry() {
+        use zng_types::ids::{ChannelId, DieId};
+        let (mut d, mut f) = setup();
+        f.set_redundancy(&d, Some(RainConfig::default()));
+        let mut t = Cycle(0);
+        for lpn in 0..2048u64 {
+            t = f.write_page(t, &mut d, lpn).unwrap();
+        }
+        d.fail_die(ChannelId(0), DieId(0));
+        let lost: Vec<u64> = f
+            .map
+            .iter()
+            .filter(|(_, a)| d.die_is_dead(a.block.channel, a.block.die))
+            .map(|(&l, _)| l)
+            .collect();
+        assert!(lost.len() > 64, "striping must strand many pages");
+        // Starve the spare pool so the rebuild runs dry part-way through
+        // (the active write heads only hold a few dozen free slots).
+        let mut drained = Vec::new();
+        while f.allocator.free() > 0 {
+            drained.push(f.allocator.allocate().unwrap());
+        }
+        let (t, pages) = f
+            .rebuild_dead_die(t, &mut d)
+            .expect("a dry spare pool must not abort the rebuild");
+        assert!(
+            pages < lost.len() as u64,
+            "the dry pool must stop the rebuild part-way ({pages} pages)"
+        );
+        // Stranded pages stay mapped and readable via reconstruction.
+        let stranded: Vec<u64> = lost
+            .iter()
+            .copied()
+            .filter(|l| {
+                let a = f.map[l];
+                d.die_is_dead(a.block.channel, a.block.die)
+            })
+            .collect();
+        assert!(!stranded.is_empty(), "some pages must still await spares");
+        let mut t = t;
+        for &lpn in &stranded {
+            t = f.read_page(t, &mut d, lpn, 128).unwrap();
+        }
+        // Once spares return, a second pass finishes the job.
+        for idx in drained {
+            f.allocator.release(idx, 0);
+        }
+        let (_, more) = f.rebuild_dead_die(t, &mut d).unwrap();
+        assert!(more > 0, "the resumed rebuild must make progress");
+        assert!(
+            f.map
+                .values()
+                .all(|a| !d.die_is_dead(a.block.channel, a.block.die)),
+            "a resumed rebuild moves everything off the dead die"
+        );
     }
 
     #[test]

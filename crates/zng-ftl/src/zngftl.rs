@@ -28,6 +28,7 @@ use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
 use crate::integrity::IntegrityCounters;
 use crate::rain::{Claim, RainConfig, RainState};
 use crate::recovery::{self, RecoveryReport};
+use crate::refresh::{EnduranceCounters, EnduranceState, RefreshPolicy, RefreshReason};
 use crate::MAX_WRITE_REDRIVES;
 
 /// How writes reach the flash.
@@ -113,6 +114,11 @@ pub struct ZngFtl {
     /// default (bit-for-bit baseline: no checksum checks, no extra work).
     integrity: bool,
     icounters: IntegrityCounters,
+    /// Endurance management (refresh scheduler, static wear leveler,
+    /// graceful end-of-life degradation); `None` (the default) preserves
+    /// baseline behaviour bit-for-bit, including the hard
+    /// [`Error::DeviceWornOut`] cliff.
+    endurance: Option<EnduranceState>,
 }
 
 impl ZngFtl {
@@ -166,7 +172,26 @@ impl ZngFtl {
             rain: None,
             integrity: false,
             icounters: IntegrityCounters::default(),
+            endurance: None,
         }
+    }
+
+    /// Installs (or clears) the endurance policy: the refresh scheduler,
+    /// the static wear leveler and graceful end-of-life capacity
+    /// degradation activate together. `None` keeps the baseline
+    /// bit-for-bit, including the hard [`Error::DeviceWornOut`] cliff.
+    pub fn set_endurance(&mut self, policy: Option<RefreshPolicy>) {
+        self.endurance = policy.map(EnduranceState::new);
+    }
+
+    /// Whether endurance management is enabled.
+    pub fn endurance_enabled(&self) -> bool {
+        self.endurance.is_some()
+    }
+
+    /// Event counters of the endurance subsystem, when enabled.
+    pub fn endurance_counters(&self) -> Option<EnduranceCounters> {
+        self.endurance.as_ref().map(|s| s.counters)
     }
 
     /// Installs (or clears) RAIN redundancy: superblocks reserve one
@@ -236,8 +261,24 @@ impl ZngFtl {
     }
 
     fn alloc_block(&mut self, device: &mut FlashDevice, kind: BlockKind) -> Result<BlockAddr> {
+        self.alloc_block_with(device, kind, false)
+    }
+
+    /// The one allocation chokepoint. `most_worn` picks the tired end of
+    /// the recycled pool instead of the coldest block — the static wear
+    /// leveler's destination, so cold data parks on high-wear cells.
+    fn alloc_block_with(
+        &mut self,
+        device: &mut FlashDevice,
+        kind: BlockKind,
+        most_worn: bool,
+    ) -> Result<BlockAddr> {
         let idx = loop {
-            let idx = self.allocator.allocate()?;
+            let idx = if most_worn {
+                self.allocator.allocate_most_worn()?
+            } else {
+                self.allocator.allocate()?
+            };
             match self.rain.as_mut() {
                 Some(rain) => match rain.classify(device, idx)? {
                     Claim::Keep => break idx,
@@ -319,6 +360,17 @@ impl ZngFtl {
     /// register-served reads bypass admission (they never reach the
     /// channel's request queue).
     pub fn read(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        vpn: u64,
+        transfer_bytes: usize,
+    ) -> Result<Cycle> {
+        self.read_inner(now, device, vpn, transfer_bytes)
+            .map_err(|e| self.degrade_worn(e))
+    }
+
+    fn read_inner(
         &mut self,
         now: Cycle,
         device: &mut FlashDevice,
@@ -427,6 +479,16 @@ impl ZngFtl {
     /// by an admitted write bypasses admission (reclamation must always
     /// make progress).
     pub fn write(&mut self, now: Cycle, device: &mut FlashDevice, vpn: u64) -> Result<WriteResult> {
+        self.write_inner(now, device, vpn)
+            .map_err(|e| self.degrade_worn(e))
+    }
+
+    fn write_inner(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        vpn: u64,
+    ) -> Result<WriteResult> {
         let vbn = self.vbn_of(vpn);
         self.ensure_data_block(device, vbn)?;
         let group = self.group_of(vpn);
@@ -918,6 +980,9 @@ impl ZngFtl {
             // stripes restart empty.
             rain.reset_after_recovery();
         }
+        if let Some(st) = self.endurance.as_mut() {
+            st.reset_after_recovery();
+        }
         self.icounters.quarantined += scan.corrupt;
         Ok(RecoveryReport {
             pages_scanned: scan.pages_scanned,
@@ -1016,7 +1081,17 @@ impl ZngFtl {
             // (data blocks stay offset-ordered) and restarts on a new
             // spare, exactly like a GC merge.
             let (fresh, last_prog) = loop {
-                let fresh = self.alloc_block(device, BlockKind::Data)?;
+                let fresh = match self.alloc_block(device, BlockKind::Data) {
+                    Ok(f) => f,
+                    // Spare pool ran dry mid-rebuild: report the partial
+                    // progress instead of aborting the whole rebuild.
+                    // Blocks not yet rebuilt stay mapped and degraded —
+                    // their reads keep reconstructing from the stripe.
+                    Err(Error::DeviceWornOut { .. }) | Err(Error::OutOfSpace) => {
+                        return Ok((t, pages))
+                    }
+                    Err(e) => return Err(e),
+                };
                 let mut rt = t;
                 let mut last_prog = t;
                 let mut burned = false;
@@ -1115,6 +1190,232 @@ impl ZngFtl {
             }
             _ => t,
         })
+    }
+
+    /// Converts an end-of-life allocator failure into the graceful
+    /// [`Error::CapacityDegraded`] step when endurance management is on;
+    /// passes every other error — and the baseline's hard cliff — through
+    /// untouched.
+    fn degrade_worn(&mut self, e: Error) -> Error {
+        let mapped = self.dbmt.len() as u64 * self.pages_per_block;
+        match self.endurance.as_mut() {
+            Some(st) => st.degrade(e, mapped),
+            None => e,
+        }
+    }
+
+    /// One endurance step, run by the GPU helper thread between demand
+    /// requests: walk the refresh cursor and rewrite the first block
+    /// whose disturb count or retention age crossed its threshold
+    /// (verified reads → re-program → remap → erase, which resets both
+    /// clocks); with no refresh candidate, run one static-levelling
+    /// migration when the device wear spread exceeds the configured
+    /// ratio. The foreground stall is capped by the policy's pacing
+    /// budget; the media work always completes. A no-op without an
+    /// endurance policy.
+    ///
+    /// At end of life a step that cannot allocate a destination block is
+    /// skipped, not surfaced — the data is no safer anywhere else, the
+    /// source mapping is untouched by construction, and capacity
+    /// degradation is the write path's to report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash-protocol errors.
+    pub fn refresh_step(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        let Some(st) = self.endurance.as_mut() else {
+            return Ok(now);
+        };
+        if let Some((addr, reason)) = st.scan_candidate(device, now) {
+            let done = match self.refresh_block(now, device, addr, reason) {
+                Ok(done) => done,
+                Err(Error::DeviceWornOut { .. }) => now,
+                Err(e) => return Err(e),
+            };
+            let st = self.endurance.as_mut().expect("checked above");
+            return Ok(st.pace(now, done));
+        }
+        if self
+            .endurance
+            .as_ref()
+            .expect("checked above")
+            .wants_levelling(device)
+        {
+            let done = match self.level_step(now, device) {
+                Ok(done) => done,
+                Err(Error::DeviceWornOut { .. }) => now,
+                Err(e) => return Err(e),
+            };
+            let st = self.endurance.as_mut().expect("checked above");
+            return Ok(st.pace(now, done));
+        }
+        Ok(now)
+    }
+
+    /// Rewrites one aged block to fresh cells. A log block — or a data
+    /// block with logged sibling pages — goes through a full group merge
+    /// (newest version of every page wins, exactly the GC path); a data
+    /// block with no log copies migrates standalone. Either way the old
+    /// block is erased, resetting its disturb and retention clocks.
+    fn refresh_block(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        addr: BlockAddr,
+        reason: RefreshReason,
+    ) -> Result<Cycle> {
+        // A log block: merge its group (the merge folds every logged page
+        // into fresh data blocks and erases the log block).
+        if let Some((&group, _)) = self.lbmt.iter().find(|(_, lb)| lb.addr == addr) {
+            let report = self.gc_group(now, device, group)?;
+            if let Some(st) = self.endurance.as_mut() {
+                st.note_refresh(reason, report.migrated_pages);
+            }
+            return Ok(report.done);
+        }
+        let Some((&vbn, _)) = self.dbmt.iter().find(|(_, &a)| a == addr) else {
+            // Neither mapped nor logged (e.g. a block drained between the
+            // scan and now): nothing live to preserve.
+            return Ok(now);
+        };
+        // A standalone data-block rewrite stamps fresh OOB records; if a
+        // *newer* log copy of any of its pages existed, those stamps
+        // would outrank it after a crash and resurrect stale data. Such
+        // blocks must refresh through the group merge instead.
+        if self.group_has_logged_pages(vbn) {
+            let group = self.group_of_vbn(vbn);
+            let report = self.gc_group(now, device, group)?;
+            if let Some(st) = self.endurance.as_mut() {
+                st.note_refresh(reason, report.migrated_pages);
+            }
+            return Ok(report.done);
+        }
+        let (done, pages) = self.migrate_data_block(now, device, vbn, false)?;
+        if let Some(st) = self.endurance.as_mut() {
+            st.note_refresh(reason, pages);
+        }
+        Ok(done)
+    }
+
+    fn group_of_vbn(&self, vbn: u64) -> u64 {
+        vbn / self.group_size
+    }
+
+    /// Whether `vbn`'s group log block holds a mapping for any of `vbn`'s
+    /// pages (a newer copy that outranks the data block's).
+    fn group_has_logged_pages(&self, vbn: u64) -> bool {
+        self.lbmt.get(&self.group_of_vbn(vbn)).is_some_and(|lb| {
+            lb.decoder
+                .mappings()
+                .iter()
+                .any(|&(vpn, _)| self.vbn_of(vpn) == vbn)
+        })
+    }
+
+    /// One static-levelling migration: the coldest mapped data block
+    /// (lowest erase count, no logged sibling pages) is rewritten into
+    /// the most-worn spare block, and its freed low-wear cells rejoin the
+    /// allocation pool where the wear-levelled allocator hands them to
+    /// hot traffic. A no-op when the recycled pool is empty (a fresh
+    /// block has zero wear — migrating cold data onto it would widen the
+    /// spread).
+    ///
+    /// When every mapped block's group still holds logged copies — the
+    /// steady state under the log-structured write path, since a merge
+    /// only runs on a write and the triggering write re-logs a page —
+    /// a standalone migration would let the rewritten OOB stamps outrank
+    /// those newer copies after a crash. Instead the coldest such group
+    /// is merged, folding its logged pages away so a later step can
+    /// migrate it.
+    fn level_step(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        if self.allocator.recycled_available() == 0 {
+            return Ok(now);
+        }
+        fn coldest<'a>(
+            device: &FlashDevice,
+            candidates: impl Iterator<Item = (&'a u64, &'a BlockAddr)>,
+        ) -> Option<u64> {
+            candidates
+                .filter(|(_, &a)| {
+                    !device.die_is_dead(a.channel, a.die)
+                        && device.block(a).is_some_and(|b| !b.is_failed())
+                })
+                .min_by_key(|(&vbn, &a)| {
+                    let wear = device.block(a).map(|b| b.erase_count()).unwrap_or(0);
+                    (wear, vbn)
+                })
+                .map(|(&vbn, _)| vbn)
+        }
+        let victim = coldest(
+            device,
+            self.dbmt
+                .iter()
+                .filter(|(&vbn, _)| !self.group_has_logged_pages(vbn)),
+        );
+        let Some(vbn) = victim else {
+            let Some(vbn) = coldest(device, self.dbmt.iter()) else {
+                return Ok(now);
+            };
+            let group = self.group_of_vbn(vbn);
+            return Ok(self.gc_group(now, device, group)?.done);
+        };
+        let (done, pages) = self.migrate_data_block(now, device, vbn, true)?;
+        if let Some(st) = self.endurance.as_mut() {
+            st.note_levelling(pages);
+        }
+        Ok(done)
+    }
+
+    /// Rewrites `vbn`'s data block to a newly allocated block (the
+    /// most-worn spare when `most_worn`), page by page with verified
+    /// reads — corrupt flags move along, never laundered — then erases
+    /// the old block and remaps. The caller guarantees no newer log copy
+    /// of any page exists (see [`ZngFtl::group_has_logged_pages`]).
+    fn migrate_data_block(
+        &mut self,
+        now: Cycle,
+        device: &mut FlashDevice,
+        vbn: u64,
+        most_worn: bool,
+    ) -> Result<(Cycle, u64)> {
+        let old = *self.dbmt.get(&vbn).expect("caller verified the mapping");
+        let page_bytes = device.geometry().page_bytes;
+        // A program failure mid-rewrite abandons the destination (data
+        // blocks stay offset-ordered) and restarts on a new block,
+        // exactly like a GC merge.
+        let (fresh, read_t, last_prog) = loop {
+            let fresh = self.alloc_block_with(device, BlockKind::Data, most_worn)?;
+            let mut read_t = now;
+            let mut last_prog = now;
+            let mut burned = false;
+            for offset in 0..self.pages_per_block {
+                let vpn = vbn * self.pages_per_block + offset;
+                device.discard_register(old.channel, vpn);
+                let src = FlashAddr::new(old, offset as u32);
+                read_t = self.gc_read(read_t, device, src, vpn, page_bytes)?;
+                let report = device.program_migrate(read_t, fresh, vpn)?;
+                if report.failed {
+                    burned = true;
+                    break;
+                }
+                if device.page_is_corrupt(src) {
+                    device.mark_page_corrupt(FlashAddr::new(fresh, report.page))?;
+                }
+                last_prog = last_prog.max(report.done);
+            }
+            if !burned {
+                break (fresh, read_t, last_prog);
+            }
+            self.retire_block(device, fresh)?;
+        };
+        if let Some(rain) = self.rain.as_mut() {
+            rain.note_program(last_prog, device, fresh)?;
+        }
+        let mut erased = 0u64;
+        self.invalidate_whole_block(device, old)?;
+        let done = last_prog.max(self.erase_or_fence(read_t, device, old, &mut erased)?);
+        self.dbmt.insert(vbn, fresh);
+        Ok((done, self.pages_per_block))
     }
 
     /// Estimated DBMT size in bytes (entries × 16 B), the table the MMU
@@ -1466,6 +1767,187 @@ mod tests {
         assert!(!d.page_is_corrupt(healed));
         f.read(t, &mut d, 100, 128).unwrap();
         assert_eq!(f.integrity_counters().detected, 1);
+    }
+
+    #[test]
+    fn refresh_rewrites_disturbed_blocks_and_keeps_data_readable() {
+        use crate::refresh::RefreshPolicy;
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        d.set_endurance_tracking(Some(1));
+        f.set_endurance(Some(RefreshPolicy {
+            disturb_threshold: 4,
+            retention_threshold: 0,
+            wear_spread: 0.0,
+            pacing: None,
+        }));
+        let mut t = f.read(Cycle(0), &mut d, 0, 128).unwrap();
+        let addr = f.locate(0).unwrap();
+        // Hammer the data block with array senses (alternating pages
+        // defeat the sense latch, distinct keys the register cache).
+        for i in 0..16u64 {
+            let _ = d.read(
+                t,
+                FlashAddr::new(addr.block, (i % 2) as u32),
+                5_000 + i,
+                128,
+            );
+        }
+        for _ in 0..64 {
+            t = f.refresh_step(t, &mut d).unwrap();
+            if f.endurance_counters().unwrap().refreshes > 0 {
+                break;
+            }
+        }
+        let c = f.endurance_counters().unwrap();
+        assert_eq!(c.refreshes, 1, "the disturbed block must refresh");
+        assert_eq!(c.disturb_refreshes, 1);
+        assert!(c.refreshed_pages >= 16, "the whole block was rewritten");
+        let moved = f.locate(0).unwrap();
+        assert_ne!(moved.block, addr.block, "data moved to fresh cells");
+        assert_eq!(
+            d.block(moved.block).map(|b| b.disturb_reads()),
+            Some(0),
+            "the new home starts with a clean disturb clock"
+        );
+        f.read(t, &mut d, 0, 128).unwrap();
+    }
+
+    #[test]
+    fn static_levelling_merges_logged_groups_then_migrates_cold_blocks() {
+        use crate::refresh::RefreshPolicy;
+        let mut g = FlashGeometry::tiny();
+        g.blocks_per_plane = 2;
+        g.pages_per_block = 8;
+        let mut d = FlashDevice::zng_config(g, Freq::default(), RegisterTopology::NiF).unwrap();
+        let mut f = ZngFtl::new(&d, 1, WriteMode::Direct);
+        f.set_endurance(Some(RefreshPolicy {
+            disturb_threshold: 0,
+            retention_threshold: 0,
+            wear_spread: 1.0,
+            pacing: None,
+        }));
+        // One cold group written once: its full log block pins newer
+        // copies, so a standalone migration must not touch it yet.
+        let mut t = Cycle(0);
+        for p in 0..8u64 {
+            t = f.write(t, &mut d, 8 + p).unwrap().done;
+        }
+        // Hot churn builds wear and fills the recycled pool.
+        for i in 0..200u64 {
+            t = f.write(t, &mut d, i % 8).unwrap().done;
+        }
+        assert!(f.log_utilization(1).is_some(), "cold group still logged");
+        // Every mapped group holds logged copies, so the first levelling
+        // step merges the coldest group instead of migrating it...
+        t = f.refresh_step(t, &mut d).unwrap();
+        assert_eq!(f.log_utilization(1), None, "coldest group merged");
+        assert_eq!(f.endurance_counters().unwrap().level_migrations, 0);
+        let cold = f.locate(8).unwrap();
+        // ...and the next step migrates it into a worn spare.
+        t = f.refresh_step(t, &mut d).unwrap();
+        let c = f.endurance_counters().unwrap();
+        assert_eq!(c.level_migrations, 1);
+        assert_eq!(c.leveled_pages, 8);
+        assert_ne!(f.locate(8).unwrap().block, cold.block, "cold data moved");
+        for p in 0..8u64 {
+            t = f.read(t, &mut d, 8 + p, 128).unwrap();
+        }
+    }
+
+    #[test]
+    fn endurance_turns_worn_out_cliff_into_capacity_steps() {
+        use crate::refresh::RefreshPolicy;
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        d.set_fault_config(&FaultConfig::end_of_life());
+        f.set_endurance(Some(RefreshPolicy {
+            disturb_threshold: 0,
+            retention_threshold: 0,
+            wear_spread: 0.0,
+            pacing: None,
+        }));
+        let mut t = Cycle(0);
+        let mut degraded = None;
+        for i in 0..400_000u64 {
+            match f.write(t, &mut d, i % 64) {
+                Ok(r) => t = r.done,
+                Err(Error::CapacityDegraded { remaining_pages }) => {
+                    degraded = Some(remaining_pages);
+                    break;
+                }
+                Err(Error::UncorrectableRead { .. }) => {}
+                Err(Error::DeviceWornOut { .. }) => {
+                    panic!("endurance mode must degrade the cliff away")
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let remaining = degraded.expect("sustained EOL churn must exhaust the pool");
+        assert!(remaining > 0, "mapped data remains advertised");
+        assert_eq!(f.endurance_counters().unwrap().capacity_steps, 1);
+        // Previously acknowledged data stays readable (modulo transient
+        // uncorrectable senses, which the caller retries).
+        for vpn in 0..64u64 {
+            match f.read(t, &mut d, vpn, 128) {
+                Ok(_) | Err(Error::UncorrectableRead { .. }) => {}
+                Err(e) => panic!("read of acked vpn {vpn} failed: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_reports_partial_progress_when_spares_run_dry() {
+        use zng_types::ids::{ChannelId, DieId};
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        f.set_redundancy(&d, Some(RainConfig::default()));
+        let ppb = d.geometry().pages_per_block as u64;
+        // Map 32 data blocks; striping lands several on the doomed die.
+        let mut t = Cycle(0);
+        for vbn in 0..32u64 {
+            t = f.read(t, &mut d, vbn * ppb, 128).unwrap();
+        }
+        d.fail_die(ChannelId(0), DieId(0));
+        let lost: Vec<u64> = f
+            .dbmt
+            .iter()
+            .filter(|(_, a)| d.die_is_dead(a.channel, a.die))
+            .map(|(&v, _)| v)
+            .collect();
+        assert!(lost.len() >= 2, "striping must strand several blocks");
+        // Starve the spare pool down to one block: the rebuild recreates
+        // at most one data block before running dry.
+        let mut drained = Vec::new();
+        while f.allocator.free() > 1 {
+            drained.push(f.allocator.allocate().unwrap());
+        }
+        let (t, pages) = f
+            .rebuild_dead_die(t, &mut d)
+            .expect("a dry spare pool must not abort the rebuild");
+        assert!(
+            pages < lost.len() as u64 * ppb,
+            "the dry pool must stop the rebuild part-way ({pages} pages)"
+        );
+        // Every lost vbn — rebuilt or stranded — keeps its mapping, and
+        // the stranded ones keep serving reads through reconstruction.
+        let mut t = t;
+        let mut stranded = 0;
+        for &vbn in &lost {
+            let a = f.dbmt[&vbn];
+            if d.die_is_dead(a.channel, a.die) {
+                stranded += 1;
+            }
+            t = f.read(t, &mut d, vbn * ppb, 128).unwrap();
+        }
+        assert!(stranded > 0, "some blocks must still await spares");
+        // Once spares return, a second pass finishes the job.
+        for idx in drained {
+            f.allocator.release(idx, 0);
+        }
+        let (_, more) = f.rebuild_dead_die(t, &mut d).unwrap();
+        assert!(more > 0, "the resumed rebuild must make progress");
+        assert!(
+            f.dbmt.values().all(|a| !d.die_is_dead(a.channel, a.die)),
+            "a resumed rebuild moves everything off the dead die"
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Platform-specific memory backends (the path below the shared L2).
 
-use zng_flash::{FlashDevice, RegisterTopology};
+use zng_flash::{EnduranceReport, FlashDevice, RegisterTopology, DISTURB_READS_PER_CYCLE};
 use zng_ftl::{
-    GcPacing, GcReport, IntegrityCounters, RainConfig, RainCounters, RecoveryReport, WriteMode,
-    ZngFtl,
+    EnduranceCounters, GcPacing, GcReport, IntegrityCounters, RainConfig, RainCounters,
+    RecoveryReport, RefreshPolicy, WriteMode, ZngFtl,
 };
 use zng_mem::{MemSubsystem, MemTiming, PcieLink};
 use zng_ssd::{NvmeSsd, PageBuffer, SsdModule};
@@ -163,6 +163,31 @@ impl Backend {
                 }
                 Backend::HybridGpu { ssd } => ssd.apply_integrity(&sdc, true),
                 Backend::Hetero { ssd, .. } => ssd.apply_integrity(&sdc, true),
+                Backend::Ideal { .. } | Backend::Optane { .. } => {}
+            }
+        }
+        // Device-lifetime endurance: arm read-disturb/retention tracking
+        // on the media and the refresh + static-levelling scheduler in
+        // the FTL. The scheduler inherits the QoS GC stall budget so
+        // background refresh and foreground traffic share one pacing
+        // contract. Off by default — no counters, byte-identical output.
+        if cfg.endurance.enabled {
+            let policy = RefreshPolicy {
+                disturb_threshold: cfg.endurance.disturb_threshold,
+                retention_threshold: cfg.endurance.retention_threshold,
+                wear_spread: cfg.endurance.wear_spread,
+                pacing: cfg.qos.gc_stall_budget.map(|budget| GcPacing {
+                    stall_budget: budget,
+                    credit_writes: cfg.qos.gc_credit_writes,
+                }),
+            };
+            match &mut backend {
+                Backend::Zng { device, ftl, .. } => {
+                    device.set_endurance_tracking(Some(DISTURB_READS_PER_CYCLE));
+                    ftl.set_endurance(Some(policy));
+                }
+                Backend::HybridGpu { ssd } => ssd.apply_endurance(policy),
+                Backend::Hetero { ssd, .. } => ssd.apply_endurance(policy),
                 Backend::Ideal { .. } | Backend::Optane { .. } => {}
             }
         }
@@ -492,6 +517,38 @@ impl Backend {
             Backend::Hetero { ssd, .. } => ssd.rebuild_dead_die(now),
             Backend::Ideal { .. } | Backend::Optane { .. } => Ok((now, 0)),
         }
+    }
+
+    /// One refresh-scheduler step on the flash FTL (threshold scan →
+    /// block refresh, or a static-levelling migration); returns the
+    /// foreground stall horizon (capped by the pacing budget when one is
+    /// set). A no-op without endurance or on flashless platforms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash/FTL errors.
+    pub fn refresh_step(&mut self, now: Cycle) -> Result<Cycle> {
+        match self {
+            Backend::Zng { device, ftl, .. } => ftl.refresh_step(now, device),
+            Backend::HybridGpu { ssd } => ssd.refresh_step(now),
+            Backend::Hetero { ssd, .. } => ssd.refresh_step(now),
+            Backend::Ideal { .. } | Backend::Optane { .. } => Ok(now),
+        }
+    }
+
+    /// The endurance scheduler's counters, when the subsystem is on.
+    pub fn endurance_counters(&self) -> Option<EnduranceCounters> {
+        match self {
+            Backend::Zng { ftl, .. } => ftl.endurance_counters(),
+            Backend::HybridGpu { ssd } => ssd.ftl().endurance_counters(),
+            Backend::Hetero { ssd, .. } => ssd.ftl().endurance_counters(),
+            Backend::Ideal { .. } | Backend::Optane { .. } => None,
+        }
+    }
+
+    /// The device's wear histogram, if this platform has flash.
+    pub fn endurance_report(&self) -> Option<EnduranceReport> {
+        self.flash_device().map(FlashDevice::endurance)
     }
 
     /// The integrity layer's counters, when verification is enabled.

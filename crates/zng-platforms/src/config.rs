@@ -129,11 +129,109 @@ pub struct SimConfig {
     /// ([`IntegrityConfig::off`]) draws no randomness and keeps output
     /// byte-identical to an integrity-free build.
     pub integrity: IntegrityConfig,
+    /// Device-lifetime endurance management: read-disturb and
+    /// retention-age tracking in the media, a paced background refresh
+    /// scheduler, static wear levelling, and graceful end-of-life
+    /// capacity degradation. The default ([`EnduranceConfig::off`])
+    /// tracks nothing, draws no randomness and keeps output
+    /// byte-identical to an endurance-free build.
+    pub endurance: EnduranceConfig,
     /// Runner watchdog: when `Some(budget)`, a simulation that makes no
     /// forward progress (no request completes) within `budget` cycles
     /// fails with [`zng_types::Error::Stalled`] instead of spinning.
     /// `None` (the default) never trips.
     pub watchdog: Option<u64>,
+}
+
+/// Device-lifetime endurance policy: per-block read-disturb counters and
+/// retention ages in the flash media, a background refresh scheduler
+/// paced by the GC stall-budget contract, static wear levelling that
+/// migrates cold data off low-wear blocks, and stepwise capacity
+/// degradation at end of life instead of the hard
+/// [`zng_types::Error::DeviceWornOut`] cliff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceConfig {
+    /// Master switch. Off (the default) installs no tracking, runs no
+    /// refresh and keeps runs byte-identical to an endurance-free build.
+    pub enabled: bool,
+    /// Refresh cadence: one scheduler step every `n` completed requests.
+    /// `0` disables the background scheduler (wear tracking and graceful
+    /// capacity degradation still apply).
+    pub refresh_every_ops: u64,
+    /// Read-disturb budget: a block whose accumulated array senses reach
+    /// this count is rewritten to fresh cells. `0` disables the trigger.
+    pub disturb_threshold: u64,
+    /// Retention budget in device cycles: a block whose oldest data has
+    /// sat unprogrammed this long is rewritten. `0` disables the trigger.
+    pub retention_threshold: u64,
+    /// Static-levelling trigger: when the device's wear spread (max/mean
+    /// erase fraction) exceeds this ratio, cold data migrates off
+    /// low-wear blocks. `0.0` disables levelling.
+    pub wear_spread: f64,
+}
+
+impl EnduranceConfig {
+    /// Everything off — the byte-identical default.
+    pub fn off() -> EnduranceConfig {
+        EnduranceConfig {
+            enabled: false,
+            refresh_every_ops: 0,
+            disturb_threshold: 0,
+            retention_threshold: 0,
+            wear_spread: 0.0,
+        }
+    }
+
+    /// Endurance on with the scheduler's default thresholds; pass the
+    /// refresh cadence (`0` = tracking and graceful EOL only).
+    pub fn on(refresh_every_ops: u64) -> EnduranceConfig {
+        let d = zng_ftl::RefreshPolicy::default();
+        EnduranceConfig {
+            enabled: true,
+            refresh_every_ops,
+            disturb_threshold: d.disturb_threshold,
+            retention_threshold: d.retention_threshold,
+            wear_spread: d.wear_spread,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects refresh/levelling knobs without `enabled` (they would
+    /// silently do nothing) and wear-spread ratios below 1 (max/mean
+    /// erase fraction can never be smaller than one).
+    pub fn validate(&self) -> Result<()> {
+        let invalid = |why: &str| Error::InvalidConfig {
+            what: "endurance".into(),
+            why: why.into(),
+        };
+        if !self.enabled {
+            if self.refresh_every_ops != 0
+                || self.disturb_threshold != 0
+                || self.retention_threshold != 0
+                || self.wear_spread != 0.0
+            {
+                return Err(invalid(
+                    "refresh and levelling knobs require endurance to be enabled",
+                ));
+            }
+            return Ok(());
+        }
+        if self.wear_spread.is_nan() || (self.wear_spread != 0.0 && self.wear_spread < 1.0) {
+            return Err(invalid(
+                "wear-spread trigger is a max/mean ratio: use 0 to disable or a value >= 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for EnduranceConfig {
+    fn default() -> EnduranceConfig {
+        EnduranceConfig::off()
+    }
 }
 
 /// End-to-end data-integrity policy: silent-corruption injection in the
@@ -366,6 +464,7 @@ impl SimConfig {
             qos: QosConfig::unbounded(),
             redundancy: RedundancyConfig::off(),
             integrity: IntegrityConfig::off(),
+            endurance: EnduranceConfig::off(),
             watchdog: None,
         }
     }
@@ -391,6 +490,7 @@ impl SimConfig {
         self.qos.validate()?;
         self.redundancy.validate(&self.flash)?;
         self.integrity.validate()?;
+        self.endurance.validate()?;
         if self.watchdog == Some(0) {
             return Err(Error::InvalidConfig {
                 what: "watchdog".into(),
@@ -494,6 +594,34 @@ mod tests {
         let mut hot = SimConfig::tiny();
         hot.integrity = IntegrityConfig::with_rate(1.5);
         assert!(hot.validate().is_err());
+    }
+
+    #[test]
+    fn endurance_validation_rules() {
+        let mut cfg = SimConfig::tiny();
+        cfg.endurance = EnduranceConfig::on(64);
+        cfg.validate().unwrap();
+        cfg.endurance.refresh_every_ops = 0;
+        cfg.validate().unwrap();
+
+        // Orphan knobs without the master switch are rejected.
+        let mut orphan = SimConfig::tiny();
+        orphan.endurance.refresh_every_ops = 64;
+        assert!(orphan.validate().is_err());
+        let mut orphan = SimConfig::tiny();
+        orphan.endurance.disturb_threshold = 100;
+        assert!(orphan.validate().is_err());
+        let mut orphan = SimConfig::tiny();
+        orphan.endurance.wear_spread = 2.0;
+        assert!(orphan.validate().is_err());
+
+        // The levelling trigger is a max/mean ratio.
+        let mut low = SimConfig::tiny();
+        low.endurance = EnduranceConfig::on(0);
+        low.endurance.wear_spread = 0.5;
+        assert!(low.validate().is_err());
+        low.endurance.wear_spread = 0.0;
+        low.validate().unwrap();
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod qos;
 pub mod runner;
 
 pub use backend::Backend;
-pub use config::{IntegrityConfig, PlatformKind, RedundancyConfig, SimConfig};
-pub use metrics::{CrashRecoverySummary, IntegritySummary, RedundancySummary, RunResult};
+pub use config::{EnduranceConfig, IntegrityConfig, PlatformKind, RedundancyConfig, SimConfig};
+pub use metrics::{
+    CrashRecoverySummary, EnduranceSummary, IntegritySummary, RedundancySummary, RunResult,
+};
 pub use qos::{FairShare, QosConfig, QosSummary, MAX_QOS_APPS};
 pub use runner::Simulation;

@@ -79,6 +79,46 @@ pub struct RedundancySummary {
     pub retry_depth_histogram: [u64; RETRY_DEPTH_BUCKETS],
 }
 
+/// What the device-lifetime endurance subsystem did (`--endurance`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnduranceSummary {
+    /// Refresh-scheduler steps the runner scheduled.
+    pub refresh_ticks: u64,
+    /// Blocks rewritten to fresh cells by the refresh scheduler.
+    pub refreshes: u64,
+    /// Refreshes triggered by the read-disturb budget.
+    pub disturb_refreshes: u64,
+    /// Refreshes triggered by the retention-age budget.
+    pub retention_refreshes: u64,
+    /// Pages moved by those refreshes.
+    pub refreshed_pages: u64,
+    /// Static wear-levelling migrations (cold block → worn spare).
+    pub level_migrations: u64,
+    /// Pages moved by the static leveler.
+    pub leveled_pages: u64,
+    /// Refresh/levelling steps whose media time overran the pacing
+    /// budget.
+    pub refresh_overruns: u64,
+    /// End-of-life capacity shrink steps taken instead of the hard
+    /// worn-out cliff.
+    pub capacity_steps: u64,
+    /// Writes refused after capacity degraded (the device is read-only
+    /// for new data; the workload keeps running).
+    pub writes_refused: u64,
+    /// Array senses charged against block disturb counters.
+    pub disturb_reads: u64,
+    /// Read errors attributable to accumulated disturb exposure.
+    pub disturb_triggered_errors: u64,
+    /// The worst-worn block's erase fraction (of the P/E limit).
+    pub wear_max: f64,
+    /// Mean erase fraction across every block.
+    pub wear_mean: f64,
+    /// The least-worn block's erase fraction.
+    pub wear_min: f64,
+    /// Wear spread (max/mean; 1.0 = perfectly even).
+    pub wear_spread: f64,
+}
+
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -165,6 +205,10 @@ pub struct RunResult {
     /// verification and poison-containment counters. `None` runs emit
     /// byte-identical output to builds without the integrity machinery.
     pub integrity: Option<IntegritySummary>,
+    /// Present only when `--endurance` ran: refresh, static-levelling,
+    /// capacity-step and wear-histogram counters. `None` runs emit
+    /// byte-identical output to builds without the endurance machinery.
+    pub endurance: Option<EnduranceSummary>,
 }
 
 impl RunResult {
@@ -353,6 +397,39 @@ impl RunResult {
             fields.push(("integrity_quarantined", Value::from(i.quarantined)));
             fields.push(("integrity_poisoned_lines", Value::from(i.poisoned_lines)));
         }
+        if let Some(e) = &self.endurance {
+            fields.push(("endurance_refresh_ticks", Value::from(e.refresh_ticks)));
+            fields.push(("endurance_refreshes", Value::from(e.refreshes)));
+            fields.push((
+                "endurance_disturb_refreshes",
+                Value::from(e.disturb_refreshes),
+            ));
+            fields.push((
+                "endurance_retention_refreshes",
+                Value::from(e.retention_refreshes),
+            ));
+            fields.push(("endurance_refreshed_pages", Value::from(e.refreshed_pages)));
+            fields.push((
+                "endurance_level_migrations",
+                Value::from(e.level_migrations),
+            ));
+            fields.push(("endurance_leveled_pages", Value::from(e.leveled_pages)));
+            fields.push((
+                "endurance_refresh_overruns",
+                Value::from(e.refresh_overruns),
+            ));
+            fields.push(("endurance_capacity_steps", Value::from(e.capacity_steps)));
+            fields.push(("endurance_writes_refused", Value::from(e.writes_refused)));
+            fields.push(("endurance_disturb_reads", Value::from(e.disturb_reads)));
+            fields.push((
+                "endurance_disturb_errors",
+                Value::from(e.disturb_triggered_errors),
+            ));
+            fields.push(("wear_max_fraction", Value::from(e.wear_max)));
+            fields.push(("wear_mean_fraction", Value::from(e.wear_mean)));
+            fields.push(("wear_min_fraction", Value::from(e.wear_min)));
+            fields.push(("wear_spread", Value::from(e.wear_spread)));
+        }
         Value::object(fields)
     }
 }
@@ -399,6 +476,7 @@ mod tests {
             qos: None,
             redundancy: None,
             integrity: None,
+            endurance: None,
         }
     }
 
@@ -485,6 +563,37 @@ mod tests {
         assert!(bounded.contains("\"qos_read_p99\":7777"));
         assert!(bounded.contains("\"per_app_read_latency\""));
         assert!(bounded.contains("\"per_app_write_latency\""));
+    }
+
+    #[test]
+    fn endurance_keys_only_when_the_subsystem_ran() {
+        let mut r = result();
+        let clean = r.to_json_value().to_string();
+        assert!(
+            !clean.contains("endurance_") && !clean.contains("wear_"),
+            "no endurance keys in a default run"
+        );
+        r.endurance = Some(EnduranceSummary {
+            refresh_ticks: 10,
+            refreshes: 4,
+            disturb_refreshes: 3,
+            retention_refreshes: 1,
+            refreshed_pages: 64,
+            level_migrations: 2,
+            leveled_pages: 32,
+            capacity_steps: 1,
+            writes_refused: 7,
+            wear_spread: 1.5,
+            ..EnduranceSummary::default()
+        });
+        let on = r.to_json_value().to_string();
+        assert!(on.contains("\"endurance_refresh_ticks\":10"));
+        assert!(on.contains("\"endurance_refreshes\":4"));
+        assert!(on.contains("\"endurance_disturb_refreshes\":3"));
+        assert!(on.contains("\"endurance_level_migrations\":2"));
+        assert!(on.contains("\"endurance_capacity_steps\":1"));
+        assert!(on.contains("\"endurance_writes_refused\":7"));
+        assert!(on.contains("\"wear_spread\":1.5"));
     }
 
     #[test]

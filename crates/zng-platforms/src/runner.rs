@@ -23,8 +23,10 @@ use zng_types::{
 use zng_workloads::MultiApp;
 
 use crate::backend::{Backend, BackendWrite};
-use crate::config::{PlatformKind, RedundancyConfig, SimConfig};
-use crate::metrics::{CrashRecoverySummary, IntegritySummary, RedundancySummary, RunResult};
+use crate::config::{EnduranceConfig, PlatformKind, RedundancyConfig, SimConfig};
+use crate::metrics::{
+    CrashRecoverySummary, EnduranceSummary, IntegritySummary, RedundancySummary, RunResult,
+};
 use crate::qos::{FairShare, QosConfig, QosSummary};
 
 /// Time-series bucket width for Fig. 17b (10 µs at 1.2 GHz).
@@ -91,6 +93,14 @@ pub struct Simulation {
     integrity_on: bool,
     /// L2 lines poisoned after unrecoverable integrity violations.
     poisoned_lines: u64,
+    /// Endurance policy. [`EnduranceConfig::off`] (the default) makes
+    /// every lifetime-management hook below a no-op.
+    endurance: EnduranceConfig,
+    /// Refresh-scheduler cadence, keyed to completed requests.
+    refresh_ticker: PatrolTicker,
+    /// Writes refused after end-of-life capacity degradation (the
+    /// workload keeps running; the device is read-only for new data).
+    writes_refused: u64,
 }
 
 impl Simulation {
@@ -166,6 +176,9 @@ impl Simulation {
             watchdog: cfg.watchdog,
             integrity_on: cfg.integrity.enabled,
             poisoned_lines: 0,
+            endurance: cfg.endurance,
+            refresh_ticker: PatrolTicker::every_ops(cfg.endurance.refresh_every_ops),
+            writes_refused: 0,
         })
     }
 
@@ -267,6 +280,15 @@ impl Simulation {
             // stall is capped by the pacing budget when one is set.
             if self.patrol.poll(requests) {
                 let horizon = self.backend.scrub_step(now)?;
+                self.block_all_apps(mix, horizon);
+            }
+            // Background refresh: one endurance-scheduler step per
+            // cadence boundary (disturb/retention threshold scan → block
+            // refresh, or one static-levelling migration). The media
+            // work always completes but the foreground stall is capped
+            // by the pacing budget when one is set.
+            if self.refresh_ticker.poll(requests) {
+                let horizon = self.backend.refresh_step(now)?;
                 self.block_all_apps(mix, horizon);
             }
             if warps[idx].is_done() {
@@ -488,6 +510,38 @@ impl Simulation {
                 poisoned_lines: self.poisoned_lines,
             }
         });
+        let endurance = self.endurance.enabled.then(|| {
+            let c = self.backend.endurance_counters().unwrap_or_default();
+            let rep = self.backend.endurance_report();
+            let (disturb_reads, disturb_triggered_errors) = self
+                .backend
+                .flash_device()
+                .map(|d| {
+                    (
+                        d.stats().disturb_reads(),
+                        d.stats().disturb_triggered_errors(),
+                    )
+                })
+                .unwrap_or((0, 0));
+            EnduranceSummary {
+                refresh_ticks: self.refresh_ticker.ticks(),
+                refreshes: c.refreshes,
+                disturb_refreshes: c.disturb_refreshes,
+                retention_refreshes: c.retention_refreshes,
+                refreshed_pages: c.refreshed_pages,
+                level_migrations: c.level_migrations,
+                leveled_pages: c.leveled_pages,
+                refresh_overruns: c.refresh_overruns,
+                capacity_steps: c.capacity_steps,
+                writes_refused: self.writes_refused,
+                disturb_reads,
+                disturb_triggered_errors,
+                wear_max: rep.map(|r| r.worst_wear_fraction()).unwrap_or(0.0),
+                wear_mean: rep.map(|r| r.mean_wear_fraction()).unwrap_or(0.0),
+                wear_min: rep.map(|r| r.min_wear_fraction()).unwrap_or(0.0),
+                wear_spread: rep.map(|r| r.wear_spread()).unwrap_or(1.0),
+            }
+        });
 
         Ok(RunResult {
             platform: self.kind,
@@ -531,6 +585,7 @@ impl Simulation {
             qos,
             redundancy,
             integrity,
+            endurance,
         })
     }
 
@@ -710,7 +765,19 @@ impl Simulation {
         // The L2 copy of this line is now stale.
         self.l2.invalidate(sector);
         self.sms[sm_idx].l1_invalidate(sector);
-        let w = self.backend_write(t, sector, vpn)?;
+        // Graceful end of life: a capacity-degraded device refuses the
+        // program but the workload keeps running — the refusal is
+        // counted and the op completes without touching the media.
+        let w = match self.backend_write(t, sector, vpn) {
+            Err(Error::CapacityDegraded { .. }) => {
+                self.writes_refused += 1;
+                BackendWrite {
+                    done: t,
+                    ..BackendWrite::default()
+                }
+            }
+            other => other?,
+        };
         self.thrash_mode = self.kind.has_redirection() && w.thrashing;
         if !w.thrashing && self.pinned_dirty > 0 {
             self.drain_pinned(w.done)?;
@@ -733,7 +800,13 @@ impl Simulation {
         let dirty = self.l2.unpin_up_to(DRAIN_CHUNK);
         self.pinned_dirty = self.pinned_dirty.saturating_sub(dirty.len() as u64);
         for line in dirty {
-            let w = self.backend_write(now, line, line >> 12)?;
+            let w = match self.backend_write(now, line, line >> 12) {
+                Err(Error::CapacityDegraded { .. }) => {
+                    self.writes_refused += 1;
+                    continue;
+                }
+                other => other?,
+            };
             if let Some(gc) = w.gc {
                 self.handle_gc(&gc);
                 self.gc_reports.push(gc);
@@ -1289,6 +1362,75 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.requests, b.requests);
         assert_eq!(a.integrity, b.integrity);
+    }
+
+    #[test]
+    fn default_run_reports_no_endurance_summary() {
+        let r = run(PlatformKind::Zng);
+        assert!(r.endurance.is_none(), "off by default, no summary");
+    }
+
+    #[test]
+    fn endurance_run_reports_wear_and_refresh_activity() {
+        use crate::config::EnduranceConfig;
+        let mut cfg = SimConfig::tiny();
+        cfg.endurance = EnduranceConfig::on(25);
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+        let r = sim.run(&mix).unwrap();
+        let e = r.endurance.expect("enabled policy must report");
+        assert!(e.refresh_ticks > 0, "{e:?}");
+        assert!(e.disturb_reads > 0, "array senses charge disturb: {e:?}");
+        assert!(e.wear_spread >= 1.0, "{e:?}");
+        assert_eq!(e.capacity_steps, 0, "healthy device never degrades");
+    }
+
+    #[test]
+    fn endurance_run_is_deterministic() {
+        use crate::config::EnduranceConfig;
+        let mut cfg = SimConfig::tiny();
+        cfg.endurance = EnduranceConfig::on(25);
+        cfg.fault = zng_flash::FaultConfig::end_of_life();
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let a = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let b = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.endurance, b.endurance);
+    }
+
+    #[test]
+    fn endurance_degrades_capacity_instead_of_wearing_out() {
+        // The twin of `eol_sustained_writes_wear_out_gracefully`: same
+        // churn, but with endurance on the run completes — writes are
+        // refused in capacity-degraded read-only mode instead of the
+        // whole simulation dying on the DeviceWornOut cliff.
+        let mut cfg = SimConfig::tiny();
+        cfg.fault = zng_flash::FaultConfig::end_of_life();
+        cfg.flash.blocks_per_plane = 8;
+        cfg.endurance.enabled = true;
+        let mix = MultiApp::from_names(
+            &["back"],
+            &TraceParams {
+                total_warps: 4,
+                mem_ops_per_warp: 4_000,
+                footprint_pages: 32,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+        let r = sim.run(&mix).unwrap();
+        let e = r.endurance.expect("enabled policy must report");
+        assert!(e.capacity_steps >= 1, "the pool was exhausted: {e:?}");
+        assert!(e.writes_refused > 0, "later writes were refused: {e:?}");
+        assert!(r.blocks_retired > 0);
     }
 
     #[test]

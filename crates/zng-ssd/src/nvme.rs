@@ -108,6 +108,25 @@ impl NvmeSsd {
         self.ftl.set_integrity(verify);
     }
 
+    /// Arms the endurance subsystem: read-disturb/retention tracking on
+    /// the media plus the refresh + static-levelling scheduler in the
+    /// FTL.
+    pub fn apply_endurance(&mut self, policy: zng_ftl::RefreshPolicy) {
+        self.device
+            .set_endurance_tracking(Some(zng_flash::DISTURB_READS_PER_CYCLE));
+        self.ftl.set_endurance(Some(policy));
+    }
+
+    /// One refresh-scheduler step: scan for blocks over their disturb or
+    /// retention budget and rewrite one, else run a levelling migration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash/FTL errors.
+    pub fn refresh_step(&mut self, now: Cycle) -> Result<Cycle> {
+        self.ftl.refresh_step(now, &mut self.device)
+    }
+
     /// Kills one die and fences its blocks: reads reconstruct around it,
     /// the allocator stops handing out its blocks.
     ///

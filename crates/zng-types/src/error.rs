@@ -80,6 +80,19 @@ pub enum Error {
         /// Page offset within the block.
         page: u32,
     },
+    /// The device's advertised capacity shrank: end-of-life block
+    /// retirement exhausted the spare pool, and the endurance subsystem
+    /// stepped the advertised capacity down instead of failing the whole
+    /// device. The refused write was never acknowledged; all previously
+    /// acknowledged data stays readable.
+    ///
+    /// Only surfaced when graceful end-of-life degradation is enabled
+    /// (`EnduranceConfig`); the default path keeps the hard
+    /// [`Error::DeviceWornOut`] cliff.
+    CapacityDegraded {
+        /// Logical pages still mapped and serviceable after the step.
+        remaining_pages: u64,
+    },
     /// The simulation made no forward progress for longer than the
     /// configured watchdog budget (for example a retry/backoff livelock);
     /// aborted rather than spinning forever.
@@ -131,6 +144,11 @@ impl fmt::Display for Error {
                 f,
                 "integrity violation at block {block} page {page} \
                  (payload checksum mismatch, ECC miscorrection)"
+            ),
+            Error::CapacityDegraded { remaining_pages } => write!(
+                f,
+                "device capacity degraded: write refused, {remaining_pages} mapped pages remain \
+                 serviceable"
             ),
             Error::Stalled {
                 cycle,
@@ -206,6 +224,13 @@ mod tests {
             e.to_string(),
             "integrity violation at block 5 page 2 \
              (payload checksum mismatch, ECC miscorrection)"
+        );
+        let e = Error::CapacityDegraded {
+            remaining_pages: 640,
+        };
+        assert_eq!(
+            e.to_string(),
+            "device capacity degraded: write refused, 640 mapped pages remain serviceable"
         );
         let e = Error::Stalled {
             cycle: Cycle(9000),

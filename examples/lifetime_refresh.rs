@@ -1,0 +1,83 @@
+//! Device-lifetime endurance management, end to end.
+//!
+//! 1. **Healthy media** — endurance on with a background refresh step
+//!    every 25 requests: array senses charge per-block read-disturb
+//!    counters, the wear histogram is reported, and the scheduler ticks
+//!    alongside the workload without touching its results.
+//! 2. **End of life** — the same churn against worn-out media (erases
+//!    fail, blocks retire, the spare pool drains): instead of the run
+//!    dying on the `DeviceWornOut` cliff, the device takes a *capacity
+//!    step* — mapped data stays readable, later writes are refused and
+//!    counted, and the workload completes.
+//!
+//! ```text
+//! cargo run --release --example lifetime_refresh
+//! ```
+
+use zng::{EnduranceConfig, Experiment, FaultConfig, PlatformKind, SimConfig, Table, TraceParams};
+
+fn main() -> zng::Result<()> {
+    let mix = ["back"];
+
+    // Healthy media: wear tracking + refresh scheduler on.
+    let mut cfg = SimConfig::tiny();
+    cfg.endurance = EnduranceConfig::on(25);
+    let mut exp = Experiment::quick()
+        .with_config(cfg)
+        .with_params(TraceParams::tiny());
+    let r = exp.run(PlatformKind::ZngBase, &mix)?;
+    let e = r.endurance.expect("endurance was on");
+
+    let mut t = Table::new(vec!["endurance metric".into(), "value".into()]);
+    t.row(vec!["refresh ticks".into(), e.refresh_ticks.to_string()]);
+    t.row(vec!["refreshes".into(), e.refreshes.to_string()]);
+    t.row(vec!["disturb reads".into(), e.disturb_reads.to_string()]);
+    t.row(vec![
+        "wear min/mean/max".into(),
+        format!("{:.6}/{:.6}/{:.6}", e.wear_min, e.wear_mean, e.wear_max),
+    ]);
+    t.row(vec!["wear spread".into(), format!("{:.2}", e.wear_spread)]);
+    t.print("healthy media: the scheduler rides along");
+
+    assert!(e.refresh_ticks > 0, "the scheduler must tick");
+    assert!(e.disturb_reads > 0, "array senses must charge disturb");
+    assert_eq!(e.capacity_steps, 0, "healthy media never degrades");
+
+    // End of life: worn media shrinks the pool out from under the same
+    // churn; the cliff becomes a capacity step.
+    let mut cfg = SimConfig::tiny();
+    cfg.fault = FaultConfig::end_of_life();
+    cfg.flash.blocks_per_plane = 8;
+    cfg.endurance.enabled = true;
+    let mut exp = Experiment::quick()
+        .with_config(cfg)
+        .with_params(TraceParams {
+            total_warps: 4,
+            mem_ops_per_warp: 4_000,
+            footprint_pages: 32,
+            seed: 9,
+        });
+    let r = exp.run(PlatformKind::ZngBase, &mix)?;
+    let e = r.endurance.expect("endurance was on");
+
+    println!();
+    let mut t = Table::new(vec!["end-of-life metric".into(), "value".into()]);
+    t.row(vec!["capacity steps".into(), e.capacity_steps.to_string()]);
+    t.row(vec!["writes refused".into(), e.writes_refused.to_string()]);
+    t.row(vec!["blocks retired".into(), r.blocks_retired.to_string()]);
+    t.row(vec!["requests completed".into(), r.requests.to_string()]);
+    t.print("end of life: the cliff becomes a capacity step");
+
+    assert!(e.capacity_steps >= 1, "the pool must exhaust: {e:?}");
+    assert!(e.writes_refused > 0, "refused writes are counted: {e:?}");
+    assert!(r.blocks_retired > 0, "worn blocks must retire");
+
+    println!();
+    println!(
+        "the run completed read-only: {} requests in {} cycles \
+         (no DeviceWornOut abort)",
+        r.requests,
+        r.cycles.raw(),
+    );
+    Ok(())
+}

@@ -35,3 +35,8 @@ cargo run -q --example redundancy_rebuild >/dev/null
 # (poisoned L2 line, IntegrityViolation) without redundancy and heal in
 # place with RAIN on (exercises the verified-read paths end to end).
 cargo run -q --example integrity_poison >/dev/null
+
+# Endurance end-to-end smoke: the refresh scheduler must ride along on
+# healthy media, and an end-of-life run must complete with a graceful
+# capacity step instead of the DeviceWornOut cliff.
+cargo run -q --example lifetime_refresh >/dev/null

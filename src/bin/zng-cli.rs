@@ -10,8 +10,8 @@
 use std::process::ExitCode;
 
 use zng::{
-    table2, Cycle, Experiment, FaultConfig, FaultProfile, IntegrityConfig, PlatformKind, QosConfig,
-    RedundancyConfig, RunResult, Table, TraceParams,
+    table2, Cycle, EnduranceConfig, Experiment, FaultConfig, FaultProfile, IntegrityConfig,
+    PlatformKind, QosConfig, RedundancyConfig, RunResult, Table, TraceParams,
 };
 use zng_types::ids::AppId;
 use zng_workloads::{by_name, generate, TraceBundle};
@@ -74,6 +74,16 @@ options:
                        end-of-life wear, 0..1     (implies --integrity)
       --sdc-at         silently corrupt the Nth page program/preload
                        (implies --integrity)
+      --endurance      enable lifetime management: wear tracking,
+                       graceful end-of-life capacity degradation
+      --refresh-every  refresh-scheduler step every N requests
+                       (implies --endurance)
+      --disturb-threshold   array senses before a block is refreshed
+                            (implies --endurance)
+      --retention-threshold cycles of retention age before a refresh
+                            (implies --endurance)
+      --wear-spread    max/mean wear ratio that triggers static
+                       levelling, >= 1 or 0=off (implies --endurance)
       --watchdog       abort with exit 1 when no request completes
                        within N cycles
       --json       emit the full RunResult as JSON";
@@ -209,6 +219,11 @@ const RUN_FLAGS: &[&str] = &[
     "--integrity",
     "--sdc-rate",
     "--sdc-at",
+    "--endurance",
+    "--refresh-every",
+    "--disturb-threshold",
+    "--retention-threshold",
+    "--wear-spread",
     "--watchdog",
     "--json",
 ];
@@ -236,6 +251,11 @@ const SWEEP_FLAGS: &[&str] = &[
     "--integrity",
     "--sdc-rate",
     "--sdc-at",
+    "--endurance",
+    "--refresh-every",
+    "--disturb-threshold",
+    "--retention-threshold",
+    "--wear-spread",
     "--watchdog",
 ];
 const TRACES_FLAGS: &[&str] = &[
@@ -260,6 +280,7 @@ struct Opts {
     qos: Option<QosConfig>,
     redundancy: Option<RedundancyConfig>,
     integrity: Option<IntegrityConfig>,
+    endurance: Option<EnduranceConfig>,
     watchdog: Option<u64>,
     json: bool,
 }
@@ -280,6 +301,7 @@ impl Opts {
             qos: None,
             redundancy: None,
             integrity: None,
+            endurance: None,
             watchdog: None,
             json: false,
         };
@@ -373,6 +395,24 @@ impl Opts {
                 "--sdc-at" => {
                     opts.integrity_mut().sdc_at = Some(parse_num(&value("--sdc-at")?)? as u64);
                 }
+                "--endurance" => {
+                    opts.endurance_mut();
+                }
+                "--refresh-every" => {
+                    opts.endurance_mut().refresh_every_ops =
+                        parse_num(&value("--refresh-every")?)? as u64;
+                }
+                "--disturb-threshold" => {
+                    opts.endurance_mut().disturb_threshold =
+                        parse_num(&value("--disturb-threshold")?)? as u64;
+                }
+                "--retention-threshold" => {
+                    opts.endurance_mut().retention_threshold =
+                        parse_num(&value("--retention-threshold")?)? as u64;
+                }
+                "--wear-spread" => {
+                    opts.endurance_mut().wear_spread = parse_float(&value("--wear-spread")?)?;
+                }
                 "--watchdog" => {
                     opts.watchdog = Some(parse_num(&value("--watchdog")?)? as u64);
                 }
@@ -419,6 +459,13 @@ impl Opts {
         })
     }
 
+    /// The endurance policy being built up by flags, enabled with the
+    /// scheduler's default thresholds (no cadence) the first time any
+    /// endurance flag appears.
+    fn endurance_mut(&mut self) -> &mut EnduranceConfig {
+        self.endurance.get_or_insert_with(|| EnduranceConfig::on(0))
+    }
+
     /// Installs the parsed policies into the experiment's configuration.
     fn apply(&self, exp: &mut Experiment) {
         exp.config_mut().fault = self.fault_config();
@@ -433,6 +480,9 @@ impl Opts {
             // The SDC streams share the run's RNG seed.
             i.seed = self.params.seed;
             exp.config_mut().integrity = i;
+        }
+        if let Some(e) = self.endurance {
+            exp.config_mut().endurance = e;
         }
         exp.config_mut().watchdog = self.watchdog;
     }
@@ -664,6 +714,41 @@ fn print_result(r: &RunResult) {
             "poisoned L2 lines".into(),
             i.poisoned_lines.to_string(),
         ]);
+    }
+    if let Some(e) = &r.endurance {
+        t.row(vec![
+            "refresh ticks/refreshes".into(),
+            format!("{}/{}", e.refresh_ticks, e.refreshes),
+        ]);
+        t.row(vec![
+            "refresh disturb/retention".into(),
+            format!("{}/{}", e.disturb_refreshes, e.retention_refreshes),
+        ]);
+        t.row(vec![
+            "refreshed pages".into(),
+            e.refreshed_pages.to_string(),
+        ]);
+        t.row(vec![
+            "level migrations".into(),
+            e.level_migrations.to_string(),
+        ]);
+        t.row(vec!["leveled pages".into(), e.leveled_pages.to_string()]);
+        t.row(vec![
+            "refresh overruns".into(),
+            e.refresh_overruns.to_string(),
+        ]);
+        t.row(vec!["capacity steps".into(), e.capacity_steps.to_string()]);
+        t.row(vec!["writes refused".into(), e.writes_refused.to_string()]);
+        t.row(vec!["disturb reads".into(), e.disturb_reads.to_string()]);
+        t.row(vec![
+            "disturb-triggered errors".into(),
+            e.disturb_triggered_errors.to_string(),
+        ]);
+        t.row(vec![
+            "wear min/mean/max".into(),
+            format!("{:.6}/{:.6}/{:.6}", e.wear_min, e.wear_mean, e.wear_max),
+        ]);
+        t.row(vec!["wear spread".into(), format!("{:.2}", e.wear_spread)]);
     }
     t.print("run result");
 }
