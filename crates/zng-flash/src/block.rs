@@ -15,6 +15,12 @@ pub enum BlockKind {
     /// A RAIN parity block: holds per-stripe XOR pages, never user data.
     /// Recovery scans skip parity pages when resolving logical winners.
     Parity,
+    /// A checkpoint/journal block: holds serialised mapping snapshots and
+    /// write-ahead journal pages in a reserved key namespace, never user
+    /// data. Like parity, checkpoint pages never win a logical page
+    /// during recovery; unlike parity, their torn-page semantics are the
+    /// recovery fast path's validity signal.
+    Checkpoint,
 }
 
 /// Out-of-band (OOB) metadata written atomically with a page's data.

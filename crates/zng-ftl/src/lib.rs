@@ -24,6 +24,7 @@ pub(crate) const MAX_WRITE_REDRIVES: u32 = 64;
 pub(crate) const GC_READ_ATTEMPTS: u32 = 4;
 
 pub mod allocator;
+pub mod checkpoint;
 pub mod engine;
 pub mod integrity;
 pub mod pacing;
@@ -34,6 +35,10 @@ pub mod refresh;
 pub mod zngftl;
 
 pub use allocator::{BlockAllocator, WearPolicy};
+pub use checkpoint::{
+    CheckpointConfig, CheckpointCounters, CKPT_ENTRIES_PER_PAGE, CKPT_LOAD_CYCLES_PER_PAGE,
+    JOURNAL_RECORDS_PER_PAGE, JOURNAL_REPLAY_CYCLES_PER_RECORD,
+};
 pub use engine::SsdEngine;
 pub use integrity::IntegrityCounters;
 pub use pacing::GcPacing;

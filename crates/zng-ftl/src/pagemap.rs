@@ -53,6 +53,12 @@ pub struct PageMapFtl {
     /// baseline behaviour bit-for-bit, including the hard
     /// [`Error::DeviceWornOut`] cliff.
     endurance: Option<EnduranceState>,
+    /// Mapping checkpoints + delta journal for bounded-time recovery;
+    /// `None` (the default) preserves baseline behaviour bit-for-bit.
+    checkpoint: Option<crate::checkpoint::CheckpointState>,
+    /// Stale checkpoint blocks a recovery deferred; the next checkpoint
+    /// write erases them off the restore critical path.
+    stale_ckpt: Vec<u64>,
 }
 
 impl PageMapFtl {
@@ -77,6 +83,8 @@ impl PageMapFtl {
             integrity: false,
             icounters: IntegrityCounters::default(),
             endurance: None,
+            checkpoint: None,
+            stale_ckpt: Vec::new(),
         }
     }
 
@@ -128,6 +136,87 @@ impl PageMapFtl {
         self.icounters
     }
 
+    /// Installs (or clears) mapping checkpoints + the delta journal.
+    /// `None` (or a disabled config) keeps the baseline bit-for-bit:
+    /// no checkpoint blocks are allocated and recovery always runs the
+    /// full OOB scan.
+    pub fn set_checkpointing(&mut self, config: Option<crate::checkpoint::CheckpointConfig>) {
+        self.checkpoint = config
+            .filter(|c| c.enabled())
+            .map(crate::checkpoint::CheckpointState::new);
+    }
+
+    /// Whether checkpointing is enabled.
+    pub fn checkpoint_enabled(&self) -> bool {
+        self.checkpoint.is_some()
+    }
+
+    /// Event counters of the checkpoint subsystem, when enabled.
+    pub fn checkpoint_counters(&self) -> Option<crate::checkpoint::CheckpointCounters> {
+        self.checkpoint.as_ref().map(|ck| ck.counters())
+    }
+
+    /// Flushes pending journal records at the end of a mutating entry
+    /// point, so every critical (touched-block) record is on media before
+    /// the operation acknowledges. A no-op without checkpointing or with
+    /// nothing flush-worthy pending.
+    fn ckpt_sync(&mut self, now: Cycle, device: &mut FlashDevice) {
+        let Some(mut ck) = self.checkpoint.take() else {
+            return;
+        };
+        if ck.flush_ready() {
+            let mut io = crate::checkpoint::CkptIo {
+                device,
+                allocator: &mut self.allocator,
+                rain: self.rain.as_mut(),
+                blocks_retired: &mut self.blocks_retired,
+            };
+            crate::checkpoint::flush_journal(&mut ck, &mut io, now);
+        } else {
+            ck.tick(now);
+        }
+        self.checkpoint = Some(ck);
+    }
+
+    /// One background checkpoint write, run by the SSD engine between
+    /// demand requests: flush the journal tail, serialise the mapping
+    /// image into checkpoint blocks, commit, and erase the superseded
+    /// epoch. Media failures abort the write (the previous epoch stays in
+    /// force) rather than surfacing — the checkpoint is an accelerator,
+    /// never a correctness dependency. Returns when the foreground may
+    /// resume, capped by the configured pacing budget.
+    pub fn checkpoint_step(&mut self, now: Cycle, device: &mut FlashDevice) -> Cycle {
+        let Some(mut ck) = self.checkpoint.take() else {
+            return now;
+        };
+        let done = {
+            let mut io = crate::checkpoint::CkptIo {
+                device,
+                allocator: &mut self.allocator,
+                rain: self.rain.as_mut(),
+                blocks_retired: &mut self.blocks_retired,
+            };
+            crate::checkpoint::write_checkpoint(
+                &mut ck,
+                &mut io,
+                now,
+                std::mem::take(&mut self.stale_ckpt),
+            )
+        };
+        let resumed = match ck.config().pacing {
+            Some(p) => {
+                let deadline = p.deadline(now);
+                if done > deadline {
+                    ck.bump_overrun();
+                }
+                done.min(deadline)
+            }
+            None => done,
+        };
+        self.checkpoint = Some(ck);
+        resumed
+    }
+
     /// Current flash location of `lpn`, if mapped.
     pub fn translate(&self, lpn: u64) -> Option<FlashAddr> {
         self.map.get(&lpn).copied()
@@ -158,12 +247,22 @@ impl PageMapFtl {
             match self.rain.as_mut() {
                 Some(rain) => match rain.classify(device, idx)? {
                     Claim::Keep => break idx,
-                    Claim::Parity => {}
+                    // The superblock's reserved parity member: RAIN keeps
+                    // it, the FTL allocates again. Parity programs land
+                    // here later, so the fast-path rescan must cover it.
+                    Claim::Parity => {
+                        if let Some(ck) = self.checkpoint.as_mut() {
+                            ck.note_touched(idx);
+                        }
+                    }
                     Claim::Fenced => self.allocator.retire(idx),
                 },
                 None => break idx,
             }
         };
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_touched(idx);
+        }
         let addr = device.geometry().block_for_index(idx)?;
         device.block_mut(addr)?.set_kind(BlockKind::Data);
         Ok(addr)
@@ -204,6 +303,9 @@ impl PageMapFtl {
             .entry(idx)
             .or_insert_with(|| vec![None; device.geometry().pages_per_block]);
         pages[addr.page as usize] = Some(lpn);
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_remap(lpn);
+        }
     }
 
     /// Seals the active block that just failed a program so GC salvages
@@ -228,8 +330,12 @@ impl PageMapFtl {
     ///
     /// Propagates allocation and flash-protocol errors.
     pub fn write_page(&mut self, now: Cycle, device: &mut FlashDevice, lpn: u64) -> Result<Cycle> {
-        self.write_page_inner(now, device, lpn)
-            .map_err(|e| self.degrade_worn(e))
+        let r = self
+            .write_page_inner(now, device, lpn)
+            .map_err(|e| self.degrade_worn(e));
+        let t = *r.as_ref().unwrap_or(&now);
+        self.ckpt_sync(t, device);
+        r
     }
 
     fn write_page_inner(
@@ -277,6 +383,7 @@ impl PageMapFtl {
             rain.note_preload(device, block)?;
         }
         self.record_mapping(device, lpn, FlashAddr::new(block, page));
+        self.ckpt_sync(Cycle::ZERO, device);
         Ok(())
     }
 
@@ -302,7 +409,12 @@ impl PageMapFtl {
         }
         let addr = *self.map.get(&lpn).expect("lpn just installed above");
         let done = self.retried_read(now, device, addr, lpn, transfer_bytes)?;
-        self.verify_read(done, device, addr, lpn, transfer_bytes)
+        let r = self.verify_read(done, device, addr, lpn, transfer_bytes);
+        // The read path mutates media too (install preloads, integrity
+        // heals): flush any critical journal records before acking.
+        let t = *r.as_ref().unwrap_or(&done);
+        self.ckpt_sync(t, device);
+        r
     }
 
     /// Validates the delivered payload against its OOB checksum and
@@ -404,6 +516,8 @@ impl PageMapFtl {
         self.gc_active = true;
         let r = self.gc_inner(now, device);
         self.gc_active = false;
+        let t = *r.as_ref().unwrap_or(&now);
+        self.ckpt_sync(t, device);
         r
     }
 
@@ -488,6 +602,9 @@ impl PageMapFtl {
                 self.allocator.release(victim_idx, wear);
             }
         }
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_touched(victim_idx);
+        }
         Ok(erase.done)
     }
 
@@ -510,7 +627,34 @@ impl PageMapFtl {
         device: &mut FlashDevice,
     ) -> Result<crate::recovery::RecoveryReport> {
         use crate::recovery;
-        let scan = recovery::scan_device(device);
+        // The checkpoint fast path: load the newest verified checkpoint,
+        // replay the journal tail, and re-scan only the blocks touched
+        // since the stamp. Any verification failure falls back to the
+        // full scan below — the two paths feed the identical rebuild, so
+        // the fast path can only save time, never change the outcome.
+        let planned = self
+            .checkpoint
+            .as_ref()
+            .and_then(|ck| ck.plan_fast_scan(device));
+        let fast_path = planned.is_some();
+        let fallback = self.checkpoint.is_some() && !fast_path;
+        let (scan, journal_replayed, blocks_rescanned, cycles_saved) = match planned {
+            Some(f) => {
+                #[cfg(debug_assertions)]
+                debug_assert_eq!(
+                    f.scan.blocks,
+                    recovery::scan_device(device).blocks,
+                    "fast-path image must equal a full scan of the same media"
+                );
+                (
+                    f.scan,
+                    f.journal_replayed,
+                    f.blocks_rescanned,
+                    f.cycles_saved,
+                )
+            }
+            None => (recovery::scan_device(device), 0, 0, Cycle::ZERO),
+        };
         let winners = recovery::resolve_winners(&scan.blocks);
         let candidates: u64 = scan.blocks.iter().map(|b| b.entries.len() as u64).sum();
         let geo = *device.geometry();
@@ -558,20 +702,21 @@ impl PageMapFtl {
             }
         }
 
-        let reclaim = recovery::reclaim_dead(device, dead, now + scan.base_cycles)?;
+        let pool = recovery::rebuild_free_pool(
+            device,
+            &scan.blocks,
+            dead,
+            referenced,
+            now + scan.base_cycles,
+            self.allocator.policy(),
+            self.allocator.retired(),
+        )?;
         // Only retirements discovered by this recovery count as new; the
         // rest were already charged when they happened.
-        self.blocks_retired += reclaim.retired.saturating_sub(self.allocator.retired());
-        let next_fresh = scan.blocks.last().map(|b| b.idx + 1).unwrap_or(0);
-        self.allocator = BlockAllocator::rebuild(
-            geo.total_blocks() as u64,
-            self.allocator.policy(),
-            next_fresh,
-            referenced,
-            reclaim.retired,
-            reclaim.recycled,
-        );
-        let done = reclaim.done.max(now + scan.base_cycles);
+        self.blocks_retired += pool.retired_delta;
+        self.allocator = pool.allocator;
+        self.stale_ckpt = pool.deferred;
+        let done = pool.done;
         if let Some(rain) = self.rain.as_mut() {
             // Open-stripe parity lived in SRAM (lost with power) and
             // flushed parity blocks were reclaimed by the scan just now:
@@ -582,13 +727,21 @@ impl PageMapFtl {
             st.reset_after_recovery();
         }
         self.icounters.quarantined += scan.corrupt;
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.reset_after_recovery();
+        }
         Ok(recovery::RecoveryReport {
             pages_scanned: scan.pages_scanned,
             torn_discarded: scan.torn,
             stale_dropped: candidates - winners.len() as u64,
-            blocks_erased: reclaim.erased,
+            blocks_erased: pool.blocks_erased,
             corrupt_quarantined: scan.corrupt,
             scan_cycles: done - now,
+            fast_path,
+            fallback,
+            journal_replayed,
+            blocks_rescanned,
+            cycles_saved,
         })
     }
 
@@ -721,10 +874,14 @@ impl PageMapFtl {
             if let Some(rain) = self.rain.as_mut() {
                 rain.fenced_blocks += 1;
             }
+            if let Some(ck) = self.checkpoint.as_mut() {
+                ck.note_touched(idx);
+            }
         }
         if let Some(rain) = self.rain.as_mut() {
             rain.rebuild_pages += pages;
         }
+        self.ckpt_sync(t, device);
         Ok((t, pages))
     }
 
@@ -800,13 +957,15 @@ impl PageMapFtl {
             }
             self.rain.as_mut().expect("checked above").scrub_rewrites += 1;
         }
-        Ok(match config.pacing {
+        let capped = match config.pacing {
             Some(p) if t > p.deadline(now) => {
                 self.rain.as_mut().expect("checked above").scrub_overruns += 1;
                 p.deadline(now)
             }
             _ => t,
-        })
+        };
+        self.ckpt_sync(t, device);
+        Ok(capped)
     }
 
     /// Converts an end-of-life allocator failure into the graceful
@@ -862,7 +1021,9 @@ impl PageMapFtl {
             };
             let st = self.endurance.as_mut().expect("checked above");
             st.note_refresh(reason, pages);
-            return Ok(st.pace(now, done));
+            let paced = st.pace(now, done);
+            self.ckpt_sync(done, device);
+            return Ok(paced);
         }
         if self
             .endurance
@@ -875,8 +1036,13 @@ impl PageMapFtl {
                 Err(Error::DeviceWornOut { .. }) => now,
                 Err(e) => return Err(e),
             };
-            let st = self.endurance.as_mut().expect("checked above");
-            return Ok(st.pace(now, done));
+            let paced = self
+                .endurance
+                .as_mut()
+                .expect("checked above")
+                .pace(now, done);
+            self.ckpt_sync(done, device);
+            return Ok(paced);
         }
         Ok(now)
     }
@@ -1017,6 +1183,9 @@ impl PageMapFtl {
                 let wear = b.map(|blk| blk.erase_count()).unwrap_or(0);
                 self.allocator.release(victim_idx, wear);
             }
+        }
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_touched(victim_idx);
         }
         if let Some(d) = dest {
             // The dedicated destination is sealed (partial or full): GC
@@ -1286,6 +1455,159 @@ mod tests {
         let second: Vec<_> = (0..64u64).map(|l| f.translate(l)).collect();
         assert_eq!(first, second);
         assert_eq!(f.free_blocks(), free);
+    }
+
+    fn ckpt_cfg(journal_cap: u64) -> crate::checkpoint::CheckpointConfig {
+        crate::checkpoint::CheckpointConfig {
+            every_ops: 100,
+            journal_cap,
+            pacing: None,
+        }
+    }
+
+    /// The first checkpoint-tagged page on media (for fault injection).
+    fn first_checkpoint_page(d: &FlashDevice) -> zng_types::addr::FlashAddr {
+        let total = d.geometry().total_blocks() as u64;
+        for idx in 0..total {
+            let addr = d.geometry().block_for_index(idx).unwrap();
+            let b = d.block(addr).unwrap();
+            if b.kind() == zng_flash::BlockKind::Checkpoint && b.programmed_pages() > 0 {
+                return zng_types::addr::FlashAddr::new(addr, 0);
+            }
+        }
+        panic!("no checkpoint block written yet");
+    }
+
+    #[test]
+    fn checkpointed_recovery_takes_the_fast_path_and_matches_full_scan() {
+        let (mut d, mut f) = setup();
+        f.set_checkpointing(Some(ckpt_cfg(0)));
+        let mut t = Cycle(0);
+        for i in 0..400u64 {
+            t = f.write_page(t, &mut d, i % 64).unwrap();
+        }
+        t = f.checkpoint_step(t, &mut d);
+        // Enough post-checkpoint churn to flush at least one journal
+        // page (remaps batch up; a full batch forces a flush).
+        for i in 0..200u64 {
+            t = f.write_page(t, &mut d, i % 16).unwrap();
+        }
+        // Clone the crashed state: one twin recovers fast, the other is
+        // stripped of its checkpoint and must full-scan the same media.
+        d.power_loss(t);
+        let (mut d2, mut f2) = (d.clone(), f.clone());
+        f2.set_checkpointing(None);
+        let rep = f.recover(t, &mut d).unwrap();
+        assert!(rep.fast_path && !rep.fallback, "{rep:?}");
+        assert!(rep.journal_replayed > 0, "{rep:?}");
+        assert!(rep.blocks_rescanned > 0, "{rep:?}");
+        let full = f2.recover(t, &mut d2).unwrap();
+        assert!(!full.fast_path && !full.fallback, "{full:?}");
+        let a: Vec<_> = (0..64u64).map(|l| f.translate(l)).collect();
+        let b: Vec<_> = (0..64u64).map(|l| f2.translate(l)).collect();
+        assert_eq!(a, b, "fast path rebuilds the exact full-scan mapping");
+        assert_eq!(f.free_blocks(), f2.free_blocks());
+    }
+
+    #[test]
+    fn crash_before_first_checkpoint_full_scans() {
+        let (mut d, mut f) = setup();
+        f.set_checkpointing(Some(ckpt_cfg(0)));
+        let mut t = Cycle(0);
+        for i in 0..100u64 {
+            t = f.write_page(t, &mut d, i % 32).unwrap();
+        }
+        d.power_loss(t);
+        let rep = f.recover(t, &mut d).unwrap();
+        assert!(!rep.fast_path && rep.fallback, "{rep:?}");
+        for l in 0..32u64 {
+            assert!(f.translate(l).is_some());
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_page_forces_clean_fallback() {
+        let (mut d, mut f) = setup();
+        f.set_checkpointing(Some(ckpt_cfg(0)));
+        let mut t = Cycle(0);
+        for i in 0..200u64 {
+            t = f.write_page(t, &mut d, i % 64).unwrap();
+        }
+        t = f.checkpoint_step(t, &mut d);
+        let before: Vec<_> = (0..64u64).map(|l| f.translate(l)).collect();
+        d.mark_page_corrupt(first_checkpoint_page(&d)).unwrap();
+        d.power_loss(t);
+        let rep = f.recover(t, &mut d).unwrap();
+        assert!(!rep.fast_path && rep.fallback, "{rep:?}");
+        let after: Vec<_> = (0..64u64).map(|l| f.translate(l)).collect();
+        assert_eq!(before, after, "the fallback still rebuilds everything");
+    }
+
+    #[test]
+    fn dead_die_under_checkpoint_forces_fallback() {
+        let (mut d, mut f) = setup();
+        f.set_checkpointing(Some(ckpt_cfg(0)));
+        let mut t = Cycle(0);
+        for i in 0..200u64 {
+            t = f.write_page(t, &mut d, i % 64).unwrap();
+        }
+        t = f.checkpoint_step(t, &mut d);
+        let ck = first_checkpoint_page(&d);
+        d.fail_die(ck.block.channel, ck.block.die);
+        d.power_loss(t);
+        let rep = f.recover(t, &mut d).unwrap();
+        assert!(!rep.fast_path && rep.fallback, "{rep:?}");
+    }
+
+    #[test]
+    fn journal_overflow_forces_fallback() {
+        let (mut d, mut f) = setup();
+        f.set_checkpointing(Some(ckpt_cfg(8)));
+        let mut t = Cycle(0);
+        for i in 0..100u64 {
+            t = f.write_page(t, &mut d, i % 32).unwrap();
+        }
+        t = f.checkpoint_step(t, &mut d);
+        // Far more map mutations than the cap: the journal overflows and
+        // the epoch stops being trustworthy.
+        for i in 0..200u64 {
+            t = f.write_page(t, &mut d, i % 32).unwrap();
+        }
+        let c = f.checkpoint_counters().unwrap();
+        assert!(c.journal_overflows > 0, "{c:?}");
+        d.power_loss(t);
+        let rep = f.recover(t, &mut d).unwrap();
+        assert!(!rep.fast_path && rep.fallback, "{rep:?}");
+        for l in 0..32u64 {
+            assert!(f.translate(l).is_some());
+        }
+    }
+
+    #[test]
+    fn recovery_resets_the_epoch_and_the_next_checkpoint_restores_the_fast_path() {
+        let (mut d, mut f) = setup();
+        f.set_checkpointing(Some(ckpt_cfg(0)));
+        let mut t = Cycle(0);
+        for i in 0..200u64 {
+            t = f.write_page(t, &mut d, i % 64).unwrap();
+        }
+        t = f.checkpoint_step(t, &mut d);
+        d.power_loss(t);
+        let rep = f.recover(t, &mut d).unwrap();
+        assert!(rep.fast_path, "{rep:?}");
+        // The epoch died with the crash: a second cut right away must
+        // full-scan, but a fresh checkpoint re-arms the fast path.
+        d.power_loss(t + rep.scan_cycles);
+        let rep2 = f.recover(t + rep.scan_cycles, &mut d).unwrap();
+        assert!(!rep2.fast_path && rep2.fallback, "{rep2:?}");
+        let mut t2 = t + rep.scan_cycles + rep2.scan_cycles;
+        for i in 0..50u64 {
+            t2 = f.write_page(t2, &mut d, i % 16).unwrap();
+        }
+        t2 = f.checkpoint_step(t2, &mut d);
+        d.power_loss(t2);
+        let rep3 = f.recover(t2, &mut d).unwrap();
+        assert!(rep3.fast_path, "{rep3:?}");
     }
 
     #[test]

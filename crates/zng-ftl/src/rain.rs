@@ -397,7 +397,11 @@ impl RainState {
                 self.scrub_cursor = next_block;
                 continue;
             };
-            if b.kind() == BlockKind::Parity || b.is_failed() || page >= b.programmed_pages() {
+            if b.kind() == BlockKind::Parity
+                || b.kind() == BlockKind::Checkpoint
+                || b.is_failed()
+                || page >= b.programmed_pages()
+            {
                 self.scrub_cursor = next_block;
                 continue;
             }

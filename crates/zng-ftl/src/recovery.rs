@@ -15,6 +15,8 @@ use std::collections::BTreeMap;
 use zng_flash::{BlockKind, FlashDevice, OobMeta, PageOob};
 use zng_types::{BlockAddr, Cycle, FlashAddr, Result};
 
+use crate::allocator::{BlockAllocator, WearPolicy};
+
 /// Modelled cost of sensing one programmed page's OOB area during the
 /// recovery scan. The spare bytes are a tiny fraction of the 4 KB page,
 /// so an OOB sense is far cheaper than the 3 µs full-page read; planes
@@ -40,10 +42,30 @@ pub struct RecoveryReport {
     /// Modelled duration of the scan plus dead-block reclaim, in device
     /// cycles; the platform blocks resumed apps for this long.
     pub scan_cycles: Cycle,
+    /// Whether the checkpoint fast path rebuilt the state (checkpoint
+    /// load + journal replay + touched-blocks rescan) instead of the
+    /// full-device OOB scan.
+    pub fast_path: bool,
+    /// Whether checkpointing was enabled but the fast path had to fall
+    /// back to the full scan (torn/missing checkpoint, torn journal
+    /// page, or a journal overflow).
+    pub fallback: bool,
+    /// Journal records replayed by the fast path.
+    pub journal_replayed: u64,
+    /// Blocks the fast path re-scanned from media (those touched since
+    /// the checkpoint stamp, plus the checkpoint blocks themselves).
+    pub blocks_rescanned: u64,
+    /// Scan cycles the fast path saved versus the full-device scan it
+    /// replaced (zero on the full-scan path).
+    pub cycles_saved: Cycle,
 }
 
 /// One touched block's surviving media state.
-#[derive(Debug)]
+///
+/// `Clone + PartialEq` so a checkpoint can hold a serialised image of the
+/// block and debug builds can assert the fast-path rebuild saw exactly
+/// what a full scan would have.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct ScannedBlock {
     /// Device-wide block index (the allocator's currency).
     pub idx: u64,
@@ -56,6 +78,10 @@ pub(crate) struct ScannedBlock {
     /// Sticky failure flag (survives the power loss).
     pub failed: bool,
     pub full: bool,
+    /// Torn pages found in this block.
+    pub torn: u32,
+    /// Written-but-corrupt pages quarantined in this block.
+    pub corrupt: u32,
 }
 
 impl ScannedBlock {
@@ -80,56 +106,82 @@ pub(crate) struct Scan {
 /// Scans the OOB area of every block ever touched. Pure inspection: no
 /// media mutation, deterministic (ascending block index).
 pub(crate) fn scan_device(device: &FlashDevice) -> Scan {
-    let geo = device.geometry();
-    let mut blocks = Vec::new();
+    let total = device.geometry().total_blocks() as u64;
+    scan_blocks(device, 0..total)
+}
+
+/// Reads one block's surviving media state, or `None` when its die is
+/// dead (a dead die refuses array access: its OOB is as unreadable as
+/// its payload, so its blocks are invisible to the scan and are never
+/// reclaimed or chosen as winners).
+pub(crate) fn image_block(device: &FlashDevice, idx: u64) -> Option<ScannedBlock> {
+    let addr = device.geometry().block_for_index(idx).ok()?;
+    if device.die_is_dead(addr.channel, addr.die) {
+        return None;
+    }
+    let b = device.block(addr)?;
+    let programmed = b.programmed_pages();
+    let mut entries = Vec::new();
+    let mut torn = 0u32;
+    let mut corrupt = 0u32;
+    for page in 0..programmed {
+        match b.oob(page) {
+            // A record whose payload checksum fails is quarantined
+            // exactly like a torn page: it must never become a
+            // winner, or recovery would resurrect corrupted data.
+            PageOob::Written(_) if b.is_corrupt(page) => corrupt += 1,
+            PageOob::Written(m) => entries.push((page, m)),
+            PageOob::Torn => torn += 1,
+            PageOob::Blank => {}
+        }
+    }
+    Some(ScannedBlock {
+        idx,
+        addr,
+        entries,
+        programmed,
+        erase_count: b.erase_count(),
+        failed: b.is_failed(),
+        full: b.is_full(),
+        torn,
+        corrupt,
+    })
+}
+
+/// The busiest plane's programmed-page chain across `blocks` — the
+/// scan's wall time in page units, since planes scan in parallel.
+pub(crate) fn busiest_plane_pages(blocks: &[ScannedBlock]) -> u64 {
     let mut per_plane: BTreeMap<(usize, usize, usize), u64> = BTreeMap::new();
+    for b in blocks {
+        *per_plane
+            .entry((
+                b.addr.channel.index(),
+                b.addr.die.index(),
+                b.addr.plane.index(),
+            ))
+            .or_insert(0) += b.programmed as u64;
+    }
+    per_plane.values().copied().max().unwrap_or(0)
+}
+
+/// Scans the OOB area of the given block indices (ascending order is the
+/// caller's responsibility for determinism; a `BTreeSet` or a range both
+/// qualify). The subset form is the checkpoint fast path's rescan.
+pub(crate) fn scan_blocks(device: &FlashDevice, indices: impl IntoIterator<Item = u64>) -> Scan {
+    let mut blocks = Vec::new();
     let mut pages_scanned = 0u64;
     let mut torn = 0u64;
     let mut corrupt = 0u64;
-    for idx in 0..geo.total_blocks() as u64 {
-        let addr = match geo.block_for_index(idx) {
-            Ok(a) => a,
-            Err(_) => continue,
-        };
-        // A dead die refuses array access: its OOB is as unreadable as
-        // its payload, so its blocks are invisible to the scan (and are
-        // never reclaimed or chosen as winners).
-        if device.die_is_dead(addr.channel, addr.die) {
-            continue;
-        }
-        let Some(b) = device.block(addr) else {
+    for idx in indices {
+        let Some(blk) = image_block(device, idx) else {
             continue;
         };
-        let programmed = b.programmed_pages();
-        let mut entries = Vec::new();
-        let mut block_torn = 0u64;
-        for page in 0..programmed {
-            match b.oob(page) {
-                // A record whose payload checksum fails is quarantined
-                // exactly like a torn page: it must never become a
-                // winner, or recovery would resurrect corrupted data.
-                PageOob::Written(_) if b.is_corrupt(page) => corrupt += 1,
-                PageOob::Written(m) => entries.push((page, m)),
-                PageOob::Torn => block_torn += 1,
-                PageOob::Blank => {}
-            }
-        }
-        pages_scanned += programmed as u64;
-        torn += block_torn;
-        *per_plane
-            .entry((addr.channel.index(), addr.die.index(), addr.plane.index()))
-            .or_insert(0) += programmed as u64;
-        blocks.push(ScannedBlock {
-            idx,
-            addr,
-            entries,
-            programmed,
-            erase_count: b.erase_count(),
-            failed: b.is_failed(),
-            full: b.is_full(),
-        });
+        pages_scanned += blk.programmed as u64;
+        torn += blk.torn as u64;
+        corrupt += blk.corrupt as u64;
+        blocks.push(blk);
     }
-    let busiest = per_plane.values().copied().max().unwrap_or(0);
+    let busiest = busiest_plane_pages(&blocks);
     Scan {
         blocks,
         pages_scanned,
@@ -146,10 +198,11 @@ pub(crate) fn resolve_winners(blocks: &[ScannedBlock]) -> BTreeMap<u64, (u64, Fl
     let mut winners: BTreeMap<u64, (u64, FlashAddr)> = BTreeMap::new();
     for blk in blocks {
         for &(page, m) in &blk.entries {
-            if m.tag == BlockKind::Parity {
-                // RAIN parity pages carry synthetic keys outside the
-                // logical space; they protect stripes but never name a
-                // logical page.
+            if m.tag == BlockKind::Parity || m.tag == BlockKind::Checkpoint {
+                // RAIN parity and checkpoint/journal pages carry
+                // synthetic keys outside the logical space; they protect
+                // stripes or persist metadata but never name a logical
+                // page.
                 continue;
             }
             let cand = (m.seq, FlashAddr::new(blk.addr, page));
@@ -175,6 +228,9 @@ pub(crate) struct Reclaim {
     pub retired: u64,
     /// Erase operations actually performed.
     pub erased: u64,
+    /// Stale checkpoint blocks whose erase is deferred to the next
+    /// checkpoint tick (see [`reclaim_dead`]); they stay allocated.
+    pub deferred: Vec<u64>,
     /// When the slowest reclaim erase completes.
     pub done: Cycle,
 }
@@ -183,6 +239,15 @@ pub(crate) struct Reclaim {
 /// trusted again; blocks with no programmed pages are already clean and
 /// skip the erase. Erases start at `start` (after the OOB scan) and run
 /// in parallel across planes — each reserves its plane's array resource.
+///
+/// Checkpoint-namespace blocks are the exception: a recovery supersedes
+/// every checkpoint epoch, so the blocks holding the old epoch are dead,
+/// but erasing them here would serialise several ~ms erases per plane
+/// onto the critical restore path. They are *deferred* instead — left
+/// allocated (never handed out) and queued for the next checkpoint
+/// write, which already erases superseded epochs in the background
+/// ([`crate::checkpoint`]). Recovery only pays for erases that data
+/// blocks actually need.
 pub(crate) fn reclaim_dead<'a>(
     device: &mut FlashDevice,
     dead: impl IntoIterator<Item = &'a ScannedBlock>,
@@ -192,6 +257,7 @@ pub(crate) fn reclaim_dead<'a>(
         recycled: Vec::new(),
         retired: 0,
         erased: 0,
+        deferred: Vec::new(),
         done: start,
     };
     for blk in dead {
@@ -201,6 +267,16 @@ pub(crate) fn reclaim_dead<'a>(
         }
         if blk.programmed == 0 {
             out.recycled.push((blk.idx, blk.erase_count));
+            continue;
+        }
+        // The volatile role kind is lost with power; the durable marker
+        // is the OOB tag each checkpoint page carries.
+        if blk
+            .entries
+            .iter()
+            .any(|(_, m)| m.tag == BlockKind::Checkpoint)
+        {
+            out.deferred.push(blk.idx);
             continue;
         }
         let rep = device.erase(start, blk.addr)?;
@@ -217,6 +293,60 @@ pub(crate) fn reclaim_dead<'a>(
         }
     }
     Ok(out)
+}
+
+/// The free pool and wear accounting a recovery rebuilt, shared by both
+/// FTLs' post-scan plumbing.
+pub(crate) struct RebuiltPool {
+    /// The allocator rebuilt from the scan (recycled pool, retirements,
+    /// fresh suffix).
+    pub allocator: BlockAllocator,
+    /// Retirements discovered by *this* recovery (the rest were already
+    /// charged when they happened).
+    pub retired_delta: u64,
+    /// Erase operations the dead-block reclaim performed.
+    pub blocks_erased: u64,
+    /// Stale checkpoint blocks left for the next checkpoint tick to
+    /// erase (still counted allocated in the rebuilt allocator).
+    pub deferred: Vec<u64>,
+    /// When the scan plus the slowest reclaim erase completes.
+    pub done: Cycle,
+}
+
+/// The post-scan rebuild tail shared by [`crate::ZngFtl::recover`] and
+/// [`crate::PageMapFtl::recover`]: reclaim the dead (unreferenced)
+/// blocks, then rebuild the block allocator from what the scan and the
+/// reclaim learned. `start` is when the scan finishes (`now +
+/// base_cycles`); `prior_retired` is the allocator's pre-crash
+/// retirement count, so only newly discovered retirements are charged.
+pub(crate) fn rebuild_free_pool<'a>(
+    device: &mut FlashDevice,
+    blocks: &[ScannedBlock],
+    dead: impl IntoIterator<Item = &'a ScannedBlock>,
+    referenced: u64,
+    start: Cycle,
+    policy: WearPolicy,
+    prior_retired: u64,
+) -> Result<RebuiltPool> {
+    let reclaim = reclaim_dead(device, dead, start)?;
+    let next_fresh = blocks.last().map(|b| b.idx + 1).unwrap_or(0);
+    // Deferred checkpoint blocks are still occupied until the next
+    // checkpoint tick erases them, so they count as allocated.
+    let allocator = BlockAllocator::rebuild(
+        device.geometry().total_blocks() as u64,
+        policy,
+        next_fresh,
+        referenced + reclaim.deferred.len() as u64,
+        reclaim.retired,
+        reclaim.recycled,
+    );
+    Ok(RebuiltPool {
+        allocator,
+        retired_delta: reclaim.retired.saturating_sub(prior_retired),
+        blocks_erased: reclaim.erased,
+        deferred: reclaim.deferred,
+        done: reclaim.done.max(start),
+    })
 }
 
 #[cfg(test)]

@@ -156,6 +156,7 @@ impl EnduranceState {
                 continue;
             };
             if b.kind() == BlockKind::Parity
+                || b.kind() == BlockKind::Checkpoint
                 || b.is_failed()
                 || b.programmed_pages() == 0
                 || b.valid_pages() == 0

@@ -119,6 +119,12 @@ pub struct ZngFtl {
     /// baseline behaviour bit-for-bit, including the hard
     /// [`Error::DeviceWornOut`] cliff.
     endurance: Option<EnduranceState>,
+    /// Mapping checkpoints + delta journal for bounded-time recovery;
+    /// `None` (the default) preserves baseline behaviour bit-for-bit.
+    checkpoint: Option<crate::checkpoint::CheckpointState>,
+    /// Stale checkpoint blocks a recovery deferred; the next checkpoint
+    /// write erases them off the restore critical path.
+    stale_ckpt: Vec<u64>,
 }
 
 impl ZngFtl {
@@ -173,6 +179,8 @@ impl ZngFtl {
             integrity: false,
             icounters: IntegrityCounters::default(),
             endurance: None,
+            checkpoint: None,
+            stale_ckpt: Vec::new(),
         }
     }
 
@@ -237,6 +245,87 @@ impl ZngFtl {
         self.pacing
     }
 
+    /// Installs (or clears) mapping checkpoints + the delta journal.
+    /// `None` (or a disabled config) keeps the baseline bit-for-bit:
+    /// no checkpoint blocks are allocated and recovery always runs the
+    /// full OOB scan.
+    pub fn set_checkpointing(&mut self, config: Option<crate::checkpoint::CheckpointConfig>) {
+        self.checkpoint = config
+            .filter(|c| c.enabled())
+            .map(crate::checkpoint::CheckpointState::new);
+    }
+
+    /// Whether checkpointing is enabled.
+    pub fn checkpoint_enabled(&self) -> bool {
+        self.checkpoint.is_some()
+    }
+
+    /// Event counters of the checkpoint subsystem, when enabled.
+    pub fn checkpoint_counters(&self) -> Option<crate::checkpoint::CheckpointCounters> {
+        self.checkpoint.as_ref().map(|ck| ck.counters())
+    }
+
+    /// Flushes pending journal records at the end of a mutating entry
+    /// point, so every critical (touched-block) record is on media before
+    /// the operation acknowledges. A no-op without checkpointing or with
+    /// nothing flush-worthy pending.
+    fn ckpt_sync(&mut self, now: Cycle, device: &mut FlashDevice) {
+        let Some(mut ck) = self.checkpoint.take() else {
+            return;
+        };
+        if ck.flush_ready() {
+            let mut io = crate::checkpoint::CkptIo {
+                device,
+                allocator: &mut self.allocator,
+                rain: self.rain.as_mut(),
+                blocks_retired: &mut self.blocks_retired,
+            };
+            crate::checkpoint::flush_journal(&mut ck, &mut io, now);
+        } else {
+            ck.tick(now);
+        }
+        self.checkpoint = Some(ck);
+    }
+
+    /// One background checkpoint write, run by the GPU helper thread
+    /// between demand requests: flush the journal tail, serialise the
+    /// mapping image into checkpoint blocks, commit, and erase the
+    /// superseded epoch. Media failures abort the write (the previous
+    /// epoch stays in force) rather than surfacing — the checkpoint is an
+    /// accelerator, never a correctness dependency. Returns when the
+    /// foreground may resume, capped by the configured pacing budget.
+    pub fn checkpoint_step(&mut self, now: Cycle, device: &mut FlashDevice) -> Cycle {
+        let Some(mut ck) = self.checkpoint.take() else {
+            return now;
+        };
+        let done = {
+            let mut io = crate::checkpoint::CkptIo {
+                device,
+                allocator: &mut self.allocator,
+                rain: self.rain.as_mut(),
+                blocks_retired: &mut self.blocks_retired,
+            };
+            crate::checkpoint::write_checkpoint(
+                &mut ck,
+                &mut io,
+                now,
+                std::mem::take(&mut self.stale_ckpt),
+            )
+        };
+        let resumed = match ck.config().pacing {
+            Some(p) => {
+                let deadline = p.deadline(now);
+                if done > deadline {
+                    ck.bump_overrun();
+                }
+                done.min(deadline)
+            }
+            None => done,
+        };
+        self.checkpoint = Some(ck);
+        resumed
+    }
+
     /// Merges whose media completion overran the blocking deadline.
     pub fn gc_deadline_misses(&self) -> u64 {
         self.gc_deadline_misses
@@ -283,14 +372,22 @@ impl ZngFtl {
                 Some(rain) => match rain.classify(device, idx)? {
                     Claim::Keep => break idx,
                     // The superblock's reserved parity member: RAIN keeps
-                    // it, the FTL allocates again.
-                    Claim::Parity => {}
+                    // it, the FTL allocates again. Parity programs land
+                    // here later, so the fast-path rescan must cover it.
+                    Claim::Parity => {
+                        if let Some(ck) = self.checkpoint.as_mut() {
+                            ck.note_touched(idx);
+                        }
+                    }
                     // A block on a dead die: permanently out of service.
                     Claim::Fenced => self.allocator.retire(idx),
                 },
                 None => break idx,
             }
         };
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_touched(idx);
+        }
         let addr = device.geometry().block_for_index(idx)?;
         device.block_mut(addr)?.set_kind(kind);
         Ok(addr)
@@ -316,6 +413,9 @@ impl ZngFtl {
             rain.note_preload(device, addr)?;
         }
         self.dbmt.insert(vbn, addr);
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_remap(vbn);
+        }
         Ok(addr)
     }
 
@@ -326,6 +426,9 @@ impl ZngFtl {
         let addr = self.alloc_block(device, BlockKind::Log)?;
         let decoder = RowDecoder::new(device.geometry().pages_per_block as u32);
         self.lbmt.insert(group, LogBlock { addr, decoder });
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_remap(group);
+        }
         Ok(addr)
     }
 
@@ -479,8 +582,12 @@ impl ZngFtl {
     /// by an admitted write bypasses admission (reclamation must always
     /// make progress).
     pub fn write(&mut self, now: Cycle, device: &mut FlashDevice, vpn: u64) -> Result<WriteResult> {
-        self.write_inner(now, device, vpn)
-            .map_err(|e| self.degrade_worn(e))
+        let r = self
+            .write_inner(now, device, vpn)
+            .map_err(|e| self.degrade_worn(e));
+        let t = r.as_ref().map(|wr| wr.done).unwrap_or(now);
+        self.ckpt_sync(t, device);
+        r
     }
 
     fn write_inner(
@@ -620,6 +727,9 @@ impl ZngFtl {
                 if let Some(rain) = self.rain.as_mut() {
                     rain.note_program(report.done, device, addr)?;
                 }
+                if let Some(ck) = self.checkpoint.as_mut() {
+                    ck.note_remap(vpn);
+                }
                 return Ok(report.done);
             }
             // The burned slot holds garbage (the plane already
@@ -750,6 +860,9 @@ impl ZngFtl {
             self.invalidate_whole_block(device, old_data)?;
             done = done.max(self.erase_or_fence(read_t, device, old_data, &mut erased)?);
             self.dbmt.insert(vbn, fresh);
+            if let Some(ck) = self.checkpoint.as_mut() {
+                ck.note_remap(vbn);
+            }
         }
 
         // Retire the log block itself.
@@ -769,6 +882,7 @@ impl ZngFtl {
             }
             None => done,
         };
+        self.ckpt_sync(done, device);
         Ok(GcReport {
             group,
             started: now,
@@ -814,6 +928,9 @@ impl ZngFtl {
         let erase = device.erase(now, addr)?;
         self.release_block(device, addr);
         *erased += 1;
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_touched(device.geometry().index_for_block(addr));
+        }
         Ok(erase.done)
     }
 
@@ -824,6 +941,9 @@ impl ZngFtl {
         self.allocator.retire(idx);
         if let Some(rain) = self.rain.as_mut() {
             rain.fenced_blocks += 1;
+        }
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_touched(idx);
         }
     }
 
@@ -860,6 +980,9 @@ impl ZngFtl {
         let idx = device.geometry().index_for_block(addr);
         self.allocator.retire(idx);
         self.blocks_retired += 1;
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_touched(idx);
+        }
         Ok(())
     }
 
@@ -877,7 +1000,34 @@ impl ZngFtl {
     ///
     /// Propagates flash-protocol errors from the dead-block reclaim.
     pub fn recover(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<RecoveryReport> {
-        let scan = recovery::scan_device(device);
+        // The checkpoint fast path: load the newest verified checkpoint,
+        // replay the journal tail, and re-scan only the blocks touched
+        // since the stamp. Any verification failure falls back to the
+        // full scan below — the two paths feed the identical rebuild, so
+        // the fast path can only save time, never change the outcome.
+        let planned = self
+            .checkpoint
+            .as_ref()
+            .and_then(|ck| ck.plan_fast_scan(device));
+        let fast_path = planned.is_some();
+        let fallback = self.checkpoint.is_some() && !fast_path;
+        let (scan, journal_replayed, blocks_rescanned, cycles_saved) = match planned {
+            Some(f) => {
+                #[cfg(debug_assertions)]
+                debug_assert_eq!(
+                    f.scan.blocks,
+                    recovery::scan_device(device).blocks,
+                    "fast-path image must equal a full scan of the same media"
+                );
+                (
+                    f.scan,
+                    f.journal_replayed,
+                    f.blocks_rescanned,
+                    f.cycles_saved,
+                )
+            }
+            None => (recovery::scan_device(device), 0, 0, Cycle::ZERO),
+        };
         let winners = recovery::resolve_winners(&scan.blocks);
         let candidates: u64 = scan.blocks.iter().map(|b| b.entries.len() as u64).sum();
 
@@ -960,20 +1110,21 @@ impl ZngFtl {
             })
             .count() as u64;
         let dead = scan.blocks.iter().filter(|b| !referenced.contains(&b.idx));
-        let reclaim = recovery::reclaim_dead(device, dead, now + scan.base_cycles)?;
+        let pool = recovery::rebuild_free_pool(
+            device,
+            &scan.blocks,
+            dead,
+            referenced.len() as u64,
+            now + scan.base_cycles,
+            self.allocator.policy(),
+            self.allocator.retired(),
+        )?;
         // Only retirements discovered by this recovery count as new; the
         // rest were already charged when they happened.
-        self.blocks_retired += reclaim.retired.saturating_sub(self.allocator.retired());
-        let next_fresh = scan.blocks.last().map(|b| b.idx + 1).unwrap_or(0);
-        self.allocator = crate::allocator::BlockAllocator::rebuild(
-            device.geometry().total_blocks() as u64,
-            self.allocator.policy(),
-            next_fresh,
-            referenced.len() as u64,
-            reclaim.retired,
-            reclaim.recycled,
-        );
-        let done = reclaim.done.max(now + scan.base_cycles);
+        self.blocks_retired += pool.retired_delta;
+        self.allocator = pool.allocator;
+        self.stale_ckpt = pool.deferred;
+        let done = pool.done;
         if let Some(rain) = self.rain.as_mut() {
             // Open-stripe parity lived in SRAM (lost with power) and
             // flushed parity blocks were reclaimed by the scan just now:
@@ -984,13 +1135,21 @@ impl ZngFtl {
             st.reset_after_recovery();
         }
         self.icounters.quarantined += scan.corrupt;
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.reset_after_recovery();
+        }
         Ok(RecoveryReport {
             pages_scanned: scan.pages_scanned,
             torn_discarded: scan.torn,
             stale_dropped: candidates - installed,
-            blocks_erased: reclaim.erased,
+            blocks_erased: pool.blocks_erased,
             corrupt_quarantined: scan.corrupt,
             scan_cycles: done - now,
+            fast_path,
+            fallback,
+            journal_replayed,
+            blocks_rescanned,
+            cycles_saved,
         })
     }
 
@@ -1026,6 +1185,9 @@ impl ZngFtl {
             let addr = self.alloc_block(device, BlockKind::Log)?;
             let decoder = RowDecoder::new(self.pages_per_block as u32);
             self.lbmt.insert(group, LogBlock { addr, decoder });
+            if let Some(ck) = self.checkpoint.as_mut() {
+                ck.note_remap(group);
+            }
             let mut pages = 0u64;
             for (vpn, slot) in live {
                 let src = FlashAddr::new(lb.addr, slot);
@@ -1043,6 +1205,7 @@ impl ZngFtl {
                 rain.rebuild_pages += pages;
             }
         }
+        self.ckpt_sync(t, device);
         Ok(t)
     }
 
@@ -1088,7 +1251,8 @@ impl ZngFtl {
                     // Blocks not yet rebuilt stay mapped and degraded —
                     // their reads keep reconstructing from the stripe.
                     Err(Error::DeviceWornOut { .. }) | Err(Error::OutOfSpace) => {
-                        return Ok((t, pages))
+                        self.ckpt_sync(t, device);
+                        return Ok((t, pages));
                     }
                     Err(e) => return Err(e),
                 };
@@ -1124,7 +1288,11 @@ impl ZngFtl {
             self.invalidate_whole_block(device, old)?;
             self.fence_block(device, old);
             self.dbmt.insert(vbn, fresh);
+            if let Some(ck) = self.checkpoint.as_mut() {
+                ck.note_remap(vbn);
+            }
         }
+        self.ckpt_sync(t, device);
         Ok((t, pages))
     }
 
@@ -1183,13 +1351,15 @@ impl ZngFtl {
             t = self.program_log_page(t, device, vpn, group)?;
             self.rain.as_mut().expect("checked above").scrub_rewrites += 1;
         }
-        Ok(match config.pacing {
+        let capped = match config.pacing {
             Some(p) if t > p.deadline(now) => {
                 self.rain.as_mut().expect("checked above").scrub_overruns += 1;
                 p.deadline(now)
             }
             _ => t,
-        })
+        };
+        self.ckpt_sync(t, device);
+        Ok(capped)
     }
 
     /// Converts an end-of-life allocator failure into the graceful
@@ -1232,8 +1402,13 @@ impl ZngFtl {
                 Err(Error::DeviceWornOut { .. }) => now,
                 Err(e) => return Err(e),
             };
-            let st = self.endurance.as_mut().expect("checked above");
-            return Ok(st.pace(now, done));
+            let paced = self
+                .endurance
+                .as_mut()
+                .expect("checked above")
+                .pace(now, done);
+            self.ckpt_sync(done, device);
+            return Ok(paced);
         }
         if self
             .endurance
@@ -1246,8 +1421,13 @@ impl ZngFtl {
                 Err(Error::DeviceWornOut { .. }) => now,
                 Err(e) => return Err(e),
             };
-            let st = self.endurance.as_mut().expect("checked above");
-            return Ok(st.pace(now, done));
+            let paced = self
+                .endurance
+                .as_mut()
+                .expect("checked above")
+                .pace(now, done);
+            self.ckpt_sync(done, device);
+            return Ok(paced);
         }
         Ok(now)
     }
@@ -1415,6 +1595,9 @@ impl ZngFtl {
         self.invalidate_whole_block(device, old)?;
         let done = last_prog.max(self.erase_or_fence(read_t, device, old, &mut erased)?);
         self.dbmt.insert(vbn, fresh);
+        if let Some(ck) = self.checkpoint.as_mut() {
+            ck.note_remap(vbn);
+        }
         Ok((done, self.pages_per_block))
     }
 
@@ -1964,5 +2147,64 @@ mod tests {
         assert_eq!(rep.corrupt_quarantined, 1);
         assert_eq!(f.integrity_counters().quarantined, 1);
         assert_ne!(f.locate(5), Some(newest), "never resurrected as winner");
+    }
+
+    fn ckpt_cfg(journal_cap: u64) -> crate::checkpoint::CheckpointConfig {
+        crate::checkpoint::CheckpointConfig {
+            every_ops: 100,
+            journal_cap,
+            pacing: None,
+        }
+    }
+
+    #[test]
+    fn checkpointed_recovery_takes_the_fast_path_and_matches_full_scan() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        f.set_checkpointing(Some(ckpt_cfg(0)));
+        let mut t = Cycle(0);
+        for i in 0..300u64 {
+            t = f.write(t, &mut d, i % 48).unwrap().done;
+        }
+        t = f.checkpoint_step(t + Cycle(1_000_000), &mut d);
+        for i in 0..60u64 {
+            t = f.write(t, &mut d, i % 12).unwrap().done;
+        }
+        // Quiesce: background programs all complete before the cut.
+        let cut = t + Cycle(10_000_000);
+        d.power_loss(cut);
+        let (mut d2, mut f2) = (d.clone(), f.clone());
+        f2.set_checkpointing(None);
+        let rep = f.recover(cut, &mut d).unwrap();
+        assert!(rep.fast_path && !rep.fallback, "{rep:?}");
+        assert!(rep.blocks_rescanned > 0, "{rep:?}");
+        let full = f2.recover(cut, &mut d2).unwrap();
+        assert!(!full.fast_path && !full.fallback, "{full:?}");
+        for vpn in 0..48u64 {
+            assert_eq!(f.locate(vpn), f2.locate(vpn), "vpn {vpn}");
+        }
+        assert_eq!(f.free_blocks(), f2.free_blocks());
+    }
+
+    #[test]
+    fn journal_overflow_forces_fallback() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        f.set_checkpointing(Some(ckpt_cfg(4)));
+        let mut t = Cycle(0);
+        for i in 0..100u64 {
+            t = f.write(t, &mut d, i % 24).unwrap().done;
+        }
+        t = f.checkpoint_step(t + Cycle(1_000_000), &mut d);
+        for i in 0..200u64 {
+            t = f.write(t, &mut d, i * 7 % 96).unwrap().done;
+        }
+        let c = f.checkpoint_counters().unwrap();
+        assert!(c.journal_overflows > 0, "{c:?}");
+        let cut = t + Cycle(10_000_000);
+        d.power_loss(cut);
+        let rep = f.recover(cut, &mut d).unwrap();
+        assert!(!rep.fast_path && rep.fallback, "{rep:?}");
+        for vpn in 0..24u64 {
+            assert!(f.locate(vpn).is_some() || f.read(cut, &mut d, vpn, 128).is_ok());
+        }
     }
 }

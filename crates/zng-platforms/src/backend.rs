@@ -2,8 +2,8 @@
 
 use zng_flash::{EnduranceReport, FlashDevice, RegisterTopology, DISTURB_READS_PER_CYCLE};
 use zng_ftl::{
-    EnduranceCounters, GcPacing, GcReport, IntegrityCounters, RainConfig, RainCounters,
-    RecoveryReport, RefreshPolicy, WriteMode, ZngFtl,
+    CheckpointCounters, EnduranceCounters, GcPacing, GcReport, IntegrityCounters, RainConfig,
+    RainCounters, RecoveryReport, RefreshPolicy, WriteMode, ZngFtl,
 };
 use zng_mem::{MemSubsystem, MemTiming, PcieLink};
 use zng_ssd::{NvmeSsd, PageBuffer, SsdModule};
@@ -188,6 +188,19 @@ impl Backend {
                 }
                 Backend::HybridGpu { ssd } => ssd.apply_endurance(policy),
                 Backend::Hetero { ssd, .. } => ssd.apply_endurance(policy),
+                Backend::Ideal { .. } | Backend::Optane { .. } => {}
+            }
+        }
+        // Bounded-time crash recovery: mapping checkpoints + delta
+        // journal in a reserved flash namespace, paced by the same QoS
+        // stall-budget contract as GC. Off by default — no checkpoint
+        // pages, no journal, byte-identical output.
+        if cfg.checkpoint.enabled {
+            let policy = cfg.checkpoint.ftl(&cfg.qos);
+            match &mut backend {
+                Backend::Zng { ftl, .. } => ftl.set_checkpointing(Some(policy)),
+                Backend::HybridGpu { ssd } => ssd.set_checkpointing(Some(policy)),
+                Backend::Hetero { ssd, .. } => ssd.set_checkpointing(Some(policy)),
                 Backend::Ideal { .. } | Backend::Optane { .. } => {}
             }
         }
@@ -533,6 +546,30 @@ impl Backend {
             Backend::HybridGpu { ssd } => ssd.refresh_step(now),
             Backend::Hetero { ssd, .. } => ssd.refresh_step(now),
             Backend::Ideal { .. } | Backend::Optane { .. } => Ok(now),
+        }
+    }
+
+    /// One background checkpoint write on the flash FTL: snapshot the
+    /// mapping into checkpoint blocks and open a fresh journal epoch;
+    /// returns the foreground stall horizon (capped by the pacing
+    /// budget when one is set). A no-op without checkpointing or on
+    /// flashless platforms.
+    pub fn checkpoint_step(&mut self, now: Cycle) -> Cycle {
+        match self {
+            Backend::Zng { device, ftl, .. } => ftl.checkpoint_step(now, device),
+            Backend::HybridGpu { ssd } => ssd.checkpoint_step(now),
+            Backend::Hetero { ssd, .. } => ssd.checkpoint_step(now),
+            Backend::Ideal { .. } | Backend::Optane { .. } => now,
+        }
+    }
+
+    /// The checkpoint writer's counters, when the subsystem is on.
+    pub fn checkpoint_counters(&self) -> Option<CheckpointCounters> {
+        match self {
+            Backend::Zng { ftl, .. } => ftl.checkpoint_counters(),
+            Backend::HybridGpu { ssd } => ssd.ftl().checkpoint_counters(),
+            Backend::Hetero { ssd, .. } => ssd.ftl().checkpoint_counters(),
+            Backend::Ideal { .. } | Backend::Optane { .. } => None,
         }
     }
 

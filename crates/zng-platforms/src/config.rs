@@ -136,11 +136,109 @@ pub struct SimConfig {
     /// tracks nothing, draws no randomness and keeps output
     /// byte-identical to an endurance-free build.
     pub endurance: EnduranceConfig,
+    /// Bounded-time crash recovery: a background checkpoint writer that
+    /// snapshots the FTL mapping into reserved checkpoint blocks, a
+    /// write-ahead delta journal between checkpoints, and a verified
+    /// fast-path restore that rescans only the blocks touched since the
+    /// last checkpoint. The default ([`CheckpointConfig::off`]) writes
+    /// nothing and keeps output byte-identical to a checkpoint-free
+    /// build.
+    pub checkpoint: CheckpointConfig,
     /// Runner watchdog: when `Some(budget)`, a simulation that makes no
     /// forward progress (no request completes) within `budget` cycles
     /// fails with [`zng_types::Error::Stalled`] instead of spinning.
     /// `None` (the default) never trips.
     pub watchdog: Option<u64>,
+}
+
+/// Bounded-time crash-recovery policy: mapping checkpoints into a
+/// reserved flash namespace, a write-ahead delta journal appended on
+/// every mapping mutation between checkpoints, and a fast-path restore
+/// that loads the newest verified checkpoint, replays the journal tail
+/// and rescans only the blocks programmed since — falling back to the
+/// full out-of-band scan on any torn, corrupt or missing checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Master switch. Off (the default) programs no checkpoint pages,
+    /// appends no journal and keeps runs byte-identical to a
+    /// checkpoint-free build.
+    pub enabled: bool,
+    /// Checkpoint cadence: one background checkpoint write every `n`
+    /// completed requests. `0` with `enabled` is rejected — a checkpoint
+    /// subsystem that never checkpoints would silently journal forever.
+    pub every_ops: u64,
+    /// Journal records retained between checkpoints before the epoch is
+    /// declared overflowed (its fast path falls back to the full scan
+    /// until the next checkpoint). `0` means unbounded.
+    pub journal_cap: u64,
+}
+
+impl CheckpointConfig {
+    /// Everything off — the byte-identical default.
+    pub fn off() -> CheckpointConfig {
+        CheckpointConfig {
+            enabled: false,
+            every_ops: 0,
+            journal_cap: 0,
+        }
+    }
+
+    /// Checkpointing on with an unbounded journal; pass the cadence in
+    /// completed requests per checkpoint.
+    pub fn on(every_ops: u64) -> CheckpointConfig {
+        CheckpointConfig {
+            enabled: true,
+            every_ops,
+            journal_cap: 0,
+        }
+    }
+
+    /// The FTL-side policy, inheriting the QoS GC stall budget so the
+    /// background checkpoint writer shares the one pacing contract.
+    pub fn ftl(&self, qos: &QosConfig) -> zng_ftl::CheckpointConfig {
+        zng_ftl::CheckpointConfig {
+            every_ops: self.every_ops,
+            journal_cap: self.journal_cap,
+            pacing: qos.gc_stall_budget.map(|budget| zng_ftl::GcPacing {
+                stall_budget: budget,
+                credit_writes: qos.gc_credit_writes,
+            }),
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects cadence/journal knobs without `enabled` (they would
+    /// silently do nothing) and an enabled subsystem without a cadence
+    /// (it would journal forever and never bound recovery).
+    pub fn validate(&self) -> Result<()> {
+        let invalid = |why: &str| Error::InvalidConfig {
+            what: "checkpoint".into(),
+            why: why.into(),
+        };
+        if !self.enabled {
+            if self.every_ops != 0 || self.journal_cap != 0 {
+                return Err(invalid(
+                    "cadence and journal knobs require checkpointing to be enabled",
+                ));
+            }
+            return Ok(());
+        }
+        if self.every_ops == 0 {
+            return Err(invalid(
+                "an enabled checkpoint subsystem needs a non-zero cadence",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> CheckpointConfig {
+        CheckpointConfig::off()
+    }
 }
 
 /// Device-lifetime endurance policy: per-block read-disturb counters and
@@ -465,6 +563,7 @@ impl SimConfig {
             redundancy: RedundancyConfig::off(),
             integrity: IntegrityConfig::off(),
             endurance: EnduranceConfig::off(),
+            checkpoint: CheckpointConfig::off(),
             watchdog: None,
         }
     }
@@ -491,6 +590,7 @@ impl SimConfig {
         self.redundancy.validate(&self.flash)?;
         self.integrity.validate()?;
         self.endurance.validate()?;
+        self.checkpoint.validate()?;
         if self.watchdog == Some(0) {
             return Err(Error::InvalidConfig {
                 what: "watchdog".into(),
@@ -622,6 +722,28 @@ mod tests {
         assert!(low.validate().is_err());
         low.endurance.wear_spread = 0.0;
         low.validate().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_validation_rules() {
+        let mut cfg = SimConfig::tiny();
+        cfg.checkpoint = CheckpointConfig::on(64);
+        cfg.validate().unwrap();
+        cfg.checkpoint.journal_cap = 256;
+        cfg.validate().unwrap();
+
+        // Orphan knobs without the master switch are rejected.
+        let mut orphan = SimConfig::tiny();
+        orphan.checkpoint.every_ops = 64;
+        assert!(orphan.validate().is_err());
+        let mut orphan = SimConfig::tiny();
+        orphan.checkpoint.journal_cap = 256;
+        assert!(orphan.validate().is_err());
+
+        // Enabled checkpointing needs a cadence.
+        let mut idle = SimConfig::tiny();
+        idle.checkpoint.enabled = true;
+        assert!(idle.validate().is_err());
     }
 
     #[test]

@@ -22,9 +22,12 @@ pub mod qos;
 pub mod runner;
 
 pub use backend::Backend;
-pub use config::{EnduranceConfig, IntegrityConfig, PlatformKind, RedundancyConfig, SimConfig};
+pub use config::{
+    CheckpointConfig, EnduranceConfig, IntegrityConfig, PlatformKind, RedundancyConfig, SimConfig,
+};
 pub use metrics::{
-    CrashRecoverySummary, EnduranceSummary, IntegritySummary, RedundancySummary, RunResult,
+    CheckpointSummary, CrashRecoverySummary, EnduranceSummary, IntegritySummary, RedundancySummary,
+    RunResult,
 };
 pub use qos::{FairShare, QosConfig, QosSummary, MAX_QOS_APPS};
 pub use runner::Simulation;

@@ -28,6 +28,44 @@ pub struct CrashRecoverySummary {
     pub scan_cycles: Cycle,
     /// Corrupt page copies quarantined by the scan (integrity mode).
     pub corrupt_quarantined: u64,
+    /// The recovery took the checkpoint fast path (loaded the newest
+    /// verified checkpoint, replayed the journal tail and rescanned only
+    /// the blocks touched since).
+    pub fast_path: bool,
+    /// Checkpointing was on but the fast path was unusable (torn or
+    /// aborted checkpoint, journal overflow or gap) and the recovery
+    /// fell back to the full out-of-band scan.
+    pub fallback: bool,
+    /// Journal records replayed on the fast path.
+    pub journal_replayed: u64,
+    /// Blocks the fast path rescanned from the media (the rest came
+    /// from the checkpoint image).
+    pub blocks_rescanned: u64,
+    /// Scan cycles the fast path saved versus the estimated full scan.
+    pub cycles_saved: Cycle,
+}
+
+/// What the checkpoint writer did over the run (`--checkpoint`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointSummary {
+    /// Checkpoint steps the runner scheduled.
+    pub checkpoint_ticks: u64,
+    /// Checkpoints committed (payload chain + commit page verified).
+    pub checkpoints: u64,
+    /// Checkpoint payload/commit pages programmed.
+    pub checkpoint_pages: u64,
+    /// Delta-journal records appended between checkpoints.
+    pub journal_records: u64,
+    /// Journal pages programmed into the checkpoint namespace.
+    pub journal_pages: u64,
+    /// Checkpoint writes that outlived their pacing deadline.
+    pub overruns: u64,
+    /// Epochs whose journal outgrew the cap (fast path disabled until
+    /// the next checkpoint).
+    pub journal_overflows: u64,
+    /// Checkpoint writes aborted by media failures or pool exhaustion
+    /// (the previous epoch stayed in force).
+    pub aborted: u64,
 }
 
 /// What the end-to-end integrity subsystem did (`--integrity`).
@@ -209,6 +247,10 @@ pub struct RunResult {
     /// capacity-step and wear-histogram counters. `None` runs emit
     /// byte-identical output to builds without the endurance machinery.
     pub endurance: Option<EnduranceSummary>,
+    /// Present only when `--checkpoint` ran: checkpoint-writer and
+    /// delta-journal counters. `None` runs emit byte-identical output to
+    /// builds without the checkpoint machinery.
+    pub checkpoint: Option<CheckpointSummary>,
 }
 
 impl RunResult {
@@ -364,6 +406,15 @@ impl RunResult {
                     Value::from(cr.corrupt_quarantined),
                 ));
             }
+            // Fast-path accounting rides with the checkpoint summary so
+            // checkpoint-off crash runs stay byte-identical too.
+            if self.checkpoint.is_some() {
+                fields.push(("crash_fast_path", Value::from(cr.fast_path)));
+                fields.push(("crash_fallback", Value::from(cr.fallback)));
+                fields.push(("crash_journal_replayed", Value::from(cr.journal_replayed)));
+                fields.push(("crash_blocks_rescanned", Value::from(cr.blocks_rescanned)));
+                fields.push(("crash_cycles_saved", Value::from(cr.cycles_saved.raw())));
+            }
         }
         if let Some(rd) = &self.redundancy {
             fields.push(("rain_reconstructions", Value::from(rd.reconstructions)));
@@ -430,6 +481,16 @@ impl RunResult {
             fields.push(("wear_min_fraction", Value::from(e.wear_min)));
             fields.push(("wear_spread", Value::from(e.wear_spread)));
         }
+        if let Some(c) = &self.checkpoint {
+            fields.push(("checkpoint_ticks", Value::from(c.checkpoint_ticks)));
+            fields.push(("checkpoints", Value::from(c.checkpoints)));
+            fields.push(("checkpoint_pages", Value::from(c.checkpoint_pages)));
+            fields.push(("journal_records", Value::from(c.journal_records)));
+            fields.push(("journal_pages", Value::from(c.journal_pages)));
+            fields.push(("checkpoint_overruns", Value::from(c.overruns)));
+            fields.push(("journal_overflows", Value::from(c.journal_overflows)));
+            fields.push(("checkpoints_aborted", Value::from(c.aborted)));
+        }
         Value::object(fields)
     }
 }
@@ -477,6 +538,7 @@ mod tests {
             redundancy: None,
             integrity: None,
             endurance: None,
+            checkpoint: None,
         }
     }
 
@@ -508,6 +570,11 @@ mod tests {
             blocks_erased: 3,
             scan_cycles: Cycle(28_800),
             corrupt_quarantined: 1,
+            fast_path: true,
+            fallback: false,
+            journal_replayed: 12,
+            blocks_rescanned: 4,
+            cycles_saved: Cycle(90_000),
         });
         let crashed = r.to_json_value().to_string();
         assert!(crashed.contains("\"crash_at_requests\":100"));
@@ -517,9 +584,46 @@ mod tests {
             !crashed.contains("crash_corrupt_quarantined"),
             "quarantine key rides with the integrity summary, not the crash"
         );
+        assert!(
+            !crashed.contains("crash_fast_path"),
+            "fast-path keys ride with the checkpoint summary, not the crash"
+        );
         r.integrity = Some(IntegritySummary::default());
         let with_integrity = r.to_json_value().to_string();
         assert!(with_integrity.contains("\"crash_corrupt_quarantined\":1"));
+        r.checkpoint = Some(CheckpointSummary::default());
+        let with_ckpt = r.to_json_value().to_string();
+        assert!(with_ckpt.contains("\"crash_fast_path\":true"));
+        assert!(with_ckpt.contains("\"crash_fallback\":false"));
+        assert!(with_ckpt.contains("\"crash_journal_replayed\":12"));
+        assert!(with_ckpt.contains("\"crash_cycles_saved\":90000"));
+    }
+
+    #[test]
+    fn checkpoint_keys_only_when_the_subsystem_ran() {
+        let mut r = result();
+        let clean = r.to_json_value().to_string();
+        assert!(
+            !clean.contains("checkpoint") && !clean.contains("journal"),
+            "no checkpoint keys in a default run"
+        );
+        r.checkpoint = Some(CheckpointSummary {
+            checkpoint_ticks: 8,
+            checkpoints: 7,
+            checkpoint_pages: 21,
+            journal_records: 300,
+            journal_pages: 4,
+            overruns: 1,
+            journal_overflows: 0,
+            aborted: 0,
+        });
+        let on = r.to_json_value().to_string();
+        assert!(on.contains("\"checkpoint_ticks\":8"));
+        assert!(on.contains("\"checkpoints\":7"));
+        assert!(on.contains("\"checkpoint_pages\":21"));
+        assert!(on.contains("\"journal_records\":300"));
+        assert!(on.contains("\"checkpoint_overruns\":1"));
+        assert!(on.contains("\"checkpoints_aborted\":0"));
     }
 
     #[test]

@@ -25,7 +25,8 @@ use zng_workloads::MultiApp;
 use crate::backend::{Backend, BackendWrite};
 use crate::config::{EnduranceConfig, PlatformKind, RedundancyConfig, SimConfig};
 use crate::metrics::{
-    CrashRecoverySummary, EnduranceSummary, IntegritySummary, RedundancySummary, RunResult,
+    CheckpointSummary, CrashRecoverySummary, EnduranceSummary, IntegritySummary, RedundancySummary,
+    RunResult,
 };
 use crate::qos::{FairShare, QosConfig, QosSummary};
 
@@ -101,6 +102,10 @@ pub struct Simulation {
     /// Writes refused after end-of-life capacity degradation (the
     /// workload keeps running; the device is read-only for new data).
     writes_refused: u64,
+    /// Mapping-checkpoint subsystem enabled (`--checkpoint`).
+    checkpoint_on: bool,
+    /// Checkpoint-writer cadence, keyed to completed requests.
+    checkpoint_ticker: PatrolTicker,
 }
 
 impl Simulation {
@@ -179,6 +184,12 @@ impl Simulation {
             endurance: cfg.endurance,
             refresh_ticker: PatrolTicker::every_ops(cfg.endurance.refresh_every_ops),
             writes_refused: 0,
+            checkpoint_on: cfg.checkpoint.enabled,
+            checkpoint_ticker: PatrolTicker::every_ops(if cfg.checkpoint.enabled {
+                cfg.checkpoint.every_ops
+            } else {
+                0
+            }),
         })
     }
 
@@ -264,6 +275,11 @@ impl Simulation {
                     blocks_erased: r.blocks_erased,
                     scan_cycles: r.scan_cycles,
                     corrupt_quarantined: r.corrupt_quarantined,
+                    fast_path: r.fast_path,
+                    fallback: r.fallback,
+                    journal_replayed: r.journal_replayed,
+                    blocks_rescanned: r.blocks_rescanned,
+                    cycles_saved: r.cycles_saved,
                 });
             }
             // Die failure: fires once. The FTL fences the dead die's
@@ -289,6 +305,14 @@ impl Simulation {
             // by the pacing budget when one is set.
             if self.refresh_ticker.poll(requests) {
                 let horizon = self.backend.refresh_step(now)?;
+                self.block_all_apps(mix, horizon);
+            }
+            // Background checkpoint: one mapping snapshot per cadence
+            // boundary into the reserved checkpoint namespace. The
+            // media work always completes but the foreground stall is
+            // capped by the pacing budget when one is set.
+            if self.checkpoint_ticker.poll(requests) {
+                let horizon = self.backend.checkpoint_step(now);
                 self.block_all_apps(mix, horizon);
             }
             if warps[idx].is_done() {
@@ -542,6 +566,19 @@ impl Simulation {
                 wear_spread: rep.map(|r| r.wear_spread()).unwrap_or(1.0),
             }
         });
+        let checkpoint = self.checkpoint_on.then(|| {
+            let c = self.backend.checkpoint_counters().unwrap_or_default();
+            CheckpointSummary {
+                checkpoint_ticks: self.checkpoint_ticker.ticks(),
+                checkpoints: c.checkpoints,
+                checkpoint_pages: c.checkpoint_pages,
+                journal_records: c.journal_records,
+                journal_pages: c.journal_pages,
+                overruns: c.overruns,
+                journal_overflows: c.journal_overflows,
+                aborted: c.aborted,
+            }
+        });
 
         Ok(RunResult {
             platform: self.kind,
@@ -586,6 +623,7 @@ impl Simulation {
             redundancy,
             integrity,
             endurance,
+            checkpoint,
         })
     }
 
@@ -1431,6 +1469,101 @@ mod tests {
         assert!(e.capacity_steps >= 1, "the pool was exhausted: {e:?}");
         assert!(e.writes_refused > 0, "later writes were refused: {e:?}");
         assert!(r.blocks_retired > 0);
+    }
+
+    #[test]
+    fn default_run_reports_no_checkpoint_summary() {
+        let r = run(PlatformKind::Zng);
+        assert!(r.checkpoint.is_none(), "off by default, no summary");
+    }
+
+    #[test]
+    fn checkpoint_run_reports_writer_activity() {
+        use crate::config::CheckpointConfig;
+        let mut cfg = SimConfig::tiny();
+        cfg.checkpoint = CheckpointConfig::on(25);
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+        let r = sim.run(&mix).unwrap();
+        let c = r.checkpoint.expect("enabled policy must report");
+        assert!(c.checkpoint_ticks > 0, "{c:?}");
+        assert!(c.checkpoints > 0, "{c:?}");
+        assert!(c.checkpoint_pages > 0, "{c:?}");
+        assert_eq!(c.aborted, 0, "healthy media never aborts: {c:?}");
+    }
+
+    #[test]
+    fn checkpoint_off_is_byte_identical_to_default() {
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let plain = Simulation::new(PlatformKind::ZngBase, &SimConfig::tiny())
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let off = Simulation::new(PlatformKind::ZngBase, &SimConfig::tiny())
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(
+            plain.to_json_value().to_string(),
+            off.to_json_value().to_string()
+        );
+    }
+
+    #[test]
+    fn crash_with_checkpoint_takes_the_fast_path() {
+        use crate::config::CheckpointConfig;
+        let mut cfg = SimConfig::tiny();
+        cfg.checkpoint = CheckpointConfig::on(100);
+        cfg.crash_at = Some(5_500);
+        // Enough writes that sealed cold blocks dominate the device: the
+        // fast path rescans only what moved since the last checkpoint.
+        let params = TraceParams {
+            total_warps: 8,
+            mem_ops_per_warp: 800,
+            footprint_pages: 512,
+            seed: 7,
+        };
+        let mix = MultiApp::from_names(&["back"], &params).unwrap();
+        let crashed = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let summary = crashed.crash_recovery.expect("crash must be reported");
+        assert!(summary.fast_path, "{summary:?}");
+        assert!(!summary.fallback, "{summary:?}");
+        assert!(
+            summary.cycles_saved > Cycle::ZERO,
+            "the fast path must beat the full scan: {summary:?}"
+        );
+        // The crash-free twin still services every request.
+        let mut clean_cfg = SimConfig::tiny();
+        clean_cfg.checkpoint = CheckpointConfig::on(20);
+        let clean = Simulation::new(PlatformKind::ZngBase, &clean_cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(crashed.requests, clean.requests);
+    }
+
+    #[test]
+    fn checkpoint_run_is_deterministic() {
+        use crate::config::CheckpointConfig;
+        let mut cfg = SimConfig::tiny();
+        cfg.checkpoint = CheckpointConfig::on(25);
+        cfg.crash_at = Some(100);
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let a = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let b = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.checkpoint, b.checkpoint);
+        assert_eq!(a.crash_recovery, b.crash_recovery);
     }
 
     #[test]

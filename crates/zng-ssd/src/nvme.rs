@@ -127,6 +127,18 @@ impl NvmeSsd {
         self.ftl.refresh_step(now, &mut self.device)
     }
 
+    /// Installs (or removes, with `None`) the mapping-checkpoint
+    /// subsystem on the FTL.
+    pub fn set_checkpointing(&mut self, config: Option<zng_ftl::CheckpointConfig>) {
+        self.ftl.set_checkpointing(config);
+    }
+
+    /// One background checkpoint write; returns the foreground stall
+    /// horizon (capped by the pacing budget when one is set).
+    pub fn checkpoint_step(&mut self, now: Cycle) -> Cycle {
+        self.ftl.checkpoint_step(now, &mut self.device)
+    }
+
     /// Kills one die and fences its blocks: reads reconstruct around it,
     /// the allocator stops handing out its blocks.
     ///

@@ -40,3 +40,8 @@ cargo run -q --example integrity_poison >/dev/null
 # healthy media, and an end-of-life run must complete with a graceful
 # capacity step instead of the DeviceWornOut cliff.
 cargo run -q --example lifetime_refresh >/dev/null
+
+# Crash-recovery end-to-end smoke: a checkpointed power cut must restore
+# through the fast path and beat the full OOB scan (exercises the
+# checkpoint writer, delta journal and verified restore end to end).
+cargo run -q --release --example fast_recovery >/dev/null

@@ -10,8 +10,8 @@
 use std::process::ExitCode;
 
 use zng::{
-    table2, Cycle, EnduranceConfig, Experiment, FaultConfig, FaultProfile, IntegrityConfig,
-    PlatformKind, QosConfig, RedundancyConfig, RunResult, Table, TraceParams,
+    table2, CheckpointConfig, Cycle, EnduranceConfig, Experiment, FaultConfig, FaultProfile,
+    IntegrityConfig, PlatformKind, QosConfig, RedundancyConfig, RunResult, Table, TraceParams,
 };
 use zng_types::ids::AppId;
 use zng_workloads::{by_name, generate, TraceBundle};
@@ -84,6 +84,12 @@ options:
                             (implies --endurance)
       --wear-spread    max/mean wear ratio that triggers static
                        levelling, >= 1 or 0=off (implies --endurance)
+      --checkpoint     checkpoint the mapping tables in the background
+                       so crash recovery takes the journal fast path
+      --checkpoint-every  checkpoint cadence in completed requests
+                          (default 512, implies --checkpoint)
+      --journal-cap    max delta-journal records between checkpoints,
+                       0=unbounded (implies --checkpoint)
       --watchdog       abort with exit 1 when no request completes
                        within N cycles
       --json       emit the full RunResult as JSON";
@@ -224,6 +230,9 @@ const RUN_FLAGS: &[&str] = &[
     "--disturb-threshold",
     "--retention-threshold",
     "--wear-spread",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--journal-cap",
     "--watchdog",
     "--json",
 ];
@@ -256,6 +265,9 @@ const SWEEP_FLAGS: &[&str] = &[
     "--disturb-threshold",
     "--retention-threshold",
     "--wear-spread",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--journal-cap",
     "--watchdog",
 ];
 const TRACES_FLAGS: &[&str] = &[
@@ -271,6 +283,10 @@ const TRACES_FLAGS: &[&str] = &[
 /// Queue depth installed by a bare `--qos` (no `--queue-depth`).
 const DEFAULT_QUEUE_DEPTH: usize = 16;
 
+/// Checkpoint cadence installed by a bare `--checkpoint` (no
+/// `--checkpoint-every`).
+const DEFAULT_CHECKPOINT_EVERY: u64 = 512;
+
 struct Opts {
     platform: Option<PlatformKind>,
     workloads: Vec<String>,
@@ -281,6 +297,7 @@ struct Opts {
     redundancy: Option<RedundancyConfig>,
     integrity: Option<IntegrityConfig>,
     endurance: Option<EnduranceConfig>,
+    checkpoint: Option<CheckpointConfig>,
     watchdog: Option<u64>,
     json: bool,
 }
@@ -302,6 +319,7 @@ impl Opts {
             redundancy: None,
             integrity: None,
             endurance: None,
+            checkpoint: None,
             watchdog: None,
             json: false,
         };
@@ -413,6 +431,16 @@ impl Opts {
                 "--wear-spread" => {
                     opts.endurance_mut().wear_spread = parse_float(&value("--wear-spread")?)?;
                 }
+                "--checkpoint" => {
+                    opts.checkpoint_mut();
+                }
+                "--checkpoint-every" => {
+                    opts.checkpoint_mut().every_ops =
+                        parse_num(&value("--checkpoint-every")?)? as u64;
+                }
+                "--journal-cap" => {
+                    opts.checkpoint_mut().journal_cap = parse_num(&value("--journal-cap")?)? as u64;
+                }
                 "--watchdog" => {
                     opts.watchdog = Some(parse_num(&value("--watchdog")?)? as u64);
                 }
@@ -466,6 +494,13 @@ impl Opts {
         self.endurance.get_or_insert_with(|| EnduranceConfig::on(0))
     }
 
+    /// The checkpoint policy being built up by flags, enabled with the
+    /// default cadence the first time any checkpoint flag appears.
+    fn checkpoint_mut(&mut self) -> &mut CheckpointConfig {
+        self.checkpoint
+            .get_or_insert_with(|| CheckpointConfig::on(DEFAULT_CHECKPOINT_EVERY))
+    }
+
     /// Installs the parsed policies into the experiment's configuration.
     fn apply(&self, exp: &mut Experiment) {
         exp.config_mut().fault = self.fault_config();
@@ -483,6 +518,9 @@ impl Opts {
         }
         if let Some(e) = self.endurance {
             exp.config_mut().endurance = e;
+        }
+        if let Some(c) = self.checkpoint {
+            exp.config_mut().checkpoint = c;
         }
         exp.config_mut().watchdog = self.watchdog;
     }
@@ -694,6 +732,30 @@ fn print_result(r: &RunResult) {
                 cr.corrupt_quarantined.to_string(),
             ]);
         }
+        if r.checkpoint.is_some() {
+            t.row(vec![
+                "recovery path".into(),
+                if cr.fast_path {
+                    "fast (checkpoint+journal)".into()
+                } else if cr.fallback {
+                    "fallback (full scan)".into()
+                } else {
+                    "full scan".into()
+                },
+            ]);
+            t.row(vec![
+                "journal records replayed".into(),
+                cr.journal_replayed.to_string(),
+            ]);
+            t.row(vec![
+                "blocks rescanned".into(),
+                cr.blocks_rescanned.to_string(),
+            ]);
+            t.row(vec![
+                "scan cycles saved".into(),
+                cr.cycles_saved.raw().to_string(),
+            ]);
+        }
     }
     if let Some(i) = &r.integrity {
         t.row(vec![
@@ -749,6 +811,26 @@ fn print_result(r: &RunResult) {
             format!("{:.6}/{:.6}/{:.6}", e.wear_min, e.wear_mean, e.wear_max),
         ]);
         t.row(vec!["wear spread".into(), format!("{:.2}", e.wear_spread)]);
+    }
+    if let Some(c) = &r.checkpoint {
+        t.row(vec![
+            "checkpoint ticks/taken".into(),
+            format!("{}/{}", c.checkpoint_ticks, c.checkpoints),
+        ]);
+        t.row(vec![
+            "checkpoint pages".into(),
+            c.checkpoint_pages.to_string(),
+        ]);
+        t.row(vec![
+            "journal records/pages".into(),
+            format!("{}/{}", c.journal_records, c.journal_pages),
+        ]);
+        t.row(vec!["checkpoint overruns".into(), c.overruns.to_string()]);
+        t.row(vec![
+            "journal overflows".into(),
+            c.journal_overflows.to_string(),
+        ]);
+        t.row(vec!["checkpoints aborted".into(), c.aborted.to_string()]);
     }
     t.print("run result");
 }

@@ -20,6 +20,9 @@
 //!     --footprint 128 --json > tests/golden/run_default.json
 //! ./target/release/zng-cli run -p zng -w betw --warps 8 --ops 40 \
 //!     --footprint 128 --json --faults end-of-life > tests/golden/run_eol.json
+//! ./target/release/zng-cli run -p zng -w betw --warps 8 --ops 40 \
+//!     --footprint 128 --json --checkpoint --checkpoint-every 25 \
+//!     --crash-at 100 > tests/golden/run_checkpoint.json
 //! ```
 
 use std::path::Path;
@@ -89,4 +92,24 @@ fn default_run_matches_golden_and_is_deterministic() {
 fn end_of_life_run_matches_golden() {
     let got = run_cli(&["--faults", "end-of-life"]);
     assert_bytes_match(&got, &golden("run_eol.json"), "end-of-life run");
+}
+
+/// Pins the checkpointed crash-recovery output: the writer's counters,
+/// the crash report's fast-path fields (the golden has
+/// `crash_fast_path: true` — a fast path that silently stops engaging
+/// here is a regression, not noise) and the recovered run's results.
+#[test]
+fn checkpointed_crash_run_matches_golden() {
+    let got = run_cli(&[
+        "--checkpoint",
+        "--checkpoint-every",
+        "25",
+        "--crash-at",
+        "100",
+    ]);
+    assert_bytes_match(
+        &got,
+        &golden("run_checkpoint.json"),
+        "checkpointed crash run",
+    );
 }

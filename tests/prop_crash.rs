@@ -53,7 +53,11 @@ fn durable_versions(d: &FlashDevice, t_cut: Cycle) -> HashMap<u64, u64> {
         for page in 0..geo.pages_per_block as u32 {
             let addr = zng_types::FlashAddr { block, page };
             if let Some(m) = d.page_oob(addr) {
-                if !m.demand || m.programmed_at <= t_cut {
+                // Parity and checkpoint pages carry namespace keys, not
+                // logical pages — they are never durability obligations.
+                let meta = m.tag == zng_flash::BlockKind::Parity
+                    || m.tag == zng_flash::BlockKind::Checkpoint;
+                if !meta && (!m.demand || m.programmed_at <= t_cut) {
                     let e = durable.entry(m.lpn).or_insert(0);
                     *e = (*e).max(m.seq);
                 }
@@ -107,9 +111,30 @@ impl Ftl {
             Ftl::Map(f) => Ftl::Map(f.clone()),
         }
     }
+
+    fn set_checkpointing(&mut self, config: Option<zng_ftl::CheckpointConfig>) {
+        match self {
+            Ftl::Zng(f) => f.set_checkpointing(config),
+            Ftl::Map(f) => f.set_checkpointing(config),
+        }
+    }
+
+    fn checkpoint_step(&mut self, now: Cycle, d: &mut FlashDevice) -> Cycle {
+        match self {
+            Ftl::Zng(f) => f.checkpoint_step(now, d),
+            Ftl::Map(f) => f.checkpoint_step(now, d),
+        }
+    }
 }
 
 /// Runs the full crash scenario and checks all four invariants.
+///
+/// With `ckpt: Some((every, cap))` the FTL checkpoints every `every`
+/// writes under journal cap `cap`, so the cut can land mid-epoch,
+/// mid-journal, or right after a commit — and a fifth invariant applies:
+/// the checkpointed recovery (fast path or fallback alike) must rebuild
+/// exactly the mapping a checkpoint-less full scan of the same crashed
+/// media rebuilds.
 #[allow(clippy::too_many_lines)]
 fn check_crash(
     profile: u8,
@@ -118,17 +143,25 @@ fn check_crash(
     crash_at: usize,
     settle: bool,
     mode: Option<WriteMode>,
+    ckpt: Option<(usize, u64)>,
 ) -> Result<(), TestCaseError> {
     let mut d = device(profile, seed);
     let mut f = match mode {
         Some(m) => Ftl::Zng(ZngFtl::new(&d, 2, m)),
         None => Ftl::Map(PageMapFtl::new(&d)),
     };
+    if let Some((_, cap)) = ckpt {
+        f.set_checkpointing(Some(zng_ftl::CheckpointConfig {
+            every_ops: 1,
+            journal_cap: cap,
+            pacing: None,
+        }));
+    }
 
     // Phase 1: drive writes up to the crash point.
     let crash_at = crash_at.min(writes.len());
     let mut t = Cycle::ZERO;
-    for &lpn in &writes[..crash_at] {
+    for (i, &lpn) in writes[..crash_at].iter().enumerate() {
         let r = match &mut f {
             Ftl::Zng(z) => z.write(t, &mut d, lpn).map(|r| r.done),
             Ftl::Map(m) => m.write_page(t, &mut d, lpn),
@@ -138,6 +171,11 @@ fn check_crash(
             Err(Error::DeviceWornOut { .. }) => break,
             Err(Error::UncorrectableRead { .. }) => {}
             Err(e) => return Err(TestCaseError::fail(format!("write failed: {e}"))),
+        }
+        if let Some((every, _)) = ckpt {
+            if (i + 1) % every == 0 {
+                t = f.checkpoint_step(t, &mut d);
+            }
         }
     }
     // A "settled" cut waits out every background program; an immediate
@@ -202,6 +240,8 @@ fn check_crash(
 
     // Invariant 4: recovery of an identical crashed clone is
     // deterministic — same report, same mappings.
+    let mut d3 = d2.clone();
+    let mut f3 = f2.clone_box();
     d2.power_loss(t_cut);
     let report2 = f2
         .recover(t_cut, &mut d2)
@@ -213,6 +253,31 @@ fn check_crash(
     prop_assert_eq!(report.scan_cycles, report2.scan_cycles);
     for &lpn in writes {
         prop_assert_eq!(f.locate(lpn), f2.locate(lpn));
+    }
+
+    // Invariant 5 (checkpointing only): whether the recovery took the
+    // journal fast path or fell back, it must rebuild exactly the state
+    // a checkpoint-less full scan of the same crashed media rebuilds.
+    if ckpt.is_some() {
+        prop_assert!(
+            report.fast_path || report.fallback,
+            "a checkpointed recovery must report its path: {report:?}"
+        );
+        f3.set_checkpointing(None);
+        d3.power_loss(t_cut);
+        let full = f3
+            .recover(t_cut, &mut d3)
+            .map_err(|e| TestCaseError::fail(format!("full-scan recovery failed: {e}")))?;
+        prop_assert!(!full.fast_path && !full.fallback);
+        prop_assert_eq!(f.free_blocks(), f3.free_blocks());
+        for &lpn in writes {
+            prop_assert_eq!(
+                f.locate(lpn),
+                f3.locate(lpn),
+                "checkpointed recovery diverged from the full scan for lpn {}",
+                lpn
+            );
+        }
     }
     Ok(())
 }
@@ -227,7 +292,7 @@ proptest! {
         crash_at in 0usize..100,
         settle in any::<bool>(),
     ) {
-        check_crash(profile, seed, &writes, crash_at, settle, Some(WriteMode::Direct))?;
+        check_crash(profile, seed, &writes, crash_at, settle, Some(WriteMode::Direct), None)?;
     }
 
     /// ZnG FTL, buffered (register-grouped) writes: register-resident
@@ -240,7 +305,7 @@ proptest! {
         crash_at in 0usize..100,
         settle in any::<bool>(),
     ) {
-        check_crash(profile, seed, &writes, crash_at, settle, Some(WriteMode::Buffered))?;
+        check_crash(profile, seed, &writes, crash_at, settle, Some(WriteMode::Buffered), None)?;
     }
 
     /// Conventional page-map FTL: same headline invariant.
@@ -252,7 +317,98 @@ proptest! {
         crash_at in 0usize..100,
         settle in any::<bool>(),
     ) {
-        check_crash(profile, seed, &writes, crash_at, settle, None)?;
+        check_crash(profile, seed, &writes, crash_at, settle, None, None)?;
+    }
+
+    /// ZnG FTL with checkpointing: arbitrary cadences, journal caps and
+    /// crash points (mid-epoch, mid-journal, straight after a commit)
+    /// never lose durable data, and the recovery — fast path or fallback
+    /// — is bit-identical to a checkpoint-less full scan.
+    #[test]
+    fn zng_checkpointed_crashes_match_full_scan(
+        profile in 0u8..3,
+        seed in 0u64..50,
+        writes in prop::collection::vec(0u64..48, 1..100),
+        crash_at in 0usize..100,
+        settle in any::<bool>(),
+        every in 2usize..25,
+        cap_sel in 0usize..4,
+    ) {
+        let cap = [0u64, 4, 16, 256][cap_sel];
+        check_crash(
+            profile, seed, &writes, crash_at, settle,
+            Some(WriteMode::Direct), Some((every, cap)),
+        )?;
+    }
+
+    /// Conventional page-map FTL with checkpointing: same invariants.
+    #[test]
+    fn pagemap_checkpointed_crashes_match_full_scan(
+        profile in 0u8..3,
+        seed in 0u64..50,
+        writes in prop::collection::vec(0u64..256, 1..100),
+        crash_at in 0usize..100,
+        settle in any::<bool>(),
+        every in 2usize..25,
+        cap_sel in 0usize..4,
+    ) {
+        let cap = [0u64, 4, 16, 256][cap_sel];
+        check_crash(profile, seed, &writes, crash_at, settle, None, Some((every, cap)))?;
+    }
+
+    /// Chaos lane: every robustness subsystem at once — RAIN redundancy,
+    /// verified reads, endurance management, bounded overload control and
+    /// background checkpointing — under an arbitrary mid-run power cut.
+    /// The run must recover (fast path or clean fallback), resume, and
+    /// service exactly the work its crash-free twin services: no acked
+    /// write is ever lost.
+    #[test]
+    fn chaos_combined_faults_lose_nothing(
+        seed in 0u64..8,
+        crash_at in 50u64..400,
+        every in 16u64..64,
+    ) {
+        use zng::{
+            CheckpointConfig, EnduranceConfig, IntegrityConfig, PlatformKind, QosConfig,
+            RedundancyConfig, SimConfig, Simulation,
+        };
+        use zng_workloads::{MultiApp, TraceParams};
+
+        let p = TraceParams {
+            total_warps: 4,
+            mem_ops_per_warp: 120,
+            footprint_pages: 64,
+            seed,
+        };
+        let mix = MultiApp::from_names(&["betw", "back"], &p).unwrap();
+        let mut cfg = SimConfig::tiny();
+        cfg.fault = FaultConfig::nominal().with_seed(seed);
+        cfg.qos = QosConfig::bounded(8);
+        cfg.redundancy = RedundancyConfig::rain(0);
+        cfg.integrity = IntegrityConfig {
+            enabled: true,
+            ..IntegrityConfig::off()
+        };
+        cfg.endurance = EnduranceConfig::on(0);
+        cfg.checkpoint = CheckpointConfig::on(every);
+        cfg.crash_at = Some(crash_at);
+        let crashed = Simulation::new(PlatformKind::Zng, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let cr = crashed.crash_recovery.expect("the cut must be reported");
+        prop_assert!(
+            cr.fast_path || cr.fallback,
+            "a checkpointed recovery must report its path: {cr:?}"
+        );
+        let mut clean_cfg = cfg;
+        clean_cfg.crash_at = None;
+        let clean = Simulation::new(PlatformKind::Zng, &clean_cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        prop_assert_eq!(crashed.requests, clean.requests);
+        prop_assert_eq!(crashed.instructions, clean.instructions);
     }
 }
 
