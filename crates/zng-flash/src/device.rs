@@ -16,7 +16,10 @@ use zng_types::{
 };
 
 use crate::block::{Block, OobMeta, PageOob};
-use crate::fault::{FaultConfig, PlaneFaults, PlaneSdc, SdcConfig};
+use crate::fault::{
+    DegradeState, DegradingDie, FaultConfig, PlaneFaults, PlaneSdc, SdcConfig,
+    RETRY_STEP_EXTRA_CYCLES,
+};
 use crate::geometry::FlashGeometry;
 use crate::network::FlashNetwork;
 use crate::package::{BufferedWrite, FlashPackage, PendingProgram, RegisterTopology};
@@ -138,6 +141,10 @@ pub struct FlashDevice {
     /// Read-disturb tracking unit (senses per P/E-equivalent cycle of
     /// exposure); `None` disables endurance accounting entirely.
     disturb_unit: Option<u64>,
+    /// Degrading-die fault state ([`FaultConfig::degrading`]): escalating
+    /// read/program penalties through a cycle window, death at its end.
+    /// `None` (the default) performs no draws at all.
+    degrade: Option<DegradeState>,
 }
 
 impl FlashDevice {
@@ -182,6 +189,7 @@ impl FlashDevice {
             sdc: Vec::new(),
             sdc_at: None,
             disturb_unit: None,
+            degrade: None,
         })
     }
 
@@ -231,6 +239,40 @@ impl FlashDevice {
             .contains(&(ch.index() as u16, die.index() as u16))
     }
 
+    /// The configured degrading die, if any.
+    pub fn degrading_die(&self) -> Option<DegradingDie> {
+        self.degrade.as_ref().map(|st| st.config())
+    }
+
+    /// Advances the degrading-die clock to `now`: once the configured
+    /// death cycle is reached the die joins [`FlashDevice::dead_dies`]
+    /// (reads behave exactly like an instant die failure). Called lazily
+    /// by every timed array operation; maintenance loops may also call it
+    /// so a quiet device still notices the death. Idempotent.
+    pub fn degrade_tick(&mut self, now: Cycle) {
+        let Some(st) = self.degrade.as_mut() else {
+            return;
+        };
+        if st.tick(now.raw()) {
+            let d = st.config();
+            let key = (d.channel, d.die);
+            if !self.dead_dies.contains(&key) {
+                self.dead_dies.push(key);
+            }
+        }
+    }
+
+    /// Whether `(ch, die)` died by *degradation* rather than an instant
+    /// `fail_die`. A degraded-dead die still accepts program/erase
+    /// commands — they all fail verification (dead silicon verifies
+    /// nothing) — so an FTL that never fenced it keeps limping along on
+    /// its redrive machinery instead of hard-erroring.
+    fn die_is_soft_dead(&self, ch: ChannelId, die: DieId) -> bool {
+        self.degrade
+            .as_ref()
+            .is_some_and(|st| st.is_dead() && st.matches(ch.index() as u16, die.index() as u16))
+    }
+
     /// Failed dies as `(channel, die)` pairs, in failure order.
     pub fn dead_dies(&self) -> &[(u16, u16)] {
         &self.dead_dies
@@ -250,7 +292,9 @@ impl FlashDevice {
     }
 
     fn check_die_alive(&self, block: BlockAddr) -> Result<()> {
-        if self.die_is_dead(block.channel, block.die) {
+        if self.die_is_dead(block.channel, block.die)
+            && !self.die_is_soft_dead(block.channel, block.die)
+        {
             return Err(Error::FlashProtocol(format!(
                 "array access on dead die {}:{}",
                 block.channel.index(),
@@ -323,6 +367,7 @@ impl FlashDevice {
                     .set_faults(PlaneFaults::new(cfg, tag, PE_LIMIT as u64));
             }
         }
+        self.degrade = DegradeState::new(cfg);
     }
 
     /// Installs silent-corruption (SDC) injection. A non-zero rate gives
@@ -393,7 +438,9 @@ impl FlashDevice {
         key: PageKey,
         transfer_bytes: usize,
     ) -> Result<Cycle> {
+        self.degrade_tick(now);
         let ch = addr.block.channel;
+        let die = addr.block.die.index() as u16;
         let pkg = &mut self.packages[ch.index()];
         if pkg.register_holds(key) {
             let at_pins = pkg.read_from_register(now, transfer_bytes);
@@ -405,6 +452,7 @@ impl FlashDevice {
             // through one path; retries are pointless on dead silicon, so
             // the ladder depth is reported as zero.
             self.dead_die_reads += 1;
+            self.stats.record_die_uncorrectable(ch.index() as u16, die);
             return Err(Error::UncorrectableRead {
                 block: addr.block.block as u64,
                 page: addr.page,
@@ -425,6 +473,7 @@ impl FlashDevice {
             let p = self.packages[ch.index()].plane(plane_idx);
             for _ in pre_noted..p.disturb_noted() {
                 self.stats.record_disturb_read();
+                self.stats.record_die_disturb(ch.index() as u16, die);
             }
             for _ in pre_errors..p.disturb_errors() {
                 self.stats.record_disturb_triggered_error();
@@ -435,16 +484,44 @@ impl FlashDevice {
             Err(e) => {
                 if matches!(e, Error::UncorrectableRead { .. }) {
                     self.stats.record_uncorrectable_read();
+                    self.stats.record_die_uncorrectable(ch.index() as u16, die);
                 }
                 return Err(e);
             }
         };
-        self.stats.record_read_retries(r.retries as u64);
+        // Degrading-die penalty: a sense inside the window burns extra
+        // retry-ladder steps (charged like organic retries), and can
+        // exhaust the ladder outright.
+        let mut extra = 0u32;
         if r.sensed {
+            if let Some(st) = self.degrade.as_mut() {
+                if !st.is_dead() && st.matches(ch.index() as u16, die) {
+                    let (steps, exhausted) = st.read_penalty(now.raw());
+                    extra = steps;
+                    if exhausted {
+                        // A failed sense never latches in the register.
+                        self.packages[ch.index()].plane_mut(plane_idx).evict_latch();
+                        self.stats.record_uncorrectable_read();
+                        self.stats.record_die_uncorrectable(ch.index() as u16, die);
+                        return Err(Error::UncorrectableRead {
+                            block: addr.block.block as u64,
+                            page: addr.page,
+                            retries: extra,
+                        });
+                    }
+                }
+            }
+        }
+        let steps = r.retries as u64 + extra as u64;
+        self.stats.record_read_retries(steps);
+        let mut done = r.done;
+        if r.sensed {
+            self.stats.record_die_read(ch.index() as u16, die, steps);
             self.stats.record_read(key, self.geometry.page_bytes);
             self.maybe_miscorrect(now, addr);
+            done += Cycle(extra as u64 * (self.cycles.read.raw() + RETRY_STEP_EXTRA_CYCLES));
         }
-        Ok(self.network.transfer(r.done, ch, transfer_bytes))
+        Ok(self.network.transfer(done, ch, transfer_bytes))
     }
 
     /// Draws from the plane's SDC stream on a fresh array sense: with
@@ -521,6 +598,11 @@ impl FlashDevice {
         report: &ProgramReport,
         demand: bool,
     ) {
+        self.stats.record_die_program(
+            block.channel.index() as u16,
+            block.die.index() as u16,
+            report.failed,
+        );
         if report.failed {
             self.stats.record_program_failure();
             return;
@@ -561,15 +643,48 @@ impl FlashDevice {
     ///
     /// Flash protocol errors (full block).
     pub fn program(&mut self, now: Cycle, block: BlockAddr, key: PageKey) -> Result<ProgramReport> {
+        self.degrade_tick(now);
         self.check_die_alive(block)?;
         let ch = block.channel;
         let arrived = self.network.transfer(now, ch, self.geometry.page_bytes);
         let plane_idx = self.plane_idx(block);
         let pkg = &mut self.packages[ch.index()];
         let report = pkg.program_page(arrived, plane_idx, block.block)?;
+        let report = self.degrade_program(now, block, report);
         self.stats.record_program(key, self.geometry.page_bytes);
         self.finish_program(block, key, &report, true);
         Ok(report)
+    }
+
+    /// Applies the degrading-die program penalty: inside the window a
+    /// program on the degrading die fails verification with probability
+    /// equal to the severity; past death every program on it fails (dead
+    /// silicon verifies nothing). The burned page and failed block end
+    /// up exactly as an organically drawn failure would, so the FTL's
+    /// redrive/retire machinery absorbs both identically.
+    fn degrade_program(
+        &mut self,
+        now: Cycle,
+        block: BlockAddr,
+        mut report: ProgramReport,
+    ) -> ProgramReport {
+        if report.failed {
+            return report;
+        }
+        let Some(st) = self.degrade.as_mut() else {
+            return report;
+        };
+        if !st.matches(block.channel.index() as u16, block.die.index() as u16) {
+            return report;
+        }
+        if st.is_dead() || st.program_fails(now.raw()) {
+            report.failed = true;
+            if let Ok(b) = self.block_mut(block) {
+                b.mark_failed();
+                b.invalidate(report.page);
+            }
+        }
+        report
     }
 
     /// Programs a page as part of a GC migration: same mechanics as
@@ -585,12 +700,14 @@ impl FlashDevice {
         block: BlockAddr,
         key: PageKey,
     ) -> Result<ProgramReport> {
+        self.degrade_tick(now);
         self.check_die_alive(block)?;
         let ch = block.channel;
         let arrived = self.network.transfer(now, ch, self.geometry.page_bytes);
         let plane_idx = self.plane_idx(block);
         let pkg = &mut self.packages[ch.index()];
         let report = pkg.program_page(arrived, plane_idx, block.block)?;
+        let report = self.degrade_program(now, block, report);
         self.stats
             .record_migration_program(self.geometry.page_bytes);
         self.finish_program(block, key, &report, false);
@@ -608,10 +725,12 @@ impl FlashDevice {
         block: BlockAddr,
         key: PageKey,
     ) -> Result<ProgramReport> {
+        self.degrade_tick(now);
         self.check_die_alive(block)?;
         let plane_idx = self.plane_idx(block);
         let pkg = &mut self.packages[block.channel.index()];
         let report = pkg.program_page_internal(now, plane_idx, block.block)?;
+        let report = self.degrade_program(now, block, report);
         self.stats.record_program(key, self.geometry.page_bytes);
         self.finish_program(block, key, &report, true);
         Ok(report)
@@ -667,16 +786,35 @@ impl FlashDevice {
     ///
     /// Flash protocol errors (valid pages remain).
     pub fn erase(&mut self, now: Cycle, block: BlockAddr) -> Result<EraseReport> {
+        self.degrade_tick(now);
         self.check_die_alive(block)?;
         let plane_idx = self.plane_idx(block);
         // Erase barrier: all programs issued so far are ordered before
         // this erase (see the `fenced_seq` field).
         self.fenced_seq = self.program_seq;
-        let report =
+        let mut report =
             self.packages[block.channel.index()].erase_block(now, plane_idx, block.block)?;
+        // Degrading-die erase penalty, mirroring the program penalty.
+        if !report.failed {
+            if let Some(st) = self.degrade.as_mut() {
+                if st.matches(block.channel.index() as u16, block.die.index() as u16)
+                    && (st.is_dead() || st.erase_fails(now.raw()))
+                {
+                    report.failed = true;
+                    if let Ok(b) = self.block_mut(block) {
+                        b.mark_failed();
+                    }
+                }
+            }
+        }
         if report.failed {
             self.stats.record_erase_failure();
         }
+        self.stats.record_die_erase(
+            block.channel.index() as u16,
+            block.die.index() as u16,
+            report.failed,
+        );
         Ok(report)
     }
 
@@ -1250,5 +1388,114 @@ mod tests {
         d.fail_die(ChannelId(1), DieId(0));
         d.fail_die(ChannelId(1), DieId(0));
         assert_eq!(d.dead_dies().len(), 1);
+    }
+
+    #[test]
+    fn degrading_die_gets_noisy_then_dies_softly() {
+        use crate::fault::DegradingDie;
+        let mut d = device();
+        d.set_fault_config(&FaultConfig::none().with_degrading(DegradingDie {
+            channel: 0,
+            die: 0,
+            onset: 1_000_000,
+            death: 100_000_000,
+        }));
+        assert!(d.degrading_die().is_some());
+        let r = d.program(Cycle(0), block0(), 1).unwrap();
+        assert!(!r.failed, "pre-onset programs are clean");
+        // Late in the window (severity ~0.95): reads burn retry steps and
+        // programs routinely fail verification.
+        let late = Cycle(95_000_000);
+        let mut failures = 0u64;
+        for k in 0..40u64 {
+            match d.program(late, block0(), 10 + k) {
+                Ok(rep) => failures += rep.failed as u64,
+                Err(_) => break, // block filled by burned slots
+            }
+        }
+        assert!(failures > 0, "late-window programs must fail sometimes");
+        let h = d.stats().die_health(0, 0);
+        assert!(h.program_failures > 0);
+        assert!(
+            h.programs > h.program_failures,
+            "clean programs counted too"
+        );
+        let mut retried = 0u64;
+        let mut t = late;
+        for _ in 0..50 {
+            d.discard_register(ChannelId(0), 1);
+            // Evict the latch by sensing a different die, then re-sense.
+            match d.read(t, block0().page(r.page), 1, 128) {
+                Ok(done) => t = done + Cycle(1),
+                Err(_) => t += Cycle(10_000),
+            }
+            let b_live = BlockAddr::new(ChannelId(0), DieId(1), PlaneId(0), 0);
+            let _ = d.program(t, b_live, 999);
+            let _ = d.read(t, b_live.page(0), 999, 128);
+        }
+        retried += d.stats().die_health(0, 0).retry_steps;
+        assert!(retried > 0, "in-window reads must burn retry steps");
+        // The healthy sibling die saw no degrade penalties.
+        assert_eq!(d.stats().die_health(0, 1).program_failures, 0);
+        // Death: the die joins dead_dies on the next timed op...
+        let b_live = BlockAddr::new(ChannelId(0), DieId(1), PlaneId(0), 0);
+        let _ = d.program(Cycle(100_000_000), b_live, 5);
+        assert!(d.die_is_dead(ChannelId(0), DieId(0)));
+        assert_eq!(d.dead_dies(), &[(0, 0)]);
+        // ...reads behave exactly like an instant die failure...
+        let before = d.dead_die_reads();
+        assert!(matches!(
+            d.read(Cycle(100_000_001), block0().page(r.page), 1, 128),
+            Err(Error::UncorrectableRead { retries: 0, .. })
+        ));
+        assert_eq!(d.dead_die_reads(), before + 1);
+        // ...but programs/erases still run and always fail verification
+        // (soft death), so an unfenced FTL degrades instead of crashing.
+        let b_fresh = BlockAddr::new(ChannelId(0), DieId(0), PlaneId(0), 1);
+        let rep = d
+            .program(Cycle(100_000_002), b_fresh, 77)
+            .expect("soft-dead programs are accepted");
+        assert!(rep.failed, "soft-dead programs always fail verification");
+    }
+
+    #[test]
+    fn degrading_die_runs_are_deterministic_per_seed() {
+        use crate::fault::DegradingDie;
+        let run =
+            || {
+                let mut d = device();
+                d.set_fault_config(&FaultConfig::none().with_seed(11).with_degrading(
+                    DegradingDie {
+                        channel: 0,
+                        die: 0,
+                        onset: 0,
+                        death: 10_000_000,
+                    },
+                ));
+                let mut log = Vec::new();
+                for k in 0..24u64 {
+                    let now = Cycle(k * 400_000);
+                    match d.program(now, block0(), k) {
+                        Ok(rep) => log.push((rep.failed, rep.page)),
+                        Err(_) => log.push((true, u32::MAX)),
+                    }
+                }
+                (log, d.stats().program_failures())
+            };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn no_degrading_config_changes_nothing() {
+        let mut d = device();
+        d.set_fault_config(&FaultConfig::none());
+        assert!(d.degrading_die().is_none());
+        let r = d.program(Cycle(0), block0(), 1).unwrap();
+        assert!(!r.failed);
+        d.degrade_tick(Cycle(u64::MAX / 2));
+        assert!(d.dead_dies().is_empty());
+        assert!(d
+            .read(Cycle(1_000_000), block0().page(r.page), 1, 128)
+            .is_ok());
     }
 }

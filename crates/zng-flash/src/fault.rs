@@ -69,6 +69,68 @@ impl std::fmt::Display for FaultProfile {
     }
 }
 
+/// A single die degrading toward death over a fixed cycle window.
+///
+/// Models the wear-out signature real SSD health monitors key on:
+/// between `onset` and `death` the die's raw bit-error rate and
+/// program-failure rate ramp linearly from nominal to certain failure;
+/// at `death` the die stops returning data entirely. Unlike the
+/// instant `fail_die` fault (a clean amputation), a degrading die is
+/// *noisy* on the way down — exactly the telemetry a predictive health
+/// monitor needs to flag it before the cliff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DegradingDie {
+    /// Channel of the degrading die.
+    pub channel: u16,
+    /// Die index within the channel.
+    pub die: u16,
+    /// Cycle at which degradation begins (severity 0).
+    pub onset: u64,
+    /// Cycle at which the die dies outright (severity reaches 1 just
+    /// before). Must be strictly greater than `onset`.
+    pub death: u64,
+}
+
+impl DegradingDie {
+    /// Degradation severity at `now`: 0 before `onset`, ramping
+    /// linearly to 1 at `death` (and clamped there after).
+    pub fn severity(&self, now: u64) -> f64 {
+        if now < self.onset {
+            return 0.0;
+        }
+        let span = self.death.saturating_sub(self.onset).max(1);
+        ((now - self.onset) as f64 / span as f64).min(1.0)
+    }
+
+    /// Whether the die has reached its death cycle at `now`.
+    pub fn is_dead(&self, now: u64) -> bool {
+        now >= self.death
+    }
+
+    /// Whether this fault targets `(channel, die)`.
+    pub fn matches(&self, channel: u16, die: u16) -> bool {
+        self.channel == channel && self.die == die
+    }
+
+    /// Rejects an empty degradation window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `death <= onset`.
+    pub fn validate(&self) -> Result<()> {
+        if self.death <= self.onset {
+            return Err(Error::invalid_config(
+                "degrading die",
+                format!(
+                    "death cycle {} must exceed onset cycle {}",
+                    self.death, self.onset
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Fault-injection configuration carried by `SimConfig`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
@@ -76,6 +138,9 @@ pub struct FaultConfig {
     pub profile: FaultProfile,
     /// Master seed; each plane derives its own stream from this.
     pub seed: u64,
+    /// Optional single die degrading toward death (independent of the
+    /// profile; `None` performs no draws and is bit-identical).
+    pub degrading: Option<DegradingDie>,
 }
 
 impl FaultConfig {
@@ -84,6 +149,7 @@ impl FaultConfig {
         FaultConfig {
             profile: FaultProfile::None,
             seed: 42,
+            degrading: None,
         }
     }
 
@@ -92,6 +158,7 @@ impl FaultConfig {
         FaultConfig {
             profile: FaultProfile::Nominal,
             seed: 42,
+            degrading: None,
         }
     }
 
@@ -100,12 +167,19 @@ impl FaultConfig {
         FaultConfig {
             profile: FaultProfile::EndOfLife,
             seed: 42,
+            degrading: None,
         }
     }
 
     /// The same profile with a different master seed.
     pub fn with_seed(mut self, seed: u64) -> FaultConfig {
         self.seed = seed;
+        self
+    }
+
+    /// The same configuration with one die degrading toward death.
+    pub fn with_degrading(mut self, degrading: DegradingDie) -> FaultConfig {
+        self.degrading = Some(degrading);
         self
     }
 }
@@ -365,6 +439,100 @@ impl PlaneFaults {
     }
 }
 
+/// Seed salt separating the degrading die's draw stream from the
+/// per-plane RBER and SDC streams, so arming a degrading die never
+/// perturbs the existing fault draws.
+const DEGRADE_SEED_SALT: u64 = 0xdeca_1dea_deca_1dea;
+
+/// Runtime state of one degrading die: the configured window plus a
+/// private RNG stream and the latched death flag.
+///
+/// All outcomes scale with [`DegradingDie::severity`] at the operation's
+/// cycle, so the die is indistinguishable from healthy before `onset`,
+/// increasingly noisy through the window, and dead after `death`.
+#[derive(Debug, Clone)]
+pub struct DegradeState {
+    cfg: DegradingDie,
+    rng: SmallRng,
+    dead: bool,
+}
+
+impl DegradeState {
+    /// Builds the state for `cfg.degrading`, or `None` when no die is
+    /// degrading (zero draws, bit-identical).
+    pub fn new(cfg: &FaultConfig) -> Option<DegradeState> {
+        let d = cfg.degrading?;
+        let tag = ((d.channel as u64) << 16) | d.die as u64;
+        Some(DegradeState {
+            cfg: d,
+            rng: seeded(derive_seed(cfg.seed ^ DEGRADE_SEED_SALT, tag)),
+            dead: false,
+        })
+    }
+
+    /// The configured degradation window.
+    pub fn config(&self) -> DegradingDie {
+        self.cfg
+    }
+
+    /// Whether this fault targets `(channel, die)`.
+    pub fn matches(&self, channel: u16, die: u16) -> bool {
+        self.cfg.matches(channel, die)
+    }
+
+    /// Whether the death cycle has been latched (see
+    /// [`DegradeState::tick`]).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Latches death once `now` reaches the configured death cycle.
+    /// Returns `true` exactly once, on the transition, so the caller can
+    /// run its die-death bookkeeping a single time.
+    pub fn tick(&mut self, now: u64) -> bool {
+        if !self.dead && self.cfg.is_dead(now) {
+            self.dead = true;
+            return true;
+        }
+        false
+    }
+
+    /// Draws the extra read-retry ladder steps a sense on the degrading
+    /// die pays at `now`, and whether the ladder is exhausted outright
+    /// (uncorrectable). Each successive step clears with probability
+    /// `1 - severity`, so a die late in its window burns most of the
+    /// ladder on most reads — the retry-depth EWMA signal the health
+    /// monitor watches.
+    pub fn read_penalty(&mut self, now: u64) -> (u32, bool) {
+        let s = self.cfg.severity(now);
+        if s <= 0.0 {
+            return (0, false);
+        }
+        let mut steps = 0u32;
+        while steps < MAX_READ_RETRIES {
+            if self.rng.gen::<f64>() >= s {
+                return (steps, false);
+            }
+            steps += 1;
+        }
+        (steps, true)
+    }
+
+    /// Draws whether a program on the degrading die fails verification
+    /// at `now` (probability = severity).
+    pub fn program_fails(&mut self, now: u64) -> bool {
+        let s = self.cfg.severity(now);
+        s > 0.0 && self.rng.gen::<f64>() < s
+    }
+
+    /// Draws whether an erase on the degrading die fails verification
+    /// at `now` (probability = severity).
+    pub fn erase_fails(&mut self, now: u64) -> bool {
+        let s = self.cfg.severity(now);
+        s > 0.0 && self.rng.gen::<f64>() < s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,6 +700,98 @@ mod tests {
         );
         assert!(amp_attr > 0, "some failures must be attributed to disturb");
         assert!(amp_attr <= amp_fails);
+    }
+
+    #[test]
+    fn degrading_none_has_no_state_and_validation_rejects_empty_window() {
+        assert!(DegradeState::new(&FaultConfig::none()).is_none());
+        assert!(DegradeState::new(&FaultConfig::end_of_life()).is_none());
+        let bad = DegradingDie {
+            channel: 0,
+            die: 0,
+            onset: 100,
+            death: 100,
+        };
+        assert!(bad.validate().is_err());
+        let good = DegradingDie {
+            channel: 0,
+            die: 0,
+            onset: 100,
+            death: 200,
+        };
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn degrading_severity_ramps_linearly_and_latches_death() {
+        let d = DegradingDie {
+            channel: 1,
+            die: 2,
+            onset: 1_000,
+            death: 3_000,
+        };
+        assert_eq!(d.severity(0), 0.0);
+        assert_eq!(d.severity(1_000), 0.0);
+        assert!((d.severity(2_000) - 0.5).abs() < 1e-12);
+        assert_eq!(d.severity(3_000), 1.0);
+        assert_eq!(d.severity(10_000), 1.0);
+        assert!(!d.is_dead(2_999) && d.is_dead(3_000));
+        let cfg = FaultConfig::none().with_degrading(d);
+        let mut st = DegradeState::new(&cfg).unwrap();
+        assert!(st.matches(1, 2) && !st.matches(1, 3));
+        assert!(!st.tick(2_999) && !st.is_dead());
+        assert!(st.tick(3_000), "death transition fires once");
+        assert!(st.is_dead());
+        assert!(!st.tick(4_000), "death is latched, not re-reported");
+    }
+
+    #[test]
+    fn degrading_penalties_scale_with_severity() {
+        let d = DegradingDie {
+            channel: 0,
+            die: 0,
+            onset: 0,
+            death: 1_000_000,
+        };
+        let cfg = FaultConfig::none().with_degrading(d);
+        let trials = 5_000;
+        let run = |now: u64| {
+            let mut st = DegradeState::new(&cfg).unwrap();
+            let mut steps = 0u64;
+            let mut unc = 0u64;
+            let mut prog = 0u64;
+            for _ in 0..trials {
+                let (s, u) = st.read_penalty(now);
+                steps += s as u64;
+                unc += u as u64;
+                prog += st.program_fails(now) as u64;
+            }
+            (steps, unc, prog)
+        };
+        let (s_early, u_early, p_early) = run(1_000);
+        let (s_late, u_late, p_late) = run(950_000);
+        assert!(
+            s_late > s_early * 10,
+            "retry depth ramps: {s_late} vs {s_early}"
+        );
+        assert!(
+            u_late > u_early,
+            "uncorrectables ramp: {u_late} vs {u_early}"
+        );
+        assert!(
+            p_late > p_early * 10,
+            "program failures ramp: {p_late} vs {p_early}"
+        );
+        // Before onset: perfectly healthy, zero draws consumed.
+        let mut quiet = DegradeState::new(&cfg.with_degrading(DegradingDie {
+            onset: 500,
+            death: 1_000,
+            ..d
+        }))
+        .unwrap();
+        assert_eq!(quiet.read_penalty(100), (0, false));
+        assert!(!quiet.program_fails(100));
+        assert!(!quiet.erase_fails(100));
     }
 
     #[test]

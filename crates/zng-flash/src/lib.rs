@@ -36,13 +36,13 @@ pub use block::{Block, BlockKind, OobMeta, PageOob};
 pub use decoder::{RowDecoder, CAM_SEARCH_CYCLES};
 pub use device::{EnduranceReport, FlashDevice, PageKey, PowerLossReport};
 pub use fault::{
-    FaultConfig, FaultParams, FaultProfile, PlaneFaults, PlaneSdc, SdcConfig,
-    DISTURB_READS_PER_CYCLE, MAX_READ_RETRIES, SDC_RETENTION_DOUBLING_CYCLES,
+    DegradeState, DegradingDie, FaultConfig, FaultParams, FaultProfile, PlaneFaults, PlaneSdc,
+    SdcConfig, DISTURB_READS_PER_CYCLE, MAX_READ_RETRIES, SDC_RETENTION_DOUBLING_CYCLES,
 };
 pub use geometry::FlashGeometry;
 pub use network::{FlashNetwork, NetworkTopology};
 pub use package::{FlashPackage, RegisterTopology};
 pub use plane::{EraseReport, Plane, ProgramReport, ReadReport};
 pub use registers::{RegisterCache, WriteOutcome};
-pub use stats::{FlashStats, RETRY_DEPTH_BUCKETS};
+pub use stats::{DieHealth, FlashStats, RETRY_DEPTH_BUCKETS, RETRY_EWMA_ALPHA};
 pub use timing::{FlashCycles, FlashTiming};

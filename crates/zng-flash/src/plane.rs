@@ -289,6 +289,13 @@ impl Plane {
         })
     }
 
+    /// Drops the plane's cache-register latch. A failed sense never
+    /// latches; the device's degrading-die penalty uses this to keep
+    /// that invariant when it fails a sense after the fact.
+    pub fn evict_latch(&mut self) {
+        self.sensed = None;
+    }
+
     /// Charges one array sense against `block`'s disturb counter
     /// (no-op unless disturb accounting is enabled).
     fn note_disturb(&mut self, block: u32) {

@@ -12,6 +12,56 @@ use crate::fault::MAX_READ_RETRIES;
 /// [`FlashStats::uncorrectable_reads`] instead.
 pub const RETRY_DEPTH_BUCKETS: usize = MAX_READ_RETRIES as usize + 1;
 
+/// Smoothing factor for the per-die retry-depth EWMA: each sense folds
+/// its ladder depth in with weight 1/16, so the average tracks the last
+/// few dozen senses — fast enough to catch a degrading die inside its
+/// window, slow enough to ride out single noisy reads.
+pub const RETRY_EWMA_ALPHA: f64 = 1.0 / 16.0;
+
+/// Per-die health telemetry: the SMART-style rollup a predictive health
+/// monitor scores. Collected unconditionally (pure counters — no timing
+/// or RNG effect), surfaced only when the health subsystem asks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DieHealth {
+    /// Array senses served by this die.
+    pub reads: u64,
+    /// Total read-retry ladder steps burned by this die's senses.
+    pub retry_steps: u64,
+    /// Exponentially weighted moving average of retry depth per sense
+    /// (see [`RETRY_EWMA_ALPHA`]).
+    pub retry_ewma: f64,
+    /// Senses that stayed uncorrectable through the whole ladder.
+    pub uncorrectable_reads: u64,
+    /// Page programs attempted on this die.
+    pub programs: u64,
+    /// Programs that failed verification.
+    pub program_failures: u64,
+    /// Block erases completed on this die (the wear rollup).
+    pub erases: u64,
+    /// Erases that failed verification.
+    pub erase_failures: u64,
+    /// Senses charged against disturb counters on this die.
+    pub disturb_reads: u64,
+}
+
+impl DieHealth {
+    /// Fraction of programs that failed verification (0 when none ran).
+    pub fn program_failure_rate(&self) -> f64 {
+        if self.programs == 0 {
+            return 0.0;
+        }
+        self.program_failures as f64 / self.programs as f64
+    }
+
+    /// Fraction of senses that ended uncorrectable (0 when none ran).
+    pub fn uncorrectable_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.uncorrectable_reads as f64 / self.reads as f64
+    }
+}
+
 /// Per-logical-page access accounting plus aggregate byte counters.
 ///
 /// * **read re-access** (Fig. 5b / Fig. 12) — average number of array
@@ -36,6 +86,7 @@ pub struct FlashStats {
     silent_corruptions: u64,
     disturb_reads: u64,
     disturb_triggered_errors: u64,
+    die_health: HashMap<(u16, u16), DieHealth>,
 }
 
 impl FlashStats {
@@ -112,6 +163,65 @@ impl FlashStats {
     /// probability past what wear + retention alone justify.
     pub fn record_disturb_triggered_error(&mut self) {
         self.disturb_triggered_errors += 1;
+    }
+
+    /// Records one successful sense on a die: `retry_steps` ladder steps
+    /// taken, folded into the die's retry-depth EWMA.
+    pub fn record_die_read(&mut self, channel: u16, die: u16, retry_steps: u64) {
+        let h = self.die_health.entry((channel, die)).or_default();
+        h.reads += 1;
+        h.retry_steps += retry_steps;
+        h.retry_ewma += RETRY_EWMA_ALPHA * (retry_steps as f64 - h.retry_ewma);
+    }
+
+    /// Records an uncorrectable sense on a die: the whole ladder burned
+    /// with nothing to show (the EWMA saturates toward the ladder depth).
+    pub fn record_die_uncorrectable(&mut self, channel: u16, die: u16) {
+        let h = self.die_health.entry((channel, die)).or_default();
+        h.reads += 1;
+        h.retry_steps += MAX_READ_RETRIES as u64;
+        h.uncorrectable_reads += 1;
+        h.retry_ewma += RETRY_EWMA_ALPHA * (MAX_READ_RETRIES as f64 - h.retry_ewma);
+    }
+
+    /// Records a page program attempted on a die and whether it failed
+    /// verification.
+    pub fn record_die_program(&mut self, channel: u16, die: u16, failed: bool) {
+        let h = self.die_health.entry((channel, die)).or_default();
+        h.programs += 1;
+        h.program_failures += failed as u64;
+    }
+
+    /// Records a block erase attempted on a die and whether it failed
+    /// verification (successful erases are the die's wear rollup).
+    pub fn record_die_erase(&mut self, channel: u16, die: u16, failed: bool) {
+        let h = self.die_health.entry((channel, die)).or_default();
+        h.erases += !failed as u64;
+        h.erase_failures += failed as u64;
+    }
+
+    /// Records a disturb-charged sense against a die.
+    pub fn record_die_disturb(&mut self, channel: u16, die: u16) {
+        self.die_health
+            .entry((channel, die))
+            .or_default()
+            .disturb_reads += 1;
+    }
+
+    /// Health telemetry for one die (zeros if it never saw traffic).
+    pub fn die_health(&self, channel: u16, die: u16) -> DieHealth {
+        self.die_health
+            .get(&(channel, die))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Every die with recorded telemetry, sorted by `(channel, die)` for
+    /// deterministic output.
+    pub fn die_health_sorted(&self) -> Vec<((u16, u16), DieHealth)> {
+        let mut v: Vec<_> = self.die_health.iter().map(|(&k, &h)| (k, h)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
     }
 
     /// Total read-retry ladder steps across all senses.
@@ -242,6 +352,7 @@ impl FlashStats {
         self.silent_corruptions = 0;
         self.disturb_reads = 0;
         self.disturb_triggered_errors = 0;
+        self.die_health.clear();
     }
 }
 
@@ -328,6 +439,51 @@ mod tests {
         s.reset();
         assert_eq!(s.disturb_reads(), 0);
         assert_eq!(s.disturb_triggered_errors(), 0);
+    }
+
+    #[test]
+    fn die_health_tracks_per_die_counters_and_ewma() {
+        let mut s = FlashStats::new();
+        assert_eq!(s.die_health(0, 0), DieHealth::default());
+        s.record_die_read(0, 0, 0);
+        s.record_die_read(0, 0, 4);
+        s.record_die_uncorrectable(0, 0);
+        s.record_die_program(0, 0, false);
+        s.record_die_program(0, 0, true);
+        s.record_die_erase(0, 0, false);
+        s.record_die_erase(0, 0, true);
+        s.record_die_disturb(0, 0);
+        s.record_die_read(1, 3, 0);
+        let h = s.die_health(0, 0);
+        assert_eq!(h.reads, 3);
+        assert_eq!(h.retry_steps, 4 + MAX_READ_RETRIES as u64);
+        assert_eq!(h.uncorrectable_reads, 1);
+        assert_eq!(h.programs, 2);
+        assert_eq!(h.program_failures, 1);
+        assert_eq!(h.erases, 1);
+        assert_eq!(h.erase_failures, 1);
+        assert_eq!(h.disturb_reads, 1);
+        assert!(h.retry_ewma > 0.0, "retries must move the EWMA");
+        assert!((h.program_failure_rate() - 0.5).abs() < 1e-12);
+        assert!((h.uncorrectable_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // Quiet dies stay untracked; sorted view is deterministic.
+        let sorted = s.die_health_sorted();
+        assert_eq!(sorted.len(), 2);
+        assert_eq!(sorted[0].0, (0, 0));
+        assert_eq!(sorted[1].0, (1, 3));
+        s.reset();
+        assert!(s.die_health_sorted().is_empty());
+        assert_eq!(s.die_health(0, 0), DieHealth::default());
+    }
+
+    #[test]
+    fn die_retry_ewma_converges_toward_sustained_depth() {
+        let mut s = FlashStats::new();
+        for _ in 0..200 {
+            s.record_die_read(2, 1, 3);
+        }
+        let h = s.die_health(2, 1);
+        assert!((h.retry_ewma - 3.0).abs() < 1e-3, "ewma {}", h.retry_ewma);
     }
 
     #[test]

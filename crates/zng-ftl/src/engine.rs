@@ -16,7 +16,8 @@ use crate::GC_READ_ATTEMPTS;
 
 /// A read with a bounded retry budget against transient ECC-uncorrectable
 /// senses — the one retry loop shared by both FTLs' GC, scrub and
-/// migration paths ([`GC_READ_ATTEMPTS`] attempts).
+/// migration paths ([`GC_READ_ATTEMPTS`] attempts, plus `extra_attempts`
+/// when the health monitor grants a quarantined die a deeper ladder).
 ///
 /// When a [`RainState`] is supplied, a read that exhausts the whole
 /// ladder (or hits a dead die) is transparently reconstructed from its
@@ -29,12 +30,14 @@ pub(crate) fn retried_read(
     key: u64,
     bytes: usize,
     rain: Option<&mut RainState>,
+    extra_attempts: u32,
 ) -> Result<Cycle> {
+    let budget = GC_READ_ATTEMPTS + extra_attempts;
     let mut attempt = 0;
     loop {
         match device.read(now, addr, key, bytes) {
             Ok(t) => return Ok(t),
-            Err(Error::UncorrectableRead { .. }) if attempt + 1 < GC_READ_ATTEMPTS => {
+            Err(Error::UncorrectableRead { .. }) if attempt + 1 < budget => {
                 attempt += 1;
             }
             Err(e @ Error::UncorrectableRead { .. }) => {

@@ -26,6 +26,7 @@ pub(crate) const GC_READ_ATTEMPTS: u32 = 4;
 pub mod allocator;
 pub mod checkpoint;
 pub mod engine;
+pub mod health;
 pub mod integrity;
 pub mod pacing;
 pub mod pagemap;
@@ -40,6 +41,7 @@ pub use checkpoint::{
     JOURNAL_RECORDS_PER_PAGE, JOURNAL_REPLAY_CYCLES_PER_RECORD,
 };
 pub use engine::SsdEngine;
+pub use health::{HealthCounters, HealthPolicy, QUARANTINE_EXTRA_READ_ATTEMPTS, REHAB_CLEAN_TICKS};
 pub use integrity::IntegrityCounters;
 pub use pacing::GcPacing;
 pub use pagemap::PageMapFtl;

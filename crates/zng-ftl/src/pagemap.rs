@@ -12,6 +12,7 @@ use zng_flash::{BlockKind, FlashDevice};
 use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
 
 use crate::allocator::BlockAllocator;
+use crate::health::{HealthCounters, HealthPolicy, HealthState};
 use crate::integrity::IntegrityCounters;
 use crate::rain::{Claim, RainConfig, RainState};
 use crate::refresh::{EnduranceCounters, EnduranceState, RefreshPolicy};
@@ -59,6 +60,10 @@ pub struct PageMapFtl {
     /// Stale checkpoint blocks a recovery deferred; the next checkpoint
     /// write erases them off the restore critical path.
     stale_ckpt: Vec<u64>,
+    /// Predictive health monitor (suspect-die quarantine + pre-emptive
+    /// evacuation); `None` (the default) preserves baseline behaviour
+    /// bit-for-bit.
+    health: Option<HealthState>,
 }
 
 impl PageMapFtl {
@@ -85,7 +90,33 @@ impl PageMapFtl {
             endurance: None,
             checkpoint: None,
             stale_ckpt: Vec::new(),
+            health: None,
         }
+    }
+
+    /// Installs (or clears) the predictive health policy: per-die scoring,
+    /// suspect quarantine, pre-emptive evacuation and rehabilitation
+    /// activate together. `None` keeps the baseline bit-for-bit.
+    pub fn set_health(&mut self, policy: Option<HealthPolicy>) {
+        self.health = policy.map(HealthState::new);
+    }
+
+    /// Whether predictive health monitoring is enabled.
+    pub fn health_enabled(&self) -> bool {
+        self.health.is_some()
+    }
+
+    /// Event counters of the health subsystem, when enabled.
+    pub fn health_counters(&self) -> Option<HealthCounters> {
+        self.health.as_ref().map(|h| h.counters)
+    }
+
+    /// The currently quarantined dies, sorted; empty when health is off.
+    pub fn quarantined_dies(&self) -> Vec<(u16, u16)> {
+        self.health
+            .as_ref()
+            .map(|h| h.quarantined())
+            .unwrap_or_default()
     }
 
     /// Installs (or clears) the endurance policy: the refresh scheduler,
@@ -244,6 +275,22 @@ impl PageMapFtl {
             } else {
                 self.allocator.allocate()?
             };
+            if let Some(h) = self.health.as_mut() {
+                let addr = device.geometry().block_for_index(idx)?;
+                if device.die_is_dead(addr.channel, addr.die) {
+                    // Dead silicon never returns: retire, exactly like
+                    // RAIN's fencing classification would.
+                    self.allocator.retire(idx);
+                    continue;
+                }
+                let key = (addr.channel.index() as u16, addr.die.index() as u16);
+                if h.is_quarantined(key) {
+                    // Quarantine is reversible: park the block instead of
+                    // retiring it, so rehabilitation can hand it back.
+                    h.park(idx, key);
+                    continue;
+                }
+            }
             match self.rain.as_mut() {
                 Some(rain) => match rain.classify(device, idx)? {
                     Claim::Keep => break idx,
@@ -493,7 +540,8 @@ impl PageMapFtl {
 
     /// A read with a bounded retry budget against transient
     /// ECC-uncorrectable senses; with redundancy on, an exhausted ladder
-    /// falls back to stripe reconstruction.
+    /// falls back to stripe reconstruction. A quarantined die's data
+    /// gets an elevated retry budget.
     fn retried_read(
         &mut self,
         now: Cycle,
@@ -502,7 +550,18 @@ impl PageMapFtl {
         lpn: u64,
         bytes: usize,
     ) -> Result<Cycle> {
-        crate::engine::retried_read(device, now, addr, lpn, bytes, self.rain.as_mut())
+        let extra = match self.health.as_ref() {
+            Some(h)
+                if h.is_quarantined((
+                    addr.block.channel.index() as u16,
+                    addr.block.die.index() as u16,
+                )) =>
+            {
+                crate::health::QUARANTINE_EXTRA_READ_ATTEMPTS
+            }
+            _ => 0,
+        };
+        crate::engine::retried_read(device, now, addr, lpn, bytes, self.rain.as_mut(), extra)
     }
 
     /// Greedy garbage collection: migrate the least-valid sealed block's
@@ -725,6 +784,9 @@ impl PageMapFtl {
         }
         if let Some(st) = self.endurance.as_mut() {
             st.reset_after_recovery();
+        }
+        if let Some(h) = self.health.as_mut() {
+            h.reset_after_recovery();
         }
         self.icounters.quarantined += scan.corrupt;
         if let Some(ck) = self.checkpoint.as_mut() {
@@ -1045,6 +1107,150 @@ impl PageMapFtl {
             return Ok(paced);
         }
         Ok(now)
+    }
+
+    /// One predictive-health step, run by the SSD engine between demand
+    /// requests: advance the degrading-die clock, fence + rebuild any
+    /// die that died since the last tick (once per death), score the
+    /// per-die telemetry (flagging new suspects into quarantine and
+    /// rehabilitating false positives, whose parked blocks rejoin the
+    /// pool), and — when evacuation is on — relocate one victim block's
+    /// live pages off a suspect die onto healthy spares. The relocation
+    /// reuses the refresh machinery, so it is journalled,
+    /// checkpoint-aware and never launders corrupt pages. The foreground
+    /// stall is capped by the policy's pacing budget; the media work
+    /// always completes. A no-op without a health policy.
+    ///
+    /// A step that cannot allocate a destination (no healthy spares) is
+    /// skipped, not surfaced: the data is no safer anywhere else and a
+    /// later step retries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash-protocol errors.
+    pub fn health_step(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        if self.health.is_none() {
+            return Ok(now);
+        }
+        // A quiet device never reaches its own lazy death check: advance
+        // the degrading-die clock here so the monitor sees the death.
+        device.degrade_tick(now);
+        self.health.as_mut().expect("checked above").counters.ticks += 1;
+        let mut t = now;
+
+        // Dies that died since the last tick: fence + rebuild, once each.
+        let newly_dead: Vec<(u16, u16)> = device
+            .dead_dies()
+            .iter()
+            .copied()
+            .filter(|&key| self.health.as_mut().expect("checked above").note_dead(key))
+            .collect();
+        for _ in newly_dead {
+            t = self.fence_dead_die(t, device)?;
+            let (done, _pages) = self.rebuild_dead_die(t, device)?;
+            t = done;
+        }
+
+        // Score the telemetry; rehabilitated dies get their parked
+        // blocks back (with their real wear, for levelling).
+        let snapshot = device.stats().die_health_sorted();
+        let dead: Vec<(u16, u16)> = device.dead_dies().to_vec();
+        let rehabbed = self
+            .health
+            .as_mut()
+            .expect("checked above")
+            .observe(&snapshot, &dead);
+        for key in rehabbed {
+            let parked = self.health.as_mut().expect("checked above").unpark(key);
+            for idx in parked {
+                let wear = device
+                    .geometry()
+                    .block_for_index(idx)
+                    .ok()
+                    .and_then(|a| device.block(a))
+                    .map(|b| b.erase_count())
+                    .unwrap_or(0);
+                self.allocator.release(idx, wear);
+            }
+        }
+
+        if self.health.as_ref().expect("checked above").policy.evacuate {
+            // Stop the stripe cursors from landing new writes on a
+            // suspect: seal active blocks sitting on quarantined dies.
+            let quarantined: Vec<BlockAddr> = self
+                .active
+                .iter()
+                .flatten()
+                .copied()
+                .filter(|a| {
+                    self.health
+                        .as_ref()
+                        .expect("checked above")
+                        .is_quarantined((a.channel.index() as u16, a.die.index() as u16))
+                })
+                .collect();
+            for addr in quarantined {
+                self.seal_active(addr);
+            }
+            match self.next_evacuation_victim(device) {
+                Some(victim) => {
+                    self.sealed.retain(|a| *a != victim);
+                    match self.relocate_block(t, device, victim, None) {
+                        Ok((done, pages)) => {
+                            self.health
+                                .as_mut()
+                                .expect("checked above")
+                                .note_evacuated(pages);
+                            t = done;
+                        }
+                        Err(Error::DeviceWornOut { .. }) | Err(Error::OutOfSpace) => {
+                            // No healthy spares: the victim keeps serving
+                            // (and stays tracked) until capacity frees up.
+                            self.sealed.push(victim);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => {
+                    // Nothing live remains on any quarantined die: its
+                    // eventual death can no longer cost a single read.
+                    let h = self.health.as_mut().expect("checked above");
+                    for key in h.quarantined() {
+                        h.mark_evacuated(key);
+                    }
+                }
+            }
+        }
+        let paced = self.health.as_mut().expect("checked above").pace(now, t);
+        self.ckpt_sync(t, device);
+        Ok(paced)
+    }
+
+    /// The lowest-indexed block holding live pages on a quarantined
+    /// (but not dead) die, if any — the next evacuation victim.
+    fn next_evacuation_victim(&self, device: &FlashDevice) -> Option<BlockAddr> {
+        let h = self.health.as_ref()?;
+        let mut idxs: Vec<u64> = self
+            .rmap
+            .iter()
+            .filter(|(_, pages)| pages.iter().any(Option::is_some))
+            .map(|(&idx, _)| idx)
+            .collect();
+        idxs.sort_unstable();
+        for idx in idxs {
+            let Ok(addr) = device.geometry().block_for_index(idx) else {
+                continue;
+            };
+            if device.die_is_dead(addr.channel, addr.die) {
+                continue;
+            }
+            if h.is_quarantined((addr.channel.index() as u16, addr.die.index() as u16))
+                && !self.active.contains(&Some(addr))
+            {
+                return Some(addr);
+            }
+        }
+        None
     }
 
     /// One static-levelling migration: the coldest sealed block (lowest
@@ -1775,5 +1981,86 @@ mod tests {
             assert!(f.translate(lpn).is_some());
             f.read_page(t, &mut d, lpn, 128).unwrap();
         }
+    }
+
+    fn degrading(onset: u64, death: u64) -> zng_flash::FaultConfig {
+        zng_flash::FaultConfig::none().with_degrading(zng_flash::DegradingDie {
+            channel: 0,
+            die: 0,
+            onset,
+            death,
+        })
+    }
+
+    /// Pages of the working set whose current copy sits on die (0, 0).
+    fn live_on_suspect(f: &PageMapFtl) -> usize {
+        (0..256u64)
+            .filter(|&l| {
+                f.translate(l)
+                    .is_some_and(|a| a.block.channel.index() == 0 && a.block.die.index() == 0)
+            })
+            .count()
+    }
+
+    #[test]
+    fn health_off_step_is_inert() {
+        let (mut d, mut f) = setup();
+        assert!(!f.health_enabled());
+        assert_eq!(f.health_step(Cycle(123), &mut d).unwrap(), Cycle(123));
+        assert!(f.health_counters().is_none());
+        assert!(f.quarantined_dies().is_empty());
+    }
+
+    #[test]
+    fn health_evacuates_degrading_die_before_death() {
+        let (mut d, mut f) = setup();
+        f.set_health(Some(HealthPolicy {
+            window: 32,
+            suspect_threshold: 0.05,
+            evacuate: true,
+            pacing: None,
+        }));
+        let mut t = Cycle(0);
+        for lpn in 0..256u64 {
+            t = f.write_page(t, &mut d, lpn).unwrap();
+        }
+        assert!(live_on_suspect(&f) > 0, "working set must touch die (0,0)");
+        let onset = t.raw() + 1_000_000;
+        let death = onset + 2_000_000_000;
+        d.set_fault_config(&degrading(onset, death));
+        let step = (death - onset) / 200;
+        let mut clock = Cycle(onset);
+        let mut completed = false;
+        for _ in 0..96 {
+            for lpn in 0..256u64 {
+                let _ = f.read_page(clock, &mut d, lpn, 128);
+            }
+            clock += Cycle(step);
+            f.health_step(clock, &mut d).unwrap();
+            if f.health_counters().unwrap().evacuations_completed > 0 {
+                completed = true;
+                break;
+            }
+        }
+        let c = f.health_counters().unwrap();
+        assert!(completed, "evacuation must complete before death: {c:?}");
+        assert!(c.suspects_flagged >= 1, "{c:?}");
+        assert!(c.pages_evacuated > 0, "{c:?}");
+        assert_eq!(f.quarantined_dies(), vec![(0, 0)]);
+        assert_eq!(
+            live_on_suspect(&f),
+            0,
+            "no live page remains on the suspect"
+        );
+        // The die dies; the monitor fences it on its next tick. With the
+        // data long gone, the death never costs a single read.
+        clock = Cycle(death + 1);
+        f.health_step(clock, &mut d).unwrap();
+        assert!(d.dead_dies().contains(&(0, 0)));
+        assert_eq!(f.health_counters().unwrap().dead_dies_fenced, 1);
+        for lpn in 0..256u64 {
+            f.read_page(clock, &mut d, lpn, 128).unwrap();
+        }
+        assert_eq!(d.dead_die_reads(), 0, "the death cost zero reads");
     }
 }

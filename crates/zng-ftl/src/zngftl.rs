@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use zng_flash::{BlockKind, FlashDevice, RowDecoder, CAM_SEARCH_CYCLES};
 use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
 
+use crate::health::{HealthCounters, HealthPolicy, HealthState};
 use crate::integrity::IntegrityCounters;
 use crate::rain::{Claim, RainConfig, RainState};
 use crate::recovery::{self, RecoveryReport};
@@ -81,6 +82,16 @@ struct LogBlock {
     decoder: RowDecoder,
 }
 
+/// What one evacuation step migrates off a quarantined die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvacVictim {
+    /// A group merge (the victim is a log block, or a data block with
+    /// newer logged copies).
+    Group(u64),
+    /// A standalone data-block rewrite.
+    Data(u64),
+}
+
 /// The zero-overhead FTL state machine.
 #[derive(Debug, Clone)]
 pub struct ZngFtl {
@@ -125,6 +136,10 @@ pub struct ZngFtl {
     /// Stale checkpoint blocks a recovery deferred; the next checkpoint
     /// write erases them off the restore critical path.
     stale_ckpt: Vec<u64>,
+    /// Predictive health monitor (suspect-die quarantine + pre-emptive
+    /// evacuation); `None` (the default) preserves baseline behaviour
+    /// bit-for-bit.
+    health: Option<HealthState>,
 }
 
 impl ZngFtl {
@@ -181,7 +196,33 @@ impl ZngFtl {
             endurance: None,
             checkpoint: None,
             stale_ckpt: Vec::new(),
+            health: None,
         }
+    }
+
+    /// Installs (or clears) the predictive health policy: per-die scoring,
+    /// suspect quarantine, pre-emptive evacuation and rehabilitation
+    /// activate together. `None` keeps the baseline bit-for-bit.
+    pub fn set_health(&mut self, policy: Option<HealthPolicy>) {
+        self.health = policy.map(HealthState::new);
+    }
+
+    /// Whether predictive health monitoring is enabled.
+    pub fn health_enabled(&self) -> bool {
+        self.health.is_some()
+    }
+
+    /// Event counters of the health subsystem, when enabled.
+    pub fn health_counters(&self) -> Option<HealthCounters> {
+        self.health.as_ref().map(|h| h.counters)
+    }
+
+    /// The currently quarantined dies, sorted; empty when health is off.
+    pub fn quarantined_dies(&self) -> Vec<(u16, u16)> {
+        self.health
+            .as_ref()
+            .map(|h| h.quarantined())
+            .unwrap_or_default()
     }
 
     /// Installs (or clears) the endurance policy: the refresh scheduler,
@@ -368,6 +409,22 @@ impl ZngFtl {
             } else {
                 self.allocator.allocate()?
             };
+            if let Some(h) = self.health.as_mut() {
+                let addr = device.geometry().block_for_index(idx)?;
+                if device.die_is_dead(addr.channel, addr.die) {
+                    // Dead silicon never returns: retire, exactly like
+                    // RAIN's fencing classification would.
+                    self.allocator.retire(idx);
+                    continue;
+                }
+                let key = (addr.channel.index() as u16, addr.die.index() as u16);
+                if h.is_quarantined(key) {
+                    // Quarantine is reversible: park the block instead of
+                    // retiring it, so rehabilitation can hand it back.
+                    h.park(idx, key);
+                    continue;
+                }
+            }
             match self.rain.as_mut() {
                 Some(rain) => match rain.classify(device, idx)? {
                     Claim::Keep => break idx,
@@ -549,10 +606,26 @@ impl ZngFtl {
         Ok(t)
     }
 
+    /// Extra read-retry attempts granted when `block`'s die is
+    /// quarantined by the health monitor; zero otherwise (and always
+    /// zero with health off, preserving the baseline bit-for-bit).
+    fn quarantine_extra(&self, block: BlockAddr) -> u32 {
+        match self.health.as_ref() {
+            Some(h)
+                if h.is_quarantined((block.channel.index() as u16, block.die.index() as u16)) =>
+            {
+                crate::health::QUARANTINE_EXTRA_READ_ATTEMPTS
+            }
+            _ => 0,
+        }
+    }
+
     /// One media sense with the RAIN fallback: an uncorrectable result
     /// (the host retry ladder lives in the platform; a dead die never
     /// recovers) reconstructs from surviving stripe members when
-    /// redundancy is on, and propagates untouched when it is off.
+    /// redundancy is on, and propagates untouched when it is off. A
+    /// quarantined die's data gets an elevated retry budget first: every
+    /// sense that succeeds is one fewer reconstruction fan-out.
     fn read_media(
         &mut self,
         now: Cycle,
@@ -561,13 +634,21 @@ impl ZngFtl {
         vpn: u64,
         transfer_bytes: usize,
     ) -> Result<Cycle> {
-        match device.read(now, addr, vpn, transfer_bytes) {
-            Err(Error::UncorrectableRead { .. }) if self.rain.is_some() => self
-                .rain
-                .as_mut()
-                .expect("checked above")
-                .reconstruct(now, device, addr, transfer_bytes),
-            r => r,
+        let extra = self.quarantine_extra(addr.block);
+        let mut attempt = 0;
+        loop {
+            match device.read(now, addr, vpn, transfer_bytes) {
+                Err(Error::UncorrectableRead { .. }) if attempt < extra => attempt += 1,
+                Err(Error::UncorrectableRead { .. }) if self.rain.is_some() => {
+                    return self.rain.as_mut().expect("checked above").reconstruct(
+                        now,
+                        device,
+                        addr,
+                        transfer_bytes,
+                    )
+                }
+                r => return r,
+            }
         }
     }
 
@@ -906,7 +987,8 @@ impl ZngFtl {
         vpn: u64,
         bytes: usize,
     ) -> Result<Cycle> {
-        crate::engine::retried_read(device, now, src, vpn, bytes, self.rain.as_mut())
+        let extra = self.quarantine_extra(src.block);
+        crate::engine::retried_read(device, now, src, vpn, bytes, self.rain.as_mut(), extra)
     }
 
     /// Erases a reclaimed block, unless its die has died since: a block on
@@ -1134,6 +1216,9 @@ impl ZngFtl {
         if let Some(st) = self.endurance.as_mut() {
             st.reset_after_recovery();
         }
+        if let Some(h) = self.health.as_mut() {
+            h.reset_after_recovery();
+        }
         self.icounters.quarantined += scan.corrupt;
         if let Some(ck) = self.checkpoint.as_mut() {
             ck.reset_after_recovery();
@@ -1321,8 +1406,16 @@ impl ZngFtl {
         let page_bytes = device.geometry().page_bytes;
         let retries_before = device.stats().read_retries();
         let unc_before = device.stats().uncorrectable_reads();
-        let mut t =
-            crate::engine::retried_read(device, now, addr, vpn, page_bytes, self.rain.as_mut())?;
+        let extra = self.quarantine_extra(addr.block);
+        let mut t = crate::engine::retried_read(
+            device,
+            now,
+            addr,
+            vpn,
+            page_bytes,
+            self.rain.as_mut(),
+            extra,
+        )?;
         let depth = device.stats().read_retries() - retries_before;
         let strained = device.stats().uncorrectable_reads() > unc_before;
         // The patrol validates checksums too: a corrupt page is always
@@ -1430,6 +1523,149 @@ impl ZngFtl {
             return Ok(paced);
         }
         Ok(now)
+    }
+
+    /// One predictive-health step, run by the GPU helper thread between
+    /// demand requests: advance the degrading-die clock, fence + rebuild
+    /// any die that died since the last tick (once per death), score the
+    /// per-die telemetry (flagging new suspects into quarantine and
+    /// rehabilitating false positives, whose parked blocks rejoin the
+    /// pool), and — when evacuation is on — migrate one victim block's
+    /// worth of live data off a suspect die onto healthy spares. The
+    /// migrations reuse the GC merge / data-block rewrite machinery, so
+    /// they are journalled, checkpoint-aware and never launder corrupt
+    /// pages. The foreground stall is capped by the policy's pacing
+    /// budget; the media work always completes. A no-op without a health
+    /// policy.
+    ///
+    /// A step that cannot allocate a destination (no healthy spares) is
+    /// skipped, not surfaced: the data is no safer anywhere else and a
+    /// later step retries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash-protocol errors.
+    pub fn health_step(&mut self, now: Cycle, device: &mut FlashDevice) -> Result<Cycle> {
+        if self.health.is_none() {
+            return Ok(now);
+        }
+        // A quiet device never reaches its own lazy death check: advance
+        // the degrading-die clock here so the monitor sees the death.
+        device.degrade_tick(now);
+        self.health.as_mut().expect("checked above").counters.ticks += 1;
+        let mut t = now;
+
+        // Dies that died since the last tick: fence + rebuild, once each.
+        let newly_dead: Vec<(u16, u16)> = device
+            .dead_dies()
+            .iter()
+            .copied()
+            .filter(|&key| self.health.as_mut().expect("checked above").note_dead(key))
+            .collect();
+        for _ in newly_dead {
+            t = self.fence_dead_die(t, device)?;
+            let (done, _pages) = self.rebuild_dead_die(t, device)?;
+            t = done;
+        }
+
+        // Score the telemetry; rehabilitated dies get their parked
+        // blocks back (with their real wear, for levelling).
+        let snapshot = device.stats().die_health_sorted();
+        let dead: Vec<(u16, u16)> = device.dead_dies().to_vec();
+        let rehabbed = self
+            .health
+            .as_mut()
+            .expect("checked above")
+            .observe(&snapshot, &dead);
+        for key in rehabbed {
+            let parked = self.health.as_mut().expect("checked above").unpark(key);
+            for idx in parked {
+                let wear = device
+                    .geometry()
+                    .block_for_index(idx)
+                    .ok()
+                    .and_then(|a| device.block(a))
+                    .map(|b| b.erase_count())
+                    .unwrap_or(0);
+                self.allocator.release(idx, wear);
+            }
+        }
+
+        if self.health.as_ref().expect("checked above").policy.evacuate {
+            match self.next_evacuation_victim(device) {
+                Some(EvacVictim::Group(group)) => match self.gc_group(t, device, group) {
+                    Ok(report) => {
+                        self.health
+                            .as_mut()
+                            .expect("checked above")
+                            .note_evacuated(report.migrated_pages);
+                        t = report.done;
+                    }
+                    Err(Error::DeviceWornOut { .. }) | Err(Error::OutOfSpace) => {}
+                    Err(e) => return Err(e),
+                },
+                Some(EvacVictim::Data(vbn)) => {
+                    match self.migrate_data_block(t, device, vbn, false) {
+                        Ok((done, pages)) => {
+                            self.health
+                                .as_mut()
+                                .expect("checked above")
+                                .note_evacuated(pages);
+                            t = done;
+                        }
+                        Err(Error::DeviceWornOut { .. }) | Err(Error::OutOfSpace) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => {
+                    // Nothing live remains on any quarantined die: its
+                    // eventual death can no longer cost a single read.
+                    let h = self.health.as_mut().expect("checked above");
+                    for key in h.quarantined() {
+                        h.mark_evacuated(key);
+                    }
+                }
+            }
+        }
+        let paced = self.health.as_mut().expect("checked above").pace(now, t);
+        self.ckpt_sync(t, device);
+        Ok(paced)
+    }
+
+    /// The next victim holding live data on a quarantined die, if any.
+    /// Log blocks first (they still absorb new log programs until
+    /// merged away); then data blocks, through the group merge when a
+    /// newer log copy exists (standalone rewrites must not outrank it
+    /// after a crash), standalone otherwise.
+    fn next_evacuation_victim(&self, device: &FlashDevice) -> Option<EvacVictim> {
+        let h = self.health.as_ref()?;
+        let on_suspect = |a: &BlockAddr| {
+            h.is_quarantined((a.channel.index() as u16, a.die.index() as u16))
+                && !device.die_is_dead(a.channel, a.die)
+        };
+        let mut groups: Vec<u64> = self
+            .lbmt
+            .iter()
+            .filter(|(_, lb)| on_suspect(&lb.addr))
+            .map(|(&g, _)| g)
+            .collect();
+        groups.sort_unstable();
+        if let Some(&g) = groups.first() {
+            return Some(EvacVictim::Group(g));
+        }
+        let mut vbns: Vec<u64> = self
+            .dbmt
+            .iter()
+            .filter(|(_, a)| on_suspect(a))
+            .map(|(&v, _)| v)
+            .collect();
+        vbns.sort_unstable();
+        let &vbn = vbns.first()?;
+        if self.group_has_logged_pages(vbn) {
+            Some(EvacVictim::Group(self.group_of_vbn(vbn)))
+        } else {
+            Some(EvacVictim::Data(vbn))
+        }
     }
 
     /// Rewrites one aged block to fresh cells. A log block — or a data
@@ -2206,5 +2442,137 @@ mod tests {
         for vpn in 0..24u64 {
             assert!(f.locate(vpn).is_some() || f.read(cut, &mut d, vpn, 128).is_ok());
         }
+    }
+
+    fn degrading(onset: u64, death: u64) -> FaultConfig {
+        FaultConfig::none().with_degrading(zng_flash::DegradingDie {
+            channel: 0,
+            die: 0,
+            onset,
+            death,
+        })
+    }
+
+    fn health_policy() -> HealthPolicy {
+        HealthPolicy {
+            window: 32,
+            suspect_threshold: 0.05,
+            evacuate: true,
+            pacing: None,
+        }
+    }
+
+    /// Pages of the working set whose current copy sits on die (0, 0).
+    fn live_on_suspect(f: &ZngFtl) -> usize {
+        (0..512u64)
+            .filter(|&v| {
+                f.locate(v)
+                    .is_some_and(|a| a.block.channel.index() == 0 && a.block.die.index() == 0)
+            })
+            .count()
+    }
+
+    #[test]
+    fn health_off_step_is_inert() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        assert!(!f.health_enabled());
+        assert_eq!(f.health_step(Cycle(123), &mut d).unwrap(), Cycle(123));
+        assert!(f.health_counters().is_none());
+        assert!(f.quarantined_dies().is_empty());
+    }
+
+    #[test]
+    fn health_evacuates_degrading_die_before_death() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        f.set_health(Some(health_policy()));
+        let mut t = Cycle(0);
+        for vpn in 0..512u64 {
+            t = f.write(t, &mut d, vpn).unwrap().done;
+        }
+        assert!(live_on_suspect(&f) > 0, "working set must touch die (0,0)");
+        let onset = t.raw() + 1_000_000;
+        let death = onset + 2_000_000_000;
+        d.set_fault_config(&degrading(onset, death));
+        // Severity grows ~0.5 % per tick: the monitor has a long, noisy
+        // runway to flag the die and drain it well before the cliff.
+        let step = (death - onset) / 200;
+        let mut clock = Cycle(onset);
+        let mut completed = false;
+        for _ in 0..96 {
+            for vpn in 0..512u64 {
+                let _ = f.read(clock, &mut d, vpn, 128);
+            }
+            clock += Cycle(step);
+            f.health_step(clock, &mut d).unwrap();
+            if f.health_counters().unwrap().evacuations_completed > 0 {
+                completed = true;
+                break;
+            }
+        }
+        let c = f.health_counters().unwrap();
+        assert!(completed, "evacuation must complete before death: {c:?}");
+        assert!(c.suspects_flagged >= 1, "{c:?}");
+        assert!(c.pages_evacuated > 0, "{c:?}");
+        assert_eq!(f.quarantined_dies(), vec![(0, 0)]);
+        assert_eq!(
+            live_on_suspect(&f),
+            0,
+            "no live page remains on the suspect"
+        );
+        // The die dies; the monitor fences it on its next tick. With the
+        // data long gone, the death never costs a single read.
+        clock = Cycle(death + 1);
+        f.health_step(clock, &mut d).unwrap();
+        assert!(d.dead_dies().contains(&(0, 0)));
+        assert_eq!(f.health_counters().unwrap().dead_dies_fenced, 1);
+        for vpn in 0..512u64 {
+            f.read(clock, &mut d, vpn, 128).unwrap();
+        }
+        assert_eq!(d.dead_die_reads(), 0, "the death cost zero reads");
+    }
+
+    #[test]
+    fn health_rehabilitates_a_false_positive_die() {
+        let (mut d, mut f) = setup(WriteMode::Direct);
+        f.set_health(Some(HealthPolicy {
+            evacuate: false,
+            ..health_policy()
+        }));
+        let mut t = Cycle(0);
+        for vpn in 0..512u64 {
+            t = f.write(t, &mut d, vpn).unwrap().done;
+        }
+        let onset = t.raw() + 1_000_000;
+        let death = onset + 2_000_000_000;
+        d.set_fault_config(&degrading(onset, death));
+        let step = (death - onset) / 200;
+        let mut clock = Cycle(onset);
+        for _ in 0..96 {
+            if !f.quarantined_dies().is_empty() {
+                break;
+            }
+            for vpn in 0..512u64 {
+                let _ = f.read(clock, &mut d, vpn, 128);
+            }
+            clock += Cycle(step);
+            f.health_step(clock, &mut d).unwrap();
+        }
+        assert_eq!(f.quarantined_dies(), vec![(0, 0)]);
+        // The noise source vanishes (a marginal solder joint reseats,
+        // say): the telemetry goes quiet and the clean streak clears it.
+        d.set_fault_config(&FaultConfig::none());
+        for _ in 0..16 {
+            if f.quarantined_dies().is_empty() {
+                break;
+            }
+            for vpn in 0..512u64 {
+                f.read(clock, &mut d, vpn, 128).unwrap();
+            }
+            f.health_step(clock, &mut d).unwrap();
+        }
+        assert!(f.quarantined_dies().is_empty(), "false positive must clear");
+        let c = f.health_counters().unwrap();
+        assert_eq!(c.rehabilitations, 1, "{c:?}");
+        assert_eq!(c.pages_evacuated, 0, "no data moved for a false positive");
     }
 }

@@ -2,8 +2,8 @@
 
 use zng_flash::{EnduranceReport, FlashDevice, RegisterTopology, DISTURB_READS_PER_CYCLE};
 use zng_ftl::{
-    CheckpointCounters, EnduranceCounters, GcPacing, GcReport, IntegrityCounters, RainConfig,
-    RainCounters, RecoveryReport, RefreshPolicy, WriteMode, ZngFtl,
+    CheckpointCounters, EnduranceCounters, GcPacing, GcReport, HealthCounters, IntegrityCounters,
+    RainConfig, RainCounters, RecoveryReport, RefreshPolicy, WriteMode, ZngFtl,
 };
 use zng_mem::{MemSubsystem, MemTiming, PcieLink};
 use zng_ssd::{NvmeSsd, PageBuffer, SsdModule};
@@ -201,6 +201,19 @@ impl Backend {
                 Backend::Zng { ftl, .. } => ftl.set_checkpointing(Some(policy)),
                 Backend::HybridGpu { ssd } => ssd.set_checkpointing(Some(policy)),
                 Backend::Hetero { ssd, .. } => ssd.set_checkpointing(Some(policy)),
+                Backend::Ideal { .. } | Backend::Optane { .. } => {}
+            }
+        }
+        // Predictive health: per-die telemetry scoring, suspect
+        // quarantine and pre-emptive evacuation on the flash FTLs, with
+        // evacuation paced by the same QoS stall-budget contract as GC.
+        // Off by default — no scoring, byte-identical output.
+        if cfg.health.enabled {
+            let policy = cfg.health.ftl(&cfg.qos);
+            match &mut backend {
+                Backend::Zng { ftl, .. } => ftl.set_health(Some(policy)),
+                Backend::HybridGpu { ssd } => ssd.set_health(Some(policy)),
+                Backend::Hetero { ssd, .. } => ssd.set_health(Some(policy)),
                 Backend::Ideal { .. } | Backend::Optane { .. } => {}
             }
         }
@@ -560,6 +573,45 @@ impl Backend {
             Backend::HybridGpu { ssd } => ssd.checkpoint_step(now),
             Backend::Hetero { ssd, .. } => ssd.checkpoint_step(now),
             Backend::Ideal { .. } | Backend::Optane { .. } => now,
+        }
+    }
+
+    /// One predictive-health tick on the flash FTL: score the per-die
+    /// telemetry, fence dies that died since the last tick, evacuate one
+    /// victim block off a suspect die (when evacuation is on) and
+    /// rehabilitate false positives; returns the foreground stall
+    /// horizon (capped by the pacing budget when one is set). A no-op
+    /// without a health policy or on flashless platforms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash/FTL errors.
+    pub fn health_step(&mut self, now: Cycle) -> Result<Cycle> {
+        match self {
+            Backend::Zng { device, ftl, .. } => ftl.health_step(now, device),
+            Backend::HybridGpu { ssd } => ssd.health_step(now),
+            Backend::Hetero { ssd, .. } => ssd.health_step(now),
+            Backend::Ideal { .. } | Backend::Optane { .. } => Ok(now),
+        }
+    }
+
+    /// The health monitor's counters, when the subsystem is on.
+    pub fn health_counters(&self) -> Option<HealthCounters> {
+        match self {
+            Backend::Zng { ftl, .. } => ftl.health_counters(),
+            Backend::HybridGpu { ssd } => ssd.ftl().health_counters(),
+            Backend::Hetero { ssd, .. } => ssd.ftl().health_counters(),
+            Backend::Ideal { .. } | Backend::Optane { .. } => None,
+        }
+    }
+
+    /// The dies currently quarantined by the health monitor, sorted.
+    pub fn quarantined_dies(&self) -> Vec<(u16, u16)> {
+        match self {
+            Backend::Zng { ftl, .. } => ftl.quarantined_dies(),
+            Backend::HybridGpu { ssd } => ssd.ftl().quarantined_dies(),
+            Backend::Hetero { ssd, .. } => ssd.ftl().quarantined_dies(),
+            Backend::Ideal { .. } | Backend::Optane { .. } => Vec::new(),
         }
     }
 

@@ -144,11 +144,129 @@ pub struct SimConfig {
     /// nothing and keeps output byte-identical to a checkpoint-free
     /// build.
     pub checkpoint: CheckpointConfig,
+    /// Predictive die-health monitoring: per-die telemetry scoring on a
+    /// background tick, suspect-die quarantine (allocation fencing plus
+    /// elevated read-retry budgets), optional pre-emptive evacuation of
+    /// live data off suspects, and rehabilitation of false positives.
+    /// The default ([`HealthConfig::off`]) monitors nothing and keeps
+    /// output byte-identical to a health-free build.
+    pub health: HealthConfig,
     /// Runner watchdog: when `Some(budget)`, a simulation that makes no
     /// forward progress (no request completes) within `budget` cycles
     /// fails with [`zng_types::Error::Stalled`] instead of spinning.
     /// `None` (the default) never trips.
     pub watchdog: Option<u64>,
+}
+
+/// Predictive health policy: a monitor tick that scores every die's
+/// rolled-up telemetry (read-retry EWMA, program/erase verification
+/// failures, uncorrectable senses), quarantines dies whose score crosses
+/// the suspect threshold, optionally evacuates their live data onto
+/// healthy spares before the die dies, and rehabilitates suspects whose
+/// telemetry comes back clean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Master switch. Off (the default) installs no monitor, scores
+    /// nothing and keeps runs byte-identical to a health-free build.
+    pub enabled: bool,
+    /// Monitor cadence: one health tick every `n` completed requests.
+    /// `0` with `enabled` is rejected — a monitor that never ticks would
+    /// silently never flag anything.
+    pub every_ops: u64,
+    /// Minimum lifetime observations (reads + programs) of a die before
+    /// it can be accused; below this the sample is noise.
+    pub window: u64,
+    /// Health score in `(0, 1]` above which a die is quarantined.
+    pub suspect_threshold: f64,
+    /// Pre-emptively migrate live data off quarantined dies onto
+    /// healthy spares (one victim block per tick, GC-paced).
+    pub evacuate: bool,
+}
+
+impl HealthConfig {
+    /// Everything off — the byte-identical default.
+    pub fn off() -> HealthConfig {
+        HealthConfig {
+            enabled: false,
+            every_ops: 0,
+            window: 0,
+            suspect_threshold: 0.0,
+            evacuate: false,
+        }
+    }
+
+    /// Monitoring on with the FTL's default window and threshold and no
+    /// evacuation; pass the tick cadence in completed requests.
+    pub fn on(every_ops: u64) -> HealthConfig {
+        let d = zng_ftl::HealthPolicy::default();
+        HealthConfig {
+            enabled: true,
+            every_ops,
+            window: d.window,
+            suspect_threshold: d.suspect_threshold,
+            evacuate: false,
+        }
+    }
+
+    /// The FTL-side policy, inheriting the QoS GC stall budget so
+    /// evacuation shares the one pacing contract.
+    pub fn ftl(&self, qos: &QosConfig) -> zng_ftl::HealthPolicy {
+        zng_ftl::HealthPolicy {
+            window: self.window,
+            suspect_threshold: self.suspect_threshold,
+            evacuate: self.evacuate,
+            pacing: qos.gc_stall_budget.map(|budget| zng_ftl::GcPacing {
+                stall_budget: budget,
+                credit_writes: qos.gc_credit_writes,
+            }),
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects monitor knobs without `enabled` (they would silently do
+    /// nothing), an enabled monitor without a cadence or observation
+    /// window, and suspect thresholds outside `(0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        let invalid = |why: &str| Error::InvalidConfig {
+            what: "health".into(),
+            why: why.into(),
+        };
+        if !self.enabled {
+            if self.every_ops != 0
+                || self.window != 0
+                || self.suspect_threshold != 0.0
+                || self.evacuate
+            {
+                return Err(invalid(
+                    "window, threshold and evacuation knobs require health monitoring to be enabled",
+                ));
+            }
+            return Ok(());
+        }
+        if self.every_ops == 0 {
+            return Err(invalid(
+                "an enabled health monitor needs a non-zero cadence",
+            ));
+        }
+        if self.window == 0 {
+            return Err(invalid(
+                "a zero observation window would accuse dies on no evidence",
+            ));
+        }
+        if !(self.suspect_threshold > 0.0 && self.suspect_threshold <= 1.0) {
+            return Err(invalid("suspect threshold must be within (0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig::off()
+    }
 }
 
 /// Bounded-time crash-recovery policy: mapping checkpoints into a
@@ -564,6 +682,7 @@ impl SimConfig {
             integrity: IntegrityConfig::off(),
             endurance: EnduranceConfig::off(),
             checkpoint: CheckpointConfig::off(),
+            health: HealthConfig::off(),
             watchdog: None,
         }
     }
@@ -591,6 +710,17 @@ impl SimConfig {
         self.integrity.validate()?;
         self.endurance.validate()?;
         self.checkpoint.validate()?;
+        self.health.validate()?;
+        if let Some(d) = self.fault.degrading {
+            d.validate()?;
+            let dies = self.flash.packages_per_channel * self.flash.dies_per_package;
+            if d.channel as usize >= self.flash.channels || d.die as usize >= dies {
+                return Err(Error::InvalidConfig {
+                    what: "degrading die".into(),
+                    why: "degrading-die target outside the geometry".into(),
+                });
+            }
+        }
         if self.watchdog == Some(0) {
             return Err(Error::InvalidConfig {
                 what: "watchdog".into(),
@@ -744,6 +874,66 @@ mod tests {
         let mut idle = SimConfig::tiny();
         idle.checkpoint.enabled = true;
         assert!(idle.validate().is_err());
+    }
+
+    #[test]
+    fn health_validation_rules() {
+        let mut cfg = SimConfig::tiny();
+        cfg.health = HealthConfig::on(64);
+        cfg.validate().unwrap();
+        cfg.health.evacuate = true;
+        cfg.validate().unwrap();
+
+        // Orphan knobs without the master switch are rejected.
+        let mut orphan = SimConfig::tiny();
+        orphan.health.window = 64;
+        assert!(orphan.validate().is_err());
+        let mut orphan = SimConfig::tiny();
+        orphan.health.evacuate = true;
+        assert!(orphan.validate().is_err());
+        let mut orphan = SimConfig::tiny();
+        orphan.health.suspect_threshold = 0.2;
+        assert!(orphan.validate().is_err());
+
+        // An enabled monitor needs a cadence, a window and a sane
+        // threshold.
+        let mut idle = SimConfig::tiny();
+        idle.health = HealthConfig::on(0);
+        assert!(idle.validate().is_err());
+        let mut blind = SimConfig::tiny();
+        blind.health = HealthConfig::on(64);
+        blind.health.window = 0;
+        assert!(blind.validate().is_err());
+        let mut hot = SimConfig::tiny();
+        hot.health = HealthConfig::on(64);
+        hot.health.suspect_threshold = 1.5;
+        assert!(hot.validate().is_err());
+    }
+
+    #[test]
+    fn degrading_die_target_is_geometry_checked() {
+        let mut cfg = SimConfig::tiny();
+        cfg.fault = FaultConfig::none().with_degrading(zng_flash::DegradingDie {
+            channel: 0,
+            die: 0,
+            onset: 100,
+            death: 200,
+        });
+        cfg.validate().unwrap();
+        cfg.fault.degrading = Some(zng_flash::DegradingDie {
+            channel: 99,
+            die: 0,
+            onset: 100,
+            death: 200,
+        });
+        assert!(cfg.validate().is_err());
+        cfg.fault.degrading = Some(zng_flash::DegradingDie {
+            channel: 0,
+            die: 0,
+            onset: 200,
+            death: 200,
+        });
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

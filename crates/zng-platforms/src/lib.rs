@@ -23,11 +23,12 @@ pub mod runner;
 
 pub use backend::Backend;
 pub use config::{
-    CheckpointConfig, EnduranceConfig, IntegrityConfig, PlatformKind, RedundancyConfig, SimConfig,
+    CheckpointConfig, EnduranceConfig, HealthConfig, IntegrityConfig, PlatformKind,
+    RedundancyConfig, SimConfig,
 };
 pub use metrics::{
-    CheckpointSummary, CrashRecoverySummary, EnduranceSummary, IntegritySummary, RedundancySummary,
-    RunResult,
+    CheckpointSummary, CrashRecoverySummary, DieBreakdown, EnduranceSummary, HealthSummary,
+    IntegritySummary, RedundancySummary, RunResult,
 };
 pub use qos::{FairShare, QosConfig, QosSummary, MAX_QOS_APPS};
 pub use runner::Simulation;

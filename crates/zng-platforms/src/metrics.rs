@@ -157,6 +157,52 @@ pub struct EnduranceSummary {
     pub wear_spread: f64,
 }
 
+/// One die's lifetime telemetry rollup (the health monitor's raw feed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DieBreakdown {
+    /// Channel index of the die.
+    pub channel: u16,
+    /// Die index within the channel.
+    pub die: u16,
+    /// Array senses served by this die.
+    pub reads: u64,
+    /// Read-retry ladder steps burned by this die's senses.
+    pub retry_steps: u64,
+    /// Senses that stayed uncorrectable through the whole ladder.
+    pub uncorrectable_reads: u64,
+    /// Page programs attempted on this die.
+    pub programs: u64,
+    /// Programs that failed verification.
+    pub program_failures: u64,
+    /// Block erases completed on this die (the wear rollup).
+    pub erases: u64,
+    /// Erases that failed verification.
+    pub erase_failures: u64,
+}
+
+/// What the predictive health monitor did (`--health`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthSummary {
+    /// Monitor steps the runner scheduled.
+    pub health_ticks: u64,
+    /// Dies flagged as suspects (quarantined) over the run.
+    pub suspects_flagged: u64,
+    /// Live pages pre-emptively migrated off suspect dies.
+    pub pages_evacuated: u64,
+    /// Suspect dies fully drained of live data before dying.
+    pub evacuations_completed: u64,
+    /// Suspects whose telemetry recovered and were released.
+    pub rehabilitations: u64,
+    /// Evacuation steps whose media time overran the pacing budget.
+    pub evacuation_overruns: u64,
+    /// Dies that died under monitoring and were fenced by the monitor.
+    pub dead_dies_fenced: u64,
+    /// Dies still quarantined at the end of the run, sorted.
+    pub quarantined: Vec<(u16, u16)>,
+    /// Per-die telemetry rollups, sorted by (channel, die).
+    pub per_die: Vec<DieBreakdown>,
+}
+
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -251,6 +297,11 @@ pub struct RunResult {
     /// delta-journal counters. `None` runs emit byte-identical output to
     /// builds without the checkpoint machinery.
     pub checkpoint: Option<CheckpointSummary>,
+    /// Present only when `--health` ran: suspect-die quarantine,
+    /// evacuation and rehabilitation counters plus per-die telemetry
+    /// rollups. `None` runs emit byte-identical output to builds without
+    /// the health machinery.
+    pub health: Option<HealthSummary>,
 }
 
 impl RunResult {
@@ -491,6 +542,58 @@ impl RunResult {
             fields.push(("journal_overflows", Value::from(c.journal_overflows)));
             fields.push(("checkpoints_aborted", Value::from(c.aborted)));
         }
+        if let Some(h) = &self.health {
+            fields.push(("health_ticks", Value::from(h.health_ticks)));
+            fields.push(("health_suspects_flagged", Value::from(h.suspects_flagged)));
+            fields.push(("health_pages_evacuated", Value::from(h.pages_evacuated)));
+            fields.push((
+                "health_evacuations_completed",
+                Value::from(h.evacuations_completed),
+            ));
+            fields.push(("health_rehabilitations", Value::from(h.rehabilitations)));
+            fields.push((
+                "health_evacuation_overruns",
+                Value::from(h.evacuation_overruns),
+            ));
+            fields.push(("health_dead_dies_fenced", Value::from(h.dead_dies_fenced)));
+            fields.push((
+                "health_quarantined",
+                Value::Array(
+                    h.quarantined
+                        .iter()
+                        .map(|&(c, d)| Value::from(format!("{c}:{d}")))
+                        .collect(),
+                ),
+            ));
+            fields.push((
+                "per_die_health",
+                Value::object(
+                    h.per_die
+                        .iter()
+                        .map(|d| {
+                            (
+                                format!("{}:{}", d.channel, d.die),
+                                Value::object(vec![
+                                    ("reads".to_string(), Value::from(d.reads)),
+                                    ("retry_steps".to_string(), Value::from(d.retry_steps)),
+                                    (
+                                        "uncorrectable_reads".to_string(),
+                                        Value::from(d.uncorrectable_reads),
+                                    ),
+                                    ("programs".to_string(), Value::from(d.programs)),
+                                    (
+                                        "program_failures".to_string(),
+                                        Value::from(d.program_failures),
+                                    ),
+                                    ("erases".to_string(), Value::from(d.erases)),
+                                    ("erase_failures".to_string(), Value::from(d.erase_failures)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         Value::object(fields)
     }
 }
@@ -539,6 +642,7 @@ mod tests {
             integrity: None,
             endurance: None,
             checkpoint: None,
+            health: None,
         }
     }
 
@@ -698,6 +802,44 @@ mod tests {
         assert!(on.contains("\"endurance_capacity_steps\":1"));
         assert!(on.contains("\"endurance_writes_refused\":7"));
         assert!(on.contains("\"wear_spread\":1.5"));
+    }
+
+    #[test]
+    fn health_keys_only_when_the_monitor_ran() {
+        let mut r = result();
+        let clean = r.to_json_value().to_string();
+        assert!(
+            !clean.contains("health") && !clean.contains("per_die"),
+            "no health keys in a default run"
+        );
+        r.health = Some(HealthSummary {
+            health_ticks: 12,
+            suspects_flagged: 1,
+            pages_evacuated: 40,
+            evacuations_completed: 1,
+            rehabilitations: 0,
+            evacuation_overruns: 2,
+            dead_dies_fenced: 1,
+            quarantined: vec![(0, 1)],
+            per_die: vec![DieBreakdown {
+                channel: 0,
+                die: 1,
+                reads: 900,
+                retry_steps: 33,
+                programs: 120,
+                erases: 4,
+                ..DieBreakdown::default()
+            }],
+        });
+        let on = r.to_json_value().to_string();
+        assert!(on.contains("\"health_ticks\":12"));
+        assert!(on.contains("\"health_suspects_flagged\":1"));
+        assert!(on.contains("\"health_pages_evacuated\":40"));
+        assert!(on.contains("\"health_evacuations_completed\":1"));
+        assert!(on.contains("\"health_quarantined\":[\"0:1\"]"));
+        assert!(on.contains("\"per_die_health\""));
+        assert!(on.contains("\"retry_steps\":33"));
+        assert!(on.contains("\"erases\":4"));
     }
 
     #[test]

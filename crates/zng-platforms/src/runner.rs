@@ -25,8 +25,8 @@ use zng_workloads::MultiApp;
 use crate::backend::{Backend, BackendWrite};
 use crate::config::{EnduranceConfig, PlatformKind, RedundancyConfig, SimConfig};
 use crate::metrics::{
-    CheckpointSummary, CrashRecoverySummary, EnduranceSummary, IntegritySummary, RedundancySummary,
-    RunResult,
+    CheckpointSummary, CrashRecoverySummary, DieBreakdown, EnduranceSummary, HealthSummary,
+    IntegritySummary, RedundancySummary, RunResult,
 };
 use crate::qos::{FairShare, QosConfig, QosSummary};
 
@@ -106,6 +106,10 @@ pub struct Simulation {
     checkpoint_on: bool,
     /// Checkpoint-writer cadence, keyed to completed requests.
     checkpoint_ticker: PatrolTicker,
+    /// Predictive health monitor enabled (`--health`).
+    health_on: bool,
+    /// Health-monitor cadence, keyed to completed requests.
+    health_ticker: PatrolTicker,
 }
 
 impl Simulation {
@@ -187,6 +191,12 @@ impl Simulation {
             checkpoint_on: cfg.checkpoint.enabled,
             checkpoint_ticker: PatrolTicker::every_ops(if cfg.checkpoint.enabled {
                 cfg.checkpoint.every_ops
+            } else {
+                0
+            }),
+            health_on: cfg.health.enabled,
+            health_ticker: PatrolTicker::every_ops(if cfg.health.enabled {
+                cfg.health.every_ops
             } else {
                 0
             }),
@@ -313,6 +323,16 @@ impl Simulation {
             // capped by the pacing budget when one is set.
             if self.checkpoint_ticker.poll(requests) {
                 let horizon = self.backend.checkpoint_step(now);
+                self.block_all_apps(mix, horizon);
+            }
+            // Predictive health: one monitor tick per cadence boundary —
+            // score the per-die telemetry, fence freshly dead dies,
+            // evacuate one victim block off a suspect (when evacuation is
+            // on) and rehabilitate false positives. The media work always
+            // completes but the foreground stall is capped by the pacing
+            // budget when one is set.
+            if self.health_ticker.poll(requests) {
+                let horizon = self.backend.health_step(now)?;
                 self.block_all_apps(mix, horizon);
             }
             if warps[idx].is_done() {
@@ -579,6 +599,41 @@ impl Simulation {
                 aborted: c.aborted,
             }
         });
+        let health = self.health_on.then(|| {
+            let c = self.backend.health_counters().unwrap_or_default();
+            let per_die = self
+                .backend
+                .flash_device()
+                .map(|d| {
+                    d.stats()
+                        .die_health_sorted()
+                        .iter()
+                        .map(|&((channel, die), h)| DieBreakdown {
+                            channel,
+                            die,
+                            reads: h.reads,
+                            retry_steps: h.retry_steps,
+                            uncorrectable_reads: h.uncorrectable_reads,
+                            programs: h.programs,
+                            program_failures: h.program_failures,
+                            erases: h.erases,
+                            erase_failures: h.erase_failures,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            HealthSummary {
+                health_ticks: self.health_ticker.ticks(),
+                suspects_flagged: c.suspects_flagged,
+                pages_evacuated: c.pages_evacuated,
+                evacuations_completed: c.evacuations_completed,
+                rehabilitations: c.rehabilitations,
+                evacuation_overruns: c.evacuation_overruns,
+                dead_dies_fenced: c.dead_dies_fenced,
+                quarantined: self.backend.quarantined_dies(),
+                per_die,
+            }
+        });
 
         Ok(RunResult {
             platform: self.kind,
@@ -624,6 +679,7 @@ impl Simulation {
             integrity,
             endurance,
             checkpoint,
+            health,
         })
     }
 
@@ -1564,6 +1620,94 @@ mod tests {
         assert_eq!(a.requests, b.requests);
         assert_eq!(a.checkpoint, b.checkpoint);
         assert_eq!(a.crash_recovery, b.crash_recovery);
+    }
+
+    #[test]
+    fn default_run_reports_no_health_summary() {
+        let r = run(PlatformKind::Zng);
+        assert!(r.health.is_none(), "off by default, no summary");
+    }
+
+    #[test]
+    fn health_monitor_evacuates_a_degrading_die_end_to_end() {
+        use crate::config::HealthConfig;
+        // A die degrades over the first ~14M cycles of a ~22M-cycle
+        // write-heavy run, then dies. The monitor must flag it while it
+        // is merely noisy, fence new writes away, drain its live pages
+        // and finish the run without a single read landing on the corpse.
+        let mut cfg = SimConfig::tiny();
+        cfg.health = HealthConfig::on(3);
+        cfg.health.window = 16;
+        cfg.health.suspect_threshold = 0.02;
+        cfg.health.evacuate = true;
+        cfg.fault = zng_flash::FaultConfig::none().with_degrading(zng_flash::DegradingDie {
+            channel: 0,
+            die: 0,
+            onset: 200_000,
+            death: 14_000_000,
+        });
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let mut sim = Simulation::new(PlatformKind::ZngBase, &cfg).unwrap();
+        let r = sim.run(&mix).unwrap();
+        let h = r.health.expect("enabled monitor must report");
+        assert!(h.health_ticks > 0, "{h:?}");
+        assert!(h.suspects_flagged >= 1, "{h:?}");
+        assert!(h.pages_evacuated > 0, "{h:?}");
+        assert!(h.evacuations_completed >= 1, "{h:?}");
+        assert_eq!(h.dead_dies_fenced, 1, "the die died mid-run: {h:?}");
+        assert!(!h.per_die.is_empty(), "telemetry rollups present: {h:?}");
+        assert_eq!(
+            sim.backend().dead_die_reads(),
+            0,
+            "evacuation finished before death, no read hit dead silicon"
+        );
+    }
+
+    #[test]
+    fn health_run_is_deterministic() {
+        use crate::config::HealthConfig;
+        let mut cfg = SimConfig::tiny();
+        cfg.health = HealthConfig::on(3);
+        cfg.health.window = 16;
+        cfg.health.suspect_threshold = 0.02;
+        cfg.health.evacuate = true;
+        cfg.fault = zng_flash::FaultConfig::none().with_degrading(zng_flash::DegradingDie {
+            channel: 0,
+            die: 0,
+            onset: 200_000,
+            death: 14_000_000,
+        });
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let a = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let b = Simulation::new(PlatformKind::ZngBase, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.health, b.health);
+    }
+
+    #[test]
+    fn health_off_is_byte_identical_to_default() {
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let plain = Simulation::new(PlatformKind::ZngBase, &SimConfig::tiny())
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let mut off_cfg = SimConfig::tiny();
+        off_cfg.health = crate::config::HealthConfig::off();
+        let off = Simulation::new(PlatformKind::ZngBase, &off_cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        assert_eq!(
+            plain.to_json_value().to_string(),
+            off.to_json_value().to_string()
+        );
     }
 
     #[test]

@@ -139,6 +139,25 @@ impl NvmeSsd {
         self.ftl.checkpoint_step(now, &mut self.device)
     }
 
+    /// Installs (or removes, with `None`) the predictive die-health
+    /// monitor on the FTL.
+    pub fn set_health(&mut self, policy: Option<zng_ftl::HealthPolicy>) {
+        self.ftl.set_health(policy);
+    }
+
+    /// One predictive-health tick: score the per-die telemetry, fence
+    /// newly dead dies, evacuate one victim block off a suspect (when
+    /// evacuation is on) and rehabilitate false positives. Returns the
+    /// foreground stall horizon (capped by the pacing budget when one
+    /// is set).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash/FTL errors.
+    pub fn health_step(&mut self, now: Cycle) -> Result<Cycle> {
+        self.ftl.health_step(now, &mut self.device)
+    }
+
     /// Kills one die and fences its blocks: reads reconstruct around it,
     /// the allocator stops handing out its blocks.
     ///

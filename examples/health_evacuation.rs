@@ -1,0 +1,147 @@
+//! Predictive die-health monitoring, end to end.
+//!
+//! A die starts failing ~200k cycles into a read-heavy betweenness run
+//! and dies outright at 14M cycles — mid-workload.
+//!
+//! 1. **Monitor on** (`--health --evacuate` in the CLI): the health
+//!    tick flags the die while it is merely noisy, quarantines it,
+//!    drains its live pages onto healthy spares, and fences it when it
+//!    dies. The run completes with *zero* reads landing on dead
+//!    silicon.
+//! 2. **Monitor off** (full mode only): RAIN keeps the same run alive,
+//!    but every post-death read of data stranded on the corpse pays a
+//!    dead-die sense plus a stripe reconstruction.
+//!
+//! ```text
+//! cargo run --release --example health_evacuation
+//! ```
+//!
+//! `ZNG_QUICK=1` runs only the monitored half (the smoke CI lane).
+
+use zng::{
+    DegradingDie, Experiment, FaultConfig, HealthConfig, PlatformKind, RedundancyConfig, SimConfig,
+    Table, TraceParams,
+};
+
+fn main() -> zng::Result<()> {
+    let mix = ["betw"];
+    let quick = std::env::var_os("ZNG_QUICK").is_some();
+
+    let config = |monitored: bool| {
+        let mut cfg = SimConfig::tiny();
+        cfg.fault = FaultConfig::none().with_degrading(DegradingDie {
+            channel: 0,
+            die: 0,
+            onset: 200_000,
+            death: 14_000_000,
+        });
+        // RAIN reports dead-die traffic and keeps the unmonitored run
+        // readable after the die drops.
+        cfg.redundancy = RedundancyConfig::rain(0);
+        if monitored {
+            cfg.health = HealthConfig::on(3);
+            cfg.health.window = 16;
+            cfg.health.suspect_threshold = 0.02;
+            cfg.health.evacuate = true;
+        }
+        cfg
+    };
+    // A footprint larger than the flash buffer keeps reads hitting the
+    // array all the way through the post-death tail of the run.
+    let run = |monitored: bool| {
+        Experiment::quick()
+            .with_config(config(monitored))
+            .with_params(TraceParams {
+                total_warps: 8,
+                mem_ops_per_warp: 2_000,
+                footprint_pages: 256,
+                seed: 9,
+            })
+            .run(PlatformKind::ZngBase, &mix)
+    };
+
+    // Monitor on: flag early, evacuate, fence — and never touch the
+    // corpse.
+    let r = run(true)?;
+    let h = r.health.expect("health was on");
+    let rd = r.redundancy.expect("redundancy was on");
+
+    let mut t = Table::new(vec!["health metric".into(), "value".into()]);
+    t.row(vec!["monitor ticks".into(), h.health_ticks.to_string()]);
+    t.row(vec![
+        "suspects flagged".into(),
+        h.suspects_flagged.to_string(),
+    ]);
+    t.row(vec![
+        "pages evacuated".into(),
+        h.pages_evacuated.to_string(),
+    ]);
+    t.row(vec![
+        "evacuations completed".into(),
+        h.evacuations_completed.to_string(),
+    ]);
+    t.row(vec![
+        "dead dies fenced".into(),
+        h.dead_dies_fenced.to_string(),
+    ]);
+    t.row(vec!["dead-die reads".into(), rd.dead_die_reads.to_string()]);
+    t.print("monitor on: quarantine, evacuate, fence");
+
+    assert!(h.health_ticks > 0, "the monitor must tick: {h:?}");
+    assert!(
+        h.suspects_flagged >= 1,
+        "the dying die must be flagged: {h:?}"
+    );
+    assert!(h.pages_evacuated > 0, "live pages must move off it: {h:?}");
+    assert!(h.evacuations_completed >= 1, "the drain must finish: {h:?}");
+    assert_eq!(h.dead_dies_fenced, 1, "the die died mid-run: {h:?}");
+    assert_eq!(
+        rd.dead_die_reads, 0,
+        "evacuation beat death: no read may touch dead silicon"
+    );
+
+    if quick {
+        println!();
+        println!("ZNG_QUICK=1: skipping the unmonitored contrast run");
+        return Ok(());
+    }
+
+    // Monitor off: the same decline, survived only by paying the
+    // reconstruction fan-out on every read of stranded data.
+    let r_off = run(false)?;
+    let rd_off = r_off.redundancy.expect("redundancy was on");
+
+    println!();
+    let mut t = Table::new(vec!["unmonitored metric".into(), "value".into()]);
+    t.row(vec![
+        "dead-die reads".into(),
+        rd_off.dead_die_reads.to_string(),
+    ]);
+    t.row(vec![
+        "stripe reconstructions".into(),
+        rd_off.reconstructions.to_string(),
+    ]);
+    t.row(vec![
+        "requests completed".into(),
+        r_off.requests.to_string(),
+    ]);
+    t.print("monitor off: reads land on the corpse");
+
+    assert!(r_off.health.is_none(), "no monitor, no summary");
+    assert!(
+        rd_off.dead_die_reads > 0,
+        "without the monitor the dead die is still read: {rd_off:?}"
+    );
+    assert!(
+        rd_off.reconstructions > 0,
+        "those reads pay the stripe fan-out: {rd_off:?}"
+    );
+
+    println!();
+    println!(
+        "pre-emptive evacuation turned {} dead-die reads (plus {} \
+         reconstructions) into zero",
+        rd_off.dead_die_reads, rd_off.reconstructions,
+    );
+    Ok(())
+}

@@ -45,3 +45,8 @@ cargo run -q --example lifetime_refresh >/dev/null
 # through the fast path and beat the full OOB scan (exercises the
 # checkpoint writer, delta journal and verified restore end to end).
 cargo run -q --release --example fast_recovery >/dev/null
+
+# Predictive-health end-to-end smoke: the monitor must flag a degrading
+# die, evacuate its live data and fence it at death with zero dead-die
+# reads, while the unmonitored twin pays the reconstruction fan-out.
+cargo run -q --release --example health_evacuation >/dev/null

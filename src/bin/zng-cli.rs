@@ -10,8 +10,9 @@
 use std::process::ExitCode;
 
 use zng::{
-    table2, CheckpointConfig, Cycle, EnduranceConfig, Experiment, FaultConfig, FaultProfile,
-    IntegrityConfig, PlatformKind, QosConfig, RedundancyConfig, RunResult, Table, TraceParams,
+    table2, CheckpointConfig, Cycle, DegradingDie, EnduranceConfig, Experiment, FaultConfig,
+    FaultProfile, HealthConfig, IntegrityConfig, PlatformKind, QosConfig, RedundancyConfig,
+    RunResult, Table, TraceParams,
 };
 use zng_types::ids::AppId;
 use zng_workloads::{by_name, generate, TraceBundle};
@@ -90,6 +91,17 @@ options:
                           (default 512, implies --checkpoint)
       --journal-cap    max delta-journal records between checkpoints,
                        0=unbounded (implies --checkpoint)
+      --health         predictive die-health monitoring: score the
+                       per-die telemetry every N completed requests and
+                       quarantine suspect dies
+      --health-window  minimum per-die observations before a die is
+                       scored (implies --health)
+      --suspect-threshold  health score in (0,1] that flags a suspect
+                           (implies --health)
+      --evacuate       pre-emptively migrate live data off suspect dies
+                       (implies --health)
+      --degrading-die  inject one die degrading toward death, as
+                       ch:die:onset:death (cycles)
       --watchdog       abort with exit 1 when no request completes
                        within N cycles
       --json       emit the full RunResult as JSON";
@@ -233,6 +245,11 @@ const RUN_FLAGS: &[&str] = &[
     "--checkpoint",
     "--checkpoint-every",
     "--journal-cap",
+    "--health",
+    "--health-window",
+    "--suspect-threshold",
+    "--evacuate",
+    "--degrading-die",
     "--watchdog",
     "--json",
 ];
@@ -268,6 +285,11 @@ const SWEEP_FLAGS: &[&str] = &[
     "--checkpoint",
     "--checkpoint-every",
     "--journal-cap",
+    "--health",
+    "--health-window",
+    "--suspect-threshold",
+    "--evacuate",
+    "--degrading-die",
     "--watchdog",
 ];
 const TRACES_FLAGS: &[&str] = &[
@@ -287,17 +309,22 @@ const DEFAULT_QUEUE_DEPTH: usize = 16;
 /// `--checkpoint-every`).
 const DEFAULT_CHECKPOINT_EVERY: u64 = 512;
 
+/// Monitor cadence installed by a health flag that implies `--health`.
+const DEFAULT_HEALTH_EVERY: u64 = 256;
+
 struct Opts {
     platform: Option<PlatformKind>,
     workloads: Vec<String>,
     params: TraceParams,
     faults: FaultProfile,
+    degrading: Option<DegradingDie>,
     crash_at: Option<u64>,
     qos: Option<QosConfig>,
     redundancy: Option<RedundancyConfig>,
     integrity: Option<IntegrityConfig>,
     endurance: Option<EnduranceConfig>,
     checkpoint: Option<CheckpointConfig>,
+    health: Option<HealthConfig>,
     watchdog: Option<u64>,
     json: bool,
 }
@@ -314,12 +341,14 @@ impl Opts {
                 seed: 42,
             },
             faults: FaultProfile::None,
+            degrading: None,
             crash_at: None,
             qos: None,
             redundancy: None,
             integrity: None,
             endurance: None,
             checkpoint: None,
+            health: None,
             watchdog: None,
             json: false,
         };
@@ -441,6 +470,34 @@ impl Opts {
                 "--journal-cap" => {
                     opts.checkpoint_mut().journal_cap = parse_num(&value("--journal-cap")?)? as u64;
                 }
+                "--health" => {
+                    opts.health_mut().every_ops = parse_num(&value("--health")?)? as u64;
+                }
+                "--health-window" => {
+                    opts.health_mut().window = parse_num(&value("--health-window")?)? as u64;
+                }
+                "--suspect-threshold" => {
+                    opts.health_mut().suspect_threshold =
+                        parse_float(&value("--suspect-threshold")?)?;
+                }
+                "--evacuate" => {
+                    opts.health_mut().evacuate = true;
+                }
+                "--degrading-die" => {
+                    let spec = value("--degrading-die")?;
+                    let parts: Vec<&str> = spec.split(':').collect();
+                    let [ch, die, onset, death] = parts.as_slice() else {
+                        return Err(format!(
+                            "--degrading-die wants ch:die:onset:death, got `{spec}`"
+                        ));
+                    };
+                    opts.degrading = Some(DegradingDie {
+                        channel: parse_num(ch)? as u16,
+                        die: parse_num(die)? as u16,
+                        onset: parse_num(onset)? as u64,
+                        death: parse_num(death)? as u64,
+                    });
+                }
                 "--watchdog" => {
                     opts.watchdog = Some(parse_num(&value("--watchdog")?)? as u64);
                 }
@@ -501,6 +558,13 @@ impl Opts {
             .get_or_insert_with(|| CheckpointConfig::on(DEFAULT_CHECKPOINT_EVERY))
     }
 
+    /// The health policy being built up by flags, enabled with the
+    /// default cadence the first time any health flag appears.
+    fn health_mut(&mut self) -> &mut HealthConfig {
+        self.health
+            .get_or_insert_with(|| HealthConfig::on(DEFAULT_HEALTH_EVERY))
+    }
+
     /// Installs the parsed policies into the experiment's configuration.
     fn apply(&self, exp: &mut Experiment) {
         exp.config_mut().fault = self.fault_config();
@@ -522,6 +586,9 @@ impl Opts {
         if let Some(c) = self.checkpoint {
             exp.config_mut().checkpoint = c;
         }
+        if let Some(h) = self.health {
+            exp.config_mut().health = h;
+        }
         exp.config_mut().watchdog = self.watchdog;
     }
 
@@ -529,11 +596,13 @@ impl Opts {
         self.workloads.iter().map(String::as_str).collect()
     }
 
-    /// The fault configuration implied by `--faults` and `--seed`.
+    /// The fault configuration implied by `--faults`, `--seed` and
+    /// `--degrading-die`.
     fn fault_config(&self) -> FaultConfig {
         FaultConfig {
             profile: self.faults,
             seed: self.params.seed,
+            degrading: self.degrading,
         }
     }
 }
@@ -831,6 +900,60 @@ fn print_result(r: &RunResult) {
             c.journal_overflows.to_string(),
         ]);
         t.row(vec!["checkpoints aborted".into(), c.aborted.to_string()]);
+    }
+    if let Some(h) = &r.health {
+        t.row(vec!["health ticks".into(), h.health_ticks.to_string()]);
+        t.row(vec![
+            "suspects flagged".into(),
+            h.suspects_flagged.to_string(),
+        ]);
+        t.row(vec![
+            "pages evacuated".into(),
+            h.pages_evacuated.to_string(),
+        ]);
+        t.row(vec![
+            "evacuations completed".into(),
+            h.evacuations_completed.to_string(),
+        ]);
+        t.row(vec![
+            "rehabilitations".into(),
+            h.rehabilitations.to_string(),
+        ]);
+        t.row(vec![
+            "evacuation overruns".into(),
+            h.evacuation_overruns.to_string(),
+        ]);
+        t.row(vec![
+            "dead dies fenced".into(),
+            h.dead_dies_fenced.to_string(),
+        ]);
+        t.row(vec![
+            "quarantined dies".into(),
+            if h.quarantined.is_empty() {
+                "none".into()
+            } else {
+                h.quarantined
+                    .iter()
+                    .map(|(c, d)| format!("{c}:{d}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            },
+        ]);
+        for d in &h.per_die {
+            t.row(vec![
+                format!("die {}:{} rd/retry/unc", d.channel, d.die),
+                format!(
+                    "{}/{}/{} pgm {} (fail {}) erase {} (fail {})",
+                    d.reads,
+                    d.retry_steps,
+                    d.uncorrectable_reads,
+                    d.programs,
+                    d.program_failures,
+                    d.erases,
+                    d.erase_failures
+                ),
+            ]);
+        }
     }
     t.print("run result");
 }

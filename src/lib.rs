@@ -38,13 +38,14 @@ pub mod report;
 
 pub use experiment::{geomean, Experiment};
 pub use report::Table;
+pub use zng_flash::DegradingDie;
 pub use zng_flash::{FaultConfig, FaultProfile, RegisterTopology};
 pub use zng_gpu::PrefetchPolicy;
 pub use zng_platforms::{
-    Backend, CheckpointConfig, CheckpointSummary, CrashRecoverySummary, EnduranceConfig,
-    EnduranceSummary, FairShare, IntegrityConfig, IntegritySummary, PlatformKind, QosConfig,
-    QosSummary, RedundancyConfig, RedundancySummary, RunResult, SimConfig, Simulation,
-    MAX_QOS_APPS,
+    Backend, CheckpointConfig, CheckpointSummary, CrashRecoverySummary, DieBreakdown,
+    EnduranceConfig, EnduranceSummary, FairShare, HealthConfig, HealthSummary, IntegrityConfig,
+    IntegritySummary, PlatformKind, QosConfig, QosSummary, RedundancyConfig, RedundancySummary,
+    RunResult, SimConfig, Simulation, MAX_QOS_APPS,
 };
 pub use zng_types::{Cycle, Error, Result};
 pub use zng_workloads::{

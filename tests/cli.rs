@@ -303,6 +303,119 @@ fn integrity_flags_add_counters_and_heal_with_redundancy() {
 }
 
 #[test]
+fn health_flags_add_monitor_metrics() {
+    let out = cli()
+        .args([
+            "run",
+            "-p",
+            "zng-base",
+            "-w",
+            "back",
+            "--warps",
+            "8",
+            "--ops",
+            "200",
+            "--footprint",
+            "128",
+            "--health",
+            "3",
+            "--health-window",
+            "16",
+            "--suspect-threshold",
+            "0.02",
+            "--evacuate",
+            "--degrading-die",
+            "0:0:200000:14000000",
+            "--json",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let v = zng_json::Value::parse(&text).expect("valid JSON RunResult");
+    assert!(v["health_ticks"].as_f64().unwrap() > 0.0);
+    assert!(v["health_suspects_flagged"].as_f64().unwrap() >= 1.0);
+    assert!(v["health_pages_evacuated"].as_f64().unwrap() >= 1.0);
+    assert!(
+        text.contains("per_die_health"),
+        "per-die rollups present:\n{text}"
+    );
+}
+
+#[test]
+fn health_usage_errors_exit_two_and_name_the_flag() {
+    // Each health flag that wants a value must say so, name itself, and
+    // exit with the usage code.
+    for flag in ["--health", "--health-window", "--suspect-threshold"] {
+        let out = cli()
+            .args(["run", "-p", "zng", "-w", "betw", flag])
+            .output()
+            .expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{flag} without a value");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(flag), "names `{flag}`: {err}");
+        assert!(err.contains("requires a value"), "{err}");
+    }
+    // A malformed die spec is a usage error too.
+    let out = cli()
+        .args(["run", "-p", "zng", "-w", "betw", "--degrading-die", "0:0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--degrading-die") && err.contains("ch:die:onset:death"),
+        "{err}"
+    );
+    // And so is a non-numeric threshold.
+    let out = cli()
+        .args([
+            "run",
+            "-p",
+            "zng",
+            "-w",
+            "betw",
+            "--suspect-threshold",
+            "hot",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("`hot` is not a number"), "{err}");
+}
+
+#[test]
+fn default_run_has_no_health_rows() {
+    let out = cli()
+        .args([
+            "run",
+            "-p",
+            "zng",
+            "-w",
+            "betw",
+            "--warps",
+            "4",
+            "--ops",
+            "20",
+            "--footprint",
+            "64",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !text.contains("health") && !text.contains("quarantine") && !text.contains("evacuat"),
+        "default output must be health-free:\n{text}"
+    );
+}
+
+#[test]
 fn default_run_has_no_integrity_rows() {
     let out = cli()
         .args([

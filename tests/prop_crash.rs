@@ -26,18 +26,28 @@ use zng_flash::{FaultConfig, FaultProfile, FlashDevice, FlashGeometry, RegisterT
 use zng_ftl::{PageMapFtl, WriteMode, ZngFtl};
 use zng_types::{Cycle, Error, Freq};
 
-fn device(profile: u8, seed: u64) -> FlashDevice {
+fn device(profile: u8, seed: u64, degrading: bool) -> FlashDevice {
     let mut d = FlashDevice::zng_config(
         FlashGeometry::tiny(),
         Freq::default(),
         RegisterTopology::NiF,
     )
     .unwrap();
-    let cfg = match profile {
+    let mut cfg = match profile {
         0 => FaultConfig::none(),
         1 => FaultConfig::nominal().with_seed(seed),
         _ => FaultConfig::end_of_life().with_seed(seed),
     };
+    if degrading {
+        // A long, shallow ramp: the die gets noisy enough to be flagged
+        // while writes run, but never actually dies within test time.
+        cfg = cfg.with_degrading(zng_flash::DegradingDie {
+            channel: 0,
+            die: 0,
+            onset: 0,
+            death: 200_000_000,
+        });
+    }
     d.set_fault_config(&cfg);
     d
 }
@@ -125,6 +135,20 @@ impl Ftl {
             Ftl::Map(f) => f.checkpoint_step(now, d),
         }
     }
+
+    fn set_health(&mut self, policy: Option<zng_ftl::HealthPolicy>) {
+        match self {
+            Ftl::Zng(f) => f.set_health(policy),
+            Ftl::Map(f) => f.set_health(policy),
+        }
+    }
+
+    fn health_step(&mut self, now: Cycle, d: &mut FlashDevice) -> zng_types::Result<Cycle> {
+        match self {
+            Ftl::Zng(f) => f.health_step(now, d),
+            Ftl::Map(f) => f.health_step(now, d),
+        }
+    }
 }
 
 /// Runs the full crash scenario and checks all four invariants.
@@ -135,7 +159,11 @@ impl Ftl {
 /// the checkpointed recovery (fast path or fallback alike) must rebuild
 /// exactly the mapping a checkpoint-less full scan of the same crashed
 /// media rebuilds.
-#[allow(clippy::too_many_lines)]
+#[allow(
+    clippy::too_many_lines,
+    clippy::too_many_arguments,
+    clippy::fn_params_excessive_bools
+)]
 fn check_crash(
     profile: u8,
     seed: u64,
@@ -144,8 +172,9 @@ fn check_crash(
     settle: bool,
     mode: Option<WriteMode>,
     ckpt: Option<(usize, u64)>,
+    health: bool,
 ) -> Result<(), TestCaseError> {
-    let mut d = device(profile, seed);
+    let mut d = device(profile, seed, health);
     let mut f = match mode {
         Some(m) => Ftl::Zng(ZngFtl::new(&d, 2, m)),
         None => Ftl::Map(PageMapFtl::new(&d)),
@@ -154,6 +183,17 @@ fn check_crash(
         f.set_checkpointing(Some(zng_ftl::CheckpointConfig {
             every_ops: 1,
             journal_cap: cap,
+            pacing: None,
+        }));
+    }
+    if health {
+        // A hair-trigger threshold: the degrading die is quarantined on
+        // its first telemetry blip and its evacuation runs between
+        // writes, so the cut can land with an evacuation in flight.
+        f.set_health(Some(zng_ftl::HealthPolicy {
+            window: 4,
+            suspect_threshold: 0.0005,
+            evacuate: true,
             pacing: None,
         }));
     }
@@ -170,12 +210,20 @@ fn check_crash(
             Ok(done) => t = done,
             Err(Error::DeviceWornOut { .. }) => break,
             Err(Error::UncorrectableRead { .. }) => {}
+            // A redrive-exhausted write on the degrading die was never
+            // acked, so it creates no durability obligation.
+            Err(Error::FlashProtocol { .. }) if health => {}
             Err(e) => return Err(TestCaseError::fail(format!("write failed: {e}"))),
         }
         if let Some((every, _)) = ckpt {
             if (i + 1) % every == 0 {
                 t = f.checkpoint_step(t, &mut d);
             }
+        }
+        if health {
+            t = f
+                .health_step(t, &mut d)
+                .map_err(|e| TestCaseError::fail(format!("health step failed: {e}")))?;
         }
     }
     // A "settled" cut waits out every background program; an immediate
@@ -292,7 +340,7 @@ proptest! {
         crash_at in 0usize..100,
         settle in any::<bool>(),
     ) {
-        check_crash(profile, seed, &writes, crash_at, settle, Some(WriteMode::Direct), None)?;
+        check_crash(profile, seed, &writes, crash_at, settle, Some(WriteMode::Direct), None, false)?;
     }
 
     /// ZnG FTL, buffered (register-grouped) writes: register-resident
@@ -305,7 +353,7 @@ proptest! {
         crash_at in 0usize..100,
         settle in any::<bool>(),
     ) {
-        check_crash(profile, seed, &writes, crash_at, settle, Some(WriteMode::Buffered), None)?;
+        check_crash(profile, seed, &writes, crash_at, settle, Some(WriteMode::Buffered), None, false)?;
     }
 
     /// Conventional page-map FTL: same headline invariant.
@@ -317,7 +365,7 @@ proptest! {
         crash_at in 0usize..100,
         settle in any::<bool>(),
     ) {
-        check_crash(profile, seed, &writes, crash_at, settle, None, None)?;
+        check_crash(profile, seed, &writes, crash_at, settle, None, None, false)?;
     }
 
     /// ZnG FTL with checkpointing: arbitrary cadences, journal caps and
@@ -337,7 +385,7 @@ proptest! {
         let cap = [0u64, 4, 16, 256][cap_sel];
         check_crash(
             profile, seed, &writes, crash_at, settle,
-            Some(WriteMode::Direct), Some((every, cap)),
+            Some(WriteMode::Direct), Some((every, cap)), false,
         )?;
     }
 
@@ -353,7 +401,7 @@ proptest! {
         cap_sel in 0usize..4,
     ) {
         let cap = [0u64, 4, 16, 256][cap_sel];
-        check_crash(profile, seed, &writes, crash_at, settle, None, Some((every, cap)))?;
+        check_crash(profile, seed, &writes, crash_at, settle, None, Some((every, cap)), false)?;
     }
 
     /// Chaos lane: every robustness subsystem at once — RAIN redundancy,
@@ -369,8 +417,8 @@ proptest! {
         every in 16u64..64,
     ) {
         use zng::{
-            CheckpointConfig, EnduranceConfig, IntegrityConfig, PlatformKind, QosConfig,
-            RedundancyConfig, SimConfig, Simulation,
+            CheckpointConfig, EnduranceConfig, HealthConfig, IntegrityConfig, PlatformKind,
+            QosConfig, RedundancyConfig, SimConfig, Simulation,
         };
         use zng_workloads::{MultiApp, TraceParams};
 
@@ -382,7 +430,14 @@ proptest! {
         };
         let mix = MultiApp::from_names(&["betw", "back"], &p).unwrap();
         let mut cfg = SimConfig::tiny();
-        cfg.fault = FaultConfig::nominal().with_seed(seed);
+        cfg.fault = FaultConfig::nominal()
+            .with_seed(seed)
+            .with_degrading(zng_flash::DegradingDie {
+                channel: 0,
+                die: 0,
+                onset: 100_000,
+                death: 40_000_000,
+            });
         cfg.qos = QosConfig::bounded(8);
         cfg.redundancy = RedundancyConfig::rain(0);
         cfg.integrity = IntegrityConfig {
@@ -391,6 +446,13 @@ proptest! {
         };
         cfg.endurance = EnduranceConfig::on(0);
         cfg.checkpoint = CheckpointConfig::on(every);
+        cfg.health = HealthConfig {
+            enabled: true,
+            every_ops: 7,
+            window: 16,
+            suspect_threshold: 0.02,
+            evacuate: true,
+        };
         cfg.crash_at = Some(crash_at);
         let crashed = Simulation::new(PlatformKind::Zng, &cfg)
             .unwrap()
@@ -409,6 +471,40 @@ proptest! {
             .unwrap();
         prop_assert_eq!(crashed.requests, clean.requests);
         prop_assert_eq!(crashed.instructions, clean.instructions);
+    }
+
+    /// ZnG FTL with a degrading die, a hair-trigger health monitor and
+    /// checkpointing: the cut can land with a pre-emptive evacuation in
+    /// flight, and the journal fast path must still rebuild exactly what
+    /// a checkpoint-less full scan rebuilds — evacuation migrations are
+    /// journalled like any other mapping change.
+    #[test]
+    fn zng_health_evacuation_crashes_match_full_scan(
+        profile in 0u8..3,
+        seed in 0u64..50,
+        writes in prop::collection::vec(0u64..48, 1..100),
+        crash_at in 0usize..100,
+        settle in any::<bool>(),
+        every in 2usize..25,
+    ) {
+        check_crash(
+            profile, seed, &writes, crash_at, settle,
+            Some(WriteMode::Direct), Some((every, 256)), true,
+        )?;
+    }
+
+    /// Conventional page-map FTL under the same degrading-die +
+    /// evacuation + checkpointing chaos: same invariants.
+    #[test]
+    fn pagemap_health_evacuation_crashes_match_full_scan(
+        profile in 0u8..3,
+        seed in 0u64..50,
+        writes in prop::collection::vec(0u64..256, 1..100),
+        crash_at in 0usize..100,
+        settle in any::<bool>(),
+        every in 2usize..25,
+    ) {
+        check_crash(profile, seed, &writes, crash_at, settle, None, Some((every, 256)), true)?;
     }
 }
 
