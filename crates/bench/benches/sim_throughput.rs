@@ -1,0 +1,66 @@
+//! Simulator event throughput: how many scheduler events per second the
+//! host machine pushes through the end-to-end model.
+//!
+//! This measures the *simulator*, not the simulated system — the headline
+//! (events/sec on the full ZnG platform) is the number the hot-path
+//! engineering work moves. Runs are sequential on purpose: parallel runs
+//! would share cores and distort per-run wall-clock.
+
+use zng::{Experiment, PlatformKind, Table};
+use zng_bench::{params_standard, report};
+
+fn main() {
+    let params = params_standard();
+    let mut exp = Experiment::standard().with_params(params);
+    exp.config_mut().perf = true;
+
+    // The headline platform first (Table::headline takes the first data
+    // row), then the two conventional baselines whose SSD-engine paths
+    // stress different structures.
+    let platforms = [
+        PlatformKind::Zng,
+        PlatformKind::HybridGpu,
+        PlatformKind::Hetero,
+    ];
+
+    let mut t = Table::new(vec![
+        "platform".into(),
+        "events/sec".into(),
+        "events".into(),
+        "wall s".into(),
+        "peak queue".into(),
+        "compute".into(),
+        "mem".into(),
+        "blocked".into(),
+        "skipped".into(),
+    ]);
+    for p in platforms {
+        let r = exp.run(p, &["betw", "back"]).expect("run");
+        let perf = r.perf.expect("--perf telemetry requested");
+        assert!(perf.events > 0, "an end-to-end run processes events");
+        assert_eq!(
+            perf.events,
+            perf.compute_events + perf.mem_events + perf.blocked_events + perf.skipped_events,
+            "every event is compute, mem, blocked or skipped"
+        );
+        t.row(vec![
+            p.to_string(),
+            format!("{:.0}", perf.events_per_sec),
+            perf.events.to_string(),
+            format!("{:.3}", perf.wall_seconds),
+            perf.peak_queue_depth.to_string(),
+            perf.compute_events.to_string(),
+            perf.mem_events.to_string(),
+            perf.blocked_events.to_string(),
+            perf.skipped_events.to_string(),
+        ]);
+    }
+
+    report(
+        "sim_throughput",
+        "simulator event throughput (host events/sec)",
+        &t,
+        "not a paper figure: simulator engineering headline — higher is \
+         better, tracked across commits in BENCH.json",
+    );
+}

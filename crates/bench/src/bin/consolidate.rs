@@ -44,6 +44,7 @@ fn main() -> ExitCode {
 
     let mut benches = Vec::new();
     let mut quick = false;
+    let mut total_wall = 0.0f64;
     for path in &paths {
         let text = match fs::read_to_string(path) {
             Ok(t) => t,
@@ -68,6 +69,12 @@ fn main() -> ExitCode {
         let mut entry = vec![("title", record["title"].clone())];
         entry.push(("headline_label", record["headline_label"].clone()));
         entry.push(("headline", record["headline"].clone()));
+        // Per-bench wall-clock metadata (from the bench process's own
+        // stopwatch): tracked so harness speedups show up in one diff,
+        // but kept out of the headline values.
+        let wall = record["wall_seconds"].as_f64().unwrap_or(0.0);
+        total_wall += wall;
+        entry.push(("wall_seconds", Value::from(wall)));
         benches.push((id, Value::object(entry)));
     }
 
@@ -75,6 +82,7 @@ fn main() -> ExitCode {
         ("schema", Value::from("zng-bench-summary/v1")),
         ("quick_mode", Value::from(quick)),
         ("bench_count", Value::from(benches.len() as u64)),
+        ("total_wall_seconds", Value::from(total_wall)),
         ("benches", Value::Object(benches.into_iter().collect())),
     ]);
     let mut text = summary.to_string_pretty();

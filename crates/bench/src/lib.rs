@@ -10,12 +10,34 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use zng::{Table, TraceParams};
+
+/// Process-lifetime stopwatch: armed by the first call to any parameter
+/// helper (the first line of every bench `main`), read by [`report`] so
+/// each bench's JSON record carries its own wall-clock cost. The number
+/// is metadata for `BENCH.json` — never a golden value.
+static BENCH_START: OnceLock<Instant> = OnceLock::new();
+
+fn arm_stopwatch() {
+    BENCH_START.get_or_init(Instant::now);
+}
+
+/// Seconds since the bench process armed the stopwatch (0.0 if no
+/// parameter helper ran, e.g. in unit tests).
+pub fn bench_wall_seconds() -> f64 {
+    BENCH_START
+        .get()
+        .map(|t| t.elapsed().as_secs_f64())
+        .unwrap_or(0.0)
+}
 
 /// The standard per-figure trace volume (reuse ≈ the paper's Fig. 5
 /// characterisation).
 pub fn params_standard() -> TraceParams {
+    arm_stopwatch();
     if quick() {
         TraceParams {
             total_warps: 64,
@@ -35,6 +57,7 @@ pub fn params_standard() -> TraceParams {
 
 /// A lighter volume for many-point sweeps (threshold/scalability grids).
 pub fn params_light() -> TraceParams {
+    arm_stopwatch();
     if quick() {
         TraceParams {
             total_warps: 32,
@@ -54,6 +77,7 @@ pub fn params_light() -> TraceParams {
 
 /// Whether `ZNG_QUICK=1` smoke-test mode is on.
 pub fn quick() -> bool {
+    arm_stopwatch();
     std::env::var_os("ZNG_QUICK").is_some()
 }
 
@@ -81,6 +105,7 @@ fn save_json(id: &str, title: &str, table: &Table, paper: &str) {
         ("quick_mode", zng_json::Value::from(quick())),
         ("headline_label", headline_label),
         ("headline", headline),
+        ("wall_seconds", zng_json::Value::from(bench_wall_seconds())),
     ]);
     let _ = fs::write(dir.join(format!("{id}.json")), record.to_string_pretty());
 }

@@ -7,8 +7,7 @@
 //! cells of the next free page's row. Because Z-NAND programs in order,
 //! a single register tracks the next free page.
 
-use std::collections::HashMap;
-
+use fxhash::{FxBuildHasher, FxHashMap};
 use zng_types::{Cycle, Error, Result};
 
 /// CAM search cost: two phases (precharge + match) of the decoder clock.
@@ -34,8 +33,13 @@ pub const CAM_SEARCH_CYCLES: Cycle = Cycle(2);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RowDecoder {
-    /// logical page id -> physical page within the log block.
-    map: HashMap<u64, u32>,
+    /// logical page id -> physical page within the log block. The CAM
+    /// has at most `pages` live rows, so the index is pre-sized to
+    /// `pages` and hashed with the deterministic Fx hasher: lookups are
+    /// the hottest FTL operation and never rehash mid-run. Iteration
+    /// order is never observed directly — [`RowDecoder::mappings`]
+    /// sorts before anything consumes it.
+    map: FxHashMap<u64, u32>,
     /// In-order next-free-page register.
     next_free: u32,
     /// Wordlines (= pages in the log block).
@@ -55,7 +59,7 @@ impl RowDecoder {
     pub fn new(pages: u32) -> RowDecoder {
         assert!(pages > 0, "row decoder needs at least one wordline");
         RowDecoder {
-            map: HashMap::new(),
+            map: FxHashMap::with_capacity_and_hasher(pages as usize, FxBuildHasher::default()),
             next_free: 0,
             pages,
             searches: 0,

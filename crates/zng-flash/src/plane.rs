@@ -9,8 +9,6 @@
 //! against other reads, paying a small suspension overhead when they
 //! preempt a program.
 
-use std::collections::HashMap;
-
 use zng_sim::Resource;
 use zng_types::{Cycle, Error, Result};
 
@@ -61,7 +59,12 @@ pub struct Plane {
     blocks_per_plane: u32,
     pages_per_block: u32,
     timing: FlashCycles,
-    blocks: HashMap<u32, Block>,
+    /// Direct-indexed by block id, grown lazily to the highest block
+    /// ever touched: the hot read/program paths index in O(1) with no
+    /// hashing, while an untouched tail of a million-block device costs
+    /// nothing. Iteration (power loss) walks in index order, which is
+    /// deterministic by construction.
+    blocks: Vec<Option<Block>>,
     /// Program/erase occupancy.
     array: Resource,
     /// Read occupancy (reads suspend programs, so they only queue behind
@@ -98,7 +101,7 @@ impl Plane {
             blocks_per_plane,
             pages_per_block,
             timing,
-            blocks: HashMap::new(),
+            blocks: Vec::new(),
             array: Resource::new(1),
             read_port: Resource::new(1),
             sensed: None,
@@ -154,16 +157,22 @@ impl Plane {
     /// Returns [`Error::AddressOutOfRange`] for an invalid block index.
     pub fn block_mut(&mut self, block: u32) -> Result<&mut Block> {
         self.check_block(block)?;
+        let idx = block as usize;
+        if idx >= self.blocks.len() {
+            self.blocks.resize_with(idx + 1, || None);
+        }
         let pages = self.pages_per_block;
-        Ok(self
-            .blocks
-            .entry(block)
-            .or_insert_with(|| Block::new(pages)))
+        Ok(self.blocks[idx].get_or_insert_with(|| Block::new(pages)))
     }
 
     /// Shared access to a block, if it has ever been touched.
     pub fn block(&self, block: u32) -> Option<&Block> {
-        self.blocks.get(&block)
+        self.blocks.get(block as usize).and_then(|b| b.as_ref())
+    }
+
+    /// Mutable access to a block only if it has ever been touched.
+    fn touched_mut(&mut self, block: u32) -> Option<&mut Block> {
+        self.blocks.get_mut(block as usize).and_then(|b| b.as_mut())
     }
 
     /// Senses one page from the array; returns sense-complete time.
@@ -194,8 +203,7 @@ impl Plane {
     pub fn read_page_traced(&mut self, now: Cycle, block: u32, page: u32) -> Result<ReadReport> {
         self.check_block(block)?;
         let programmed = self
-            .blocks
-            .get(&block)
+            .block(block)
             .map(|b| b.is_programmed(page))
             .unwrap_or(false);
         if !programmed {
@@ -203,7 +211,7 @@ impl Plane {
                 "reading unprogrammed page {page} of block {block}"
             )));
         }
-        if self.blocks.get(&block).is_some_and(|b| b.is_torn(page)) {
+        if self.block(block).is_some_and(|b| b.is_torn(page)) {
             // A program interrupted by power loss left detectable garbage;
             // serving it would silently return corrupt data.
             return Err(Error::TornPage {
@@ -225,13 +233,7 @@ impl Plane {
         // pages. The pre-sense exposure drives this read's amplification;
         // the counter is charged afterwards.
         let disturb_cycles = match self.disturb_unit {
-            Some(unit) => {
-                self.blocks
-                    .get(&block)
-                    .map(|b| b.disturb_reads())
-                    .unwrap_or(0)
-                    / unit
-            }
+            Some(unit) => self.block(block).map(|b| b.disturb_reads()).unwrap_or(0) / unit,
             None => 0,
         };
         // Reads preempt programs (suspend-resume): they serialize only
@@ -247,7 +249,8 @@ impl Plane {
         if let Some(faults) = self.faults.as_mut() {
             let wear = self
                 .blocks
-                .get(&block)
+                .get(block as usize)
+                .and_then(|b| b.as_ref())
                 .map(|b| b.erase_count() as u64)
                 .unwrap_or(0);
             // Read-retry ladder: each failed sense re-senses with tuned
@@ -302,7 +305,7 @@ impl Plane {
         if self.disturb_unit.is_none() {
             return;
         }
-        if let Some(b) = self.blocks.get_mut(&block) {
+        if let Some(b) = self.touched_mut(block) {
             b.note_disturb_read();
             self.disturb_noted += 1;
         }
@@ -312,13 +315,7 @@ impl Plane {
     /// (zero when disturb accounting is disabled).
     pub fn disturb_cycles(&self, block: u32) -> u64 {
         match self.disturb_unit {
-            Some(unit) => {
-                self.blocks
-                    .get(&block)
-                    .map(|b| b.disturb_reads())
-                    .unwrap_or(0)
-                    / unit
-            }
+            Some(unit) => self.block(block).map(|b| b.disturb_reads()).unwrap_or(0) / unit,
             None => 0,
         }
     }
@@ -341,16 +338,12 @@ impl Plane {
         self.sensed = None;
         let done = self.array.acquire(now, self.timing.program);
         let wear = self
-            .blocks
-            .get(&block)
+            .block(block)
             .map(|b| b.erase_count() as u64)
             .unwrap_or(0);
         let failed = self.faults.as_mut().is_some_and(|f| f.program_fails(wear));
         if failed {
-            let b = self
-                .blocks
-                .get_mut(&block)
-                .expect("block was just programmed");
+            let b = self.touched_mut(block).expect("block was just programmed");
             b.mark_failed();
             b.invalidate(page);
         }
@@ -369,8 +362,7 @@ impl Plane {
     pub fn erase(&mut self, now: Cycle, block: u32) -> Result<EraseReport> {
         // Capture wear before the erase bumps the count.
         let wear = self
-            .blocks
-            .get(&block)
+            .block(block)
             .map(|b| b.erase_count() as u64)
             .unwrap_or(0);
         self.block_mut(block)?.erase()?;
@@ -381,8 +373,7 @@ impl Plane {
         let done = self.array.acquire(now, self.timing.erase);
         let failed = self.faults.as_mut().is_some_and(|f| f.erase_fails(wear));
         if failed {
-            self.blocks
-                .get_mut(&block)
+            self.touched_mut(block)
                 .expect("block was just erased")
                 .mark_failed();
         }
@@ -398,7 +389,8 @@ impl Plane {
         self.sensed = None;
         self.sensed_at = Cycle::ZERO;
         self.blocks
-            .values_mut()
+            .iter_mut()
+            .flatten()
             .map(|b| b.power_loss(now, fenced_seq) as u64)
             .sum()
     }

@@ -14,7 +14,7 @@
 //! platform redirects overflow dirty data into pinned L2 space
 //! (paper Fig. 13 "redirection").
 
-use std::collections::HashMap;
+use fxhash::{FxBuildHasher, FxHashMap};
 
 /// Identifies a page held in a register (device-global page key).
 pub type RegPageKey = u64;
@@ -80,7 +80,12 @@ pub struct RegisterCache {
     planes: usize,
     registers_per_plane: usize,
     grouped: bool,
-    entries: HashMap<RegPageKey, Entry>,
+    /// Resident pages, keyed by page. Bounded by the pool capacity, so
+    /// the map is pre-sized at construction and never rehashes; victim
+    /// selection is iteration-order independent (`last_use` ticks are
+    /// unique) and `flush_all` sorts, so the Fx hasher changes no
+    /// observable behaviour.
+    entries: FxHashMap<RegPageKey, Entry>,
     plane_occupancy: Vec<usize>,
     tick: u64,
     // Thrashing checker (windowed eviction-rate monitor).
@@ -119,7 +124,10 @@ impl RegisterCache {
             planes,
             registers_per_plane,
             grouped,
-            entries: HashMap::new(),
+            entries: FxHashMap::with_capacity_and_hasher(
+                planes * registers_per_plane,
+                FxBuildHasher::default(),
+            ),
             plane_occupancy: vec![0; planes],
             tick: 0,
             window_writes: 0,

@@ -1,7 +1,6 @@
 //! Device-level flash statistics behind Figures 5b/5c, 11, 12 and 13.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use zng_types::{Cycle, Freq};
 
 use crate::fault::MAX_READ_RETRIES;
@@ -70,10 +69,15 @@ impl DieHealth {
 /// * **write redundancy** (Fig. 5c / Fig. 13) — average number of array
 ///   programs per distinct logical page; register merging reduces it.
 /// * **array bandwidth** (Fig. 11) — bytes sensed/programmed over time.
+///
+/// The per-page maps are on the device's hottest path (one update per
+/// array sense/program); they use the deterministic Fx hasher, and all
+/// consumers are either order-independent aggregates (sums, lens) or
+/// explicitly sorted ([`FlashStats::die_health_sorted`]).
 #[derive(Debug, Clone, Default)]
 pub struct FlashStats {
-    page_reads: HashMap<u64, u32>,
-    page_programs: HashMap<u64, u32>,
+    page_reads: FxHashMap<u64, u32>,
+    page_programs: FxHashMap<u64, u32>,
     bytes_read: u64,
     bytes_programmed: u64,
     read_retries: u64,
@@ -86,7 +90,7 @@ pub struct FlashStats {
     silent_corruptions: u64,
     disturb_reads: u64,
     disturb_triggered_errors: u64,
-    die_health: HashMap<(u16, u16), DieHealth>,
+    die_health: FxHashMap<(u16, u16), DieHealth>,
 }
 
 impl FlashStats {

@@ -1,0 +1,210 @@
+//! A direct-indexed map for dense-but-segmented integer key spaces.
+//!
+//! The ZnG mapping tables (DBMT, LBMT) are keyed by virtual block /
+//! group numbers that are *dense within an application's segment* but
+//! *sparse across segments* (each app's address space starts at a high
+//! fixed offset, so one flat `Vec` over the whole key range would be
+//! almost entirely empty). [`DenseMap`] splits the key into a segment
+//! index and a slot: segments materialise lazily on first insert, and
+//! every access within a segment is a direct array index — no hashing
+//! at all on the FTL's per-access hot path.
+//!
+//! Iteration is in **ascending key order by construction**, which makes
+//! every walk over a mapping table deterministic without collect-and-sort.
+//!
+//! # Examples
+//!
+//! ```
+//! use zng_ftl::DenseMap;
+//!
+//! let mut m: DenseMap<&str> = DenseMap::new();
+//! m.insert(3, "three");
+//! m.insert(70_000, "far"); // a different segment, allocated lazily
+//! assert_eq!(m.get(3), Some(&"three"));
+//! assert_eq!(m.len(), 2);
+//! let keys: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+//! assert_eq!(keys, vec![3, 70_000]); // ascending, always
+//! ```
+
+/// log2 of the segment length: 4096 slots per segment keeps one app's
+/// whole working set of blocks in a handful of segments while an
+/// untouched segment costs one `None`.
+const SEG_BITS: u32 = 12;
+/// Slots per segment.
+const SEG_LEN: usize = 1 << SEG_BITS;
+
+/// A lazily segmented direct-indexed map over `u64` keys.
+#[derive(Debug, Clone, Default)]
+pub struct DenseMap<V> {
+    segs: Vec<Option<Box<[Option<V>]>>>,
+    len: usize,
+}
+
+impl<V> DenseMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> DenseMap<V> {
+        DenseMap {
+            segs: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn split(key: u64) -> (usize, usize) {
+        (
+            (key >> SEG_BITS) as usize,
+            (key & (SEG_LEN as u64 - 1)) as usize,
+        )
+    }
+
+    /// The value stored under `key`, if any.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let (seg, slot) = Self::split(key);
+        self.segs.get(seg)?.as_ref()?[slot].as_ref()
+    }
+
+    /// Mutable access to the value stored under `key`, if any.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let (seg, slot) = Self::split(key);
+        self.segs.get_mut(seg)?.as_mut()?[slot].as_mut()
+    }
+
+    /// Whether `key` has a value.
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `value` under `key`, returning the previous value.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        let (seg, slot) = Self::split(key);
+        if seg >= self.segs.len() {
+            self.segs.resize_with(seg + 1, || None);
+        }
+        let seg = self.segs[seg].get_or_insert_with(|| (0..SEG_LEN).map(|_| None).collect());
+        let old = seg[slot].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value under `key`, if any.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let (seg, slot) = Self::split(key);
+        let old = self.segs.get_mut(seg)?.as_mut()?[slot].take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops every entry (segment storage is retained for reuse).
+    pub fn clear(&mut self) {
+        for seg in self.segs.iter_mut().flatten() {
+            for slot in seg.iter_mut() {
+                *slot = None;
+            }
+        }
+        self.len = 0;
+    }
+
+    /// Iterates `(key, &value)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.segs.iter().enumerate().flat_map(|(si, seg)| {
+            seg.iter().flat_map(move |slots| {
+                slots.iter().enumerate().filter_map(move |(slot, v)| {
+                    v.as_ref()
+                        .map(|v| (((si as u64) << SEG_BITS) | slot as u64, v))
+                })
+            })
+        })
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut m: DenseMap<u32> = DenseMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(5, 50), None);
+        assert_eq!(m.insert(5, 51), Some(50));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(5), Some(&51));
+        assert_eq!(m.remove(5), Some(51));
+        assert_eq!(m.remove(5), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn cross_segment_keys_are_independent() {
+        let mut m: DenseMap<u64> = DenseMap::new();
+        // Same slot in three different segments (app-style offsets).
+        for app in 0..3u64 {
+            m.insert((app << 16) + 7, app);
+        }
+        assert_eq!(m.len(), 3);
+        for app in 0..3u64 {
+            assert_eq!(m.get((app << 16) + 7), Some(&app));
+        }
+        assert_eq!(m.get(7 + (3 << 16)), None, "untouched segment");
+    }
+
+    #[test]
+    fn iteration_is_ascending_by_key() {
+        let mut m: DenseMap<&str> = DenseMap::new();
+        for k in [900_000u64, 3, 70_000, 4_095, 4_096] {
+            m.insert(k, "x");
+        }
+        let keys: Vec<u64> = m.keys().collect();
+        assert_eq!(keys, vec![3, 4_095, 4_096, 70_000, 900_000]);
+        assert_eq!(m.values().count(), 5);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut m: DenseMap<Vec<u32>> = DenseMap::new();
+        m.insert(9, vec![1]);
+        m.get_mut(9).unwrap().push(2);
+        assert_eq!(m.get(9), Some(&vec![1, 2]));
+        assert_eq!(m.get_mut(10), None);
+    }
+
+    #[test]
+    fn clear_retains_segments_but_drops_entries() {
+        let mut m: DenseMap<u8> = DenseMap::new();
+        for k in 0..100u64 {
+            m.insert(k * 1000, 1);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+        m.insert(42, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -25,6 +25,7 @@ pub(crate) const GC_READ_ATTEMPTS: u32 = 4;
 
 pub mod allocator;
 pub mod checkpoint;
+pub mod densemap;
 pub mod engine;
 pub mod health;
 pub mod integrity;
@@ -36,6 +37,8 @@ pub mod refresh;
 pub mod zngftl;
 
 pub use allocator::{BlockAllocator, WearPolicy};
+pub use densemap::DenseMap;
+
 pub use checkpoint::{
     CheckpointConfig, CheckpointCounters, CKPT_ENTRIES_PER_PAGE, CKPT_LOAD_CYCLES_PER_PAGE,
     JOURNAL_RECORDS_PER_PAGE, JOURNAL_REPLAY_CYCLES_PER_RECORD,

@@ -6,8 +6,9 @@
 //! mapping table lives in SSD DRAM and is *consulted by the SSD engine* —
 //! the engine cost is charged by the SSD module, not here.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
+use fxhash::FxHashMap;
 use zng_flash::{BlockKind, FlashDevice};
 use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
 
@@ -21,10 +22,17 @@ use crate::MAX_WRITE_REDRIVES;
 /// A page-level FTL with greedy GC and wear-aware allocation.
 #[derive(Debug, Clone)]
 pub struct PageMapFtl {
-    /// Logical page number -> current flash location.
-    map: HashMap<u64, FlashAddr>,
-    /// Reverse map: device block index -> per-page owner lpn.
-    rmap: HashMap<u64, Vec<Option<u64>>>,
+    /// Logical page number -> current flash location. LPNs are sparse
+    /// (per-app segments), so this stays a hash map — on the
+    /// deterministic Fx hasher; every iteration over it is sorted before
+    /// use.
+    map: FxHashMap<u64, FlashAddr>,
+    /// Reverse map, direct-indexed by device block index (a contiguous
+    /// `0..total_blocks` key space): `rmap[idx]` is the per-page owner
+    /// lpn table of block `idx`, `None` for blocks holding no mapping.
+    /// Index-order iteration is ascending-block order, so walks are
+    /// deterministic without sorting.
+    rmap: Vec<Option<Vec<Option<u64>>>>,
     allocator: BlockAllocator,
     /// One active write block per channel (page striping).
     active: Vec<Option<BlockAddr>>,
@@ -72,8 +80,8 @@ impl PageMapFtl {
         let g = device.geometry();
         let total = g.total_blocks() as u64;
         PageMapFtl {
-            map: HashMap::new(),
-            rmap: HashMap::new(),
+            map: FxHashMap::default(),
+            rmap: vec![None; total as usize],
             allocator: BlockAllocator::new(total),
             active: vec![None; g.channels],
             cursor: 0,
@@ -339,16 +347,14 @@ impl PageMapFtl {
     fn record_mapping(&mut self, device: &FlashDevice, lpn: u64, addr: FlashAddr) {
         if let Some(old) = self.map.insert(lpn, addr) {
             // Superseded: mark stale both in media state and reverse map.
-            let old_idx = device.geometry().index_for_block(old.block);
-            if let Some(pages) = self.rmap.get_mut(&old_idx) {
+            let old_idx = device.geometry().index_for_block(old.block) as usize;
+            if let Some(Some(pages)) = self.rmap.get_mut(old_idx) {
                 pages[old.page as usize] = None;
             }
         }
-        let idx = device.geometry().index_for_block(addr.block);
-        let pages = self
-            .rmap
-            .entry(idx)
-            .or_insert_with(|| vec![None; device.geometry().pages_per_block]);
+        let idx = device.geometry().index_for_block(addr.block) as usize;
+        let pages =
+            self.rmap[idx].get_or_insert_with(|| vec![None; device.geometry().pages_per_block]);
         pages[addr.page as usize] = Some(lpn);
         if let Some(ck) = self.checkpoint.as_mut() {
             ck.note_remap(lpn);
@@ -600,7 +606,8 @@ impl PageMapFtl {
         // Migrate live pages, chained serially on the GC thread.
         let live: Vec<(u32, u64)> = self
             .rmap
-            .get(&victim_idx)
+            .get(victim_idx as usize)
+            .and_then(|p| p.as_ref())
             .map(|pages| {
                 pages
                     .iter()
@@ -649,7 +656,7 @@ impl PageMapFtl {
             self.pages_migrated += 1;
         }
         let erase = device.erase(t, victim)?;
-        self.rmap.remove(&victim_idx);
+        self.rmap[victim_idx as usize] = None;
         // A failed erase (or earlier failed program) retires the block.
         match device.block(victim) {
             Some(b) if b.is_failed() => {
@@ -719,7 +726,7 @@ impl PageMapFtl {
         let geo = *device.geometry();
 
         self.map.clear();
-        self.rmap.clear();
+        self.rmap.iter_mut().for_each(|p| *p = None);
         self.sealed.clear();
         self.active = vec![None; geo.channels];
         self.cursor = 0;
@@ -749,7 +756,7 @@ impl PageMapFtl {
                 b.restore_valid(page);
                 pages[page as usize] = Some(lpn);
             }
-            self.rmap.insert(blk.idx, pages);
+            self.rmap[blk.idx as usize] = Some(pages);
             // A partial healthy block resumes in-order writes as its
             // channel's active block; everything else (full, failed, or a
             // second partial on the same channel) is sealed for GC.
@@ -915,10 +922,12 @@ impl PageMapFtl {
         // map and retire it so the pool never hands it out again. Blocks
         // still holding live pages (a partial rebuild that ran the pool
         // dry) keep their maps so reads keep reconstructing.
-        let mut dead_idxs: Vec<u64> = self
+        let dead_idxs: Vec<u64> = self
             .rmap
             .iter()
-            .filter(|(&idx, pages)| {
+            .enumerate()
+            .filter_map(|(i, pages)| Some((i as u64, pages.as_ref()?)))
+            .filter(|&(idx, pages)| {
                 device
                     .geometry()
                     .block_for_index(idx)
@@ -926,11 +935,10 @@ impl PageMapFtl {
                     .unwrap_or(false)
                     && pages.iter().all(Option::is_none)
             })
-            .map(|(&idx, _)| idx)
+            .map(|(idx, _)| idx)
             .collect();
-        dead_idxs.sort_unstable();
         for idx in dead_idxs {
-            self.rmap.remove(&idx);
+            self.rmap[idx as usize] = None;
             self.allocator.retire(idx);
             self.blocks_retired += 1;
             if let Some(rain) = self.rain.as_mut() {
@@ -1067,7 +1075,7 @@ impl PageMapFtl {
             // An active block is mid-write (in-order programming can't be
             // disturbed); it seals soon and refreshes on a later pass.
             let idx = device.geometry().index_for_block(addr);
-            if self.active.contains(&Some(addr)) || !self.rmap.contains_key(&idx) {
+            if self.active.contains(&Some(addr)) || self.rmap[idx as usize].is_none() {
                 return Ok(now);
             }
             self.sealed.retain(|a| *a != addr);
@@ -1230,13 +1238,18 @@ impl PageMapFtl {
     /// (but not dead) die, if any — the next evacuation victim.
     fn next_evacuation_victim(&self, device: &FlashDevice) -> Option<BlockAddr> {
         let h = self.health.as_ref()?;
-        let mut idxs: Vec<u64> = self
+        // Index order is ascending-block order: no sort needed.
+        let idxs: Vec<u64> = self
             .rmap
             .iter()
-            .filter(|(_, pages)| pages.iter().any(Option::is_some))
-            .map(|(&idx, _)| idx)
+            .enumerate()
+            .filter(|(_, pages)| {
+                pages
+                    .as_ref()
+                    .is_some_and(|pages| pages.iter().any(Option::is_some))
+            })
+            .map(|(idx, _)| idx as u64)
             .collect();
-        idxs.sort_unstable();
         for idx in idxs {
             let Ok(addr) = device.geometry().block_for_index(idx) else {
                 continue;
@@ -1273,7 +1286,8 @@ impl PageMapFtl {
                     && device.block(a).is_some_and(|b| !b.is_failed())
                     && self
                         .rmap
-                        .get(&device.geometry().index_for_block(a))
+                        .get(device.geometry().index_for_block(a) as usize)
+                        .and_then(|p| p.as_ref())
                         .is_some_and(|pages| pages.iter().any(Option::is_some))
             })
             .min_by_key(|&a| {
@@ -1318,7 +1332,8 @@ impl PageMapFtl {
         let victim_idx = device.geometry().index_for_block(victim);
         let live: Vec<(u32, u64)> = self
             .rmap
-            .get(&victim_idx)
+            .get(victim_idx as usize)
+            .and_then(|p| p.as_ref())
             .map(|pages| {
                 pages
                     .iter()
@@ -1379,7 +1394,7 @@ impl PageMapFtl {
             moved += 1;
         }
         let erase = device.erase(t, victim)?;
-        self.rmap.remove(&victim_idx);
+        self.rmap[victim_idx as usize] = None;
         match device.block(victim) {
             Some(b) if b.is_failed() => {
                 self.allocator.retire(victim_idx);

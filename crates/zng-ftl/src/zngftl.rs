@@ -20,10 +20,13 @@
 //! the platform which pages to flush from L2 and how long the victim
 //! app's requests stay blocked (paper Fig. 17).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
+use fxhash::FxHashMap;
 use zng_flash::{BlockKind, FlashDevice, RowDecoder, CAM_SEARCH_CYCLES};
 use zng_types::{BlockAddr, Cycle, Error, FlashAddr, Result};
+
+use crate::densemap::DenseMap;
 
 use crate::health::{HealthCounters, HealthPolicy, HealthState};
 use crate::integrity::IntegrityCounters;
@@ -98,10 +101,13 @@ pub struct ZngFtl {
     group_size: u64,
     pages_per_block: u64,
     mode: WriteMode,
-    /// DBMT: vbn -> physical data block.
-    dbmt: HashMap<u64, BlockAddr>,
-    /// LBMT: group -> log block (+ its row-decoder LPMT).
-    lbmt: HashMap<u64, LogBlock>,
+    /// DBMT: vbn -> physical data block. Direct-indexed ([`DenseMap`]):
+    /// vbns are dense within an app's segment, every hot-path resolve is
+    /// an array index, and iteration is ascending-vbn by construction.
+    dbmt: DenseMap<BlockAddr>,
+    /// LBMT: group -> log block (+ its row-decoder LPMT). Same
+    /// direct-indexed layout as the DBMT.
+    lbmt: DenseMap<LogBlock>,
     allocator: crate::allocator::BlockAllocator,
     gcs: u64,
     migrated: u64,
@@ -176,8 +182,8 @@ impl ZngFtl {
             group_size,
             pages_per_block: g.pages_per_block as u64,
             mode,
-            dbmt: HashMap::new(),
-            lbmt: HashMap::new(),
+            dbmt: DenseMap::new(),
+            lbmt: DenseMap::new(),
             allocator: crate::allocator::BlockAllocator::with_policy(
                 g.total_blocks() as u64,
                 policy,
@@ -457,7 +463,7 @@ impl ZngFtl {
     /// any log write of the same pages, so its stamps are outranked by
     /// every later demand write.
     fn ensure_data_block(&mut self, device: &mut FlashDevice, vbn: u64) -> Result<BlockAddr> {
-        if let Some(&addr) = self.dbmt.get(&vbn) {
+        if let Some(&addr) = self.dbmt.get(vbn) {
             return Ok(addr);
         }
         let addr = self.alloc_block(device, BlockKind::Data)?;
@@ -477,7 +483,7 @@ impl ZngFtl {
     }
 
     fn ensure_log_block(&mut self, device: &mut FlashDevice, group: u64) -> Result<BlockAddr> {
-        if let Some(lb) = self.lbmt.get(&group) {
+        if let Some(lb) = self.lbmt.get(group) {
             return Ok(lb.addr);
         }
         let addr = self.alloc_block(device, BlockKind::Log)?;
@@ -495,7 +501,7 @@ impl ZngFtl {
         let vbn = self.vbn_of(vpn);
         let data = self.ensure_data_block(device, vbn)?;
         let group = self.group_of(vpn);
-        if let Some(lb) = self.lbmt.get_mut(&group) {
+        if let Some(lb) = self.lbmt.get_mut(group) {
             if let Some(slot) = lb.decoder.lookup(vpn) {
                 return Ok((FlashAddr::new(lb.addr, slot), CAM_SEARCH_CYCLES));
             }
@@ -541,7 +547,7 @@ impl ZngFtl {
         // registers (no LPMT mapping exists until eviction): serve it
         // from there.
         let group = self.group_of(vpn);
-        if let Some(lb) = self.lbmt.get(&group) {
+        if let Some(lb) = self.lbmt.get(group) {
             let log_ch = lb.addr.channel;
             if let Some(done) = device.read_from_register_if_held(now, log_ch, vpn, transfer_bytes)
             {
@@ -700,7 +706,13 @@ impl ZngFtl {
     ) -> Result<WriteResult> {
         debug_assert_eq!(group, self.group_of(vpn));
         let mut gc = None;
-        if self.lbmt[&group].decoder.is_full() {
+        if self
+            .lbmt
+            .get(group)
+            .expect("log block ensured")
+            .decoder
+            .is_full()
+        {
             let report = self.gc_group(now, device, group)?;
             gc = Some(report);
             // Retry immediately after the merge freed the group's log
@@ -752,7 +764,13 @@ impl ZngFtl {
             let victim_group = self.group_of(pending.key);
             self.ensure_log_block(device, victim_group)?;
             let t = pending.ready_at.max(now);
-            if self.lbmt[&victim_group].decoder.is_full() {
+            if self
+                .lbmt
+                .get(victim_group)
+                .expect("log block ensured")
+                .decoder
+                .is_full()
+            {
                 let report = self.gc_group(t, device, victim_group)?;
                 gc = Some(report);
                 self.ensure_log_block(device, victim_group)?;
@@ -784,7 +802,7 @@ impl ZngFtl {
         group: u64,
     ) -> Result<Cycle> {
         for _ in 0..MAX_WRITE_REDRIVES {
-            let lb = self.lbmt.get_mut(&group).expect("log block ensured");
+            let lb = self.lbmt.get_mut(group).expect("log block ensured");
             if lb.decoder.is_full() {
                 // Rare corner: re-drives consumed the last log slots
                 // mid-write. Merge the group inline and continue on the
@@ -818,7 +836,7 @@ impl ZngFtl {
             // version and try the next slot.
             self.write_redrives += 1;
             self.lbmt
-                .get_mut(&group)
+                .get_mut(group)
                 .expect("log block ensured")
                 .decoder
                 .retract(vpn, old);
@@ -842,7 +860,7 @@ impl ZngFtl {
         device: &mut FlashDevice,
         group: u64,
     ) -> Result<GcReport> {
-        let lb = match self.lbmt.remove(&group) {
+        let lb = match self.lbmt.remove(group) {
             Some(lb) => lb,
             None => {
                 return Ok(GcReport {
@@ -860,7 +878,9 @@ impl ZngFtl {
         let page_bytes = device.geometry().page_bytes;
 
         // Which data blocks of the group actually have logged pages?
-        let mut by_vbn: HashMap<u64, Vec<(u64, u32)>> = HashMap::new();
+        // Keyed in a BTreeMap so the merge walks vbns in ascending order
+        // without a separate collect-and-sort.
+        let mut by_vbn: BTreeMap<u64, Vec<(u64, u32)>> = BTreeMap::new();
         for (vpn, slot) in lb.decoder.mappings() {
             by_vbn
                 .entry(self.vbn_of(vpn))
@@ -872,8 +892,7 @@ impl ZngFtl {
         let mut erased = 0u64;
         let mut done = now;
 
-        let mut vbns: Vec<u64> = by_vbn.keys().copied().collect();
-        vbns.sort_unstable();
+        let vbns: Vec<u64> = by_vbn.keys().copied().collect();
         for vbn in vbns {
             let logged = &by_vbn[&vbn];
             // Every logged vpn passed through `write`, which ensures its
@@ -881,10 +900,10 @@ impl ZngFtl {
             // here is a simulator bug, not a caller-reachable state.
             let old_data = self
                 .dbmt
-                .get(&vbn)
+                .get(vbn)
                 .copied()
                 .expect("logged vpn's data block was ensured at write time");
-            let logged_map: HashMap<u64, u32> = logged.iter().copied().collect();
+            let logged_map: FxHashMap<u64, u32> = logged.iter().copied().collect();
             // Merge all pages of the block, newest version of each. The
             // helper thread double-buffers: the next page's read overlaps
             // the previous page's program (reads and programs occupy
@@ -1255,16 +1274,16 @@ impl ZngFtl {
             return Ok(now);
         }
         let page_bytes = device.geometry().page_bytes;
-        let mut groups: Vec<u64> = self
+        // DenseMap iteration is ascending-group already: no sort needed.
+        let groups: Vec<u64> = self
             .lbmt
             .iter()
             .filter(|(_, lb)| device.die_is_dead(lb.addr.channel, lb.addr.die))
-            .map(|(&g, _)| g)
+            .map(|(g, _)| g)
             .collect();
-        groups.sort_unstable();
         let mut t = now;
         for group in groups {
-            let lb = self.lbmt.remove(&group).expect("group collected above");
+            let lb = self.lbmt.remove(group).expect("group collected above");
             let mut live: Vec<(u64, u32)> = lb.decoder.mappings();
             live.sort_unstable_by_key(|&(_, slot)| slot);
             let addr = self.alloc_block(device, BlockKind::Log)?;
@@ -1315,13 +1334,13 @@ impl ZngFtl {
             return Ok((now, 0));
         }
         let page_bytes = device.geometry().page_bytes;
-        let mut lost: Vec<(u64, BlockAddr)> = self
+        // DenseMap iteration is ascending-vbn already: no sort needed.
+        let lost: Vec<(u64, BlockAddr)> = self
             .dbmt
             .iter()
             .filter(|(_, a)| device.die_is_dead(a.channel, a.die))
-            .map(|(&v, &a)| (v, a))
+            .map(|(v, &a)| (v, a))
             .collect();
-        lost.sort_unstable();
         let mut t = now;
         let mut pages = 0u64;
         for (vbn, old) in lost {
@@ -1643,24 +1662,21 @@ impl ZngFtl {
             h.is_quarantined((a.channel.index() as u16, a.die.index() as u16))
                 && !device.die_is_dead(a.channel, a.die)
         };
-        let mut groups: Vec<u64> = self
+        // DenseMap iteration is ascending by construction, so the first
+        // match is already the lowest-numbered victim.
+        let group = self
             .lbmt
             .iter()
-            .filter(|(_, lb)| on_suspect(&lb.addr))
-            .map(|(&g, _)| g)
-            .collect();
-        groups.sort_unstable();
-        if let Some(&g) = groups.first() {
+            .find(|(_, lb)| on_suspect(&lb.addr))
+            .map(|(g, _)| g);
+        if let Some(g) = group {
             return Some(EvacVictim::Group(g));
         }
-        let mut vbns: Vec<u64> = self
+        let vbn = self
             .dbmt
             .iter()
-            .filter(|(_, a)| on_suspect(a))
-            .map(|(&v, _)| v)
-            .collect();
-        vbns.sort_unstable();
-        let &vbn = vbns.first()?;
+            .find(|(_, a)| on_suspect(a))
+            .map(|(v, _)| v)?;
         if self.group_has_logged_pages(vbn) {
             Some(EvacVictim::Group(self.group_of_vbn(vbn)))
         } else {
@@ -1682,14 +1698,19 @@ impl ZngFtl {
     ) -> Result<Cycle> {
         // A log block: merge its group (the merge folds every logged page
         // into fresh data blocks and erases the log block).
-        if let Some((&group, _)) = self.lbmt.iter().find(|(_, lb)| lb.addr == addr) {
+        let log_group = self
+            .lbmt
+            .iter()
+            .find(|(_, lb)| lb.addr == addr)
+            .map(|(g, _)| g);
+        if let Some(group) = log_group {
             let report = self.gc_group(now, device, group)?;
             if let Some(st) = self.endurance.as_mut() {
                 st.note_refresh(reason, report.migrated_pages);
             }
             return Ok(report.done);
         }
-        let Some((&vbn, _)) = self.dbmt.iter().find(|(_, &a)| a == addr) else {
+        let Some((vbn, _)) = self.dbmt.iter().find(|(_, &a)| a == addr) else {
             // Neither mapped nor logged (e.g. a block drained between the
             // scan and now): nothing live to preserve.
             return Ok(now);
@@ -1720,7 +1741,7 @@ impl ZngFtl {
     /// Whether `vbn`'s group log block holds a mapping for any of `vbn`'s
     /// pages (a newer copy that outranks the data block's).
     fn group_has_logged_pages(&self, vbn: u64) -> bool {
-        self.lbmt.get(&self.group_of_vbn(vbn)).is_some_and(|lb| {
+        self.lbmt.get(self.group_of_vbn(vbn)).is_some_and(|lb| {
             lb.decoder
                 .mappings()
                 .iter()
@@ -1749,24 +1770,24 @@ impl ZngFtl {
         }
         fn coldest<'a>(
             device: &FlashDevice,
-            candidates: impl Iterator<Item = (&'a u64, &'a BlockAddr)>,
+            candidates: impl Iterator<Item = (u64, &'a BlockAddr)>,
         ) -> Option<u64> {
             candidates
                 .filter(|(_, &a)| {
                     !device.die_is_dead(a.channel, a.die)
                         && device.block(a).is_some_and(|b| !b.is_failed())
                 })
-                .min_by_key(|(&vbn, &a)| {
+                .min_by_key(|&(vbn, &a)| {
                     let wear = device.block(a).map(|b| b.erase_count()).unwrap_or(0);
                     (wear, vbn)
                 })
-                .map(|(&vbn, _)| vbn)
+                .map(|(vbn, _)| vbn)
         }
         let victim = coldest(
             device,
             self.dbmt
                 .iter()
-                .filter(|(&vbn, _)| !self.group_has_logged_pages(vbn)),
+                .filter(|&(vbn, _)| !self.group_has_logged_pages(vbn)),
         );
         let Some(vbn) = victim else {
             let Some(vbn) = coldest(device, self.dbmt.iter()) else {
@@ -1794,7 +1815,7 @@ impl ZngFtl {
         vbn: u64,
         most_worn: bool,
     ) -> Result<(Cycle, u64)> {
-        let old = *self.dbmt.get(&vbn).expect("caller verified the mapping");
+        let old = *self.dbmt.get(vbn).expect("caller verified the mapping");
         let page_bytes = device.geometry().page_bytes;
         // A program failure mid-rewrite abandons the destination (data
         // blocks stay offset-ordered) and restarts on a new block,
@@ -1879,19 +1900,19 @@ impl ZngFtl {
     /// CAM searches or allocate blocks).
     pub fn locate(&self, vpn: u64) -> Option<FlashAddr> {
         let group = self.group_of(vpn);
-        if let Some(lb) = self.lbmt.get(&group) {
+        if let Some(lb) = self.lbmt.get(group) {
             if let Some((_, slot)) = lb.decoder.mappings().iter().find(|&&(k, _)| k == vpn) {
                 return Some(FlashAddr::new(lb.addr, *slot));
             }
         }
-        let data = self.dbmt.get(&self.vbn_of(vpn))?;
+        let data = self.dbmt.get(self.vbn_of(vpn))?;
         Some(FlashAddr::new(*data, (vpn % self.pages_per_block) as u32))
     }
 
     /// Live log-block utilization of `group` (0.0–1.0), if it exists.
     pub fn log_utilization(&self, group: u64) -> Option<f64> {
         self.lbmt
-            .get(&group)
+            .get(group)
             .map(|lb| 1.0 - lb.decoder.free_pages() as f64 / self.pages_per_block as f64)
     }
 }
@@ -2329,7 +2350,7 @@ mod tests {
             .dbmt
             .iter()
             .filter(|(_, a)| d.die_is_dead(a.channel, a.die))
-            .map(|(&v, _)| v)
+            .map(|(v, _)| v)
             .collect();
         assert!(lost.len() >= 2, "striping must strand several blocks");
         // Starve the spare pool down to one block: the rebuild recreates
@@ -2350,7 +2371,7 @@ mod tests {
         let mut t = t;
         let mut stranded = 0;
         for &vbn in &lost {
-            let a = f.dbmt[&vbn];
+            let a = *f.dbmt.get(vbn).expect("lost vbn stays mapped");
             if d.die_is_dead(a.channel, a.die) {
                 stranded += 1;
             }

@@ -1,0 +1,58 @@
+//! Model-based equivalence: [`DenseMap`] must behave exactly like the
+//! hash map it replaced in the FTL mapping tables (DBMT/LBMT), with one
+//! strengthening — iteration is always in ascending key order, so every
+//! former collect-and-sort walk stays deterministic for free.
+//!
+//! Keys are drawn FTL-shaped: dense low offsets under a handful of
+//! app-segment bases (apps' virtual block spaces start at high fixed
+//! offsets), which exercises both the within-segment dense path and the
+//! cross-segment lazy allocation.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use zng_ftl::DenseMap;
+
+proptest! {
+    #[test]
+    fn densemap_matches_hashmap_model(
+        ops in prop::collection::vec((0u8..13, 0u64..4, 0u64..600, 0u32..1_000_000), 1..400),
+    ) {
+        let mut dense: DenseMap<u32> = DenseMap::new();
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for (sel, app, off, v) in ops {
+            // FTL-shaped key: a dense offset under one of a few app bases.
+            let k = (app << 16) + off;
+            match sel {
+                // Inserts dominate so the maps actually fill up.
+                0..=5 => {
+                    prop_assert_eq!(dense.insert(k, v), model.insert(k, v));
+                }
+                6..=8 => {
+                    prop_assert_eq!(dense.remove(k), model.remove(&k));
+                }
+                9..=11 => {
+                    prop_assert_eq!(dense.get(k), model.get(&k));
+                    prop_assert_eq!(dense.contains_key(k), model.contains_key(&k));
+                }
+                _ => {
+                    dense.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(dense.len(), model.len());
+            prop_assert_eq!(dense.is_empty(), model.is_empty());
+        }
+        // Same final contents, and DenseMap iteration is the model's
+        // entries in ascending key order — the property the FTL's stats
+        // and victim walks rely on instead of collect-and-sort.
+        let mut expect: Vec<(u64, u32)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        expect.sort_unstable();
+        let got: Vec<(u64, u32)> = dense.iter().map(|(k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, expect);
+        let keys: Vec<u64> = dense.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(keys, sorted);
+    }
+}

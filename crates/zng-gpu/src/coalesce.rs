@@ -44,20 +44,42 @@ impl Coalescer {
 
     /// The sector bases a strided warp access touches.
     pub fn strided(base: u64, stride_bytes: u64) -> Vec<u64> {
-        Self::coalesce(&Self::strided_addrs(base, stride_bytes))
+        let mut out = Vec::with_capacity(4);
+        Self::strided_into(base, stride_bytes, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Coalescer::strided`]: appends the
+    /// coalesced sector bases to `out` (first-touch order, deduplicated
+    /// against only what this call appended). The simulator calls this
+    /// once per warp memory op with a reusable scratch buffer.
+    pub fn strided_into(base: u64, stride_bytes: u64, out: &mut Vec<u64>) {
+        let start = out.len();
+        for i in 0..32u64 {
+            let a = base + i * stride_bytes;
+            let sector = a - a % CACHE_LINE as u64;
+            if !out[start..].contains(&sector) {
+                out.push(sector);
+            }
+        }
     }
 
     /// The sector bases of a scatter touching `sectors` distinct sectors
     /// spread from `base` with a page-crossing stride (graph-style
     /// irregular access: each sector lands on a different 4 KB page).
     pub fn scatter(base: u64, sectors: u8) -> Vec<u64> {
+        let mut out = Vec::with_capacity(sectors as usize);
+        Self::scatter_into(base, sectors, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Coalescer::scatter`], appending to `out`.
+    pub fn scatter_into(base: u64, sectors: u8, out: &mut Vec<u64>) {
         // 33 sectors apart = 4224 B: consecutive requests cross pages.
-        (0..sectors as u64)
-            .map(|i| {
-                let a = base + i * 33 * CACHE_LINE as u64;
-                a - a % CACHE_LINE as u64
-            })
-            .collect()
+        out.extend((0..sectors as u64).map(|i| {
+            let a = base + i * 33 * CACHE_LINE as u64;
+            a - a % CACHE_LINE as u64
+        }));
     }
 }
 

@@ -6,8 +6,9 @@
 //! an arbitrary key (line address or page number) with their completion
 //! times and merges joiners.
 
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
+use fxhash::{FxBuildHasher, FxHashMap};
 use zng_types::Cycle;
 
 /// In-flight fill tracker.
@@ -27,7 +28,16 @@ use zng_types::Cycle;
 #[derive(Debug, Clone)]
 pub struct Mshr {
     capacity: usize,
-    entries: HashMap<u64, Cycle>,
+    /// In-flight fills by key, pre-sized to `capacity` (the file never
+    /// holds more) with the deterministic Fx hasher; victim selection is
+    /// fully tie-broken on `(done, key)`, so iteration order is never
+    /// observable.
+    entries: FxHashMap<u64, Cycle>,
+    /// Ordered mirror of `entries` as `(done, key)` pairs. Victim
+    /// selection and expired-entry pruning are on the per-request hot
+    /// path; the ordered index makes both O(log n) instead of a full
+    /// scan of the file, with the same `(done, key)` tie-break.
+    by_done: BTreeSet<(Cycle, u64)>,
     merges: u64,
     registrations: u64,
     /// Structural-hazard stalls observed through the bounded API
@@ -45,10 +55,18 @@ impl Mshr {
         assert!(capacity > 0, "MSHR needs capacity");
         Mshr {
             capacity,
-            entries: HashMap::new(),
+            entries: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
+            by_done: BTreeSet::new(),
             merges: 0,
             registrations: 0,
             full_stalls: 0,
+        }
+    }
+
+    /// Removes `key` from both the map and the ordered index.
+    fn evict(&mut self, key: u64) {
+        if let Some(done) = self.entries.remove(&key) {
+            self.by_done.remove(&(done, key));
         }
     }
 
@@ -61,7 +79,7 @@ impl Mshr {
                 Some(done)
             }
             Some(_) => {
-                self.entries.remove(&key);
+                self.evict(key);
                 None
             }
             None => None,
@@ -77,16 +95,15 @@ impl Mshr {
         self.registrations += 1;
         if self.entries.len() >= self.capacity {
             // Reclaim the entry that completes earliest.
-            if let Some(&victim) = self
-                .entries
-                .iter()
-                .min_by_key(|(k, d)| (**d, **k))
-                .map(|(k, _)| k)
-            {
+            if let Some(&(d, victim)) = self.by_done.first() {
+                self.by_done.remove(&(d, victim));
                 self.entries.remove(&victim);
             }
         }
-        self.entries.insert(key, done);
+        if let Some(old) = self.entries.insert(key, done) {
+            self.by_done.remove(&(old, key));
+        }
+        self.by_done.insert((done, key));
     }
 
     /// Bounded-mode structural-hazard check: if the file has no free
@@ -97,16 +114,22 @@ impl Mshr {
     ///
     /// Each `Some` result counts one MSHR-full stall.
     pub fn full_until(&mut self, now: Cycle, key: u64) -> Option<Cycle> {
-        self.entries.retain(|_, &mut done| done > now);
+        // Prune landed fills in completion order from the index front.
+        while let Some(&(done, k)) = self.by_done.first() {
+            if done > now {
+                break;
+            }
+            self.by_done.remove(&(done, k));
+            self.entries.remove(&k);
+        }
         if self.entries.len() < self.capacity || self.entries.contains_key(&key) {
             return None;
         }
         self.full_stalls += 1;
         let earliest = self
-            .entries
-            .values()
-            .copied()
-            .min()
+            .by_done
+            .first()
+            .map(|&(done, _)| done)
             .expect("a full MSHR file has entries");
         Some(earliest.max(now + Cycle(1)))
     }
@@ -118,7 +141,7 @@ impl Mshr {
 
     /// Drops any record for `key` (e.g. the line was invalidated).
     pub fn cancel(&mut self, key: u64) {
-        self.entries.remove(&key);
+        self.evict(key);
     }
 
     /// Drops every tracked fill (power loss — nothing in flight survives).
@@ -126,6 +149,7 @@ impl Mshr {
     pub fn clear(&mut self) -> usize {
         let n = self.entries.len();
         self.entries.clear();
+        self.by_done.clear();
         n
     }
 

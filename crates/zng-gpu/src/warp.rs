@@ -6,6 +6,8 @@
 //! 128 B requests). Traces are produced by `zng-workloads` to match the
 //! paper's Table II / Fig. 5 statistics.
 
+use std::sync::Arc;
+
 use zng_types::{
     ids::{AppId, Pc, WarpId},
     AccessKind, Cycle, VirtAddr,
@@ -27,10 +29,19 @@ pub enum AccessPattern {
 impl AccessPattern {
     /// Expands the pattern into coalesced sector base addresses.
     pub fn sectors(self, base: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(4);
+        self.sectors_into(base, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`AccessPattern::sectors`]: appends the
+    /// request bases to `out`. The simulator's event loop calls this once
+    /// per warp memory op with a reusable scratch buffer.
+    pub fn sectors_into(self, base: u64, out: &mut Vec<u64>) {
         match self {
-            AccessPattern::Sequential => vec![base - base % 128],
-            AccessPattern::Strided(stride) => Coalescer::strided(base, stride as u64),
-            AccessPattern::Scatter(n) => Coalescer::scatter(base, n.max(1)),
+            AccessPattern::Sequential => out.push(base - base % 128),
+            AccessPattern::Strided(stride) => Coalescer::strided_into(base, stride as u64, out),
+            AccessPattern::Scatter(n) => Coalescer::scatter_into(base, n.max(1), out),
         }
     }
 }
@@ -65,15 +76,21 @@ impl WarpOp {
 }
 
 /// An immutable warp trace.
+///
+/// Ops live behind an [`Arc`] so cloning a trace (each simulated warp
+/// keeps its own handle) is a refcount bump, not a copy of the op list —
+/// at large volumes the op lists dominate the simulator's memory.
+/// `Arc<Vec<..>>` rather than `Arc<[..]>` so construction moves the
+/// generator's buffer instead of copying it.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WarpTrace {
-    ops: Vec<WarpOp>,
+    ops: Arc<Vec<WarpOp>>,
 }
 
 impl WarpTrace {
     /// Wraps a list of ops.
     pub fn new(ops: Vec<WarpOp>) -> WarpTrace {
-        WarpTrace { ops }
+        WarpTrace { ops: Arc::new(ops) }
     }
 
     /// The ops in order.
@@ -97,7 +114,7 @@ impl WarpTrace {
     /// Fraction of memory ops that are reads (Table II's read ratio).
     pub fn read_ratio(&self) -> f64 {
         let (mut reads, mut total) = (0usize, 0usize);
-        for op in &self.ops {
+        for op in self.ops.iter() {
             if let WarpOp::Mem { kind, .. } = op {
                 total += 1;
                 if kind.is_read() {

@@ -156,6 +156,13 @@ pub struct SimConfig {
     /// fails with [`zng_types::Error::Stalled`] instead of spinning.
     /// `None` (the default) never trips.
     pub watchdog: Option<u64>,
+    /// Simulator-throughput telemetry: when true, the runner records
+    /// wall-clock time, event counts and peak queue depth and attaches a
+    /// [`crate::PerfSummary`] to the result. Off (the default) attaches
+    /// nothing, so emitted JSON stays byte-identical — the wall-clock
+    /// numbers are inherently nondeterministic and must never reach a
+    /// golden file.
+    pub perf: bool,
 }
 
 /// Predictive health policy: a monitor tick that scores every die's
@@ -684,6 +691,7 @@ impl SimConfig {
             checkpoint: CheckpointConfig::off(),
             health: HealthConfig::off(),
             watchdog: None,
+            perf: false,
         }
     }
 

@@ -28,7 +28,7 @@ pub use config::{
 };
 pub use metrics::{
     CheckpointSummary, CrashRecoverySummary, DieBreakdown, EnduranceSummary, HealthSummary,
-    IntegritySummary, RedundancySummary, RunResult,
+    IntegritySummary, PerfSummary, RedundancySummary, RunResult,
 };
 pub use qos::{FairShare, QosConfig, QosSummary, MAX_QOS_APPS};
 pub use runner::Simulation;

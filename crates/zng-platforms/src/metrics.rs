@@ -203,6 +203,38 @@ pub struct HealthSummary {
     pub per_die: Vec<DieBreakdown>,
 }
 
+/// Simulator-throughput telemetry (`--perf`): how fast the *simulator
+/// itself* ran, not the simulated machine.
+///
+/// The wall-clock numbers are host-dependent and nondeterministic, so
+/// they are only emitted when the flag is set — default output stays
+/// byte-identical to builds without this machinery. The event counters
+/// are deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PerfSummary {
+    /// Host wall-clock spent inside the event loop, in seconds.
+    pub wall_seconds: f64,
+    /// Events popped from the queue (every scheduled wake-up).
+    pub events: u64,
+    /// Events per host second (`events / wall_seconds`) — the headline
+    /// sim-throughput number.
+    pub events_per_sec: f64,
+    /// Largest pending-event population the queue ever held.
+    pub peak_queue_depth: u64,
+    /// Events that issued a compute segment.
+    pub compute_events: u64,
+    /// Events that issued a memory op (coalesced request batch).
+    pub mem_events: u64,
+    /// Events deferred because their app was blocked (GC / maintenance)
+    /// or throttled by the fairness gate.
+    pub blocked_events: u64,
+    /// Maintenance steps taken at event boundaries (crash recovery, die
+    /// fencing, scrub, refresh, checkpoint, health ticks).
+    pub maintenance_events: u64,
+    /// Events for warps that had already retired (no-op wake-ups).
+    pub skipped_events: u64,
+}
+
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -302,6 +334,12 @@ pub struct RunResult {
     /// rollups. `None` runs emit byte-identical output to builds without
     /// the health machinery.
     pub health: Option<HealthSummary>,
+    /// Present only when `--perf` ran: simulator-throughput telemetry
+    /// (wall time, events/sec, queue depth). `None` runs emit
+    /// byte-identical output — the wall-clock numbers are
+    /// nondeterministic by nature and must never leak into golden
+    /// output.
+    pub perf: Option<PerfSummary>,
 }
 
 impl RunResult {
@@ -594,6 +632,17 @@ impl RunResult {
                 ),
             ));
         }
+        if let Some(p) = &self.perf {
+            fields.push(("perf_wall_seconds", Value::from(p.wall_seconds)));
+            fields.push(("perf_events", Value::from(p.events)));
+            fields.push(("perf_events_per_sec", Value::from(p.events_per_sec)));
+            fields.push(("perf_peak_queue_depth", Value::from(p.peak_queue_depth)));
+            fields.push(("perf_compute_events", Value::from(p.compute_events)));
+            fields.push(("perf_mem_events", Value::from(p.mem_events)));
+            fields.push(("perf_blocked_events", Value::from(p.blocked_events)));
+            fields.push(("perf_maintenance_events", Value::from(p.maintenance_events)));
+            fields.push(("perf_skipped_events", Value::from(p.skipped_events)));
+        }
         Value::object(fields)
     }
 }
@@ -643,6 +692,7 @@ mod tests {
             endurance: None,
             checkpoint: None,
             health: None,
+            perf: None,
         }
     }
 
@@ -840,6 +890,30 @@ mod tests {
         assert!(on.contains("\"per_die_health\""));
         assert!(on.contains("\"retry_steps\":33"));
         assert!(on.contains("\"erases\":4"));
+    }
+
+    #[test]
+    fn perf_keys_only_when_telemetry_requested() {
+        let mut r = result();
+        let clean = r.to_json_value().to_string();
+        assert!(!clean.contains("perf_"), "no perf keys in a default run");
+        r.perf = Some(PerfSummary {
+            wall_seconds: 0.5,
+            events: 1_000,
+            events_per_sec: 2_000.0,
+            peak_queue_depth: 64,
+            compute_events: 600,
+            mem_events: 300,
+            blocked_events: 50,
+            maintenance_events: 10,
+            skipped_events: 40,
+        });
+        let on = r.to_json_value().to_string();
+        assert!(on.contains("\"perf_events\":1000"));
+        assert!(on.contains("\"perf_events_per_sec\":2000"));
+        assert!(on.contains("\"perf_peak_queue_depth\":64"));
+        assert!(on.contains("\"perf_compute_events\":600"));
+        assert!(on.contains("\"perf_skipped_events\":40"));
     }
 
     #[test]

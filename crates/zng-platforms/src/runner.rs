@@ -8,8 +8,10 @@
 //! the write path adding register buffering, thrashing redirection and
 //! helper-thread GC blocking (paper Figs. 10–17).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::time::Instant;
 
+use fxhash::FxHashMap;
 use zng_ftl::GcReport;
 use zng_gpu::{
     AccessMonitor, GpuConfig, Interconnect, L2Cache, L2Technology, Mmu, Mshr, Predictor,
@@ -26,7 +28,7 @@ use crate::backend::{Backend, BackendWrite};
 use crate::config::{EnduranceConfig, PlatformKind, RedundancyConfig, SimConfig};
 use crate::metrics::{
     CheckpointSummary, CrashRecoverySummary, DieBreakdown, EnduranceSummary, HealthSummary,
-    IntegritySummary, RedundancySummary, RunResult,
+    IntegritySummary, PerfSummary, RedundancySummary, RunResult,
 };
 use crate::qos::{FairShare, QosConfig, QosSummary};
 
@@ -56,7 +58,7 @@ pub struct Simulation {
     policy: PrefetchPolicy,
     page_mshr: Mshr,
     page_bytes: usize,
-    app_blocked_until: HashMap<u16, Cycle>,
+    app_blocked_until: FxHashMap<u16, Cycle>,
     redirected_writes: u64,
     write_probe: u64,
     thrash_mode: bool,
@@ -86,7 +88,7 @@ pub struct Simulation {
     /// Paced GCs whose stall credit ran out, releasing the victim early.
     gc_credit_exhausted: u64,
     /// Remaining foreground-stall credit per victim app (GC pacing).
-    gc_credits: HashMap<u16, u64>,
+    gc_credits: FxHashMap<u16, u64>,
     /// Watchdog budget: abort with [`Error::Stalled`] when the event loop
     /// advances this many cycles past the last completed request.
     watchdog: Option<u64>,
@@ -110,6 +112,11 @@ pub struct Simulation {
     health_on: bool,
     /// Health-monitor cadence, keyed to completed requests.
     health_ticker: PatrolTicker,
+    /// Sim-throughput telemetry requested (`--perf`): attach a
+    /// [`PerfSummary`] to the result. The event counters below are
+    /// maintained unconditionally (integer adds); only the wall-clock
+    /// summary is gated so default output stays byte-identical.
+    perf_on: bool,
 }
 
 impl Simulation {
@@ -158,7 +165,7 @@ impl Simulation {
             policy,
             page_mshr: Mshr::new(256),
             page_bytes: cfg.flash.page_bytes,
-            app_blocked_until: HashMap::new(),
+            app_blocked_until: FxHashMap::default(),
             redirected_writes: 0,
             write_probe: 0,
             thrash_mode: false,
@@ -181,7 +188,7 @@ impl Simulation {
             qos_budget_exhausted: 0,
             pinned_overflow_stalls: 0,
             gc_credit_exhausted: 0,
-            gc_credits: HashMap::new(),
+            gc_credits: FxHashMap::default(),
             watchdog: cfg.watchdog,
             integrity_on: cfg.integrity.enabled,
             poisoned_lines: 0,
@@ -200,6 +207,7 @@ impl Simulation {
             } else {
                 0
             }),
+            perf_on: cfg.perf,
         })
     }
 
@@ -223,7 +231,10 @@ impl Simulation {
         }
         let sm_count = self.sms.len();
 
-        let mut queue: EventQueue<usize> = EventQueue::new();
+        // Every warp has at most one pending event, so the heap never
+        // outgrows the warp count — pre-sizing it makes the loop
+        // allocation-free.
+        let mut queue: EventQueue<usize> = EventQueue::with_capacity(warps.len() + 1);
         for i in 0..warps.len() {
             queue.schedule(Cycle::ZERO, i);
         }
@@ -264,192 +275,233 @@ impl Simulation {
         // while the clock advances past the budget aborts loudly.
         let mut last_progress = Cycle::ZERO;
 
-        while let Some((now, idx)) = queue.pop() {
-            Self::watchdog_check(self.watchdog, now, last_progress)?;
-            // Power cut: fires once, at a request-count boundary. The
-            // storage side loses its volatile state and recovers from the
-            // OOB scan; the GPU side reboots with cold caches. Every app
-            // is held until the recovery scan finishes.
-            if self.crash_switch.poll(requests) {
-                let report = self.backend.crash_recover(now)?;
-                self.power_cut_gpu();
-                let resume = now + report.map(|r| r.scan_cycles).unwrap_or(Cycle::ZERO);
-                self.block_all_apps(mix, resume);
-                let r = report.unwrap_or_default();
-                self.crash_summary = Some(CrashRecoverySummary {
-                    at_requests: requests,
-                    at_cycle: now,
-                    pages_scanned: r.pages_scanned,
-                    torn_discarded: r.torn_discarded,
-                    stale_dropped: r.stale_dropped,
-                    blocks_erased: r.blocks_erased,
-                    scan_cycles: r.scan_cycles,
-                    corrupt_quarantined: r.corrupt_quarantined,
-                    fast_path: r.fast_path,
-                    fallback: r.fallback,
-                    journal_replayed: r.journal_replayed,
-                    blocks_rescanned: r.blocks_rescanned,
-                    cycles_saved: r.cycles_saved,
-                });
-            }
-            // Die failure: fires once. The FTL fences the dead die's
-            // blocks (relocating live log pages around it) and every app
-            // is held while the emergency relocations run; afterwards
-            // reads reconstruct from surviving stripe members.
-            if self.die_switch.poll(requests) {
-                let (ch, die) = self.redundancy.die_fail;
-                let fenced = self.backend.fail_die(now, ch, die)?;
-                self.block_all_apps(mix, fenced);
-            }
-            // Patrol scrub: one bounded step per cadence boundary. The
-            // step's media work always completes but the foreground
-            // stall is capped by the pacing budget when one is set.
-            if self.patrol.poll(requests) {
-                let horizon = self.backend.scrub_step(now)?;
-                self.block_all_apps(mix, horizon);
-            }
-            // Background refresh: one endurance-scheduler step per
-            // cadence boundary (disturb/retention threshold scan → block
-            // refresh, or one static-levelling migration). The media
-            // work always completes but the foreground stall is capped
-            // by the pacing budget when one is set.
-            if self.refresh_ticker.poll(requests) {
-                let horizon = self.backend.refresh_step(now)?;
-                self.block_all_apps(mix, horizon);
-            }
-            // Background checkpoint: one mapping snapshot per cadence
-            // boundary into the reserved checkpoint namespace. The
-            // media work always completes but the foreground stall is
-            // capped by the pacing budget when one is set.
-            if self.checkpoint_ticker.poll(requests) {
-                let horizon = self.backend.checkpoint_step(now);
-                self.block_all_apps(mix, horizon);
-            }
-            // Predictive health: one monitor tick per cadence boundary —
-            // score the per-die telemetry, fence freshly dead dies,
-            // evacuate one victim block off a suspect (when evacuation is
-            // on) and rehabilitate false positives. The media work always
-            // completes but the foreground stall is capped by the pacing
-            // budget when one is set.
-            if self.health_ticker.poll(requests) {
-                let horizon = self.backend.health_step(now)?;
-                self.block_all_apps(mix, horizon);
-            }
-            if warps[idx].is_done() {
-                continue;
-            }
-            let app = warps[idx].app();
-            // During a GC of this app's blocks the MMU holds its memory
-            // requests (paper SV-D): the warp re-tries once the helper
-            // thread finishes. Blocking at the event level (rather than
-            // deferring the request to a future timestamp) keeps shared
-            // resources causally reserved.
-            if let Some(&until) = self.app_blocked_until.get(&app.raw()) {
-                if until > now && matches!(warps[idx].current_op(), Some(WarpOp::Mem { .. })) {
-                    // GC pacing credit: every stalled foreground event
-                    // burns one of the merge's credits; when they run out
-                    // the victim is released early rather than waiting
-                    // for the whole merge (crash-resume blocking carries
-                    // no credit entry and always waits in full).
-                    match self.gc_credits.get_mut(&app.raw()) {
-                        Some(credit) if *credit == 0 => {
-                            self.app_blocked_until.remove(&app.raw());
-                            self.gc_credits.remove(&app.raw());
-                            self.gc_credit_exhausted += 1;
-                        }
-                        Some(credit) => {
-                            *credit -= 1;
-                            queue.schedule(until, idx);
-                            continue;
-                        }
-                        None => {
-                            queue.schedule(until, idx);
-                            continue;
-                        }
-                    }
+        // Sim-throughput counters: unconditional integer adds, with the
+        // wall-clock summary attached only when telemetry was requested.
+        let wall_start = Instant::now();
+        let mut perf_events: u64 = 0;
+        let mut perf_peak_depth: u64 = 0;
+        let mut perf_compute: u64 = 0;
+        let mut perf_mem: u64 = 0;
+        let mut perf_blocked: u64 = 0;
+        let mut perf_maint: u64 = 0;
+        let mut perf_skipped: u64 = 0;
+
+        // Same-cycle batch drain: pull every event sharing the front
+        // timestamp with one `pop_at` into a reusable scratch buffer
+        // instead of round-tripping the heap per event. Events scheduled
+        // mid-batch at the same cycle carry higher sequence numbers than
+        // everything already drained, so the next `pop_at` picks them up
+        // in exactly the one-at-a-time total order.
+        let mut batch: Vec<usize> = Vec::with_capacity(warps.len());
+        // Reusable coalescer output: a warp op touches at most 32 sectors.
+        let mut sector_scratch: Vec<u64> = Vec::with_capacity(32);
+        while let Some(now) = queue.peek_time() {
+            perf_peak_depth = perf_peak_depth.max(queue.len() as u64);
+            batch.clear();
+            queue.pop_at(now, &mut batch);
+            for &idx in &batch {
+                perf_events += 1;
+                Self::watchdog_check(self.watchdog, now, last_progress)?;
+                // Power cut: fires once, at a request-count boundary. The
+                // storage side loses its volatile state and recovers from the
+                // OOB scan; the GPU side reboots with cold caches. Every app
+                // is held until the recovery scan finishes.
+                if self.crash_switch.poll(requests) {
+                    perf_maint += 1;
+                    let report = self.backend.crash_recover(now)?;
+                    self.power_cut_gpu();
+                    let resume = now + report.map(|r| r.scan_cycles).unwrap_or(Cycle::ZERO);
+                    self.block_all_apps(mix, resume);
+                    let r = report.unwrap_or_default();
+                    self.crash_summary = Some(CrashRecoverySummary {
+                        at_requests: requests,
+                        at_cycle: now,
+                        pages_scanned: r.pages_scanned,
+                        torn_discarded: r.torn_discarded,
+                        stale_dropped: r.stale_dropped,
+                        blocks_erased: r.blocks_erased,
+                        scan_cycles: r.scan_cycles,
+                        corrupt_quarantined: r.corrupt_quarantined,
+                        fast_path: r.fast_path,
+                        fallback: r.fallback,
+                        journal_replayed: r.journal_replayed,
+                        blocks_rescanned: r.blocks_rescanned,
+                        cycles_saved: r.cycles_saved,
+                    });
                 }
-            }
-            // Fair-share gate: a memory op from an app that has run more
-            // than a window ahead of the furthest-behind active app is
-            // deferred one backoff quantum, bounding any app's service
-            // lag (starvation freedom).
-            if let Some(f) = fair.as_mut() {
-                if matches!(warps[idx].current_op(), Some(WarpOp::Mem { .. }))
-                    && f.should_throttle(app.raw(), &self.qos, self.qos.fair_window)
-                {
-                    queue.schedule(now + self.qos.backoff_base, idx);
+                // Die failure: fires once. The FTL fences the dead die's
+                // blocks (relocating live log pages around it) and every app
+                // is held while the emergency relocations run; afterwards
+                // reads reconstruct from surviving stripe members.
+                if self.die_switch.poll(requests) {
+                    perf_maint += 1;
+                    let (ch, die) = self.redundancy.die_fail;
+                    let fenced = self.backend.fail_die(now, ch, die)?;
+                    self.block_all_apps(mix, fenced);
+                }
+                // Patrol scrub: one bounded step per cadence boundary. The
+                // step's media work always completes but the foreground
+                // stall is capped by the pacing budget when one is set.
+                if self.patrol.poll(requests) {
+                    perf_maint += 1;
+                    let horizon = self.backend.scrub_step(now)?;
+                    self.block_all_apps(mix, horizon);
+                }
+                // Background refresh: one endurance-scheduler step per
+                // cadence boundary (disturb/retention threshold scan → block
+                // refresh, or one static-levelling migration). The media
+                // work always completes but the foreground stall is capped
+                // by the pacing budget when one is set.
+                if self.refresh_ticker.poll(requests) {
+                    perf_maint += 1;
+                    let horizon = self.backend.refresh_step(now)?;
+                    self.block_all_apps(mix, horizon);
+                }
+                // Background checkpoint: one mapping snapshot per cadence
+                // boundary into the reserved checkpoint namespace. The
+                // media work always completes but the foreground stall is
+                // capped by the pacing budget when one is set.
+                if self.checkpoint_ticker.poll(requests) {
+                    perf_maint += 1;
+                    let horizon = self.backend.checkpoint_step(now);
+                    self.block_all_apps(mix, horizon);
+                }
+                // Predictive health: one monitor tick per cadence boundary —
+                // score the per-die telemetry, fence freshly dead dies,
+                // evacuate one victim block off a suspect (when evacuation is
+                // on) and rehabilitate false positives. The media work always
+                // completes but the foreground stall is capped by the pacing
+                // budget when one is set.
+                if self.health_ticker.poll(requests) {
+                    perf_maint += 1;
+                    let horizon = self.backend.health_step(now)?;
+                    self.block_all_apps(mix, horizon);
+                }
+                if warps[idx].is_done() {
+                    perf_skipped += 1;
                     continue;
                 }
-            }
-            let sm_idx = idx % sm_count;
-            let op = warps[idx].current_op().expect("warp not done");
-            match op {
-                WarpOp::Compute(n) => {
-                    let t = self.sms[sm_idx].issue(now, n);
-                    warps[idx].retire_op();
-                    if warps[idx].is_done() {
-                        if let Some(f) = fair.as_mut() {
-                            f.warp_done(app.raw());
+                let app = warps[idx].app();
+                // During a GC of this app's blocks the MMU holds its memory
+                // requests (paper SV-D): the warp re-tries once the helper
+                // thread finishes. Blocking at the event level (rather than
+                // deferring the request to a future timestamp) keeps shared
+                // resources causally reserved.
+                if let Some(&until) = self.app_blocked_until.get(&app.raw()) {
+                    if until > now && matches!(warps[idx].current_op(), Some(WarpOp::Mem { .. })) {
+                        // GC pacing credit: every stalled foreground event
+                        // burns one of the merge's credits; when they run out
+                        // the victim is released early rather than waiting
+                        // for the whole merge (crash-resume blocking carries
+                        // no credit entry and always waits in full).
+                        match self.gc_credits.get_mut(&app.raw()) {
+                            Some(credit) if *credit == 0 => {
+                                self.app_blocked_until.remove(&app.raw());
+                                self.gc_credits.remove(&app.raw());
+                                self.gc_credit_exhausted += 1;
+                            }
+                            Some(credit) => {
+                                *credit -= 1;
+                                perf_blocked += 1;
+                                queue.schedule(until, idx);
+                                continue;
+                            }
+                            None => {
+                                perf_blocked += 1;
+                                queue.schedule(until, idx);
+                                continue;
+                            }
                         }
                     }
-                    warps[idx].ready_at = t;
-                    last_cycle = last_cycle.max(t);
-                    queue.schedule(t, idx);
                 }
-                WarpOp::Mem {
-                    base,
-                    kind,
-                    pattern,
-                    pc,
-                } => {
-                    let t_issue = self.sms[sm_idx].issue(now, 1);
-                    let warp_id = warps[idx].id();
-                    let mut done = t_issue;
-                    for sector in pattern.sectors(base.raw()) {
-                        let t = self.service(t_issue, sm_idx, sector, kind, app, pc, warp_id)?;
-                        let lat = t.saturating_since(t_issue).raw();
-                        match kind {
-                            AccessKind::Read => {
-                                read_lat_sum += lat;
-                                read_lat_n += 1;
-                                let e = per_app_read_lat.entry(app.raw()).or_insert((0, 0));
-                                e.0 += lat;
-                                e.1 += 1;
-                                if let Some(p) = read_pct.as_mut() {
-                                    p.record(lat);
-                                }
-                            }
-                            AccessKind::Write => {
-                                write_lat_sum += lat;
-                                write_lat_n += 1;
-                                let e = per_app_write_lat.entry(app.raw()).or_insert((0, 0));
-                                e.0 += lat;
-                                e.1 += 1;
-                                if let Some(p) = write_pct.as_mut() {
-                                    p.record(lat);
-                                }
+                // Fair-share gate: a memory op from an app that has run more
+                // than a window ahead of the furthest-behind active app is
+                // deferred one backoff quantum, bounding any app's service
+                // lag (starvation freedom).
+                if let Some(f) = fair.as_mut() {
+                    if matches!(warps[idx].current_op(), Some(WarpOp::Mem { .. }))
+                        && f.should_throttle(app.raw(), &self.qos, self.qos.fair_window)
+                    {
+                        perf_blocked += 1;
+                        queue.schedule(now + self.qos.backoff_base, idx);
+                        continue;
+                    }
+                }
+                let sm_idx = idx % sm_count;
+                let op = warps[idx].current_op().expect("warp not done");
+                match op {
+                    WarpOp::Compute(n) => {
+                        perf_compute += 1;
+                        let t = self.sms[sm_idx].issue(now, n);
+                        warps[idx].retire_op();
+                        if warps[idx].is_done() {
+                            if let Some(f) = fair.as_mut() {
+                                f.warp_done(app.raw());
                             }
                         }
-                        if let Some(f) = fair.as_mut() {
-                            f.record(app.raw());
-                        }
-                        done = done.max(t);
-                        requests += 1;
-                        last_progress = last_progress.max(t);
-                        *per_app_requests.entry(app.raw()).or_insert(0) += 1;
-                        if let Some(s) = series.get_mut(&app.raw()) {
-                            s.record(t_issue, 1);
-                        }
+                        warps[idx].ready_at = t;
+                        last_cycle = last_cycle.max(t);
+                        queue.schedule(t, idx);
                     }
-                    warps[idx].retire_op();
-                    if warps[idx].is_done() {
-                        if let Some(f) = fair.as_mut() {
-                            f.warp_done(app.raw());
+                    WarpOp::Mem {
+                        base,
+                        kind,
+                        pattern,
+                        pc,
+                    } => {
+                        perf_mem += 1;
+                        let t_issue = self.sms[sm_idx].issue(now, 1);
+                        let warp_id = warps[idx].id();
+                        let mut done = t_issue;
+                        sector_scratch.clear();
+                        pattern.sectors_into(base.raw(), &mut sector_scratch);
+                        for &sector in &sector_scratch {
+                            let t =
+                                self.service(t_issue, sm_idx, sector, kind, app, pc, warp_id)?;
+                            let lat = t.saturating_since(t_issue).raw();
+                            match kind {
+                                AccessKind::Read => {
+                                    read_lat_sum += lat;
+                                    read_lat_n += 1;
+                                    let e = per_app_read_lat.entry(app.raw()).or_insert((0, 0));
+                                    e.0 += lat;
+                                    e.1 += 1;
+                                    if let Some(p) = read_pct.as_mut() {
+                                        p.record(lat);
+                                    }
+                                }
+                                AccessKind::Write => {
+                                    write_lat_sum += lat;
+                                    write_lat_n += 1;
+                                    let e = per_app_write_lat.entry(app.raw()).or_insert((0, 0));
+                                    e.0 += lat;
+                                    e.1 += 1;
+                                    if let Some(p) = write_pct.as_mut() {
+                                        p.record(lat);
+                                    }
+                                }
+                            }
+                            if let Some(f) = fair.as_mut() {
+                                f.record(app.raw());
+                            }
+                            done = done.max(t);
+                            requests += 1;
+                            last_progress = last_progress.max(t);
+                            *per_app_requests.entry(app.raw()).or_insert(0) += 1;
+                            if let Some(s) = series.get_mut(&app.raw()) {
+                                s.record(t_issue, 1);
+                            }
                         }
+                        warps[idx].retire_op();
+                        if warps[idx].is_done() {
+                            if let Some(f) = fair.as_mut() {
+                                f.warp_done(app.raw());
+                            }
+                        }
+                        warps[idx].ready_at = done;
+                        last_cycle = last_cycle.max(done);
+                        queue.schedule(done, idx);
                     }
-                    warps[idx].ready_at = done;
-                    last_cycle = last_cycle.max(done);
-                    queue.schedule(done, idx);
                 }
             }
         }
@@ -599,6 +651,20 @@ impl Simulation {
                 aborted: c.aborted,
             }
         });
+        let perf = self.perf_on.then(|| {
+            let wall = wall_start.elapsed().as_secs_f64();
+            PerfSummary {
+                wall_seconds: wall,
+                events: perf_events,
+                events_per_sec: perf_events as f64 / wall.max(1e-9),
+                peak_queue_depth: perf_peak_depth,
+                compute_events: perf_compute,
+                mem_events: perf_mem,
+                blocked_events: perf_blocked,
+                maintenance_events: perf_maint,
+                skipped_events: perf_skipped,
+            }
+        });
         let health = self.health_on.then(|| {
             let c = self.backend.health_counters().unwrap_or_default();
             let per_die = self
@@ -680,6 +746,7 @@ impl Simulation {
             endurance,
             checkpoint,
             health,
+            perf,
         })
     }
 
@@ -1562,6 +1629,36 @@ mod tests {
         assert_eq!(
             plain.to_json_value().to_string(),
             off.to_json_value().to_string()
+        );
+    }
+
+    /// Collecting throughput telemetry must not perturb the simulation:
+    /// a `perf: true` run's results, with the telemetry detached, are
+    /// byte-identical to a default run's.
+    #[test]
+    fn perf_telemetry_does_not_perturb_results() {
+        let mix = MultiApp::from_names(&["back"], &TraceParams::tiny()).unwrap();
+        let plain = Simulation::new(PlatformKind::Zng, &SimConfig::tiny())
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let mut cfg = SimConfig::tiny();
+        cfg.perf = true;
+        let mut measured = Simulation::new(PlatformKind::Zng, &cfg)
+            .unwrap()
+            .run(&mix)
+            .unwrap();
+        let p = measured.perf.take().expect("telemetry attached");
+        assert!(p.events > 0 && p.peak_queue_depth > 0);
+        assert_eq!(
+            p.events,
+            p.compute_events + p.mem_events + p.blocked_events + p.skipped_events,
+            "every event is exactly one of compute/mem/blocked/skipped"
+        );
+        assert_eq!(
+            plain.to_json_value().to_string(),
+            measured.to_json_value().to_string(),
+            "telemetry collection changed simulated results"
         );
     }
 

@@ -18,12 +18,14 @@
 //! queue breaks timestamp ties by insertion order.
 
 pub mod event;
+pub mod parallel;
 pub mod power;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 
 pub use event::EventQueue;
+pub use parallel::parallel_map;
 pub use power::{CrashSwitch, PatrolTicker};
 pub use resource::{Admission, AdmissionQueue, Link, Resource};
 pub use stats::{Counter, Histogram, Percentiles, Ratio, TimeSeries};

@@ -1,0 +1,123 @@
+//! A scoped-thread fan-out for *independent* simulations.
+//!
+//! Figure sweeps, multi-platform comparisons and property-test backends
+//! all run many simulations that share no state: each builds its own
+//! platform instance from a configuration and a trace mix. [`parallel_map`]
+//! spreads such runs across `std::thread::scope` workers while returning
+//! results **in submission order**, so every table, JSON record and golden
+//! file stays byte-identical to the sequential harness — only the wall
+//! clock changes.
+//!
+//! Determinism: each run's RNG streams are seeded from its own inputs
+//! (never from thread identity or time), so a run computes the same result
+//! on any worker. The only shared mutation is the work-stealing cursor.
+//!
+//! # Examples
+//!
+//! ```
+//! use zng_sim::parallel_map;
+//!
+//! let squares = parallel_map((0u64..64).collect(), |x| x * x);
+//! assert_eq!(squares[10], 100); // submission order, always
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on a pool of scoped worker threads and
+/// returns the results in submission order.
+///
+/// Worker count is `min(items, available_parallelism)`; with one item
+/// (or on a single-core host) the call degenerates to a plain in-thread
+/// map with no thread spawned at all. A panic inside `f` propagates to
+/// the caller once the scope joins.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Items are claimed exactly once through the shared cursor and each
+    // result lands in the slot of the item that produced it, so ordering
+    // is positional regardless of which worker finishes first.
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .expect("item mutex")
+                    .take()
+                    .expect("each item is claimed exactly once");
+                let r = f(item);
+                *slots[i].lock().expect("slot mutex") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot mutex")
+                .expect("every slot is filled before the scope joins")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let inputs: Vec<u64> = (0..257).collect();
+        let out = parallel_map(inputs.clone(), |x| x * 3);
+        assert_eq!(out, inputs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_degenerate() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(empty, |x| x).is_empty());
+        assert_eq!(parallel_map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_still_lands_positionally() {
+        // Later items finish first; order must not change.
+        let out = parallel_map((0u64..32).collect(), |x| {
+            let spins = (31 - x) * 1000;
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_add(i ^ acc);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn non_copy_items_move_through() {
+        let strings: Vec<String> = (0..40).map(|i| format!("run-{i}")).collect();
+        let out = parallel_map(strings, |s| s.len());
+        assert_eq!(out.len(), 40);
+        assert_eq!(out[0], 5);
+        assert_eq!(out[10], 6);
+    }
+}

@@ -5,7 +5,7 @@
 //! charged by the SSD module through its single-package
 //! [`zng_mem::MemSubsystem`] (the 32-bit-bus bottleneck of Fig. 1b).
 
-use std::collections::HashMap;
+use fxhash::{FxBuildHasher, FxHashMap};
 
 /// The result of a buffer lookup/insertion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +33,11 @@ pub struct BufferAccess {
 #[derive(Debug, Clone)]
 pub struct PageBuffer {
     capacity: usize,
-    /// ppn -> (last_use, dirty)
-    pages: HashMap<u64, (u64, bool)>,
+    /// ppn -> (last_use, dirty). Pre-sized to `capacity` (residency is
+    /// bounded) with the deterministic Fx hasher; LRU victim choice is
+    /// tie-broken on `(last_use, ppn)` and `flush_dirty` sorts, so
+    /// iteration order never leaks.
+    pages: FxHashMap<u64, (u64, bool)>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -51,7 +54,7 @@ impl PageBuffer {
         assert!(capacity > 0, "page buffer needs capacity");
         PageBuffer {
             capacity,
-            pages: HashMap::new(),
+            pages: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
             tick: 0,
             hits: 0,
             misses: 0,

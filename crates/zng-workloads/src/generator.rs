@@ -75,15 +75,40 @@ pub fn generate(spec: &WorkloadSpec, app: AppId, params: &TraceParams) -> Vec<Wa
         params.total_warps > 0 && params.mem_ops_per_warp > 0 && params.footprint_pages > 0,
         "trace parameters must be non-zero"
     );
+    // The Zipf CDF tables depend only on the footprint, not the warp:
+    // build them once here instead of once per warp (their construction
+    // is O(footprint) with a `powf` per entry, which dominated trace
+    // generation at large warp counts).
+    let zipfs = match spec.class {
+        Class::Graph => Some(GraphZipfs::new(params)),
+        Class::Scientific => None,
+    };
     (0..params.total_warps)
         .map(|w| {
             let seed = derive_seed(params.seed, (app.index() as u64) << 32 | w as u64);
             match spec.class {
-                Class::Graph => graph_warp(spec, app, w, params, seed),
+                Class::Graph => graph_warp(spec, app, w, params, seed, zipfs.as_ref().unwrap()),
                 Class::Scientific => scientific_warp(spec, app, w, params, seed),
             }
         })
         .collect()
+}
+
+/// Warp-independent Zipf samplers for the graph generator.
+struct GraphZipfs {
+    scatter: Zipf,
+    write: Zipf,
+}
+
+impl GraphZipfs {
+    fn new(params: &TraceParams) -> GraphZipfs {
+        let fp = params.footprint_pages as u64;
+        let write_pages = (fp / 16).max(1);
+        GraphZipfs {
+            scatter: Zipf::new(fp as usize, 0.85),
+            write: Zipf::new(write_pages as usize, 1.1),
+        }
+    }
 }
 
 /// PCs are small and shared across warps so the PC-indexed predictor can
@@ -111,6 +136,7 @@ fn graph_warp(
     warp: usize,
     params: &TraceParams,
     seed: u64,
+    zipfs: &GraphZipfs,
 ) -> WarpTrace {
     let mut rng = seeded(seed);
     let base = app_base(app);
@@ -125,8 +151,8 @@ fn graph_warp(
     // read-intensive graph app causes no GC — as in the paper.
     let write_pages = (fp / 16).max(1);
     let write_stride = (fp / write_pages).max(1);
-    let scatter_zipf = Zipf::new(fp as usize, 0.85);
-    let write_zipf = Zipf::new(write_pages as usize, 1.1);
+    let scatter_zipf = &zipfs.scatter;
+    let write_zipf = &zipfs.write;
     // Reads average 0.8*1 + 0.2*2 = 1.2 sectors per op.
     let p_read = op_read_probability(spec.read_ratio, 1.2);
 

@@ -1,6 +1,6 @@
 //! Trace statistics: the request-level characterisation of Fig. 5b/5c.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use zng_gpu::{WarpOp, WarpTrace};
 
@@ -40,8 +40,8 @@ pub struct TraceStats {
 /// # Ok::<(), zng_types::Error>(())
 /// ```
 pub fn trace_stats(traces: &[WarpTrace]) -> TraceStats {
-    let mut reads_per_page: HashMap<u64, u64> = HashMap::new();
-    let mut writes_per_page: HashMap<u64, u64> = HashMap::new();
+    let mut reads_per_page: FxHashMap<u64, u64> = FxHashMap::default();
+    let mut writes_per_page: FxHashMap<u64, u64> = FxHashMap::default();
     let (mut reads, mut writes) = (0u64, 0u64);
     for trace in traces {
         for op in trace.ops() {
@@ -65,7 +65,7 @@ pub fn trace_stats(traces: &[WarpTrace]) -> TraceStats {
             }
         }
     }
-    let mean = |m: &HashMap<u64, u64>| {
+    let mean = |m: &FxHashMap<u64, u64>| {
         if m.is_empty() {
             0.0
         } else {

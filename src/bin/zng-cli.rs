@@ -104,6 +104,8 @@ options:
                        ch:die:onset:death (cycles)
       --watchdog       abort with exit 1 when no request completes
                        within N cycles
+      --perf       report simulator throughput (wall time, events/sec,
+                   peak queue depth, per-kind event counts)
       --json       emit the full RunResult as JSON";
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -154,10 +156,13 @@ fn run(args: &[String]) -> Result<(), CliError> {
             ]);
             let mut platforms = PlatformKind::PAPER_PLATFORMS.to_vec();
             platforms.push(PlatformKind::Ideal);
-            for p in platforms {
-                let r = exp
-                    .run(p, &opts.workload_refs())
-                    .map_err(|e| CliError::Sim(e.to_string()))?;
+            // One worker thread per platform: the runs are independent,
+            // and results come back in listed order so the table is
+            // identical to the sequential sweep.
+            let results = exp
+                .run_platforms(&platforms, &opts.workload_refs())
+                .map_err(|e| CliError::Sim(e.to_string()))?;
+            for (p, r) in platforms.iter().zip(&results) {
                 t.row(vec![
                     p.to_string(),
                     format!("{:.4}", r.ipc),
@@ -251,6 +256,7 @@ const RUN_FLAGS: &[&str] = &[
     "--evacuate",
     "--degrading-die",
     "--watchdog",
+    "--perf",
     "--json",
 ];
 const SWEEP_FLAGS: &[&str] = &[
@@ -291,6 +297,7 @@ const SWEEP_FLAGS: &[&str] = &[
     "--evacuate",
     "--degrading-die",
     "--watchdog",
+    "--perf",
 ];
 const TRACES_FLAGS: &[&str] = &[
     "-w",
@@ -326,6 +333,7 @@ struct Opts {
     checkpoint: Option<CheckpointConfig>,
     health: Option<HealthConfig>,
     watchdog: Option<u64>,
+    perf: bool,
     json: bool,
 }
 
@@ -350,6 +358,7 @@ impl Opts {
             checkpoint: None,
             health: None,
             watchdog: None,
+            perf: false,
             json: false,
         };
         let mut it = args.iter();
@@ -501,6 +510,7 @@ impl Opts {
                 "--watchdog" => {
                     opts.watchdog = Some(parse_num(&value("--watchdog")?)? as u64);
                 }
+                "--perf" => opts.perf = true,
                 "--json" => opts.json = true,
                 other => {
                     return Err(format!(
@@ -590,6 +600,7 @@ impl Opts {
             exp.config_mut().health = h;
         }
         exp.config_mut().watchdog = self.watchdog;
+        exp.config_mut().perf = self.perf;
     }
 
     fn workload_refs(&self) -> Vec<&str> {
@@ -900,6 +911,32 @@ fn print_result(r: &RunResult) {
             c.journal_overflows.to_string(),
         ]);
         t.row(vec!["checkpoints aborted".into(), c.aborted.to_string()]);
+    }
+    if let Some(p) = &r.perf {
+        t.row(vec![
+            "sim wall seconds".into(),
+            format!("{:.3}", p.wall_seconds),
+        ]);
+        t.row(vec!["sim events".into(), p.events.to_string()]);
+        t.row(vec![
+            "sim events/sec".into(),
+            format!("{:.0}", p.events_per_sec),
+        ]);
+        t.row(vec![
+            "sim peak queue depth".into(),
+            p.peak_queue_depth.to_string(),
+        ]);
+        t.row(vec![
+            "sim compute/mem events".into(),
+            format!("{}/{}", p.compute_events, p.mem_events),
+        ]);
+        t.row(vec![
+            "sim blocked/maint/skipped".into(),
+            format!(
+                "{}/{}/{}",
+                p.blocked_events, p.maintenance_events, p.skipped_events
+            ),
+        ]);
     }
     if let Some(h) = &r.health {
         t.row(vec!["health ticks".into(), h.health_ticks.to_string()]);

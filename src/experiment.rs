@@ -1,6 +1,7 @@
 //! The high-level experiment API used by examples and benches.
 
 use zng_platforms::{PlatformKind, RunResult, SimConfig, Simulation};
+use zng_sim::parallel_map;
 use zng_types::Result;
 use zng_workloads::{MultiApp, TraceParams};
 
@@ -112,7 +113,10 @@ impl Experiment {
         sim.run(mix)
     }
 
-    /// Runs the same mix across several platforms.
+    /// Runs the same mix across several platforms, one scoped worker
+    /// thread per run (runs share no state, so they fan out freely);
+    /// results come back in the order `platforms` lists them, identical
+    /// to the sequential harness.
     ///
     /// # Errors
     ///
@@ -123,7 +127,47 @@ impl Experiment {
         workloads: &[&str],
     ) -> Result<Vec<RunResult>> {
         let mix = self.mix(workloads)?;
-        platforms.iter().map(|&p| self.run_mix(p, &mix)).collect()
+        let cfg = &self.cfg;
+        parallel_map(platforms.to_vec(), |p| {
+            Simulation::new(p, cfg).and_then(|mut sim| sim.run(&mix))
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs one platform across several workload mixes in parallel
+    /// (the shape of every per-figure sweep): results come back in the
+    /// order `mixes` lists them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run's error.
+    pub fn run_mixes(
+        &mut self,
+        platform: PlatformKind,
+        mixes: &[MultiApp],
+    ) -> Result<Vec<RunResult>> {
+        let cfg = &self.cfg;
+        parallel_map(mixes.iter().collect(), |mix| {
+            Simulation::new(platform, cfg).and_then(|mut sim| sim.run(mix))
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs an arbitrary batch of `(platform, configuration, mix)` points
+    /// in parallel — the fully general sweep (figure grids that vary the
+    /// configuration per point). Results come back in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run's error.
+    pub fn run_batch(batch: &[(PlatformKind, SimConfig, MultiApp)]) -> Result<Vec<RunResult>> {
+        parallel_map(batch.iter().collect(), |(p, cfg, mix)| {
+            Simulation::new(*p, cfg).and_then(|mut sim| sim.run(mix))
+        })
+        .into_iter()
+        .collect()
     }
 }
 

@@ -88,6 +88,38 @@ fn default_run_matches_golden_and_is_deterministic() {
     assert_bytes_match(&first, &golden("run_default.json"), "default run");
 }
 
+/// `--perf` telemetry must be additive: the run's simulated results are
+/// byte-identical to the default golden, with only the (inherently
+/// nondeterministic, therefore never-golden) `perf_*` keys appended.
+#[test]
+fn perf_flag_adds_only_perf_keys() {
+    let text = String::from_utf8(run_cli(&["--perf"])).expect("utf8 json");
+    assert!(
+        text.contains("\"perf_events\"") && text.contains("\"perf_events_per_sec\""),
+        "--perf attaches throughput telemetry"
+    );
+    let mut kept: Vec<String> = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"perf_"))
+        .map(str::to_string)
+        .collect();
+    // The perf keys are the object's last fields, so dropping them
+    // leaves a dangling comma on the previous field's line.
+    let last_field = kept.len().saturating_sub(2);
+    if let Some(line) = kept.get_mut(last_field) {
+        if let Some(stripped) = line.strip_suffix(',') {
+            *line = stripped.to_string();
+        }
+    }
+    let mut rebuilt = kept.join("\n");
+    rebuilt.push('\n');
+    assert_bytes_match(
+        rebuilt.as_bytes(),
+        &golden("run_default.json"),
+        "--perf run minus perf keys",
+    );
+}
+
 #[test]
 fn end_of_life_run_matches_golden() {
     let got = run_cli(&["--faults", "end-of-life"]);

@@ -1,0 +1,63 @@
+//! Determinism lane for the dense-structure overhaul: swapping the FTL
+//! mapping tables from hash maps to direct-indexed [`zng_ftl::DenseMap`]
+//! (and every hot-path map to the deterministic fast hasher) must leave
+//! end-to-end behaviour a pure function of the configuration.
+//!
+//! For arbitrary workload parameters, any fault profile and any crash
+//! point, on both FTL worlds — the ZnG zero-overhead FTL and the
+//! page-map FTL inside HybridGPU's embedded SSD engine — two fresh
+//! simulations of the same run emit byte-identical JSON. Any hidden
+//! hash-order, allocation-order or clock dependence introduced by the
+//! new structures would show up here as a diff.
+
+use proptest::prelude::*;
+use zng::{Experiment, FaultConfig, PlatformKind, SimConfig, TraceParams};
+
+fn fault_config(profile: u8, seed: u64) -> FaultConfig {
+    match profile {
+        0 => FaultConfig::none(),
+        1 => FaultConfig::nominal().with_seed(seed),
+        _ => FaultConfig::end_of_life().with_seed(seed),
+    }
+}
+
+fn run_json(platform: PlatformKind, cfg: &SimConfig, params: TraceParams) -> String {
+    let mut exp = Experiment::quick().with_config(*cfg).with_params(params);
+    exp.run(platform, &["back"])
+        .expect("run")
+        .to_json_value()
+        .to_string()
+}
+
+proptest! {
+    #[test]
+    fn both_ftls_are_deterministic_across_faults_and_crashes(
+        profile in 0u8..3,
+        seed in 1u64..1_000,
+        crash_sel in 0u64..400,
+        warps in 4usize..10,
+    ) {
+        // crash_sel below 50 means "never crash"; otherwise cut power
+        // after that many completed requests and recover mid-run.
+        let crash = (crash_sel >= 50).then_some(crash_sel);
+        let params = TraceParams {
+            total_warps: warps,
+            mem_ops_per_warp: 60,
+            footprint_pages: 128,
+            seed,
+        };
+        let mut cfg = SimConfig::tiny();
+        cfg.fault = fault_config(profile, seed);
+        cfg.crash_at = crash;
+        // Both FTL worlds: the ZnG zero-overhead FTL (DenseMap DBMT/LBMT)
+        // and the page-map FTL behind HybridGPU's SSD engine.
+        for platform in [PlatformKind::Zng, PlatformKind::HybridGpu] {
+            let first = run_json(platform, &cfg, params);
+            let second = run_json(platform, &cfg, params);
+            prop_assert_eq!(
+                &first, &second,
+                "{:?} run is not a pure function of its configuration", platform
+            );
+        }
+    }
+}
